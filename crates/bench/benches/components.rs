@@ -1,0 +1,110 @@
+//! Microbenchmarks of the individual substrates: the FBDIMM memory
+//! simulator, the shared-cache model, the thermal RC models and the PID
+//! controller.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cpu_model::{CacheConfig, SetAssocCache};
+use fbdimm_sim::{FbdimmConfig, MemRequest, MemorySystem, RequestKind};
+use memtherm::prelude::*;
+
+fn bench_fbdimm_throughput(c: &mut Criterion) {
+    c.bench_function("fbdimm/enqueue_10k_reads", |b| {
+        b.iter_batched(
+            || MemorySystem::new(FbdimmConfig::ddr2_667_paper()),
+            |mut mem| {
+                for line in 0..10_000u64 {
+                    mem.enqueue(MemRequest::new(line, RequestKind::Read, 0)).unwrap();
+                }
+                mem.horizon_ps()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/4mb_8way_100k_accesses", |b| {
+        b.iter_batched(
+            || {
+                SetAssocCache::new(CacheConfig {
+                    capacity_bytes: 4 * 1024 * 1024,
+                    associativity: 8,
+                    line_bytes: 64,
+                })
+            },
+            |mut cache| {
+                let mut hits = 0u64;
+                for i in 0..100_000u64 {
+                    // Mix of a hot region and a streaming region.
+                    let line = if i % 3 == 0 { i % 8_192 } else { 1_000_000 + i };
+                    if cache.access(line, i % 4 == 0).is_hit() {
+                        hits += 1;
+                    }
+                }
+                hits
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_thermal_models(c: &mut Criterion) {
+    c.bench_function("thermal/isolated_100k_steps", |b| {
+        b.iter(|| {
+            let mut m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+            for _ in 0..100_000 {
+                m.step(6.5, 2.0, 0.01);
+            }
+            m.amb_temp_c()
+        })
+    });
+    c.bench_function("thermal/integrated_100k_steps", |b| {
+        b.iter(|| {
+            let mut m = IntegratedThermalModel::new(CoolingConfig::fdhs_1_0(), ThermalLimits::paper_fbdimm());
+            for _ in 0..100_000 {
+                m.step(6.5, 2.0, 5.0, 0.01);
+            }
+            m.amb_temp_c()
+        })
+    });
+}
+
+fn bench_pid(c: &mut Criterion) {
+    c.bench_function("pid/100k_updates", |b| {
+        b.iter(|| {
+            let mut pid = PidController::paper_amb();
+            let mut level = 0usize;
+            for i in 0..100_000u64 {
+                let temp = 108.0 + ((i % 200) as f64) / 100.0;
+                level = pid.decide_level(temp, 0.01, 5);
+            }
+            level
+        })
+    });
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    c.bench_function("characterize/w1_full_speed_20k_accesses", |b| {
+        b.iter_batched(
+            || {
+                CharacterizationTable::new(
+                    CpuConfig::paper_quad_core(),
+                    FbdimmConfig::ddr2_667_paper(),
+                    mixes::w1().apps,
+                    20_000,
+                )
+            },
+            |mut table| table.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core())).total_gbps(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    targets = bench_fbdimm_throughput, bench_cache, bench_thermal_models, bench_pid, bench_characterization
+}
+criterion_main!(components);

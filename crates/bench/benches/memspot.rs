@@ -1,0 +1,58 @@
+//! End-to-end benchmarks of the second-level (MEMSpot) simulator: one full
+//! batch simulation per DTM scheme at smoke scale.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memtherm::prelude::*;
+
+fn config() -> MemSpotConfig {
+    MemSpotConfig {
+        copies_per_app: 1,
+        instruction_scale: 0.3,
+        characterization_budget: 10_000,
+        ..MemSpotConfig::paper(CoolingConfig::aohs_1_5())
+    }
+}
+
+fn bench_memspot_schemes(c: &mut Criterion) {
+    let cpu = CpuConfig::paper_quad_core();
+    let limits = ThermalLimits::paper_fbdimm();
+    let mut group = c.benchmark_group("memspot_w1");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("no_limit", |b| {
+        let mut spot = MemSpot::new(config());
+        b.iter(|| {
+            let mut p = memtherm::dtm::NoLimit::new(&cpu);
+            spot.run(&mixes::w1(), &mut p).running_time_s
+        })
+    });
+    group.bench_function("dtm_ts", |b| {
+        let mut spot = MemSpot::new(config());
+        b.iter(|| {
+            let mut p = DtmTs::new(cpu.clone(), limits);
+            spot.run(&mixes::w1(), &mut p).running_time_s
+        })
+    });
+    group.bench_function("dtm_acg_pid", |b| {
+        let mut spot = MemSpot::new(config());
+        b.iter(|| {
+            let mut p = DtmAcg::with_pid(cpu.clone(), limits);
+            spot.run(&mixes::w1(), &mut p).running_time_s
+        })
+    });
+    group.bench_function("dtm_cdvfs_integrated", |b| {
+        let mut spot = MemSpot::new(config().with_integrated(None));
+        b.iter(|| {
+            let mut p = DtmCdvfs::new(cpu.clone(), limits);
+            spot.run(&mixes::w1(), &mut p).running_time_s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(memspot, bench_memspot_schemes);
+criterion_main!(memspot);

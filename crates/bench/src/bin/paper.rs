@@ -1,0 +1,62 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p experiments --release --bin paper -- <experiment-id|all> [smoke|quick|paper] [--json <dir>]
+//! ```
+//!
+//! `experiment-id` is one of the identifiers listed by `--list` (for example
+//! `fig4_3` or `tab3_2`). The optional scale (default `quick`) controls the
+//! batch sizes; `paper` uses the full batch sizes of the study and can take
+//! hours per figure.
+
+use std::io::Write;
+
+use experiments::harness::Scale;
+use experiments::{all_experiment_ids, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: paper <experiment-id|all|--list> [smoke|quick|paper] [--json <dir>]");
+        std::process::exit(2);
+    }
+    if args[0] == "--list" {
+        for id in all_experiment_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let scale = args.get(1).and_then(|s| Scale::parse(s)).unwrap_or(Scale::Quick);
+    let json_dir = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    let ids: Vec<String> = if args[0] == "all" {
+        all_experiment_ids().into_iter().map(String::from).collect()
+    } else {
+        vec![args[0].clone()]
+    };
+
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_experiment(&id, scale) {
+            Ok(table) => {
+                println!("{table}");
+                eprintln!("[{}] finished in {:.1} s", id, started.elapsed().as_secs_f64());
+                if let Some(dir) = &json_dir {
+                    if std::fs::create_dir_all(dir).is_ok() {
+                        let path = format!("{dir}/{id}.json");
+                        if let Ok(mut f) = std::fs::File::create(&path) {
+                            let _ = f.write_all(table.to_json().as_bytes());
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Chapter 3 tables: power and thermal model parameters.
+//!
+//! These experiments have no workload component — they print the model
+//! parameters exactly as the library exposes them, so a reader can check
+//! them against Tables 3.1, 3.2 and 3.3 of the paper line by line.
+
+use memtherm::prelude::*;
+use memtherm::thermal::params::HeatSpreader;
+
+use crate::harness::{f1, f3, Table};
+
+/// Table 3.1: AMB power-model parameters.
+pub fn tab3_1() -> Table {
+    let amb = AmbPowerModel::table_3_1();
+    let dram = DramPowerModel::ddr2_667_1gb();
+    let mut t = Table::new("tab3_1", "AMB and DRAM power model parameters (Eq. 3.1 / 3.2)", &["parameter", "value", "unit"]);
+    t.push_row(["P_AMB_idle (last DIMM)", &f1(amb.idle_last_watts), "W"]);
+    t.push_row(["P_AMB_idle (other DIMMs)", &f1(amb.idle_other_watts), "W"]);
+    t.push_row(["beta (bypass)", &format!("{:.2}", amb.beta_bypass), "W/(GB/s)"]);
+    t.push_row(["gamma (local)", &format!("{:.2}", amb.gamma_local), "W/(GB/s)"]);
+    t.push_row(["P_DRAM_static", &format!("{:.2}", dram.static_watts), "W"]);
+    t.push_row(["alpha1 (read)", &format!("{:.2}", dram.alpha_read), "W/(GB/s)"]);
+    t.push_row(["alpha2 (write)", &format!("{:.2}", dram.alpha_write), "W/(GB/s)"]);
+    t
+}
+
+/// Table 3.2: thermal resistances and time constants per cooling
+/// configuration.
+pub fn tab3_2() -> Table {
+    let mut t = Table::new(
+        "tab3_2",
+        "Thermal model parameters for the AMB and DRAM devices (Table 3.2)",
+        &["spreader", "air m/s", "Psi_AMB", "Psi_DRAM_AMB", "Psi_DRAM", "Psi_AMB_DRAM", "tau_AMB s", "tau_DRAM s"],
+    );
+    for spreader in [HeatSpreader::Aohs, HeatSpreader::Fdhs] {
+        for v in [1.0, 1.5, 3.0] {
+            let cfg = CoolingConfig { spreader, air_velocity_mps: v };
+            let r = cfg.resistances();
+            t.push_row([
+                spreader.to_string(),
+                f1(v),
+                f1(r.psi_amb),
+                f1(r.psi_dram_amb),
+                f1(r.psi_dram),
+                f1(r.psi_amb_dram),
+                f1(r.tau_amb_s),
+                f1(r.tau_dram_s),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 3.3: DRAM-ambient model parameters for the isolated and integrated
+/// thermal models.
+pub fn tab3_3() -> Table {
+    let mut t = Table::new(
+        "tab3_3",
+        "DRAM ambient temperature model parameters (Table 3.3)",
+        &["model", "cooling", "system inlet degC", "Psi_CPU_MEM x xi", "tau_CPU_DRAM s"],
+    );
+    for cooling in [CoolingConfig::fdhs_1_0(), CoolingConfig::aohs_1_5()] {
+        let iso = AmbientParams::isolated(&cooling);
+        let int = AmbientParams::integrated(&cooling);
+        t.push_row([
+            "isolated".to_string(),
+            cooling.label(),
+            f1(iso.system_inlet_c),
+            f3(iso.psi_cpu_mem_xi),
+            f1(iso.tau_cpu_dram_s),
+        ]);
+        t.push_row([
+            "integrated".to_string(),
+            cooling.label(),
+            f1(int.system_inlet_c),
+            f3(int.psi_cpu_mem_xi),
+            f1(int.tau_cpu_dram_s),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab3_1_reports_the_paper_constants() {
+        let t = tab3_1();
+        assert_eq!(t.cell("value", |r| r[0].starts_with("P_AMB_idle (last")), Some("4.0"));
+        assert_eq!(t.cell("value", |r| r[0].starts_with("beta")), Some("0.19"));
+        assert_eq!(t.cell("value", |r| r[0].starts_with("gamma")), Some("0.75"));
+    }
+
+    #[test]
+    fn tab3_2_has_six_cooling_rows() {
+        let t = tab3_2();
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.cell("Psi_AMB", |r| r[0] == "AOHS" && r[1] == "1.5"), Some("9.3"));
+        assert_eq!(t.cell("Psi_DRAM", |r| r[0] == "FDHS" && r[1] == "1.0"), Some("4.0"));
+    }
+
+    #[test]
+    fn tab3_3_distinguishes_isolated_and_integrated() {
+        let t = tab3_3();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.cell("Psi_CPU_MEM x xi", |r| r[0] == "isolated" && r[1] == "AOHS_1.5"), Some("0.000"));
+        assert_eq!(t.cell("Psi_CPU_MEM x xi", |r| r[0] == "integrated" && r[1] == "FDHS_1.0"), Some("1.500"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Shared experiment infrastructure: run scales, result tables and the
+//! simulator factories used by the Chapter 4 and Chapter 5 experiments.
+
+use memtherm::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How much work an experiment run performs.
+///
+/// The paper's full batch sizes (fifty copies of every application, full
+/// SPEC instruction counts) take hours per figure; the smaller scales shrink
+/// the batch uniformly, which preserves normalized (relative) results — the
+/// quantities every figure reports — while keeping wall-clock time
+/// reasonable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Smallest runs, used by the Criterion benches and CI.
+    Smoke,
+    /// Default for the `paper` binary: minutes per figure.
+    Quick,
+    /// The paper's batch sizes: hours per figure.
+    Paper,
+}
+
+impl Scale {
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// MEMSpot configuration for the Chapter 4 simulation experiments under
+    /// a cooling configuration.
+    pub fn memspot_config(self, cooling: CoolingConfig) -> MemSpotConfig {
+        match self {
+            Scale::Smoke => MemSpotConfig {
+                copies_per_app: 2,
+                instruction_scale: 0.6,
+                characterization_budget: 15_000,
+                ..MemSpotConfig::paper(cooling)
+            },
+            Scale::Quick => MemSpotConfig {
+                copies_per_app: 10,
+                instruction_scale: 0.6,
+                characterization_budget: 60_000,
+                ..MemSpotConfig::paper(cooling)
+            },
+            Scale::Paper => MemSpotConfig::paper(cooling),
+        }
+    }
+
+    /// Workload mixes evaluated at this scale (a subset for smoke runs).
+    pub fn ch4_mixes(self) -> Vec<WorkloadMix> {
+        match self {
+            Scale::Smoke => vec![mixes::w1(), mixes::w6()],
+            _ => mixes::all_ch4_mixes(),
+        }
+    }
+
+    /// Batch size (runs per application) for the Chapter 5 platform
+    /// experiments.
+    pub fn platform_runs_per_app(self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Quick => 2,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Instruction scale for the Chapter 5 platform experiments.
+    pub fn platform_instruction_scale(self) -> f64 {
+        match self {
+            Scale::Smoke => 0.6,
+            Scale::Quick => 1.0,
+            Scale::Paper => 1.0,
+        }
+    }
+}
+
+/// A printable experiment result: a titled table of rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. `"fig4_3"`).
+    pub id: String,
+    /// Human-readable title (what the paper's caption says).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringifying each cell).
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        self.rows.push(row.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Serializes the table to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Looks up a cell by row predicate and column name (used by tests).
+    pub fn cell(&self, col: &str, pred: impl Fn(&[String]) -> bool) -> Option<&str> {
+        let idx = self.headers.iter().position(|h| h == col)?;
+        self.rows.iter().find(|r| pred(r)).and_then(|r| r.get(idx)).map(String::as_str)
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a floating point number with three significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a floating point number with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Arithmetic mean of a slice (NaN-free inputs assumed); 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_and_sizes() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+        assert!(Scale::Smoke.ch4_mixes().len() < Scale::Quick.ch4_mixes().len());
+        assert!(Scale::Paper.memspot_config(CoolingConfig::aohs_1_5()).copies_per_app == 50);
+        assert!(Scale::Smoke.platform_runs_per_app() <= Scale::Paper.platform_runs_per_app());
+        assert!(Scale::Quick.platform_instruction_scale() > 0.0);
+    }
+
+    #[test]
+    fn tables_render_and_round_trip() {
+        let mut t = Table::new("tabX", "demo", &["workload", "value"]);
+        t.push_row(["W1", "1.25"]);
+        t.push_row(["W2", "0.97"]);
+        let s = t.to_string();
+        assert!(s.contains("tabX") && s.contains("W2"));
+        assert!(t.to_json().contains("\"rows\""));
+        assert_eq!(t.cell("value", |r| r[0] == "W1"), Some("1.25"));
+        assert_eq!(t.cell("nope", |_| true), None);
+    }
+
+    #[test]
+    fn small_helpers_behave() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! DTM-BW: memory bandwidth throttling (Section 4.2.1).
+//!
+//! The memory controller limits throughput according to the thermal
+//! emergency level (Table 4.3: no limit / 19.2 / 12.8 / 6.4 GB/s / off).
+
+use cpu_model::{CpuConfig, RunningMode};
+
+use crate::dtm::policy::{DtmPolicy, DtmScheme};
+use crate::dtm::selector::LevelSelector;
+use crate::sim::modes::scheme_mode;
+use crate::thermal::params::ThermalLimits;
+
+/// The bandwidth-throttling policy.
+#[derive(Debug, Clone)]
+pub struct DtmBw {
+    cpu: CpuConfig,
+    selector: LevelSelector,
+}
+
+impl DtmBw {
+    /// Threshold-driven DTM-BW.
+    pub fn new(cpu: CpuConfig, limits: ThermalLimits) -> Self {
+        DtmBw { cpu, selector: LevelSelector::threshold(limits) }
+    }
+
+    /// PID-driven DTM-BW.
+    pub fn with_pid(cpu: CpuConfig, limits: ThermalLimits) -> Self {
+        DtmBw { cpu, selector: LevelSelector::pid(limits) }
+    }
+}
+
+impl DtmPolicy for DtmBw {
+    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
+        let level = self.selector.select(amb_temp_c, dram_temp_c, dt_s);
+        scheme_mode(DtmScheme::Bw, level, &self.cpu)
+    }
+
+    fn scheme(&self) -> DtmScheme {
+        DtmScheme::Bw
+    }
+
+    fn uses_pid(&self) -> bool {
+        self.selector.uses_pid()
+    }
+
+    fn reset(&mut self) {
+        self.selector.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DtmBw {
+        DtmBw::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm())
+    }
+
+    #[test]
+    fn no_limit_when_cool() {
+        let mut p = policy();
+        assert_eq!(p.decide(100.0, 70.0, 1.0).bandwidth_cap, None);
+    }
+
+    #[test]
+    fn caps_tighten_as_temperature_rises() {
+        let mut p = policy();
+        let caps: Vec<_> = [108.5, 109.2, 109.7]
+            .iter()
+            .map(|&t| p.decide(t, 70.0, 1.0).bandwidth_cap.unwrap())
+            .collect();
+        assert!(caps[0] > caps[1] && caps[1] > caps[2]);
+        assert!((caps[2] - 6.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn cores_are_never_gated_by_bandwidth_throttling() {
+        let mut p = policy();
+        for t in [100.0, 108.5, 109.2, 109.7] {
+            assert_eq!(p.decide(t, 70.0, 1.0).active_cores, 4);
+        }
+    }
+
+    #[test]
+    fn tdp_shuts_memory_off() {
+        let mut p = policy();
+        assert!(!p.decide(110.5, 70.0, 1.0).makes_progress());
+    }
+
+    #[test]
+    fn pid_variant_reports_itself() {
+        let p = DtmBw::with_pid(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
+        assert!(p.uses_pid());
+        assert_eq!(p.name(), "DTM-BW+PID");
+    }
+}

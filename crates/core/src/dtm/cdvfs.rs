@@ -1,0 +1,96 @@
+//! DTM-CDVFS: coordinated dynamic voltage and frequency scaling
+//! (Section 4.2.2).
+//!
+//! The policy links the DRAM/AMB thermal emergency level directly to the
+//! frequency and voltage of *all* processor cores, proactively putting the
+//! processor into a power mode that matches the memory's thermal headroom.
+
+use cpu_model::{CpuConfig, RunningMode};
+
+use crate::dtm::policy::{DtmPolicy, DtmScheme};
+use crate::dtm::selector::LevelSelector;
+use crate::sim::modes::scheme_mode;
+use crate::thermal::params::ThermalLimits;
+
+/// The coordinated DVFS policy.
+#[derive(Debug, Clone)]
+pub struct DtmCdvfs {
+    cpu: CpuConfig,
+    selector: LevelSelector,
+}
+
+impl DtmCdvfs {
+    /// Threshold-driven DTM-CDVFS.
+    pub fn new(cpu: CpuConfig, limits: ThermalLimits) -> Self {
+        DtmCdvfs { cpu, selector: LevelSelector::threshold(limits) }
+    }
+
+    /// PID-driven DTM-CDVFS.
+    pub fn with_pid(cpu: CpuConfig, limits: ThermalLimits) -> Self {
+        DtmCdvfs { cpu, selector: LevelSelector::pid(limits) }
+    }
+}
+
+impl DtmPolicy for DtmCdvfs {
+    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
+        let level = self.selector.select(amb_temp_c, dram_temp_c, dt_s);
+        scheme_mode(DtmScheme::Cdvfs, level, &self.cpu)
+    }
+
+    fn scheme(&self) -> DtmScheme {
+        DtmScheme::Cdvfs
+    }
+
+    fn uses_pid(&self) -> bool {
+        self.selector.uses_pid()
+    }
+
+    fn reset(&mut self) {
+        self.selector.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DtmCdvfs {
+        DtmCdvfs::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm())
+    }
+
+    #[test]
+    fn frequency_descends_with_rising_temperature() {
+        let mut p = policy();
+        let freqs: Vec<_> =
+            [100.0, 108.5, 109.2, 109.7].iter().map(|&t| p.decide(t, 70.0, 1.0).op.freq_ghz).collect();
+        assert_eq!(freqs, vec![3.2, 2.8, 1.6, 0.8]);
+    }
+
+    #[test]
+    fn voltage_descends_together_with_frequency() {
+        let mut p = policy();
+        let v_hot = p.decide(109.7, 70.0, 1.0).op.voltage;
+        let v_cool = p.decide(100.0, 70.0, 1.0).op.voltage;
+        assert!(v_hot < v_cool);
+    }
+
+    #[test]
+    fn all_cores_remain_active_below_the_tdp() {
+        let mut p = policy();
+        for t in [100.0, 108.5, 109.2, 109.7] {
+            assert_eq!(p.decide(t, 70.0, 1.0).active_cores, 4);
+        }
+    }
+
+    #[test]
+    fn tdp_stops_the_memory() {
+        let mut p = policy();
+        assert!(!p.decide(110.2, 70.0, 1.0).makes_progress());
+    }
+
+    #[test]
+    fn pid_variant_reports_itself() {
+        let p = DtmCdvfs::with_pid(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
+        assert_eq!(p.name(), "DTM-CDVFS+PID");
+    }
+}

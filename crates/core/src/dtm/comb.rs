@@ -1,0 +1,82 @@
+//! DTM-COMB: combined core gating and DVFS (Section 5.2.2).
+//!
+//! The policy proposed in the Chapter 5 case study: it both gates a subset
+//! of cores and scales the frequency/voltage of the remaining ones, reducing
+//! memory traffic (like DTM-ACG) and processor heat dissipation to the
+//! memory (like DTM-CDVFS).
+
+use cpu_model::{CpuConfig, RunningMode};
+
+use crate::dtm::policy::{DtmPolicy, DtmScheme};
+use crate::dtm::selector::LevelSelector;
+use crate::sim::modes::scheme_mode;
+use crate::thermal::params::ThermalLimits;
+
+/// The combined gating + DVFS policy.
+#[derive(Debug, Clone)]
+pub struct DtmComb {
+    cpu: CpuConfig,
+    selector: LevelSelector,
+}
+
+impl DtmComb {
+    /// Threshold-driven DTM-COMB.
+    pub fn new(cpu: CpuConfig, limits: ThermalLimits) -> Self {
+        DtmComb { cpu, selector: LevelSelector::threshold(limits) }
+    }
+
+    /// PID-driven DTM-COMB.
+    pub fn with_pid(cpu: CpuConfig, limits: ThermalLimits) -> Self {
+        DtmComb { cpu, selector: LevelSelector::pid(limits) }
+    }
+}
+
+impl DtmPolicy for DtmComb {
+    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
+        let level = self.selector.select(amb_temp_c, dram_temp_c, dt_s);
+        scheme_mode(DtmScheme::Comb, level, &self.cpu)
+    }
+
+    fn scheme(&self) -> DtmScheme {
+        DtmScheme::Comb
+    }
+
+    fn uses_pid(&self) -> bool {
+        self.selector.uses_pid()
+    }
+
+    fn reset(&mut self) {
+        self.selector.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combines_gating_and_frequency_scaling() {
+        let mut p = DtmComb::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
+        let cool = p.decide(100.0, 70.0, 1.0);
+        assert_eq!((cool.active_cores, cool.op.freq_ghz), (4, 3.2));
+        let warm = p.decide(108.5, 70.0, 1.0);
+        assert_eq!(warm.active_cores, 3);
+        assert!(warm.op.freq_ghz < 3.2);
+        let hot = p.decide(109.7, 70.0, 1.0);
+        assert_eq!(hot.active_cores, 2);
+        assert!((hot.op.freq_ghz - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tdp_stops_everything() {
+        let mut p = DtmComb::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
+        assert!(!p.decide(112.0, 70.0, 1.0).makes_progress());
+    }
+
+    #[test]
+    fn pid_variant_reports_itself() {
+        let p = DtmComb::with_pid(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
+        assert_eq!(p.name(), "DTM-COMB+PID");
+        assert_eq!(p.scheme(), DtmScheme::Comb);
+    }
+}

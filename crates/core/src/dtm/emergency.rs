@@ -1,0 +1,199 @@
+//! Thermal emergency levels (Table 4.3 / Table 5.1).
+//!
+//! The DTM policies quantize the sensed AMB and DRAM temperatures into a
+//! small number of *thermal emergency levels*; each level maps to one
+//! control decision of the scheme (bandwidth limit, number of active cores,
+//! DVFS point). Level 1 means "no emergency", the highest level means the
+//! thermal design point has been reached and the memory must be shut off.
+
+use serde::{Deserialize, Serialize};
+
+use crate::thermal::params::ThermalLimits;
+
+/// A thermal emergency level. `L1` is the coolest (no action), `L5` the
+/// hottest (memory shut off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EmergencyLevel {
+    /// No thermal emergency.
+    L1,
+    /// Mild emergency.
+    L2,
+    /// Moderate emergency.
+    L3,
+    /// Severe emergency.
+    L4,
+    /// At or above the thermal design point.
+    L5,
+}
+
+impl EmergencyLevel {
+    /// All levels in increasing severity.
+    pub const ALL: [EmergencyLevel; 5] =
+        [EmergencyLevel::L1, EmergencyLevel::L2, EmergencyLevel::L3, EmergencyLevel::L4, EmergencyLevel::L5];
+
+    /// Zero-based index (L1 = 0).
+    pub fn index(self) -> usize {
+        match self {
+            EmergencyLevel::L1 => 0,
+            EmergencyLevel::L2 => 1,
+            EmergencyLevel::L3 => 2,
+            EmergencyLevel::L4 => 3,
+            EmergencyLevel::L5 => 4,
+        }
+    }
+
+    /// Level from a zero-based index, clamped to `L5`.
+    pub fn from_index(index: usize) -> Self {
+        *Self::ALL.get(index).unwrap_or(&EmergencyLevel::L5)
+    }
+
+    /// The more severe of two levels.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl std::fmt::Display for EmergencyLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.index() + 1)
+    }
+}
+
+/// Temperature boundaries defining the emergency levels for one pair of
+/// sensed temperatures (AMB and DRAM).
+///
+/// `amb_bounds[i]` is the temperature at which level `i + 2` begins; a
+/// temperature below `amb_bounds[0]` is level 1. The two devices may define
+/// a different number of levels on the two servers, but within one table the
+/// AMB and DRAM boundary lists have the same length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmergencyThresholds {
+    amb_bounds: Vec<f64>,
+    dram_bounds: Vec<f64>,
+}
+
+impl EmergencyThresholds {
+    /// Builds thresholds from explicit boundary lists (must be strictly
+    /// increasing and of equal, non-zero length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists are empty, of different lengths, or not strictly
+    /// increasing.
+    pub fn new(amb_bounds: Vec<f64>, dram_bounds: Vec<f64>) -> Self {
+        assert!(!amb_bounds.is_empty(), "at least one boundary is required");
+        assert_eq!(amb_bounds.len(), dram_bounds.len(), "boundary lists must have equal length");
+        for b in [&amb_bounds, &dram_bounds] {
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "boundaries must be strictly increasing");
+        }
+        EmergencyThresholds { amb_bounds, dram_bounds }
+    }
+
+    /// The Table 4.3 thresholds, expressed relative to the thermal design
+    /// points so that a TDP sweep (Figure 5.14) shifts all levels together:
+    /// boundaries at TDP − 2, TDP − 1, TDP − 0.5 and TDP.
+    pub fn table_4_3(limits: &ThermalLimits) -> Self {
+        let offsets = [2.0, 1.0, 0.5, 0.0];
+        EmergencyThresholds::new(
+            offsets.iter().map(|o| limits.amb_tdp_c - o).collect(),
+            offsets.iter().map(|o| limits.dram_tdp_c - o).collect(),
+        )
+    }
+
+    /// Number of levels this table defines (boundaries + 1).
+    pub fn levels(&self) -> usize {
+        self.amb_bounds.len() + 1
+    }
+
+    fn level_of(bounds: &[f64], temp: f64) -> EmergencyLevel {
+        let idx = bounds.iter().filter(|&&b| temp >= b).count();
+        EmergencyLevel::from_index(idx)
+    }
+
+    /// Emergency level implied by the AMB temperature alone.
+    pub fn amb_level(&self, amb_temp_c: f64) -> EmergencyLevel {
+        Self::level_of(&self.amb_bounds, amb_temp_c)
+    }
+
+    /// Emergency level implied by the DRAM temperature alone.
+    pub fn dram_level(&self, dram_temp_c: f64) -> EmergencyLevel {
+        Self::level_of(&self.dram_bounds, dram_temp_c)
+    }
+
+    /// Overall emergency level: the more severe of the two devices' levels.
+    pub fn level(&self, amb_temp_c: f64, dram_temp_c: f64) -> EmergencyLevel {
+        self.amb_level(amb_temp_c).max(self.dram_level(dram_temp_c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> EmergencyThresholds {
+        EmergencyThresholds::table_4_3(&ThermalLimits::paper_fbdimm())
+    }
+
+    #[test]
+    fn table_4_3_boundaries_match_the_paper() {
+        let t = table();
+        assert_eq!(t.levels(), 5);
+        // AMB ranges: (-,108) [108,109) [109,109.5) [109.5,110) [110,-)
+        assert_eq!(t.amb_level(107.9), EmergencyLevel::L1);
+        assert_eq!(t.amb_level(108.0), EmergencyLevel::L2);
+        assert_eq!(t.amb_level(108.9), EmergencyLevel::L2);
+        assert_eq!(t.amb_level(109.0), EmergencyLevel::L3);
+        assert_eq!(t.amb_level(109.5), EmergencyLevel::L4);
+        assert_eq!(t.amb_level(110.0), EmergencyLevel::L5);
+        // DRAM ranges: (-,83) [83,84) [84,84.5) [84.5,85) [85,-)
+        assert_eq!(t.dram_level(82.9), EmergencyLevel::L1);
+        assert_eq!(t.dram_level(83.0), EmergencyLevel::L2);
+        assert_eq!(t.dram_level(84.2), EmergencyLevel::L3);
+        assert_eq!(t.dram_level(84.7), EmergencyLevel::L4);
+        assert_eq!(t.dram_level(85.5), EmergencyLevel::L5);
+    }
+
+    #[test]
+    fn combined_level_is_the_worse_of_the_two() {
+        let t = table();
+        assert_eq!(t.level(107.0, 84.6), EmergencyLevel::L4);
+        assert_eq!(t.level(109.6, 80.0), EmergencyLevel::L4);
+        assert_eq!(t.level(100.0, 70.0), EmergencyLevel::L1);
+        assert_eq!(t.level(111.0, 86.0), EmergencyLevel::L5);
+    }
+
+    #[test]
+    fn levels_order_and_index_round_trip() {
+        for (i, l) in EmergencyLevel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(EmergencyLevel::from_index(i), *l);
+        }
+        assert_eq!(EmergencyLevel::from_index(42), EmergencyLevel::L5);
+        assert!(EmergencyLevel::L4 > EmergencyLevel::L2);
+        assert_eq!(EmergencyLevel::L2.max(EmergencyLevel::L3), EmergencyLevel::L3);
+        assert_eq!(EmergencyLevel::L5.to_string(), "L5");
+    }
+
+    #[test]
+    fn tdp_sweep_shifts_all_boundaries() {
+        let lower = EmergencyThresholds::table_4_3(&ThermalLimits::paper_fbdimm().with_amb_tdp(100.0));
+        assert_eq!(lower.amb_level(98.2), EmergencyLevel::L2);
+        assert_eq!(lower.amb_level(100.0), EmergencyLevel::L5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_boundaries_are_rejected() {
+        let _ = EmergencyThresholds::new(vec![108.0, 107.0], vec![83.0, 84.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lists_are_rejected() {
+        let _ = EmergencyThresholds::new(vec![108.0], vec![83.0, 84.0]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Dynamic thermal management (DTM) schemes (Section 4.2).
+
+pub mod acg;
+pub mod bw;
+pub mod cdvfs;
+pub mod comb;
+pub mod emergency;
+pub mod no_limit;
+pub mod pid;
+pub mod policy;
+pub mod selector;
+pub mod ts;
+
+pub use acg::DtmAcg;
+pub use bw::DtmBw;
+pub use cdvfs::DtmCdvfs;
+pub use comb::DtmComb;
+pub use emergency::{EmergencyLevel, EmergencyThresholds};
+pub use no_limit::NoLimit;
+pub use pid::PidController;
+pub use policy::{DtmPolicy, DtmScheme};
+pub use ts::DtmTs;

@@ -1,0 +1,45 @@
+//! The thermally unconstrained baseline ("no thermal limit").
+
+use cpu_model::{CpuConfig, RunningMode};
+
+use crate::dtm::policy::{DtmPolicy, DtmScheme};
+
+/// A policy that never throttles, used as the normalization baseline of
+/// Figures 4.2–4.4 and 4.12 ("No-limit").
+#[derive(Debug, Clone)]
+pub struct NoLimit {
+    mode: RunningMode,
+}
+
+impl NoLimit {
+    /// Creates the baseline policy for a processor configuration.
+    pub fn new(cpu: &CpuConfig) -> Self {
+        NoLimit { mode: RunningMode::full_speed(cpu) }
+    }
+}
+
+impl DtmPolicy for NoLimit {
+    fn decide(&mut self, _amb_temp_c: f64, _dram_temp_c: f64, _dt_s: f64) -> RunningMode {
+        self.mode
+    }
+
+    fn scheme(&self) -> DtmScheme {
+        DtmScheme::NoLimit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_throttles_even_when_scorching() {
+        let mut p = NoLimit::new(&CpuConfig::paper_quad_core());
+        let mode = p.decide(150.0, 120.0, 0.01);
+        assert_eq!(mode.active_cores, 4);
+        assert_eq!(mode.bandwidth_cap, None);
+        assert_eq!(p.scheme(), DtmScheme::NoLimit);
+        assert_eq!(p.name(), "No-limit");
+        assert!(!p.uses_pid());
+    }
+}

@@ -1,0 +1,82 @@
+//! The DTM policy interface.
+
+use cpu_model::RunningMode;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a DTM scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DtmScheme {
+    /// No thermal management at all (the ideal, thermally unconstrained
+    /// baseline the paper normalizes against).
+    NoLimit,
+    /// Thermal shutdown (DTM-TS).
+    Ts,
+    /// Memory bandwidth throttling (DTM-BW).
+    Bw,
+    /// Adaptive core gating (DTM-ACG).
+    Acg,
+    /// Coordinated DVFS (DTM-CDVFS).
+    Cdvfs,
+    /// Combined core gating + DVFS (DTM-COMB, Chapter 5).
+    Comb,
+}
+
+impl std::fmt::Display for DtmScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DtmScheme::NoLimit => "No-limit",
+            DtmScheme::Ts => "DTM-TS",
+            DtmScheme::Bw => "DTM-BW",
+            DtmScheme::Acg => "DTM-ACG",
+            DtmScheme::Cdvfs => "DTM-CDVFS",
+            DtmScheme::Comb => "DTM-COMB",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A dynamic thermal management policy.
+///
+/// The second-level simulator calls [`DtmPolicy::decide`] once per DTM
+/// interval with the sensed AMB and DRAM temperatures; the policy returns
+/// the running mode for the next interval.
+pub trait DtmPolicy: std::fmt::Debug {
+    /// Chooses the running mode for the next interval. `dt_s` is the time
+    /// since the previous decision in seconds.
+    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode;
+
+    /// The scheme this policy implements.
+    fn scheme(&self) -> DtmScheme;
+
+    /// Whether the policy is driven by the PID formal controller.
+    fn uses_pid(&self) -> bool {
+        false
+    }
+
+    /// Human-readable name (e.g. `"DTM-ACG+PID"`).
+    fn name(&self) -> String {
+        if self.uses_pid() {
+            format!("{}+PID", self.scheme())
+        } else {
+            self.scheme().to_string()
+        }
+    }
+
+    /// Resets any internal controller state.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names_match_the_paper() {
+        assert_eq!(DtmScheme::Ts.to_string(), "DTM-TS");
+        assert_eq!(DtmScheme::Bw.to_string(), "DTM-BW");
+        assert_eq!(DtmScheme::Acg.to_string(), "DTM-ACG");
+        assert_eq!(DtmScheme::Cdvfs.to_string(), "DTM-CDVFS");
+        assert_eq!(DtmScheme::Comb.to_string(), "DTM-COMB");
+        assert_eq!(DtmScheme::NoLimit.to_string(), "No-limit");
+    }
+}

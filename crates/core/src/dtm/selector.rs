@@ -1,0 +1,130 @@
+//! Shared emergency-level selection logic for the multi-level DTM schemes.
+//!
+//! DTM-BW, DTM-ACG, DTM-CDVFS and DTM-COMB all quantize temperature into a
+//! thermal emergency level and map the level to a control decision. The
+//! quantization can be done either with the fixed thresholds of Table 4.3 or
+//! with the PID formal controller of Section 4.2.3; [`LevelSelector`]
+//! implements both so the policy types stay small.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dtm::emergency::{EmergencyLevel, EmergencyThresholds};
+use crate::dtm::pid::PidController;
+use crate::thermal::params::ThermalLimits;
+
+/// Selects a thermal emergency level from sensed temperatures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelSelector {
+    thresholds: EmergencyThresholds,
+    limits: ThermalLimits,
+    pid: Option<(PidController, PidController)>,
+}
+
+impl LevelSelector {
+    /// Threshold-based selection using Table 4.3 boundaries derived from the
+    /// given limits.
+    pub fn threshold(limits: ThermalLimits) -> Self {
+        LevelSelector { thresholds: EmergencyThresholds::table_4_3(&limits), limits, pid: None }
+    }
+
+    /// PID-based selection using the paper's AMB and DRAM controllers.
+    pub fn pid(limits: ThermalLimits) -> Self {
+        LevelSelector {
+            thresholds: EmergencyThresholds::table_4_3(&limits),
+            limits,
+            pid: Some((PidController::paper_amb(), PidController::paper_dram())),
+        }
+    }
+
+    /// PID-based selection with explicit controllers (used by the ablation
+    /// benches that sweep the gains).
+    pub fn pid_with(limits: ThermalLimits, amb: PidController, dram: PidController) -> Self {
+        LevelSelector { thresholds: EmergencyThresholds::table_4_3(&limits), limits, pid: Some((amb, dram)) }
+    }
+
+    /// Whether the selector uses the PID controllers.
+    pub fn uses_pid(&self) -> bool {
+        self.pid.is_some()
+    }
+
+    /// The thermal limits the selector enforces.
+    pub fn limits(&self) -> &ThermalLimits {
+        &self.limits
+    }
+
+    /// Resets controller state.
+    pub fn reset(&mut self) {
+        if let Some((amb, dram)) = &mut self.pid {
+            amb.reset();
+            dram.reset();
+        }
+    }
+
+    /// Selects the emergency level for the next interval.
+    pub fn select(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> EmergencyLevel {
+        // Reaching a TDP always forces the highest emergency level, PID or
+        // not: the chipset's fail-safe throttling stays in charge.
+        if amb_temp_c >= self.limits.amb_tdp_c || dram_temp_c >= self.limits.dram_tdp_c {
+            if let Some((amb, dram)) = &mut self.pid {
+                amb.update(amb_temp_c, dt_s);
+                dram.update(dram_temp_c, dt_s);
+            }
+            return EmergencyLevel::L5;
+        }
+        match &mut self.pid {
+            None => self.thresholds.level(amb_temp_c, dram_temp_c),
+            Some((amb_pid, dram_pid)) => {
+                let la = amb_pid.decide_level(amb_temp_c, dt_s, EmergencyLevel::ALL.len());
+                let ld = dram_pid.decide_level(dram_temp_c, dt_s, EmergencyLevel::ALL.len());
+                EmergencyLevel::from_index(la.max(ld))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_selector_matches_table_4_3() {
+        let mut s = LevelSelector::threshold(ThermalLimits::paper_fbdimm());
+        assert_eq!(s.select(100.0, 70.0, 0.01), EmergencyLevel::L1);
+        assert_eq!(s.select(108.2, 70.0, 0.01), EmergencyLevel::L2);
+        assert_eq!(s.select(109.7, 70.0, 0.01), EmergencyLevel::L4);
+        assert_eq!(s.select(100.0, 84.6, 0.01), EmergencyLevel::L4);
+        assert!(!s.uses_pid());
+    }
+
+    #[test]
+    fn tdp_forces_the_highest_level_even_with_pid() {
+        let mut s = LevelSelector::pid(ThermalLimits::paper_fbdimm());
+        assert_eq!(s.select(110.0, 70.0, 0.01), EmergencyLevel::L5);
+        assert_eq!(s.select(100.0, 85.0, 0.01), EmergencyLevel::L5);
+        assert!(s.uses_pid());
+    }
+
+    #[test]
+    fn pid_selector_allows_full_speed_when_cool() {
+        let mut s = LevelSelector::pid(ThermalLimits::paper_fbdimm());
+        assert_eq!(s.select(95.0, 70.0, 0.01), EmergencyLevel::L1);
+    }
+
+    #[test]
+    fn pid_selector_throttles_when_held_above_target() {
+        let mut s = LevelSelector::pid(ThermalLimits::paper_fbdimm());
+        let mut level = EmergencyLevel::L1;
+        for _ in 0..300 {
+            level = s.select(109.95, 70.0, 0.01);
+        }
+        assert!(level >= EmergencyLevel::L3, "level {level}");
+        s.reset();
+        assert_eq!(s.select(95.0, 60.0, 0.01), EmergencyLevel::L1);
+    }
+
+    #[test]
+    fn limits_accessor_exposes_the_configured_limits() {
+        let s = LevelSelector::threshold(ThermalLimits::paper_fbdimm());
+        assert_eq!(s.limits().amb_tdp_c, 110.0);
+    }
+}

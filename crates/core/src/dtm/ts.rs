@@ -1,0 +1,118 @@
+//! DTM-TS: thermal shutdown (Section 4.2.1).
+//!
+//! When either device reaches its thermal design point the memory subsystem
+//! is shut off completely; it is re-enabled once the temperature has dropped
+//! below the thermal release point (TRP). The TRP is the knob Figure 4.2
+//! sweeps.
+
+use cpu_model::{CpuConfig, RunningMode};
+
+use crate::dtm::policy::{DtmPolicy, DtmScheme};
+use crate::thermal::params::ThermalLimits;
+
+/// The thermal-shutdown policy.
+#[derive(Debug, Clone)]
+pub struct DtmTs {
+    cpu: CpuConfig,
+    limits: ThermalLimits,
+    shut_down: bool,
+}
+
+impl DtmTs {
+    /// Creates the policy with the given thermal limits (TDP and TRP).
+    pub fn new(cpu: CpuConfig, limits: ThermalLimits) -> Self {
+        DtmTs { cpu, limits, shut_down: false }
+    }
+
+    /// Whether the memory is currently shut down.
+    pub fn is_shut_down(&self) -> bool {
+        self.shut_down
+    }
+
+    /// The thermal limits in use.
+    pub fn limits(&self) -> &ThermalLimits {
+        &self.limits
+    }
+}
+
+impl DtmPolicy for DtmTs {
+    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, _dt_s: f64) -> RunningMode {
+        if amb_temp_c >= self.limits.amb_tdp_c || dram_temp_c >= self.limits.dram_tdp_c {
+            self.shut_down = true;
+        } else if self.shut_down
+            && amb_temp_c <= self.limits.amb_trp_c
+            && dram_temp_c <= self.limits.dram_trp_c
+        {
+            self.shut_down = false;
+        }
+        if self.shut_down {
+            RunningMode { active_cores: 0, op: self.cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) }
+        } else {
+            RunningMode::full_speed(&self.cpu)
+        }
+    }
+
+    fn scheme(&self) -> DtmScheme {
+        DtmScheme::Ts
+    }
+
+    fn reset(&mut self) {
+        self.shut_down = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DtmTs {
+        DtmTs::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm())
+    }
+
+    #[test]
+    fn stays_on_below_the_tdp() {
+        let mut p = policy();
+        assert!(p.decide(109.9, 84.9, 1.0).makes_progress());
+        assert!(!p.is_shut_down());
+    }
+
+    #[test]
+    fn shuts_down_at_the_tdp_and_stays_down_until_the_trp() {
+        let mut p = policy();
+        assert!(!p.decide(110.0, 80.0, 1.0).makes_progress());
+        // Still above the TRP: remains off (hysteresis).
+        assert!(!p.decide(109.5, 80.0, 1.0).makes_progress());
+        // At or below the TRP: back on.
+        assert!(p.decide(109.0, 80.0, 1.0).makes_progress());
+        assert!(!p.is_shut_down());
+    }
+
+    #[test]
+    fn dram_overheating_also_triggers_shutdown() {
+        let mut p = policy();
+        assert!(!p.decide(100.0, 85.2, 1.0).makes_progress());
+        // AMB is cool but DRAM has not released yet.
+        assert!(!p.decide(100.0, 84.5, 1.0).makes_progress());
+        assert!(p.decide(100.0, 83.9, 1.0).makes_progress());
+    }
+
+    #[test]
+    fn higher_trp_releases_earlier() {
+        let limits = ThermalLimits::paper_fbdimm().with_amb_trp(109.5);
+        let mut p = DtmTs::new(CpuConfig::paper_quad_core(), limits);
+        p.decide(110.0, 80.0, 1.0);
+        assert!(p.decide(109.6, 80.0, 1.0).makes_progress() == false);
+        assert!(p.decide(109.5, 80.0, 1.0).makes_progress());
+    }
+
+    #[test]
+    fn reset_clears_the_latch() {
+        let mut p = policy();
+        p.decide(111.0, 80.0, 1.0);
+        assert!(p.is_shut_down());
+        p.reset();
+        assert!(!p.is_shut_down());
+        assert_eq!(p.scheme(), DtmScheme::Ts);
+        assert_eq!(p.name(), "DTM-TS");
+    }
+}

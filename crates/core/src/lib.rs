@@ -1,0 +1,70 @@
+//! # memtherm
+//!
+//! The primary contribution of *Thermal modeling and management of DRAM
+//! memory systems* (ISCA 2007), reproduced as a library:
+//!
+//! * **Power models** of FBDIMM ([`power`]): DRAM chip power as a linear
+//!   function of read/write throughput (Eq. 3.1) and AMB power as a linear
+//!   function of local/bypass throughput (Eq. 3.2, Table 3.1).
+//! * **Thermal models** ([`thermal`]): steady-state AMB/DRAM temperatures
+//!   from thermal resistances (Eqs. 3.3–3.4, Table 3.2), first-order dynamic
+//!   temperature (Eq. 3.5), and the integrated model that adds
+//!   processor→memory heating of the DRAM ambient (Eq. 3.6, Table 3.3).
+//! * **DTM schemes** ([`dtm`]): thermal shutdown (DTM-TS), bandwidth
+//!   throttling (DTM-BW), adaptive core gating (DTM-ACG), coordinated DVFS
+//!   (DTM-CDVFS) and the combined policy (DTM-COMB), each optionally driven
+//!   by a PID formal controller (Eq. 4.1).
+//! * **The two-level thermal simulator** ([`sim`]): level 1 characterizes
+//!   workload mixes under every running mode using the `cpu-model` and
+//!   `fbdimm-sim` substrates; level 2 ("MEMSpot") replays those
+//!   characterizations in 10 ms windows over thousands of simulated seconds,
+//!   applying a DTM policy and integrating power, energy and temperature.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use memtherm::prelude::*;
+//!
+//! // Thermal emergency of a hot AMB under the paper's default cooling.
+//! let cooling = CoolingConfig::aohs_1_5();
+//! let mut model = IsolatedThermalModel::new(cooling, ThermalLimits::paper_fbdimm());
+//! let power = FbdimmPowerModel::paper_defaults();
+//! // 1 GB/s of local traffic plus 2 GB/s of bypass traffic on the hottest DIMM.
+//! let amb_w = power.amb.power_watts(2.0, 1.0, false);
+//! let dram_w = power.dram.power_watts(0.7, 0.3);
+//! for _ in 0..600 {
+//!     model.step(amb_w, dram_w, 1.0); // one second per step
+//! }
+//! assert!(model.amb_temp_c() > 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dtm;
+pub mod power;
+pub mod sim;
+pub mod thermal;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::dtm::emergency::{EmergencyLevel, EmergencyThresholds};
+    pub use crate::dtm::pid::PidController;
+    pub use crate::dtm::policy::{DtmPolicy, DtmScheme};
+    pub use crate::dtm::{acg::DtmAcg, bw::DtmBw, cdvfs::DtmCdvfs, comb::DtmComb, ts::DtmTs};
+    pub use crate::power::amb::AmbPowerModel;
+    pub use crate::power::dram::DramPowerModel;
+    pub use crate::power::fbdimm::FbdimmPowerModel;
+    pub use crate::sim::characterize::{CharPoint, CharacterizationTable};
+    pub use crate::sim::memspot::{MemSpot, MemSpotConfig, MemSpotResult};
+    pub use crate::sim::modes::{scheme_mode, ThermalRunningLevel};
+    pub use crate::thermal::integrated::IntegratedThermalModel;
+    pub use crate::thermal::isolated::IsolatedThermalModel;
+    pub use crate::thermal::params::{
+        AmbientParams, CoolingConfig, HeatSpreader, ThermalLimits, ThermalResistances,
+    };
+    pub use crate::thermal::rc::ThermalNode;
+    pub use cpu_model::{CpuConfig, OperatingPoint, PaperCpuPower, ProcessorPowerModel, RunningMode};
+    pub use fbdimm_sim::FbdimmConfig;
+    pub use workloads::{mixes, WorkloadMix};
+}

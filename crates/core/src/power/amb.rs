@@ -1,0 +1,96 @@
+//! AMB power model (Equation 3.2 and Table 3.1).
+//!
+//! `P_AMB = P_idle + β·Throughput_bypass + γ·Throughput_local`
+//!
+//! The idle power of the last AMB in a channel is lower (4.0 W vs 5.1 W)
+//! because it only has to stay synchronized with one neighbour.
+
+use serde::{Deserialize, Serialize};
+
+/// Power model of one Advanced Memory Buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmbPowerModel {
+    /// Idle power of the last AMB of a channel, watts (Table 3.1: 4.0 W).
+    pub idle_last_watts: f64,
+    /// Idle power of every other AMB, watts (Table 3.1: 5.1 W).
+    pub idle_other_watts: f64,
+    /// Bypass-throughput coefficient β in W/(GB/s) (Table 3.1: 0.19).
+    pub beta_bypass: f64,
+    /// Local-throughput coefficient γ in W/(GB/s) (Table 3.1: 0.75).
+    pub gamma_local: f64,
+}
+
+impl AmbPowerModel {
+    /// Parameters of Table 3.1 (1 GB DDR2-667x8 FBDIMM, 110 nm).
+    pub fn table_3_1() -> Self {
+        AmbPowerModel { idle_last_watts: 4.0, idle_other_watts: 5.1, beta_bypass: 0.19, gamma_local: 0.75 }
+    }
+
+    /// AMB power given bypass and local throughput in GB/s (Equation 3.2).
+    /// `is_last` selects the idle power of the last AMB in the daisy chain.
+    ///
+    /// ```
+    /// use memtherm::power::amb::AmbPowerModel;
+    /// let m = AmbPowerModel::table_3_1();
+    /// assert!((m.power_watts(0.0, 0.0, false) - 5.1).abs() < 1e-12);
+    /// assert!((m.power_watts(0.0, 0.0, true) - 4.0).abs() < 1e-12);
+    /// ```
+    pub fn power_watts(&self, bypass_gbps: f64, local_gbps: f64, is_last: bool) -> f64 {
+        let idle = if is_last { self.idle_last_watts } else { self.idle_other_watts };
+        idle + self.beta_bypass * bypass_gbps.max(0.0) + self.gamma_local * local_gbps.max(0.0)
+    }
+}
+
+impl Default for AmbPowerModel {
+    fn default() -> Self {
+        Self::table_3_1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_values_match_the_paper() {
+        let m = AmbPowerModel::table_3_1();
+        assert_eq!(m.idle_last_watts, 4.0);
+        assert_eq!(m.idle_other_watts, 5.1);
+        assert_eq!(m.beta_bypass, 0.19);
+        assert_eq!(m.gamma_local, 0.75);
+    }
+
+    #[test]
+    fn local_traffic_costs_more_than_bypass_traffic() {
+        let m = AmbPowerModel::table_3_1();
+        let local = m.power_watts(0.0, 1.0, false);
+        let bypass = m.power_watts(1.0, 0.0, false);
+        assert!(local > bypass, "a local request does more work in the AMB than a bypassed one");
+    }
+
+    #[test]
+    fn last_amb_idles_cooler() {
+        let m = AmbPowerModel::table_3_1();
+        assert!(m.power_watts(1.0, 1.0, true) < m.power_watts(1.0, 1.0, false));
+    }
+
+    #[test]
+    fn power_is_linear_and_clamps_negative_inputs() {
+        let m = AmbPowerModel::table_3_1();
+        let base = m.power_watts(0.0, 0.0, false);
+        let one = m.power_watts(2.0, 1.0, false) - base;
+        let two = m.power_watts(4.0, 2.0, false) - base;
+        assert!((two - 2.0 * one).abs() < 1e-9);
+        assert_eq!(m.power_watts(-3.0, -3.0, false), base);
+    }
+
+    #[test]
+    fn peak_amb_power_is_consistent_with_reported_power_density() {
+        // Section 3.1 quotes an AMB power density of up to 18.5 W/cm^2; the
+        // AMB die is on the order of 0.5 cm^2, so peak power should land in
+        // the 6-10 W range when a channel is saturated.
+        let m = AmbPowerModel::table_3_1();
+        let peak = m.power_watts(8.0, 2.7, false);
+        assert!(peak > 6.0 && peak < 10.5, "peak AMB power {peak} W");
+    }
+}

@@ -1,0 +1,88 @@
+//! DRAM chip power model (Equation 3.1).
+//!
+//! `P_DRAM = P_static + α1·Throughput_read + α2·Throughput_write`
+//!
+//! The coefficients are derived from the Micron DDR2 system-power calculator
+//! for a 1 GB DDR2-667x8 FBDIMM built in a 110 nm process, assuming the
+//! close-page mode with auto-precharge, no low-power modes, and banks all
+//! precharged 20 % of the time (the calculator's representative default):
+//! static power 0.98 W per DIMM, α1 = 1.12 W/(GB/s), α2 = 1.16 W/(GB/s).
+
+use serde::{Deserialize, Serialize};
+
+/// Power model of the DRAM devices of one FBDIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramPowerModel {
+    /// Static power per DIMM in watts (includes refresh).
+    pub static_watts: f64,
+    /// Read-throughput coefficient α1 in W/(GB/s).
+    pub alpha_read: f64,
+    /// Write-throughput coefficient α2 in W/(GB/s).
+    pub alpha_write: f64,
+}
+
+impl DramPowerModel {
+    /// Coefficients for the 1 GB DDR2-667x8 FBDIMM used throughout the
+    /// paper (Section 3.3).
+    pub fn ddr2_667_1gb() -> Self {
+        DramPowerModel { static_watts: 0.98, alpha_read: 1.12, alpha_write: 1.16 }
+    }
+
+    /// DRAM power of one DIMM given its read and write throughput in GB/s
+    /// (Equation 3.1).
+    ///
+    /// ```
+    /// use memtherm::power::dram::DramPowerModel;
+    /// let m = DramPowerModel::ddr2_667_1gb();
+    /// let idle = m.power_watts(0.0, 0.0);
+    /// assert!((idle - 0.98).abs() < 1e-12);
+    /// assert!(m.power_watts(1.0, 0.5) > idle);
+    /// ```
+    pub fn power_watts(&self, read_gbps: f64, write_gbps: f64) -> f64 {
+        self.static_watts + self.alpha_read * read_gbps.max(0.0) + self.alpha_write * write_gbps.max(0.0)
+    }
+}
+
+impl Default for DramPowerModel {
+    fn default() -> Self {
+        Self::ddr2_667_1gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_dimm_consumes_static_power_only() {
+        let m = DramPowerModel::ddr2_667_1gb();
+        assert!((m.power_watts(0.0, 0.0) - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_match_the_paper() {
+        let m = DramPowerModel::ddr2_667_1gb();
+        assert!((m.alpha_read - 1.12).abs() < 1e-12);
+        assert!((m.alpha_write - 1.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_is_linear_in_throughput() {
+        let m = DramPowerModel::ddr2_667_1gb();
+        let p1 = m.power_watts(1.0, 1.0) - m.static_watts;
+        let p2 = m.power_watts(2.0, 2.0) - m.static_watts;
+        assert!((p2 - 2.0 * p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_cost_slightly_more_than_reads() {
+        let m = DramPowerModel::ddr2_667_1gb();
+        assert!(m.power_watts(0.0, 1.0) > m.power_watts(1.0, 0.0));
+    }
+
+    #[test]
+    fn negative_throughput_is_clamped() {
+        let m = DramPowerModel::ddr2_667_1gb();
+        assert_eq!(m.power_watts(-1.0, -1.0), m.static_watts);
+    }
+}

@@ -1,0 +1,185 @@
+//! Whole-subsystem FBDIMM power accounting.
+//!
+//! Combines the per-DIMM DRAM and AMB power models over a traffic window
+//! produced by the memory simulator: per-DIMM power for the thermal model
+//! (which only cares about the hottest DIMM, Section 3.4) and total memory
+//! subsystem power for the energy results (Figure 4.9).
+
+use serde::{Deserialize, Serialize};
+
+use fbdimm_sim::{DimmTraffic, TrafficWindow};
+
+use crate::power::amb::AmbPowerModel;
+use crate::power::dram::DramPowerModel;
+
+/// Power of one DIMM position, split into its AMB and DRAM components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FbdimmPowerBreakdown {
+    /// AMB power in watts.
+    pub amb_watts: f64,
+    /// DRAM-devices power in watts.
+    pub dram_watts: f64,
+}
+
+impl FbdimmPowerBreakdown {
+    /// Total power of the DIMM.
+    pub fn total_watts(&self) -> f64 {
+        self.amb_watts + self.dram_watts
+    }
+}
+
+/// Combined power model of the FBDIMM memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FbdimmPowerModel {
+    /// Per-DIMM DRAM-devices model (Eq. 3.1).
+    pub dram: DramPowerModel,
+    /// Per-DIMM AMB model (Eq. 3.2).
+    pub amb: AmbPowerModel,
+}
+
+impl FbdimmPowerModel {
+    /// The paper's default coefficients (Table 3.1 and the Micron-derived
+    /// DRAM coefficients).
+    pub fn paper_defaults() -> Self {
+        FbdimmPowerModel { dram: DramPowerModel::ddr2_667_1gb(), amb: AmbPowerModel::table_3_1() }
+    }
+
+    /// Power of one DIMM position given its traffic split. `is_last` marks
+    /// the last DIMM of its channel, `dimms_per_channel` is used to decide
+    /// that from the position when the caller does not know.
+    pub fn dimm_power(&self, traffic: &DimmTraffic, is_last: bool) -> FbdimmPowerBreakdown {
+        let read = traffic.local_gbps * traffic.read_fraction;
+        let write = traffic.local_gbps * (1.0 - traffic.read_fraction);
+        FbdimmPowerBreakdown {
+            amb_watts: self.amb.power_watts(traffic.bypass_gbps, traffic.local_gbps, is_last),
+            dram_watts: self.dram.power_watts(read, write),
+        }
+    }
+
+    /// Power of the hottest DIMM of a traffic window — the quantity the
+    /// thermal model tracks (the DIMM closest to the controller carries the
+    /// most bypass traffic and is the thermal worst case).
+    pub fn hottest_dimm_power(&self, window: &TrafficWindow, dimms_per_channel: usize) -> FbdimmPowerBreakdown {
+        window
+            .dimms
+            .iter()
+            .map(|d| self.dimm_power(d, d.dimm + 1 == dimms_per_channel))
+            .max_by(|a, b| a.total_watts().partial_cmp(&b.total_watts()).unwrap_or(std::cmp::Ordering::Equal))
+            .unwrap_or_else(|| self.idle_dimm_power(false))
+    }
+
+    /// Power of an idle DIMM (no traffic at all).
+    pub fn idle_dimm_power(&self, is_last: bool) -> FbdimmPowerBreakdown {
+        FbdimmPowerBreakdown {
+            amb_watts: self.amb.power_watts(0.0, 0.0, is_last),
+            dram_watts: self.dram.power_watts(0.0, 0.0),
+        }
+    }
+
+    /// Total power of the whole memory subsystem over a traffic window.
+    /// `phys_per_position` physical DIMMs share each logical position (the
+    /// traffic window already reports per-physical-DIMM throughput).
+    pub fn subsystem_power_watts(
+        &self,
+        window: &TrafficWindow,
+        dimms_per_channel: usize,
+        phys_per_position: usize,
+    ) -> f64 {
+        let per_position: f64 = window
+            .dimms
+            .iter()
+            .map(|d| self.dimm_power(d, d.dimm + 1 == dimms_per_channel).total_watts())
+            .sum();
+        per_position * phys_per_position as f64
+    }
+
+    /// Total idle power of a subsystem with the given shape (used while the
+    /// memory is shut off by DTM or no characterization traffic exists).
+    pub fn subsystem_idle_power_watts(
+        &self,
+        logical_channels: usize,
+        dimms_per_channel: usize,
+        phys_per_position: usize,
+    ) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..logical_channels {
+            for dimm in 0..dimms_per_channel {
+                let is_last = dimm + 1 == dimms_per_channel;
+                total += self.idle_dimm_power(is_last).total_watts();
+            }
+        }
+        total * phys_per_position as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_with(dimms: Vec<DimmTraffic>) -> TrafficWindow {
+        TrafficWindow { dimms, ..TrafficWindow::default() }
+    }
+
+    #[test]
+    fn hottest_dimm_is_the_one_with_most_traffic() {
+        let model = FbdimmPowerModel::paper_defaults();
+        let dimms = vec![
+            DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 3.0, read_fraction: 0.7 },
+            DimmTraffic { channel: 0, dimm: 3, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 0.7 },
+        ];
+        let w = window_with(dimms);
+        let hottest = model.hottest_dimm_power(&w, 4);
+        let near = model.dimm_power(&w.dimms[0], false);
+        assert!((hottest.total_watts() - near.total_watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_falls_back_to_idle_power() {
+        let model = FbdimmPowerModel::paper_defaults();
+        let w = window_with(vec![]);
+        let p = model.hottest_dimm_power(&w, 4);
+        assert!((p.amb_watts - 5.1).abs() < 1e-9);
+        assert!((p.dram_watts - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subsystem_power_scales_with_physical_dimm_count() {
+        let model = FbdimmPowerModel::paper_defaults();
+        let dimms = vec![DimmTraffic { channel: 0, dimm: 0, local_gbps: 0.5, bypass_gbps: 1.0, read_fraction: 0.6 }];
+        let w = window_with(dimms);
+        let one = model.subsystem_power_watts(&w, 4, 1);
+        let two = model.subsystem_power_watts(&w, 4, 2);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_subsystem_power_matches_paper_scale() {
+        // 16 physical idle DIMMs: AMB idle (5.1 or 4.0) + DRAM static 0.98.
+        // Three of four positions use 5.1 W AMBs, the last 4.0 W.
+        let model = FbdimmPowerModel::paper_defaults();
+        let p = model.subsystem_idle_power_watts(2, 4, 2);
+        let expected = 2.0 * 2.0 * (3.0 * (5.1 + 0.98) + (4.0 + 0.98));
+        assert!((p - expected).abs() < 1e-9, "idle power {p}, expected {expected}");
+        // This is the scale (~80-100 W peak with traffic) Section 2.2 quotes.
+        assert!(p > 60.0 && p < 100.0);
+    }
+
+    #[test]
+    fn dimm_power_splits_reads_and_writes() {
+        let model = FbdimmPowerModel::paper_defaults();
+        let all_reads =
+            DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 1.0 };
+        let all_writes =
+            DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 0.0 };
+        let pr = model.dimm_power(&all_reads, false);
+        let pw = model.dimm_power(&all_writes, false);
+        assert!(pw.dram_watts > pr.dram_watts, "write column accesses cost slightly more");
+        assert_eq!(pw.amb_watts, pr.amb_watts);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let b = FbdimmPowerBreakdown { amb_watts: 5.0, dram_watts: 2.0 };
+        assert!((b.total_watts() - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,9 @@
+//! FBDIMM power models (Section 3.3).
+
+pub mod amb;
+pub mod dram;
+pub mod fbdimm;
+
+pub use amb::AmbPowerModel;
+pub use dram::DramPowerModel;
+pub use fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};

@@ -1,0 +1,311 @@
+//! Level-1 design-point characterization.
+//!
+//! The first level of the two-level simulator (Section 4.3.1) produces, for
+//! every workload mix and every running mode the DTM schemes can select, the
+//! performance and memory-throughput numbers the second level replays:
+//! aggregate instruction rate, per-core weights, read/write throughput, the
+//! per-DIMM local/bypass traffic split and the shared-cache miss statistics.
+//! [`CharacterizationTable`] builds these points lazily (one closed-loop
+//! `cpu-model` + `fbdimm-sim` run per distinct mode) and caches them — the
+//! analogue of the paper's `Wi × D` trace set.
+
+use std::collections::HashMap;
+
+use cpu_model::{CpuConfig, MulticoreSim, RunMeasurement, RunningMode};
+use fbdimm_sim::{DimmTraffic, FbdimmConfig};
+use serde::{Deserialize, Serialize};
+use workloads::AppBehavior;
+
+/// One characterized design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharPoint {
+    /// The running mode this point describes.
+    pub mode: RunningMode,
+    /// Aggregate committed-instruction rate, instructions per second.
+    pub instr_rate_total: f64,
+    /// Per-core share of the aggregate instruction rate (sums to 1 over the
+    /// active cores; inactive cores are 0).
+    pub core_share: Vec<f64>,
+    /// Memory read throughput in GB/s.
+    pub read_gbps: f64,
+    /// Memory write throughput in GB/s.
+    pub write_gbps: f64,
+    /// Per-DIMM-position traffic split (for the AMB/DRAM power models).
+    pub dimm_traffic: Vec<DimmTraffic>,
+    /// Sum over cores of reference-cycle IPC (the Σ IPC term of Eq. 3.6).
+    pub ipc_ref_sum: f64,
+    /// Shared-L2 miss rate over the run.
+    pub l2_miss_rate: f64,
+    /// L2 misses per committed instruction.
+    pub l2_misses_per_instr: f64,
+    /// Memory traffic per committed instruction, bytes.
+    pub bytes_per_instr: f64,
+}
+
+impl CharPoint {
+    /// Derives a point from a raw first-level measurement.
+    pub fn from_measurement(m: &RunMeasurement) -> Self {
+        let total_instr: u64 = m.cores.iter().map(|c| c.instructions).sum();
+        let total_misses: u64 = m.cores.iter().map(|c| c.l2_misses).sum();
+        let secs = m.elapsed_secs().max(1e-12);
+        let core_share = if total_instr == 0 {
+            vec![0.0; m.cores.len()]
+        } else {
+            m.cores.iter().map(|c| c.instructions as f64 / total_instr as f64).collect()
+        };
+        CharPoint {
+            mode: m.mode,
+            instr_rate_total: total_instr as f64 / secs,
+            core_share,
+            read_gbps: m.traffic.read_gbps,
+            write_gbps: m.traffic.write_gbps,
+            dimm_traffic: m.traffic.dimms.clone(),
+            ipc_ref_sum: m.total_ipc_ref(),
+            l2_miss_rate: m.l2_miss_rate(),
+            l2_misses_per_instr: if total_instr == 0 { 0.0 } else { total_misses as f64 / total_instr as f64 },
+            bytes_per_instr: m.bytes_per_instruction(),
+        }
+    }
+
+    /// Total memory throughput in GB/s.
+    pub fn total_gbps(&self) -> f64 {
+        self.read_gbps + self.write_gbps
+    }
+
+    /// An all-zero point for modes that make no progress.
+    pub fn idle(mode: RunningMode, cores: usize, mem_cfg: &FbdimmConfig) -> Self {
+        let dimm_traffic = (0..mem_cfg.logical_channels)
+            .flat_map(|c| (0..mem_cfg.dimms_per_channel).map(move |d| (c, d)))
+            .map(|(channel, dimm)| DimmTraffic { channel, dimm, ..Default::default() })
+            .collect();
+        CharPoint {
+            mode,
+            instr_rate_total: 0.0,
+            core_share: vec![0.0; cores],
+            read_gbps: 0.0,
+            write_gbps: 0.0,
+            dimm_traffic,
+            ipc_ref_sum: 0.0,
+            l2_miss_rate: 0.0,
+            l2_misses_per_instr: 0.0,
+            bytes_per_instr: 0.0,
+        }
+    }
+}
+
+/// Quantized key identifying a running mode (so nearly identical floating
+/// point modes share one characterization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ModeKey {
+    active_cores: usize,
+    freq_mhz: u32,
+    cap_mbps: u32,
+}
+
+impl ModeKey {
+    fn from_mode(mode: &RunningMode) -> Self {
+        ModeKey {
+            active_cores: mode.active_cores,
+            freq_mhz: (mode.op.freq_ghz * 1000.0).round() as u32,
+            cap_mbps: match mode.bandwidth_cap {
+                None => u32::MAX,
+                Some(cap) => (cap / 1e6).round() as u32,
+            },
+        }
+    }
+}
+
+/// Lazily-built, cached characterization of one workload mix across running
+/// modes.
+#[derive(Debug)]
+pub struct CharacterizationTable {
+    sim: MulticoreSim,
+    apps: Vec<AppBehavior>,
+    budget: u64,
+    cache: HashMap<ModeKey, CharPoint>,
+}
+
+impl CharacterizationTable {
+    /// Creates a table for the given mix of applications. `budget` is the
+    /// number of demand L2 accesses simulated per design point (larger =
+    /// more accurate, slower).
+    pub fn new(cpu: CpuConfig, mem: FbdimmConfig, apps: Vec<AppBehavior>, budget: u64) -> Self {
+        CharacterizationTable { sim: MulticoreSim::new(cpu, mem), apps, budget, cache: HashMap::new() }
+    }
+
+    /// Number of design points characterized so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no design point has been characterized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The applications of the mix being characterized.
+    pub fn apps(&self) -> &[AppBehavior] {
+        &self.apps
+    }
+
+    /// Returns the characterization of `mode`, simulating it on first use.
+    ///
+    /// For modes that gate some cores (DTM-ACG / DTM-COMB), the schemes
+    /// rotate the gated cores round-robin among the applications for
+    /// fairness; the characterization therefore averages over all rotations
+    /// of the application list, so every application's cache behaviour
+    /// contributes to the gated design point.
+    pub fn point(&mut self, mode: &RunningMode) -> CharPoint {
+        let key = ModeKey::from_mode(mode);
+        if let Some(p) = self.cache.get(&key) {
+            return p.clone();
+        }
+        let point = if mode.makes_progress() {
+            let active = mode.active_cores.min(self.apps.len()).min(self.sim.cpu_config().cores);
+            if active < self.apps.len() {
+                self.rotation_averaged_point(mode)
+            } else {
+                let m = self.sim.run(&self.apps, mode, self.budget);
+                CharPoint::from_measurement(&m)
+            }
+        } else {
+            CharPoint::idle(*mode, self.sim.cpu_config().cores, self.sim.memory_config())
+        };
+        self.cache.insert(key, point.clone());
+        point
+    }
+
+    fn rotation_averaged_point(&mut self, mode: &RunningMode) -> CharPoint {
+        let n = self.apps.len();
+        let rotations = n.max(1);
+        let cores = self.sim.cpu_config().cores;
+        let budget = (self.budget / rotations as u64).max(1_000);
+
+        let mut acc: Option<CharPoint> = None;
+        let mut app_share = vec![0.0f64; cores.max(n)];
+        for offset in 0..rotations {
+            let rotated: Vec<_> =
+                (0..n).map(|i| self.apps[(offset + i) % n].clone()).collect();
+            let m = self.sim.run(&rotated, mode, budget);
+            let p = CharPoint::from_measurement(&m);
+            // Attribute each core's share back to the application that was
+            // running on it under this rotation.
+            for (core_pos, share) in p.core_share.iter().enumerate() {
+                let app_index = (offset + core_pos) % n;
+                app_share[app_index] += share / rotations as f64;
+            }
+            acc = Some(match acc {
+                None => p,
+                Some(mut a) => {
+                    a.instr_rate_total += p.instr_rate_total;
+                    a.read_gbps += p.read_gbps;
+                    a.write_gbps += p.write_gbps;
+                    a.ipc_ref_sum += p.ipc_ref_sum;
+                    a.l2_miss_rate += p.l2_miss_rate;
+                    a.l2_misses_per_instr += p.l2_misses_per_instr;
+                    a.bytes_per_instr += p.bytes_per_instr;
+                    for (d, pd) in a.dimm_traffic.iter_mut().zip(p.dimm_traffic.iter()) {
+                        d.local_gbps += pd.local_gbps;
+                        d.bypass_gbps += pd.bypass_gbps;
+                        d.read_fraction += pd.read_fraction;
+                    }
+                    a
+                }
+            });
+        }
+        let mut avg = acc.expect("at least one rotation");
+        let r = rotations as f64;
+        avg.instr_rate_total /= r;
+        avg.read_gbps /= r;
+        avg.write_gbps /= r;
+        avg.ipc_ref_sum /= r;
+        avg.l2_miss_rate /= r;
+        avg.l2_misses_per_instr /= r;
+        avg.bytes_per_instr /= r;
+        for d in avg.dimm_traffic.iter_mut() {
+            d.local_gbps /= r;
+            d.bypass_gbps /= r;
+            d.read_fraction /= r;
+        }
+        // Shares are per application; they already average to 1 across apps.
+        app_share.truncate(cores.max(n));
+        avg.core_share = app_share;
+        avg.mode = *mode;
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::mixes;
+
+    fn table() -> CharacterizationTable {
+        CharacterizationTable::new(
+            CpuConfig::paper_quad_core(),
+            FbdimmConfig::ddr2_667_paper(),
+            mixes::w1().apps,
+            15_000,
+        )
+    }
+
+    #[test]
+    fn points_are_cached_and_deterministic() {
+        let mut t = table();
+        let full = RunningMode::full_speed(&CpuConfig::paper_quad_core());
+        let a = t.point(&full);
+        assert_eq!(t.len(), 1);
+        let b = t.point(&full);
+        assert_eq!(t.len(), 1, "second lookup must hit the cache");
+        assert_eq!(a, b);
+        assert!(!t.is_empty());
+        assert_eq!(t.apps().len(), 4);
+    }
+
+    #[test]
+    fn full_speed_point_has_plausible_w1_characteristics() {
+        let mut t = table();
+        let p = t.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core()));
+        assert!(p.total_gbps() > 8.0, "W1 aggregate throughput {}", p.total_gbps());
+        assert!(p.instr_rate_total > 1e9, "instruction rate {}", p.instr_rate_total);
+        assert!(p.ipc_ref_sum > 0.2 && p.ipc_ref_sum < 8.0);
+        assert!((p.core_share.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.l2_miss_rate > 0.2 && p.l2_miss_rate <= 1.0);
+        assert!(p.bytes_per_instr > 0.1);
+        assert!(!p.dimm_traffic.is_empty());
+    }
+
+    #[test]
+    fn gated_point_reduces_traffic_and_misses_per_instruction() {
+        let mut t = table();
+        let cpu = CpuConfig::paper_quad_core();
+        let full = t.point(&RunningMode::full_speed(&cpu));
+        let two = t.point(&RunningMode::full_speed(&cpu).with_active_cores(2));
+        assert!(two.total_gbps() < full.total_gbps());
+        assert!(two.l2_misses_per_instr < full.l2_misses_per_instr);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn shut_off_mode_characterizes_as_idle_without_simulation() {
+        let mut t = table();
+        let cpu = CpuConfig::paper_quad_core();
+        let off = RunningMode { active_cores: 0, op: cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) };
+        let p = t.point(&off);
+        assert_eq!(p.instr_rate_total, 0.0);
+        assert_eq!(p.total_gbps(), 0.0);
+        assert_eq!(p.dimm_traffic.len(), 8);
+    }
+
+    #[test]
+    fn mode_quantization_merges_equivalent_modes() {
+        let mut t = table();
+        let cpu = CpuConfig::paper_quad_core();
+        let a = RunningMode::full_speed(&cpu).with_bandwidth_cap_gbps(6.4);
+        let mut b = a;
+        b.bandwidth_cap = Some(6.4e9 + 10.0); // negligible difference
+        t.point(&a);
+        t.point(&b);
+        assert_eq!(t.len(), 1);
+    }
+}

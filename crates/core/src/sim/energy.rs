@@ -1,0 +1,96 @@
+//! Energy accounting for the second-level simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Integrates memory and processor power over simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyAccumulator {
+    memory_joules: f64,
+    cpu_joules: f64,
+    elapsed_s: f64,
+}
+
+impl EnergyAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one interval of `dt_s` seconds at the given power draws.
+    pub fn add(&mut self, memory_watts: f64, cpu_watts: f64, dt_s: f64) {
+        debug_assert!(dt_s >= 0.0);
+        self.memory_joules += memory_watts * dt_s;
+        self.cpu_joules += cpu_watts * dt_s;
+        self.elapsed_s += dt_s;
+    }
+
+    /// Total memory-subsystem energy in joules.
+    pub fn memory_joules(&self) -> f64 {
+        self.memory_joules
+    }
+
+    /// Total processor energy in joules.
+    pub fn cpu_joules(&self) -> f64 {
+        self.cpu_joules
+    }
+
+    /// Combined processor + memory energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.memory_joules + self.cpu_joules
+    }
+
+    /// Simulated time covered by the accumulator, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Average memory power over the covered time, watts.
+    pub fn avg_memory_watts(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.memory_joules / self.elapsed_s
+        }
+    }
+
+    /// Average processor power over the covered time, watts.
+    pub fn avg_cpu_watts(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.cpu_joules / self.elapsed_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let mut e = EnergyAccumulator::new();
+        e.add(80.0, 260.0, 10.0);
+        assert!((e.memory_joules() - 800.0).abs() < 1e-9);
+        assert!((e.cpu_joules() - 2_600.0).abs() < 1e-9);
+        assert!((e.total_joules() - 3_400.0).abs() < 1e-9);
+        assert!((e.elapsed_s() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_divide_by_elapsed_time() {
+        let mut e = EnergyAccumulator::new();
+        e.add(50.0, 100.0, 2.0);
+        e.add(100.0, 200.0, 2.0);
+        assert!((e.avg_memory_watts() - 75.0).abs() < 1e-9);
+        assert!((e.avg_cpu_watts() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero_averages() {
+        let e = EnergyAccumulator::new();
+        assert_eq!(e.avg_memory_watts(), 0.0);
+        assert_eq!(e.avg_cpu_watts(), 0.0);
+        assert_eq!(e.total_joules(), 0.0);
+    }
+}

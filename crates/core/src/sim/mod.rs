@@ -1,0 +1,11 @@
+//! The two-level thermal simulator (Section 4.3.1).
+
+pub mod characterize;
+pub mod energy;
+pub mod memspot;
+pub mod modes;
+
+pub use characterize::{CharPoint, CharacterizationTable};
+pub use energy::EnergyAccumulator;
+pub use memspot::{MemSpot, MemSpotConfig, MemSpotResult};
+pub use modes::{scheme_mode, ThermalRunningLevel};

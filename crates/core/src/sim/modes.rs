@@ -1,0 +1,135 @@
+//! Thermal running levels: the mapping from emergency level to control
+//! decision for every DTM scheme (Table 4.3).
+
+use cpu_model::{CpuConfig, RunningMode};
+use serde::{Deserialize, Serialize};
+
+use crate::dtm::emergency::EmergencyLevel;
+use crate::dtm::policy::DtmScheme;
+
+/// A thermal running level: an emergency level paired with the scheme that
+/// interprets it. Mostly useful for reporting (mode residency statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThermalRunningLevel {
+    /// The DTM scheme.
+    pub scheme: DtmScheme,
+    /// The emergency level driving the decision.
+    pub level: EmergencyLevel,
+}
+
+impl std::fmt::Display for ThermalRunningLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.scheme, self.level)
+    }
+}
+
+/// The DTM-BW bandwidth limits of Table 4.3, in GB/s, for levels L2..L4.
+pub const BW_LIMITS_GBPS: [f64; 3] = [19.2, 12.8, 6.4];
+
+/// Returns the running mode a scheme selects at a given emergency level
+/// (Table 4.3). The highest emergency level shuts the memory subsystem off
+/// for every scheme.
+pub fn scheme_mode(scheme: DtmScheme, level: EmergencyLevel, cpu: &CpuConfig) -> RunningMode {
+    let full = RunningMode::full_speed(cpu);
+    let off = RunningMode { active_cores: 0, op: cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) };
+    if level == EmergencyLevel::L5 {
+        return off;
+    }
+    match scheme {
+        DtmScheme::NoLimit => full,
+        DtmScheme::Ts => full,
+        DtmScheme::Bw => match level {
+            EmergencyLevel::L1 => full,
+            EmergencyLevel::L2 => full.with_bandwidth_cap_gbps(BW_LIMITS_GBPS[0]),
+            EmergencyLevel::L3 => full.with_bandwidth_cap_gbps(BW_LIMITS_GBPS[1]),
+            EmergencyLevel::L4 => full.with_bandwidth_cap_gbps(BW_LIMITS_GBPS[2]),
+            EmergencyLevel::L5 => off,
+        },
+        DtmScheme::Acg => full.with_active_cores(cpu.cores.saturating_sub(level.index())),
+        DtmScheme::Cdvfs => full.with_op(cpu.dvfs.point(level.index())),
+        DtmScheme::Comb => match level {
+            EmergencyLevel::L1 => full,
+            EmergencyLevel::L2 => full.with_active_cores(3).with_op(cpu.dvfs.point(1)),
+            EmergencyLevel::L3 => full.with_active_cores(2).with_op(cpu.dvfs.point(2)),
+            EmergencyLevel::L4 => full.with_active_cores(2).with_op(cpu.dvfs.point(3)),
+            EmergencyLevel::L5 => off,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuConfig {
+        CpuConfig::paper_quad_core()
+    }
+
+    #[test]
+    fn l1_is_always_full_speed() {
+        let cpu = cpu();
+        for scheme in [DtmScheme::Ts, DtmScheme::Bw, DtmScheme::Acg, DtmScheme::Cdvfs, DtmScheme::Comb] {
+            let mode = scheme_mode(scheme, EmergencyLevel::L1, &cpu);
+            assert_eq!(mode.active_cores, 4, "{scheme}");
+            assert_eq!(mode.bandwidth_cap, None, "{scheme}");
+            assert!((mode.op.freq_ghz - 3.2).abs() < 1e-9, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn l5_shuts_the_memory_off_for_every_scheme() {
+        let cpu = cpu();
+        for scheme in [DtmScheme::Ts, DtmScheme::Bw, DtmScheme::Acg, DtmScheme::Cdvfs, DtmScheme::Comb] {
+            let mode = scheme_mode(scheme, EmergencyLevel::L5, &cpu);
+            assert!(!mode.makes_progress(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn bw_limits_match_table_4_3() {
+        let cpu = cpu();
+        let caps: Vec<_> = [EmergencyLevel::L2, EmergencyLevel::L3, EmergencyLevel::L4]
+            .iter()
+            .map(|&l| scheme_mode(DtmScheme::Bw, l, &cpu).bandwidth_cap.unwrap() / 1e9)
+            .collect();
+        assert_eq!(caps, vec![19.2, 12.8, 6.4]);
+    }
+
+    #[test]
+    fn acg_sheds_one_core_per_level() {
+        let cpu = cpu();
+        let cores: Vec<_> = [EmergencyLevel::L1, EmergencyLevel::L2, EmergencyLevel::L3, EmergencyLevel::L4]
+            .iter()
+            .map(|&l| scheme_mode(DtmScheme::Acg, l, &cpu).active_cores)
+            .collect();
+        assert_eq!(cores, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn cdvfs_descends_the_dvfs_ladder() {
+        let cpu = cpu();
+        let freqs: Vec<_> = [EmergencyLevel::L1, EmergencyLevel::L2, EmergencyLevel::L3, EmergencyLevel::L4]
+            .iter()
+            .map(|&l| scheme_mode(DtmScheme::Cdvfs, l, &cpu).op.freq_ghz)
+            .collect();
+        assert_eq!(freqs, vec![3.2, 2.8, 1.6, 0.8]);
+        // All four cores stay active at every non-shutdown level.
+        for l in [EmergencyLevel::L2, EmergencyLevel::L3, EmergencyLevel::L4] {
+            assert_eq!(scheme_mode(DtmScheme::Cdvfs, l, &cpu).active_cores, 4);
+        }
+    }
+
+    #[test]
+    fn comb_combines_gating_and_dvfs() {
+        let cpu = cpu();
+        let l3 = scheme_mode(DtmScheme::Comb, EmergencyLevel::L3, &cpu);
+        assert_eq!(l3.active_cores, 2);
+        assert!((l3.op.freq_ghz - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_level_display_is_compact() {
+        let rl = ThermalRunningLevel { scheme: DtmScheme::Acg, level: EmergencyLevel::L3 };
+        assert_eq!(rl.to_string(), "DTM-ACG@L3");
+    }
+}

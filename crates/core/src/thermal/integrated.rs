@@ -1,0 +1,195 @@
+//! Integrated FBDIMM thermal model (Section 3.5).
+//!
+//! Extends the isolated model with a dynamic DRAM-ambient temperature: the
+//! cooling air is pre-heated by the processors before it reaches the DIMMs,
+//! so the memory inlet temperature follows the processors' activity
+//! (Equation 3.6) with its own thermal RC constant (20 s).
+
+use serde::{Deserialize, Serialize};
+
+use crate::thermal::params::{AmbientParams, CoolingConfig, ThermalLimits, ThermalResistances};
+use crate::thermal::rc::ThermalNode;
+
+/// The integrated thermal model: AMB + DRAM + dynamic memory ambient.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntegratedThermalModel {
+    cooling: CoolingConfig,
+    resistances: ThermalResistances,
+    limits: ThermalLimits,
+    ambient_params: AmbientParams,
+    ambient: ThermalNode,
+    amb: ThermalNode,
+    dram: ThermalNode,
+}
+
+impl IntegratedThermalModel {
+    /// Creates a model with the DRAM ambient starting at the system inlet
+    /// temperature and both devices at that ambient.
+    pub fn new(cooling: CoolingConfig, limits: ThermalLimits) -> Self {
+        Self::with_ambient_params(cooling, limits, AmbientParams::integrated(&cooling))
+    }
+
+    /// Creates a model with explicit ambient parameters (used by the
+    /// thermal-interaction sensitivity study, Section 4.5.2).
+    pub fn with_ambient_params(cooling: CoolingConfig, limits: ThermalLimits, ambient_params: AmbientParams) -> Self {
+        let resistances = cooling.resistances();
+        let start = ambient_params.system_inlet_c;
+        IntegratedThermalModel {
+            cooling,
+            resistances,
+            limits,
+            ambient_params,
+            ambient: ThermalNode::new(start, ambient_params.tau_cpu_dram_s),
+            amb: ThermalNode::new(start, resistances.tau_amb_s),
+            dram: ThermalNode::new(start, resistances.tau_dram_s),
+        }
+    }
+
+    /// The cooling configuration in use.
+    pub fn cooling(&self) -> &CoolingConfig {
+        &self.cooling
+    }
+
+    /// The thermal limits in use.
+    pub fn limits(&self) -> &ThermalLimits {
+        &self.limits
+    }
+
+    /// The ambient-model parameters in use.
+    pub fn ambient_params(&self) -> &AmbientParams {
+        &self.ambient_params
+    }
+
+    /// Current memory ambient (processor exhaust / memory inlet) temperature.
+    pub fn ambient_temp_c(&self) -> f64 {
+        self.ambient.temp_c()
+    }
+
+    /// Current AMB temperature.
+    pub fn amb_temp_c(&self) -> f64 {
+        self.amb.temp_c()
+    }
+
+    /// Current DRAM temperature.
+    pub fn dram_temp_c(&self) -> f64 {
+        self.dram.temp_c()
+    }
+
+    /// Advances the model by `dt_s` seconds. `sum_voltage_ipc` is the
+    /// processors' Σ(V_core_i × IPC_core_i) term of Equation 3.6 (IPC in
+    /// reference cycles); `amb_power_w`/`dram_power_w` are the hottest
+    /// DIMM's device powers. Returns `(ambient, amb, dram)` temperatures.
+    pub fn step(&mut self, amb_power_w: f64, dram_power_w: f64, sum_voltage_ipc: f64, dt_s: f64) -> (f64, f64, f64) {
+        let stable_ambient = self.ambient_params.stable_ambient_c(sum_voltage_ipc);
+        let ambient = self.ambient.step(stable_ambient, dt_s);
+        let stable_amb =
+            ambient + amb_power_w * self.resistances.psi_amb + dram_power_w * self.resistances.psi_dram_amb;
+        let stable_dram =
+            ambient + amb_power_w * self.resistances.psi_amb_dram + dram_power_w * self.resistances.psi_dram;
+        (ambient, self.amb.step(stable_amb, dt_s), self.dram.step(stable_dram, dt_s))
+    }
+
+    /// Whether either device currently exceeds its thermal design point.
+    pub fn over_tdp(&self) -> bool {
+        self.amb_temp_c() >= self.limits.amb_tdp_c || self.dram_temp_c() >= self.limits.dram_tdp_c
+    }
+
+    /// Forces all three node temperatures.
+    pub fn set_temps_c(&mut self, ambient_c: f64, amb_c: f64, dram_c: f64) {
+        self.ambient.set_temp_c(ambient_c);
+        self.amb.set_temp_c(amb_c);
+        self.dram.set_temp_c(dram_c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IntegratedThermalModel {
+        IntegratedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm())
+    }
+
+    #[test]
+    fn ambient_rises_with_processor_activity() {
+        let mut m = model();
+        let start = m.ambient_temp_c();
+        for _ in 0..300 {
+            // Four busy cores at 1.55 V with IPC ~1 each.
+            m.step(5.5, 1.5, 4.0 * 1.55, 1.0);
+        }
+        assert!(m.ambient_temp_c() > start + 5.0, "ambient only reached {:.1}", m.ambient_temp_c());
+    }
+
+    #[test]
+    fn idle_processors_keep_ambient_at_inlet() {
+        let mut m = model();
+        for _ in 0..300 {
+            m.step(5.1, 0.98, 0.0, 1.0);
+        }
+        assert!((m.ambient_temp_c() - m.ambient_params().system_inlet_c).abs() < 0.01);
+    }
+
+    #[test]
+    fn stronger_interaction_degree_heats_memory_more() {
+        let cooling = CoolingConfig::fdhs_1_0();
+        let limits = ThermalLimits::paper_fbdimm();
+        let mut weak = IntegratedThermalModel::with_ambient_params(
+            cooling,
+            limits,
+            AmbientParams::integrated(&cooling).with_interaction_degree(1.0),
+        );
+        let mut strong = IntegratedThermalModel::with_ambient_params(
+            cooling,
+            limits,
+            AmbientParams::integrated(&cooling).with_interaction_degree(2.0),
+        );
+        for _ in 0..400 {
+            weak.step(6.0, 2.0, 5.0, 1.0);
+            strong.step(6.0, 2.0, 5.0, 1.0);
+        }
+        assert!(strong.amb_temp_c() > weak.amb_temp_c());
+        assert!(strong.dram_temp_c() > weak.dram_temp_c());
+    }
+
+    #[test]
+    fn lowering_processor_voltage_lowers_memory_temperature() {
+        // The mechanism behind DTM-CDVFS's advantage in the integrated model:
+        // the same memory traffic with cooler processors yields cooler DIMMs.
+        let mut fast = model();
+        let mut slow = model();
+        for _ in 0..600 {
+            fast.step(6.0, 2.0, 4.0 * 1.55, 1.0); // 4 cores at 1.55 V
+            slow.step(6.0, 2.0, 4.0 * 0.95 * 0.8, 1.0); // 4 cores at 0.95 V, lower IPC
+        }
+        assert!(slow.amb_temp_c() < fast.amb_temp_c() - 2.0);
+    }
+
+    #[test]
+    fn ambient_reacts_faster_than_the_dram_devices() {
+        // tau_CPU_DRAM = 20 s vs tau_DRAM = 100 s.
+        let mut m = model();
+        m.step(6.0, 2.0, 6.0, 10.0);
+        let ambient_progress =
+            (m.ambient_temp_c() - 45.0) / (m.ambient_params().stable_ambient_c(6.0) - 45.0);
+        assert!(ambient_progress > 0.35, "ambient progress {ambient_progress}");
+        // DRAM has barely moved by comparison toward its own stable point.
+        assert!(m.dram_temp_c() < 60.0);
+    }
+
+    #[test]
+    fn over_tdp_reflects_forced_state() {
+        let mut m = model();
+        assert!(!m.over_tdp());
+        m.set_temps_c(55.0, 110.5, 80.0);
+        assert!(m.over_tdp());
+    }
+
+    #[test]
+    fn integrated_inlet_is_five_degrees_below_isolated_ambient() {
+        let m = model();
+        assert_eq!(m.ambient_params().system_inlet_c, 45.0);
+        assert_eq!(m.cooling().isolated_ambient_c(), 50.0);
+        assert_eq!(m.limits().amb_tdp_c, 110.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Isolated FBDIMM thermal model (Section 3.4).
+//!
+//! Tracks the AMB and DRAM temperatures of the hottest DIMM. The memory
+//! ambient temperature is a constant (Table 3.3); stable temperatures follow
+//! Equations 3.3 and 3.4, dynamics follow Equation 3.5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::thermal::params::{CoolingConfig, ThermalLimits, ThermalResistances};
+use crate::thermal::rc::ThermalNode;
+
+/// The isolated thermal model of one (worst-case) FBDIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsolatedThermalModel {
+    cooling: CoolingConfig,
+    resistances: ThermalResistances,
+    limits: ThermalLimits,
+    ambient_c: f64,
+    amb: ThermalNode,
+    dram: ThermalNode,
+}
+
+impl IsolatedThermalModel {
+    /// Creates a model with both devices initially at the ambient
+    /// temperature of the cooling configuration (Table 3.3).
+    pub fn new(cooling: CoolingConfig, limits: ThermalLimits) -> Self {
+        let resistances = cooling.resistances();
+        let ambient_c = cooling.isolated_ambient_c();
+        IsolatedThermalModel {
+            cooling,
+            resistances,
+            limits,
+            ambient_c,
+            amb: ThermalNode::new(ambient_c, resistances.tau_amb_s),
+            dram: ThermalNode::new(ambient_c, resistances.tau_dram_s),
+        }
+    }
+
+    /// Overrides the constant ambient temperature (used by sensitivity
+    /// studies).
+    pub fn with_ambient_c(mut self, ambient_c: f64) -> Self {
+        self.ambient_c = ambient_c;
+        self
+    }
+
+    /// The cooling configuration in use.
+    pub fn cooling(&self) -> &CoolingConfig {
+        &self.cooling
+    }
+
+    /// The thermal limits in use.
+    pub fn limits(&self) -> &ThermalLimits {
+        &self.limits
+    }
+
+    /// The (constant) memory ambient temperature.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Current AMB temperature in °C.
+    pub fn amb_temp_c(&self) -> f64 {
+        self.amb.temp_c()
+    }
+
+    /// Current DRAM temperature in °C.
+    pub fn dram_temp_c(&self) -> f64 {
+        self.dram.temp_c()
+    }
+
+    /// Stable AMB temperature for the given device powers (Equation 3.3).
+    pub fn stable_amb_c(&self, amb_power_w: f64, dram_power_w: f64) -> f64 {
+        self.ambient_c + amb_power_w * self.resistances.psi_amb + dram_power_w * self.resistances.psi_dram_amb
+    }
+
+    /// Stable DRAM temperature for the given device powers (Equation 3.4).
+    pub fn stable_dram_c(&self, amb_power_w: f64, dram_power_w: f64) -> f64 {
+        self.ambient_c + amb_power_w * self.resistances.psi_amb_dram + dram_power_w * self.resistances.psi_dram
+    }
+
+    /// Advances the model by `dt_s` seconds with the given device powers.
+    /// Returns the new `(amb, dram)` temperatures.
+    pub fn step(&mut self, amb_power_w: f64, dram_power_w: f64, dt_s: f64) -> (f64, f64) {
+        let stable_amb = self.stable_amb_c(amb_power_w, dram_power_w);
+        let stable_dram = self.stable_dram_c(amb_power_w, dram_power_w);
+        (self.amb.step(stable_amb, dt_s), self.dram.step(stable_dram, dt_s))
+    }
+
+    /// Whether either device currently exceeds its thermal design point.
+    pub fn over_tdp(&self) -> bool {
+        self.amb_temp_c() >= self.limits.amb_tdp_c || self.dram_temp_c() >= self.limits.dram_tdp_c
+    }
+
+    /// Forces the device temperatures (used to start experiments from a
+    /// known hot state).
+    pub fn set_temps_c(&mut self, amb_c: f64, dram_c: f64) {
+        self.amb.set_temp_c(amb_c);
+        self.dram.set_temp_c(dram_c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_power() -> (f64, f64) {
+        // A busy hottest DIMM: ~6.5 W AMB, ~2 W DRAM.
+        (6.5, 2.0)
+    }
+
+    #[test]
+    fn idle_dimm_settles_well_below_the_limits_under_aohs() {
+        let mut m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        for _ in 0..3_000 {
+            m.step(5.1, 0.98, 1.0);
+        }
+        assert!(m.amb_temp_c() < m.limits().amb_tdp_c, "idle AMB at {:.1} °C", m.amb_temp_c());
+        assert!(m.dram_temp_c() < m.limits().dram_tdp_c);
+    }
+
+    #[test]
+    fn saturated_dimm_exceeds_the_amb_limit_under_aohs() {
+        // Under AOHS_1.5 the AMB is the component that overheats (Section 4.4.1).
+        let m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let (amb_w, dram_w) = hot_power();
+        assert!(m.stable_amb_c(amb_w, dram_w) > 110.0);
+        assert!(m.stable_dram_c(amb_w, dram_w) < 85.0);
+    }
+
+    #[test]
+    fn saturated_dimm_exceeds_the_dram_limit_under_fdhs() {
+        // Under FDHS_1.0 the DRAM devices reach their limit first.
+        let m = IsolatedThermalModel::new(CoolingConfig::fdhs_1_0(), ThermalLimits::paper_fbdimm());
+        let (amb_w, dram_w) = hot_power();
+        assert!(m.stable_dram_c(amb_w, dram_w) > 85.0);
+        assert!(m.stable_amb_c(amb_w, dram_w) < 110.0);
+    }
+
+    #[test]
+    fn heating_takes_tens_of_seconds_not_milliseconds() {
+        // Section 4.3.1: AMB/DRAM overheat in tens of seconds to over a
+        // hundred seconds (unlike processors, which overheat in ms).
+        let mut m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let (amb_w, dram_w) = hot_power();
+        let mut seconds = 0.0;
+        while m.amb_temp_c() < 110.0 && seconds < 1_000.0 {
+            m.step(amb_w, dram_w, 1.0);
+            seconds += 1.0;
+        }
+        assert!(seconds > 20.0 && seconds < 200.0, "overheated after {seconds} s");
+        assert!(m.over_tdp());
+    }
+
+    #[test]
+    fn step_moves_toward_stable_temperatures_monotonically() {
+        let mut m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let (amb_w, dram_w) = hot_power();
+        let mut last = m.amb_temp_c();
+        for _ in 0..100 {
+            let (amb, _) = m.step(amb_w, dram_w, 1.0);
+            assert!(amb >= last);
+            last = amb;
+        }
+        assert!(last <= m.stable_amb_c(amb_w, dram_w));
+    }
+
+    #[test]
+    fn cooling_after_shutdown_brings_temperature_down() {
+        let mut m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        m.set_temps_c(110.0, 84.0);
+        // Memory shut down: AMB drops to idle power.
+        for _ in 0..60 {
+            m.step(5.1, 0.98, 1.0);
+        }
+        assert!(m.amb_temp_c() < 110.0);
+        assert!(!m.over_tdp());
+    }
+
+    #[test]
+    fn ambient_override_shifts_stable_temperatures() {
+        let base = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let hot = base.with_ambient_c(60.0);
+        assert!(hot.stable_amb_c(5.0, 1.0) > base.stable_amb_c(5.0, 1.0));
+        assert_eq!(hot.ambient_c(), 60.0);
+    }
+}

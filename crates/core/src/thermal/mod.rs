@@ -1,0 +1,11 @@
+//! FBDIMM thermal models (Sections 3.4 and 3.5).
+
+pub mod integrated;
+pub mod isolated;
+pub mod params;
+pub mod rc;
+
+pub use integrated::IntegratedThermalModel;
+pub use isolated::IsolatedThermalModel;
+pub use params::{AmbientParams, CoolingConfig, HeatSpreader, ThermalLimits, ThermalResistances};
+pub use rc::ThermalNode;

@@ -1,0 +1,301 @@
+//! Thermal parameters (Tables 3.2 and 3.3) and thermal design points.
+
+use serde::{Deserialize, Serialize};
+
+/// Type of heat spreader mounted on the FBDIMM (Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeatSpreader {
+    /// AMB-Only Heat Spreader: covers only the AMB.
+    Aohs,
+    /// Full-DIMM Heat Spreader: covers the AMB and the DRAM devices.
+    Fdhs,
+}
+
+impl std::fmt::Display for HeatSpreader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeatSpreader::Aohs => write!(f, "AOHS"),
+            HeatSpreader::Fdhs => write!(f, "FDHS"),
+        }
+    }
+}
+
+/// Thermal resistances of one FBDIMM for a given cooling configuration
+/// (Table 3.2), in °C per watt, plus the thermal RC time constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalResistances {
+    /// Ψ_AMB: AMB power to AMB temperature.
+    pub psi_amb: f64,
+    /// Ψ_DRAM_AMB: DRAM power to AMB temperature.
+    pub psi_dram_amb: f64,
+    /// Ψ_DRAM: DRAM power to DRAM temperature.
+    pub psi_dram: f64,
+    /// Ψ_AMB_DRAM: AMB power to DRAM temperature.
+    pub psi_amb_dram: f64,
+    /// τ_AMB: AMB thermal time constant in seconds (Table 3.2: 50 s).
+    pub tau_amb_s: f64,
+    /// τ_DRAM: DRAM thermal time constant in seconds (Table 3.2: 100 s).
+    pub tau_dram_s: f64,
+}
+
+/// A cooling configuration: heat spreader type and cooling-air velocity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingConfig {
+    /// Heat spreader type.
+    pub spreader: HeatSpreader,
+    /// Cooling-air velocity in m/s (Table 3.2 tabulates 1.0, 1.5 and 3.0).
+    pub air_velocity_mps: f64,
+}
+
+impl CoolingConfig {
+    /// `AOHS_1.5`: AMB-only heat spreader with 1.5 m/s air (one of the two
+    /// configurations used in the experiments).
+    pub fn aohs_1_5() -> Self {
+        CoolingConfig { spreader: HeatSpreader::Aohs, air_velocity_mps: 1.5 }
+    }
+
+    /// `FDHS_1.0`: full-DIMM heat spreader with 1.0 m/s air (the other
+    /// experimental configuration).
+    pub fn fdhs_1_0() -> Self {
+        CoolingConfig { spreader: HeatSpreader::Fdhs, air_velocity_mps: 1.0 }
+    }
+
+    /// A short identifier (`"AOHS_1.5"`, `"FDHS_1.0"`, ...).
+    pub fn label(&self) -> String {
+        format!("{}_{:.1}", self.spreader, self.air_velocity_mps)
+    }
+
+    /// Thermal resistances for this cooling configuration (Table 3.2). Air
+    /// velocities between table columns are linearly interpolated; values
+    /// outside the table range are clamped to the nearest column.
+    pub fn resistances(&self) -> ThermalResistances {
+        // Table columns: air velocity 1.0, 1.5, 3.0 m/s.
+        const VELOCITIES: [f64; 3] = [1.0, 1.5, 3.0];
+        let (psi_amb, psi_dram_amb, psi_dram, psi_amb_dram): ([f64; 3], [f64; 3], [f64; 3], [f64; 3]) =
+            match self.spreader {
+                HeatSpreader::Aohs => (
+                    [11.2, 9.3, 6.6],
+                    [4.3, 3.4, 2.2],
+                    [4.9, 4.0, 2.7],
+                    [5.3, 4.1, 2.6],
+                ),
+                HeatSpreader::Fdhs => (
+                    [8.0, 7.0, 5.5],
+                    [4.4, 3.7, 2.9],
+                    [4.0, 3.3, 2.3],
+                    [5.7, 4.5, 2.9],
+                ),
+            };
+        let interp = |col: &[f64; 3]| -> f64 {
+            let v = self.air_velocity_mps;
+            if v <= VELOCITIES[0] {
+                return col[0];
+            }
+            if v >= VELOCITIES[2] {
+                return col[2];
+            }
+            let (lo, hi, a, b) = if v <= VELOCITIES[1] {
+                (VELOCITIES[0], VELOCITIES[1], col[0], col[1])
+            } else {
+                (VELOCITIES[1], VELOCITIES[2], col[1], col[2])
+            };
+            a + (b - a) * (v - lo) / (hi - lo)
+        };
+        ThermalResistances {
+            psi_amb: interp(&psi_amb),
+            psi_dram_amb: interp(&psi_dram_amb),
+            psi_dram: interp(&psi_dram),
+            psi_amb_dram: interp(&psi_amb_dram),
+            tau_amb_s: 50.0,
+            tau_dram_s: 100.0,
+        }
+    }
+
+    /// Default memory ambient (inlet) temperature for the *isolated* thermal
+    /// model under this configuration (Table 3.3): 50 °C for AOHS_1.5 and
+    /// 45 °C for FDHS_1.0.
+    pub fn isolated_ambient_c(&self) -> f64 {
+        match self.spreader {
+            HeatSpreader::Aohs => 50.0,
+            HeatSpreader::Fdhs => 45.0,
+        }
+    }
+
+    /// Default *system inlet* temperature for the integrated thermal model
+    /// (Table 3.3): 45 °C for AOHS_1.5 and 40 °C for FDHS_1.0.
+    pub fn integrated_inlet_c(&self) -> f64 {
+        self.isolated_ambient_c() - 5.0
+    }
+}
+
+/// Parameters of the DRAM-ambient (memory inlet) model of Section 3.5 /
+/// Table 3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmbientParams {
+    /// System inlet temperature in °C.
+    pub system_inlet_c: f64,
+    /// Combined coefficient Ψ_CPU_MEM × ξ of Equation 3.6 (1.5 in the
+    /// integrated model, 0.0 in the isolated model).
+    pub psi_cpu_mem_xi: f64,
+    /// Thermal RC constant of the CPU→DRAM ambient path, seconds (20 s).
+    pub tau_cpu_dram_s: f64,
+}
+
+impl AmbientParams {
+    /// Isolated-model parameters: the ambient is a constant equal to the
+    /// configured memory inlet temperature.
+    pub fn isolated(cooling: &CoolingConfig) -> Self {
+        AmbientParams { system_inlet_c: cooling.isolated_ambient_c(), psi_cpu_mem_xi: 0.0, tau_cpu_dram_s: 20.0 }
+    }
+
+    /// Integrated-model parameters (Table 3.3): lower inlet temperature plus
+    /// processor heating with Ψ_CPU_MEM × ξ = 1.5.
+    pub fn integrated(cooling: &CoolingConfig) -> Self {
+        AmbientParams { system_inlet_c: cooling.integrated_inlet_c(), psi_cpu_mem_xi: 1.5, tau_cpu_dram_s: 20.0 }
+    }
+
+    /// Returns a copy with a different thermal-interaction degree
+    /// (Section 4.5.2 sweeps 1.0, 1.5, 2.0).
+    pub fn with_interaction_degree(mut self, degree: f64) -> Self {
+        self.psi_cpu_mem_xi = degree;
+        self
+    }
+
+    /// Stable DRAM-ambient temperature given the processors' Σ(V_i × IPC_i)
+    /// activity term (Equation 3.6).
+    pub fn stable_ambient_c(&self, sum_voltage_ipc: f64) -> f64 {
+        self.system_inlet_c + self.psi_cpu_mem_xi * sum_voltage_ipc.max(0.0)
+    }
+}
+
+/// Thermal design points (TDP) and release points (TRP) of the AMB and the
+/// DRAM devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalLimits {
+    /// AMB thermal design point in °C.
+    pub amb_tdp_c: f64,
+    /// DRAM thermal design point in °C.
+    pub dram_tdp_c: f64,
+    /// AMB thermal release point in °C (DTM-TS re-enables below this).
+    pub amb_trp_c: f64,
+    /// DRAM thermal release point in °C.
+    pub dram_trp_c: f64,
+}
+
+impl ThermalLimits {
+    /// The FBDIMM limits used in the simulation study (Section 4.3.3):
+    /// AMB TDP 110 °C, DRAM TDP 85 °C, release points 1 °C below.
+    pub fn paper_fbdimm() -> Self {
+        ThermalLimits { amb_tdp_c: 110.0, dram_tdp_c: 85.0, amb_trp_c: 109.0, dram_trp_c: 84.0 }
+    }
+
+    /// Returns a copy with a different AMB TRP (Figure 4.2 sweeps this).
+    pub fn with_amb_trp(mut self, trp_c: f64) -> Self {
+        self.amb_trp_c = trp_c;
+        self
+    }
+
+    /// Returns a copy with a different DRAM TRP (Figure 4.2 sweeps this).
+    pub fn with_dram_trp(mut self, trp_c: f64) -> Self {
+        self.dram_trp_c = trp_c;
+        self
+    }
+
+    /// Returns a copy with a different AMB TDP, shifting the TRP to keep the
+    /// same margin (Figure 5.14 sweeps the TDP).
+    pub fn with_amb_tdp(mut self, tdp_c: f64) -> Self {
+        let margin = self.amb_tdp_c - self.amb_trp_c;
+        self.amb_tdp_c = tdp_c;
+        self.amb_trp_c = tdp_c - margin;
+        self
+    }
+}
+
+impl Default for ThermalLimits {
+    fn default() -> Self {
+        Self::paper_fbdimm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_2_columns_are_reproduced_exactly() {
+        let aohs15 = CoolingConfig::aohs_1_5().resistances();
+        assert!((aohs15.psi_amb - 9.3).abs() < 1e-12);
+        assert!((aohs15.psi_dram_amb - 3.4).abs() < 1e-12);
+        assert!((aohs15.psi_dram - 4.0).abs() < 1e-12);
+        assert!((aohs15.psi_amb_dram - 4.1).abs() < 1e-12);
+
+        let fdhs10 = CoolingConfig::fdhs_1_0().resistances();
+        assert!((fdhs10.psi_amb - 8.0).abs() < 1e-12);
+        assert!((fdhs10.psi_dram_amb - 4.4).abs() < 1e-12);
+        assert!((fdhs10.psi_dram - 4.0).abs() < 1e-12);
+        assert!((fdhs10.psi_amb_dram - 5.7).abs() < 1e-12);
+
+        assert_eq!(aohs15.tau_amb_s, 50.0);
+        assert_eq!(aohs15.tau_dram_s, 100.0);
+    }
+
+    #[test]
+    fn faster_air_always_cools_better() {
+        for spreader in [HeatSpreader::Aohs, HeatSpreader::Fdhs] {
+            let slow = CoolingConfig { spreader, air_velocity_mps: 1.0 }.resistances();
+            let fast = CoolingConfig { spreader, air_velocity_mps: 3.0 }.resistances();
+            assert!(fast.psi_amb < slow.psi_amb);
+            assert!(fast.psi_dram < slow.psi_dram);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_monotone_and_clamped() {
+        let mid = CoolingConfig { spreader: HeatSpreader::Aohs, air_velocity_mps: 2.0 }.resistances();
+        assert!(mid.psi_amb < 9.3 && mid.psi_amb > 6.6);
+        let low = CoolingConfig { spreader: HeatSpreader::Aohs, air_velocity_mps: 0.5 }.resistances();
+        assert!((low.psi_amb - 11.2).abs() < 1e-12);
+        let high = CoolingConfig { spreader: HeatSpreader::Aohs, air_velocity_mps: 9.0 }.resistances();
+        assert!((high.psi_amb - 6.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_3_3_ambient_temperatures() {
+        assert_eq!(CoolingConfig::aohs_1_5().isolated_ambient_c(), 50.0);
+        assert_eq!(CoolingConfig::fdhs_1_0().isolated_ambient_c(), 45.0);
+        assert_eq!(CoolingConfig::aohs_1_5().integrated_inlet_c(), 45.0);
+        assert_eq!(CoolingConfig::fdhs_1_0().integrated_inlet_c(), 40.0);
+    }
+
+    #[test]
+    fn ambient_params_reflect_model_choice() {
+        let cooling = CoolingConfig::aohs_1_5();
+        let iso = AmbientParams::isolated(&cooling);
+        let int = AmbientParams::integrated(&cooling);
+        assert_eq!(iso.psi_cpu_mem_xi, 0.0);
+        assert_eq!(int.psi_cpu_mem_xi, 1.5);
+        // Isolated ambient never responds to processor activity.
+        assert_eq!(iso.stable_ambient_c(4.0), 50.0);
+        assert!(int.stable_ambient_c(4.0) > int.stable_ambient_c(0.0));
+        assert_eq!(int.with_interaction_degree(2.0).psi_cpu_mem_xi, 2.0);
+    }
+
+    #[test]
+    fn thermal_limits_default_to_110_and_85() {
+        let l = ThermalLimits::paper_fbdimm();
+        assert_eq!(l.amb_tdp_c, 110.0);
+        assert_eq!(l.dram_tdp_c, 85.0);
+        assert_eq!(l.amb_trp_c, 109.0);
+        assert_eq!(l.dram_trp_c, 84.0);
+        let shifted = l.with_amb_tdp(100.0);
+        assert_eq!(shifted.amb_trp_c, 99.0);
+        assert_eq!(l.with_amb_trp(108.5).amb_trp_c, 108.5);
+        assert_eq!(l.with_dram_trp(83.0).dram_trp_c, 83.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CoolingConfig::aohs_1_5().label(), "AOHS_1.5");
+        assert_eq!(CoolingConfig::fdhs_1_0().label(), "FDHS_1.0");
+    }
+}

@@ -1,0 +1,162 @@
+//! First-order thermal RC node (Equation 3.5).
+//!
+//! `T(t + Δt) = T(t) + (T_stable − T(t)) · (1 − e^(−Δt/τ))`
+//!
+//! The temperature of a component behaves like the voltage on an RC circuit
+//! charging toward the stable temperature implied by the current power. The
+//! paper observes no meaningful thermal-leakage feedback for DRAM devices
+//! and AMBs (≈2 % power increase over the full temperature range), so the
+//! node deliberately has no leakage loop.
+
+use serde::{Deserialize, Serialize};
+
+/// One first-order thermal node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalNode {
+    temp_c: f64,
+    tau_s: f64,
+}
+
+impl ThermalNode {
+    /// Creates a node at `initial_c` with time constant `tau_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_s` is not strictly positive.
+    pub fn new(initial_c: f64, tau_s: f64) -> Self {
+        assert!(tau_s > 0.0, "thermal time constant must be positive");
+        ThermalNode { temp_c: initial_c, tau_s }
+    }
+
+    /// Current temperature in °C.
+    pub fn temp_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Time constant in seconds.
+    pub fn tau_s(&self) -> f64 {
+        self.tau_s
+    }
+
+    /// Forces the temperature (used to initialize a model at a known state).
+    pub fn set_temp_c(&mut self, temp_c: f64) {
+        self.temp_c = temp_c;
+    }
+
+    /// Advances the node by `dt_s` seconds toward `stable_c` (Equation 3.5)
+    /// and returns the new temperature.
+    pub fn step(&mut self, stable_c: f64, dt_s: f64) -> f64 {
+        if dt_s > 0.0 {
+            let alpha = 1.0 - (-dt_s / self.tau_s).exp();
+            self.temp_c += (stable_c - self.temp_c) * alpha;
+        }
+        self.temp_c
+    }
+
+    /// Time in seconds needed to move from the current temperature to
+    /// `target_c` if the stable temperature stays at `stable_c`. Returns
+    /// `None` if the target is unreachable (not between the current and the
+    /// stable temperature).
+    pub fn time_to_reach(&self, target_c: f64, stable_c: f64) -> Option<f64> {
+        let from = self.temp_c;
+        let num = stable_c - target_c;
+        let den = stable_c - from;
+        if den == 0.0 {
+            return if (target_c - from).abs() < f64::EPSILON { Some(0.0) } else { None };
+        }
+        let ratio = num / den;
+        if ratio <= 0.0 || ratio > 1.0 {
+            return None;
+        }
+        Some(-self.tau_s * ratio.ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_converges_to_stable_temperature() {
+        let mut node = ThermalNode::new(50.0, 50.0);
+        for _ in 0..2_000 {
+            node.step(110.0, 1.0);
+        }
+        assert!((node.temp_c() - 110.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn one_tau_covers_sixty_three_percent_of_the_gap() {
+        let mut node = ThermalNode::new(0.0, 50.0);
+        node.step(100.0, 50.0);
+        let expected = 100.0 * (1.0 - (-1.0f64).exp());
+        assert!((node.temp_c() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_small_steps_equal_one_large_step() {
+        let mut fine = ThermalNode::new(40.0, 50.0);
+        let mut coarse = ThermalNode::new(40.0, 50.0);
+        for _ in 0..1_000 {
+            fine.step(95.0, 0.01);
+        }
+        coarse.step(95.0, 10.0);
+        assert!((fine.temp_c() - coarse.temp_c()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cooling_works_symmetrically_to_heating() {
+        let mut hot = ThermalNode::new(110.0, 50.0);
+        hot.step(50.0, 50.0);
+        let expected = 110.0 - 60.0 * (1.0 - (-1.0f64).exp());
+        assert!((hot.temp_c() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dt_changes_nothing() {
+        let mut node = ThermalNode::new(75.0, 100.0);
+        node.step(120.0, 0.0);
+        assert_eq!(node.temp_c(), 75.0);
+    }
+
+    #[test]
+    fn time_to_reach_matches_integration() {
+        let node = ThermalNode::new(50.0, 50.0);
+        let t = node.time_to_reach(100.0, 115.0).unwrap();
+        // Integrate and confirm we arrive at ~100 °C after t seconds.
+        let mut sim = node;
+        let mut remaining = t;
+        while remaining > 0.0 {
+            let dt = remaining.min(0.01);
+            sim.step(115.0, dt);
+            remaining -= dt;
+        }
+        assert!((sim.temp_c() - 100.0).abs() < 0.05, "reached {}", sim.temp_c());
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let node = ThermalNode::new(50.0, 50.0);
+        // Target above the stable temperature can never be reached.
+        assert!(node.time_to_reach(120.0, 110.0).is_none());
+        // Target below the current temperature while heating is unreachable.
+        assert!(node.time_to_reach(40.0, 110.0).is_none());
+    }
+
+    #[test]
+    fn dram_heats_slower_than_amb() {
+        // tau_DRAM = 100 s vs tau_AMB = 50 s: after the same time under the
+        // same stable target the AMB is closer to it.
+        let mut amb = ThermalNode::new(50.0, 50.0);
+        let mut dram = ThermalNode::new(50.0, 100.0);
+        amb.step(100.0, 30.0);
+        dram.step(100.0, 30.0);
+        assert!(amb.temp_c() > dram.temp_c());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tau_is_rejected() {
+        let _ = ThermalNode::new(25.0, 0.0);
+    }
+}

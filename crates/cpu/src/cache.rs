@@ -1,0 +1,312 @@
+//! Set-associative cache model with true LRU replacement.
+//!
+//! The shared L2 cache is the piece of the processor that matters most to
+//! the thermal study: its miss rate under different numbers of co-running
+//! programs determines the memory traffic, which determines DRAM/AMB heat
+//! generation. The model is a straightforward tag-only set-associative cache
+//! with per-set LRU, dirty bits for write-back traffic, and hit/miss/
+//! write-back statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes / self.associativity as u64).max(1) as usize
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if any dimension is zero or the capacity is
+    /// not an exact multiple of `associativity * line_bytes`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity_bytes == 0 || self.line_bytes == 0 || self.associativity == 0 {
+            return Err("cache dimensions must be positive".into());
+        }
+        if self.capacity_bytes % (self.line_bytes * self.associativity as u64) != 0 {
+            return Err("capacity must be a multiple of associativity x line size".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent; if a dirty victim was evicted its line address is
+    /// carried here so the caller can issue the write-back.
+    Miss {
+        /// Dirty victim evicted by the fill, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// Returns `true` for hits.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Dirty evictions (write-backs generated).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; 0 when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic timestamp of last use (larger = more recent).
+    lru: u64,
+}
+
+impl Way {
+    fn empty() -> Self {
+        Way { tag: 0, valid: false, dirty: false, lru: 0 }
+    }
+}
+
+/// A set-associative, write-back, allocate-on-miss cache with LRU
+/// replacement, addressed by 64-byte line address.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache configuration");
+        let sets = vec![vec![Way::empty(); cfg.associativity]; cfg.sets()];
+        SetAssocCache { cfg, sets, stats: CacheStats::default(), clock: 0 }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index_and_tag(&self, line: u64) -> (usize, u64) {
+        let sets = self.sets.len() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+
+    /// Accesses `line`; `is_write` marks the line dirty on hit or fill.
+    /// Returns whether the access hit and, on a miss, any dirty victim whose
+    /// write-back the caller must issue.
+    pub fn access(&mut self, line: u64, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.index_and_tag(line);
+        let sets = self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+
+        // Hit path.
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.clock;
+            way.dirty |= is_write;
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: fill into an invalid way or evict the LRU way.
+        self.stats.misses += 1;
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .find(|(_, w)| !w.valid)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                set.iter().enumerate().min_by_key(|(_, w)| w.lru).map(|(i, _)| i).expect("non-empty set")
+            });
+        let victim = set[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some(victim.tag * sets + set_idx as u64)
+        } else {
+            None
+        };
+        set[victim_idx] = Way { tag, valid: true, dirty: is_write, lru: self.clock };
+        AccessOutcome::Miss { writeback }
+    }
+
+    /// Invalidates the whole cache, discarding dirty data (used when a
+    /// program's copy finishes and its footprint is recycled).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                *way = Way::empty();
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> SetAssocCache {
+        // 64 lines, 4-way, 16 sets.
+        SetAssocCache::new(CacheConfig { capacity_bytes: 64 * 64, associativity: 4, line_bytes: 64 })
+    }
+
+    #[test]
+    fn config_geometry_is_consistent() {
+        let cfg = CacheConfig { capacity_bytes: 4 * 1024 * 1024, associativity: 8, line_bytes: 64 };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.sets(), 8192);
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        assert!(CacheConfig { capacity_bytes: 0, associativity: 8, line_bytes: 64 }.validate().is_err());
+        assert!(CacheConfig { capacity_bytes: 1000, associativity: 8, line_bytes: 64 }.validate().is_err());
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(42, false).is_hit());
+        assert!(c.access(42, false).is_hit());
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_always_misses_on_second_pass_with_lru() {
+        let mut c = small_cache(); // 64 lines capacity
+        // Stream 128 distinct lines twice; LRU means nothing survives.
+        for _pass in 0..2 {
+            for line in 0..128u64 {
+                c.access(line, false);
+            }
+        }
+        assert_eq!(c.stats().misses, 256);
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits_on_second_pass() {
+        let mut c = small_cache();
+        for line in 0..32u64 {
+            c.access(line, false);
+        }
+        let misses_after_first = c.stats().misses;
+        for line in 0..32u64 {
+            assert!(c.access(line, false).is_hit());
+        }
+        assert_eq!(c.stats().misses, misses_after_first);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback_of_correct_line() {
+        // Direct-mapped single-set cache of 1 way to force eviction.
+        let mut c = SetAssocCache::new(CacheConfig { capacity_bytes: 64, associativity: 1, line_bytes: 64 });
+        c.access(5, true);
+        match c.access(6, false) {
+            AccessOutcome::Miss { writeback: Some(line) } => assert_eq!(line, 5),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_produces_no_writeback() {
+        let mut c = SetAssocCache::new(CacheConfig { capacity_bytes: 64, associativity: 1, line_bytes: 64 });
+        c.access(5, false);
+        match c.access(6, false) {
+            AccessOutcome::Miss { writeback } => assert!(writeback.is_none()),
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_lines() {
+        // 2-way, 1 set.
+        let mut c = SetAssocCache::new(CacheConfig { capacity_bytes: 128, associativity: 2, line_bytes: 64 });
+        c.access(0, false);
+        c.access(1, false);
+        c.access(0, false); // 0 is now MRU
+        c.access(2, false); // evicts 1
+        assert!(c.access(0, false).is_hit(), "MRU line must survive");
+        assert!(!c.access(1, false).is_hit(), "LRU line must have been evicted");
+    }
+
+    #[test]
+    fn flush_empties_the_cache() {
+        let mut c = small_cache();
+        for line in 0..32u64 {
+            c.access(line, true);
+        }
+        assert!(c.resident_lines() > 0);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0, false).is_hit());
+    }
+
+    #[test]
+    fn miss_rate_is_fraction_of_accesses() {
+        let mut c = small_cache();
+        c.access(1, false);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(2, false);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Processor configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheConfig;
+use crate::dvfs::DvfsLadder;
+
+/// Configuration of the multicore processor model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// DVFS ladder shared by all cores.
+    pub dvfs: DvfsLadder,
+    /// Shared last-level (L2) cache configuration.
+    pub l2: CacheConfig,
+    /// L2 hit latency in core cycles (Table 4.1: 15 cycles).
+    pub l2_hit_cycles: u32,
+    /// Maximum memory-level parallelism per core: how many outstanding L2
+    /// misses a core can overlap before it stalls (bounded by the data MSHRs,
+    /// 32 in Table 4.1, but effectively limited by the ROB/LSQ; the paper's
+    /// 196-entry ROB supports roughly eight independent misses).
+    pub max_mlp: usize,
+    /// Number of shared L2 caches. The simulated four-core processor has a
+    /// single shared L2 (Table 4.1); the Chapter 5 servers have two dual-core
+    /// chips, each with its own shared L2. Cores are distributed over the
+    /// caches round-robin by `core_index % l2_count`... see
+    /// [`CpuConfig::l2_of_core`].
+    pub l2_count: usize,
+}
+
+impl CpuConfig {
+    /// The simulated four-core processor of Table 4.1: 4 cores, 4-issue,
+    /// shared 4 MB 8-way L2 with 64-byte lines and 15-cycle hit latency.
+    pub fn paper_quad_core() -> Self {
+        CpuConfig {
+            cores: 4,
+            dvfs: DvfsLadder::paper_quad_core(),
+            l2: CacheConfig { capacity_bytes: 4 * 1024 * 1024, associativity: 8, line_bytes: 64 },
+            l2_hit_cycles: 15,
+            max_mlp: 8,
+            l2_count: 1,
+        }
+    }
+
+    /// The Chapter 5 server processor complex: two dual-core Xeon 5160
+    /// chips, each pair of cores sharing a 4 MB 16-way L2.
+    pub fn xeon_5160_dual_socket() -> Self {
+        CpuConfig {
+            cores: 4,
+            dvfs: DvfsLadder::xeon_5160(),
+            l2: CacheConfig { capacity_bytes: 4 * 1024 * 1024, associativity: 16, line_bytes: 64 },
+            l2_hit_cycles: 14,
+            max_mlp: 8,
+            l2_count: 2,
+        }
+    }
+
+    /// Index of the shared L2 cache that `core` uses. Logical core numbers
+    /// are interleaved across the chips (core 0 on chip 0, core 1 on chip 1,
+    /// ...), matching the Linux numbering on the dual-socket servers; gating
+    /// the highest-numbered cores therefore leaves one core per chip (and
+    /// per shared L2) online, as the Chapter 5 DTM-ACG policy intends.
+    pub fn l2_of_core(&self, core: usize) -> usize {
+        core % self.l2_count.max(1)
+    }
+
+    /// Reference (maximum) core frequency in GHz, used for reference-cycle
+    /// IPC as defined in Section 3.5.
+    pub fn reference_freq_ghz(&self) -> f64 {
+        self.dvfs.top().freq_ghz
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message for structurally invalid configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("processor must have at least one core".into());
+        }
+        if self.max_mlp == 0 {
+            return Err("max_mlp must be at least 1".into());
+        }
+        if self.l2_count == 0 || self.l2_count > self.cores {
+            return Err("l2_count must be between 1 and the core count".into());
+        }
+        self.l2.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::paper_quad_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_4_1() {
+        let cfg = CpuConfig::paper_quad_core();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(cfg.l2.capacity_bytes, 4 * 1024 * 1024);
+        assert_eq!(cfg.l2.associativity, 8);
+        assert_eq!(cfg.l2_hit_cycles, 15);
+        assert!((cfg.reference_freq_ghz() - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xeon_config_has_two_shared_caches() {
+        let cfg = CpuConfig::xeon_5160_dual_socket();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.l2_count, 2);
+        assert_eq!(cfg.l2_of_core(0), 0);
+        assert_eq!(cfg.l2_of_core(1), 1);
+        assert_eq!(cfg.l2_of_core(2), 0);
+        assert_eq!(cfg.l2_of_core(3), 1);
+    }
+
+    #[test]
+    fn single_cache_maps_all_cores_to_cache_zero() {
+        let cfg = CpuConfig::paper_quad_core();
+        for core in 0..cfg.cores {
+            assert_eq!(cfg.l2_of_core(core), 0);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = CpuConfig::paper_quad_core();
+        cfg.cores = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CpuConfig::paper_quad_core();
+        cfg.l2_count = 9;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = CpuConfig::paper_quad_core();
+        cfg.max_mlp = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-core execution state for the closed-loop first-level simulation.
+//!
+//! A core alternates between executing instructions at its base IPC and
+//! issuing last-level-cache accesses produced by its application's synthetic
+//! stream. Misses go to the FBDIMM simulator; the core can overlap a bounded
+//! number of outstanding misses (its memory-level parallelism) and stalls on
+//! dependent misses, so its achieved IPC emerges from memory latency and
+//! bandwidth rather than being assumed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fbdimm_sim::Picos;
+use workloads::{AccessStream, AppBehavior};
+
+/// Statistics accumulated by one core over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Demand accesses presented to the shared L2.
+    pub l2_accesses: u64,
+    /// Demand L2 misses.
+    pub l2_misses: u64,
+    /// Read transactions sent to memory (demand fills + prefetches).
+    pub mem_reads: u64,
+    /// Speculative/prefetch reads included in `mem_reads`.
+    pub spec_reads: u64,
+    /// Write-back transactions sent to memory.
+    pub mem_writes: u64,
+    /// Time spent stalled on dependent misses or a full MSHR, in picoseconds.
+    pub stall_ps: Picos,
+}
+
+impl CoreStats {
+    /// L2 miss rate of this core in `[0, 1]`.
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+}
+
+/// Execution state of one core running one application instance.
+#[derive(Debug, Clone)]
+pub struct CoreSim {
+    /// Core index within the processor.
+    pub core_id: usize,
+    app: AppBehavior,
+    stream: AccessStream,
+    rng: SmallRng,
+    /// Base line address offset isolating this instance's footprint.
+    pub base_line: u64,
+    /// Local time cursor of the core.
+    pub time_ps: Picos,
+    /// Completion times of outstanding (overlapped) misses.
+    outstanding: Vec<Picos>,
+    stats: CoreStats,
+}
+
+impl CoreSim {
+    /// Creates a core running one instance of `app`, with its footprint
+    /// placed at `base_line` and all randomness derived from `seed`.
+    pub fn new(app: &AppBehavior, core_id: usize, base_line: u64, seed: u64) -> Self {
+        CoreSim {
+            core_id,
+            app: app.clone(),
+            stream: AccessStream::new(app, seed),
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ core_id as u64),
+            base_line,
+            time_ps: 0,
+            outstanding: Vec::new(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The application behaviour model this core is executing.
+    pub fn app(&self) -> &AppBehavior {
+        &self.app
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Mutable access to the statistics (used by the multicore driver).
+    pub fn stats_mut(&mut self) -> &mut CoreStats {
+        &mut self.stats
+    }
+
+    /// Produces the next demand access of the application and advances the
+    /// core's time by the compute phase preceding it (`gap / (IPC * f)`).
+    pub fn next_demand(&mut self, freq_ghz: f64) -> workloads::StreamAccess {
+        let access = self.stream.next_access();
+        let exec_ns = access.gap_instructions as f64 / (self.app.base_ipc * freq_ghz).max(1e-6);
+        self.time_ps += (exec_ns * 1000.0).round() as Picos;
+        self.stats.instructions += access.gap_instructions;
+        self.stats.l2_accesses += 1;
+        access
+    }
+
+    /// Decides whether the miss that just occurred is a dependent
+    /// (non-overlappable) miss.
+    pub fn roll_dependent(&mut self) -> bool {
+        self.rng.gen_bool(self.app.dependent_fraction.clamp(0.0, 1.0))
+    }
+
+    /// Decides whether a speculative/prefetch read accompanies this access,
+    /// given the current-to-reference frequency ratio (prefetchers issue
+    /// fewer useless requests when the core runs slower).
+    pub fn roll_speculative(&mut self, freq_ratio: f64) -> bool {
+        let p = (self.app.speculative_apki / self.app.l2_apki.max(1e-9)) * freq_ratio.clamp(0.0, 1.0);
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Ensures a miss slot is available, stalling the core until the oldest
+    /// outstanding miss completes if its memory-level parallelism is
+    /// exhausted.
+    pub fn reserve_miss_slot(&mut self, max_mlp: usize) {
+        while self.outstanding.len() >= max_mlp.max(1) {
+            let (idx, &earliest) = self
+                .outstanding
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("outstanding set is non-empty");
+            self.outstanding.swap_remove(idx);
+            if earliest > self.time_ps {
+                self.stats.stall_ps += earliest - self.time_ps;
+                self.time_ps = earliest;
+            }
+        }
+    }
+
+    /// Records an overlapped (non-blocking) miss completing at `completion`.
+    pub fn push_outstanding(&mut self, completion: Picos) {
+        self.outstanding.push(completion);
+    }
+
+    /// Stalls the core until `completion` (dependent miss).
+    pub fn stall_until(&mut self, completion: Picos) {
+        if completion > self.time_ps {
+            self.stats.stall_ps += completion - self.time_ps;
+            self.time_ps = completion;
+        }
+    }
+
+    /// Number of misses currently outstanding.
+    pub fn outstanding_misses(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Translates an application-relative line address into this instance's
+    /// private region of the physical address space.
+    pub fn absolute_line(&self, line: u64) -> u64 {
+        self.base_line + line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::spec2000;
+
+    fn core() -> CoreSim {
+        CoreSim::new(&spec2000::swim(), 0, 1 << 32, 7)
+    }
+
+    #[test]
+    fn demand_access_advances_time_and_instruction_count() {
+        let mut c = core();
+        let before = c.time_ps;
+        let a = c.next_demand(3.2);
+        assert!(c.time_ps > before);
+        assert_eq!(c.stats().instructions, a.gap_instructions);
+        assert_eq!(c.stats().l2_accesses, 1);
+    }
+
+    #[test]
+    fn lower_frequency_means_slower_execution() {
+        let mut fast = CoreSim::new(&spec2000::swim(), 0, 0, 5);
+        let mut slow = CoreSim::new(&spec2000::swim(), 0, 0, 5);
+        for _ in 0..100 {
+            fast.next_demand(3.2);
+            slow.next_demand(0.8);
+        }
+        assert!(slow.time_ps > fast.time_ps);
+        assert_eq!(slow.stats().instructions, fast.stats().instructions);
+    }
+
+    #[test]
+    fn mlp_limit_forces_stall() {
+        let mut c = core();
+        for i in 0..8 {
+            c.push_outstanding(1_000_000 + i);
+        }
+        assert_eq!(c.outstanding_misses(), 8);
+        c.reserve_miss_slot(8);
+        assert_eq!(c.outstanding_misses(), 7);
+        assert!(c.time_ps >= 1_000_000);
+        assert!(c.stats().stall_ps > 0);
+    }
+
+    #[test]
+    fn dependent_stall_moves_time_forward_only() {
+        let mut c = core();
+        c.stall_until(500);
+        assert_eq!(c.time_ps, 500);
+        c.stall_until(100);
+        assert_eq!(c.time_ps, 500, "stall never rewinds time");
+    }
+
+    #[test]
+    fn absolute_line_is_offset_by_base() {
+        let c = core();
+        assert_eq!(c.absolute_line(10), (1 << 32) + 10);
+    }
+
+    #[test]
+    fn speculative_probability_scales_with_frequency() {
+        let mut c1 = CoreSim::new(&spec2000::swim(), 0, 0, 11);
+        let mut c2 = CoreSim::new(&spec2000::swim(), 0, 0, 11);
+        let n = 20_000;
+        let fast = (0..n).filter(|_| c1.roll_speculative(1.0)).count();
+        let slow = (0..n).filter(|_| c2.roll_speculative(0.25)).count();
+        assert!(fast > slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn miss_rate_helper_handles_zero_accesses() {
+        assert_eq!(CoreStats::default().l2_miss_rate(), 0.0);
+    }
+}

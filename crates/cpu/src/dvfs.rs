@@ -1,0 +1,170 @@
+//! DVFS operating points and frequency/voltage ladders.
+
+use serde::{Deserialize, Serialize};
+
+/// One frequency / voltage operating point of a processor core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Core supply voltage in volts.
+    pub voltage: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    pub fn new(freq_ghz: f64, voltage: f64) -> Self {
+        OperatingPoint { freq_ghz, voltage }
+    }
+
+    /// Dynamic-power scaling factor of this point relative to `top`
+    /// (proportional to `V^2 * f`).
+    pub fn dynamic_factor(&self, top: &OperatingPoint) -> f64 {
+        if top.voltage <= 0.0 || top.freq_ghz <= 0.0 {
+            return 0.0;
+        }
+        (self.voltage / top.voltage).powi(2) * (self.freq_ghz / top.freq_ghz)
+    }
+}
+
+impl std::fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} GHz @ {:.4} V", self.freq_ghz, self.voltage)
+    }
+}
+
+/// An ordered ladder of operating points, highest performance first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsLadder {
+    points: Vec<OperatingPoint>,
+}
+
+impl DvfsLadder {
+    /// Creates a ladder from points ordered highest-performance first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not strictly decreasing in frequency.
+    pub fn new(points: Vec<OperatingPoint>) -> Self {
+        assert!(!points.is_empty(), "a DVFS ladder needs at least one point");
+        for pair in points.windows(2) {
+            assert!(
+                pair[0].freq_ghz > pair[1].freq_ghz,
+                "ladder points must be ordered by strictly decreasing frequency"
+            );
+        }
+        DvfsLadder { points }
+    }
+
+    /// The DVFS ladder of the simulated four-core processor (Table 4.1 /
+    /// Table 4.4): 3.2 GHz @ 1.55 V, 2.8 GHz @ 1.35 V, 1.6 GHz @ 1.15 V,
+    /// 0.8 GHz @ 0.95 V. (Table 4.3 lists the second level as 2.4 GHz; the
+    /// power numbers of Table 4.4 are only consistent with 2.8 GHz, so the
+    /// Table 4.1 value is used.)
+    pub fn paper_quad_core() -> Self {
+        DvfsLadder::new(vec![
+            OperatingPoint::new(3.2, 1.55),
+            OperatingPoint::new(2.8, 1.35),
+            OperatingPoint::new(1.6, 1.15),
+            OperatingPoint::new(0.8, 0.95),
+        ])
+    }
+
+    /// The Intel Xeon 5160 ladder used by the Chapter 5 servers:
+    /// 3.000 / 2.667 / 2.333 / 2.000 GHz at 1.2125 / 1.1625 / 1.1000 /
+    /// 1.0375 V (Section 5.2.1).
+    pub fn xeon_5160() -> Self {
+        DvfsLadder::new(vec![
+            OperatingPoint::new(3.000, 1.2125),
+            OperatingPoint::new(2.667, 1.1625),
+            OperatingPoint::new(2.333, 1.1000),
+            OperatingPoint::new(2.000, 1.0375),
+        ])
+    }
+
+    /// Highest-performance operating point.
+    pub fn top(&self) -> OperatingPoint {
+        self.points[0]
+    }
+
+    /// Lowest-performance operating point.
+    pub fn bottom(&self) -> OperatingPoint {
+        *self.points.last().expect("ladder is non-empty")
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the ladder has no points (never the case for
+    /// ladders built through [`DvfsLadder::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Operating point at `index` (0 = highest performance), clamped to the
+    /// lowest point for out-of-range indices.
+    pub fn point(&self, index: usize) -> OperatingPoint {
+        self.points.get(index).copied().unwrap_or_else(|| self.bottom())
+    }
+
+    /// All operating points, highest performance first.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ladder_matches_the_simulated_processor() {
+        let l = DvfsLadder::paper_quad_core();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.top(), OperatingPoint::new(3.2, 1.55));
+        assert_eq!(l.point(1), OperatingPoint::new(2.8, 1.35));
+        assert_eq!(l.point(2), OperatingPoint::new(1.6, 1.15));
+        assert_eq!(l.bottom(), OperatingPoint::new(0.8, 0.95));
+    }
+
+    #[test]
+    fn xeon_ladder_matches_section_5_2() {
+        let l = DvfsLadder::xeon_5160();
+        assert_eq!(l.len(), 4);
+        assert!((l.top().freq_ghz - 3.0).abs() < 1e-9);
+        assert!((l.bottom().voltage - 1.0375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_factor_is_one_at_top_and_below_one_elsewhere() {
+        let l = DvfsLadder::paper_quad_core();
+        let top = l.top();
+        assert!((top.dynamic_factor(&top) - 1.0).abs() < 1e-12);
+        for i in 1..l.len() {
+            let f = l.point(i).dynamic_factor(&top);
+            assert!(f > 0.0 && f < 1.0, "factor {f} at index {i}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_point_clamps_to_bottom() {
+        let l = DvfsLadder::paper_quad_core();
+        assert_eq!(l.point(99), l.bottom());
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "decreasing frequency")]
+    fn unordered_ladder_is_rejected() {
+        let _ = DvfsLadder::new(vec![OperatingPoint::new(1.0, 1.0), OperatingPoint::new(2.0, 1.1)]);
+    }
+
+    #[test]
+    fn display_formats_frequency_and_voltage() {
+        let p = OperatingPoint::new(3.2, 1.55);
+        let s = p.to_string();
+        assert!(s.contains("3.200") && s.contains("1.55"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # cpu-model
+//!
+//! Multicore processor model used as the first-level (architecture)
+//! simulator of the two-level thermal simulation infrastructure.
+//!
+//! The model executes the synthetic per-application access streams from the
+//! [`workloads`] crate through a shared set-associative L2 cache and the
+//! FBDIMM memory simulator from [`fbdimm_sim`], under a *running mode*
+//! (number of active cores, DVFS operating point, memory bandwidth cap).
+//! The outputs are exactly the quantities the paper's trace format carries:
+//! per-core IPC and memory read/write throughput (plus the per-DIMM
+//! local/bypass split the AMB power model needs).
+//!
+//! The crate also provides the processor power models: the simulated
+//! four-core processor of Table 4.4 and the Xeon 5160 based servers of the
+//! Chapter 5 measurement study.
+//!
+//! ```
+//! use cpu_model::{CpuConfig, RunningMode, MulticoreSim};
+//! use workloads::mixes;
+//!
+//! let cfg = CpuConfig::paper_quad_core();
+//! let mode = RunningMode::full_speed(&cfg);
+//! let mut sim = MulticoreSim::new(cfg, fbdimm_sim::FbdimmConfig::ddr2_667_paper());
+//! let m = sim.run(&mixes::w1().apps, &mode, 20_000);
+//! assert!(m.total_throughput_gbps() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod dvfs;
+pub mod multicore;
+pub mod power;
+
+pub use cache::{CacheConfig, CacheStats, SetAssocCache};
+pub use config::CpuConfig;
+pub use core::{CoreSim, CoreStats};
+pub use dvfs::{DvfsLadder, OperatingPoint};
+pub use multicore::{MulticoreSim, RunMeasurement, RunningMode};
+pub use power::{PaperCpuPower, ProcessorPowerModel, Xeon5160Power};

@@ -1,0 +1,418 @@
+//! Closed-loop multicore + memory simulation (the first-level simulator).
+//!
+//! [`MulticoreSim::run`] executes one *characterization run*: a fixed budget
+//! of demand L2 accesses from the applications of a workload mix, under a
+//! given [`RunningMode`] (active cores, DVFS operating point, bandwidth
+//! cap). Cores are advanced in global time order; their misses contend in
+//! the shared L2 and the FBDIMM memory system, so achieved IPC and memory
+//! throughput are outputs, not inputs. The result, [`RunMeasurement`],
+//! carries exactly the per-design-point quantities the paper's second-level
+//! thermal simulator consumes.
+
+use serde::{Deserialize, Serialize};
+
+use fbdimm_sim::{FbdimmConfig, MemRequest, MemorySystem, Picos, RequestKind, TrafficWindow, PS_PER_SEC};
+use workloads::AppBehavior;
+
+use crate::cache::SetAssocCache;
+use crate::config::CpuConfig;
+use crate::core::{CoreSim, CoreStats};
+use crate::dvfs::OperatingPoint;
+
+/// A running mode of the machine: the lever settings the DTM schemes
+/// manipulate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningMode {
+    /// Number of cores that execute (the rest are clock gated).
+    pub active_cores: usize,
+    /// Operating point shared by all active cores.
+    pub op: OperatingPoint,
+    /// Memory bandwidth cap in bytes/s (`None` = unlimited). `Some(0.0)`
+    /// means the memory subsystem is shut off.
+    pub bandwidth_cap: Option<f64>,
+}
+
+impl RunningMode {
+    /// Full-speed mode: every core active at the top operating point, no
+    /// bandwidth limit.
+    pub fn full_speed(cfg: &CpuConfig) -> Self {
+        RunningMode { active_cores: cfg.cores, op: cfg.dvfs.top(), bandwidth_cap: None }
+    }
+
+    /// Returns a copy with a different number of active cores.
+    pub fn with_active_cores(mut self, n: usize) -> Self {
+        self.active_cores = n;
+        self
+    }
+
+    /// Returns a copy with a different operating point.
+    pub fn with_op(mut self, op: OperatingPoint) -> Self {
+        self.op = op;
+        self
+    }
+
+    /// Returns a copy with a memory bandwidth cap in GB/s.
+    pub fn with_bandwidth_cap_gbps(mut self, cap_gbps: f64) -> Self {
+        self.bandwidth_cap = Some(cap_gbps * 1e9);
+        self
+    }
+
+    /// Whether this mode makes any forward progress at all.
+    pub fn makes_progress(&self) -> bool {
+        self.active_cores > 0 && self.bandwidth_cap.map_or(true, |c| c > 0.0)
+    }
+}
+
+/// Result of one characterization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// Mode the run was executed under.
+    pub mode: RunningMode,
+    /// Reference (maximum) core frequency in GHz.
+    pub reference_freq_ghz: f64,
+    /// Wall-clock length of the run in picoseconds.
+    pub elapsed_ps: Picos,
+    /// Per-core statistics (indexed by core; inactive cores have all-zero
+    /// entries).
+    pub cores: Vec<CoreStats>,
+    /// Memory traffic over the run (subsystem totals and per-DIMM split).
+    pub traffic: TrafficWindow,
+}
+
+impl RunMeasurement {
+    /// A run in which nothing executes (memory off or no active cores).
+    pub fn idle(mode: RunningMode, cfg: &CpuConfig, mem_cfg: &FbdimmConfig) -> Self {
+        let mut traffic = TrafficWindow::default();
+        traffic.dimms = (0..mem_cfg.logical_channels)
+            .flat_map(|c| (0..mem_cfg.dimms_per_channel).map(move |d| (c, d)))
+            .map(|(channel, dimm)| fbdimm_sim::DimmTraffic { channel, dimm, ..Default::default() })
+            .collect();
+        RunMeasurement {
+            mode,
+            reference_freq_ghz: cfg.reference_freq_ghz(),
+            elapsed_ps: PS_PER_SEC / 1_000,
+            cores: vec![CoreStats::default(); cfg.cores],
+            traffic,
+        }
+    }
+
+    /// Elapsed time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_ps as f64 / PS_PER_SEC as f64
+    }
+
+    /// IPC of `core` measured in *reference* cycles (committed instructions
+    /// divided by elapsed reference cycles), the definition Eq. 3.6 uses.
+    pub fn ipc_ref(&self, core: usize) -> f64 {
+        let cycles = self.elapsed_secs() * self.reference_freq_ghz * 1e9;
+        if cycles <= 0.0 {
+            0.0
+        } else {
+            self.cores[core].instructions as f64 / cycles
+        }
+    }
+
+    /// Sum of the reference-cycle IPCs of all cores.
+    pub fn total_ipc_ref(&self) -> f64 {
+        (0..self.cores.len()).map(|c| self.ipc_ref(c)).sum()
+    }
+
+    /// Aggregate instruction throughput in instructions per second.
+    pub fn instructions_per_sec(&self) -> f64 {
+        let total: u64 = self.cores.iter().map(|c| c.instructions).sum();
+        total as f64 / self.elapsed_secs().max(1e-12)
+    }
+
+    /// Total memory throughput (read + write) in GB/s.
+    pub fn total_throughput_gbps(&self) -> f64 {
+        self.traffic.total_gbps()
+    }
+
+    /// Shared-cache miss rate over all cores.
+    pub fn l2_miss_rate(&self) -> f64 {
+        let accesses: u64 = self.cores.iter().map(|c| c.l2_accesses).sum();
+        let misses: u64 = self.cores.iter().map(|c| c.l2_misses).sum();
+        if accesses == 0 {
+            0.0
+        } else {
+            misses as f64 / accesses as f64
+        }
+    }
+
+    /// Memory traffic per committed instruction, in bytes.
+    pub fn bytes_per_instruction(&self) -> f64 {
+        let instr: u64 = self.cores.iter().map(|c| c.instructions).sum();
+        if instr == 0 {
+            return 0.0;
+        }
+        let bytes = self.total_throughput_gbps() * 1e9 * self.elapsed_secs();
+        bytes / instr as f64
+    }
+}
+
+/// The first-level (architecture) simulator.
+#[derive(Debug, Clone)]
+pub struct MulticoreSim {
+    cpu: CpuConfig,
+    mem_cfg: FbdimmConfig,
+}
+
+impl MulticoreSim {
+    /// Creates a simulator for the given processor and memory configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid.
+    pub fn new(cpu: CpuConfig, mem_cfg: FbdimmConfig) -> Self {
+        cpu.validate().expect("invalid CPU configuration");
+        mem_cfg.validate().expect("invalid FBDIMM configuration");
+        MulticoreSim { cpu, mem_cfg }
+    }
+
+    /// The processor configuration.
+    pub fn cpu_config(&self) -> &CpuConfig {
+        &self.cpu
+    }
+
+    /// The memory configuration.
+    pub fn memory_config(&self) -> &FbdimmConfig {
+        &self.mem_cfg
+    }
+
+    /// Runs one characterization: the first `mode.active_cores` applications
+    /// of `apps` execute until `demand_access_budget` demand L2 accesses have
+    /// been issued in total.
+    ///
+    /// Requests are delivered to the memory controller in globally
+    /// non-decreasing time order (arrival times are clamped to the latest
+    /// arrival seen, a sub-nanosecond approximation).
+    pub fn run(&mut self, apps: &[AppBehavior], mode: &RunningMode, demand_access_budget: u64) -> RunMeasurement {
+        let active = mode.active_cores.min(apps.len()).min(self.cpu.cores);
+        if active == 0 || !mode.makes_progress() {
+            return RunMeasurement::idle(*mode, &self.cpu, &self.mem_cfg);
+        }
+
+        let mut memory = MemorySystem::new(self.mem_cfg);
+        memory.set_bandwidth_cap(mode.bandwidth_cap);
+
+        let mut caches: Vec<SetAssocCache> =
+            (0..self.cpu.l2_count).map(|_| SetAssocCache::new(self.cpu.l2)).collect();
+
+        let mut cores: Vec<CoreSim> = (0..active)
+            .map(|i| {
+                // Give each instance a private 1 TB-aligned slice of the line
+                // address space so footprints never alias.
+                let base = (i as u64 + 1) << 34;
+                CoreSim::new(&apps[i], i, base, 0xD0A0 + i as u64)
+            })
+            .collect();
+
+        // Warm start: pre-fill the shared caches with the active instances'
+        // hot regions (interleaved round-robin) so that the measured miss
+        // rates reflect steady-state cache contention rather than cold-start
+        // compulsory misses. Statistics are reset afterwards.
+        {
+            let hot_lines: Vec<u64> = cores.iter().map(|c| (c.app().hot_bytes / 64).max(1)).collect();
+            let max_hot = hot_lines.iter().copied().max().unwrap_or(1);
+            for offset in 0..max_hot {
+                for (i, core) in cores.iter().enumerate() {
+                    if offset < hot_lines[i] {
+                        let cache_idx = self.cpu.l2_of_core(core.core_id);
+                        caches[cache_idx].access(core.absolute_line(offset), false);
+                    }
+                }
+            }
+            for cache in &mut caches {
+                cache.reset_stats();
+            }
+        }
+
+        let freq = mode.op.freq_ghz;
+        let freq_ratio = freq / self.cpu.reference_freq_ghz();
+        let mut last_arrival: Picos = 0;
+        let mut demand_issued = 0u64;
+
+        while demand_issued < demand_access_budget {
+            // Advance the core whose local clock is furthest behind.
+            let idx = cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.time_ps)
+                .map(|(i, _)| i)
+                .expect("at least one active core");
+            let cache_idx = self.cpu.l2_of_core(idx);
+            let core = &mut cores[idx];
+
+            let access = core.next_demand(freq);
+            demand_issued += 1;
+            let line = core.absolute_line(access.line);
+
+            let outcome = caches[cache_idx].access(line, access.is_write);
+            match outcome {
+                crate::cache::AccessOutcome::Hit => {}
+                crate::cache::AccessOutcome::Miss { writeback } => {
+                    core.stats_mut().l2_misses += 1;
+
+                    if let Some(victim) = writeback {
+                        last_arrival = last_arrival.max(core.time_ps);
+                        if memory
+                            .enqueue(MemRequest::at(victim, RequestKind::Write, idx, last_arrival))
+                            .is_ok()
+                        {
+                            core.stats_mut().mem_writes += 1;
+                        }
+                    }
+
+                    core.reserve_miss_slot(self.cpu.max_mlp);
+                    last_arrival = last_arrival.max(core.time_ps);
+                    if let Ok(completion) =
+                        memory.enqueue_returning(MemRequest::at(line, RequestKind::Read, idx, last_arrival))
+                    {
+                        core.stats_mut().mem_reads += 1;
+                        if core.roll_dependent() {
+                            core.stall_until(completion.finish_ps);
+                        } else {
+                            core.push_outstanding(completion.finish_ps);
+                        }
+                    }
+                }
+            }
+
+            // Speculative / prefetch traffic: a next-line read that does not
+            // block the core.
+            if core.roll_speculative(freq_ratio) {
+                let spec_line = core.absolute_line(access.line.wrapping_add(1));
+                if !caches[cache_idx].access(spec_line, false).is_hit() {
+                    last_arrival = last_arrival.max(core.time_ps);
+                    if memory
+                        .enqueue(MemRequest::at(spec_line, RequestKind::Read, idx, last_arrival))
+                        .is_ok()
+                    {
+                        core.stats_mut().mem_reads += 1;
+                        core.stats_mut().spec_reads += 1;
+                    }
+                }
+            }
+        }
+
+        let elapsed = cores.iter().map(|c| c.time_ps).max().unwrap_or(1).max(1);
+        let traffic = memory.take_window(elapsed);
+
+        let mut per_core = vec![CoreStats::default(); self.cpu.cores];
+        for core in &cores {
+            per_core[core.core_id] = core.stats();
+        }
+
+        RunMeasurement {
+            mode: *mode,
+            reference_freq_ghz: self.cpu.reference_freq_ghz(),
+            elapsed_ps: elapsed,
+            cores: per_core,
+            traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::mixes;
+
+    const BUDGET: u64 = 30_000;
+
+    fn sim() -> MulticoreSim {
+        MulticoreSim::new(CpuConfig::paper_quad_core(), FbdimmConfig::ddr2_667_paper())
+    }
+
+    #[test]
+    fn full_speed_w1_is_memory_intensive() {
+        let mut s = sim();
+        let mode = RunningMode::full_speed(s.cpu_config());
+        let m = s.run(&mixes::w1().apps, &mode, BUDGET);
+        // W1 contains four >10 GB/s applications; even a short run must show
+        // substantial aggregate bandwidth.
+        assert!(m.total_throughput_gbps() > 8.0, "throughput {}", m.total_throughput_gbps());
+        assert!(m.l2_miss_rate() > 0.3, "miss rate {}", m.l2_miss_rate());
+        assert!(m.total_ipc_ref() > 0.0);
+    }
+
+    #[test]
+    fn fewer_active_cores_reduce_traffic_and_miss_rate() {
+        let mut s = sim();
+        let full = RunningMode::full_speed(s.cpu_config());
+        let gated = full.with_active_cores(2);
+        let m4 = s.run(&mixes::w1().apps, &full, BUDGET);
+        let m2 = s.run(&mixes::w1().apps, &gated, BUDGET);
+        assert!(m2.total_throughput_gbps() < m4.total_throughput_gbps());
+        assert!(
+            m2.l2_miss_rate() < m4.l2_miss_rate(),
+            "2-core miss rate {} should undercut 4-core {}",
+            m2.l2_miss_rate(),
+            m4.l2_miss_rate()
+        );
+    }
+
+    #[test]
+    fn dvfs_reduces_traffic_but_keeps_all_cores_running() {
+        let mut s = sim();
+        let full = RunningMode::full_speed(s.cpu_config());
+        let slowest = full.with_op(s.cpu_config().dvfs.bottom()); // 0.8 GHz
+        let fast_m = s.run(&mixes::w1().apps, &full, BUDGET);
+        let slow_m = s.run(&mixes::w1().apps, &slowest, BUDGET);
+        // At the lowest operating point the demand rate drops well below the
+        // memory system's capacity, so throughput must fall clearly.
+        assert!(slow_m.total_throughput_gbps() < 0.8 * fast_m.total_throughput_gbps());
+        // All four cores still commit instructions.
+        assert!(slow_m.cores.iter().take(4).all(|c| c.instructions > 0));
+    }
+
+    #[test]
+    fn bandwidth_cap_limits_achieved_throughput() {
+        let mut s = sim();
+        let full = RunningMode::full_speed(s.cpu_config());
+        let capped = full.with_bandwidth_cap_gbps(6.4);
+        let m = s.run(&mixes::w1().apps, &capped, BUDGET);
+        assert!(m.total_throughput_gbps() < 7.5, "capped throughput {}", m.total_throughput_gbps());
+    }
+
+    #[test]
+    fn idle_mode_produces_zero_work() {
+        let mut s = sim();
+        let mode = RunningMode::full_speed(s.cpu_config()).with_active_cores(0);
+        let m = s.run(&mixes::w1().apps, &mode, BUDGET);
+        assert_eq!(m.total_throughput_gbps(), 0.0);
+        assert_eq!(m.total_ipc_ref(), 0.0);
+        assert!(!m.traffic.dimms.is_empty(), "per-DIMM entries must still exist for the power model");
+    }
+
+    #[test]
+    fn moderate_mix_uses_less_bandwidth_than_heavy_mix() {
+        let mut s = sim();
+        let mode = RunningMode::full_speed(s.cpu_config());
+        let heavy = s.run(&mixes::w1().apps, &mode, BUDGET);
+        let moderate = s.run(&mixes::w8().apps, &mode, BUDGET);
+        assert!(moderate.total_throughput_gbps() < heavy.total_throughput_gbps());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut s = sim();
+        let mode = RunningMode::full_speed(s.cpu_config());
+        let a = s.run(&mixes::w3().apps, &mode, 10_000);
+        let b = s.run(&mixes::w3().apps, &mode, 10_000);
+        assert_eq!(a.elapsed_ps, b.elapsed_ps);
+        assert_eq!(a.cores, b.cores);
+    }
+
+    #[test]
+    fn measurement_helpers_are_consistent() {
+        let mut s = sim();
+        let mode = RunningMode::full_speed(s.cpu_config());
+        let m = s.run(&mixes::w5().apps, &mode, 10_000);
+        assert!(m.elapsed_secs() > 0.0);
+        assert!(m.instructions_per_sec() > 0.0);
+        assert!(m.bytes_per_instruction() > 0.0);
+        let sum: f64 = (0..4).map(|c| m.ipc_ref(c)).sum();
+        assert!((sum - m.total_ipc_ref()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Advanced Memory Buffer (AMB) model.
+//!
+//! The AMB power model of the paper (Equation 3.2) distinguishes between
+//! *local* traffic — requests served by the DIMM the AMB belongs to — and
+//! *bypass* traffic — requests the AMB merely forwards along the daisy
+//! chain. This module tracks that split per DIMM position, and computes the
+//! AMB transport latency contribution to a memory transaction (the source of
+//! variable read latency in FBDIMM).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FbdimmConfig;
+use crate::time::Picos;
+use crate::types::RequestKind;
+
+/// Traffic accumulated by a single AMB (one DIMM position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AmbCounters {
+    /// Bytes of requests whose destination is this DIMM.
+    pub local_bytes: u64,
+    /// Bytes of requests this AMB forwarded to DIMMs farther down the chain.
+    pub bypass_bytes: u64,
+    /// Local read transactions.
+    pub local_reads: u64,
+    /// Local write transactions.
+    pub local_writes: u64,
+}
+
+impl AmbCounters {
+    /// Adds a local transaction of `bytes` bytes.
+    pub fn record_local(&mut self, kind: RequestKind, bytes: u64) {
+        self.local_bytes += bytes;
+        match kind {
+            RequestKind::Read => self.local_reads += 1,
+            RequestKind::Write => self.local_writes += 1,
+        }
+    }
+
+    /// Adds a bypassed transaction of `bytes` bytes.
+    pub fn record_bypass(&mut self, bytes: u64) {
+        self.bypass_bytes += bytes;
+    }
+}
+
+/// Per-position AMB traffic accounting for the whole memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmbNetwork {
+    counters: Vec<AmbCounters>,
+    dimms_per_channel: usize,
+}
+
+impl AmbNetwork {
+    /// Creates accounting state for the given configuration.
+    pub fn new(cfg: &FbdimmConfig) -> Self {
+        AmbNetwork {
+            counters: vec![AmbCounters::default(); cfg.dimm_positions()],
+            dimms_per_channel: cfg.dimms_per_channel,
+        }
+    }
+
+    /// Flat position index of (channel, dimm).
+    pub fn position(&self, channel: usize, dimm: usize) -> usize {
+        channel * self.dimms_per_channel + dimm
+    }
+
+    /// Records a transaction destined for `(channel, dimm)`. All AMBs between
+    /// the controller and the destination record it as bypass traffic; the
+    /// destination AMB records it as local traffic.
+    ///
+    /// Bypass traffic is counted for both reads and writes: a read's return
+    /// data traverses the same intermediate AMBs northbound as its command
+    /// did southbound, and the paper's model charges each bypassed request
+    /// once (Section 3.3).
+    pub fn record_transaction(&mut self, channel: usize, dimm: usize, kind: RequestKind, bytes: u64) {
+        for upstream in 0..dimm {
+            let idx = self.position(channel, upstream);
+            self.counters[idx].record_bypass(bytes);
+        }
+        let idx = self.position(channel, dimm);
+        self.counters[idx].record_local(kind, bytes);
+    }
+
+    /// Counters for a position.
+    pub fn counters(&self, channel: usize, dimm: usize) -> &AmbCounters {
+        &self.counters[self.position(channel, dimm)]
+    }
+
+    /// Iterates over all positions as `(channel, dimm, counters)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &AmbCounters)> + '_ {
+        let dpc = self.dimms_per_channel;
+        self.counters.iter().enumerate().map(move |(i, c)| (i / dpc, i % dpc, c))
+    }
+
+    /// Resets all counters (used when taking a traffic window snapshot).
+    pub fn reset(&mut self) {
+        for c in &mut self.counters {
+            *c = AmbCounters::default();
+        }
+    }
+
+    /// Number of positions tracked.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the network tracks no positions.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+/// Southbound transport latency from the controller to DIMM position `dimm`
+/// (0-indexed): one AMB hop per DIMM traversed plus the destination AMB's
+/// translation latency.
+pub fn southbound_latency(cfg: &FbdimmConfig, dimm: usize) -> Picos {
+    cfg.amb_hop_latency * (dimm as u64 + 1) + cfg.amb_local_latency
+}
+
+/// Northbound transport latency from DIMM position `dimm` back to the
+/// controller. When variable read latency is disabled, every DIMM pays the
+/// latency of the farthest DIMM in the chain.
+pub fn northbound_latency(cfg: &FbdimmConfig, dimm: usize) -> Picos {
+    let effective = if cfg.variable_read_latency { dimm } else { cfg.dimms_per_channel - 1 };
+    cfg.amb_hop_latency * (effective as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FbdimmConfig;
+
+    fn cfg() -> FbdimmConfig {
+        FbdimmConfig::ddr2_667_paper()
+    }
+
+    #[test]
+    fn local_and_bypass_split() {
+        let cfg = cfg();
+        let mut net = AmbNetwork::new(&cfg);
+        // A read to DIMM 2 on channel 0 bypasses DIMMs 0 and 1.
+        net.record_transaction(0, 2, RequestKind::Read, 64);
+        assert_eq!(net.counters(0, 2).local_bytes, 64);
+        assert_eq!(net.counters(0, 2).local_reads, 1);
+        assert_eq!(net.counters(0, 0).bypass_bytes, 64);
+        assert_eq!(net.counters(0, 1).bypass_bytes, 64);
+        assert_eq!(net.counters(0, 3).bypass_bytes, 0);
+        // Other channel unaffected.
+        assert_eq!(net.counters(1, 0).bypass_bytes, 0);
+    }
+
+    #[test]
+    fn first_dimm_never_sees_bypass_from_itself() {
+        let cfg = cfg();
+        let mut net = AmbNetwork::new(&cfg);
+        net.record_transaction(0, 0, RequestKind::Write, 64);
+        assert_eq!(net.counters(0, 0).local_bytes, 64);
+        assert_eq!(net.counters(0, 0).bypass_bytes, 0);
+        assert_eq!(net.counters(0, 0).local_writes, 1);
+    }
+
+    #[test]
+    fn closest_dimm_carries_most_bypass_under_uniform_traffic() {
+        let cfg = cfg();
+        let mut net = AmbNetwork::new(&cfg);
+        for dimm in 0..cfg.dimms_per_channel {
+            net.record_transaction(0, dimm, RequestKind::Read, 64);
+        }
+        let b0 = net.counters(0, 0).bypass_bytes;
+        let b_last = net.counters(0, cfg.dimms_per_channel - 1).bypass_bytes;
+        assert!(b0 > b_last);
+        assert_eq!(b_last, 0);
+    }
+
+    #[test]
+    fn reset_clears_all_counters() {
+        let cfg = cfg();
+        let mut net = AmbNetwork::new(&cfg);
+        net.record_transaction(1, 3, RequestKind::Read, 64);
+        net.reset();
+        assert!(net.iter().all(|(_, _, c)| c.local_bytes == 0 && c.bypass_bytes == 0));
+        assert_eq!(net.len(), cfg.dimm_positions());
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn variable_read_latency_grows_with_distance() {
+        let cfg = cfg();
+        assert!(northbound_latency(&cfg, 3) > northbound_latency(&cfg, 0));
+        assert!(southbound_latency(&cfg, 3) > southbound_latency(&cfg, 0));
+    }
+
+    #[test]
+    fn fixed_read_latency_equals_farthest_dimm() {
+        let mut cfg = cfg();
+        cfg.variable_read_latency = false;
+        let far = northbound_latency(&cfg, cfg.dimms_per_channel - 1);
+        for dimm in 0..cfg.dimms_per_channel {
+            assert_eq!(northbound_latency(&cfg, dimm), far);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! DRAM bank timing model.
+//!
+//! Under the close-page policy with auto-precharge every transaction is an
+//! activate / column access / precharge triplet, so the bank model reduces to
+//! tracking when the bank may accept its next activation and when the data
+//! phase of the current access completes. The model still distinguishes
+//! reads from writes because their bank-occupancy and data timing differ
+//! (`tCL` vs `tWL`, read-to-precharge vs write-to-precharge recovery).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DramTimings;
+use crate::time::Picos;
+use crate::types::RequestKind;
+
+/// Timing outcome of issuing one close-page transaction to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankIssue {
+    /// Time the activate command was accepted by the bank.
+    pub activate_at: Picos,
+    /// Time the last beat of data is available at the DRAM pins (reads) or
+    /// has been absorbed by the DRAM (writes).
+    pub data_done_at: Picos,
+    /// Time the bank becomes available for the next activation.
+    pub ready_again_at: Picos,
+}
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    /// Earliest time the bank can accept a new activation.
+    ready_at: Picos,
+    /// Number of activations issued to this bank.
+    activations: u64,
+    /// Number of reads issued to this bank.
+    reads: u64,
+    /// Number of writes issued to this bank.
+    writes: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// Creates an idle, precharged bank.
+    pub fn new() -> Self {
+        Bank { ready_at: 0, activations: 0, reads: 0, writes: 0 }
+    }
+
+    /// Earliest time the bank can accept a new activation.
+    pub fn ready_at(&self) -> Picos {
+        self.ready_at
+    }
+
+    /// Total activations issued so far (equals reads + writes under
+    /// close-page auto-precharge).
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Reads issued so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes issued so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Issues a close-page transaction at or after `earliest`, returning its
+    /// timing. The activate is delayed until the bank is ready.
+    pub fn issue(&mut self, kind: RequestKind, earliest: Picos, t: &DramTimings) -> BankIssue {
+        let activate_at = earliest.max(self.ready_at);
+        let (data_done_at, ready_again_at) = match kind {
+            RequestKind::Read => (
+                activate_at + t.t_rcd + t.t_cl + t.t_burst,
+                activate_at + t.read_bank_occupancy(),
+            ),
+            RequestKind::Write => (
+                activate_at + t.t_rcd + t.t_wl + t.t_burst,
+                activate_at + t.write_bank_occupancy(),
+            ),
+        };
+        self.ready_at = ready_again_at;
+        self.activations += 1;
+        match kind {
+            RequestKind::Read => self.reads += 1,
+            RequestKind::Write => self.writes += 1,
+        }
+        BankIssue { activate_at, data_done_at, ready_again_at }
+    }
+}
+
+/// A group of banks belonging to one DIMM position, enforcing the
+/// activate-to-activate spacing (`tRRD`) between different banks of the same
+/// DIMM in addition to per-bank timing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankGroup {
+    banks: Vec<Bank>,
+    last_activate: Picos,
+}
+
+impl BankGroup {
+    /// Creates `n` idle banks.
+    pub fn new(n: usize) -> Self {
+        BankGroup { banks: vec![Bank::new(); n.max(1)], last_activate: 0 }
+    }
+
+    /// Number of banks in the group.
+    pub fn len(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Returns `true` if the group holds no banks (never the case for groups
+    /// built through [`BankGroup::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.banks.is_empty()
+    }
+
+    /// Earliest time bank `bank` could accept an activation, accounting for
+    /// both the bank's own occupancy and the DIMM-wide `tRRD` spacing.
+    pub fn earliest_activate(&self, bank: usize, t: &DramTimings) -> Picos {
+        let bank_ready = self.banks[bank].ready_at();
+        let rrd_ready = self.last_activate + t.t_rrd;
+        bank_ready.max(rrd_ready)
+    }
+
+    /// Issues a transaction to bank `bank` at or after `earliest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn issue(&mut self, bank: usize, kind: RequestKind, earliest: Picos, t: &DramTimings) -> BankIssue {
+        let start = earliest.max(self.earliest_activate(bank, t));
+        let issue = self.banks[bank].issue(kind, start, t);
+        self.last_activate = issue.activate_at;
+        issue
+    }
+
+    /// Total activations over all banks in the group.
+    pub fn activations(&self) -> u64 {
+        self.banks.iter().map(Bank::activations).sum()
+    }
+
+    /// Per-bank immutable access (for statistics).
+    pub fn bank(&self, idx: usize) -> &Bank {
+        &self.banks[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramTimings;
+    use crate::time::ps_from_ns;
+
+    fn t() -> DramTimings {
+        DramTimings::ddr2_667()
+    }
+
+    #[test]
+    fn read_latency_matches_timing_sum() {
+        let mut bank = Bank::new();
+        let issue = bank.issue(RequestKind::Read, 0, &t());
+        assert_eq!(issue.activate_at, 0);
+        assert_eq!(issue.data_done_at, t().t_rcd + t().t_cl + t().t_burst);
+        assert_eq!(issue.ready_again_at, t().read_bank_occupancy());
+    }
+
+    #[test]
+    fn back_to_back_reads_are_separated_by_trc() {
+        let mut bank = Bank::new();
+        let first = bank.issue(RequestKind::Read, 0, &t());
+        let second = bank.issue(RequestKind::Read, 0, &t());
+        assert_eq!(second.activate_at, first.ready_again_at);
+        assert!(second.activate_at >= t().t_rc);
+    }
+
+    #[test]
+    fn write_occupies_bank_longer_than_read() {
+        let mut r = Bank::new();
+        let mut w = Bank::new();
+        let read = r.issue(RequestKind::Read, 0, &t());
+        let write = w.issue(RequestKind::Write, 0, &t());
+        assert!(write.ready_again_at > read.ready_again_at);
+    }
+
+    #[test]
+    fn issue_respects_earliest_start() {
+        let mut bank = Bank::new();
+        let later = ps_from_ns(500.0);
+        let issue = bank.issue(RequestKind::Read, later, &t());
+        assert_eq!(issue.activate_at, later);
+    }
+
+    #[test]
+    fn counters_track_reads_and_writes() {
+        let mut bank = Bank::new();
+        bank.issue(RequestKind::Read, 0, &t());
+        bank.issue(RequestKind::Write, 0, &t());
+        bank.issue(RequestKind::Write, 0, &t());
+        assert_eq!(bank.reads(), 1);
+        assert_eq!(bank.writes(), 2);
+        assert_eq!(bank.activations(), 3);
+    }
+
+    #[test]
+    fn group_enforces_trrd_between_different_banks() {
+        let mut group = BankGroup::new(8);
+        let a = group.issue(0, RequestKind::Read, 0, &t());
+        let b = group.issue(1, RequestKind::Read, 0, &t());
+        assert!(b.activate_at >= a.activate_at + t().t_rrd);
+    }
+
+    #[test]
+    fn group_different_banks_overlap_more_than_same_bank() {
+        let timings = t();
+        let mut group = BankGroup::new(8);
+        group.issue(0, RequestKind::Read, 0, &timings);
+        let other_bank = group.earliest_activate(1, &timings);
+        let same_bank = group.earliest_activate(0, &timings);
+        assert!(other_bank < same_bank, "bank-level parallelism must exist");
+    }
+
+    #[test]
+    fn group_activation_total_accumulates() {
+        let mut group = BankGroup::new(4);
+        for i in 0..12 {
+            group.issue(i % 4, RequestKind::Read, 0, &t());
+        }
+        assert_eq!(group.activations(), 12);
+        assert_eq!(group.len(), 4);
+        assert!(!group.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Southbound / northbound channel link model.
+//!
+//! Each logical FBDIMM channel has two unidirectional links: the southbound
+//! link carries commands and write data away from the controller, and the
+//! northbound link returns read data. Both are modelled as serially-reusable
+//! bandwidth resources: a transfer occupies the link for
+//! `bytes / bandwidth` and transfers are serviced in reservation order.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Picos;
+
+/// A unidirectional link modelled as a serially reusable resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Link {
+    free_at: Picos,
+    busy_ps: Picos,
+    transfers: u64,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new() -> Self {
+        Link::default()
+    }
+
+    /// Earliest time a new transfer may start.
+    pub fn free_at(&self) -> Picos {
+        self.free_at
+    }
+
+    /// Reserves the link for a transfer of duration `occupancy`, starting no
+    /// earlier than `earliest`. Returns the actual start time.
+    pub fn reserve(&mut self, earliest: Picos, occupancy: Picos) -> Picos {
+        let start = earliest.max(self.free_at);
+        self.free_at = start + occupancy;
+        self.busy_ps += occupancy;
+        self.transfers += 1;
+        start
+    }
+
+    /// Total time the link has been busy.
+    pub fn busy_ps(&self) -> Picos {
+        self.busy_ps
+    }
+
+    /// Number of transfers carried.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Utilization of the link over the interval `[0, horizon_ps]`.
+    /// Returns a value in `[0, 1]` (clamped) or 0 for an empty horizon.
+    pub fn utilization(&self, horizon_ps: Picos) -> f64 {
+        if horizon_ps == 0 {
+            return 0.0;
+        }
+        (self.busy_ps as f64 / horizon_ps as f64).min(1.0)
+    }
+}
+
+/// The pair of links belonging to one logical channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChannelLinks {
+    /// Southbound link (commands and write data).
+    pub southbound: Link,
+    /// Northbound link (read return data).
+    pub northbound: Link,
+}
+
+impl ChannelLinks {
+    /// Creates a channel with both links idle.
+    pub fn new() -> Self {
+        ChannelLinks::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_are_serialized() {
+        let mut link = Link::new();
+        let a = link.reserve(0, 100);
+        let b = link.reserve(0, 100);
+        assert_eq!(a, 0);
+        assert_eq!(b, 100);
+        assert_eq!(link.free_at(), 200);
+    }
+
+    #[test]
+    fn reservation_respects_earliest() {
+        let mut link = Link::new();
+        let start = link.reserve(5_000, 10);
+        assert_eq!(start, 5_000);
+    }
+
+    #[test]
+    fn busy_time_and_transfer_count_accumulate() {
+        let mut link = Link::new();
+        link.reserve(0, 50);
+        link.reserve(0, 70);
+        assert_eq!(link.busy_ps(), 120);
+        assert_eq!(link.transfers(), 2);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut link = Link::new();
+        link.reserve(0, 500);
+        assert_eq!(link.utilization(0), 0.0);
+        assert!((link.utilization(1_000) - 0.5).abs() < 1e-12);
+        assert_eq!(link.utilization(100), 1.0);
+    }
+
+    #[test]
+    fn channel_links_start_idle() {
+        let ch = ChannelLinks::new();
+        assert_eq!(ch.southbound.free_at(), 0);
+        assert_eq!(ch.northbound.free_at(), 0);
+    }
+}

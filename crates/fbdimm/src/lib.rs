@@ -1,0 +1,62 @@
+//! # fbdimm-sim
+//!
+//! A transaction-level simulator of a Fully Buffered DIMM (FBDIMM) memory
+//! subsystem, as used by the ISCA 2007 paper *Thermal modeling and management
+//! of DRAM memory systems*.
+//!
+//! The simulator models:
+//!
+//! * DDR2 DRAM bank timing (`tRCD`, `tCL`, `tRP`, `tRAS`, `tRC`, `tWL`,
+//!   `tWTR`, `tRRD`, burst transfers) under the close-page, auto-precharge
+//!   policy used throughout the paper,
+//! * the Advanced Memory Buffer (AMB) on every DIMM, including the split of
+//!   traffic into *local* requests (served by the DIMM's own DRAM devices)
+//!   and *bypass* requests (forwarded along the daisy chain), which is the
+//!   quantity the AMB power model of the paper consumes,
+//! * the narrow southbound (commands + write data) and northbound (read
+//!   data) channel links with their respective peak bandwidths,
+//! * a memory controller with a bounded transaction queue, variable read
+//!   latency along the daisy chain, and the row-activation-window bandwidth
+//!   throttling mechanism used by the DTM-BW scheme.
+//!
+//! The model operates at memory-transaction granularity (one event per
+//! 64-byte cache-line transfer) rather than per DRAM command cycle; bank and
+//! link occupancy are tracked with next-free timestamps so that sustained
+//! throughput, queueing delay and per-DIMM traffic splits come out of the
+//! simulation rather than being assumed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fbdimm_sim::{FbdimmConfig, MemorySystem, MemRequest, RequestKind};
+//!
+//! let mut mem = MemorySystem::new(FbdimmConfig::ddr2_667_paper());
+//! // Issue a read to line address 0 and advance time until it completes.
+//! let id = mem.enqueue(MemRequest::new(0, RequestKind::Read, 0)).unwrap();
+//! let done = mem.run_until_idle();
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(done[0].id, id);
+//! assert!(done[0].finish_ps > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod amb;
+pub mod bank;
+pub mod channel;
+pub mod config;
+pub mod controller;
+pub mod stats;
+pub mod system;
+pub mod throttle;
+pub mod time;
+pub mod types;
+
+pub use config::{DramTimings, FbdimmConfig};
+pub use controller::{EnqueueError, MemoryController};
+pub use stats::{ChannelTraffic, DimmTraffic, MemoryStats, TrafficWindow};
+pub use system::{Completion, MemorySystem};
+pub use throttle::ActivationThrottle;
+pub use time::{ps_from_ns, ps_from_us, ps_to_ns, ps_to_secs, Picos, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
+pub use types::{DimmLocation, LineAddr, MemRequest, RequestId, RequestKind};

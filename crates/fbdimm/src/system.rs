@@ -1,0 +1,182 @@
+//! Top-level memory-system façade.
+//!
+//! [`MemorySystem`] wraps the [`MemoryController`] with the small amount of
+//! bookkeeping the CPU model and the two-level thermal simulator need: a
+//! notion of "run until everything issued so far has completed", traffic
+//! window snapshots and bandwidth-cap control.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FbdimmConfig;
+use crate::controller::{EnqueueError, MemoryController};
+use crate::stats::TrafficWindow;
+use crate::time::Picos;
+use crate::types::{MemRequest, RequestId};
+
+pub use crate::controller::Completion;
+
+/// Summary of a completed batch of transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// Number of transactions in the batch.
+    pub transactions: u64,
+    /// Time the last transaction finished.
+    pub finish_ps: Picos,
+    /// Mean latency over the batch in nanoseconds.
+    pub mean_latency_ns: f64,
+    /// Achieved throughput over the batch in GB/s.
+    pub throughput_gbps: f64,
+}
+
+/// The FBDIMM memory subsystem.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    controller: MemoryController,
+}
+
+impl MemorySystem {
+    /// Creates a memory system from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FbdimmConfig::validate`]).
+    pub fn new(cfg: FbdimmConfig) -> Self {
+        MemorySystem { controller: MemoryController::new(cfg) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FbdimmConfig {
+        self.controller.config()
+    }
+
+    /// Enqueues a transaction; see [`MemoryController::enqueue`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnqueueError`] from the controller.
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<RequestId, EnqueueError> {
+        self.controller.enqueue(req)
+    }
+
+    /// Enqueues a transaction and returns its completion record directly;
+    /// see [`MemoryController::enqueue_returning`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnqueueError`] from the controller.
+    pub fn enqueue_returning(&mut self, req: MemRequest) -> Result<Completion, EnqueueError> {
+        self.controller.enqueue_returning(req)
+    }
+
+    /// Returns all completions recorded so far (sorted by finish time) and
+    /// clears the internal completion buffer.
+    pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        self.controller.drain_completions()
+    }
+
+    /// Finish time of the latest transaction scheduled so far.
+    pub fn horizon_ps(&self) -> Picos {
+        self.controller.last_finish_ps()
+    }
+
+    /// Sets (or clears) the bandwidth cap used by DTM-BW style throttling.
+    pub fn set_bandwidth_cap(&mut self, cap_bytes_per_sec: Option<f64>) {
+        self.controller.set_bandwidth_cap(cap_bytes_per_sec);
+    }
+
+    /// Whether the memory subsystem is currently shut off.
+    pub fn is_shut_off(&self) -> bool {
+        self.controller.is_shut_off()
+    }
+
+    /// Takes a traffic window snapshot ending at `now_ps`.
+    pub fn take_window(&mut self, now_ps: Picos) -> TrafficWindow {
+        self.controller.take_window(now_ps)
+    }
+
+    /// Issues a whole batch of requests (in order) and summarises the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EnqueueError`] encountered.
+    pub fn run_batch<I>(&mut self, requests: I) -> Result<BatchSummary, EnqueueError>
+    where
+        I: IntoIterator<Item = MemRequest>,
+    {
+        let mut n = 0u64;
+        let mut bytes = 0u64;
+        for req in requests {
+            self.enqueue(req)?;
+            n += 1;
+            bytes += self.config().line_bytes;
+        }
+        let completions = self.run_until_idle();
+        let finish = completions.iter().map(|c| c.finish_ps).max().unwrap_or(0);
+        let mean_latency_ns = if completions.is_empty() {
+            0.0
+        } else {
+            completions.iter().map(|c| c.latency_ps() as f64).sum::<f64>() / completions.len() as f64 / 1_000.0
+        };
+        let throughput_gbps = if finish == 0 {
+            0.0
+        } else {
+            bytes as f64 / 1e9 / (finish as f64 / crate::time::PS_PER_SEC as f64)
+        };
+        Ok(BatchSummary { transactions: n, finish_ps: finish, mean_latency_ns, throughput_gbps })
+    }
+
+    /// Immutable access to the underlying controller (for advanced callers).
+    pub fn controller(&self) -> &MemoryController {
+        &self.controller
+    }
+
+    /// Mutable access to the underlying controller (for advanced callers).
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.controller
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RequestKind;
+
+    #[test]
+    fn batch_of_reads_reports_sane_summary() {
+        let mut mem = MemorySystem::new(FbdimmConfig::ddr2_667_paper());
+        let reqs = (0..10_000u64).map(|l| MemRequest::new(l, RequestKind::Read, 0));
+        let summary = mem.run_batch(reqs).unwrap();
+        assert_eq!(summary.transactions, 10_000);
+        assert!(summary.throughput_gbps > 1.0);
+        assert!(summary.mean_latency_ns > 30.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut mem = MemorySystem::new(FbdimmConfig::ddr2_667_paper());
+        let summary = mem.run_batch(std::iter::empty()).unwrap();
+        assert_eq!(summary.transactions, 0);
+        assert_eq!(summary.finish_ps, 0);
+        assert_eq!(summary.throughput_gbps, 0.0);
+    }
+
+    #[test]
+    fn window_after_batch_contains_all_traffic() {
+        let mut mem = MemorySystem::new(FbdimmConfig::ddr2_667_paper());
+        for l in 0..5_000u64 {
+            mem.enqueue(MemRequest::new(l, RequestKind::Read, 0)).unwrap();
+        }
+        let horizon = mem.horizon_ps();
+        let w = mem.take_window(horizon);
+        assert_eq!(w.reads, 5_000);
+    }
+
+    #[test]
+    fn bandwidth_cap_round_trips_through_system_facade() {
+        let mut mem = MemorySystem::new(FbdimmConfig::ddr2_667_paper());
+        mem.set_bandwidth_cap(Some(0.0));
+        assert!(mem.is_shut_off());
+        mem.set_bandwidth_cap(None);
+        assert!(!mem.is_shut_off());
+    }
+}

@@ -1,0 +1,106 @@
+//! Time representation used throughout the simulator.
+//!
+//! All simulated time is kept in integer **picoseconds** (`u64`) so that
+//! DRAM timing arithmetic is exact and deterministic across platforms. A few
+//! convenience conversions to/from nanoseconds and seconds are provided.
+
+/// Simulated time in picoseconds.
+pub type Picos = u64;
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: Picos = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: Picos = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: Picos = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: Picos = 1_000_000_000_000;
+
+/// Converts a duration in nanoseconds (possibly fractional) to picoseconds.
+///
+/// ```
+/// use fbdimm_sim::time::ps_from_ns;
+/// assert_eq!(ps_from_ns(15.0), 15_000);
+/// assert_eq!(ps_from_ns(1.5), 1_500);
+/// ```
+pub fn ps_from_ns(ns: f64) -> Picos {
+    (ns * PS_PER_NS as f64).round() as Picos
+}
+
+/// Converts a duration in microseconds to picoseconds.
+///
+/// ```
+/// use fbdimm_sim::time::ps_from_us;
+/// assert_eq!(ps_from_us(25.0), 25_000_000);
+/// ```
+pub fn ps_from_us(us: f64) -> Picos {
+    (us * PS_PER_US as f64).round() as Picos
+}
+
+/// Converts a picosecond duration to fractional nanoseconds.
+///
+/// ```
+/// use fbdimm_sim::time::ps_to_ns;
+/// assert!((ps_to_ns(15_000) - 15.0).abs() < 1e-12);
+/// ```
+pub fn ps_to_ns(ps: Picos) -> f64 {
+    ps as f64 / PS_PER_NS as f64
+}
+
+/// Converts a picosecond duration to fractional seconds.
+///
+/// ```
+/// use fbdimm_sim::time::ps_to_secs;
+/// assert!((ps_to_secs(2_000_000_000_000) - 2.0).abs() < 1e-12);
+/// ```
+pub fn ps_to_secs(ps: Picos) -> f64 {
+    ps as f64 / PS_PER_SEC as f64
+}
+
+/// Computes achieved bandwidth in GB/s given bytes transferred over a
+/// picosecond interval. Returns 0.0 for an empty interval.
+///
+/// ```
+/// use fbdimm_sim::time::{bandwidth_gbps, PS_PER_SEC};
+/// // 8 GB in one second is 8 GB/s.
+/// assert!((bandwidth_gbps(8_000_000_000, PS_PER_SEC) - 8.0).abs() < 1e-9);
+/// ```
+pub fn bandwidth_gbps(bytes: u64, interval_ps: Picos) -> f64 {
+    if interval_ps == 0 {
+        return 0.0;
+    }
+    let secs = ps_to_secs(interval_ps);
+    bytes as f64 / 1e9 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        for ns in [0.0, 1.0, 3.75, 15.0, 54.0, 10_000.0] {
+            let ps = ps_from_ns(ns);
+            assert!((ps_to_ns(ps) - ns).abs() < 1e-9, "round trip failed for {ns}");
+        }
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(PS_PER_NS * 1_000, PS_PER_US);
+        assert_eq!(PS_PER_US * 1_000, PS_PER_MS);
+        assert_eq!(PS_PER_MS * 1_000, PS_PER_SEC);
+    }
+
+    #[test]
+    fn bandwidth_of_zero_interval_is_zero() {
+        assert_eq!(bandwidth_gbps(1024, 0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_scales_linearly_with_bytes() {
+        let one = bandwidth_gbps(1_000_000, PS_PER_MS);
+        let two = bandwidth_gbps(2_000_000, PS_PER_MS);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Request, address and identifier types shared across the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FbdimmConfig;
+use crate::time::Picos;
+
+/// A 64-byte-line address (i.e. the physical address divided by the line
+/// size). Address mapping into channel / DIMM / bank / row is derived from
+/// this value.
+pub type LineAddr = u64;
+
+/// Unique identifier of an in-flight memory request, assigned by the
+/// controller at enqueue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Kind of a memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// A read (cache-line fill).
+    Read,
+    /// A write (dirty line write-back).
+    Write,
+}
+
+impl RequestKind {
+    /// Returns `true` for reads.
+    pub fn is_read(self) -> bool {
+        matches!(self, RequestKind::Read)
+    }
+
+    /// Returns `true` for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, RequestKind::Write)
+    }
+}
+
+/// A memory request presented to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Line address of the access.
+    pub line: LineAddr,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Identifier of the requesting core (used only for statistics).
+    pub core: usize,
+    /// Time at which the request arrived at the controller.
+    pub arrival_ps: Picos,
+}
+
+impl MemRequest {
+    /// Creates a request arriving at time zero.
+    ///
+    /// ```
+    /// use fbdimm_sim::{MemRequest, RequestKind};
+    /// let r = MemRequest::new(0x40, RequestKind::Write, 2);
+    /// assert!(r.kind.is_write());
+    /// assert_eq!(r.core, 2);
+    /// ```
+    pub fn new(line: LineAddr, kind: RequestKind, core: usize) -> Self {
+        MemRequest { line, kind, core, arrival_ps: 0 }
+    }
+
+    /// Creates a request with an explicit arrival time.
+    pub fn at(line: LineAddr, kind: RequestKind, core: usize, arrival_ps: Picos) -> Self {
+        MemRequest { line, kind, core, arrival_ps }
+    }
+}
+
+/// Location of a line in the memory subsystem: logical channel, DIMM
+/// position along the daisy chain (0 = closest to the controller) and bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimmLocation {
+    /// Logical channel index.
+    pub channel: usize,
+    /// DIMM position along the daisy chain; 0 is closest to the controller.
+    pub dimm: usize,
+    /// Bank index within the DIMM.
+    pub bank: usize,
+    /// DRAM row (used only to detect row-buffer locality in open-page mode).
+    pub row: u64,
+}
+
+/// Maps a line address to its location using the paper's interleaving:
+/// consecutive lines rotate across logical channels first (to spread
+/// bandwidth), then across DIMMs, then across banks; the remaining bits form
+/// the row.
+///
+/// ```
+/// use fbdimm_sim::types::map_address;
+/// use fbdimm_sim::FbdimmConfig;
+/// let cfg = FbdimmConfig::ddr2_667_paper();
+/// let a = map_address(&cfg, 0);
+/// let b = map_address(&cfg, 1);
+/// assert_ne!((a.channel, a.dimm, a.bank), (b.channel, b.dimm, b.bank));
+/// ```
+pub fn map_address(cfg: &FbdimmConfig, line: LineAddr) -> DimmLocation {
+    let channels = cfg.logical_channels as u64;
+    let dimms = cfg.dimms_per_channel as u64;
+    let banks = cfg.banks_per_dimm as u64;
+
+    let channel = (line % channels) as usize;
+    let rest = line / channels;
+    let bank = (rest % banks) as usize;
+    let rest = rest / banks;
+    let dimm = (rest % dimms) as usize;
+    let row = rest / dimms;
+
+    DimmLocation { channel, dimm, bank, row }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FbdimmConfig {
+        FbdimmConfig::ddr2_667_paper()
+    }
+
+    #[test]
+    fn request_kind_predicates() {
+        assert!(RequestKind::Read.is_read());
+        assert!(!RequestKind::Read.is_write());
+        assert!(RequestKind::Write.is_write());
+    }
+
+    #[test]
+    fn mapping_is_within_bounds() {
+        let cfg = cfg();
+        for line in 0..10_000u64 {
+            let loc = map_address(&cfg, line);
+            assert!(loc.channel < cfg.logical_channels);
+            assert!(loc.dimm < cfg.dimms_per_channel);
+            assert!(loc.bank < cfg.banks_per_dimm);
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_alternate_channels() {
+        let cfg = cfg();
+        let a = map_address(&cfg, 100);
+        let b = map_address(&cfg, 101);
+        assert_ne!(a.channel, b.channel);
+    }
+
+    #[test]
+    fn mapping_is_deterministic_and_injective_over_small_range() {
+        let cfg = cfg();
+        let total_slots = (cfg.logical_channels * cfg.dimms_per_channel * cfg.banks_per_dimm) as u64;
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..total_slots {
+            let loc = map_address(&cfg, line);
+            assert_eq!(loc.row, 0, "first rotation stays in row 0");
+            assert!(seen.insert((loc.channel, loc.dimm, loc.bank)), "collision at line {line}");
+        }
+        assert_eq!(seen.len() as u64, total_slots);
+    }
+
+    #[test]
+    fn display_of_request_id() {
+        assert_eq!(RequestId(7).to_string(), "req#7");
+    }
+}

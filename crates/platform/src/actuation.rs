@@ -1,0 +1,214 @@
+//! CPU hotplug and cpufreq actuation emulation (Section 5.2.1).
+//!
+//! The software DTM policies act on the machine through two Linux
+//! mechanisms: *CPU hotplug* (writing 0/1 to
+//! `/sys/devices/system/cpu/cpuN/online`) to gate cores and *cpufreq*
+//! (writing a kHz value to `scaling_setspeed`) to scale frequency and
+//! voltage. This module emulates both interfaces, including their
+//! restrictions: the boot core (cpu0) cannot be unplugged, and only the
+//! advertised frequency steps are accepted.
+
+use cpu_model::{DvfsLadder, OperatingPoint};
+use serde::{Deserialize, Serialize};
+
+/// Errors returned by the hotplug emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HotplugError {
+    /// The first core of the first processor cannot be taken offline.
+    BootCore,
+    /// The core index does not exist.
+    NoSuchCore {
+        /// The offending index.
+        core: usize,
+    },
+}
+
+impl std::fmt::Display for HotplugError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HotplugError::BootCore => write!(f, "cpu0 cannot be taken offline"),
+            HotplugError::NoSuchCore { core } => write!(f, "no such core: cpu{core}"),
+        }
+    }
+}
+
+impl std::error::Error for HotplugError {}
+
+/// CPU hotplug state: which cores are online.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuHotplug {
+    online: Vec<bool>,
+    transitions: u64,
+}
+
+impl CpuHotplug {
+    /// Creates the emulation with all `cores` cores online.
+    pub fn new(cores: usize) -> Self {
+        CpuHotplug { online: vec![true; cores.max(1)], transitions: 0 }
+    }
+
+    /// Number of cores known to the emulation.
+    pub fn cores(&self) -> usize {
+        self.online.len()
+    }
+
+    /// Number of cores currently online.
+    pub fn online_count(&self) -> usize {
+        self.online.iter().filter(|&&o| o).count()
+    }
+
+    /// Whether `core` is online.
+    pub fn is_online(&self, core: usize) -> bool {
+        self.online.get(core).copied().unwrap_or(false)
+    }
+
+    /// Number of online/offline transitions performed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Emulates writing `1`/`0` to `/sys/devices/system/cpu/cpu{core}/online`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HotplugError::BootCore`] when taking core 0 offline and
+    /// [`HotplugError::NoSuchCore`] for out-of-range indices.
+    pub fn set_online(&mut self, core: usize, online: bool) -> Result<(), HotplugError> {
+        if core >= self.online.len() {
+            return Err(HotplugError::NoSuchCore { core });
+        }
+        if core == 0 && !online {
+            return Err(HotplugError::BootCore);
+        }
+        if self.online[core] != online {
+            self.online[core] = online;
+            self.transitions += 1;
+        }
+        Ok(())
+    }
+
+    /// Brings exactly `target` cores online (never fewer than one), gating
+    /// from the highest core index down — the order the study's policy
+    /// daemon uses. Returns the number of cores actually online afterwards.
+    pub fn set_online_count(&mut self, target: usize) -> usize {
+        let target = target.clamp(1, self.online.len());
+        for core in (1..self.online.len()).rev() {
+            let want_online = core < target;
+            let _ = self.set_online(core, want_online);
+        }
+        self.online_count()
+    }
+}
+
+/// cpufreq emulation: per-core frequency within a fixed ladder, with voltage
+/// following frequency automatically (as on the Xeon 5160).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuFreqControl {
+    ladder: DvfsLadder,
+    current_index: usize,
+    transitions: u64,
+}
+
+impl CpuFreqControl {
+    /// Creates the control for a DVFS ladder, starting at the top point.
+    pub fn new(ladder: DvfsLadder) -> Self {
+        CpuFreqControl { ladder, current_index: 0, transitions: 0 }
+    }
+
+    /// The currently selected operating point.
+    pub fn current(&self) -> OperatingPoint {
+        self.ladder.point(self.current_index)
+    }
+
+    /// Number of frequency transitions performed.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Emulates writing `khz` to `scaling_setspeed`; the value must match an
+    /// advertised step (rounded to the nearest kHz).
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of supported frequencies when the requested one is
+    /// not available.
+    pub fn set_khz(&mut self, khz: u64) -> Result<OperatingPoint, Vec<u64>> {
+        let supported: Vec<u64> = self.ladder.points().iter().map(|p| (p.freq_ghz * 1e6).round() as u64).collect();
+        match supported.iter().position(|&s| s == khz) {
+            Some(idx) => {
+                if idx != self.current_index {
+                    self.current_index = idx;
+                    self.transitions += 1;
+                }
+                Ok(self.current())
+            }
+            None => Err(supported),
+        }
+    }
+
+    /// Selects a ladder index directly (0 = fastest), clamping to the ladder.
+    pub fn set_index(&mut self, index: usize) -> OperatingPoint {
+        let clamped = index.min(self.ladder.len() - 1);
+        if clamped != self.current_index {
+            self.current_index = clamped;
+            self.transitions += 1;
+        }
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cores_start_online() {
+        let hp = CpuHotplug::new(4);
+        assert_eq!(hp.online_count(), 4);
+        assert!(hp.is_online(3));
+    }
+
+    #[test]
+    fn boot_core_cannot_be_unplugged() {
+        let mut hp = CpuHotplug::new(4);
+        assert_eq!(hp.set_online(0, false), Err(HotplugError::BootCore));
+        assert!(hp.set_online(1, false).is_ok());
+        assert_eq!(hp.online_count(), 3);
+        assert!(hp.set_online(9, false).is_err());
+        assert!(HotplugError::BootCore.to_string().contains("cpu0"));
+    }
+
+    #[test]
+    fn online_count_targets_are_clamped_and_ordered() {
+        let mut hp = CpuHotplug::new(4);
+        assert_eq!(hp.set_online_count(2), 2);
+        // Highest cores are gated first.
+        assert!(hp.is_online(0) && hp.is_online(1));
+        assert!(!hp.is_online(2) && !hp.is_online(3));
+        assert_eq!(hp.set_online_count(0), 1, "at least one core always stays online");
+        assert_eq!(hp.set_online_count(99), 4);
+        assert!(hp.transitions() > 0);
+    }
+
+    #[test]
+    fn cpufreq_accepts_only_advertised_steps() {
+        let mut cf = CpuFreqControl::new(DvfsLadder::xeon_5160());
+        assert!((cf.current().freq_ghz - 3.0).abs() < 1e-9);
+        let ok = cf.set_khz(2_667_000).unwrap();
+        assert!((ok.freq_ghz - 2.667).abs() < 1e-9);
+        let err = cf.set_khz(1_234_567).unwrap_err();
+        assert_eq!(err.len(), 4);
+        assert_eq!(cf.transitions(), 1);
+    }
+
+    #[test]
+    fn voltage_follows_frequency() {
+        let mut cf = CpuFreqControl::new(DvfsLadder::xeon_5160());
+        let slow = cf.set_index(3);
+        assert!((slow.voltage - 1.0375).abs() < 1e-9);
+        let fast = cf.set_index(0);
+        assert!(fast.voltage > slow.voltage);
+        // Out-of-range indices clamp to the slowest point.
+        assert!((cf.set_index(99).freq_ghz - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! # platform-emu
+//!
+//! Emulation of the two FBDIMM server platforms used by the Chapter 5
+//! measurement study (the SIGMETRICS 2008 follow-on of the ISCA 2007
+//! paper): a Dell PowerEdge 1950 and an instrumented Intel SR1500AL.
+//!
+//! The real study implements the DTM policies in software on Linux, reading
+//! the AMB thermal sensors through the chipset, gating cores through CPU
+//! hotplug and scaling frequency through cpufreq. This crate reproduces that
+//! software stack against the simulated substrate instead of real hardware:
+//!
+//! * [`server`] — the two server specifications (DIMM count, cooling,
+//!   ambient temperature, CPU→memory thermal interaction strength, thermal
+//!   emergency table of Table 5.1);
+//! * [`sensors`] — AMB / inlet thermal sensors with noise and quantization,
+//!   sampled once per second like the measurement daemon;
+//! * [`actuation`] — CPU hotplug and cpufreq actuation emulation with the
+//!   sysfs-style interface and its restrictions (core 0 cannot be
+//!   unplugged);
+//! * [`policies`] — the software DTM policies DTM-BW, DTM-ACG, DTM-CDVFS
+//!   and DTM-COMB with the per-server thermal running levels of Table 5.1;
+//! * [`scheduler`] — the Linux time-slice sharing model used when two
+//!   programs share a core under DTM-ACG (Figure 5.15);
+//! * [`measurement`] — performance-counter and power-meter style summaries
+//!   of a run (retired instructions, L2 misses, CPU power, energy);
+//! * [`experiment`] — the experiment driver that runs a workload mix under a
+//!   policy on a server and produces the Chapter 5 measurements.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod actuation;
+pub mod experiment;
+pub mod measurement;
+pub mod policies;
+pub mod scheduler;
+pub mod sensors;
+pub mod server;
+
+pub use actuation::{CpuFreqControl, CpuHotplug, HotplugError};
+pub use experiment::{PlatformExperiment, PlatformRun};
+pub use measurement::Measurement;
+pub use policies::{PlatformPolicy, PolicyKind};
+pub use scheduler::TimeSliceModel;
+pub use sensors::{SensorArray, ThermalSensor};
+pub use server::{Server, ServerKind};

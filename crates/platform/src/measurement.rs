@@ -1,0 +1,179 @@
+//! Measurement harness: performance counters and power/energy summaries.
+//!
+//! The study collects three hardware performance counters per benchmark
+//! (retired instructions, last-level-cache references, last-level-cache
+//! misses) with `pfmon`, and component-level power with the SR1500AL's
+//! instrumented daughter card. This module condenses a simulation run into
+//! the same quantities so the Chapter 5 figures can be regenerated.
+
+use memtherm::sim::memspot::MemSpotResult;
+use serde::{Deserialize, Serialize};
+
+use crate::server::Server;
+
+/// Summary of one run in the quantities the Chapter 5 figures report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Server the run executed on.
+    pub server: String,
+    /// Policy name.
+    pub policy: String,
+    /// Workload mix identifier.
+    pub workload: String,
+    /// Batch running time in seconds.
+    pub running_time_s: f64,
+    /// Retired instructions (the INSTRUCTIONS_RETIRED counter).
+    pub retired_instructions: f64,
+    /// Last-level-cache misses (the LAST_LEVEL_CACHE_MISSES counter).
+    pub llc_misses: f64,
+    /// Average CPU power in watts.
+    pub cpu_power_w: f64,
+    /// Average memory (FBDIMM) power in watts.
+    pub memory_power_w: f64,
+    /// CPU energy in joules.
+    pub cpu_energy_j: f64,
+    /// Memory energy in joules.
+    pub memory_energy_j: f64,
+    /// Average memory inlet (CPU exhaust) temperature, °C.
+    pub memory_inlet_c: f64,
+    /// Maximum AMB temperature observed, °C.
+    pub max_amb_c: f64,
+    /// Whether the batch finished before the safety stop.
+    pub completed: bool,
+}
+
+impl Measurement {
+    /// Builds a measurement from a MEMSpot result obtained on a server.
+    pub fn from_result(server: &Server, result: &MemSpotResult) -> Self {
+        Measurement {
+            server: server.kind.to_string(),
+            policy: result.policy.clone(),
+            workload: result.workload.clone(),
+            running_time_s: result.running_time_s,
+            retired_instructions: result.total_instructions,
+            llc_misses: result.total_l2_misses,
+            cpu_power_w: result.avg_cpu_power_w,
+            memory_power_w: result.avg_memory_power_w,
+            cpu_energy_j: result.cpu_energy_j,
+            memory_energy_j: result.memory_energy_j,
+            memory_inlet_c: result.avg_ambient_c,
+            max_amb_c: result.max_amb_c,
+            completed: result.completed,
+        }
+    }
+
+    /// Combined CPU + memory energy, joules (the quantity of Figure 5.11).
+    pub fn total_energy_j(&self) -> f64 {
+        self.cpu_energy_j + self.memory_energy_j
+    }
+
+    /// Running time normalized to a reference measurement.
+    pub fn normalized_time(&self, reference: &Measurement) -> f64 {
+        if reference.running_time_s <= 0.0 {
+            f64::NAN
+        } else {
+            self.running_time_s / reference.running_time_s
+        }
+    }
+
+    /// LLC misses normalized to a reference measurement.
+    pub fn normalized_llc_misses(&self, reference: &Measurement) -> f64 {
+        if reference.llc_misses <= 0.0 {
+            f64::NAN
+        } else {
+            self.llc_misses / reference.llc_misses
+        }
+    }
+
+    /// Total energy normalized to a reference measurement.
+    pub fn normalized_energy(&self, reference: &Measurement) -> f64 {
+        let denom = reference.total_energy_j();
+        if denom <= 0.0 {
+            f64::NAN
+        } else {
+            self.total_energy_j() / denom
+        }
+    }
+}
+
+/// Pearson correlation coefficient between two series — the statistic the
+/// study uses to link performance improvement to L2-miss reduction
+/// (Section 5.4.3 reports 0.956 on the PE1950 and 0.926 on the SR1500AL).
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(time: f64, misses: f64, cpu_j: f64, mem_j: f64) -> Measurement {
+        Measurement {
+            server: "SR1500AL".into(),
+            policy: "DTM-BW".into(),
+            workload: "W1".into(),
+            running_time_s: time,
+            retired_instructions: 1e12,
+            llc_misses: misses,
+            cpu_power_w: cpu_j / time,
+            memory_power_w: mem_j / time,
+            cpu_energy_j: cpu_j,
+            memory_energy_j: mem_j,
+            memory_inlet_c: 46.0,
+            max_amb_c: 99.0,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn normalization_is_relative_to_the_reference() {
+        let reference = measurement(1_000.0, 1e9, 200_000.0, 80_000.0);
+        let other = measurement(900.0, 0.7e9, 150_000.0, 76_000.0);
+        assert!((other.normalized_time(&reference) - 0.9).abs() < 1e-12);
+        assert!((other.normalized_llc_misses(&reference) - 0.7).abs() < 1e-12);
+        assert!((other.normalized_energy(&reference) - 226_000.0 / 280_000.0).abs() < 1e-12);
+        assert!((other.total_energy_j() - 226_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_references_yield_nan() {
+        let reference = measurement(0.0, 0.0, 0.0, 0.0);
+        let other = measurement(10.0, 10.0, 10.0, 10.0);
+        assert!(other.normalized_time(&reference).is_nan());
+        assert!(other.normalized_llc_misses(&reference).is_nan());
+        assert!(other.normalized_energy(&reference).is_nan());
+    }
+
+    #[test]
+    fn correlation_detects_perfect_linear_relationships() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_handles_bad_input() {
+        assert!(correlation(&[1.0], &[1.0]).is_nan());
+        assert!(correlation(&[1.0, 2.0], &[1.0]).is_nan());
+        assert!(correlation(&[1.0, 1.0], &[1.0, 2.0]).is_nan());
+    }
+}

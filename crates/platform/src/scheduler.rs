@@ -1,0 +1,135 @@
+//! Linux time-slice sharing model (Section 5.4.5, Figure 5.15).
+//!
+//! When DTM-ACG gates one core of a dual-core chip, the two programs that
+//! were running on that chip share the remaining core, alternating every
+//! scheduler time slice (100 ms by default). Each switch costs the incoming
+//! program the part of its hot working set that the other program evicted
+//! while it was descheduled, so shortening the time slice inflates the L2
+//! miss count and, for memory-bound programs, the running time. The study
+//! finds the penalty negligible above a 20 ms slice and growing quickly
+//! below it.
+
+use serde::{Deserialize, Serialize};
+use workloads::AppBehavior;
+
+/// Model of the cost of time-slice sharing of one core by two programs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeSliceModel {
+    /// Scheduler base time slice in seconds (Linux default: 100 ms).
+    pub time_slice_s: f64,
+    /// Capacity of the shared L2 available to the two programs, bytes.
+    pub l2_bytes: u64,
+    /// Core frequency while sharing, GHz.
+    pub freq_ghz: f64,
+}
+
+impl TimeSliceModel {
+    /// The default configuration of the study: 100 ms slice, 4 MB L2,
+    /// 3.0 GHz.
+    pub fn linux_default() -> Self {
+        TimeSliceModel { time_slice_s: 0.100, l2_bytes: 4 * 1024 * 1024, freq_ghz: 3.0 }
+    }
+
+    /// Returns a copy with a different time slice.
+    pub fn with_time_slice_s(mut self, slice_s: f64) -> Self {
+        self.time_slice_s = slice_s;
+        self
+    }
+
+    /// Extra L2 misses per slice for `app`: the part of its hot working set
+    /// that must be refetched after the other program ran.
+    pub fn refetch_misses_per_slice(&self, app: &AppBehavior) -> f64 {
+        let resident = app.hot_bytes.min(self.l2_bytes / 2) as f64 / 64.0;
+        // Only the fraction the program actually revisits within one slice
+        // needs refetching.
+        let hot_accesses_per_slice =
+            app.l2_apki / 1000.0 * app.hot_fraction * app.base_ipc * self.freq_ghz * 1e9 * self.time_slice_s;
+        resident.min(hot_accesses_per_slice)
+    }
+
+    /// Baseline (no-sharing) L2 misses per slice for `app`, assuming its hot
+    /// region hits and its streaming region misses.
+    pub fn baseline_misses_per_slice(&self, app: &AppBehavior) -> f64 {
+        let accesses_per_slice = app.l2_apki / 1000.0 * app.base_ipc * self.freq_ghz * 1e9 * self.time_slice_s;
+        accesses_per_slice * (1.0 - app.hot_fraction)
+    }
+
+    /// Multiplicative inflation of the L2 miss count caused by sharing.
+    pub fn miss_inflation(&self, app: &AppBehavior) -> f64 {
+        let base = self.baseline_misses_per_slice(app);
+        if base <= 0.0 {
+            return 1.0;
+        }
+        1.0 + self.refetch_misses_per_slice(app) / base
+    }
+
+    /// Multiplicative inflation of running time caused by sharing, for a
+    /// memory-bound program whose progress is proportional to serviced
+    /// misses. A context-switch overhead of 10 µs per switch is included.
+    pub fn runtime_inflation(&self, app: &AppBehavior) -> f64 {
+        let switch_overhead = 10e-6 / self.time_slice_s.max(1e-6);
+        self.miss_inflation(app) + switch_overhead
+    }
+
+    /// Average miss inflation over a set of applications (one workload mix).
+    pub fn mix_miss_inflation(&self, apps: &[AppBehavior]) -> f64 {
+        if apps.is_empty() {
+            return 1.0;
+        }
+        apps.iter().map(|a| self.miss_inflation(a)).sum::<f64>() / apps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{mixes, spec2000};
+
+    #[test]
+    fn default_slice_has_negligible_penalty() {
+        let m = TimeSliceModel::linux_default();
+        for app in spec2000::all() {
+            let infl = m.miss_inflation(&app);
+            assert!(infl < 1.10, "{}: inflation {infl} at 100 ms", app.name);
+        }
+    }
+
+    #[test]
+    fn shorter_slices_monotonically_increase_misses() {
+        let app = spec2000::galgel();
+        let mut prev = 0.0;
+        for slice_ms in [100.0, 50.0, 20.0, 10.0, 5.0] {
+            let m = TimeSliceModel::linux_default().with_time_slice_s(slice_ms / 1000.0);
+            let infl = m.miss_inflation(&app);
+            assert!(infl >= prev, "inflation must not decrease as the slice shrinks");
+            prev = infl;
+        }
+        assert!(prev > 1.02, "a 5 ms slice must visibly inflate misses, got {prev}");
+    }
+
+    #[test]
+    fn cache_friendly_apps_suffer_more_than_streaming_apps() {
+        let m = TimeSliceModel::linux_default().with_time_slice_s(0.005);
+        let friendly = m.miss_inflation(&spec2000::galgel());
+        let streaming = m.miss_inflation(&spec2000::swim());
+        assert!(friendly > streaming);
+    }
+
+    #[test]
+    fn runtime_inflation_includes_switch_overhead() {
+        let m = TimeSliceModel::linux_default().with_time_slice_s(0.005);
+        let app = spec2000::vpr();
+        assert!(m.runtime_inflation(&app) > m.miss_inflation(&app));
+    }
+
+    #[test]
+    fn mix_average_is_between_member_extremes() {
+        let m = TimeSliceModel::linux_default().with_time_slice_s(0.010);
+        let apps = mixes::w8().apps;
+        let avg = m.mix_miss_inflation(&apps);
+        let lo = apps.iter().map(|a| m.miss_inflation(a)).fold(f64::INFINITY, f64::min);
+        let hi = apps.iter().map(|a| m.miss_inflation(a)).fold(0.0, f64::max);
+        assert!(avg >= lo && avg <= hi);
+        assert_eq!(m.mix_miss_inflation(&[]), 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Thermal sensor emulation.
+//!
+//! The AMB of every FBDIMM embeds a thermal sensor whose reading is reported
+//! to the memory controller every 1344 bus cycles and read by the policy
+//! daemon through the chipset's error-reporting registers (Section 5.2.1).
+//! The SR1500AL additionally carries board-level sensors (front panel, CPU
+//! inlet, CPU exhaust / memory inlet, memory exhaust) sampled by a daughter
+//! card. Real sensors are noisy — the study explicitly discards the hottest
+//! 0.5 % of samples as spikes — so the emulation adds Gaussian noise,
+//! occasional spikes and quantization to the model temperature.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one emulated thermal sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorSpec {
+    /// Standard deviation of the Gaussian reading noise, °C.
+    pub noise_std_c: f64,
+    /// Probability that a reading is a spurious spike.
+    pub spike_probability: f64,
+    /// Magnitude of a spike, °C.
+    pub spike_magnitude_c: f64,
+    /// Reading quantization step, °C (AMB sensors report in 0.5 °C steps).
+    pub quantization_c: f64,
+}
+
+impl Default for SensorSpec {
+    fn default() -> Self {
+        SensorSpec { noise_std_c: 0.25, spike_probability: 0.003, spike_magnitude_c: 4.0, quantization_c: 0.5 }
+    }
+}
+
+/// One emulated thermal sensor.
+#[derive(Debug, Clone)]
+pub struct ThermalSensor {
+    spec: SensorSpec,
+    rng: SmallRng,
+    last_reading_c: f64,
+}
+
+impl ThermalSensor {
+    /// Creates a sensor with the given characteristics and deterministic
+    /// seed.
+    pub fn new(spec: SensorSpec, seed: u64) -> Self {
+        ThermalSensor { spec, rng: SmallRng::seed_from_u64(seed ^ 0xfeed_5eed), last_reading_c: 0.0 }
+    }
+
+    /// Creates an AMB-style sensor with default characteristics.
+    pub fn amb(seed: u64) -> Self {
+        Self::new(SensorSpec::default(), seed)
+    }
+
+    /// Creates an ideal (noise-free, unquantized) sensor.
+    pub fn ideal() -> Self {
+        Self::new(
+            SensorSpec { noise_std_c: 0.0, spike_probability: 0.0, spike_magnitude_c: 0.0, quantization_c: 0.0 },
+            0,
+        )
+    }
+
+    /// Samples the sensor given the true temperature, returning the reading.
+    pub fn read(&mut self, true_temp_c: f64) -> f64 {
+        let mut reading = true_temp_c;
+        if self.spec.noise_std_c > 0.0 {
+            // Box-Muller transform; SmallRng keeps this deterministic.
+            let u1: f64 = self.rng.gen_range(1e-12..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            reading += gauss * self.spec.noise_std_c;
+        }
+        if self.spec.spike_probability > 0.0 && self.rng.gen_bool(self.spec.spike_probability) {
+            reading += self.spec.spike_magnitude_c;
+        }
+        if self.spec.quantization_c > 0.0 {
+            reading = (reading / self.spec.quantization_c).round() * self.spec.quantization_c;
+        }
+        self.last_reading_c = reading;
+        reading
+    }
+
+    /// The most recent reading.
+    pub fn last_reading_c(&self) -> f64 {
+        self.last_reading_c
+    }
+}
+
+/// The board-level sensor set of the instrumented SR1500AL (Figure 5.2).
+#[derive(Debug, Clone)]
+pub struct SensorArray {
+    /// Front-panel (system ambient) sensor.
+    pub front_panel: ThermalSensor,
+    /// CPU inlet sensor.
+    pub cpu_inlet: ThermalSensor,
+    /// CPU exhaust = memory inlet sensor.
+    pub memory_inlet: ThermalSensor,
+    /// Hottest AMB sensor (the quantity the DTM policies read).
+    pub amb: ThermalSensor,
+}
+
+impl SensorArray {
+    /// Creates the array with deterministic seeds derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SensorArray {
+            front_panel: ThermalSensor::amb(seed),
+            cpu_inlet: ThermalSensor::amb(seed.wrapping_add(1)),
+            memory_inlet: ThermalSensor::amb(seed.wrapping_add(2)),
+            amb: ThermalSensor::amb(seed.wrapping_add(3)),
+        }
+    }
+}
+
+/// Removes the hottest `fraction` of samples, mirroring the study's spike
+/// filtering (Section 5.4.1 excludes the hottest 0.5 % of readings).
+pub fn filter_spikes(mut samples: Vec<f64>, fraction: f64) -> Vec<f64> {
+    if samples.is_empty() || fraction <= 0.0 {
+        return samples;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let keep = ((samples.len() as f64) * (1.0 - fraction)).ceil() as usize;
+    samples.truncate(keep.max(1));
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_reports_the_truth() {
+        let mut s = ThermalSensor::ideal();
+        assert_eq!(s.read(83.4), 83.4);
+        assert_eq!(s.last_reading_c(), 83.4);
+    }
+
+    #[test]
+    fn noisy_sensor_stays_close_to_the_truth_on_average() {
+        let mut s = ThermalSensor::amb(7);
+        let n = 5_000;
+        let mean: f64 = (0..n).map(|_| s.read(90.0)).sum::<f64>() / n as f64;
+        assert!((mean - 90.0).abs() < 0.2, "mean reading {mean}");
+    }
+
+    #[test]
+    fn readings_are_quantized() {
+        let mut s = ThermalSensor::amb(3);
+        for _ in 0..100 {
+            let r = s.read(85.3);
+            let remainder = (r / 0.5).fract().abs();
+            assert!(remainder < 1e-9 || (remainder - 1.0).abs() < 1e-9, "unquantized reading {r}");
+        }
+    }
+
+    #[test]
+    fn sensors_are_deterministic_per_seed() {
+        let mut a = ThermalSensor::amb(11);
+        let mut b = ThermalSensor::amb(11);
+        for _ in 0..100 {
+            assert_eq!(a.read(88.0), b.read(88.0));
+        }
+    }
+
+    #[test]
+    fn spike_filtering_drops_only_the_hottest_samples() {
+        let mut samples: Vec<f64> = (0..1000).map(|i| 80.0 + (i % 10) as f64 * 0.1).collect();
+        samples.push(140.0); // an obvious spike
+        let filtered = filter_spikes(samples, 0.005);
+        assert!(filtered.iter().all(|&t| t < 100.0));
+        assert!(filtered.len() >= 995);
+    }
+
+    #[test]
+    fn sensor_array_has_independent_noise() {
+        let mut arr = SensorArray::new(5);
+        let a = arr.front_panel.read(36.0);
+        let b = arr.cpu_inlet.read(36.0);
+        // Identical truth but independent seeds: identical readings for 100
+        // consecutive samples would be suspicious.
+        let mut same = (a - b).abs() < 1e-12;
+        for _ in 0..100 {
+            same &= (arr.front_panel.read(36.0) - arr.cpu_inlet.read(36.0)).abs() < 1e-12;
+        }
+        assert!(!same);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-application behaviour models.
+//!
+//! Each SPEC application is described by a small set of parameters that,
+//! when fed through the shared-L2 cache simulator and the FBDIMM memory
+//! simulator, reproduce the memory behaviour the paper relies on: aggregate
+//! memory throughput when four copies run together, shared-cache contention
+//! (how the L2 miss rate responds to the number of co-running programs) and
+//! the read/write traffic mix.
+
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite an application belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPEC CPU2000 (used by the Chapter 4 simulation study).
+    Cpu2000,
+    /// SPEC CPU2006 (used by the Chapter 5 measurement study).
+    Cpu2006,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Cpu2000 => write!(f, "SPEC CPU2000"),
+            Suite::Cpu2006 => write!(f, "SPEC CPU2006"),
+        }
+    }
+}
+
+/// Coarse memory-intensity class used by the paper when selecting
+/// applications (Section 4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryIntensity {
+    /// Aggregate throughput above 10 GB/s when four copies run together.
+    High,
+    /// Aggregate throughput between 5 and 10 GB/s.
+    Moderate,
+    /// Below 5 GB/s (not used in the thermal mixes).
+    Low,
+}
+
+/// Behaviour model of one application.
+///
+/// The parameters are chosen so that the synthetic address stream produced
+/// by [`crate::stream::AccessStream`] reproduces the application's published
+/// memory characteristics (high/moderate bandwidth class, shared-cache
+/// sensitivity, read/write mix). They are *models*, not measurements; see
+/// `DESIGN.md` for the substitution rationale.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AppBehavior {
+    /// Benchmark name (e.g. `"swim"`).
+    pub name: &'static str,
+    /// Suite the benchmark belongs to.
+    pub suite: Suite,
+    /// Total committed instructions for one copy of the benchmark, in
+    /// billions. (The experiment harness scales this down uniformly to keep
+    /// batch simulations short; ratios between benchmarks are preserved.)
+    pub instructions_bn: f64,
+    /// Base IPC per core when the memory system is unloaded (captures issue
+    /// width, branch behaviour and L1/L2-hit performance).
+    pub base_ipc: f64,
+    /// L2 (last-level cache) accesses per kilo-instruction — i.e. the L1
+    /// miss rate seen by the shared cache.
+    pub l2_apki: f64,
+    /// Additional speculative / hardware-prefetch L2 accesses per
+    /// kilo-instruction at the maximum core frequency. These do not block
+    /// the core and scale down with frequency (the mechanism behind the
+    /// small traffic reduction the paper observes under DTM-CDVFS).
+    pub speculative_apki: f64,
+    /// Fraction of L2 accesses directed at the *hot* (reusable) region of
+    /// the working set. The remainder streams through a region much larger
+    /// than the cache and always misses.
+    pub hot_fraction: f64,
+    /// Size of the hot region in bytes. Contention for the shared L2 among
+    /// co-running programs is governed by the sum of hot regions vs. the
+    /// cache capacity.
+    pub hot_bytes: u64,
+    /// Size of the streaming region in bytes.
+    pub stream_bytes: u64,
+    /// Fraction of memory traffic that is write-backs.
+    pub write_fraction: f64,
+    /// Fraction of L2 misses the core cannot overlap (pointer chasing).
+    pub dependent_fraction: f64,
+    /// Memory-intensity class (Section 4.3.2 selection).
+    pub intensity: MemoryIntensity,
+}
+
+impl AppBehavior {
+    /// Total committed instructions for one copy (absolute count).
+    pub fn instructions(&self) -> u64 {
+        (self.instructions_bn * 1e9) as u64
+    }
+
+    /// Expected number of demand L2 accesses for one copy.
+    pub fn expected_l2_accesses(&self) -> u64 {
+        (self.instructions() as f64 * self.l2_apki / 1000.0) as u64
+    }
+
+    /// Validates that the model parameters are internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("application name must not be empty".into());
+        }
+        if self.instructions_bn <= 0.0 {
+            return Err(format!("{}: instruction count must be positive", self.name));
+        }
+        if !(self.base_ipc > 0.0 && self.base_ipc <= 4.0) {
+            return Err(format!("{}: base IPC {} outside (0, 4]", self.name, self.base_ipc));
+        }
+        if self.l2_apki < 0.0 || self.speculative_apki < 0.0 {
+            return Err(format!("{}: access rates must be non-negative", self.name));
+        }
+        for (label, v) in [
+            ("hot_fraction", self.hot_fraction),
+            ("write_fraction", self.write_fraction),
+            ("dependent_fraction", self.dependent_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {label} {v} outside [0, 1]", self.name));
+            }
+        }
+        if self.hot_bytes == 0 || self.stream_bytes == 0 {
+            return Err(format!("{}: working-set sizes must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2000;
+
+    #[test]
+    fn suite_display_is_informative() {
+        assert!(Suite::Cpu2000.to_string().contains("2000"));
+        assert!(Suite::Cpu2006.to_string().contains("2006"));
+    }
+
+    #[test]
+    fn instruction_helpers_are_consistent() {
+        let swim = spec2000::swim();
+        assert_eq!(swim.instructions(), (swim.instructions_bn * 1e9) as u64);
+        assert!(swim.expected_l2_accesses() > 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fractions() {
+        let mut app = spec2000::swim();
+        app.hot_fraction = 1.5;
+        assert!(app.validate().is_err());
+
+        let mut app = spec2000::swim();
+        app.base_ipc = 0.0;
+        assert!(app.validate().is_err());
+
+        let mut app = spec2000::swim();
+        app.hot_bytes = 0;
+        assert!(app.validate().is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Batch-job scheduling of workload mixes.
+//!
+//! To observe memory temperature over thousands of seconds, the paper runs
+//! each workload mix as a *batch job*: many copies of every application in
+//! the mix (fifty in the simulation study, ten or five in the measurement
+//! study). When a copy finishes and releases its core, the next waiting copy
+//! is assigned to that core in round-robin order. [`BatchJob`] reproduces
+//! exactly this bookkeeping; the simulators drive it by reporting how many
+//! instructions each core retired per interval.
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppBehavior;
+use crate::mixes::WorkloadMix;
+
+/// The application copy currently running on one core.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobSlot {
+    /// Index into the mix's application list.
+    pub app_index: usize,
+    /// Copy number of this application (0-based).
+    pub copy: usize,
+    /// Instructions still to retire before the copy completes.
+    pub remaining_instructions: u64,
+}
+
+/// Progress summary of a batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchStatus {
+    /// Copies completed so far.
+    pub completed_copies: usize,
+    /// Total copies in the batch.
+    pub total_copies: usize,
+    /// Instructions retired so far (across all cores).
+    pub retired_instructions: u64,
+    /// Instructions remaining (queued + in progress).
+    pub remaining_instructions: u64,
+}
+
+impl BatchStatus {
+    /// Fraction of the batch completed, by instruction count.
+    pub fn progress(&self) -> f64 {
+        let total = self.retired_instructions + self.remaining_instructions;
+        if total == 0 {
+            1.0
+        } else {
+            self.retired_instructions as f64 / total as f64
+        }
+    }
+}
+
+/// A batch job built from a workload mix.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BatchJob {
+    mix: WorkloadMix,
+    /// Remaining copies to dispatch, as (app_index, copy) pairs in
+    /// round-robin order.
+    pending: std::collections::VecDeque<(usize, usize)>,
+    /// Per-core running slot (`None` once the batch has drained and the core
+    /// is idle).
+    slots: Vec<Option<JobSlot>>,
+    completed: usize,
+    total: usize,
+    retired: u64,
+    /// Scale factor applied to instruction counts (1.0 = full SPEC length).
+    scale: f64,
+}
+
+impl BatchJob {
+    /// Creates a batch of `copies` copies of every application in `mix`,
+    /// scheduled onto `cores` cores. `instruction_scale` uniformly scales
+    /// each application's instruction count (the experiment harness uses
+    /// this to shorten runs while preserving ratios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero, `copies` is zero or the scale is not
+    /// strictly positive.
+    pub fn new(mix: WorkloadMix, copies: usize, cores: usize, instruction_scale: f64) -> Self {
+        assert!(cores > 0, "batch needs at least one core");
+        assert!(copies > 0, "batch needs at least one copy per application");
+        assert!(instruction_scale > 0.0, "instruction scale must be positive");
+
+        // Round-robin dispatch order: copy 0 of app 0, copy 0 of app 1, ...,
+        // copy 1 of app 0, ... so that the per-core assignment matches the
+        // paper's round-robin refill.
+        let mut pending = std::collections::VecDeque::new();
+        for copy in 0..copies {
+            for app_index in 0..mix.apps.len() {
+                pending.push_back((app_index, copy));
+            }
+        }
+        let total = pending.len();
+
+        let mut job = BatchJob {
+            mix,
+            pending,
+            slots: vec![None; cores],
+            completed: 0,
+            total,
+            retired: 0,
+            scale: instruction_scale,
+        };
+        for core in 0..cores {
+            job.refill(core);
+        }
+        job
+    }
+
+    fn scaled_instructions(&self, app_index: usize) -> u64 {
+        ((self.mix.apps[app_index].instructions() as f64) * self.scale).max(1.0) as u64
+    }
+
+    fn refill(&mut self, core: usize) {
+        if self.slots[core].is_some() {
+            return;
+        }
+        if let Some((app_index, copy)) = self.pending.pop_front() {
+            let remaining = self.scaled_instructions(app_index);
+            self.slots[core] = Some(JobSlot { app_index, copy, remaining_instructions: remaining });
+        }
+    }
+
+    /// The workload mix this batch was built from.
+    pub fn mix(&self) -> &WorkloadMix {
+        &self.mix
+    }
+
+    /// Number of cores the batch is scheduled onto.
+    pub fn cores(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The application currently running on `core`, if any.
+    pub fn app_on_core(&self, core: usize) -> Option<&AppBehavior> {
+        self.slots[core].as_ref().map(|s| &self.mix.apps[s.app_index])
+    }
+
+    /// The slot currently occupying `core`, if any.
+    pub fn slot(&self, core: usize) -> Option<&JobSlot> {
+        self.slots[core].as_ref()
+    }
+
+    /// Reports that `core` retired `instructions` instructions, advancing
+    /// (and possibly completing and refilling) its slot. Returns the number
+    /// of copies that completed as a result.
+    pub fn retire(&mut self, core: usize, instructions: u64) -> usize {
+        let mut completions = 0;
+        let mut budget = instructions;
+        self.retired += instructions;
+        while budget > 0 {
+            let Some(slot) = self.slots[core].as_mut() else {
+                break;
+            };
+            if slot.remaining_instructions > budget {
+                slot.remaining_instructions -= budget;
+                budget = 0;
+            } else {
+                budget -= slot.remaining_instructions;
+                self.slots[core] = None;
+                self.completed += 1;
+                completions += 1;
+                self.refill(core);
+            }
+        }
+        completions
+    }
+
+    /// Returns `true` once every copy has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.total
+    }
+
+    /// Progress summary.
+    pub fn status(&self) -> BatchStatus {
+        let in_flight: u64 = self.slots.iter().flatten().map(|s| s.remaining_instructions).sum();
+        let queued: u64 = self.pending.iter().map(|&(app, _)| self.scaled_instructions(app)).sum();
+        BatchStatus {
+            completed_copies: self.completed,
+            total_copies: self.total,
+            retired_instructions: self.retired,
+            remaining_instructions: in_flight + queued,
+        }
+    }
+
+    /// Indices of the applications currently running, one entry per core
+    /// (idle cores are omitted).
+    pub fn running_app_indices(&self) -> Vec<usize> {
+        self.slots.iter().flatten().map(|s| s.app_index).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes;
+
+    #[test]
+    fn initial_assignment_is_round_robin_over_apps() {
+        let job = BatchJob::new(mixes::w1(), 2, 4, 1.0);
+        // Core i initially runs app i of the mix.
+        for core in 0..4 {
+            assert_eq!(job.slot(core).unwrap().app_index, core);
+            assert_eq!(job.slot(core).unwrap().copy, 0);
+        }
+        assert_eq!(job.status().total_copies, 8);
+    }
+
+    #[test]
+    fn retiring_instructions_completes_copies_and_refills() {
+        let mix = mixes::w1();
+        let mut job = BatchJob::new(mix.clone(), 2, 4, 1e-9); // tiny scaled copies
+        let per_copy = job.slot(0).unwrap().remaining_instructions;
+        let done = job.retire(0, per_copy);
+        assert_eq!(done, 1);
+        // Core 0 should now run the next pending copy (app 0 again only after
+        // the first copies of all other apps are dispatched).
+        assert!(job.slot(0).is_some());
+        assert_eq!(job.status().completed_copies, 1);
+    }
+
+    #[test]
+    fn batch_completes_after_all_instructions_retired() {
+        let mut job = BatchJob::new(mixes::w2(), 3, 4, 1e-9);
+        let mut guard = 0;
+        while !job.is_complete() {
+            for core in 0..4 {
+                job.retire(core, 1_000);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "batch failed to complete");
+        }
+        assert_eq!(job.status().completed_copies, 12);
+        assert!(job.status().progress() >= 1.0 - 1e-9);
+        // Once drained, cores go idle.
+        assert!(job.app_on_core(0).is_none());
+    }
+
+    #[test]
+    fn retire_on_idle_core_is_a_no_op_for_completion() {
+        let mut job = BatchJob::new(mixes::w1(), 1, 4, 1e-9);
+        while !job.is_complete() {
+            for core in 0..4 {
+                job.retire(core, 10_000);
+            }
+        }
+        let before = job.status().completed_copies;
+        job.retire(0, 1_000_000);
+        assert_eq!(job.status().completed_copies, before);
+    }
+
+    #[test]
+    fn scale_shrinks_instruction_counts_proportionally() {
+        let full = BatchJob::new(mixes::w1(), 1, 4, 1.0);
+        let tenth = BatchJob::new(mixes::w1(), 1, 4, 0.1);
+        let f = full.slot(0).unwrap().remaining_instructions as f64;
+        let t = tenth.slot(0).unwrap().remaining_instructions as f64;
+        assert!((t / f - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_is_rejected() {
+        let _ = BatchJob::new(mixes::w1(), 1, 0, 1.0);
+    }
+
+    #[test]
+    fn running_app_indices_reflect_active_slots() {
+        let job = BatchJob::new(mixes::w3(), 1, 4, 1.0);
+        assert_eq!(job.running_app_indices(), vec![0, 1, 2, 3]);
+    }
+}

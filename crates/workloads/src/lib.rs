@@ -1,0 +1,42 @@
+//! # workloads
+//!
+//! Synthetic workload models for the DRAM thermal study.
+//!
+//! The paper drives its two-level thermal simulator with multiprogramming
+//! mixes of SPEC CPU2000 (and, in the measurement study, SPEC CPU2006)
+//! benchmarks. This crate substitutes the benchmark binaries with
+//! *behaviour models*: per-application parameters (instruction count, base
+//! IPC, L2 access rate, hot/streaming working-set structure, write fraction,
+//! pointer-chasing dependence) and a deterministic synthetic address-stream
+//! generator that reproduces each application's cache and memory behaviour
+//! when run through the shared-L2 and FBDIMM simulators.
+//!
+//! The crate also defines the workload mixes of Table 4.2 (`W1`–`W8`) and
+//! Table 5.2 (`W11`, `W12`) and the batch-job scheduling used by the paper
+//! (multiple copies of every application, refilled round-robin as copies
+//! finish).
+//!
+//! ```
+//! use workloads::{mixes, AppBehavior};
+//!
+//! let w1 = mixes::w1();
+//! assert_eq!(w1.apps.len(), 4);
+//! let swim: &AppBehavior = &w1.apps[0];
+//! assert_eq!(swim.name, "swim");
+//! assert!(swim.l2_apki > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod app;
+pub mod batch;
+pub mod mixes;
+pub mod spec2000;
+pub mod spec2006;
+pub mod stream;
+
+pub use app::{AppBehavior, MemoryIntensity, Suite};
+pub use batch::{BatchJob, BatchStatus, JobSlot};
+pub use mixes::{all_ch4_mixes, all_ch5_mixes, WorkloadMix};
+pub use stream::{AccessStream, StreamAccess};

@@ -1,0 +1,188 @@
+//! Workload mixes from Table 4.2 (simulation study) and Table 5.2
+//! (measurement study).
+
+use serde::Serialize;
+
+use crate::app::AppBehavior;
+use crate::{spec2000, spec2006};
+
+/// A multiprogramming workload mix: one application per core.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkloadMix {
+    /// Mix identifier (`"W1"` .. `"W8"`, `"W11"`, `"W12"`, or a synthetic
+    /// identifier for homogeneous mixes).
+    pub id: String,
+    /// The applications in the mix, in core order.
+    pub apps: Vec<AppBehavior>,
+}
+
+impl WorkloadMix {
+    /// Builds a mix from an identifier and a list of applications.
+    pub fn new(id: impl Into<String>, apps: Vec<AppBehavior>) -> Self {
+        WorkloadMix { id: id.into(), apps }
+    }
+
+    /// Number of applications (= cores used) in the mix.
+    pub fn width(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Total instructions of one copy of every application in the mix.
+    pub fn instructions_per_round(&self) -> u64 {
+        self.apps.iter().map(|a| a.instructions()).sum()
+    }
+
+    /// A homogeneous mix: `n` copies of the same application, as used by the
+    /// Chapter 5 thermal-emergency observation experiments (Figures 5.4 and
+    /// 5.5).
+    pub fn homogeneous(app: AppBehavior, n: usize) -> Self {
+        WorkloadMix { id: format!("{}x{}", app.name, n), apps: vec![app; n] }
+    }
+}
+
+fn mix_2000(id: &str, names: [&str; 4]) -> WorkloadMix {
+    let apps = names
+        .iter()
+        .map(|n| spec2000::by_name(n).unwrap_or_else(|| panic!("unknown CPU2000 app {n}")))
+        .collect();
+    WorkloadMix::new(id, apps)
+}
+
+fn mix_2006(id: &str, names: [&str; 4]) -> WorkloadMix {
+    let apps = names
+        .iter()
+        .map(|n| spec2006::by_name(n).unwrap_or_else(|| panic!("unknown CPU2006 app {n}")))
+        .collect();
+    WorkloadMix::new(id, apps)
+}
+
+/// W1: swim, mgrid, applu, galgel.
+pub fn w1() -> WorkloadMix {
+    mix_2000("W1", ["swim", "mgrid", "applu", "galgel"])
+}
+
+/// W2: art, equake, lucas, fma3d.
+pub fn w2() -> WorkloadMix {
+    mix_2000("W2", ["art", "equake", "lucas", "fma3d"])
+}
+
+/// W3: swim, applu, art, lucas.
+pub fn w3() -> WorkloadMix {
+    mix_2000("W3", ["swim", "applu", "art", "lucas"])
+}
+
+/// W4: mgrid, galgel, equake, fma3d.
+pub fn w4() -> WorkloadMix {
+    mix_2000("W4", ["mgrid", "galgel", "equake", "fma3d"])
+}
+
+/// W5: swim, art, wupwise, vpr.
+pub fn w5() -> WorkloadMix {
+    mix_2000("W5", ["swim", "art", "wupwise", "vpr"])
+}
+
+/// W6: mgrid, equake, mcf, apsi.
+pub fn w6() -> WorkloadMix {
+    mix_2000("W6", ["mgrid", "equake", "mcf", "apsi"])
+}
+
+/// W7: applu, lucas, wupwise, mcf.
+pub fn w7() -> WorkloadMix {
+    mix_2000("W7", ["applu", "lucas", "wupwise", "mcf"])
+}
+
+/// W8: galgel, fma3d, vpr, apsi.
+pub fn w8() -> WorkloadMix {
+    mix_2000("W8", ["galgel", "fma3d", "vpr", "apsi"])
+}
+
+/// W11: milc, leslie3d, soplex, GemsFDTD (SPEC CPU2006).
+pub fn w11() -> WorkloadMix {
+    mix_2006("W11", ["milc", "leslie3d", "soplex", "GemsFDTD"])
+}
+
+/// W12: libquantum, lbm, omnetpp, wrf (SPEC CPU2006).
+pub fn w12() -> WorkloadMix {
+    mix_2006("W12", ["libquantum", "lbm", "omnetpp", "wrf"])
+}
+
+/// The eight CPU2000 mixes of Table 4.2 (also reused in Chapter 5).
+pub fn all_ch4_mixes() -> Vec<WorkloadMix> {
+    vec![w1(), w2(), w3(), w4(), w5(), w6(), w7(), w8()]
+}
+
+/// The ten mixes of the Chapter 5 study (Table 5.2): W1–W8 plus the two
+/// CPU2006 mixes.
+pub fn all_ch5_mixes() -> Vec<WorkloadMix> {
+    let mut v = all_ch4_mixes();
+    v.push(w11());
+    v.push(w12());
+    v
+}
+
+/// Looks a mix up by its identifier (`"W1"`, ..., `"W12"`).
+pub fn by_id(id: &str) -> Option<WorkloadMix> {
+    all_ch5_mixes().into_iter().find(|m| m.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::MemoryIntensity;
+
+    #[test]
+    fn table_4_2_mixes_match_the_paper() {
+        let w1 = w1();
+        assert_eq!(w1.apps.iter().map(|a| a.name).collect::<Vec<_>>(), ["swim", "mgrid", "applu", "galgel"]);
+        let w6 = w6();
+        assert_eq!(w6.apps.iter().map(|a| a.name).collect::<Vec<_>>(), ["mgrid", "equake", "mcf", "apsi"]);
+        assert_eq!(all_ch4_mixes().len(), 8);
+    }
+
+    #[test]
+    fn every_mix_has_four_applications() {
+        for mix in all_ch5_mixes() {
+            assert_eq!(mix.width(), 4, "{} must have 4 apps", mix.id);
+            assert!(mix.instructions_per_round() > 0);
+        }
+    }
+
+    #[test]
+    fn w1_to_w4_are_all_high_intensity() {
+        for mix in [w1(), w2(), w3(), w4()] {
+            assert!(
+                mix.apps.iter().all(|a| a.intensity == MemoryIntensity::High),
+                "{} should only contain >10 GB/s applications",
+                mix.id
+            );
+        }
+    }
+
+    #[test]
+    fn w5_to_w8_contain_moderate_apps() {
+        for mix in [w5(), w6(), w7(), w8()] {
+            assert!(
+                mix.apps.iter().any(|a| a.intensity == MemoryIntensity::Moderate),
+                "{} mixes high and moderate applications",
+                mix.id
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_id_round_trips() {
+        for mix in all_ch5_mixes() {
+            let found = by_id(&mix.id).unwrap();
+            assert_eq!(found, mix);
+        }
+        assert!(by_id("W99").is_none());
+    }
+
+    #[test]
+    fn homogeneous_mix_replicates_one_app() {
+        let mix = WorkloadMix::homogeneous(crate::spec2000::swim(), 4);
+        assert_eq!(mix.width(), 4);
+        assert!(mix.apps.iter().all(|a| a.name == "swim"));
+        assert_eq!(mix.id, "swimx4");
+    }
+}

@@ -1,0 +1,313 @@
+//! Behaviour models of the SPEC CPU2000 applications used by the paper.
+//!
+//! Section 4.3.2 selects twelve CPU2000 applications: eight whose aggregate
+//! memory throughput exceeds 10 GB/s when four copies run on the four-core
+//! system (*swim*, *mgrid*, *applu*, *galgel*, *art*, *equake*, *lucas*,
+//! *fma3d*) and four between 5 and 10 GB/s (*wupwise*, *vpr*, *mcf*,
+//! *apsi*). The parameter values below are behaviour models calibrated to
+//! reproduce those classes together with each program's published
+//! shared-cache sensitivity and read/write mix; they are not measurements of
+//! the original binaries (see DESIGN.md, *Substitutions*).
+
+use crate::app::{AppBehavior, MemoryIntensity, Suite};
+
+const MB: u64 = 1024 * 1024;
+
+fn base(name: &'static str) -> AppBehavior {
+    AppBehavior {
+        name,
+        suite: Suite::Cpu2000,
+        instructions_bn: 100.0,
+        base_ipc: 1.5,
+        l2_apki: 10.0,
+        speculative_apki: 1.0,
+        hot_fraction: 0.5,
+        hot_bytes: MB,
+        stream_bytes: 64 * MB,
+        write_fraction: 0.3,
+        dependent_fraction: 0.1,
+        intensity: MemoryIntensity::Moderate,
+    }
+}
+
+/// `171.swim` — shallow-water model, streaming FP, very high bandwidth.
+pub fn swim() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 225.0,
+        base_ipc: 1.8,
+        l2_apki: 30.0,
+        speculative_apki: 4.0,
+        hot_fraction: 0.25,
+        hot_bytes: 512 * 1024,
+        stream_bytes: 190 * MB,
+        write_fraction: 0.35,
+        dependent_fraction: 0.05,
+        intensity: MemoryIntensity::High,
+        ..base("swim")
+    }
+}
+
+/// `172.mgrid` — multigrid solver, streaming FP, high bandwidth.
+pub fn mgrid() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 419.0,
+        base_ipc: 1.9,
+        l2_apki: 24.0,
+        speculative_apki: 3.0,
+        hot_fraction: 0.40,
+        hot_bytes: MB,
+        stream_bytes: 56 * MB,
+        write_fraction: 0.30,
+        dependent_fraction: 0.08,
+        intensity: MemoryIntensity::High,
+        ..base("mgrid")
+    }
+}
+
+/// `173.applu` — parabolic/elliptic PDE solver, high bandwidth.
+pub fn applu() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 223.0,
+        base_ipc: 1.8,
+        l2_apki: 26.0,
+        speculative_apki: 3.5,
+        hot_fraction: 0.35,
+        hot_bytes: 800 * 1024,
+        stream_bytes: 180 * MB,
+        write_fraction: 0.33,
+        dependent_fraction: 0.08,
+        intensity: MemoryIntensity::High,
+        ..base("applu")
+    }
+}
+
+/// `178.galgel` — fluid dynamics, cache-sensitive, high bandwidth under
+/// contention.
+pub fn galgel() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 409.0,
+        base_ipc: 2.2,
+        l2_apki: 18.0,
+        speculative_apki: 2.0,
+        hot_fraction: 0.65,
+        hot_bytes: 2_560 * 1024,
+        stream_bytes: 32 * MB,
+        write_fraction: 0.25,
+        dependent_fraction: 0.10,
+        intensity: MemoryIntensity::High,
+        ..base("galgel")
+    }
+}
+
+/// `179.art` — neural-network image recognition, small but thrash-prone
+/// working set, very high miss rate under sharing.
+pub fn art() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 86.0,
+        base_ipc: 1.4,
+        l2_apki: 40.0,
+        speculative_apki: 2.0,
+        hot_fraction: 0.60,
+        hot_bytes: 3_584 * 1024,
+        stream_bytes: 8 * MB,
+        write_fraction: 0.20,
+        dependent_fraction: 0.30,
+        intensity: MemoryIntensity::High,
+        ..base("art")
+    }
+}
+
+/// `183.equake` — seismic wave propagation, high bandwidth.
+pub fn equake() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 131.0,
+        base_ipc: 1.6,
+        l2_apki: 27.0,
+        speculative_apki: 3.0,
+        hot_fraction: 0.45,
+        hot_bytes: 1_200 * 1024,
+        stream_bytes: 49 * MB,
+        write_fraction: 0.30,
+        dependent_fraction: 0.15,
+        intensity: MemoryIntensity::High,
+        ..base("equake")
+    }
+}
+
+/// `189.lucas` — number theory (Lucas-Lehmer), streaming FFT-like access.
+pub fn lucas() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 142.0,
+        base_ipc: 1.7,
+        l2_apki: 25.0,
+        speculative_apki: 3.0,
+        hot_fraction: 0.30,
+        hot_bytes: 640 * 1024,
+        stream_bytes: 142 * MB,
+        write_fraction: 0.35,
+        dependent_fraction: 0.10,
+        intensity: MemoryIntensity::High,
+        ..base("lucas")
+    }
+}
+
+/// `191.fma3d` — finite-element crash simulation, high bandwidth.
+pub fn fma3d() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 268.0,
+        base_ipc: 1.8,
+        l2_apki: 22.0,
+        speculative_apki: 2.5,
+        hot_fraction: 0.45,
+        hot_bytes: 1_536 * 1024,
+        stream_bytes: 103 * MB,
+        write_fraction: 0.30,
+        dependent_fraction: 0.12,
+        intensity: MemoryIntensity::High,
+        ..base("fma3d")
+    }
+}
+
+/// `168.wupwise` — quantum chromodynamics, moderate bandwidth.
+pub fn wupwise() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 349.0,
+        base_ipc: 2.0,
+        l2_apki: 12.0,
+        speculative_apki: 1.5,
+        hot_fraction: 0.70,
+        hot_bytes: 2 * MB,
+        stream_bytes: 176 * MB,
+        write_fraction: 0.30,
+        dependent_fraction: 0.10,
+        intensity: MemoryIntensity::Moderate,
+        ..base("wupwise")
+    }
+}
+
+/// `175.vpr` — FPGA place & route, cache-friendly, moderate bandwidth.
+pub fn vpr() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 84.0,
+        base_ipc: 1.5,
+        l2_apki: 11.0,
+        speculative_apki: 1.0,
+        hot_fraction: 0.75,
+        hot_bytes: 1_536 * 1024,
+        stream_bytes: 32 * MB,
+        write_fraction: 0.25,
+        dependent_fraction: 0.30,
+        intensity: MemoryIntensity::Moderate,
+        ..base("vpr")
+    }
+}
+
+/// `181.mcf` — combinatorial optimisation, pointer chasing, latency bound.
+pub fn mcf() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 61.0,
+        base_ipc: 0.9,
+        l2_apki: 38.0,
+        speculative_apki: 1.0,
+        hot_fraction: 0.50,
+        hot_bytes: 2_560 * 1024,
+        stream_bytes: 190 * MB,
+        write_fraction: 0.15,
+        dependent_fraction: 0.60,
+        intensity: MemoryIntensity::Moderate,
+        ..base("mcf")
+    }
+}
+
+/// `301.apsi` — meteorology, moderate bandwidth.
+pub fn apsi() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 347.0,
+        base_ipc: 1.9,
+        l2_apki: 12.0,
+        speculative_apki: 1.5,
+        hot_fraction: 0.70,
+        hot_bytes: 1_792 * 1024,
+        stream_bytes: 200 * MB,
+        write_fraction: 0.30,
+        dependent_fraction: 0.15,
+        intensity: MemoryIntensity::Moderate,
+        ..base("apsi")
+    }
+}
+
+/// All twelve CPU2000 applications used in the thermal study.
+pub fn all() -> Vec<AppBehavior> {
+    vec![
+        swim(),
+        mgrid(),
+        applu(),
+        galgel(),
+        art(),
+        equake(),
+        lucas(),
+        fma3d(),
+        wupwise(),
+        vpr(),
+        mcf(),
+        apsi(),
+    ]
+}
+
+/// Looks an application up by name.
+pub fn by_name(name: &str) -> Option<AppBehavior> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_apps_are_present_and_valid() {
+        let apps = all();
+        assert_eq!(apps.len(), 12);
+        for app in &apps {
+            app.validate().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(app.suite, Suite::Cpu2000);
+        }
+    }
+
+    #[test]
+    fn eight_high_and_four_moderate_intensity_apps() {
+        let apps = all();
+        let high = apps.iter().filter(|a| a.intensity == MemoryIntensity::High).count();
+        let moderate = apps.iter().filter(|a| a.intensity == MemoryIntensity::Moderate).count();
+        assert_eq!(high, 8, "paper selects eight >10 GB/s applications");
+        assert_eq!(moderate, 4, "paper selects four 5-10 GB/s applications");
+    }
+
+    #[test]
+    fn high_intensity_apps_demand_more_bandwidth_than_moderate_ones() {
+        // Demand rate per instruction (APKI x miss-prone fraction) must
+        // separate the two classes on average.
+        let apps = all();
+        let demand = |a: &AppBehavior| a.l2_apki * (1.0 - 0.6 * a.hot_fraction);
+        let avg = |class: MemoryIntensity| {
+            let v: Vec<f64> = apps.iter().filter(|a| a.intensity == class).map(demand).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(MemoryIntensity::High) > avg(MemoryIntensity::Moderate));
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(by_name("swim").is_some());
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("gap").is_none(), "gap is deliberately excluded (Section 5.3.2)");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let apps = all();
+        let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), apps.len());
+    }
+}

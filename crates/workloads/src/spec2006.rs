@@ -1,0 +1,191 @@
+//! Behaviour models of the SPEC CPU2006 applications used by the Chapter 5
+//! measurement study (workloads `W11` and `W12` of Table 5.2).
+
+use crate::app::{AppBehavior, MemoryIntensity, Suite};
+
+const MB: u64 = 1024 * 1024;
+
+fn base(name: &'static str) -> AppBehavior {
+    AppBehavior {
+        name,
+        suite: Suite::Cpu2006,
+        instructions_bn: 1000.0,
+        base_ipc: 1.4,
+        l2_apki: 20.0,
+        speculative_apki: 2.0,
+        hot_fraction: 0.4,
+        hot_bytes: MB,
+        stream_bytes: 256 * MB,
+        write_fraction: 0.3,
+        dependent_fraction: 0.1,
+        intensity: MemoryIntensity::High,
+    }
+}
+
+/// `433.milc` — lattice QCD, streaming, high bandwidth.
+pub fn milc() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 937.0,
+        base_ipc: 1.2,
+        l2_apki: 26.0,
+        speculative_apki: 3.0,
+        hot_fraction: 0.30,
+        hot_bytes: 768 * 1024,
+        stream_bytes: 680 * MB,
+        write_fraction: 0.30,
+        dependent_fraction: 0.10,
+        ..base("milc")
+    }
+}
+
+/// `437.leslie3d` — computational fluid dynamics.
+pub fn leslie3d() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 1213.0,
+        base_ipc: 1.5,
+        l2_apki: 21.0,
+        speculative_apki: 3.0,
+        hot_fraction: 0.40,
+        hot_bytes: 1_280 * 1024,
+        stream_bytes: 125 * MB,
+        write_fraction: 0.32,
+        dependent_fraction: 0.10,
+        ..base("leslie3d")
+    }
+}
+
+/// `450.soplex` — linear programming simplex solver.
+pub fn soplex() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 703.0,
+        base_ipc: 1.1,
+        l2_apki: 28.0,
+        speculative_apki: 2.0,
+        hot_fraction: 0.45,
+        hot_bytes: 2 * MB,
+        stream_bytes: 255 * MB,
+        write_fraction: 0.20,
+        dependent_fraction: 0.30,
+        ..base("soplex")
+    }
+}
+
+/// `459.GemsFDTD` — finite-difference time-domain electromagnetics.
+pub fn gems_fdtd() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 1420.0,
+        base_ipc: 1.3,
+        l2_apki: 25.0,
+        speculative_apki: 3.0,
+        hot_fraction: 0.35,
+        hot_bytes: MB,
+        stream_bytes: 840 * MB,
+        write_fraction: 0.33,
+        dependent_fraction: 0.10,
+        ..base("GemsFDTD")
+    }
+}
+
+/// `462.libquantum` — quantum computer simulation, pure streaming.
+pub fn libquantum() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 1458.0,
+        base_ipc: 1.5,
+        l2_apki: 33.0,
+        speculative_apki: 4.0,
+        hot_fraction: 0.10,
+        hot_bytes: 256 * 1024,
+        stream_bytes: 64 * MB,
+        write_fraction: 0.25,
+        dependent_fraction: 0.05,
+        ..base("libquantum")
+    }
+}
+
+/// `470.lbm` — lattice Boltzmann fluid dynamics, streaming with writes.
+pub fn lbm() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 1500.0,
+        base_ipc: 1.4,
+        l2_apki: 30.0,
+        speculative_apki: 4.0,
+        hot_fraction: 0.15,
+        hot_bytes: 512 * 1024,
+        stream_bytes: 400 * MB,
+        write_fraction: 0.45,
+        dependent_fraction: 0.05,
+        ..base("lbm")
+    }
+}
+
+/// `471.omnetpp` — discrete event network simulation, pointer heavy.
+pub fn omnetpp() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 687.0,
+        base_ipc: 1.0,
+        l2_apki: 20.0,
+        speculative_apki: 1.0,
+        hot_fraction: 0.55,
+        hot_bytes: 2_560 * 1024,
+        stream_bytes: 154 * MB,
+        write_fraction: 0.25,
+        dependent_fraction: 0.50,
+        ..base("omnetpp")
+    }
+}
+
+/// `481.wrf` — weather research and forecasting model.
+pub fn wrf() -> AppBehavior {
+    AppBehavior {
+        instructions_bn: 1684.0,
+        base_ipc: 1.6,
+        l2_apki: 15.0,
+        speculative_apki: 2.0,
+        hot_fraction: 0.55,
+        hot_bytes: 1_792 * 1024,
+        stream_bytes: 680 * MB,
+        write_fraction: 0.30,
+        dependent_fraction: 0.12,
+        ..base("wrf")
+    }
+}
+
+/// All eight CPU2006 applications used in the measurement study.
+pub fn all() -> Vec<AppBehavior> {
+    vec![milc(), leslie3d(), soplex(), gems_fdtd(), libquantum(), lbm(), omnetpp(), wrf()]
+}
+
+/// Looks an application up by name.
+pub fn by_name(name: &str) -> Option<AppBehavior> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_apps_are_present_and_valid() {
+        let apps = all();
+        assert_eq!(apps.len(), 8);
+        for app in &apps {
+            app.validate().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(app.suite, Suite::Cpu2006);
+        }
+    }
+
+    #[test]
+    fn cpu2006_runs_are_longer_than_cpu2000_runs() {
+        let c2000: f64 = crate::spec2000::all().iter().map(|a| a.instructions_bn).sum::<f64>() / 12.0;
+        let c2006: f64 = all().iter().map(|a| a.instructions_bn).sum::<f64>() / 8.0;
+        assert!(c2006 > c2000, "CPU2006 reference runs are substantially longer");
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_and_complete() {
+        for name in ["milc", "leslie3d", "soplex", "GemsFDTD", "libquantum", "lbm", "omnetpp", "wrf"] {
+            assert!(by_name(name).is_some(), "missing {name}");
+        }
+        assert!(by_name("Milc").is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic synthetic address-stream generation.
+//!
+//! Each application instance owns an [`AccessStream`] that produces the
+//! sequence of last-level-cache accesses the application would issue: the
+//! number of instructions executed since the previous access (the *gap*),
+//! the line address and whether the access is a write-back candidate.
+//!
+//! The stream has two components, governed by the application's behaviour
+//! model:
+//!
+//! * **hot accesses** revisit a bounded "hot" region with a uniform random
+//!   pattern, so their L2 hit rate depends on how much of the hot region the
+//!   application manages to keep resident — the mechanism behind shared-cache
+//!   contention and the DTM-ACG benefit;
+//! * **streaming accesses** walk sequentially through a region much larger
+//!   than the cache and essentially always miss.
+//!
+//! A slow sinusoid-like *phase modulation* varies the access gap over the
+//! run, reproducing the program-phase-driven temperature drift the paper
+//! observes on real machines (Section 5.4.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppBehavior;
+
+/// One last-level-cache access produced by the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamAccess {
+    /// Instructions executed since the previous access.
+    pub gap_instructions: u64,
+    /// Line address (64-byte granularity), relative to the instance's base.
+    pub line: u64,
+    /// Whether the access will eventually produce a write-back.
+    pub is_write: bool,
+    /// Whether the access targets the hot (reusable) region.
+    pub is_hot: bool,
+}
+
+/// Phase modulation of the access rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseModel {
+    /// Length of one phase period, in instructions.
+    pub period_instructions: u64,
+    /// Fraction of the period spent in the memory-intensive phase.
+    pub duty: f64,
+    /// Multiplier applied to the access gap during the quiet phase
+    /// (>= 1.0 means fewer accesses per instruction).
+    pub quiet_gap_factor: f64,
+}
+
+impl Default for PhaseModel {
+    fn default() -> Self {
+        PhaseModel { period_instructions: 20_000_000_000, duty: 0.75, quiet_gap_factor: 2.0 }
+    }
+}
+
+/// Deterministic per-instance access-stream generator.
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    app: AppBehavior,
+    rng: SmallRng,
+    phase: PhaseModel,
+    instructions_so_far: u64,
+    stream_cursor: u64,
+    hot_lines: u64,
+    stream_lines: u64,
+    accesses_generated: u64,
+}
+
+impl AccessStream {
+    /// Creates a stream for one instance of `app`, seeded deterministically
+    /// from `seed` (typically derived from the core index and copy number).
+    pub fn new(app: &AppBehavior, seed: u64) -> Self {
+        let hot_lines = (app.hot_bytes / 64).max(1);
+        let stream_lines = (app.stream_bytes / 64).max(1);
+        AccessStream {
+            app: app.clone(),
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            phase: PhaseModel::default(),
+            instructions_so_far: 0,
+            stream_cursor: 0,
+            hot_lines,
+            stream_lines,
+            accesses_generated: 0,
+        }
+    }
+
+    /// Overrides the default phase model.
+    pub fn with_phase(mut self, phase: PhaseModel) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// The application this stream models.
+    pub fn app(&self) -> &AppBehavior {
+        &self.app
+    }
+
+    /// Total number of lines addressable by this instance (hot + streaming
+    /// regions); the owner uses this to place instances at disjoint base
+    /// addresses.
+    pub fn footprint_lines(&self) -> u64 {
+        self.hot_lines + self.stream_lines
+    }
+
+    /// Instructions attributed to the accesses generated so far.
+    pub fn instructions_generated(&self) -> u64 {
+        self.instructions_so_far
+    }
+
+    /// Number of accesses generated so far.
+    pub fn accesses_generated(&self) -> u64 {
+        self.accesses_generated
+    }
+
+    fn in_quiet_phase(&self) -> bool {
+        let pos = self.instructions_so_far % self.phase.period_instructions;
+        pos as f64 > self.phase.duty * self.phase.period_instructions as f64
+    }
+
+    /// Produces the next demand access.
+    pub fn next_access(&mut self) -> StreamAccess {
+        // Mean gap between demand L2 accesses in instructions.
+        let mut mean_gap = 1000.0 / self.app.l2_apki.max(0.01);
+        if self.in_quiet_phase() {
+            mean_gap *= self.phase.quiet_gap_factor;
+        }
+        // Geometric-like jitter around the mean, bounded to keep the stream
+        // well behaved.
+        let jitter: f64 = self.rng.gen_range(0.5..1.5);
+        let gap = (mean_gap * jitter).max(1.0) as u64;
+
+        let is_hot = self.rng.gen_bool(self.app.hot_fraction.clamp(0.0, 1.0));
+        let line = if is_hot {
+            self.rng.gen_range(0..self.hot_lines)
+        } else {
+            // Sequential walk through the streaming region, offset past the
+            // hot region.
+            self.stream_cursor = (self.stream_cursor + 1) % self.stream_lines;
+            self.hot_lines + self.stream_cursor
+        };
+        let is_write = self.rng.gen_bool(self.app.write_fraction.clamp(0.0, 1.0));
+
+        self.instructions_so_far += gap;
+        self.accesses_generated += 1;
+        StreamAccess { gap_instructions: gap, line, is_write, is_hot }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2000;
+
+    #[test]
+    fn stream_is_deterministic_for_a_seed() {
+        let app = spec2000::swim();
+        let mut a = AccessStream::new(&app, 42);
+        let mut b = AccessStream::new(&app, 42);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let app = spec2000::swim();
+        let mut a = AccessStream::new(&app, 1);
+        let mut b = AccessStream::new(&app, 2);
+        let same = (0..100).filter(|_| a.next_access() == b.next_access()).count();
+        assert!(same < 100, "streams with different seeds should diverge");
+    }
+
+    #[test]
+    fn mean_gap_tracks_l2_apki() {
+        let app = spec2000::swim(); // 30 accesses per kilo-instruction
+        let mut s = AccessStream::new(&app, 7);
+        let n = 50_000;
+        for _ in 0..n {
+            s.next_access();
+        }
+        let apki = 1000.0 * n as f64 / s.instructions_generated() as f64;
+        // Phase modulation lowers the average rate a little; accept a band.
+        assert!(apki > 0.55 * app.l2_apki && apki < 1.2 * app.l2_apki, "measured APKI {apki}");
+        assert_eq!(s.accesses_generated(), n);
+    }
+
+    #[test]
+    fn hot_fraction_is_respected() {
+        let app = spec2000::galgel(); // hot_fraction 0.65
+        let mut s = AccessStream::new(&app, 3);
+        let n = 20_000;
+        let hot = (0..n).filter(|_| s.next_access().is_hot).count();
+        let frac = hot as f64 / n as f64;
+        assert!((frac - app.hot_fraction).abs() < 0.05, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn addresses_stay_within_footprint() {
+        let app = spec2000::art();
+        let mut s = AccessStream::new(&app, 11);
+        let fp = s.footprint_lines();
+        for _ in 0..10_000 {
+            assert!(s.next_access().line < fp);
+        }
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let app = spec2000::lucas(); // write_fraction 0.35
+        let mut s = AccessStream::new(&app, 5);
+        let n = 20_000;
+        let writes = (0..n).filter(|_| s.next_access().is_write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - app.write_fraction).abs() < 0.05, "write fraction {frac}");
+    }
+
+    #[test]
+    fn quiet_phase_reduces_access_rate() {
+        let app = spec2000::swim();
+        let phase = PhaseModel { period_instructions: 1_000_000, duty: 0.5, quiet_gap_factor: 4.0 };
+        let mut s = AccessStream::new(&app, 9).with_phase(phase);
+        // Collect instantaneous APKI over many accesses; with a strong quiet
+        // factor the variance must be visible.
+        let mut gaps = Vec::new();
+        for _ in 0..20_000 {
+            gaps.push(s.next_access().gap_instructions);
+        }
+        let small = gaps.iter().filter(|&&g| g < 50).count();
+        let large = gaps.iter().filter(|&&g| g >= 90).count();
+        assert!(small > 0 && large > 0, "both phases should be visible");
+    }
+}

@@ -1,0 +1,53 @@
+//! The Chapter 5 scenario: software thermal management of an FBDIMM server.
+//!
+//! Emulates the instrumented Intel SR1500AL in its hot box, shows the memory
+//! overheating under a homogeneous `swim` workload, then compares the four
+//! software DTM policies (bandwidth throttling, core gating, coordinated
+//! DVFS and the combined policy) on the W3 mix.
+//!
+//! Run with: `cargo run --release --example server_thermal_management`
+
+use dram_thermal::prelude::*;
+use dram_thermal::workloads::spec2000;
+
+fn main() {
+    let server = Server::sr1500al();
+    println!(
+        "server {} — {} FBDIMMs, ambient {:.0} degC, AMB TDP {:.0} degC",
+        server.kind,
+        server.mem.dimms_per_channel,
+        server.system_ambient_c,
+        server.amb_tdp_c
+    );
+
+    let mut exp = PlatformExperiment::with_scale(server, 1, 0.6);
+
+    // Figure 5.4 style: watch the AMB heat up under four copies of swim.
+    println!("\nAMB temperature, 4 x swim, no DTM control:");
+    let curve = exp.homogeneous_temperature_curve(&spec2000::swim(), 500.0);
+    for sample in curve.iter().step_by(50) {
+        println!("  t = {:>5.0} s   AMB {:>6.1} degC   inlet {:>5.1} degC", sample.time_s, sample.amb_c, sample.ambient_c);
+    }
+
+    // Figure 5.6 style: the four software policies on W3.
+    println!("\nW3 (swim, applu, art, lucas) under the software DTM policies:");
+    let mix = mixes::w3();
+    let baseline = exp.run_no_limit(&mix);
+    println!(
+        "  {:<10} {:>9} {:>13} {:>11} {:>13}",
+        "policy", "time s", "norm. time", "CPU W", "inlet degC"
+    );
+    for kind in [PolicyKind::Bw, PolicyKind::Acg, PolicyKind::Cdvfs, PolicyKind::Comb] {
+        let run = exp.run_policy(&mix, kind);
+        let m = &run.measurement;
+        println!(
+            "  {:<10} {:>9.0} {:>13.2} {:>11.1} {:>13.1}",
+            kind.to_string(),
+            m.running_time_s,
+            m.normalized_time(&baseline.measurement),
+            m.cpu_power_w,
+            m.memory_inlet_c
+        );
+    }
+    println!("\n(lower normalized time is better; DTM-CDVFS/COMB also lower the memory inlet temperature)");
+}

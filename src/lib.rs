@@ -1,0 +1,43 @@
+//! # dram-thermal
+//!
+//! Facade crate for the reproduction of *Thermal modeling and management of
+//! DRAM memory systems* (ISCA 2007). It re-exports the workspace crates so
+//! downstream users can depend on a single crate:
+//!
+//! * [`fbdimm`] (`fbdimm-sim`) — the FBDIMM memory-system simulator;
+//! * [`cpu`] (`cpu-model`) — the multicore processor model and power models;
+//! * [`workloads`] — synthetic SPEC workload models and mixes;
+//! * [`memtherm`] — the paper's power/thermal models, DTM schemes, PID
+//!   controller and two-level thermal simulator;
+//! * [`platform`] (`platform-emu`) — the Chapter 5 server-platform
+//!   emulation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dram_thermal::prelude::*;
+//!
+//! // Simulate W1 under DTM-ACG on the paper's FBDIMM configuration.
+//! let mut spot = MemSpot::new(MemSpotConfig::tiny(CoolingConfig::aohs_1_5()));
+//! let mut policy = DtmAcg::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
+//! let result = spot.run(&mixes::w1(), &mut policy);
+//! assert!(result.completed);
+//! assert!(result.max_amb_c <= 110.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cpu_model as cpu;
+pub use fbdimm_sim as fbdimm;
+pub use memtherm;
+pub use platform_emu as platform;
+pub use workloads;
+
+/// Convenient re-exports of the most commonly used types across all crates.
+pub mod prelude {
+    pub use cpu_model::{CpuConfig, DvfsLadder, OperatingPoint, PaperCpuPower, ProcessorPowerModel, RunningMode};
+    pub use fbdimm_sim::{FbdimmConfig, MemRequest, MemorySystem, RequestKind};
+    pub use memtherm::prelude::*;
+    pub use platform_emu::{PlatformExperiment, PolicyKind, Server, ServerKind};
+    pub use workloads::{mixes, AppBehavior, BatchJob, WorkloadMix};
+}

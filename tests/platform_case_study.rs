@@ -1,0 +1,80 @@
+//! Integration tests of the Chapter 5 server-platform emulation.
+
+use dram_thermal::prelude::*;
+use dram_thermal::workloads::spec2000;
+
+#[test]
+fn sr1500al_case_study_reproduces_the_headline_findings() {
+    let mut exp = PlatformExperiment::with_scale(Server::sr1500al(), 1, 1.0);
+    let mix = mixes::w1();
+
+    let bw = exp.run_policy(&mix, PolicyKind::Bw);
+    let acg = exp.run_policy(&mix, PolicyKind::Acg);
+    let cdvfs = exp.run_policy(&mix, PolicyKind::Cdvfs);
+    let comb = exp.run_policy(&mix, PolicyKind::Comb);
+
+    for run in [&bw, &acg, &cdvfs, &comb] {
+        assert!(run.measurement.completed, "{} did not complete", run.measurement.policy);
+        assert!(
+            run.measurement.max_amb_c < exp.server().amb_tdp_c + 1.0,
+            "{} exceeded the TDP: {:.1}",
+            run.measurement.policy,
+            run.measurement.max_amb_c
+        );
+    }
+
+    // The proposed policies do not lose to bandwidth throttling.
+    assert!(acg.measurement.running_time_s <= bw.measurement.running_time_s * 1.03);
+    assert!(cdvfs.measurement.running_time_s <= bw.measurement.running_time_s * 1.03);
+
+    // DTM-CDVFS and DTM-COMB reduce processor power and the memory inlet
+    // temperature relative to DTM-BW (Figures 5.9 / 5.10).
+    assert!(cdvfs.measurement.cpu_power_w < bw.measurement.cpu_power_w);
+    assert!(comb.measurement.cpu_power_w < bw.measurement.cpu_power_w);
+    // The inlet difference is ~1 degC in the paper; allow sampling noise here.
+    assert!(cdvfs.measurement.memory_inlet_c <= bw.measurement.memory_inlet_c + 0.75);
+
+    // Figure 5.8 reports an L2-miss reduction for DTM-ACG. How much of it
+    // appears here depends on how long the policy actually keeps cores gated
+    // and on the rotation-averaged characterization of gated modes (see
+    // DESIGN.md), so the check only guards against a substantial inflation.
+    assert!(acg.measurement.llc_misses <= bw.measurement.llc_misses * 1.15);
+}
+
+#[test]
+fn ambient_gap_matters_more_than_absolute_ambient() {
+    // Section 5.4.5: results at 26 degC ambient with a 90 degC TDP resemble
+    // those at 36 degC with a 100 degC TDP because the gap is what counts.
+    let hot_box = Server::sr1500al();
+    let room = Server::sr1500al().with_ambient_c(26.0).with_amb_tdp(90.0);
+
+    let mut exp_hot = PlatformExperiment::with_scale(hot_box, 1, 0.8);
+    let mut exp_room = PlatformExperiment::with_scale(room, 1, 0.8);
+    let mix = mixes::w2();
+
+    let hot_bw = exp_hot.run_policy(&mix, PolicyKind::Bw).measurement;
+    let hot_acg = exp_hot.run_policy(&mix, PolicyKind::Acg).measurement;
+    let room_bw = exp_room.run_policy(&mix, PolicyKind::Bw).measurement;
+    let room_acg = exp_room.run_policy(&mix, PolicyKind::Acg).measurement;
+
+    let hot_gain = hot_bw.running_time_s / hot_acg.running_time_s.max(1e-9);
+    let room_gain = room_bw.running_time_s / room_acg.running_time_s.max(1e-9);
+    assert!((hot_gain - room_gain).abs() < 0.25, "ACG gain differs too much: hot {hot_gain:.2} vs room {room_gain:.2}");
+}
+
+#[test]
+fn homogeneous_observation_separates_memory_intensity_classes() {
+    let mut exp = PlatformExperiment::with_scale(Server::pe1950(), 1, 0.8);
+    let swim = exp.homogeneous_average_amb(&spec2000::swim());
+    let mgrid = exp.homogeneous_average_amb(&spec2000::mgrid());
+    let vpr = exp.homogeneous_average_amb(&spec2000::vpr());
+    let apsi = exp.homogeneous_average_amb(&spec2000::apsi());
+
+    // High-bandwidth programs run the AMB hotter than moderate ones.
+    assert!(swim > vpr && mgrid > vpr, "swim {swim:.1} / mgrid {mgrid:.1} vs vpr {vpr:.1}");
+    assert!(swim > apsi);
+    // Everything stays in a physically sensible band.
+    for t in [swim, mgrid, vpr, apsi] {
+        assert!(t > 26.0 && t < 110.0, "implausible AMB average {t:.1}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) of the core invariants across crates:
+//! memory-simulator timing, cache behaviour, thermal-model physics, power
+//! monotonicity and DTM decision monotonicity.
+
+use dram_thermal::cpu::{CacheConfig, SetAssocCache};
+use dram_thermal::fbdimm::{ActivationThrottle, FbdimmConfig, MemRequest, MemorySystem, RequestKind};
+use dram_thermal::memtherm::dtm::emergency::EmergencyThresholds;
+use dram_thermal::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Completions never precede their arrival and respect the DRAM core
+    /// latency, for any mix of reads and writes.
+    #[test]
+    fn memory_completions_respect_causality(lines in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..200)) {
+        let cfg = FbdimmConfig::ddr2_667_paper();
+        let mut mem = MemorySystem::new(cfg);
+        for (line, is_write) in &lines {
+            let kind = if *is_write { RequestKind::Write } else { RequestKind::Read };
+            mem.enqueue(MemRequest::new(*line, kind, 0)).unwrap();
+        }
+        let completions = mem.run_until_idle();
+        prop_assert_eq!(completions.len(), lines.len());
+        for c in &completions {
+            prop_assert!(c.finish_ps >= c.arrival_ps);
+            prop_assert!(c.latency_ps() >= cfg.timings.t_rcd);
+        }
+    }
+
+    /// The activation throttle never admits more activations per window than
+    /// its configured limit.
+    #[test]
+    fn throttle_never_exceeds_its_budget(limit in 1u64..50, n in 1usize..400) {
+        let window = 1_000_000u64; // 1 us
+        let mut throttle = ActivationThrottle::with_limit(window, limit);
+        let mut grants: Vec<u64> = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..n {
+            t = throttle.reserve(t);
+            grants.push(t);
+        }
+        // Count activations granted inside any single window.
+        for start in grants.iter().map(|g| (g / window) * window) {
+            let in_window = grants.iter().filter(|&&g| g >= start && g < start + window).count() as u64;
+            prop_assert!(in_window <= limit, "window starting at {} admitted {} > {}", start, in_window, limit);
+        }
+    }
+
+    /// A cache never reports more hits than accesses, and a second pass over
+    /// a working set no larger than the cache always hits.
+    #[test]
+    fn cache_hit_invariants(lines in proptest::collection::vec(0u64..512, 1..256)) {
+        let mut cache = SetAssocCache::new(CacheConfig { capacity_bytes: 64 * 1024, associativity: 8, line_bytes: 64 });
+        for &l in &lines {
+            cache.access(l, false);
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.misses <= stats.accesses);
+        // 512 distinct lines at most = 32 KiB < 64 KiB capacity: second pass hits.
+        let mut unique: Vec<u64> = lines.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        for &l in &unique {
+            prop_assert!(cache.access(l, false).is_hit());
+        }
+    }
+
+    /// The thermal RC node always moves monotonically toward the stable
+    /// temperature and never overshoots it.
+    #[test]
+    fn thermal_node_never_overshoots(start in 20.0f64..120.0, stable in 20.0f64..140.0, steps in 1usize..500) {
+        let mut node = ThermalNode::new(start, 50.0);
+        let mut prev = start;
+        for _ in 0..steps {
+            let t = node.step(stable, 1.0);
+            if stable >= start {
+                prop_assert!(t >= prev - 1e-9 && t <= stable + 1e-9);
+            } else {
+                prop_assert!(t <= prev + 1e-9 && t >= stable - 1e-9);
+            }
+            prev = t;
+        }
+    }
+
+    /// Steady-state device temperatures increase monotonically with power.
+    #[test]
+    fn stable_temperature_is_monotone_in_power(p1 in 0.0f64..10.0, p2 in 0.0f64..10.0) {
+        let model = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(model.stable_amb_c(lo, 1.0) <= model.stable_amb_c(hi, 1.0));
+        prop_assert!(model.stable_dram_c(1.0, lo) <= model.stable_dram_c(1.0, hi));
+    }
+
+    /// FBDIMM power models are monotone in throughput and never report less
+    /// than idle power.
+    #[test]
+    fn power_models_are_monotone(read in 0.0f64..12.0, write in 0.0f64..6.0, bypass in 0.0f64..12.0) {
+        let power = FbdimmPowerModel::paper_defaults();
+        let dram = power.dram.power_watts(read, write);
+        prop_assert!(dram >= power.dram.power_watts(0.0, 0.0));
+        prop_assert!(power.dram.power_watts(read + 1.0, write) >= dram);
+        let amb = power.amb.power_watts(bypass, read, false);
+        prop_assert!(amb >= power.amb.power_watts(0.0, 0.0, false));
+        prop_assert!(power.amb.power_watts(bypass, read + 0.5, false) >= amb);
+    }
+
+    /// The thermal emergency level never decreases as temperature rises.
+    #[test]
+    fn emergency_level_is_monotone_in_temperature(t1 in 60.0f64..120.0, t2 in 60.0f64..120.0) {
+        let thresholds = EmergencyThresholds::table_4_3(&ThermalLimits::paper_fbdimm());
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(thresholds.amb_level(lo) <= thresholds.amb_level(hi));
+    }
+
+    /// DTM-ACG never enables more cores at a hotter temperature than at a
+    /// cooler one (decisions are monotone).
+    #[test]
+    fn acg_decisions_are_monotone(t1 in 90.0f64..112.0, t2 in 90.0f64..112.0) {
+        let cpu = CpuConfig::paper_quad_core();
+        let limits = ThermalLimits::paper_fbdimm();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        // Fresh policies: threshold decisions are stateless.
+        let mut cool = DtmAcg::new(cpu.clone(), limits);
+        let mut hot = DtmAcg::new(cpu.clone(), limits);
+        let cores_cool = cool.decide(lo, 70.0, 1.0).active_cores;
+        let cores_hot = hot.decide(hi, 70.0, 1.0).active_cores;
+        prop_assert!(cores_hot <= cores_cool);
+    }
+
+    /// Synthetic workload streams always stay within their declared
+    /// footprint and attribute at least one instruction per access.
+    #[test]
+    fn workload_streams_are_well_formed(seed in any::<u64>()) {
+        use dram_thermal::workloads::{spec2000, AccessStream};
+        let app = spec2000::art();
+        let mut stream = AccessStream::new(&app, seed);
+        let fp = stream.footprint_lines();
+        for _ in 0..500 {
+            let a = stream.next_access();
+            prop_assert!(a.line < fp);
+            prop_assert!(a.gap_instructions >= 1);
+        }
+    }
+}
+
+// `DtmPolicy::decide` needs the trait in scope for the ACG property above.
+use dram_thermal::memtherm::dtm::policy::DtmPolicy;

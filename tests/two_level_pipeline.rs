@@ -1,0 +1,69 @@
+//! Cross-crate integration test of the full level-1 pipeline: synthetic
+//! workload streams -> shared L2 cache -> FBDIMM memory simulator ->
+//! characterization points consumed by the thermal simulator.
+
+use dram_thermal::prelude::*;
+
+#[test]
+fn characterization_reflects_workload_intensity() {
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let budget = 20_000;
+
+    let mut heavy = CharacterizationTable::new(cpu.clone(), mem, mixes::w1().apps, budget);
+    let mut moderate = CharacterizationTable::new(cpu.clone(), mem, mixes::w8().apps, budget);
+    let full = RunningMode::full_speed(&cpu);
+
+    let h = heavy.point(&full);
+    let m = moderate.point(&full);
+
+    // W1 contains only >10 GB/s applications, W8 mixes moderate ones.
+    assert!(h.total_gbps() > m.total_gbps(), "W1 {} vs W8 {}", h.total_gbps(), m.total_gbps());
+    // Both stay within the physical peak of the memory system.
+    assert!(h.total_gbps() < mem.peak_read_bandwidth_gbps() * 1.6);
+    // Both make forward progress and issue traffic on every DIMM position.
+    assert!(h.instr_rate_total > 0.0 && m.instr_rate_total > 0.0);
+    assert_eq!(h.dimm_traffic.len(), mem.dimm_positions());
+    assert!(h.dimm_traffic.iter().all(|d| d.local_gbps > 0.0));
+}
+
+#[test]
+fn bandwidth_caps_and_core_gating_compose_in_the_characterization() {
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w3().apps, 20_000);
+    let full = table.point(&RunningMode::full_speed(&cpu));
+    let capped = table.point(&RunningMode::full_speed(&cpu).with_bandwidth_cap_gbps(6.4));
+    let gated = table.point(&RunningMode::full_speed(&cpu).with_active_cores(1));
+
+    assert!(capped.total_gbps() <= 7.2, "cap leaked: {}", capped.total_gbps());
+    assert!(capped.instr_rate_total < full.instr_rate_total);
+    assert!(gated.total_gbps() < full.total_gbps());
+    assert!(gated.ipc_ref_sum < full.ipc_ref_sum);
+}
+
+#[test]
+fn power_model_turns_characterized_traffic_into_sane_subsystem_power() {
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w2().apps, 20_000);
+    let point = table.point(&RunningMode::full_speed(&cpu));
+
+    let power = FbdimmPowerModel::paper_defaults();
+    let idle = power.subsystem_idle_power_watts(mem.logical_channels, mem.dimms_per_channel, mem.phys_per_logical);
+    let busy = power.subsystem_power_watts_from_point(&point, mem.dimms_per_channel, mem.phys_per_logical);
+
+    // Busy power exceeds idle power but stays within the ~100 W figure the
+    // paper quotes for a fully configured FBDIMM subsystem.
+    assert!(busy > idle, "busy {busy} W vs idle {idle} W");
+    assert!(busy < 130.0, "busy power {busy} W is implausible");
+
+    // The hottest DIMM must be the one closest to the controller on some
+    // channel (it carries all the bypass traffic).
+    let hottest = point
+        .dimm_traffic
+        .iter()
+        .max_by(|a, b| (a.local_gbps + a.bypass_gbps).partial_cmp(&(b.local_gbps + b.bypass_gbps)).unwrap())
+        .unwrap();
+    assert_eq!(hottest.dimm, 0);
+}
