@@ -1,110 +1,83 @@
 //! Microbenchmarks of the individual substrates: the FBDIMM memory
-//! simulator, the shared-cache model, the thermal RC models and the PID
-//! controller.
-
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//! simulator, the shared-cache model, the thermal RC models, the per-DIMM
+//! thermal scene and the PID controller.
+//!
+//! Run with: `cargo bench -p experiments --bench components`
 
 use cpu_model::{CacheConfig, SetAssocCache};
+use experiments::harness::bench_case;
 use fbdimm_sim::{FbdimmConfig, MemRequest, MemorySystem, RequestKind};
 use memtherm::prelude::*;
+use memtherm::thermal::scene::DimmThermalScene;
 
-fn bench_fbdimm_throughput(c: &mut Criterion) {
-    c.bench_function("fbdimm/enqueue_10k_reads", |b| {
-        b.iter_batched(
-            || MemorySystem::new(FbdimmConfig::ddr2_667_paper()),
-            |mut mem| {
-                for line in 0..10_000u64 {
-                    mem.enqueue(MemRequest::new(line, RequestKind::Read, 0)).unwrap();
-                }
-                mem.horizon_ps()
-            },
-            BatchSize::SmallInput,
-        )
+fn main() {
+    bench_case("fbdimm/enqueue_10k_reads", 10, || {
+        let mut mem = MemorySystem::new(FbdimmConfig::ddr2_667_paper());
+        for line in 0..10_000u64 {
+            mem.enqueue(MemRequest::new(line, RequestKind::Read, 0)).unwrap();
+        }
+        mem.horizon_ps()
     });
-}
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/4mb_8way_100k_accesses", |b| {
-        b.iter_batched(
-            || {
-                SetAssocCache::new(CacheConfig {
-                    capacity_bytes: 4 * 1024 * 1024,
-                    associativity: 8,
-                    line_bytes: 64,
-                })
-            },
-            |mut cache| {
-                let mut hits = 0u64;
-                for i in 0..100_000u64 {
-                    // Mix of a hot region and a streaming region.
-                    let line = if i % 3 == 0 { i % 8_192 } else { 1_000_000 + i };
-                    if cache.access(line, i % 4 == 0).is_hit() {
-                        hits += 1;
-                    }
-                }
-                hits
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_thermal_models(c: &mut Criterion) {
-    c.bench_function("thermal/isolated_100k_steps", |b| {
-        b.iter(|| {
-            let mut m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
-            for _ in 0..100_000 {
-                m.step(6.5, 2.0, 0.01);
+    bench_case("cache/4mb_8way_100k_accesses", 10, || {
+        let mut cache =
+            SetAssocCache::new(CacheConfig { capacity_bytes: 4 * 1024 * 1024, associativity: 8, line_bytes: 64 });
+        let mut hits = 0u64;
+        for i in 0..100_000u64 {
+            // Mix of a hot region and a streaming region.
+            let line = if i % 3 == 0 { i % 8_192 } else { 1_000_000 + i };
+            if cache.access(line, i % 4 == 0).is_hit() {
+                hits += 1;
             }
-            m.amb_temp_c()
-        })
+        }
+        hits
     });
-    c.bench_function("thermal/integrated_100k_steps", |b| {
-        b.iter(|| {
-            let mut m = IntegratedThermalModel::new(CoolingConfig::fdhs_1_0(), ThermalLimits::paper_fbdimm());
-            for _ in 0..100_000 {
-                m.step(6.5, 2.0, 5.0, 0.01);
-            }
-            m.amb_temp_c()
-        })
-    });
-}
 
-fn bench_pid(c: &mut Criterion) {
-    c.bench_function("pid/100k_updates", |b| {
-        b.iter(|| {
-            let mut pid = PidController::paper_amb();
-            let mut level = 0usize;
-            for i in 0..100_000u64 {
-                let temp = 108.0 + ((i % 200) as f64) / 100.0;
-                level = pid.decide_level(temp, 0.01, 5);
-            }
-            level
-        })
+    bench_case("thermal/isolated_100k_steps", 10, || {
+        let mut m = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        for _ in 0..100_000 {
+            m.step(6.5, 2.0, 0.01);
+        }
+        m.amb_temp_c()
+    });
+
+    bench_case("thermal/integrated_100k_steps", 10, || {
+        let mut m = IntegratedThermalModel::new(CoolingConfig::fdhs_1_0(), ThermalLimits::paper_fbdimm());
+        for _ in 0..100_000 {
+            m.step(6.5, 2.0, 5.0, 0.01);
+        }
+        m.amb_temp_c()
+    });
+
+    bench_case("thermal/scene_8_positions_100k_steps", 10, || {
+        let mem = FbdimmConfig::ddr2_667_paper();
+        let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let powers: Vec<FbdimmPowerBreakdown> = (0..scene.len())
+            .map(|i| FbdimmPowerBreakdown { amb_watts: 5.0 + 0.2 * i as f64, dram_watts: 1.5 })
+            .collect();
+        for _ in 0..100_000 {
+            scene.step(&powers, 0.0, 0.01);
+        }
+        scene.observe().max_amb_c
+    });
+
+    bench_case("pid/100k_updates", 10, || {
+        let mut pid = PidController::paper_amb();
+        let mut level = 0usize;
+        for i in 0..100_000u64 {
+            let temp = 108.0 + ((i % 200) as f64) / 100.0;
+            level = pid.decide_level(temp, 0.01, 5);
+        }
+        level
+    });
+
+    bench_case("characterize/w1_full_speed_20k_accesses", 5, || {
+        let mut table = CharacterizationTable::new(
+            CpuConfig::paper_quad_core(),
+            FbdimmConfig::ddr2_667_paper(),
+            mixes::w1().apps,
+            20_000,
+        );
+        table.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core())).total_gbps()
     });
 }
-
-fn bench_characterization(c: &mut Criterion) {
-    c.bench_function("characterize/w1_full_speed_20k_accesses", |b| {
-        b.iter_batched(
-            || {
-                CharacterizationTable::new(
-                    CpuConfig::paper_quad_core(),
-                    FbdimmConfig::ddr2_667_paper(),
-                    mixes::w1().apps,
-                    20_000,
-                )
-            },
-            |mut table| table.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core())).total_gbps(),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-criterion_group! {
-    name = components;
-    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
-    targets = bench_fbdimm_throughput, bench_cache, bench_thermal_models, bench_pid, bench_characterization
-}
-criterion_main!(components);

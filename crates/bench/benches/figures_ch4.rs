@@ -1,28 +1,18 @@
 //! Smoke-scale regeneration of the Chapter 4 figures (the simulation study).
 //! Each bench runs the same code path as the `paper` binary, at the smallest
 //! scale, so `cargo bench` exercises every figure end to end.
-
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! Run with: `cargo bench -p experiments --bench figures_ch4`
 
 use experiments::ch4;
-use experiments::harness::Scale;
+use experiments::harness::{bench_case, Scale};
 
-fn bench_ch4_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures_ch4");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-
-    group.bench_function("fig4_2_trp_sweep", |b| b.iter(|| ch4::fig4_2(Scale::Smoke).rows.len()));
-    group.bench_function("fig4_3_normalized_time", |b| b.iter(|| ch4::fig4_3(Scale::Smoke).rows.len()));
-    group.bench_function("fig4_4_normalized_traffic", |b| b.iter(|| ch4::fig4_4(Scale::Smoke).rows.len()));
-    group.bench_function("fig4_5_8_temperature_traces", |b| b.iter(|| ch4::fig4_5_8(Scale::Smoke).rows.len()));
-    group.bench_function("fig4_9_memory_energy", |b| b.iter(|| ch4::fig4_9(Scale::Smoke).rows.len()));
-    group.bench_function("fig4_12_integrated_model", |b| b.iter(|| ch4::fig4_12(Scale::Smoke).rows.len()));
-    group.bench_function("fig4_13_interaction_degrees", |b| b.iter(|| ch4::fig4_13(Scale::Smoke).rows.len()));
-    group.finish();
+fn main() {
+    bench_case("figures_ch4/fig4_2_trp_sweep", 2, || ch4::fig4_2(Scale::Smoke).rows.len());
+    bench_case("figures_ch4/fig4_3_normalized_time", 2, || ch4::fig4_3(Scale::Smoke).rows.len());
+    bench_case("figures_ch4/fig4_4_normalized_traffic", 2, || ch4::fig4_4(Scale::Smoke).rows.len());
+    bench_case("figures_ch4/fig4_5_8_temperature_traces", 2, || ch4::fig4_5_8(Scale::Smoke).rows.len());
+    bench_case("figures_ch4/fig4_9_memory_energy", 2, || ch4::fig4_9(Scale::Smoke).rows.len());
+    bench_case("figures_ch4/fig4_12_integrated_model", 2, || ch4::fig4_12(Scale::Smoke).rows.len());
+    bench_case("figures_ch4/fig4_13_interaction_degrees", 2, || ch4::fig4_13(Scale::Smoke).rows.len());
 }
-
-criterion_group!(figures_ch4, bench_ch4_figures);
-criterion_main!(figures_ch4);

@@ -1,26 +1,16 @@
 //! Smoke-scale regeneration of the Chapter 5 figures (the server-platform
 //! case study).
-
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! Run with: `cargo bench -p experiments --bench figures_ch5`
 
 use experiments::ch5;
-use experiments::harness::Scale;
+use experiments::harness::{bench_case, Scale};
 
-fn bench_ch5_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures_ch5");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
-
-    group.bench_function("fig5_4_homogeneous_curves", |b| b.iter(|| ch5::fig5_4(Scale::Smoke).rows.len()));
-    group.bench_function("fig5_5_homogeneous_averages", |b| b.iter(|| ch5::fig5_5(Scale::Smoke).rows.len()));
-    group.bench_function("fig5_6_policy_comparison", |b| b.iter(|| ch5::fig5_6(Scale::Smoke).rows.len()));
-    group.bench_function("fig5_8_l2_misses", |b| b.iter(|| ch5::fig5_8(Scale::Smoke).rows.len()));
-    group.bench_function("fig5_13_fixed_frequency", |b| b.iter(|| ch5::fig5_13(Scale::Smoke).rows.len()));
-    group.bench_function("fig5_15_time_slice_model", |b| b.iter(|| ch5::fig5_15(Scale::Smoke).rows.len()));
-    group.finish();
+fn main() {
+    bench_case("figures_ch5/fig5_4_homogeneous_curves", 2, || ch5::fig5_4(Scale::Smoke).rows.len());
+    bench_case("figures_ch5/fig5_5_homogeneous_averages", 2, || ch5::fig5_5(Scale::Smoke).rows.len());
+    bench_case("figures_ch5/fig5_6_policy_comparison", 2, || ch5::fig5_6(Scale::Smoke).rows.len());
+    bench_case("figures_ch5/fig5_8_l2_misses", 2, || ch5::fig5_8(Scale::Smoke).rows.len());
+    bench_case("figures_ch5/fig5_13_fixed_frequency", 2, || ch5::fig5_13(Scale::Smoke).rows.len());
+    bench_case("figures_ch5/fig5_15_time_slice_model", 2, || ch5::fig5_15(Scale::Smoke).rows.len());
 }
-
-criterion_group!(figures_ch5, bench_ch5_figures);
-criterion_main!(figures_ch5);

@@ -1,9 +1,9 @@
 //! End-to-end benchmarks of the second-level (MEMSpot) simulator: one full
 //! batch simulation per DTM scheme at smoke scale.
+//!
+//! Run with: `cargo bench -p experiments --bench memspot`
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use experiments::harness::bench_case;
 use memtherm::prelude::*;
 
 fn config() -> MemSpotConfig {
@@ -15,44 +15,31 @@ fn config() -> MemSpotConfig {
     }
 }
 
-fn bench_memspot_schemes(c: &mut Criterion) {
+fn main() {
     let cpu = CpuConfig::paper_quad_core();
     let limits = ThermalLimits::paper_fbdimm();
-    let mut group = c.benchmark_group("memspot_w1");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(3));
 
-    group.bench_function("no_limit", |b| {
-        let mut spot = MemSpot::new(config());
-        b.iter(|| {
-            let mut p = memtherm::dtm::NoLimit::new(&cpu);
-            spot.run(&mixes::w1(), &mut p).running_time_s
-        })
+    let mut spot = MemSpot::new(config());
+    bench_case("memspot_w1/no_limit", 5, || {
+        let mut p = memtherm::dtm::NoLimit::new(&cpu);
+        spot.run(&mixes::w1(), &mut p).running_time_s
     });
-    group.bench_function("dtm_ts", |b| {
-        let mut spot = MemSpot::new(config());
-        b.iter(|| {
-            let mut p = DtmTs::new(cpu.clone(), limits);
-            spot.run(&mixes::w1(), &mut p).running_time_s
-        })
+
+    let mut spot = MemSpot::new(config());
+    bench_case("memspot_w1/dtm_ts", 5, || {
+        let mut p = DtmTs::new(cpu.clone(), limits);
+        spot.run(&mixes::w1(), &mut p).running_time_s
     });
-    group.bench_function("dtm_acg_pid", |b| {
-        let mut spot = MemSpot::new(config());
-        b.iter(|| {
-            let mut p = DtmAcg::with_pid(cpu.clone(), limits);
-            spot.run(&mixes::w1(), &mut p).running_time_s
-        })
+
+    let mut spot = MemSpot::new(config());
+    bench_case("memspot_w1/dtm_acg_pid", 5, || {
+        let mut p = DtmAcg::with_pid(cpu.clone(), limits);
+        spot.run(&mixes::w1(), &mut p).running_time_s
     });
-    group.bench_function("dtm_cdvfs_integrated", |b| {
-        let mut spot = MemSpot::new(config().with_integrated(None));
-        b.iter(|| {
-            let mut p = DtmCdvfs::new(cpu.clone(), limits);
-            spot.run(&mixes::w1(), &mut p).running_time_s
-        })
+
+    let mut spot = MemSpot::new(config().with_integrated(None));
+    bench_case("memspot_w1/dtm_cdvfs_integrated", 5, || {
+        let mut p = DtmCdvfs::new(cpu.clone(), limits);
+        spot.run(&mixes::w1(), &mut p).running_time_s
     });
-    group.finish();
 }
-
-criterion_group!(memspot, bench_memspot_schemes);
-criterion_main!(memspot);

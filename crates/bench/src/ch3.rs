@@ -13,7 +13,8 @@ use crate::harness::{f1, f3, Table};
 pub fn tab3_1() -> Table {
     let amb = AmbPowerModel::table_3_1();
     let dram = DramPowerModel::ddr2_667_1gb();
-    let mut t = Table::new("tab3_1", "AMB and DRAM power model parameters (Eq. 3.1 / 3.2)", &["parameter", "value", "unit"]);
+    let mut t =
+        Table::new("tab3_1", "AMB and DRAM power model parameters (Eq. 3.1 / 3.2)", &["parameter", "value", "unit"]);
     t.push_row(["P_AMB_idle (last DIMM)", &f1(amb.idle_last_watts), "W"]);
     t.push_row(["P_AMB_idle (other DIMMs)", &f1(amb.idle_other_watts), "W"]);
     t.push_row(["beta (bypass)", &format!("{:.2}", amb.beta_bypass), "W/(GB/s)"]);

@@ -5,6 +5,7 @@ use memtherm::prelude::*;
 use memtherm::sim::memspot::MemSpotResult;
 
 use crate::harness::{f1, f3, mean, Scale, Table};
+use crate::sweep::{SweepRunner, SweepScenario};
 
 /// Which policy variant a matrix run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +47,12 @@ impl PolicySpec {
 
     /// The threshold-only set used by the integrated-model experiments.
     pub fn threshold_set() -> Vec<PolicySpec> {
-        vec![PolicySpec::Ts, PolicySpec::Bw { pid: false }, PolicySpec::Acg { pid: false }, PolicySpec::Cdvfs { pid: false }]
+        vec![
+            PolicySpec::Ts,
+            PolicySpec::Bw { pid: false },
+            PolicySpec::Acg { pid: false },
+            PolicySpec::Cdvfs { pid: false },
+        ]
     }
 
     /// Builds the concrete policy object.
@@ -78,7 +84,9 @@ pub struct MatrixRun {
 }
 
 /// Runs every mix under every policy (plus the no-limit baseline) for one
-/// cooling configuration, sharing level-1 characterizations across policies.
+/// cooling configuration. Each mix becomes one [`SweepScenario`] so its
+/// policies share the level-1 characterization, and the mixes fan out across
+/// cores through the [`SweepRunner`].
 pub fn run_matrix(
     scale: Scale,
     cooling: CoolingConfig,
@@ -86,29 +94,14 @@ pub fn run_matrix(
     interaction_degree: Option<f64>,
     specs: &[PolicySpec],
 ) -> Vec<MatrixRun> {
-    let mut cfg = scale.memspot_config(cooling);
-    if integrated {
-        cfg = cfg.with_integrated(interaction_degree);
-    }
-    let cpu = CpuConfig::paper_quad_core();
-    let limits = cfg.limits;
-    let mut spot = MemSpot::with_hardware(cpu.clone(), FbdimmConfig::ddr2_667_paper(), cfg);
-    let mut out = Vec::new();
-    for mix in scale.ch4_mixes() {
-        let mut all_specs = vec![PolicySpec::NoLimit];
-        all_specs.extend_from_slice(specs);
-        for spec in all_specs {
-            let mut policy = spec.build(&cpu, limits);
-            let result = spot.run(&mix, policy.as_mut());
-            out.push(MatrixRun {
-                cooling: cooling.label(),
-                workload: mix.id.clone(),
-                policy: policy.name(),
-                result,
-            });
-        }
-    }
-    out
+    let mut all_specs = vec![PolicySpec::NoLimit];
+    all_specs.extend_from_slice(specs);
+    let scenarios: Vec<SweepScenario> = scale
+        .ch4_mixes()
+        .into_iter()
+        .map(|mix| SweepScenario { cooling, integrated, interaction_degree, mix, specs: all_specs.clone() })
+        .collect();
+    SweepRunner::new().run(&scenarios, |cooling| scale.memspot_config(cooling)).runs
 }
 
 fn baseline<'a>(runs: &'a [MatrixRun], cooling: &str, workload: &str, policy: &str) -> Option<&'a MatrixRun> {
@@ -131,7 +124,7 @@ pub fn tab4_3() -> Table {
         let cdvfs = scheme_mode(DtmScheme::Cdvfs, *level, &cpu);
         let bw_str = match bw.bandwidth_cap {
             None => "no limit".to_string(),
-            Some(c) if c == 0.0 => "off".to_string(),
+            Some(0.0) => "off".to_string(),
             Some(c) => format!("{:.1} GB/s", c / 1e9),
         };
         let cdvfs_str = if cdvfs.makes_progress() {
@@ -213,7 +206,14 @@ pub fn fig4_2(scale: Scale) -> Table {
     t
 }
 
-fn normalized_table(id: &str, title: &str, scale: Scale, metric: impl Fn(&MemSpotResult, &MemSpotResult) -> f64, base_policy: &str, specs: &[PolicySpec]) -> Table {
+fn normalized_table(
+    id: &str,
+    title: &str,
+    scale: Scale,
+    metric: impl Fn(&MemSpotResult, &MemSpotResult) -> f64,
+    base_policy: &str,
+    specs: &[PolicySpec],
+) -> Table {
     let mut t = Table::new(id, title, &["cooling", "workload", "policy", "value"]);
     for cooling in [CoolingConfig::fdhs_1_0(), CoolingConfig::aohs_1_5()] {
         let runs = run_matrix(scale, cooling, false, None, specs);
@@ -369,7 +369,12 @@ pub fn fig4_12(scale: Scale) -> Table {
                 continue;
             }
             let Some(base) = baseline(&runs, &r.cooling, &r.workload, "No-limit") else { continue };
-            t.push_row([r.cooling.clone(), r.workload.clone(), r.policy.clone(), f3(r.result.normalized_time(&base.result))]);
+            t.push_row([
+                r.cooling.clone(),
+                r.workload.clone(),
+                r.policy.clone(),
+                f3(r.result.normalized_time(&base.result)),
+            ]);
         }
     }
     t
@@ -394,8 +399,7 @@ pub fn fig4_13(scale: Scale) -> Table {
                 .iter()
                 .filter(|r| r.policy == policy)
                 .filter_map(|r| {
-                    baseline(&runs, &r.cooling, &r.workload, "No-limit")
-                        .map(|b| r.result.normalized_time(&b.result))
+                    baseline(&runs, &r.cooling, &r.workload, "No-limit").map(|b| r.result.normalized_time(&b.result))
                 })
                 .collect();
             t.push_row([f1(degree), policy.to_string(), f3(mean(&values))]);
@@ -419,9 +423,8 @@ pub fn fig4_14(scale: Scale) -> Table {
                 .iter()
                 .filter(|r| r.policy == policy)
                 .filter_map(|r| {
-                    baseline(&runs, &r.cooling, &r.workload, "DTM-BW").map(|bw| {
-                        100.0 * (1.0 - r.result.running_time_s / bw.result.running_time_s.max(1e-9))
-                    })
+                    baseline(&runs, &r.cooling, &r.workload, "DTM-BW")
+                        .map(|bw| 100.0 * (1.0 - r.result.running_time_s / bw.result.running_time_s.max(1e-9)))
                 })
                 .collect();
             t.push_row([f1(degree), policy.to_string(), f1(mean(&improvements))]);

@@ -16,18 +16,26 @@ fn ch5_mixes(scale: Scale) -> Vec<workloads::WorkloadMix> {
     }
 }
 
-fn policy_runs(scale: Scale, server: Server, mixes_list: &[workloads::WorkloadMix]) -> Vec<(String, String, Measurement)> {
-    let mut exp = experiment(scale, server);
-    let mut out = Vec::new();
-    for mix in mixes_list {
+fn policy_runs(
+    scale: Scale,
+    server: Server,
+    mixes_list: &[workloads::WorkloadMix],
+) -> Vec<(String, String, Measurement)> {
+    // Fan the mixes across cores; each worker owns a private experiment
+    // (characterization tables are per-mix, so nothing is lost by splitting).
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let groups = crate::sweep::parallel_map(threads, mixes_list, |mix| {
+        let mut exp = experiment(scale, server.clone());
+        let mut out = Vec::new();
         let base = exp.run_no_limit(mix);
         out.push((mix.id.clone(), "No-limit".to_string(), base.measurement));
         for kind in PolicyKind::ALL {
             let run = exp.run_policy(mix, kind);
             out.push((mix.id.clone(), kind.to_string(), run.measurement));
         }
-    }
-    out
+        out
+    });
+    groups.into_iter().flatten().collect()
 }
 
 fn find<'a>(runs: &'a [(String, String, Measurement)], mix: &str, policy: &str) -> Option<&'a Measurement> {
@@ -75,7 +83,13 @@ pub fn fig5_5(scale: Scale) -> Table {
     t
 }
 
-fn normalized_time_table(id: &str, title: &str, scale: Scale, servers: &[Server], mixes_list: &[workloads::WorkloadMix]) -> Table {
+fn normalized_time_table(
+    id: &str,
+    title: &str,
+    scale: Scale,
+    servers: &[Server],
+    mixes_list: &[workloads::WorkloadMix],
+) -> Table {
     let mut t = Table::new(id, title, &["server", "workload", "policy", "normalized time"]);
     for server in servers {
         let runs = policy_runs(scale, server.clone(), mixes_list);
@@ -218,15 +232,9 @@ pub fn fig5_13(scale: Scale) -> Table {
         let reference = exp.run_with(&mix, &mut bw_fast).measurement;
         for (kind, label) in [(PolicyKind::Bw, "DTM-BW"), (PolicyKind::Acg, "DTM-ACG")] {
             for (freq_idx, freq_label) in [(0usize, 3.0f64), (3, 2.0)] {
-                let mut policy =
-                    PlatformPolicy::new(kind, server.clone()).with_fixed_frequency_index(freq_idx);
+                let mut policy = PlatformPolicy::new(kind, server.clone()).with_fixed_frequency_index(freq_idx);
                 let m = exp.run_with(&mix, &mut policy).measurement;
-                t.push_row([
-                    mix.id.clone(),
-                    label.to_string(),
-                    f1(freq_label),
-                    f3(m.normalized_time(&reference)),
-                ]);
+                t.push_row([mix.id.clone(), label.to_string(), f1(freq_label), f3(m.normalized_time(&reference))]);
             }
         }
     }

@@ -2,7 +2,6 @@
 //! simulator factories used by the Chapter 4 and Chapter 5 experiments.
 
 use memtherm::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// How much work an experiment run performs.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// the batch uniformly, which preserves normalized (relative) results — the
 /// quantities every figure reports — while keeping wall-clock time
 /// reasonable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Smallest runs, used by the Criterion benches and CI.
     Smoke,
@@ -81,7 +80,7 @@ impl Scale {
 }
 
 /// A printable experiment result: a titled table of rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Experiment identifier (e.g. `"fig4_3"`).
     pub id: String,
@@ -115,7 +114,33 @@ impl Table {
 
     /// Serializes the table to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn str_array(items: &[String]) -> String {
+            let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", cells.join(", "))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| format!("    {}", str_array(r))).collect();
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"headers\": {},\n  \"rows\": [\n{}\n  ]\n}}",
+            esc(&self.id),
+            esc(&self.title),
+            str_array(&self.headers),
+            rows.join(",\n")
+        )
     }
 
     /// Looks up a cell by row predicate and column name (used by tests).
@@ -150,6 +175,25 @@ impl std::fmt::Display for Table {
         }
         Ok(())
     }
+}
+
+/// Minimal wall-clock benchmark runner used by the `benches/` binaries
+/// (the container builds offline, so there is no external bench harness).
+/// Runs one warm-up iteration plus `iters` timed iterations and prints the
+/// mean and minimum time per iteration.
+pub fn bench_case<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) {
+    let iters = iters.max(1);
+    let _warmup = f();
+    let mut samples_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        let result = f();
+        samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(result);
+    }
+    let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
+    let min = samples_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("{label:<44} {mean:>10.3} ms/iter (min {min:.3} ms, {iters} iters)");
 }
 
 /// Formats a floating point number with three significant decimals.

@@ -23,6 +23,7 @@ pub mod ch3;
 pub mod ch4;
 pub mod ch5;
 pub mod harness;
+pub mod sweep;
 
 use harness::{Scale, Table};
 

@@ -1,0 +1,231 @@
+//! Parallel scenario sweep engine.
+//!
+//! A paper-style evaluation is a grid of {cooling configuration × thermal
+//! model × workload mix × DTM scheme} MEMSpot runs. The cells are
+//! independent except for one shared artifact: the level-1 characterization
+//! table of a workload mix, which every policy run of that mix reuses.
+//! [`SweepRunner`] therefore parallelizes at *group* granularity — one group
+//! per {cooling, model, mix} scenario, each running its policy list on one
+//! worker with a private `MemSpot` — and fans the groups across OS threads
+//! with a work-stealing index (`std::thread::scope`; the container has no
+//! external thread-pool crate). Results come back in deterministic grid
+//! order regardless of which worker finished first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use cpu_model::CpuConfig;
+use fbdimm_sim::FbdimmConfig;
+use memtherm::prelude::*;
+use workloads::WorkloadMix;
+
+use crate::ch4::{MatrixRun, PolicySpec};
+
+/// One scenario of the sweep grid: a cooling configuration and thermal
+/// model choice applied to one workload mix, evaluated under a list of DTM
+/// policies (which share the mix's level-1 characterization).
+#[derive(Debug, Clone)]
+pub struct SweepScenario {
+    /// Cooling configuration.
+    pub cooling: CoolingConfig,
+    /// Use the integrated thermal model.
+    pub integrated: bool,
+    /// Optional thermal-interaction degree override (integrated model only).
+    pub interaction_degree: Option<f64>,
+    /// The workload mix to run.
+    pub mix: WorkloadMix,
+    /// The policies to evaluate, in order.
+    pub specs: Vec<PolicySpec>,
+}
+
+impl SweepScenario {
+    /// A scenario under the isolated thermal model.
+    pub fn isolated(cooling: CoolingConfig, mix: WorkloadMix, specs: Vec<PolicySpec>) -> Self {
+        SweepScenario { cooling, integrated: false, interaction_degree: None, mix, specs }
+    }
+
+    /// Number of grid cells (policy runs) this scenario contains.
+    pub fn cells(&self) -> usize {
+        self.specs.len()
+    }
+}
+
+/// Outcome of a sweep: the per-cell results in grid order plus the
+/// wall-clock time the sweep took.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One entry per grid cell, ordered scenario-major then policy order.
+    pub runs: Vec<MatrixRun>,
+    /// Wall-clock duration of the whole sweep, seconds.
+    pub wall_clock_s: f64,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+/// Fans a grid of MEMSpot scenarios across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner using all available cores.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SweepRunner { threads }
+    }
+
+    /// A runner with an explicit worker count (1 = sequential; used as the
+    /// baseline of the speedup measurements).
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner { threads: threads.max(1) }
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every scenario of the grid and returns the per-cell results in
+    /// deterministic grid order (scenario-major, then the scenario's policy
+    /// order), plus the sweep's wall-clock time.
+    ///
+    /// `make_config` maps a scenario's cooling configuration to the MEMSpot
+    /// configuration to run it under (typically `scale.memspot_config`);
+    /// the scenario's thermal-model fields are applied on top.
+    pub fn run(
+        &self,
+        scenarios: &[SweepScenario],
+        make_config: impl Fn(CoolingConfig) -> MemSpotConfig + Sync,
+    ) -> SweepOutcome {
+        let start = Instant::now();
+        let cpu = CpuConfig::paper_quad_core();
+        let mem = FbdimmConfig::ddr2_667_paper();
+        let groups = parallel_map(self.threads, scenarios, |scenario| run_scenario(scenario, &cpu, mem, &make_config));
+        let runs = groups.into_iter().flatten().collect();
+        SweepOutcome { runs, wall_clock_s: start.elapsed().as_secs_f64(), threads: self.threads }
+    }
+}
+
+/// Order-preserving parallel map over a slice: `threads` scoped workers
+/// claim items through a shared atomic index and the results are reassembled
+/// in input order. The building block of [`SweepRunner`], also used directly
+/// by experiment drivers whose unit of work is not a `MemSpot` grid cell
+/// (e.g. the Chapter 5 platform runs).
+pub fn parallel_map<T: Sync, R: Send>(threads: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = threads.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut done: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(idx) else { break };
+                    done.push((idx, f(item)));
+                }
+                done
+            }));
+        }
+        for handle in handles {
+            for (idx, result) in handle.join().expect("parallel_map worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+
+    slots.into_iter().map(|s| s.expect("every item processed")).collect()
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn run_scenario(
+    scenario: &SweepScenario,
+    cpu: &CpuConfig,
+    mem: FbdimmConfig,
+    make_config: &(impl Fn(CoolingConfig) -> MemSpotConfig + Sync),
+) -> Vec<MatrixRun> {
+    let mut cfg = make_config(scenario.cooling);
+    if scenario.integrated {
+        cfg = cfg.with_integrated(scenario.interaction_degree);
+    }
+    let limits = cfg.limits;
+    let mut spot = MemSpot::with_hardware(cpu.clone(), mem, cfg);
+    scenario
+        .specs
+        .iter()
+        .map(|spec| {
+            let mut policy = spec.build(cpu, limits);
+            let result = spot.run(&scenario.mix, policy.as_mut());
+            MatrixRun {
+                cooling: scenario.cooling.label(),
+                workload: scenario.mix.id.clone(),
+                policy: policy.name(),
+                result,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+    use workloads::mixes;
+
+    fn grid() -> Vec<SweepScenario> {
+        let specs = vec![PolicySpec::NoLimit, PolicySpec::Ts];
+        vec![
+            SweepScenario::isolated(CoolingConfig::aohs_1_5(), mixes::w1(), specs.clone()),
+            SweepScenario::isolated(CoolingConfig::fdhs_1_0(), mixes::w1(), specs.clone()),
+            SweepScenario::isolated(CoolingConfig::aohs_1_5(), mixes::w6(), specs),
+        ]
+    }
+
+    #[test]
+    fn results_come_back_in_grid_order_regardless_of_threads() {
+        let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
+        let sequential = SweepRunner::with_threads(1).run(&grid(), make);
+        let parallel = SweepRunner::with_threads(4).run(&grid(), make);
+        assert_eq!(sequential.runs.len(), 6);
+        assert_eq!(parallel.runs.len(), 6);
+        let order: Vec<(String, String, String)> =
+            sequential.runs.iter().map(|r| (r.cooling.clone(), r.workload.clone(), r.policy.clone())).collect();
+        let parallel_order: Vec<(String, String, String)> =
+            parallel.runs.iter().map(|r| (r.cooling.clone(), r.workload.clone(), r.policy.clone())).collect();
+        assert_eq!(order, parallel_order);
+        assert_eq!(order[0], ("AOHS_1.5".to_string(), "W1".to_string(), "No-limit".to_string()));
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_results_exactly() {
+        // Each scenario is deterministic and runs on exactly one worker, so
+        // parallelism must not change any simulated quantity.
+        let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
+        let a = SweepRunner::with_threads(1).run(&grid(), make);
+        let b = SweepRunner::with_threads(4).run(&grid(), make);
+        for (x, y) in a.runs.iter().zip(b.runs.iter()) {
+            assert_eq!(x.result, y.result, "{}/{}/{} diverged", x.cooling, x.workload, x.policy);
+        }
+    }
+
+    #[test]
+    fn runner_defaults_to_available_parallelism() {
+        assert!(SweepRunner::new().threads() >= 1);
+        assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+        assert_eq!(SweepScenario::isolated(CoolingConfig::aohs_1_5(), mixes::w1(), vec![PolicySpec::Ts]).cells(), 1);
+    }
+}

@@ -11,6 +11,7 @@ use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
 use crate::sim::modes::scheme_mode;
 use crate::thermal::params::ThermalLimits;
+use crate::thermal::scene::ThermalObservation;
 
 /// The adaptive core gating policy.
 #[derive(Debug, Clone)]
@@ -32,8 +33,8 @@ impl DtmAcg {
 }
 
 impl DtmPolicy for DtmAcg {
-    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
-        let level = self.selector.select(amb_temp_c, dram_temp_c, dt_s);
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode {
+        let level = self.selector.select(observation.max_amb_c, observation.max_dram_c, dt_s);
         scheme_mode(DtmScheme::Acg, level, &self.cpu)
     }
 
@@ -62,7 +63,7 @@ mod tests {
     fn cores_are_gated_one_by_one_with_rising_temperature() {
         let mut p = policy();
         let cores: Vec<_> =
-            [100.0, 108.5, 109.2, 109.7].iter().map(|&t| p.decide(t, 70.0, 1.0).active_cores).collect();
+            [100.0, 108.5, 109.2, 109.7].iter().map(|&t| p.decide_temps(t, 70.0, 1.0).active_cores).collect();
         assert_eq!(cores, vec![4, 3, 2, 1]);
     }
 
@@ -70,7 +71,7 @@ mod tests {
     fn memory_bandwidth_is_never_capped_below_the_tdp() {
         let mut p = policy();
         for t in [100.0, 108.5, 109.7] {
-            assert_eq!(p.decide(t, 70.0, 1.0).bandwidth_cap, None);
+            assert_eq!(p.decide_temps(t, 70.0, 1.0).bandwidth_cap, None);
         }
     }
 
@@ -78,20 +79,20 @@ mod tests {
     fn frequency_stays_at_the_top_operating_point() {
         let mut p = policy();
         for t in [100.0, 109.7] {
-            assert!((p.decide(t, 70.0, 1.0).op.freq_ghz - 3.2).abs() < 1e-9);
+            assert!((p.decide_temps(t, 70.0, 1.0).op.freq_ghz - 3.2).abs() < 1e-9);
         }
     }
 
     #[test]
     fn dram_temperature_also_drives_gating() {
         let mut p = policy();
-        assert_eq!(p.decide(100.0, 84.2, 1.0).active_cores, 2);
+        assert_eq!(p.decide_temps(100.0, 84.2, 1.0).active_cores, 2);
     }
 
     #[test]
     fn tdp_stops_everything() {
         let mut p = policy();
-        let mode = p.decide(110.0, 70.0, 1.0);
+        let mode = p.decide_temps(110.0, 70.0, 1.0);
         assert_eq!(mode.active_cores, 0);
         assert!(!mode.makes_progress());
     }

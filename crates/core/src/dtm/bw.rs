@@ -9,6 +9,7 @@ use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
 use crate::sim::modes::scheme_mode;
 use crate::thermal::params::ThermalLimits;
+use crate::thermal::scene::ThermalObservation;
 
 /// The bandwidth-throttling policy.
 #[derive(Debug, Clone)]
@@ -30,8 +31,8 @@ impl DtmBw {
 }
 
 impl DtmPolicy for DtmBw {
-    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
-        let level = self.selector.select(amb_temp_c, dram_temp_c, dt_s);
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode {
+        let level = self.selector.select(observation.max_amb_c, observation.max_dram_c, dt_s);
         scheme_mode(DtmScheme::Bw, level, &self.cpu)
     }
 
@@ -59,16 +60,14 @@ mod tests {
     #[test]
     fn no_limit_when_cool() {
         let mut p = policy();
-        assert_eq!(p.decide(100.0, 70.0, 1.0).bandwidth_cap, None);
+        assert_eq!(p.decide_temps(100.0, 70.0, 1.0).bandwidth_cap, None);
     }
 
     #[test]
     fn caps_tighten_as_temperature_rises() {
         let mut p = policy();
-        let caps: Vec<_> = [108.5, 109.2, 109.7]
-            .iter()
-            .map(|&t| p.decide(t, 70.0, 1.0).bandwidth_cap.unwrap())
-            .collect();
+        let caps: Vec<_> =
+            [108.5, 109.2, 109.7].iter().map(|&t| p.decide_temps(t, 70.0, 1.0).bandwidth_cap.unwrap()).collect();
         assert!(caps[0] > caps[1] && caps[1] > caps[2]);
         assert!((caps[2] - 6.4e9).abs() < 1.0);
     }
@@ -77,14 +76,14 @@ mod tests {
     fn cores_are_never_gated_by_bandwidth_throttling() {
         let mut p = policy();
         for t in [100.0, 108.5, 109.2, 109.7] {
-            assert_eq!(p.decide(t, 70.0, 1.0).active_cores, 4);
+            assert_eq!(p.decide_temps(t, 70.0, 1.0).active_cores, 4);
         }
     }
 
     #[test]
     fn tdp_shuts_memory_off() {
         let mut p = policy();
-        assert!(!p.decide(110.5, 70.0, 1.0).makes_progress());
+        assert!(!p.decide_temps(110.5, 70.0, 1.0).makes_progress());
     }
 
     #[test]

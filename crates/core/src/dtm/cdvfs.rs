@@ -11,6 +11,7 @@ use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
 use crate::sim::modes::scheme_mode;
 use crate::thermal::params::ThermalLimits;
+use crate::thermal::scene::ThermalObservation;
 
 /// The coordinated DVFS policy.
 #[derive(Debug, Clone)]
@@ -32,8 +33,8 @@ impl DtmCdvfs {
 }
 
 impl DtmPolicy for DtmCdvfs {
-    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
-        let level = self.selector.select(amb_temp_c, dram_temp_c, dt_s);
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode {
+        let level = self.selector.select(observation.max_amb_c, observation.max_dram_c, dt_s);
         scheme_mode(DtmScheme::Cdvfs, level, &self.cpu)
     }
 
@@ -62,15 +63,15 @@ mod tests {
     fn frequency_descends_with_rising_temperature() {
         let mut p = policy();
         let freqs: Vec<_> =
-            [100.0, 108.5, 109.2, 109.7].iter().map(|&t| p.decide(t, 70.0, 1.0).op.freq_ghz).collect();
+            [100.0, 108.5, 109.2, 109.7].iter().map(|&t| p.decide_temps(t, 70.0, 1.0).op.freq_ghz).collect();
         assert_eq!(freqs, vec![3.2, 2.8, 1.6, 0.8]);
     }
 
     #[test]
     fn voltage_descends_together_with_frequency() {
         let mut p = policy();
-        let v_hot = p.decide(109.7, 70.0, 1.0).op.voltage;
-        let v_cool = p.decide(100.0, 70.0, 1.0).op.voltage;
+        let v_hot = p.decide_temps(109.7, 70.0, 1.0).op.voltage;
+        let v_cool = p.decide_temps(100.0, 70.0, 1.0).op.voltage;
         assert!(v_hot < v_cool);
     }
 
@@ -78,14 +79,14 @@ mod tests {
     fn all_cores_remain_active_below_the_tdp() {
         let mut p = policy();
         for t in [100.0, 108.5, 109.2, 109.7] {
-            assert_eq!(p.decide(t, 70.0, 1.0).active_cores, 4);
+            assert_eq!(p.decide_temps(t, 70.0, 1.0).active_cores, 4);
         }
     }
 
     #[test]
     fn tdp_stops_the_memory() {
         let mut p = policy();
-        assert!(!p.decide(110.2, 70.0, 1.0).makes_progress());
+        assert!(!p.decide_temps(110.2, 70.0, 1.0).makes_progress());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
 use crate::sim::modes::scheme_mode;
 use crate::thermal::params::ThermalLimits;
+use crate::thermal::scene::ThermalObservation;
 
 /// The combined gating + DVFS policy.
 #[derive(Debug, Clone)]
@@ -32,8 +33,8 @@ impl DtmComb {
 }
 
 impl DtmPolicy for DtmComb {
-    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
-        let level = self.selector.select(amb_temp_c, dram_temp_c, dt_s);
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode {
+        let level = self.selector.select(observation.max_amb_c, observation.max_dram_c, dt_s);
         scheme_mode(DtmScheme::Comb, level, &self.cpu)
     }
 
@@ -57,12 +58,12 @@ mod tests {
     #[test]
     fn combines_gating_and_frequency_scaling() {
         let mut p = DtmComb::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
-        let cool = p.decide(100.0, 70.0, 1.0);
+        let cool = p.decide_temps(100.0, 70.0, 1.0);
         assert_eq!((cool.active_cores, cool.op.freq_ghz), (4, 3.2));
-        let warm = p.decide(108.5, 70.0, 1.0);
+        let warm = p.decide_temps(108.5, 70.0, 1.0);
         assert_eq!(warm.active_cores, 3);
         assert!(warm.op.freq_ghz < 3.2);
-        let hot = p.decide(109.7, 70.0, 1.0);
+        let hot = p.decide_temps(109.7, 70.0, 1.0);
         assert_eq!(hot.active_cores, 2);
         assert!((hot.op.freq_ghz - 0.8).abs() < 1e-9);
     }
@@ -70,7 +71,7 @@ mod tests {
     #[test]
     fn tdp_stops_everything() {
         let mut p = DtmComb::new(CpuConfig::paper_quad_core(), ThermalLimits::paper_fbdimm());
-        assert!(!p.decide(112.0, 70.0, 1.0).makes_progress());
+        assert!(!p.decide_temps(112.0, 70.0, 1.0).makes_progress());
     }
 
     #[test]

@@ -6,13 +6,11 @@
 //! DVFS point). Level 1 means "no emergency", the highest level means the
 //! thermal design point has been reached and the memory must be shut off.
 
-use serde::{Deserialize, Serialize};
-
 use crate::thermal::params::ThermalLimits;
 
 /// A thermal emergency level. `L1` is the coolest (no action), `L5` the
 /// hottest (memory shut off).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EmergencyLevel {
     /// No thermal emergency.
     L1,
@@ -70,7 +68,7 @@ impl std::fmt::Display for EmergencyLevel {
 /// temperature below `amb_bounds[0]` is level 1. The two devices may define
 /// a different number of levels on the two servers, but within one table the
 /// AMB and DRAM boundary lists have the same length.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmergencyThresholds {
     amb_bounds: Vec<f64>,
     dram_bounds: Vec<f64>,

@@ -3,6 +3,7 @@
 use cpu_model::{CpuConfig, RunningMode};
 
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
+use crate::thermal::scene::ThermalObservation;
 
 /// A policy that never throttles, used as the normalization baseline of
 /// Figures 4.2–4.4 and 4.12 ("No-limit").
@@ -19,7 +20,7 @@ impl NoLimit {
 }
 
 impl DtmPolicy for NoLimit {
-    fn decide(&mut self, _amb_temp_c: f64, _dram_temp_c: f64, _dt_s: f64) -> RunningMode {
+    fn decide(&mut self, _observation: &ThermalObservation, _dt_s: f64) -> RunningMode {
         self.mode
     }
 
@@ -35,7 +36,7 @@ mod tests {
     #[test]
     fn never_throttles_even_when_scorching() {
         let mut p = NoLimit::new(&CpuConfig::paper_quad_core());
-        let mode = p.decide(150.0, 120.0, 0.01);
+        let mode = p.decide_temps(150.0, 120.0, 0.01);
         assert_eq!(mode.active_cores, 4);
         assert_eq!(mode.bandwidth_cap, None);
         assert_eq!(p.scheme(), DtmScheme::NoLimit);

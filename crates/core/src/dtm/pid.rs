@@ -8,10 +8,8 @@
 //! temperature exceeds an enable threshold) and *anti-windup* (the integral
 //! is frozen while the controller output saturates the actuator).
 
-use serde::{Deserialize, Serialize};
-
 /// A single-input PID controller producing a throttling decision.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PidController {
     /// Proportional gain `Kc`.
     pub kc: f64,

@@ -1,10 +1,11 @@
 //! The DTM policy interface.
 
 use cpu_model::RunningMode;
-use serde::{Deserialize, Serialize};
+
+use crate::thermal::scene::ThermalObservation;
 
 /// Identifier of a DTM scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DtmScheme {
     /// No thermal management at all (the ideal, thermally unconstrained
     /// baseline the paper normalizes against).
@@ -38,12 +39,22 @@ impl std::fmt::Display for DtmScheme {
 /// A dynamic thermal management policy.
 ///
 /// The second-level simulator calls [`DtmPolicy::decide`] once per DTM
-/// interval with the sensed AMB and DRAM temperatures; the policy returns
-/// the running mode for the next interval.
+/// interval with a [`ThermalObservation`] — the sensed temperature field of
+/// the memory subsystem, including the per-position temperatures and the
+/// derived hottest DIMM; the policy returns the running mode for the next
+/// interval. The paper's schemes act on the observation's maxima; the full
+/// field is available for spatially aware policies.
 pub trait DtmPolicy: std::fmt::Debug {
     /// Chooses the running mode for the next interval. `dt_s` is the time
     /// since the previous decision in seconds.
-    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode;
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode;
+
+    /// Convenience for sensor-style callers and tests: decides from scalar
+    /// hottest-device temperatures (an observation with no per-position
+    /// field).
+    fn decide_temps(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
+        self.decide(&ThermalObservation::from_hottest(amb_temp_c, dram_temp_c), dt_s)
+    }
 
     /// The scheme this policy implements.
     fn scheme(&self) -> DtmScheme;

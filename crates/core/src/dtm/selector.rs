@@ -6,14 +6,12 @@
 //! with the PID formal controller of Section 4.2.3; [`LevelSelector`]
 //! implements both so the policy types stay small.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dtm::emergency::{EmergencyLevel, EmergencyThresholds};
 use crate::dtm::pid::PidController;
 use crate::thermal::params::ThermalLimits;
 
 /// Selects a thermal emergency level from sensed temperatures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelSelector {
     thresholds: EmergencyThresholds,
     limits: ThermalLimits,

@@ -9,6 +9,7 @@ use cpu_model::{CpuConfig, RunningMode};
 
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::thermal::params::ThermalLimits;
+use crate::thermal::scene::ThermalObservation;
 
 /// The thermal-shutdown policy.
 #[derive(Debug, Clone)]
@@ -36,12 +37,12 @@ impl DtmTs {
 }
 
 impl DtmPolicy for DtmTs {
-    fn decide(&mut self, amb_temp_c: f64, dram_temp_c: f64, _dt_s: f64) -> RunningMode {
-        if amb_temp_c >= self.limits.amb_tdp_c || dram_temp_c >= self.limits.dram_tdp_c {
+    fn decide(&mut self, observation: &ThermalObservation, _dt_s: f64) -> RunningMode {
+        if observation.over_tdp(&self.limits) {
             self.shut_down = true;
         } else if self.shut_down
-            && amb_temp_c <= self.limits.amb_trp_c
-            && dram_temp_c <= self.limits.dram_trp_c
+            && observation.max_amb_c <= self.limits.amb_trp_c
+            && observation.max_dram_c <= self.limits.dram_trp_c
         {
             self.shut_down = false;
         }
@@ -72,43 +73,43 @@ mod tests {
     #[test]
     fn stays_on_below_the_tdp() {
         let mut p = policy();
-        assert!(p.decide(109.9, 84.9, 1.0).makes_progress());
+        assert!(p.decide_temps(109.9, 84.9, 1.0).makes_progress());
         assert!(!p.is_shut_down());
     }
 
     #[test]
     fn shuts_down_at_the_tdp_and_stays_down_until_the_trp() {
         let mut p = policy();
-        assert!(!p.decide(110.0, 80.0, 1.0).makes_progress());
+        assert!(!p.decide_temps(110.0, 80.0, 1.0).makes_progress());
         // Still above the TRP: remains off (hysteresis).
-        assert!(!p.decide(109.5, 80.0, 1.0).makes_progress());
+        assert!(!p.decide_temps(109.5, 80.0, 1.0).makes_progress());
         // At or below the TRP: back on.
-        assert!(p.decide(109.0, 80.0, 1.0).makes_progress());
+        assert!(p.decide_temps(109.0, 80.0, 1.0).makes_progress());
         assert!(!p.is_shut_down());
     }
 
     #[test]
     fn dram_overheating_also_triggers_shutdown() {
         let mut p = policy();
-        assert!(!p.decide(100.0, 85.2, 1.0).makes_progress());
+        assert!(!p.decide_temps(100.0, 85.2, 1.0).makes_progress());
         // AMB is cool but DRAM has not released yet.
-        assert!(!p.decide(100.0, 84.5, 1.0).makes_progress());
-        assert!(p.decide(100.0, 83.9, 1.0).makes_progress());
+        assert!(!p.decide_temps(100.0, 84.5, 1.0).makes_progress());
+        assert!(p.decide_temps(100.0, 83.9, 1.0).makes_progress());
     }
 
     #[test]
     fn higher_trp_releases_earlier() {
         let limits = ThermalLimits::paper_fbdimm().with_amb_trp(109.5);
         let mut p = DtmTs::new(CpuConfig::paper_quad_core(), limits);
-        p.decide(110.0, 80.0, 1.0);
-        assert!(p.decide(109.6, 80.0, 1.0).makes_progress() == false);
-        assert!(p.decide(109.5, 80.0, 1.0).makes_progress());
+        p.decide_temps(110.0, 80.0, 1.0);
+        assert!(!p.decide_temps(109.6, 80.0, 1.0).makes_progress());
+        assert!(p.decide_temps(109.5, 80.0, 1.0).makes_progress());
     }
 
     #[test]
     fn reset_clears_the_latch() {
         let mut p = policy();
-        p.decide(111.0, 80.0, 1.0);
+        p.decide_temps(111.0, 80.0, 1.0);
         assert!(p.is_shut_down());
         p.reset();
         assert!(!p.is_shut_down());

@@ -5,20 +5,33 @@
 //!
 //! * **Power models** of FBDIMM ([`power`]): DRAM chip power as a linear
 //!   function of read/write throughput (Eq. 3.1) and AMB power as a linear
-//!   function of local/bypass throughput (Eq. 3.2, Table 3.1).
+//!   function of local/bypass throughput (Eq. 3.2, Table 3.1). The
+//!   channel-resolved base API is `FbdimmPowerModel::scene_power`, which
+//!   returns one power breakdown per DIMM position; the hottest-DIMM and
+//!   subsystem-total figures are derived from it.
 //! * **Thermal models** ([`thermal`]): steady-state AMB/DRAM temperatures
 //!   from thermal resistances (Eqs. 3.3–3.4, Table 3.2), first-order dynamic
 //!   temperature (Eq. 3.5), and the integrated model that adds
 //!   processor→memory heating of the DRAM ambient (Eq. 3.6, Table 3.3).
+//!   Both dynamic models implement the
+//!   [`ThermalModel`](crate::thermal::model::ThermalModel) trait, and a
+//!   [`DimmThermalScene`](crate::thermal::scene::DimmThermalScene) tracks an
+//!   RC node pair for **every** DIMM position (channels × DIMMs per
+//!   channel), deriving the hottest DIMM by arg-max instead of assuming it.
 //! * **DTM schemes** ([`dtm`]): thermal shutdown (DTM-TS), bandwidth
 //!   throttling (DTM-BW), adaptive core gating (DTM-ACG), coordinated DVFS
 //!   (DTM-CDVFS) and the combined policy (DTM-COMB), each optionally driven
-//!   by a PID formal controller (Eq. 4.1).
+//!   by a PID formal controller (Eq. 4.1). Policies consume a
+//!   [`ThermalObservation`](crate::thermal::scene::ThermalObservation) — the
+//!   sensed temperature field with per-position resolution — rather than two
+//!   bare floats.
 //! * **The two-level thermal simulator** ([`sim`]): level 1 characterizes
 //!   workload mixes under every running mode using the `cpu-model` and
 //!   `fbdimm-sim` substrates; level 2 ("MEMSpot") replays those
-//!   characterizations in 10 ms windows over thousands of simulated seconds,
-//!   applying a DTM policy and integrating power, energy and temperature.
+//!   characterizations in 10 ms windows over thousands of simulated seconds.
+//!   The window loop lives in [`SimEngine`](crate::sim::engine::SimEngine),
+//!   which steps the thermal scene from per-position power and feeds each
+//!   DTM policy the full observation; `MemSpot` is the caching facade.
 //!
 //! ## Quick start
 //!
@@ -36,6 +49,21 @@
 //!     model.step(amb_w, dram_w, 1.0); // one second per step
 //! }
 //! assert!(model.amb_temp_c() > 100.0);
+//!
+//! // The same physics, resolved over every DIMM position: the scene derives
+//! // the hottest DIMM instead of assuming it.
+//! let mem = FbdimmConfig::ddr2_667_paper();
+//! let mut scene = DimmThermalScene::isolated(&mem, cooling, ThermalLimits::paper_fbdimm());
+//! // DIMM 0 of each channel carries the bypass traffic and runs hottest.
+//! let powers: Vec<FbdimmPowerBreakdown> = (0..scene.len())
+//!     .map(|i| FbdimmPowerBreakdown { amb_watts: 6.5 - 0.4 * (i % 4) as f64, dram_watts: 1.8 })
+//!     .collect();
+//! for _ in 0..600 {
+//!     scene.step(&powers, 0.0, 1.0);
+//! }
+//! let obs = scene.observe();
+//! assert_eq!(obs.positions.len(), 8);
+//! assert!(obs.hottest_amb.is_some());
 //! ```
 
 #![warn(missing_docs)]
@@ -54,16 +82,17 @@ pub mod prelude {
     pub use crate::dtm::{acg::DtmAcg, bw::DtmBw, cdvfs::DtmCdvfs, comb::DtmComb, ts::DtmTs};
     pub use crate::power::amb::AmbPowerModel;
     pub use crate::power::dram::DramPowerModel;
-    pub use crate::power::fbdimm::FbdimmPowerModel;
+    pub use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};
     pub use crate::sim::characterize::{CharPoint, CharacterizationTable};
-    pub use crate::sim::memspot::{MemSpot, MemSpotConfig, MemSpotResult};
+    pub use crate::sim::engine::SimEngine;
+    pub use crate::sim::memspot::{MemSpot, MemSpotConfig, MemSpotResult, PositionPeak, TempSample};
     pub use crate::sim::modes::{scheme_mode, ThermalRunningLevel};
     pub use crate::thermal::integrated::IntegratedThermalModel;
     pub use crate::thermal::isolated::IsolatedThermalModel;
-    pub use crate::thermal::params::{
-        AmbientParams, CoolingConfig, HeatSpreader, ThermalLimits, ThermalResistances,
-    };
+    pub use crate::thermal::model::ThermalModel;
+    pub use crate::thermal::params::{AmbientParams, CoolingConfig, HeatSpreader, ThermalLimits, ThermalResistances};
     pub use crate::thermal::rc::ThermalNode;
+    pub use crate::thermal::scene::{DimmThermalScene, PositionTemp, ThermalObservation};
     pub use cpu_model::{CpuConfig, OperatingPoint, PaperCpuPower, ProcessorPowerModel, RunningMode};
     pub use fbdimm_sim::FbdimmConfig;
     pub use workloads::{mixes, WorkloadMix};

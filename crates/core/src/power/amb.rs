@@ -5,10 +5,8 @@
 //! The idle power of the last AMB in a channel is lower (4.0 W vs 5.1 W)
 //! because it only has to stay synchronized with one neighbour.
 
-use serde::{Deserialize, Serialize};
-
 /// Power model of one Advanced Memory Buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AmbPowerModel {
     /// Idle power of the last AMB of a channel, watts (Table 3.1: 4.0 W).
     pub idle_last_watts: f64,

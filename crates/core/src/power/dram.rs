@@ -8,10 +8,8 @@
 //! precharged 20 % of the time (the calculator's representative default):
 //! static power 0.98 W per DIMM, α1 = 1.12 W/(GB/s), α2 = 1.16 W/(GB/s).
 
-use serde::{Deserialize, Serialize};
-
 /// Power model of the DRAM devices of one FBDIMM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramPowerModel {
     /// Static power per DIMM in watts (includes refresh).
     pub static_watts: f64,

@@ -5,15 +5,13 @@
 //! (which only cares about the hottest DIMM, Section 3.4) and total memory
 //! subsystem power for the energy results (Figure 4.9).
 
-use serde::{Deserialize, Serialize};
-
 use fbdimm_sim::{DimmTraffic, TrafficWindow};
 
 use crate::power::amb::AmbPowerModel;
 use crate::power::dram::DramPowerModel;
 
 /// Power of one DIMM position, split into its AMB and DRAM components.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FbdimmPowerBreakdown {
     /// AMB power in watts.
     pub amb_watts: f64,
@@ -29,7 +27,7 @@ impl FbdimmPowerBreakdown {
 }
 
 /// Combined power model of the FBDIMM memory subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FbdimmPowerModel {
     /// Per-DIMM DRAM-devices model (Eq. 3.1).
     pub dram: DramPowerModel,
@@ -56,14 +54,32 @@ impl FbdimmPowerModel {
         }
     }
 
+    /// Per-position power breakdowns for a list of per-DIMM traffic splits,
+    /// in the order the splits are given. This is the channel-resolved base
+    /// API: the hottest-DIMM and subsystem-total entry points below are
+    /// derived from it, and the thermal scene steps directly from its
+    /// output.
+    pub fn scene_power_from_traffic(
+        &self,
+        dimms: &[DimmTraffic],
+        dimms_per_channel: usize,
+    ) -> Vec<FbdimmPowerBreakdown> {
+        dimms.iter().map(|d| self.dimm_power(d, d.dimm + 1 == dimms_per_channel)).collect()
+    }
+
+    /// Per-position power breakdowns for a traffic window, ordered as
+    /// `window.dimms` (channel-major for a full window).
+    pub fn scene_power(&self, window: &TrafficWindow, dimms_per_channel: usize) -> Vec<FbdimmPowerBreakdown> {
+        self.scene_power_from_traffic(&window.dimms, dimms_per_channel)
+    }
+
     /// Power of the hottest DIMM of a traffic window — the quantity the
-    /// thermal model tracks (the DIMM closest to the controller carries the
-    /// most bypass traffic and is the thermal worst case).
+    /// legacy single-DIMM thermal model tracks (the DIMM closest to the
+    /// controller carries the most bypass traffic and is the thermal worst
+    /// case). Derived by arg-max over [`FbdimmPowerModel::scene_power`].
     pub fn hottest_dimm_power(&self, window: &TrafficWindow, dimms_per_channel: usize) -> FbdimmPowerBreakdown {
-        window
-            .dimms
-            .iter()
-            .map(|d| self.dimm_power(d, d.dimm + 1 == dimms_per_channel))
+        self.scene_power(window, dimms_per_channel)
+            .into_iter()
             .max_by(|a, b| a.total_watts().partial_cmp(&b.total_watts()).unwrap_or(std::cmp::Ordering::Equal))
             .unwrap_or_else(|| self.idle_dimm_power(false))
     }
@@ -76,7 +92,8 @@ impl FbdimmPowerModel {
         }
     }
 
-    /// Total power of the whole memory subsystem over a traffic window.
+    /// Total power of the whole memory subsystem over a traffic window: the
+    /// sum of the per-position [`FbdimmPowerModel::scene_power`] breakdowns.
     /// `phys_per_position` physical DIMMs share each logical position (the
     /// traffic window already reports per-physical-DIMM throughput).
     pub fn subsystem_power_watts(
@@ -85,11 +102,8 @@ impl FbdimmPowerModel {
         dimms_per_channel: usize,
         phys_per_position: usize,
     ) -> f64 {
-        let per_position: f64 = window
-            .dimms
-            .iter()
-            .map(|d| self.dimm_power(d, d.dimm + 1 == dimms_per_channel).total_watts())
-            .sum();
+        let per_position: f64 =
+            self.scene_power(window, dimms_per_channel).iter().map(FbdimmPowerBreakdown::total_watts).sum();
         per_position * phys_per_position as f64
     }
 
@@ -167,10 +181,8 @@ mod tests {
     #[test]
     fn dimm_power_splits_reads_and_writes() {
         let model = FbdimmPowerModel::paper_defaults();
-        let all_reads =
-            DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 1.0 };
-        let all_writes =
-            DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 0.0 };
+        let all_reads = DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 1.0 };
+        let all_writes = DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 0.0 };
         let pr = model.dimm_power(&all_reads, false);
         let pw = model.dimm_power(&all_writes, false);
         assert!(pw.dram_watts > pr.dram_watts, "write column accesses cost slightly more");

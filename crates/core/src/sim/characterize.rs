@@ -13,11 +13,10 @@ use std::collections::HashMap;
 
 use cpu_model::{CpuConfig, MulticoreSim, RunMeasurement, RunningMode};
 use fbdimm_sim::{DimmTraffic, FbdimmConfig};
-use serde::{Deserialize, Serialize};
 use workloads::AppBehavior;
 
 /// One characterized design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CharPoint {
     /// The running mode this point describes.
     pub mode: RunningMode,
@@ -184,8 +183,7 @@ impl CharacterizationTable {
         let mut acc: Option<CharPoint> = None;
         let mut app_share = vec![0.0f64; cores.max(n)];
         for offset in 0..rotations {
-            let rotated: Vec<_> =
-                (0..n).map(|i| self.apps[(offset + i) % n].clone()).collect();
+            let rotated: Vec<_> = (0..n).map(|i| self.apps[(offset + i) % n].clone()).collect();
             let m = self.sim.run(&rotated, mode, budget);
             let p = CharPoint::from_measurement(&m);
             // Attribute each core's share back to the application that was

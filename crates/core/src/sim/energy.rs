@@ -1,9 +1,7 @@
 //! Energy accounting for the second-level simulator.
 
-use serde::{Deserialize, Serialize};
-
 /// Integrates memory and processor power over simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyAccumulator {
     memory_joules: f64,
     cpu_joules: f64,

@@ -1,0 +1,369 @@
+//! The window-stepping core of the second-level simulator.
+//!
+//! [`SimEngine`] owns the inner loop MEMSpot used to inline: every window it
+//! converts the current design point's per-DIMM traffic into per-position
+//! power (Eqs. 3.1–3.2), advances the channel-resolved
+//! [`DimmThermalScene`] (Eqs. 3.3–3.6), integrates energy and batch
+//! progress, and at every DTM interval hands the active policy a
+//! [`ThermalObservation`](crate::thermal::scene::ThermalObservation) — the
+//! full sensed temperature field with the hottest DIMM derived by arg-max —
+//! instead of two bare floats.
+//!
+//! [`MemSpot`](crate::sim::memspot::MemSpot) remains the public facade; it
+//! handles characterization-table caching and delegates each run here.
+
+use std::collections::BTreeMap;
+
+use cpu_model::{CpuConfig, PaperCpuPower, ProcessorPowerModel, RunningMode};
+use fbdimm_sim::FbdimmConfig;
+use workloads::{BatchJob, WorkloadMix};
+
+use crate::dtm::policy::DtmPolicy;
+use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};
+use crate::sim::characterize::{CharPoint, CharacterizationTable};
+use crate::sim::energy::EnergyAccumulator;
+use crate::sim::memspot::{MemSpotConfig, MemSpotResult, PositionPeak, TempSample};
+use crate::thermal::params::AmbientParams;
+use crate::thermal::scene::DimmThermalScene;
+
+/// Power draw of one simulation window.
+#[derive(Debug, Clone)]
+struct WindowPower {
+    /// Per-position device powers, in scene order.
+    positions: Vec<FbdimmPowerBreakdown>,
+    /// Total memory-subsystem power, watts.
+    mem_w: f64,
+    /// Processor power, watts.
+    cpu_w: f64,
+    /// Σ(V·IPC) processor activity term of Eq. 3.6.
+    v_ipc: f64,
+}
+
+/// The window-stepping simulation core.
+#[derive(Debug)]
+pub struct SimEngine<'a> {
+    cpu: &'a CpuConfig,
+    mem: &'a FbdimmConfig,
+    power: &'a FbdimmPowerModel,
+    cpu_power: &'a PaperCpuPower,
+    config: &'a MemSpotConfig,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Borrows the hardware and run configuration for one or more runs.
+    pub fn new(
+        cpu: &'a CpuConfig,
+        mem: &'a FbdimmConfig,
+        power: &'a FbdimmPowerModel,
+        cpu_power: &'a PaperCpuPower,
+        config: &'a MemSpotConfig,
+    ) -> Self {
+        SimEngine { cpu, mem, power, cpu_power, config }
+    }
+
+    /// Builds the thermal scene the run steps: one RC node pair per DIMM
+    /// position, under the configured ambient model.
+    pub fn make_scene(&self) -> DimmThermalScene {
+        let mut params = if self.config.integrated {
+            let mut p = AmbientParams::integrated(&self.config.cooling);
+            if let Some(degree) = self.config.interaction_degree {
+                p = p.with_interaction_degree(degree);
+            }
+            p
+        } else {
+            AmbientParams::isolated(&self.config.cooling)
+        };
+        if let Some(inlet) = self.config.ambient_override_c {
+            params.system_inlet_c = inlet;
+        }
+        DimmThermalScene::new(
+            self.mem.logical_channels,
+            self.mem.dimms_per_channel,
+            self.config.cooling,
+            self.config.limits,
+            params,
+        )
+    }
+
+    /// Idle power for every position, in scene order — the single encoding
+    /// of the "last DIMM of each channel uses the `is_last` AMB
+    /// coefficient" rule.
+    fn idle_powers(&self) -> Vec<FbdimmPowerBreakdown> {
+        (0..self.mem.logical_channels)
+            .flat_map(|_| (0..self.mem.dimms_per_channel).map(|d| d + 1 == self.mem.dimms_per_channel))
+            .map(|is_last| self.power.idle_dimm_power(is_last))
+            .collect()
+    }
+
+    /// Per-position power for a progressing design point, in scene order.
+    /// Positions the point carries no traffic for draw idle power.
+    fn position_powers(&self, scene: &DimmThermalScene, point: &CharPoint) -> Vec<FbdimmPowerBreakdown> {
+        let mut powers = self.idle_powers();
+        for (d, p) in point
+            .dimm_traffic
+            .iter()
+            .zip(self.power.scene_power_from_traffic(&point.dimm_traffic, self.mem.dimms_per_channel))
+        {
+            if let Some(idx) = scene.position_index(d.channel, d.dimm) {
+                powers[idx] = p;
+            }
+        }
+        powers
+    }
+
+    fn window_power(
+        &self,
+        scene: &DimmThermalScene,
+        point: &CharPoint,
+        mode: &RunningMode,
+        progressing: bool,
+    ) -> WindowPower {
+        let positions = if progressing { self.position_powers(scene, point) } else { self.idle_powers() };
+        let mem_w: f64 =
+            positions.iter().map(FbdimmPowerBreakdown::total_watts).sum::<f64>() * self.mem.phys_per_logical as f64;
+        let (cpu_w, v_ipc) = if progressing {
+            (self.cpu_power.power_watts(mode.active_cores, &mode.op), mode.op.voltage * point.ipc_ref_sum)
+        } else {
+            (self.cpu_power.halted_watts(), 0.0)
+        };
+        WindowPower { positions, mem_w, cpu_w, v_ipc }
+    }
+
+    /// Runs one workload mix under one DTM policy to batch completion (or
+    /// the safety stop) and returns the aggregate result.
+    pub fn run(
+        &self,
+        table: &mut CharacterizationTable,
+        mix: &WorkloadMix,
+        policy: &mut dyn DtmPolicy,
+    ) -> MemSpotResult {
+        let mut batch =
+            BatchJob::new(mix.clone(), self.config.copies_per_app, self.cpu.cores, self.config.instruction_scale);
+        let mut scene = self.make_scene();
+        let mut energy = EnergyAccumulator::new();
+
+        // Per-core instruction shares taken from the full-speed point; used
+        // to distribute aggregate progress over the cores regardless of how
+        // many cores the current mode keeps active (DTM-ACG rotates the gated
+        // cores round-robin for fairness, so on average all applications
+        // advance).
+        let full_mode = RunningMode::full_speed(self.cpu);
+        let full_point = table.point(&full_mode);
+        let full_shares = full_point.core_share.clone();
+
+        let step_s = self.config.window_s.min(self.config.dtm_interval_s).max(1e-4);
+        let mut time_s = 0.0f64;
+        let mut next_dtm_s = 0.0f64;
+        let mut next_trace_s = 0.0f64;
+        let mut mode = full_mode;
+        let mut point: CharPoint = full_point;
+        let mut progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
+        let mut window = self.window_power(&scene, &point, &mode, progressing);
+
+        let mut total_instructions = 0.0f64;
+        let mut total_bytes = 0.0f64;
+        let mut total_misses = 0.0f64;
+        let (mut max_amb, mut max_dram) = scene.max_temps_c();
+        let mut ambient_sum = 0.0f64;
+        let mut ambient_samples = 0u64;
+        let mut residency: BTreeMap<String, f64> = BTreeMap::new();
+        let mut trace = Vec::new();
+
+        policy.reset();
+
+        while !batch.is_complete() && time_s < self.config.max_sim_time_s {
+            // DTM decision at the configured interval, on the full sensed
+            // temperature field.
+            let mut overhead_s = 0.0;
+            if time_s + 1e-12 >= next_dtm_s {
+                let observation = scene.observe();
+                let new_mode = policy.decide(&observation, self.config.dtm_interval_s);
+                if new_mode != mode {
+                    overhead_s = self.config.dtm_overhead_s;
+                    mode = new_mode;
+                    point = table.point(&mode);
+                    progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
+                    window = self.window_power(&scene, &point, &mode, progressing);
+                }
+                next_dtm_s += self.config.dtm_interval_s;
+            }
+
+            let effective_s = (step_s - overhead_s).max(0.0);
+
+            // Advance batch progress and traffic statistics.
+            if progressing {
+                let instr = point.instr_rate_total * effective_s;
+                total_instructions += instr;
+                total_bytes += point.total_gbps() * 1e9 * effective_s;
+                total_misses += point.l2_misses_per_instr * instr;
+                for core in 0..self.cpu.cores {
+                    let share = full_shares.get(core).copied().unwrap_or(0.0);
+                    if share > 0.0 {
+                        batch.retire(core, (instr * share) as u64);
+                    }
+                }
+            }
+
+            scene.step(&window.positions, window.v_ipc, step_s);
+            energy.add(window.mem_w, window.cpu_w, step_s);
+
+            let (amb_now, dram_now) = scene.max_temps_c();
+            max_amb = max_amb.max(amb_now);
+            max_dram = max_dram.max(dram_now);
+            ambient_sum += scene.ambient_c();
+            ambient_samples += 1;
+            *residency.entry(mode_label(&mode)).or_insert(0.0) += step_s;
+
+            if self.config.record_temp_trace && time_s + 1e-12 >= next_trace_s {
+                trace.push(TempSample {
+                    time_s,
+                    amb_c: amb_now,
+                    dram_c: dram_now,
+                    ambient_c: scene.ambient_c(),
+                    active_cores: mode.active_cores,
+                    freq_ghz: mode.op.freq_ghz,
+                });
+                next_trace_s += self.config.temp_trace_interval_s;
+            }
+
+            time_s += step_s;
+        }
+
+        let elapsed = energy.elapsed_s().max(1e-9);
+        for v in residency.values_mut() {
+            *v /= elapsed;
+        }
+
+        let position_peaks = scene
+            .position_peaks()
+            .into_iter()
+            .map(|p| PositionPeak { channel: p.channel, dimm: p.dimm, max_amb_c: p.amb_c, max_dram_c: p.dram_c })
+            .collect();
+
+        MemSpotResult {
+            workload: mix.id.clone(),
+            policy: policy.name(),
+            scheme: policy.scheme(),
+            completed: batch.is_complete(),
+            running_time_s: time_s,
+            total_instructions,
+            total_memory_bytes: total_bytes,
+            total_l2_misses: total_misses,
+            memory_energy_j: energy.memory_joules(),
+            cpu_energy_j: energy.cpu_joules(),
+            avg_memory_power_w: energy.avg_memory_watts(),
+            avg_cpu_power_w: energy.avg_cpu_watts(),
+            avg_ambient_c: if ambient_samples == 0 { 0.0 } else { ambient_sum / ambient_samples as f64 },
+            max_amb_c: max_amb,
+            max_dram_c: max_dram,
+            mode_residency: residency,
+            temp_trace: trace,
+            position_peaks,
+        }
+    }
+}
+
+fn mode_label(mode: &RunningMode) -> String {
+    if !mode.makes_progress() {
+        return "off".to_string();
+    }
+    let cap = match mode.bandwidth_cap {
+        None => "nolimit".to_string(),
+        Some(c) => format!("{:.1}GB/s", c / 1e9),
+    };
+    format!("{}c@{:.1}GHz/{}", mode.active_cores, mode.op.freq_ghz, cap)
+}
+
+impl FbdimmPowerModel {
+    /// Total memory-subsystem power for a characterized design point: the
+    /// sum of the per-position `scene_power` breakdowns times the number of
+    /// physical DIMMs per position.
+    pub fn subsystem_power_watts_from_point(
+        &self,
+        point: &CharPoint,
+        dimms_per_channel: usize,
+        phys_per_position: usize,
+    ) -> f64 {
+        let per_position: f64 = self
+            .scene_power_from_traffic(&point.dimm_traffic, dimms_per_channel)
+            .iter()
+            .map(FbdimmPowerBreakdown::total_watts)
+            .sum();
+        per_position * phys_per_position as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::params::CoolingConfig;
+    use workloads::mixes;
+
+    fn config() -> MemSpotConfig {
+        MemSpotConfig::tiny(CoolingConfig::aohs_1_5())
+    }
+
+    #[test]
+    fn engine_scene_matches_the_memory_shape() {
+        let cpu = CpuConfig::paper_quad_core();
+        let mem = FbdimmConfig::ddr2_667_paper();
+        let power = FbdimmPowerModel::paper_defaults();
+        let cpu_power = PaperCpuPower::new();
+        let cfg = config();
+        let engine = SimEngine::new(&cpu, &mem, &power, &cpu_power, &cfg);
+        let scene = engine.make_scene();
+        assert_eq!(scene.len(), mem.dimm_positions());
+        assert_eq!(scene.ambient_c(), cfg.cooling.isolated_ambient_c());
+    }
+
+    #[test]
+    fn ambient_override_reaches_the_scene() {
+        let cpu = CpuConfig::paper_quad_core();
+        let mem = FbdimmConfig::ddr2_667_paper();
+        let power = FbdimmPowerModel::paper_defaults();
+        let cpu_power = PaperCpuPower::new();
+        let mut cfg = config();
+        cfg.ambient_override_c = Some(36.0);
+        let engine = SimEngine::new(&cpu, &mem, &power, &cpu_power, &cfg);
+        assert_eq!(engine.make_scene().ambient_c(), 36.0);
+    }
+
+    #[test]
+    fn progressing_window_power_covers_every_position() {
+        let cpu = CpuConfig::paper_quad_core();
+        let mem = FbdimmConfig::ddr2_667_paper();
+        let power = FbdimmPowerModel::paper_defaults();
+        let cpu_power = PaperCpuPower::new();
+        let cfg = config();
+        let engine = SimEngine::new(&cpu, &mem, &power, &cpu_power, &cfg);
+        let scene = engine.make_scene();
+        let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w1().apps, 15_000);
+        let mode = RunningMode::full_speed(&cpu);
+        let point = table.point(&mode);
+        let w = engine.window_power(&scene, &point, &mode, true);
+        assert_eq!(w.positions.len(), mem.dimm_positions());
+        // The window total equals the legacy subsystem accounting.
+        let legacy = power.subsystem_power_watts_from_point(&point, mem.dimms_per_channel, mem.phys_per_logical);
+        assert!((w.mem_w - legacy).abs() < 1e-9, "window {} vs legacy {}", w.mem_w, legacy);
+        assert!(w.cpu_w > 100.0 && w.v_ipc > 0.0);
+    }
+
+    #[test]
+    fn idle_window_power_matches_the_idle_subsystem() {
+        let cpu = CpuConfig::paper_quad_core();
+        let mem = FbdimmConfig::ddr2_667_paper();
+        let power = FbdimmPowerModel::paper_defaults();
+        let cpu_power = PaperCpuPower::new();
+        let cfg = config();
+        let engine = SimEngine::new(&cpu, &mem, &power, &cpu_power, &cfg);
+        let scene = engine.make_scene();
+        let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w1().apps, 15_000);
+        let off = RunningMode { active_cores: 0, op: cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) };
+        let point = table.point(&off);
+        let w = engine.window_power(&scene, &point, &off, false);
+        let legacy =
+            power.subsystem_idle_power_watts(mem.logical_channels, mem.dimms_per_channel, mem.phys_per_logical);
+        assert!((w.mem_w - legacy).abs() < 1e-9);
+        assert_eq!(w.v_ipc, 0.0);
+    }
+}

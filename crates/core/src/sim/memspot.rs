@@ -1,30 +1,36 @@
 //! MEMSpot: the second-level power/thermal simulator (Section 4.3.1).
 //!
 //! MEMSpot replays a workload mix as a batch job over thousands of simulated
-//! seconds in small windows (10 ms by default). Every window it looks up the
-//! level-1 characterization of the current running mode, advances batch
-//! progress, converts memory traffic to DRAM/AMB power (Eqs. 3.1–3.2),
-//! updates the thermal model (Eqs. 3.3–3.6) and integrates energy. Every DTM
-//! interval the active policy reads the device temperatures and chooses the
-//! running mode for the next interval.
+//! seconds in small windows (10 ms by default). The window loop itself lives
+//! in [`SimEngine`](crate::sim::engine::SimEngine): every window it looks up
+//! the level-1 characterization of the current running mode, advances batch
+//! progress, converts the per-DIMM memory traffic to per-position DRAM/AMB
+//! power (Eqs. 3.1–3.2), steps the channel-resolved
+//! [`DimmThermalScene`](crate::thermal::scene::DimmThermalScene)
+//! (Eqs. 3.3–3.6) and integrates energy. Every DTM interval the active
+//! policy reads a
+//! [`ThermalObservation`](crate::thermal::scene::ThermalObservation) of the
+//! whole temperature field and chooses the running mode for the next
+//! interval.
+//!
+//! [`MemSpot`] is the public facade: it owns the hardware models, caches
+//! level-1 characterizations across policy runs of the same mix, and
+//! delegates each run to the engine.
 
 use std::collections::{BTreeMap, HashMap};
 
-use cpu_model::{CpuConfig, PaperCpuPower, ProcessorPowerModel, RunningMode};
+use cpu_model::{CpuConfig, PaperCpuPower};
 use fbdimm_sim::FbdimmConfig;
-use serde::{Deserialize, Serialize};
-use workloads::{BatchJob, WorkloadMix};
+use workloads::WorkloadMix;
 
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::power::fbdimm::FbdimmPowerModel;
-use crate::sim::characterize::{CharPoint, CharacterizationTable};
-use crate::sim::energy::EnergyAccumulator;
-use crate::thermal::integrated::IntegratedThermalModel;
-use crate::thermal::isolated::IsolatedThermalModel;
-use crate::thermal::params::{AmbientParams, CoolingConfig, ThermalLimits};
+use crate::sim::characterize::CharacterizationTable;
+use crate::sim::engine::SimEngine;
+use crate::thermal::params::{CoolingConfig, ThermalLimits};
 
 /// Configuration of a MEMSpot run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemSpotConfig {
     /// Cooling configuration (heat spreader + air velocity).
     pub cooling: CoolingConfig,
@@ -93,7 +99,12 @@ impl MemSpotConfig {
     /// behaviour to dominate the initial thermal transient. Relative
     /// (normalized) results are preserved.
     pub fn reduced(cooling: CoolingConfig) -> Self {
-        MemSpotConfig { copies_per_app: 10, instruction_scale: 0.25, characterization_budget: 60_000, ..Self::paper(cooling) }
+        MemSpotConfig {
+            copies_per_app: 10,
+            instruction_scale: 0.25,
+            characterization_budget: 60_000,
+            ..Self::paper(cooling)
+        }
     }
 
     /// A tiny configuration for unit tests: batches of a few hundred
@@ -117,13 +128,13 @@ impl MemSpotConfig {
 }
 
 /// One sample of the recorded temperature trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TempSample {
     /// Simulated time in seconds.
     pub time_s: f64,
-    /// AMB temperature, °C.
+    /// Hottest AMB temperature across the DIMM positions, °C.
     pub amb_c: f64,
-    /// DRAM temperature, °C.
+    /// Hottest DRAM temperature across the DIMM positions, °C.
     pub dram_c: f64,
     /// Memory ambient (inlet) temperature, °C.
     pub ambient_c: f64,
@@ -133,8 +144,21 @@ pub struct TempSample {
     pub freq_ghz: f64,
 }
 
+/// Peak temperatures of one DIMM position over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionPeak {
+    /// Logical channel index.
+    pub channel: usize,
+    /// DIMM position along the chain (0 = closest to the controller).
+    pub dimm: usize,
+    /// Maximum AMB temperature observed at this position, °C.
+    pub max_amb_c: f64,
+    /// Maximum DRAM temperature observed at this position, °C.
+    pub max_dram_c: f64,
+}
+
 /// Result of one MEMSpot run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemSpotResult {
     /// Workload mix identifier.
     pub workload: String,
@@ -162,14 +186,17 @@ pub struct MemSpotResult {
     pub avg_cpu_power_w: f64,
     /// Average memory ambient (inlet) temperature, °C.
     pub avg_ambient_c: f64,
-    /// Maximum AMB temperature observed, °C.
+    /// Maximum AMB temperature observed anywhere, °C.
     pub max_amb_c: f64,
-    /// Maximum DRAM temperature observed, °C.
+    /// Maximum DRAM temperature observed anywhere, °C.
     pub max_dram_c: f64,
     /// Fraction of time spent at each (active cores, frequency) setting.
     pub mode_residency: BTreeMap<String, f64>,
     /// Optional temperature trace.
     pub temp_trace: Vec<TempSample>,
+    /// Per-DIMM-position peak temperatures (channel-resolved thermal
+    /// field); `max_amb_c` / `max_dram_c` are the maxima over this list.
+    pub position_peaks: Vec<PositionPeak>,
 }
 
 impl MemSpotResult {
@@ -205,46 +232,12 @@ impl MemSpotResult {
         }
         self.cpu_energy_j / baseline.cpu_energy_j
     }
-}
 
-/// Internal thermal-state wrapper over the two model variants.
-#[derive(Debug, Clone)]
-enum ThermalState {
-    Isolated(IsolatedThermalModel),
-    Integrated(IntegratedThermalModel),
-}
-
-impl ThermalState {
-    fn step(&mut self, amb_w: f64, dram_w: f64, sum_v_ipc: f64, dt_s: f64) {
-        match self {
-            ThermalState::Isolated(m) => {
-                m.step(amb_w, dram_w, dt_s);
-            }
-            ThermalState::Integrated(m) => {
-                m.step(amb_w, dram_w, sum_v_ipc, dt_s);
-            }
-        }
-    }
-
-    fn amb_c(&self) -> f64 {
-        match self {
-            ThermalState::Isolated(m) => m.amb_temp_c(),
-            ThermalState::Integrated(m) => m.amb_temp_c(),
-        }
-    }
-
-    fn dram_c(&self) -> f64 {
-        match self {
-            ThermalState::Isolated(m) => m.dram_temp_c(),
-            ThermalState::Integrated(m) => m.dram_temp_c(),
-        }
-    }
-
-    fn ambient_c(&self) -> f64 {
-        match self {
-            ThermalState::Isolated(m) => m.ambient_c(),
-            ThermalState::Integrated(m) => m.ambient_temp_c(),
-        }
+    /// The peak entry of the hottest DIMM position (by AMB temperature).
+    pub fn hottest_position(&self) -> Option<&PositionPeak> {
+        self.position_peaks
+            .iter()
+            .max_by(|a, b| a.max_amb_c.partial_cmp(&b.max_amb_c).unwrap_or(std::cmp::Ordering::Equal))
     }
 }
 
@@ -290,30 +283,6 @@ impl MemSpot {
         &self.cpu
     }
 
-    fn make_thermal(&self) -> ThermalState {
-        if self.config.integrated {
-            let mut params = AmbientParams::integrated(&self.config.cooling);
-            if let Some(degree) = self.config.interaction_degree {
-                params = params.with_interaction_degree(degree);
-            }
-            if let Some(inlet) = self.config.ambient_override_c {
-                params.system_inlet_c = inlet;
-            }
-            ThermalState::Integrated(IntegratedThermalModel::with_ambient_params(
-                self.config.cooling,
-                self.config.limits,
-                params,
-            ))
-        } else {
-            let mut model = IsolatedThermalModel::new(self.config.cooling, self.config.limits);
-            if let Some(ambient) = self.config.ambient_override_c {
-                model = model.with_ambient_c(ambient);
-                model.set_temps_c(ambient, ambient);
-            }
-            ThermalState::Isolated(model)
-        }
-    }
-
     /// Runs one workload mix under one DTM policy to batch completion (or
     /// the safety stop) and returns the aggregate result.
     ///
@@ -321,9 +290,6 @@ impl MemSpot {
     /// across policy runs of the same mix, which is why this method takes
     /// `&mut self`.
     pub fn run(&mut self, mix: &WorkloadMix, policy: &mut dyn DtmPolicy) -> MemSpotResult {
-        // Take the mix's characterization table out of the cache for the
-        // duration of the run (it is re-inserted at the end) so that the
-        // simulator's other fields stay freely borrowable inside the loop.
         let mut table = self.tables.remove(&mix.id).unwrap_or_else(|| {
             CharacterizationTable::new(
                 self.cpu.clone(),
@@ -332,177 +298,10 @@ impl MemSpot {
                 self.config.characterization_budget,
             )
         });
-        let mut batch =
-            BatchJob::new(mix.clone(), self.config.copies_per_app, self.cpu.cores, self.config.instruction_scale);
-        let mut thermal = self.make_thermal();
-        let mut energy = EnergyAccumulator::new();
-
-        // Per-core instruction shares taken from the full-speed point; used
-        // to distribute aggregate progress over the cores regardless of how
-        // many cores the current mode keeps active (DTM-ACG rotates the gated
-        // cores round-robin for fairness, so on average all applications
-        // advance).
-        let full_mode = RunningMode::full_speed(&self.cpu);
-        let full_point = table.point(&full_mode);
-        let full_shares = full_point.core_share.clone();
-
-        let step_s = self.config.window_s.min(self.config.dtm_interval_s).max(1e-4);
-        let mut time_s = 0.0f64;
-        let mut next_dtm_s = 0.0f64;
-        let mut next_trace_s = 0.0f64;
-        let mut mode = full_mode;
-        let mut point: CharPoint = full_point;
-
-        let mut total_instructions = 0.0f64;
-        let mut total_bytes = 0.0f64;
-        let mut total_misses = 0.0f64;
-        let mut max_amb: f64 = thermal.amb_c();
-        let mut max_dram: f64 = thermal.dram_c();
-        let mut ambient_sum = 0.0f64;
-        let mut ambient_samples = 0u64;
-        let mut residency: BTreeMap<String, f64> = BTreeMap::new();
-        let mut trace = Vec::new();
-
-        policy.reset();
-
-        while !batch.is_complete() && time_s < self.config.max_sim_time_s {
-            // DTM decision at the configured interval.
-            let mut overhead_s = 0.0;
-            if time_s + 1e-12 >= next_dtm_s {
-                let new_mode = policy.decide(thermal.amb_c(), thermal.dram_c(), self.config.dtm_interval_s);
-                if new_mode != mode {
-                    overhead_s = self.config.dtm_overhead_s;
-                }
-                mode = new_mode;
-                point = table.point(&mode);
-                next_dtm_s += self.config.dtm_interval_s;
-            }
-
-            let effective_s = (step_s - overhead_s).max(0.0);
-            let progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
-
-            // Advance batch progress and traffic statistics.
-            if progressing {
-                let instr = point.instr_rate_total * effective_s;
-                total_instructions += instr;
-                total_bytes += point.total_gbps() * 1e9 * effective_s;
-                total_misses += point.l2_misses_per_instr * instr;
-                for core in 0..self.cpu.cores {
-                    let share = full_shares.get(core).copied().unwrap_or(0.0);
-                    if share > 0.0 {
-                        batch.retire(core, (instr * share) as u64);
-                    }
-                }
-            }
-
-            // Power for this window.
-            let (amb_w, dram_w, mem_w, cpu_w, v_ipc) = if progressing {
-                let hottest = self.hottest_power(&point);
-                let mem_w =
-                    self.power.subsystem_power_watts_from_point(&point, self.mem.dimms_per_channel, self.mem.phys_per_logical);
-                let cpu_w = self.cpu_power.power_watts(mode.active_cores, &mode.op);
-                let v_ipc = mode.op.voltage * point.ipc_ref_sum;
-                (hottest.0, hottest.1, mem_w, cpu_w, v_ipc)
-            } else {
-                let idle = self.power.idle_dimm_power(false);
-                let mem_w = self.power.subsystem_idle_power_watts(
-                    self.mem.logical_channels,
-                    self.mem.dimms_per_channel,
-                    self.mem.phys_per_logical,
-                );
-                (idle.amb_watts, idle.dram_watts, mem_w, self.cpu_power.halted_watts(), 0.0)
-            };
-
-            thermal.step(amb_w, dram_w, v_ipc, step_s);
-            energy.add(mem_w, cpu_w, step_s);
-
-            max_amb = max_amb.max(thermal.amb_c());
-            max_dram = max_dram.max(thermal.dram_c());
-            ambient_sum += thermal.ambient_c();
-            ambient_samples += 1;
-            *residency.entry(mode_label(&mode)).or_insert(0.0) += step_s;
-
-            if self.config.record_temp_trace && time_s + 1e-12 >= next_trace_s {
-                trace.push(TempSample {
-                    time_s,
-                    amb_c: thermal.amb_c(),
-                    dram_c: thermal.dram_c(),
-                    ambient_c: thermal.ambient_c(),
-                    active_cores: mode.active_cores,
-                    freq_ghz: mode.op.freq_ghz,
-                });
-                next_trace_s += self.config.temp_trace_interval_s;
-            }
-
-            time_s += step_s;
-        }
-
-        let elapsed = energy.elapsed_s().max(1e-9);
-        for v in residency.values_mut() {
-            *v /= elapsed;
-        }
+        let engine = SimEngine::new(&self.cpu, &self.mem, &self.power, &self.cpu_power, &self.config);
+        let result = engine.run(&mut table, mix, policy);
         self.tables.insert(mix.id.clone(), table);
-
-        MemSpotResult {
-            workload: mix.id.clone(),
-            policy: policy.name(),
-            scheme: policy.scheme(),
-            completed: batch.is_complete(),
-            running_time_s: time_s,
-            total_instructions,
-            total_memory_bytes: total_bytes,
-            total_l2_misses: total_misses,
-            memory_energy_j: energy.memory_joules(),
-            cpu_energy_j: energy.cpu_joules(),
-            avg_memory_power_w: energy.avg_memory_watts(),
-            avg_cpu_power_w: energy.avg_cpu_watts(),
-            avg_ambient_c: if ambient_samples == 0 { 0.0 } else { ambient_sum / ambient_samples as f64 },
-            max_amb_c: max_amb,
-            max_dram_c: max_dram,
-            mode_residency: residency,
-            temp_trace: trace,
-        }
-    }
-
-    fn hottest_power(&self, point: &CharPoint) -> (f64, f64) {
-        let mut best = self.power.idle_dimm_power(false);
-        let mut best_total = best.total_watts();
-        for d in &point.dimm_traffic {
-            let p = self.power.dimm_power(d, d.dimm + 1 == self.mem.dimms_per_channel);
-            if p.total_watts() > best_total {
-                best_total = p.total_watts();
-                best = p;
-            }
-        }
-        (best.amb_watts, best.dram_watts)
-    }
-}
-
-fn mode_label(mode: &RunningMode) -> String {
-    if !mode.makes_progress() {
-        return "off".to_string();
-    }
-    let cap = match mode.bandwidth_cap {
-        None => "nolimit".to_string(),
-        Some(c) => format!("{:.1}GB/s", c / 1e9),
-    };
-    format!("{}c@{:.1}GHz/{}", mode.active_cores, mode.op.freq_ghz, cap)
-}
-
-impl FbdimmPowerModel {
-    /// Total memory-subsystem power for a characterized design point.
-    pub fn subsystem_power_watts_from_point(
-        &self,
-        point: &CharPoint,
-        dimms_per_channel: usize,
-        phys_per_position: usize,
-    ) -> f64 {
-        let per_position: f64 = point
-            .dimm_traffic
-            .iter()
-            .map(|d| self.dimm_power(d, d.dimm + 1 == dimms_per_channel).total_watts())
-            .sum();
-        per_position * phys_per_position as f64
+        result
     }
 }
 
@@ -527,6 +326,26 @@ mod tests {
         assert!(r.max_amb_c > 110.0, "max AMB {:.1}", r.max_amb_c);
         assert!(r.total_memory_bytes > 0.0);
         assert!(r.memory_energy_j > 0.0 && r.cpu_energy_j > 0.0);
+    }
+
+    #[test]
+    fn position_peaks_resolve_the_thermal_field() {
+        let mut spot = spot();
+        let mut baseline = NoLimit::new(spot.cpu_config());
+        let r = spot.run(&mixes::w1(), &mut baseline);
+        // One peak per DIMM position, and the result maxima are derived from
+        // the field rather than assumed.
+        assert_eq!(r.position_peaks.len(), 8);
+        let field_max_amb = r.position_peaks.iter().map(|p| p.max_amb_c).fold(f64::MIN, f64::max);
+        let field_max_dram = r.position_peaks.iter().map(|p| p.max_dram_c).fold(f64::MIN, f64::max);
+        assert!((field_max_amb - r.max_amb_c).abs() < 1e-9);
+        assert!((field_max_dram - r.max_dram_c).abs() < 1e-9);
+        // The hottest DIMM is the one closest to the controller (it carries
+        // all the bypass traffic), and the far end of the chain runs cooler.
+        let hottest = r.hottest_position().unwrap();
+        assert_eq!(hottest.dimm, 0, "hottest position {hottest:?}");
+        let far = r.position_peaks.iter().find(|p| p.channel == hottest.channel && p.dimm == 3).unwrap();
+        assert!(hottest.max_amb_c > far.max_amb_c + 1.0, "field is not spatially resolved");
     }
 
     #[test]

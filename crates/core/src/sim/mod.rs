@@ -2,10 +2,12 @@
 
 pub mod characterize;
 pub mod energy;
+pub mod engine;
 pub mod memspot;
 pub mod modes;
 
 pub use characterize::{CharPoint, CharacterizationTable};
 pub use energy::EnergyAccumulator;
-pub use memspot::{MemSpot, MemSpotConfig, MemSpotResult};
+pub use engine::SimEngine;
+pub use memspot::{MemSpot, MemSpotConfig, MemSpotResult, PositionPeak, TempSample};
 pub use modes::{scheme_mode, ThermalRunningLevel};

@@ -2,14 +2,13 @@
 //! decision for every DTM scheme (Table 4.3).
 
 use cpu_model::{CpuConfig, RunningMode};
-use serde::{Deserialize, Serialize};
 
 use crate::dtm::emergency::EmergencyLevel;
 use crate::dtm::policy::DtmScheme;
 
 /// A thermal running level: an emergency level paired with the scheme that
 /// interprets it. Mostly useful for reporting (mode residency statistics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ThermalRunningLevel {
     /// The DTM scheme.
     pub scheme: DtmScheme,

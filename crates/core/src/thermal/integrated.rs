@@ -5,13 +5,15 @@
 //! so the memory inlet temperature follows the processors' activity
 //! (Equation 3.6) with its own thermal RC constant (20 s).
 
-use serde::{Deserialize, Serialize};
-
+use crate::thermal::model::ThermalModel;
 use crate::thermal::params::{AmbientParams, CoolingConfig, ThermalLimits, ThermalResistances};
 use crate::thermal::rc::ThermalNode;
 
 /// The integrated thermal model: AMB + DRAM + dynamic memory ambient.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The common accessors (`amb_temp_c`, `dram_temp_c`, `ambient_c`,
+/// `over_tdp`, ...) are provided through the [`ThermalModel`] trait.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntegratedThermalModel {
     cooling: CoolingConfig,
     resistances: ThermalResistances,
@@ -45,34 +47,9 @@ impl IntegratedThermalModel {
         }
     }
 
-    /// The cooling configuration in use.
-    pub fn cooling(&self) -> &CoolingConfig {
-        &self.cooling
-    }
-
-    /// The thermal limits in use.
-    pub fn limits(&self) -> &ThermalLimits {
-        &self.limits
-    }
-
     /// The ambient-model parameters in use.
     pub fn ambient_params(&self) -> &AmbientParams {
         &self.ambient_params
-    }
-
-    /// Current memory ambient (processor exhaust / memory inlet) temperature.
-    pub fn ambient_temp_c(&self) -> f64 {
-        self.ambient.temp_c()
-    }
-
-    /// Current AMB temperature.
-    pub fn amb_temp_c(&self) -> f64 {
-        self.amb.temp_c()
-    }
-
-    /// Current DRAM temperature.
-    pub fn dram_temp_c(&self) -> f64 {
-        self.dram.temp_c()
     }
 
     /// Advances the model by `dt_s` seconds. `sum_voltage_ipc` is the
@@ -89,11 +66,6 @@ impl IntegratedThermalModel {
         (ambient, self.amb.step(stable_amb, dt_s), self.dram.step(stable_dram, dt_s))
     }
 
-    /// Whether either device currently exceeds its thermal design point.
-    pub fn over_tdp(&self) -> bool {
-        self.amb_temp_c() >= self.limits.amb_tdp_c || self.dram_temp_c() >= self.limits.dram_tdp_c
-    }
-
     /// Forces all three node temperatures.
     pub fn set_temps_c(&mut self, ambient_c: f64, amb_c: f64, dram_c: f64) {
         self.ambient.set_temp_c(ambient_c);
@@ -102,9 +74,36 @@ impl IntegratedThermalModel {
     }
 }
 
+impl ThermalModel for IntegratedThermalModel {
+    fn advance(&mut self, amb_power_w: f64, dram_power_w: f64, sum_voltage_ipc: f64, dt_s: f64) {
+        self.step(amb_power_w, dram_power_w, sum_voltage_ipc, dt_s);
+    }
+
+    fn amb_temp_c(&self) -> f64 {
+        self.amb.temp_c()
+    }
+
+    fn dram_temp_c(&self) -> f64 {
+        self.dram.temp_c()
+    }
+
+    fn ambient_c(&self) -> f64 {
+        self.ambient.temp_c()
+    }
+
+    fn cooling(&self) -> &CoolingConfig {
+        &self.cooling
+    }
+
+    fn limits(&self) -> &ThermalLimits {
+        &self.limits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::thermal::model::ThermalModel;
 
     fn model() -> IntegratedThermalModel {
         IntegratedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm())
@@ -113,12 +112,12 @@ mod tests {
     #[test]
     fn ambient_rises_with_processor_activity() {
         let mut m = model();
-        let start = m.ambient_temp_c();
+        let start = m.ambient_c();
         for _ in 0..300 {
             // Four busy cores at 1.55 V with IPC ~1 each.
             m.step(5.5, 1.5, 4.0 * 1.55, 1.0);
         }
-        assert!(m.ambient_temp_c() > start + 5.0, "ambient only reached {:.1}", m.ambient_temp_c());
+        assert!(m.ambient_c() > start + 5.0, "ambient only reached {:.1}", m.ambient_c());
     }
 
     #[test]
@@ -127,7 +126,7 @@ mod tests {
         for _ in 0..300 {
             m.step(5.1, 0.98, 0.0, 1.0);
         }
-        assert!((m.ambient_temp_c() - m.ambient_params().system_inlet_c).abs() < 0.01);
+        assert!((m.ambient_c() - m.ambient_params().system_inlet_c).abs() < 0.01);
     }
 
     #[test]
@@ -170,8 +169,7 @@ mod tests {
         // tau_CPU_DRAM = 20 s vs tau_DRAM = 100 s.
         let mut m = model();
         m.step(6.0, 2.0, 6.0, 10.0);
-        let ambient_progress =
-            (m.ambient_temp_c() - 45.0) / (m.ambient_params().stable_ambient_c(6.0) - 45.0);
+        let ambient_progress = (m.ambient_c() - 45.0) / (m.ambient_params().stable_ambient_c(6.0) - 45.0);
         assert!(ambient_progress > 0.35, "ambient progress {ambient_progress}");
         // DRAM has barely moved by comparison toward its own stable point.
         assert!(m.dram_temp_c() < 60.0);

@@ -4,13 +4,15 @@
 //! ambient temperature is a constant (Table 3.3); stable temperatures follow
 //! Equations 3.3 and 3.4, dynamics follow Equation 3.5.
 
-use serde::{Deserialize, Serialize};
-
+use crate::thermal::model::ThermalModel;
 use crate::thermal::params::{CoolingConfig, ThermalLimits, ThermalResistances};
 use crate::thermal::rc::ThermalNode;
 
 /// The isolated thermal model of one (worst-case) FBDIMM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The common accessors (`amb_temp_c`, `dram_temp_c`, `ambient_c`,
+/// `over_tdp`, ...) are provided through the [`ThermalModel`] trait.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IsolatedThermalModel {
     cooling: CoolingConfig,
     resistances: ThermalResistances,
@@ -43,31 +45,6 @@ impl IsolatedThermalModel {
         self
     }
 
-    /// The cooling configuration in use.
-    pub fn cooling(&self) -> &CoolingConfig {
-        &self.cooling
-    }
-
-    /// The thermal limits in use.
-    pub fn limits(&self) -> &ThermalLimits {
-        &self.limits
-    }
-
-    /// The (constant) memory ambient temperature.
-    pub fn ambient_c(&self) -> f64 {
-        self.ambient_c
-    }
-
-    /// Current AMB temperature in °C.
-    pub fn amb_temp_c(&self) -> f64 {
-        self.amb.temp_c()
-    }
-
-    /// Current DRAM temperature in °C.
-    pub fn dram_temp_c(&self) -> f64 {
-        self.dram.temp_c()
-    }
-
     /// Stable AMB temperature for the given device powers (Equation 3.3).
     pub fn stable_amb_c(&self, amb_power_w: f64, dram_power_w: f64) -> f64 {
         self.ambient_c + amb_power_w * self.resistances.psi_amb + dram_power_w * self.resistances.psi_dram_amb
@@ -86,11 +63,6 @@ impl IsolatedThermalModel {
         (self.amb.step(stable_amb, dt_s), self.dram.step(stable_dram, dt_s))
     }
 
-    /// Whether either device currently exceeds its thermal design point.
-    pub fn over_tdp(&self) -> bool {
-        self.amb_temp_c() >= self.limits.amb_tdp_c || self.dram_temp_c() >= self.limits.dram_tdp_c
-    }
-
     /// Forces the device temperatures (used to start experiments from a
     /// known hot state).
     pub fn set_temps_c(&mut self, amb_c: f64, dram_c: f64) {
@@ -99,9 +71,37 @@ impl IsolatedThermalModel {
     }
 }
 
+impl ThermalModel for IsolatedThermalModel {
+    /// Ignores the processor activity term: the isolated ambient is constant.
+    fn advance(&mut self, amb_power_w: f64, dram_power_w: f64, _sum_voltage_ipc: f64, dt_s: f64) {
+        self.step(amb_power_w, dram_power_w, dt_s);
+    }
+
+    fn amb_temp_c(&self) -> f64 {
+        self.amb.temp_c()
+    }
+
+    fn dram_temp_c(&self) -> f64 {
+        self.dram.temp_c()
+    }
+
+    fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    fn cooling(&self) -> &CoolingConfig {
+        &self.cooling
+    }
+
+    fn limits(&self) -> &ThermalLimits {
+        &self.limits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::thermal::model::ThermalModel;
 
     fn hot_power() -> (f64, f64) {
         // A busy hottest DIMM: ~6.5 W AMB, ~2 W DRAM.

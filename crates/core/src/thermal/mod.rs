@@ -2,10 +2,14 @@
 
 pub mod integrated;
 pub mod isolated;
+pub mod model;
 pub mod params;
 pub mod rc;
+pub mod scene;
 
 pub use integrated::IntegratedThermalModel;
 pub use isolated::IsolatedThermalModel;
+pub use model::ThermalModel;
 pub use params::{AmbientParams, CoolingConfig, HeatSpreader, ThermalLimits, ThermalResistances};
 pub use rc::ThermalNode;
+pub use scene::{DimmThermalScene, PositionTemp, ThermalObservation};

@@ -1,0 +1,100 @@
+//! The common interface of the FBDIMM thermal models.
+//!
+//! [`IsolatedThermalModel`](crate::thermal::isolated::IsolatedThermalModel)
+//! (Section 3.4) and
+//! [`IntegratedThermalModel`](crate::thermal::integrated::IntegratedThermalModel)
+//! (Section 3.5) expose the same quantities — device temperatures, the
+//! memory-ambient temperature and the thermal design points — and differ
+//! only in how the ambient responds to processor activity. [`ThermalModel`]
+//! captures that shared surface so simulators and experiments can be written
+//! against one interface instead of dispatching over the concrete types.
+
+use crate::thermal::params::{CoolingConfig, ThermalLimits};
+
+/// A dynamic thermal model of one FBDIMM (AMB + DRAM device pair).
+///
+/// `advance` is the polymorphic stepping entry point: it carries the
+/// processors' Σ(V·IPC) activity term of Equation 3.6, which the isolated
+/// model ignores and the integrated model feeds into its ambient node. The
+/// concrete types additionally keep their equation-shaped inherent `step`
+/// methods for direct use.
+pub trait ThermalModel: std::fmt::Debug {
+    /// Advances the model by `dt_s` seconds with the given hottest-DIMM
+    /// device powers and processor activity term.
+    fn advance(&mut self, amb_power_w: f64, dram_power_w: f64, sum_voltage_ipc: f64, dt_s: f64);
+
+    /// Current AMB temperature in °C.
+    fn amb_temp_c(&self) -> f64;
+
+    /// Current DRAM temperature in °C.
+    fn dram_temp_c(&self) -> f64;
+
+    /// Current memory ambient (DIMM inlet) temperature in °C.
+    fn ambient_c(&self) -> f64;
+
+    /// The cooling configuration in use.
+    fn cooling(&self) -> &CoolingConfig;
+
+    /// The thermal limits in use.
+    fn limits(&self) -> &ThermalLimits;
+
+    /// Whether either device currently exceeds its thermal design point.
+    fn over_tdp(&self) -> bool {
+        self.amb_temp_c() >= self.limits().amb_tdp_c || self.dram_temp_c() >= self.limits().dram_tdp_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::integrated::IntegratedThermalModel;
+    use crate::thermal::isolated::IsolatedThermalModel;
+
+    fn settle(model: &mut dyn ThermalModel, amb_w: f64, dram_w: f64, v_ipc: f64, seconds: usize) -> f64 {
+        for _ in 0..seconds {
+            model.advance(amb_w, dram_w, v_ipc, 1.0);
+        }
+        model.amb_temp_c()
+    }
+
+    #[test]
+    fn both_models_drive_through_the_common_interface() {
+        let cooling = CoolingConfig::aohs_1_5();
+        let limits = ThermalLimits::paper_fbdimm();
+        let mut iso = IsolatedThermalModel::new(cooling, limits);
+        let mut int = IntegratedThermalModel::new(cooling, limits);
+        let hot_iso = settle(&mut iso, 6.5, 2.0, 0.0, 600);
+        let hot_int = settle(&mut int, 6.5, 2.0, 0.0, 600);
+        assert!(hot_iso > 100.0 && hot_int > 100.0);
+        assert!(iso.over_tdp());
+        // The integrated inlet is 5 °C below the isolated ambient, so with an
+        // idle processor the integrated model settles cooler.
+        assert!(hot_int < hot_iso);
+    }
+
+    #[test]
+    fn activity_term_only_matters_to_the_integrated_model() {
+        let cooling = CoolingConfig::fdhs_1_0();
+        let limits = ThermalLimits::paper_fbdimm();
+        let mut iso_idle = IsolatedThermalModel::new(cooling, limits);
+        let mut iso_busy = IsolatedThermalModel::new(cooling, limits);
+        let mut int_idle = IntegratedThermalModel::new(cooling, limits);
+        let mut int_busy = IntegratedThermalModel::new(cooling, limits);
+        let a = settle(&mut iso_idle, 5.5, 1.5, 0.0, 300);
+        let b = settle(&mut iso_busy, 5.5, 1.5, 6.0, 300);
+        assert_eq!(a, b, "isolated model must ignore the activity term");
+        let c = settle(&mut int_idle, 5.5, 1.5, 0.0, 300);
+        let d = settle(&mut int_busy, 5.5, 1.5, 6.0, 300);
+        assert!(d > c + 3.0, "integrated model must heat with processor activity");
+    }
+
+    #[test]
+    fn trait_accessors_report_the_configuration() {
+        let model = IsolatedThermalModel::new(CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let m: &dyn ThermalModel = &model;
+        assert_eq!(m.limits().amb_tdp_c, 110.0);
+        assert_eq!(m.cooling().label(), "AOHS_1.5");
+        assert_eq!(m.ambient_c(), 50.0);
+        assert!(!m.over_tdp());
+    }
+}

@@ -1,9 +1,7 @@
 //! Thermal parameters (Tables 3.2 and 3.3) and thermal design points.
 
-use serde::{Deserialize, Serialize};
-
 /// Type of heat spreader mounted on the FBDIMM (Section 3.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HeatSpreader {
     /// AMB-Only Heat Spreader: covers only the AMB.
     Aohs,
@@ -22,7 +20,7 @@ impl std::fmt::Display for HeatSpreader {
 
 /// Thermal resistances of one FBDIMM for a given cooling configuration
 /// (Table 3.2), in °C per watt, plus the thermal RC time constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalResistances {
     /// Ψ_AMB: AMB power to AMB temperature.
     pub psi_amb: f64,
@@ -39,7 +37,7 @@ pub struct ThermalResistances {
 }
 
 /// A cooling configuration: heat spreader type and cooling-air velocity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoolingConfig {
     /// Heat spreader type.
     pub spreader: HeatSpreader,
@@ -73,18 +71,8 @@ impl CoolingConfig {
         const VELOCITIES: [f64; 3] = [1.0, 1.5, 3.0];
         let (psi_amb, psi_dram_amb, psi_dram, psi_amb_dram): ([f64; 3], [f64; 3], [f64; 3], [f64; 3]) =
             match self.spreader {
-                HeatSpreader::Aohs => (
-                    [11.2, 9.3, 6.6],
-                    [4.3, 3.4, 2.2],
-                    [4.9, 4.0, 2.7],
-                    [5.3, 4.1, 2.6],
-                ),
-                HeatSpreader::Fdhs => (
-                    [8.0, 7.0, 5.5],
-                    [4.4, 3.7, 2.9],
-                    [4.0, 3.3, 2.3],
-                    [5.7, 4.5, 2.9],
-                ),
+                HeatSpreader::Aohs => ([11.2, 9.3, 6.6], [4.3, 3.4, 2.2], [4.9, 4.0, 2.7], [5.3, 4.1, 2.6]),
+                HeatSpreader::Fdhs => ([8.0, 7.0, 5.5], [4.4, 3.7, 2.9], [4.0, 3.3, 2.3], [5.7, 4.5, 2.9]),
             };
         let interp = |col: &[f64; 3]| -> f64 {
             let v = self.air_velocity_mps;
@@ -130,7 +118,7 @@ impl CoolingConfig {
 
 /// Parameters of the DRAM-ambient (memory inlet) model of Section 3.5 /
 /// Table 3.3.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AmbientParams {
     /// System inlet temperature in °C.
     pub system_inlet_c: f64,
@@ -170,7 +158,7 @@ impl AmbientParams {
 
 /// Thermal design points (TDP) and release points (TRP) of the AMB and the
 /// DRAM devices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalLimits {
     /// AMB thermal design point in °C.
     pub amb_tdp_c: f64,

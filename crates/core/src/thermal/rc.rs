@@ -8,10 +8,8 @@
 //! and AMBs (≈2 % power increase over the full temperature range), so the
 //! node deliberately has no leakage loop.
 
-use serde::{Deserialize, Serialize};
-
 /// One first-order thermal node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalNode {
     temp_c: f64,
     tau_s: f64,

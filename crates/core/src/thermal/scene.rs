@@ -1,0 +1,430 @@
+//! Channel-resolved thermal scene: one RC node pair per DIMM position.
+//!
+//! The paper's two-level simulator tracks only the *hottest* DIMM
+//! (Section 4.3.1), but the memory simulator already reports per-position
+//! traffic and the power model already computes per-position power. A
+//! [`DimmThermalScene`] keeps an AMB/DRAM thermal node pair for **every**
+//! DIMM position (logical channels × DIMMs per channel), all breathing the
+//! same memory-ambient air, and derives the hottest DIMM by arg-max instead
+//! of assuming it. Because each position integrates the same Equations
+//! 3.3–3.6 the legacy single-model trajectory falls out as the scene's
+//! maximum whenever one position carries the worst-case power — which is the
+//! regression contract the `scene_matches_legacy` tests pin down.
+//!
+//! The scene also produces the [`ThermalObservation`] the DTM policies
+//! consume: maximum device temperatures (what a global policy throttles on),
+//! the full per-position temperature field (what future per-DIMM policies
+//! need) and the derived hottest positions.
+
+use fbdimm_sim::FbdimmConfig;
+
+use crate::power::fbdimm::FbdimmPowerBreakdown;
+use crate::thermal::params::{AmbientParams, CoolingConfig, ThermalLimits, ThermalResistances};
+use crate::thermal::rc::ThermalNode;
+
+/// Temperatures of one DIMM position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionTemp {
+    /// Logical channel index.
+    pub channel: usize,
+    /// DIMM position along the chain (0 = closest to the controller).
+    pub dimm: usize,
+    /// AMB temperature, °C.
+    pub amb_c: f64,
+    /// DRAM temperature, °C.
+    pub dram_c: f64,
+}
+
+/// What a DTM policy sees at a decision point: the sensed temperature field
+/// of the memory subsystem.
+///
+/// Policies that act globally (all of Chapter 4's schemes) read the maxima;
+/// the per-position field is carried alongside so spatially aware policies
+/// can be written against the same interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalObservation {
+    /// Hottest AMB temperature across all DIMM positions, °C.
+    pub max_amb_c: f64,
+    /// Hottest DRAM temperature across all DIMM positions, °C.
+    pub max_dram_c: f64,
+    /// Memory ambient (DIMM inlet) temperature, °C. `NaN` when the
+    /// observation was synthesized from scalar device sensors that cannot
+    /// see the ambient ([`ThermalObservation::from_hottest`]).
+    pub ambient_c: f64,
+    /// `(channel, dimm)` of the position with the hottest AMB, if any.
+    pub hottest_amb: Option<(usize, usize)>,
+    /// `(channel, dimm)` of the position with the hottest DRAM, if any.
+    pub hottest_dram: Option<(usize, usize)>,
+    /// The full per-position temperature field (empty when the observation
+    /// was synthesized from scalar sensors).
+    pub positions: Vec<PositionTemp>,
+}
+
+impl ThermalObservation {
+    /// Builds an observation from scalar hottest-device temperatures, with
+    /// no per-position field. This is what a pair of physical sensors (or a
+    /// unit test) provides. `ambient_c` is `NaN` — the sensors cannot see
+    /// the ambient; use [`ThermalObservation::with_ambient_c`] when the
+    /// caller knows it.
+    pub fn from_hottest(max_amb_c: f64, max_dram_c: f64) -> Self {
+        ThermalObservation {
+            max_amb_c,
+            max_dram_c,
+            ambient_c: f64::NAN,
+            hottest_amb: None,
+            hottest_dram: None,
+            positions: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with a known ambient (inlet) temperature.
+    pub fn with_ambient_c(mut self, ambient_c: f64) -> Self {
+        self.ambient_c = ambient_c;
+        self
+    }
+
+    /// Whether either maximum reaches its thermal design point.
+    pub fn over_tdp(&self, limits: &ThermalLimits) -> bool {
+        self.max_amb_c >= limits.amb_tdp_c || self.max_dram_c >= limits.dram_tdp_c
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ScenePosition {
+    channel: usize,
+    dimm: usize,
+    amb: ThermalNode,
+    dram: ThermalNode,
+    peak_amb_c: f64,
+    peak_dram_c: f64,
+}
+
+/// A thermal model of the whole DIMM population.
+///
+/// Positions are ordered channel-major (`index = channel ×
+/// dimms_per_channel + dimm`), matching the order of
+/// [`FbdimmPowerModel::scene_power`](crate::power::fbdimm::FbdimmPowerModel::scene_power)
+/// for a full traffic window.
+///
+/// All positions share one memory-ambient node (constant under isolated
+/// parameters, processor-driven under integrated ones, Equation 3.6).
+#[derive(Debug, Clone)]
+pub struct DimmThermalScene {
+    cooling: CoolingConfig,
+    resistances: ThermalResistances,
+    limits: ThermalLimits,
+    ambient_params: AmbientParams,
+    ambient: ThermalNode,
+    dimms_per_channel: usize,
+    positions: Vec<ScenePosition>,
+}
+
+impl DimmThermalScene {
+    /// Creates a scene with explicit shape and ambient parameters; every
+    /// node starts at the ambient inlet temperature.
+    pub fn new(
+        channels: usize,
+        dimms_per_channel: usize,
+        cooling: CoolingConfig,
+        limits: ThermalLimits,
+        ambient_params: AmbientParams,
+    ) -> Self {
+        assert!(channels > 0 && dimms_per_channel > 0, "scene must contain at least one DIMM position");
+        let resistances = cooling.resistances();
+        let start = ambient_params.system_inlet_c;
+        let positions = (0..channels)
+            .flat_map(|channel| (0..dimms_per_channel).map(move |dimm| (channel, dimm)))
+            .map(|(channel, dimm)| ScenePosition {
+                channel,
+                dimm,
+                amb: ThermalNode::new(start, resistances.tau_amb_s),
+                dram: ThermalNode::new(start, resistances.tau_dram_s),
+                peak_amb_c: start,
+                peak_dram_c: start,
+            })
+            .collect();
+        DimmThermalScene {
+            cooling,
+            resistances,
+            limits,
+            ambient_params,
+            ambient: ThermalNode::new(start, ambient_params.tau_cpu_dram_s),
+            dimms_per_channel,
+            positions,
+        }
+    }
+
+    /// A scene shaped like `mem` under the isolated thermal model (constant
+    /// ambient, Table 3.3).
+    pub fn isolated(mem: &FbdimmConfig, cooling: CoolingConfig, limits: ThermalLimits) -> Self {
+        Self::new(mem.logical_channels, mem.dimms_per_channel, cooling, limits, AmbientParams::isolated(&cooling))
+    }
+
+    /// A scene shaped like `mem` under the integrated thermal model
+    /// (processor-heated ambient, Equation 3.6).
+    pub fn integrated(mem: &FbdimmConfig, cooling: CoolingConfig, limits: ThermalLimits) -> Self {
+        Self::new(mem.logical_channels, mem.dimms_per_channel, cooling, limits, AmbientParams::integrated(&cooling))
+    }
+
+    /// Number of DIMM positions in the scene.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the scene has no positions (never true for a constructed
+    /// scene; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The cooling configuration in use.
+    pub fn cooling(&self) -> &CoolingConfig {
+        &self.cooling
+    }
+
+    /// The thermal limits in use.
+    pub fn limits(&self) -> &ThermalLimits {
+        &self.limits
+    }
+
+    /// The ambient parameters in use.
+    pub fn ambient_params(&self) -> &AmbientParams {
+        &self.ambient_params
+    }
+
+    /// Current memory ambient (DIMM inlet) temperature.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient.temp_c()
+    }
+
+    /// Flat index of a `(channel, dimm)` position.
+    pub fn position_index(&self, channel: usize, dimm: usize) -> Option<usize> {
+        let idx = channel * self.dimms_per_channel + dimm;
+        (dimm < self.dimms_per_channel && idx < self.positions.len()).then_some(idx)
+    }
+
+    /// Advances every position by `dt_s` seconds.
+    ///
+    /// `powers` carries one AMB/DRAM power breakdown per position in scene
+    /// order; `sum_voltage_ipc` is the processors' Σ(V·IPC) term of
+    /// Equation 3.6 (ignored under isolated ambient parameters, where
+    /// Ψ_CPU_MEM×ξ = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` does not match the number of positions.
+    pub fn step(&mut self, powers: &[FbdimmPowerBreakdown], sum_voltage_ipc: f64, dt_s: f64) {
+        assert_eq!(powers.len(), self.positions.len(), "one power breakdown per DIMM position required");
+        let stable_ambient = self.ambient_params.stable_ambient_c(sum_voltage_ipc);
+        let ambient = self.ambient.step(stable_ambient, dt_s);
+        let r = &self.resistances;
+        for (pos, p) in self.positions.iter_mut().zip(powers) {
+            let stable_amb = ambient + p.amb_watts * r.psi_amb + p.dram_watts * r.psi_dram_amb;
+            let stable_dram = ambient + p.amb_watts * r.psi_amb_dram + p.dram_watts * r.psi_dram;
+            let amb_c = pos.amb.step(stable_amb, dt_s);
+            let dram_c = pos.dram.step(stable_dram, dt_s);
+            pos.peak_amb_c = pos.peak_amb_c.max(amb_c);
+            pos.peak_dram_c = pos.peak_dram_c.max(dram_c);
+        }
+    }
+
+    /// The current hottest `(amb, dram)` temperatures across all positions,
+    /// without materializing a full observation (the per-window hot path of
+    /// the simulation engine).
+    pub fn max_temps_c(&self) -> (f64, f64) {
+        self.positions
+            .iter()
+            .fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |(a, d), p| (a.max(p.amb.temp_c()), d.max(p.dram.temp_c())))
+    }
+
+    /// The current per-position temperature field.
+    pub fn position_temps(&self) -> Vec<PositionTemp> {
+        self.positions
+            .iter()
+            .map(|p| PositionTemp { channel: p.channel, dimm: p.dimm, amb_c: p.amb.temp_c(), dram_c: p.dram.temp_c() })
+            .collect()
+    }
+
+    /// The running per-position peak temperatures since construction.
+    pub fn position_peaks(&self) -> Vec<PositionTemp> {
+        self.positions
+            .iter()
+            .map(|p| PositionTemp { channel: p.channel, dimm: p.dimm, amb_c: p.peak_amb_c, dram_c: p.peak_dram_c })
+            .collect()
+    }
+
+    /// Snapshots the scene into the observation a DTM policy consumes, with
+    /// the hottest DIMM *derived* (arg-max over positions).
+    pub fn observe(&self) -> ThermalObservation {
+        let mut obs = ThermalObservation {
+            max_amb_c: f64::NEG_INFINITY,
+            max_dram_c: f64::NEG_INFINITY,
+            ambient_c: self.ambient.temp_c(),
+            hottest_amb: None,
+            hottest_dram: None,
+            positions: Vec::with_capacity(self.positions.len()),
+        };
+        for p in &self.positions {
+            let amb_c = p.amb.temp_c();
+            let dram_c = p.dram.temp_c();
+            if amb_c > obs.max_amb_c {
+                obs.max_amb_c = amb_c;
+                obs.hottest_amb = Some((p.channel, p.dimm));
+            }
+            if dram_c > obs.max_dram_c {
+                obs.max_dram_c = dram_c;
+                obs.hottest_dram = Some((p.channel, p.dimm));
+            }
+            obs.positions.push(PositionTemp { channel: p.channel, dimm: p.dimm, amb_c, dram_c });
+        }
+        obs
+    }
+
+    /// Whether any position currently exceeds a thermal design point.
+    pub fn over_tdp(&self) -> bool {
+        self.positions
+            .iter()
+            .any(|p| p.amb.temp_c() >= self.limits.amb_tdp_c || p.dram.temp_c() >= self.limits.dram_tdp_c)
+    }
+
+    /// Forces every position to the given device temperatures (used to start
+    /// experiments from a known state).
+    pub fn set_uniform_temps_c(&mut self, amb_c: f64, dram_c: f64) {
+        for p in &mut self.positions {
+            p.amb.set_temp_c(amb_c);
+            p.dram.set_temp_c(dram_c);
+            p.peak_amb_c = p.peak_amb_c.max(amb_c);
+            p.peak_dram_c = p.peak_dram_c.max(dram_c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::isolated::IsolatedThermalModel;
+    use crate::thermal::model::ThermalModel;
+
+    fn shape() -> FbdimmConfig {
+        FbdimmConfig::ddr2_667_paper()
+    }
+
+    fn graded_powers(n: usize) -> Vec<FbdimmPowerBreakdown> {
+        // Position 0 of each channel is the hottest (carries the bypass
+        // traffic of everything behind it), like a real FBDIMM chain.
+        (0..n).map(|i| FbdimmPowerBreakdown { amb_watts: 6.5 - 0.3 * (i % 4) as f64, dram_watts: 2.0 }).collect()
+    }
+
+    #[test]
+    fn scene_has_one_position_per_dimm() {
+        let mem = shape();
+        let scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        assert_eq!(scene.len(), mem.dimm_positions());
+        assert!(!scene.is_empty());
+        assert_eq!(scene.position_index(1, 3), Some(7));
+        assert_eq!(scene.position_index(0, 4), None);
+        assert_eq!(scene.position_index(7, 0), None);
+    }
+
+    #[test]
+    fn hottest_dimm_is_derived_not_assumed() {
+        let mem = shape();
+        let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let powers = graded_powers(scene.len());
+        for _ in 0..200 {
+            scene.step(&powers, 0.0, 1.0);
+        }
+        let obs = scene.observe();
+        // Both channels' dimm 0 are equally hot; arg-max reports one of them.
+        let (channel, dimm) = obs.hottest_amb.unwrap();
+        assert_eq!(dimm, 0, "dimm 0 carries the most power");
+        assert!(channel < mem.logical_channels);
+        assert_eq!(obs.positions.len(), scene.len());
+        // The field is spatially resolved: the far end of the chain is cooler.
+        let near = obs.positions.iter().find(|p| p.channel == 0 && p.dimm == 0).unwrap();
+        let far = obs.positions.iter().find(|p| p.channel == 0 && p.dimm == 3).unwrap();
+        assert!(near.amb_c > far.amb_c + 3.0, "near {:.1} vs far {:.1}", near.amb_c, far.amb_c);
+    }
+
+    #[test]
+    fn hottest_position_tracks_the_legacy_single_model_exactly() {
+        // The regression contract: when one position consistently carries
+        // the worst-case power, the scene's maximum must reproduce the
+        // legacy hottest-DIMM trajectory.
+        let mem = shape();
+        let cooling = CoolingConfig::aohs_1_5();
+        let limits = ThermalLimits::paper_fbdimm();
+        let mut scene = DimmThermalScene::isolated(&mem, cooling, limits);
+        let mut legacy = IsolatedThermalModel::new(cooling, limits);
+        let powers = graded_powers(scene.len());
+        for _ in 0..600 {
+            scene.step(&powers, 0.0, 1.0);
+            legacy.step(powers[0].amb_watts, powers[0].dram_watts, 1.0);
+            let obs = scene.observe();
+            assert!((obs.max_amb_c - legacy.amb_temp_c()).abs() < 0.1, "AMB diverged");
+            assert!((obs.max_dram_c - legacy.dram_temp_c()).abs() < 0.1, "DRAM diverged");
+        }
+    }
+
+    #[test]
+    fn integrated_scene_shares_one_processor_heated_ambient() {
+        let mem = shape();
+        let mut idle = DimmThermalScene::integrated(&mem, CoolingConfig::fdhs_1_0(), ThermalLimits::paper_fbdimm());
+        let mut busy = idle.clone();
+        let powers = vec![FbdimmPowerBreakdown { amb_watts: 5.5, dram_watts: 1.5 }; idle.len()];
+        for _ in 0..300 {
+            idle.step(&powers, 0.0, 1.0);
+            busy.step(&powers, 6.0, 1.0);
+        }
+        assert!((idle.ambient_c() - idle.ambient_params().system_inlet_c).abs() < 0.01);
+        assert!(busy.ambient_c() > idle.ambient_c() + 5.0);
+        // The hotter air heats every position, not just the hottest one.
+        let cold = idle.observe();
+        let hot = busy.observe();
+        for (c, h) in cold.positions.iter().zip(hot.positions.iter()) {
+            assert!(h.amb_c > c.amb_c + 3.0);
+        }
+    }
+
+    #[test]
+    fn position_peaks_remember_transients() {
+        let mem = shape();
+        let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let hot = vec![FbdimmPowerBreakdown { amb_watts: 6.5, dram_watts: 2.0 }; scene.len()];
+        let idle = vec![FbdimmPowerBreakdown { amb_watts: 5.1, dram_watts: 0.98 }; scene.len()];
+        for _ in 0..400 {
+            scene.step(&hot, 0.0, 1.0);
+        }
+        let peak_during_burst = scene.observe().max_amb_c;
+        for _ in 0..400 {
+            scene.step(&idle, 0.0, 1.0);
+        }
+        assert!(scene.observe().max_amb_c < peak_during_burst - 5.0, "scene must cool down");
+        let peaks = scene.position_peaks();
+        assert!(peaks.iter().all(|p| p.amb_c >= peak_during_burst - 0.1), "peaks must persist");
+    }
+
+    #[test]
+    fn over_tdp_and_forced_temperatures() {
+        let mem = shape();
+        let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        assert!(!scene.over_tdp());
+        scene.set_uniform_temps_c(110.5, 80.0);
+        assert!(scene.over_tdp());
+        let obs = scene.observe();
+        assert!(obs.over_tdp(scene.limits()));
+        assert_eq!(obs.max_amb_c, 110.5);
+    }
+
+    #[test]
+    fn synthesized_observation_carries_no_field() {
+        let obs = ThermalObservation::from_hottest(109.0, 82.0);
+        assert_eq!(obs.max_amb_c, 109.0);
+        assert_eq!(obs.max_dram_c, 82.0);
+        assert!(obs.positions.is_empty() && obs.hottest_amb.is_none());
+        assert!(obs.ambient_c.is_nan(), "scalar sensors cannot see the ambient");
+        assert_eq!(obs.with_ambient_c(50.0).ambient_c, 50.0);
+        let obs = ThermalObservation::from_hottest(109.0, 82.0);
+        assert!(!obs.over_tdp(&ThermalLimits::paper_fbdimm()));
+    }
+}

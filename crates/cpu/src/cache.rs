@@ -7,10 +7,8 @@
 //! with per-set LRU, dirty bits for write-back traffic, and hit/miss/
 //! write-back statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -36,7 +34,7 @@ impl CacheConfig {
         if self.capacity_bytes == 0 || self.line_bytes == 0 || self.associativity == 0 {
             return Err("cache dimensions must be positive".into());
         }
-        if self.capacity_bytes % (self.line_bytes * self.associativity as u64) != 0 {
+        if !self.capacity_bytes.is_multiple_of(self.line_bytes * self.associativity as u64) {
             return Err("capacity must be a multiple of associativity x line size".into());
         }
         Ok(())
@@ -44,7 +42,7 @@ impl CacheConfig {
 }
 
 /// Outcome of a cache access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
     /// The line was present.
     Hit,
@@ -64,7 +62,7 @@ impl AccessOutcome {
 }
 
 /// Aggregate cache statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,
@@ -85,7 +83,7 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Way {
     tag: u64,
     valid: bool,
@@ -102,7 +100,7 @@ impl Way {
 
 /// A set-associative, write-back, allocate-on-miss cache with LRU
 /// replacement, addressed by 64-byte line address.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: Vec<Vec<Way>>,
@@ -161,14 +159,9 @@ impl SetAssocCache {
 
         // Miss: fill into an invalid way or evict the LRU way.
         self.stats.misses += 1;
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .find(|(_, w)| !w.valid)
-            .map(|(i, _)| i)
-            .unwrap_or_else(|| {
-                set.iter().enumerate().min_by_key(|(_, w)| w.lru).map(|(i, _)| i).expect("non-empty set")
-            });
+        let victim_idx = set.iter().enumerate().find(|(_, w)| !w.valid).map(|(i, _)| i).unwrap_or_else(|| {
+            set.iter().enumerate().min_by_key(|(_, w)| w.lru).map(|(i, _)| i).expect("non-empty set")
+        });
         let victim = set[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
@@ -230,7 +223,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_always_misses_on_second_pass_with_lru() {
         let mut c = small_cache(); // 64 lines capacity
-        // Stream 128 distinct lines twice; LRU means nothing survives.
+                                   // Stream 128 distinct lines twice; LRU means nothing survives.
         for _pass in 0..2 {
             for line in 0..128u64 {
                 c.access(line, false);

@@ -1,12 +1,10 @@
 //! Processor configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cache::CacheConfig;
 use crate::dvfs::DvfsLadder;
 
 /// Configuration of the multicore processor model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuConfig {
     /// Number of cores.
     pub cores: usize,

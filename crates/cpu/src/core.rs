@@ -7,15 +7,13 @@
 //! dependent misses, so its achieved IPC emerges from memory latency and
 //! bandwidth rather than being assumed.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use workloads::rng::SmallRng;
 
 use fbdimm_sim::Picos;
 use workloads::{AccessStream, AppBehavior};
 
 /// Statistics accumulated by one core over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CoreStats {
     /// Instructions retired.
     pub instructions: u64,
@@ -122,12 +120,8 @@ impl CoreSim {
     /// exhausted.
     pub fn reserve_miss_slot(&mut self, max_mlp: usize) {
         while self.outstanding.len() >= max_mlp.max(1) {
-            let (idx, &earliest) = self
-                .outstanding
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("outstanding set is non-empty");
+            let (idx, &earliest) =
+                self.outstanding.iter().enumerate().min_by_key(|(_, &t)| t).expect("outstanding set is non-empty");
             self.outstanding.swap_remove(idx);
             if earliest > self.time_ps {
                 self.stats.stall_ps += earliest - self.time_ps;

@@ -1,9 +1,7 @@
 //! DVFS operating points and frequency/voltage ladders.
 
-use serde::{Deserialize, Serialize};
-
 /// One frequency / voltage operating point of a processor core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Core clock frequency in GHz.
     pub freq_ghz: f64,
@@ -34,7 +32,7 @@ impl std::fmt::Display for OperatingPoint {
 }
 
 /// An ordered ladder of operating points, highest performance first.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsLadder {
     points: Vec<OperatingPoint>,
 }

@@ -9,8 +9,6 @@
 //! carries exactly the per-design-point quantities the paper's second-level
 //! thermal simulator consumes.
 
-use serde::{Deserialize, Serialize};
-
 use fbdimm_sim::{FbdimmConfig, MemRequest, MemorySystem, Picos, RequestKind, TrafficWindow, PS_PER_SEC};
 use workloads::AppBehavior;
 
@@ -21,7 +19,7 @@ use crate::dvfs::OperatingPoint;
 
 /// A running mode of the machine: the lever settings the DTM schemes
 /// manipulate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningMode {
     /// Number of cores that execute (the rest are clock gated).
     pub active_cores: usize,
@@ -59,12 +57,12 @@ impl RunningMode {
 
     /// Whether this mode makes any forward progress at all.
     pub fn makes_progress(&self) -> bool {
-        self.active_cores > 0 && self.bandwidth_cap.map_or(true, |c| c > 0.0)
+        self.active_cores > 0 && self.bandwidth_cap.is_none_or(|c| c > 0.0)
     }
 }
 
 /// Result of one characterization run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMeasurement {
     /// Mode the run was executed under.
     pub mode: RunningMode,
@@ -82,11 +80,11 @@ pub struct RunMeasurement {
 impl RunMeasurement {
     /// A run in which nothing executes (memory off or no active cores).
     pub fn idle(mode: RunningMode, cfg: &CpuConfig, mem_cfg: &FbdimmConfig) -> Self {
-        let mut traffic = TrafficWindow::default();
-        traffic.dimms = (0..mem_cfg.logical_channels)
+        let dimms = (0..mem_cfg.logical_channels)
             .flat_map(|c| (0..mem_cfg.dimms_per_channel).map(move |d| (c, d)))
             .map(|(channel, dimm)| fbdimm_sim::DimmTraffic { channel, dimm, ..Default::default() })
             .collect();
+        let traffic = TrafficWindow { dimms, ..Default::default() };
         RunMeasurement {
             mode,
             reference_freq_ghz: cfg.reference_freq_ghz(),
@@ -195,8 +193,7 @@ impl MulticoreSim {
         let mut memory = MemorySystem::new(self.mem_cfg);
         memory.set_bandwidth_cap(mode.bandwidth_cap);
 
-        let mut caches: Vec<SetAssocCache> =
-            (0..self.cpu.l2_count).map(|_| SetAssocCache::new(self.cpu.l2)).collect();
+        let mut caches: Vec<SetAssocCache> = (0..self.cpu.l2_count).map(|_| SetAssocCache::new(self.cpu.l2)).collect();
 
         let mut cores: Vec<CoreSim> = (0..active)
             .map(|i| {
@@ -255,10 +252,7 @@ impl MulticoreSim {
 
                     if let Some(victim) = writeback {
                         last_arrival = last_arrival.max(core.time_ps);
-                        if memory
-                            .enqueue(MemRequest::at(victim, RequestKind::Write, idx, last_arrival))
-                            .is_ok()
-                        {
+                        if memory.enqueue(MemRequest::at(victim, RequestKind::Write, idx, last_arrival)).is_ok() {
                             core.stats_mut().mem_writes += 1;
                         }
                     }
@@ -284,10 +278,7 @@ impl MulticoreSim {
                 let spec_line = core.absolute_line(access.line.wrapping_add(1));
                 if !caches[cache_idx].access(spec_line, false).is_hit() {
                     last_arrival = last_arrival.max(core.time_ps);
-                    if memory
-                        .enqueue(MemRequest::at(spec_line, RequestKind::Read, idx, last_arrival))
-                        .is_ok()
-                    {
+                    if memory.enqueue(MemRequest::at(spec_line, RequestKind::Read, idx, last_arrival)).is_ok() {
                         core.stats_mut().mem_reads += 1;
                         core.stats_mut().spec_reads += 1;
                     }

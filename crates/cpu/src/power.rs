@@ -11,8 +11,6 @@
 //!   servers, used by the platform emulation to reproduce the measured CPU
 //!   power differences between DTM policies.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dvfs::{DvfsLadder, OperatingPoint};
 
 /// A processor power model: maps a running state (active cores + operating
@@ -31,7 +29,7 @@ pub trait ProcessorPowerModel {
 }
 
 /// Power model of the simulated four-core processor (Table 4.4).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PaperCpuPower {
     cores: usize,
     /// Standby (halted) power per core, watts.
@@ -78,7 +76,7 @@ impl ProcessorPowerModel for PaperCpuPower {
 
 /// Power model of the dual-socket Xeon 5160 complex of the Chapter 5
 /// servers (two dual-core chips).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Xeon5160Power {
     chips: usize,
     cores_per_chip: usize,

@@ -7,14 +7,12 @@
 //! AMB transport latency contribution to a memory transaction (the source of
 //! variable read latency in FBDIMM).
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::FbdimmConfig;
 use crate::time::Picos;
 use crate::types::RequestKind;
 
 /// Traffic accumulated by a single AMB (one DIMM position).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AmbCounters {
     /// Bytes of requests whose destination is this DIMM.
     pub local_bytes: u64,
@@ -43,7 +41,7 @@ impl AmbCounters {
 }
 
 /// Per-position AMB traffic accounting for the whole memory subsystem.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AmbNetwork {
     counters: Vec<AmbCounters>,
     dimms_per_channel: usize,

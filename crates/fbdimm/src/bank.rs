@@ -7,14 +7,12 @@
 //! reads from writes because their bank-occupancy and data timing differ
 //! (`tCL` vs `tWL`, read-to-precharge vs write-to-precharge recovery).
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::DramTimings;
 use crate::time::Picos;
 use crate::types::RequestKind;
 
 /// Timing outcome of issuing one close-page transaction to a bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankIssue {
     /// Time the activate command was accepted by the bank.
     pub activate_at: Picos,
@@ -26,7 +24,7 @@ pub struct BankIssue {
 }
 
 /// State of one DRAM bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bank {
     /// Earliest time the bank can accept a new activation.
     ready_at: Picos,
@@ -76,14 +74,8 @@ impl Bank {
     pub fn issue(&mut self, kind: RequestKind, earliest: Picos, t: &DramTimings) -> BankIssue {
         let activate_at = earliest.max(self.ready_at);
         let (data_done_at, ready_again_at) = match kind {
-            RequestKind::Read => (
-                activate_at + t.t_rcd + t.t_cl + t.t_burst,
-                activate_at + t.read_bank_occupancy(),
-            ),
-            RequestKind::Write => (
-                activate_at + t.t_rcd + t.t_wl + t.t_burst,
-                activate_at + t.write_bank_occupancy(),
-            ),
+            RequestKind::Read => (activate_at + t.t_rcd + t.t_cl + t.t_burst, activate_at + t.read_bank_occupancy()),
+            RequestKind::Write => (activate_at + t.t_rcd + t.t_wl + t.t_burst, activate_at + t.write_bank_occupancy()),
         };
         self.ready_at = ready_again_at;
         self.activations += 1;
@@ -98,7 +90,7 @@ impl Bank {
 /// A group of banks belonging to one DIMM position, enforcing the
 /// activate-to-activate spacing (`tRRD`) between different banks of the same
 /// DIMM in addition to per-bank timing.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BankGroup {
     banks: Vec<Bank>,
     last_activate: Picos,

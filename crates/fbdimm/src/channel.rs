@@ -6,12 +6,10 @@
 //! bandwidth resources: a transfer occupies the link for
 //! `bytes / bandwidth` and transfers are serviced in reservation order.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Picos;
 
 /// A unidirectional link modelled as a serially reusable resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Link {
     free_at: Picos,
     busy_ps: Picos,
@@ -60,7 +58,7 @@ impl Link {
 }
 
 /// The pair of links belonging to one logical channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ChannelLinks {
     /// Southbound link (commands and write data).
     pub southbound: Link,

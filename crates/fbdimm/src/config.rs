@@ -5,8 +5,6 @@
 //! DIMMs per physical channel, eight banks per DIMM, DDR2-667 devices with
 //! 5-5-5 timing and a 64-entry controller queue with 12 ns overhead.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{ps_from_ns, Picos};
 
 /// DDR2 device timing parameters, in picoseconds.
@@ -14,7 +12,7 @@ use crate::time::{ps_from_ns, Picos};
 /// The names follow the usual JEDEC mnemonics; the values of the default
 /// constructor are the DDR2-667 5-5-5 parameters listed in Table 4.1 of the
 /// paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTimings {
     /// Activate-to-read delay (`tRCD`).
     pub t_rcd: Picos,
@@ -91,7 +89,7 @@ impl Default for DramTimings {
 }
 
 /// Full configuration of the FBDIMM memory subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FbdimmConfig {
     /// Number of logical channels (each logical channel gangs
     /// `phys_per_logical` physical FBDIMM channels that operate in lockstep).

@@ -14,8 +14,6 @@
 
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::amb::{northbound_latency, southbound_latency};
 use crate::bank::BankGroup;
 use crate::channel::ChannelLinks;
@@ -26,7 +24,7 @@ use crate::time::{Picos, PS_PER_US};
 use crate::types::{map_address, MemRequest, RequestId, RequestKind};
 
 /// Completion record of a memory transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// Identifier assigned at enqueue time.
     pub id: RequestId,
@@ -49,7 +47,7 @@ impl Completion {
 }
 
 /// Error returned when the controller cannot accept a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnqueueError {
     /// The memory subsystem is fully shut off (highest thermal emergency
     /// level); no transaction can be scheduled until it is re-enabled.
@@ -133,11 +131,8 @@ impl MemoryController {
             None => self.throttle.set_limit(None),
             Some(cap) if cap <= 0.0 => self.throttle.set_limit(Some(0)),
             Some(cap) => {
-                let replacement = ActivationThrottle::from_bandwidth_cap(
-                    self.throttle.window_ps(),
-                    cap,
-                    self.cfg.line_bytes,
-                );
+                let replacement =
+                    ActivationThrottle::from_bandwidth_cap(self.throttle.window_ps(), cap, self.cfg.line_bytes);
                 self.throttle.set_limit(replacement.limit());
             }
         }

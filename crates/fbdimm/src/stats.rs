@@ -7,8 +7,6 @@
 //! throughput of the subsystem and, per DIMM, the local/bypass split seen by
 //! each AMB.
 
-use serde::{Deserialize, Serialize};
-
 use crate::amb::AmbNetwork;
 use crate::config::FbdimmConfig;
 use crate::time::{bandwidth_gbps, Picos};
@@ -17,7 +15,7 @@ use crate::types::RequestKind;
 /// Per-DIMM-position traffic over a window, in GB/s, normalized to one
 /// *physical* DIMM (the simulator models ganged physical channels as one
 /// logical position; the power model wants per-physical-DIMM numbers).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DimmTraffic {
     /// Logical channel index.
     pub channel: usize,
@@ -32,7 +30,7 @@ pub struct DimmTraffic {
 }
 
 /// Per-logical-channel aggregate traffic over a window.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ChannelTraffic {
     /// Logical channel index.
     pub channel: usize,
@@ -43,7 +41,7 @@ pub struct ChannelTraffic {
 }
 
 /// A snapshot of memory traffic over one accounting window.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrafficWindow {
     /// Window length in picoseconds.
     pub window_ps: Picos,
@@ -86,7 +84,7 @@ impl TrafficWindow {
 }
 
 /// Accumulating statistics for the memory subsystem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryStats {
     cfg: FbdimmConfig,
     window_start: Picos,
@@ -187,11 +185,8 @@ impl MemoryStats {
                 let local = bandwidth_gbps(counters.local_bytes, window_ps) / phys;
                 let bypass = bandwidth_gbps(counters.bypass_bytes, window_ps) / phys;
                 let total_local = counters.local_reads + counters.local_writes;
-                let read_fraction = if total_local == 0 {
-                    0.0
-                } else {
-                    counters.local_reads as f64 / total_local as f64
-                };
+                let read_fraction =
+                    if total_local == 0 { 0.0 } else { counters.local_reads as f64 / total_local as f64 };
                 DimmTraffic { channel, dimm, local_gbps: local, bypass_gbps: bypass, read_fraction }
             })
             .collect();

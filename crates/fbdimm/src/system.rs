@@ -5,8 +5,6 @@
 //! notion of "run until everything issued so far has completed", traffic
 //! window snapshots and bandwidth-cap control.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::FbdimmConfig;
 use crate::controller::{EnqueueError, MemoryController};
 use crate::stats::TrafficWindow;
@@ -16,7 +14,7 @@ use crate::types::{MemRequest, RequestId};
 pub use crate::controller::Completion;
 
 /// Summary of a completed batch of transactions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchSummary {
     /// Number of transactions in the batch.
     pub transactions: u64,
@@ -117,11 +115,8 @@ impl MemorySystem {
         } else {
             completions.iter().map(|c| c.latency_ps() as f64).sum::<f64>() / completions.len() as f64 / 1_000.0
         };
-        let throughput_gbps = if finish == 0 {
-            0.0
-        } else {
-            bytes as f64 / 1e9 / (finish as f64 / crate::time::PS_PER_SEC as f64)
-        };
+        let throughput_gbps =
+            if finish == 0 { 0.0 } else { bytes as f64 / 1e9 / (finish as f64 / crate::time::PS_PER_SEC as f64) };
         Ok(BatchSummary { transactions: n, finish_ps: finish, mean_latency_ns, throughput_gbps })
     }
 

@@ -7,12 +7,10 @@
 //! bandwidth cap, which is how the DTM schemes express their limits
 //! (Table 4.3: "no limit", 19.2 GB/s, 12.8 GB/s, 6.4 GB/s, off).
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{Picos, PS_PER_SEC};
 
 /// Window-based activation throttle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActivationThrottle {
     /// Length of the accounting window.
     window_ps: Picos,

@@ -1,7 +1,5 @@
 //! Request, address and identifier types shared across the simulator.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::FbdimmConfig;
 use crate::time::Picos;
 
@@ -12,7 +10,7 @@ pub type LineAddr = u64;
 
 /// Unique identifier of an in-flight memory request, assigned by the
 /// controller at enqueue time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
 impl std::fmt::Display for RequestId {
@@ -22,7 +20,7 @@ impl std::fmt::Display for RequestId {
 }
 
 /// Kind of a memory transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestKind {
     /// A read (cache-line fill).
     Read,
@@ -43,7 +41,7 @@ impl RequestKind {
 }
 
 /// A memory request presented to the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Line address of the access.
     pub line: LineAddr,
@@ -76,7 +74,7 @@ impl MemRequest {
 
 /// Location of a line in the memory subsystem: logical channel, DIMM
 /// position along the daisy chain (0 = closest to the controller) and bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DimmLocation {
     /// Logical channel index.
     pub channel: usize,

@@ -9,10 +9,9 @@
 //! advertised frequency steps are accepted.
 
 use cpu_model::{DvfsLadder, OperatingPoint};
-use serde::{Deserialize, Serialize};
 
 /// Errors returned by the hotplug emulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HotplugError {
     /// The first core of the first processor cannot be taken offline.
     BootCore,
@@ -35,7 +34,7 @@ impl std::fmt::Display for HotplugError {
 impl std::error::Error for HotplugError {}
 
 /// CPU hotplug state: which cores are online.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CpuHotplug {
     online: Vec<bool>,
     transitions: u64,
@@ -102,7 +101,7 @@ impl CpuHotplug {
 
 /// cpufreq emulation: per-core frequency within a fixed ladder, with voltage
 /// following frequency automatically (as on the Xeon 5160).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuFreqControl {
     ladder: DvfsLadder,
     current_index: usize,

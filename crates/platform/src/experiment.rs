@@ -9,7 +9,6 @@
 
 use memtherm::dtm::no_limit::NoLimit;
 use memtherm::sim::memspot::{MemSpot, MemSpotConfig, MemSpotResult, TempSample};
-use serde::{Deserialize, Serialize};
 use workloads::{AppBehavior, WorkloadMix};
 
 use crate::measurement::Measurement;
@@ -18,7 +17,7 @@ use crate::server::Server;
 
 /// Result of one policy run on a server: the raw MEMSpot result plus the
 /// condensed Chapter 5 measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformRun {
     /// Condensed measurement (counters, power, energy).
     pub measurement: Measurement,
@@ -45,8 +44,7 @@ impl PlatformExperiment {
     /// Creates the driver with an explicit batch size and instruction scale
     /// (tests use small values; normalized results are preserved).
     pub fn with_scale(server: Server, runs_per_app: usize, instruction_scale: f64) -> Self {
-        let mut cfg = MemSpotConfig::paper(server.cooling)
-            .with_integrated(Some(server.interaction_degree));
+        let mut cfg = MemSpotConfig::paper(server.cooling).with_integrated(Some(server.interaction_degree));
         cfg.limits = server.thermal_limits();
         cfg.ambient_override_c = Some(server.system_ambient_c);
         cfg.dtm_interval_s = server.dtm_interval_s;

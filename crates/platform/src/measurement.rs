@@ -7,12 +7,11 @@
 //! the same quantities so the Chapter 5 figures can be regenerated.
 
 use memtherm::sim::memspot::MemSpotResult;
-use serde::{Deserialize, Serialize};
 
 use crate::server::Server;
 
 /// Summary of one run in the quantities the Chapter 5 figures report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Server the run executed on.
     pub server: String,

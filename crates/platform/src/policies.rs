@@ -10,14 +10,14 @@
 
 use cpu_model::RunningMode;
 use memtherm::dtm::policy::{DtmPolicy, DtmScheme};
-use serde::{Deserialize, Serialize};
+use memtherm::thermal::scene::ThermalObservation;
 
 use crate::actuation::{CpuFreqControl, CpuHotplug};
 use crate::sensors::ThermalSensor;
 use crate::server::Server;
 
 /// Which software policy to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// No thermal management (baseline, only safe at low ambient).
     NoLimit,
@@ -177,8 +177,11 @@ impl PlatformPolicy {
 }
 
 impl DtmPolicy for PlatformPolicy {
-    fn decide(&mut self, amb_temp_c: f64, _dram_temp_c: f64, _dt_s: f64) -> RunningMode {
-        let sensed = self.sensor.read(amb_temp_c);
+    /// Reads the observation's hottest AMB through the noisy sensor — the
+    /// software stack only has the chipset's worst-case AMB register, not
+    /// the full temperature field.
+    fn decide(&mut self, observation: &ThermalObservation, _dt_s: f64) -> RunningMode {
+        let sensed = self.sensor.read(observation.max_amb_c);
         let level = if self.kind == PolicyKind::NoLimit { 0 } else { self.emergency_level(sensed) };
         self.last_level = level;
         self.mode_for_level(level)
@@ -211,29 +214,29 @@ mod tests {
     #[test]
     fn emergency_levels_follow_table_5_1() {
         let mut p = PlatformPolicy::new(PolicyKind::Bw, Server::sr1500al()).with_ideal_sensor();
-        p.decide(80.0, 0.0, 1.0);
+        p.decide_temps(80.0, 0.0, 1.0);
         assert_eq!(p.last_level(), 0);
-        p.decide(87.0, 0.0, 1.0);
+        p.decide_temps(87.0, 0.0, 1.0);
         assert_eq!(p.last_level(), 1);
-        p.decide(91.0, 0.0, 1.0);
+        p.decide_temps(91.0, 0.0, 1.0);
         assert_eq!(p.last_level(), 2);
-        p.decide(95.0, 0.0, 1.0);
+        p.decide_temps(95.0, 0.0, 1.0);
         assert_eq!(p.last_level(), 3);
     }
 
     #[test]
     fn bw_limits_match_table_5_1() {
         let mut p = PlatformPolicy::new(PolicyKind::Bw, Server::sr1500al()).with_ideal_sensor();
-        assert_eq!(p.decide(80.0, 0.0, 1.0).bandwidth_cap, None);
+        assert_eq!(p.decide_temps(80.0, 0.0, 1.0).bandwidth_cap, None);
         let caps: Vec<f64> =
-            [87.0, 91.0, 95.0].iter().map(|&t| p.decide(t, 0.0, 1.0).bandwidth_cap.unwrap() / 1e9).collect();
+            [87.0, 91.0, 95.0].iter().map(|&t| p.decide_temps(t, 0.0, 1.0).bandwidth_cap.unwrap() / 1e9).collect();
         assert_eq!(caps, vec![5.0, 4.0, 3.0]);
     }
 
     #[test]
     fn acg_keeps_one_core_per_socket_online() {
         let mut p = acg();
-        let hot = p.decide(95.0, 0.0, 1.0);
+        let hot = p.decide_temps(95.0, 0.0, 1.0);
         assert_eq!(hot.active_cores, 2);
         // Cores 0 and 1 remain online (one per socket is the intent; the
         // emulation gates the highest-numbered cores first).
@@ -246,7 +249,7 @@ mod tests {
     fn cdvfs_walks_the_xeon_ladder() {
         let mut p = PlatformPolicy::new(PolicyKind::Cdvfs, Server::pe1950()).with_ideal_sensor();
         let freqs: Vec<f64> =
-            [70.0, 77.0, 81.0, 85.0].iter().map(|&t| p.decide(t, 0.0, 1.0).op.freq_ghz).collect();
+            [70.0, 77.0, 81.0, 85.0].iter().map(|&t| p.decide_temps(t, 0.0, 1.0).op.freq_ghz).collect();
         assert_eq!(freqs, vec![3.0, 2.667, 2.333, 2.0]);
         assert!(p.cpufreq().transitions() >= 3);
     }
@@ -254,17 +257,16 @@ mod tests {
     #[test]
     fn comb_combines_both_actuators() {
         let mut p = PlatformPolicy::new(PolicyKind::Comb, Server::pe1950()).with_ideal_sensor();
-        let mode = p.decide(81.0, 0.0, 1.0);
+        let mode = p.decide_temps(81.0, 0.0, 1.0);
         assert_eq!(mode.active_cores, 2);
         assert!((mode.op.freq_ghz - 2.333).abs() < 1e-9);
     }
 
     #[test]
     fn fixed_frequency_override_pins_bw_and_acg() {
-        let mut p = PlatformPolicy::new(PolicyKind::Acg, Server::sr1500al())
-            .with_ideal_sensor()
-            .with_fixed_frequency_index(3);
-        let cool = p.decide(70.0, 0.0, 1.0);
+        let mut p =
+            PlatformPolicy::new(PolicyKind::Acg, Server::sr1500al()).with_ideal_sensor().with_fixed_frequency_index(3);
+        let cool = p.decide_temps(70.0, 0.0, 1.0);
         assert!((cool.op.freq_ghz - 2.0).abs() < 1e-9);
         assert_eq!(cool.active_cores, 4);
     }
@@ -272,7 +274,7 @@ mod tests {
     #[test]
     fn reset_restores_full_performance_actuation() {
         let mut p = acg();
-        p.decide(95.0, 0.0, 1.0);
+        p.decide_temps(95.0, 0.0, 1.0);
         assert_eq!(p.hotplug().online_count(), 2);
         p.reset();
         assert_eq!(p.hotplug().online_count(), 4);
@@ -282,7 +284,7 @@ mod tests {
     #[test]
     fn no_limit_never_reacts() {
         let mut p = PlatformPolicy::new(PolicyKind::NoLimit, Server::sr1500al()).with_ideal_sensor();
-        let mode = p.decide(120.0, 0.0, 1.0);
+        let mode = p.decide_temps(120.0, 0.0, 1.0);
         assert_eq!(mode.active_cores, 4);
         assert_eq!(mode.bandwidth_cap, None);
         assert_eq!(p.kind(), PolicyKind::NoLimit);

@@ -9,11 +9,10 @@
 //! finds the penalty negligible above a 20 ms slice and growing quickly
 //! below it.
 
-use serde::{Deserialize, Serialize};
 use workloads::AppBehavior;
 
 /// Model of the cost of time-slice sharing of one core by two programs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeSliceModel {
     /// Scheduler base time slice in seconds (Linux default: 100 ms).
     pub time_slice_s: f64,

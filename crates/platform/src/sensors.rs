@@ -9,12 +9,10 @@
 //! 0.5 % of samples as spikes — so the emulation adds Gaussian noise,
 //! occasional spikes and quantization to the model temperature.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use workloads::rng::SmallRng;
 
 /// Configuration of one emulated thermal sensor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorSpec {
     /// Standard deviation of the Gaussian reading noise, °C.
     pub noise_std_c: f64,

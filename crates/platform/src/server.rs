@@ -3,10 +3,9 @@
 use cpu_model::CpuConfig;
 use fbdimm_sim::FbdimmConfig;
 use memtherm::prelude::{CoolingConfig, HeatSpreader, ThermalLimits};
-use serde::{Deserialize, Serialize};
 
 /// Which of the two study machines is being emulated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServerKind {
     /// Dell PowerEdge 1950: stand-alone in an air-conditioned room (26 °C),
     /// strong fans, two 2 GB FBDIMMs, artificial AMB TDP of 90 °C.
@@ -28,7 +27,7 @@ impl std::fmt::Display for ServerKind {
 }
 
 /// Full specification of an emulated server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Server {
     /// Which machine this is.
     pub kind: ServerKind,

@@ -7,10 +7,8 @@
 //! (how the L2 miss rate responds to the number of co-running programs) and
 //! the read/write traffic mix.
 
-use serde::{Deserialize, Serialize};
-
 /// Benchmark suite an application belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU2000 (used by the Chapter 4 simulation study).
     Cpu2000,
@@ -29,7 +27,7 @@ impl std::fmt::Display for Suite {
 
 /// Coarse memory-intensity class used by the paper when selecting
 /// applications (Section 4.3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryIntensity {
     /// Aggregate throughput above 10 GB/s when four copies run together.
     High,
@@ -46,7 +44,7 @@ pub enum MemoryIntensity {
 /// memory characteristics (high/moderate bandwidth class, shared-cache
 /// sensitivity, read/write mix). They are *models*, not measurements; see
 /// `DESIGN.md` for the substitution rationale.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppBehavior {
     /// Benchmark name (e.g. `"swim"`).
     pub name: &'static str,

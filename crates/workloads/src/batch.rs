@@ -8,13 +8,11 @@
 //! exactly this bookkeeping; the simulators drive it by reporting how many
 //! instructions each core retired per interval.
 
-use serde::{Deserialize, Serialize};
-
 use crate::app::AppBehavior;
 use crate::mixes::WorkloadMix;
 
 /// The application copy currently running on one core.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSlot {
     /// Index into the mix's application list.
     pub app_index: usize,
@@ -25,7 +23,7 @@ pub struct JobSlot {
 }
 
 /// Progress summary of a batch job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchStatus {
     /// Copies completed so far.
     pub completed_copies: usize,
@@ -50,7 +48,7 @@ impl BatchStatus {
 }
 
 /// A batch job built from a workload mix.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchJob {
     mix: WorkloadMix,
     /// Remaining copies to dispatch, as (app_index, copy) pairs in

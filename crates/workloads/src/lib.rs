@@ -32,6 +32,7 @@
 pub mod app;
 pub mod batch;
 pub mod mixes;
+pub mod rng;
 pub mod spec2000;
 pub mod spec2006;
 pub mod stream;

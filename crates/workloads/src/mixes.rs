@@ -1,13 +1,11 @@
 //! Workload mixes from Table 4.2 (simulation study) and Table 5.2
 //! (measurement study).
 
-use serde::Serialize;
-
 use crate::app::AppBehavior;
 use crate::{spec2000, spec2006};
 
 /// A multiprogramming workload mix: one application per core.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadMix {
     /// Mix identifier (`"W1"` .. `"W8"`, `"W11"`, `"W12"`, or a synthetic
     /// identifier for homogeneous mixes).
@@ -41,18 +39,14 @@ impl WorkloadMix {
 }
 
 fn mix_2000(id: &str, names: [&str; 4]) -> WorkloadMix {
-    let apps = names
-        .iter()
-        .map(|n| spec2000::by_name(n).unwrap_or_else(|| panic!("unknown CPU2000 app {n}")))
-        .collect();
+    let apps =
+        names.iter().map(|n| spec2000::by_name(n).unwrap_or_else(|| panic!("unknown CPU2000 app {n}"))).collect();
     WorkloadMix::new(id, apps)
 }
 
 fn mix_2006(id: &str, names: [&str; 4]) -> WorkloadMix {
-    let apps = names
-        .iter()
-        .map(|n| spec2006::by_name(n).unwrap_or_else(|| panic!("unknown CPU2006 app {n}")))
-        .collect();
+    let apps =
+        names.iter().map(|n| spec2006::by_name(n).unwrap_or_else(|| panic!("unknown CPU2006 app {n}"))).collect();
     WorkloadMix::new(id, apps)
 }
 

@@ -238,20 +238,7 @@ pub fn apsi() -> AppBehavior {
 
 /// All twelve CPU2000 applications used in the thermal study.
 pub fn all() -> Vec<AppBehavior> {
-    vec![
-        swim(),
-        mgrid(),
-        applu(),
-        galgel(),
-        art(),
-        equake(),
-        lucas(),
-        fma3d(),
-        wupwise(),
-        vpr(),
-        mcf(),
-        apsi(),
-    ]
+    vec![swim(), mgrid(), applu(), galgel(), art(), equake(), lucas(), fma3d(), wupwise(), vpr(), mcf(), apsi()]
 }
 
 /// Looks an application up by name.

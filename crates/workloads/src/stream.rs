@@ -19,14 +19,12 @@
 //! run, reproducing the program-phase-driven temperature drift the paper
 //! observes on real machines (Section 5.4.1).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SmallRng;
 
 use crate::app::AppBehavior;
 
 /// One last-level-cache access produced by the stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamAccess {
     /// Instructions executed since the previous access.
     pub gap_instructions: u64,
@@ -39,7 +37,7 @@ pub struct StreamAccess {
 }
 
 /// Phase modulation of the access rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseModel {
     /// Length of one phase period, in instructions.
     pub period_instructions: u64,

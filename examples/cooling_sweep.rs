@@ -1,0 +1,83 @@
+//! Parallel scenario sweep over the paper's cooling configurations.
+//!
+//! Builds a 16-cell grid — {AOHS_1.5, FDHS_1.0} × {W1, W6} × {No-limit,
+//! DTM-TS, DTM-ACG, DTM-CDVFS} — and runs it twice through the
+//! `SweepRunner`: once sequentially (one worker) and once fanned across all
+//! cores. The wall-clock times of both passes are printed, followed by a
+//! per-scheme summary of the paper's headline quantities.
+//!
+//! Run with: `cargo run --release --example cooling_sweep`
+
+use std::collections::BTreeMap;
+
+use dram_thermal::prelude::*;
+use experiments::ch4::PolicySpec;
+use experiments::sweep::{SweepRunner, SweepScenario};
+
+fn grid() -> Vec<SweepScenario> {
+    let specs =
+        vec![PolicySpec::NoLimit, PolicySpec::Ts, PolicySpec::Acg { pid: false }, PolicySpec::Cdvfs { pid: false }];
+    let mut scenarios = Vec::new();
+    for cooling in [CoolingConfig::aohs_1_5(), CoolingConfig::fdhs_1_0()] {
+        for mix in [mixes::w1(), mixes::w6()] {
+            scenarios.push(SweepScenario::isolated(cooling, mix, specs.clone()));
+        }
+    }
+    scenarios
+}
+
+fn sweep_config(cooling: CoolingConfig) -> MemSpotConfig {
+    // Small batches: the example should finish in tens of seconds while
+    // still letting every scheme reach its steady throttling behaviour.
+    MemSpotConfig {
+        copies_per_app: 12,
+        instruction_scale: 1.0,
+        characterization_budget: 40_000,
+        ..MemSpotConfig::paper(cooling)
+    }
+}
+
+fn main() {
+    let scenarios = grid();
+    let cells: usize = scenarios.iter().map(SweepScenario::cells).sum();
+    println!("scenario grid: {} scenarios, {} cells", scenarios.len(), cells);
+
+    let sequential = SweepRunner::with_threads(1).run(&scenarios, sweep_config);
+    println!("sequential (1 worker):      {:.2} s wall-clock", sequential.wall_clock_s);
+
+    let runner = SweepRunner::new();
+    let parallel = runner.run(&scenarios, sweep_config);
+    println!(
+        "parallel   ({} workers):      {:.2} s wall-clock  ({:.2}x speedup)",
+        parallel.threads,
+        parallel.wall_clock_s,
+        sequential.wall_clock_s / parallel.wall_clock_s.max(1e-9)
+    );
+
+    // Per-scheme summary: mean normalized running time (vs the No-limit
+    // baseline of the same cooling × workload) and the hottest AMB observed.
+    let mut norm_times: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    let mut max_amb: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for run in &parallel.runs {
+        if run.policy == "No-limit" {
+            continue;
+        }
+        let base = parallel
+            .runs
+            .iter()
+            .find(|b| b.cooling == run.cooling && b.workload == run.workload && b.policy == "No-limit")
+            .expect("every scenario carries its baseline");
+        let key = (run.cooling.clone(), run.policy.clone());
+        norm_times.entry(key.clone()).or_default().push(run.result.normalized_time(&base.result));
+        let amb = max_amb.entry(key).or_insert(f64::MIN);
+        *amb = amb.max(run.result.max_amb_c);
+    }
+
+    println!("\n{:<10} {:<12} {:>16} {:>14}", "cooling", "policy", "norm. time (avg)", "max AMB degC");
+    for ((cooling, policy), times) in &norm_times {
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!("{cooling:<10} {policy:<12} {:>16.3} {:>14.1}", mean, max_amb[&(cooling.clone(), policy.clone())]);
+    }
+    println!("\n(normalized time is vs the thermally unconstrained No-limit baseline;");
+    println!(" every DTM scheme must stay at or below ~110 degC AMB)");
+}

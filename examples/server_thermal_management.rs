@@ -14,10 +14,7 @@ fn main() {
     let server = Server::sr1500al();
     println!(
         "server {} — {} FBDIMMs, ambient {:.0} degC, AMB TDP {:.0} degC",
-        server.kind,
-        server.mem.dimms_per_channel,
-        server.system_ambient_c,
-        server.amb_tdp_c
+        server.kind, server.mem.dimms_per_channel, server.system_ambient_c, server.amb_tdp_c
     );
 
     let mut exp = PlatformExperiment::with_scale(server, 1, 0.6);
@@ -26,17 +23,17 @@ fn main() {
     println!("\nAMB temperature, 4 x swim, no DTM control:");
     let curve = exp.homogeneous_temperature_curve(&spec2000::swim(), 500.0);
     for sample in curve.iter().step_by(50) {
-        println!("  t = {:>5.0} s   AMB {:>6.1} degC   inlet {:>5.1} degC", sample.time_s, sample.amb_c, sample.ambient_c);
+        println!(
+            "  t = {:>5.0} s   AMB {:>6.1} degC   inlet {:>5.1} degC",
+            sample.time_s, sample.amb_c, sample.ambient_c
+        );
     }
 
     // Figure 5.6 style: the four software policies on W3.
     println!("\nW3 (swim, applu, art, lucas) under the software DTM policies:");
     let mix = mixes::w3();
     let baseline = exp.run_no_limit(&mix);
-    println!(
-        "  {:<10} {:>9} {:>13} {:>11} {:>13}",
-        "policy", "time s", "norm. time", "CPU W", "inlet degC"
-    );
+    println!("  {:<10} {:>9} {:>13} {:>11} {:>13}", "policy", "time s", "norm. time", "CPU W", "inlet degC");
     for kind in [PolicyKind::Bw, PolicyKind::Acg, PolicyKind::Cdvfs, PolicyKind::Comb] {
         let run = exp.run_policy(&mix, kind);
         let m = &run.measurement;

@@ -12,6 +12,22 @@
 //! * [`platform`] (`platform-emu`) — the Chapter 5 server-platform
 //!   emulation.
 //!
+//! ## Architecture: trait + scene
+//!
+//! The thermal stack is organized around two abstractions. The
+//! `ThermalModel` trait unifies the paper's isolated (Section 3.4) and
+//! integrated (Section 3.5) single-DIMM models behind one interface. On top
+//! of it, a `DimmThermalScene` resolves the whole subsystem: one AMB/DRAM
+//! RC node pair per DIMM position (logical channels × DIMMs per channel),
+//! stepped from the per-position power that `FbdimmPowerModel::scene_power`
+//! computes out of the memory simulator's per-DIMM traffic split. The
+//! hottest DIMM — the only thing the paper's simulator tracked — is
+//! *derived* by arg-max at observation time, and DTM policies receive the
+//! full `ThermalObservation` (maxima + per-position field) instead of two
+//! bare floats. The `SimEngine` window loop drives the scene inside
+//! `MemSpot`, and the `experiments` crate's `SweepRunner` fans grids of
+//! {cooling × workload × policy} runs across cores.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -23,6 +39,10 @@
 //! let result = spot.run(&mixes::w1(), &mut policy);
 //! assert!(result.completed);
 //! assert!(result.max_amb_c <= 110.5);
+//! // The result resolves the thermal field per DIMM position; the hottest
+//! // DIMM is derived from it, not assumed.
+//! assert_eq!(result.position_peaks.len(), 8);
+//! assert_eq!(result.hottest_position().unwrap().dimm, 0);
 //! ```
 
 #![warn(missing_docs)]

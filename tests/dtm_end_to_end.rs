@@ -72,7 +72,8 @@ fn cdvfs_gains_more_under_the_integrated_thermal_model() {
 
     let mut bw_iso = DtmBw::new(cpu.clone(), limits);
     let mut cdvfs_iso = DtmCdvfs::new(cpu.clone(), limits);
-    let iso_ratio = run(&mut cdvfs_iso, cooling, false).running_time_s / run(&mut bw_iso, cooling, false).running_time_s;
+    let iso_ratio =
+        run(&mut cdvfs_iso, cooling, false).running_time_s / run(&mut bw_iso, cooling, false).running_time_s;
 
     let mut bw_int = DtmBw::new(cpu.clone(), limits);
     let mut cdvfs_int = DtmCdvfs::new(cpu.clone(), limits);
