@@ -1,0 +1,110 @@
+//! Smoke-scale sweep benchmark: the CI perf gate of the sweep engine.
+//!
+//! Runs a 16-cell grid — {AOHS_1.5, FDHS_1.0} × {W1, W6} × {No-limit,
+//! DTM-TS, DTM-ACG, DTM-CDVFS} — three times sequentially and three times
+//! across all cores (every pass with its own fresh `CharStore`, so the
+//! comparison is fair), writes the machine-readable `BENCH_sweep.json`
+//! artifact and exits non-zero if the best-of-3 parallel speedup on a
+//! 2+-core host drops below 1.2x. Gating on minimum times filters the
+//! scheduler/noisy-neighbor interference that single-shot wall clocks pick
+//! up on small shared CI runners.
+//!
+//! The batch size is a few times the `Smoke` scale: large enough that the
+//! parallelizable window loops dominate the (partly serialized, shared)
+//! level-1 characterizations, which keeps the speedup measurement stable on
+//! small CI runners while still finishing in a few seconds.
+//!
+//! Run with: `cargo bench -p experiments --bench sweep`
+
+use experiments::ch4::PolicySpec;
+use experiments::harness::{bench_output_path, write_bench_json, BenchStats};
+use experiments::sweep::{SweepRunner, SweepScenario};
+use memtherm::prelude::*;
+
+fn grid() -> Vec<SweepScenario> {
+    let specs =
+        vec![PolicySpec::NoLimit, PolicySpec::Ts, PolicySpec::Acg { pid: false }, PolicySpec::Cdvfs { pid: false }];
+    let mut scenarios = Vec::new();
+    for cooling in [CoolingConfig::aohs_1_5(), CoolingConfig::fdhs_1_0()] {
+        for mix in [workloads::mixes::w1(), workloads::mixes::w6()] {
+            scenarios.push(SweepScenario::isolated(cooling, mix, specs.clone()));
+        }
+    }
+    scenarios
+}
+
+fn main() {
+    let scenarios = grid();
+    let cells: usize = scenarios.iter().map(SweepScenario::cells).sum();
+    let make = |cooling: CoolingConfig| MemSpotConfig {
+        copies_per_app: 24,
+        instruction_scale: 1.0,
+        characterization_budget: 15_000,
+        ..MemSpotConfig::paper(cooling)
+    };
+
+    const PASSES: usize = 3;
+    let mut seq_ms = Vec::with_capacity(PASSES);
+    let mut par_ms = Vec::with_capacity(PASSES);
+    let mut last_parallel = None;
+    for _ in 0..PASSES {
+        seq_ms.push(SweepRunner::with_threads(1).run(&scenarios, make).wall_clock_s * 1e3);
+        let parallel = SweepRunner::new().run(&scenarios, make);
+        par_ms.push(parallel.wall_clock_s * 1e3);
+        last_parallel = Some(parallel);
+    }
+    let parallel = last_parallel.expect("at least one parallel pass");
+    let min = |xs: &[f64]| xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let speedup = min(&seq_ms) / min(&par_ms).max(1e-9);
+
+    println!("sweep grid: {} cells, {PASSES} passes per variant", cells);
+    println!(
+        "sweep/sequential_1_worker                    {:>10.3} ms/pass (min {:.3} ms)",
+        mean(&seq_ms),
+        min(&seq_ms)
+    );
+    println!(
+        "sweep/parallel_{}_workers                     {:>10.3} ms/pass (min {:.3} ms, {speedup:.2}x best-of-{PASSES} speedup)",
+        parallel.threads,
+        mean(&par_ms),
+        min(&par_ms)
+    );
+    println!(
+        "char store: {} hits / {} misses (last parallel pass)",
+        parallel.char_store_hits, parallel.char_store_misses
+    );
+
+    let stats = [
+        BenchStats {
+            label: "sweep/sequential_1_worker".to_string(),
+            mean_ms: mean(&seq_ms),
+            min_ms: min(&seq_ms),
+            iters: PASSES,
+        },
+        BenchStats {
+            label: format!("sweep/parallel_{}_workers", parallel.threads),
+            mean_ms: mean(&par_ms),
+            min_ms: min(&par_ms),
+            iters: PASSES,
+        },
+    ];
+    let metrics = [
+        ("cells", cells as f64),
+        ("threads", parallel.threads as f64),
+        ("speedup", speedup),
+        ("char_store_hits", parallel.char_store_hits as f64),
+        ("char_store_misses", parallel.char_store_misses as f64),
+    ];
+    let path = bench_output_path("BENCH_sweep.json");
+    write_bench_json(&path, &stats, &metrics).expect("write BENCH_sweep.json");
+    println!("wrote {}", path.display());
+
+    if parallel.threads >= 2 && speedup < 1.2 {
+        eprintln!(
+            "FAIL: best-of-{PASSES} parallel speedup {speedup:.2}x on {} workers is below the 1.2x gate",
+            parallel.threads
+        );
+        std::process::exit(1);
+    }
+}

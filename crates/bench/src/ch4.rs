@@ -84,9 +84,10 @@ pub struct MatrixRun {
 }
 
 /// Runs every mix under every policy (plus the no-limit baseline) for one
-/// cooling configuration. Each mix becomes one [`SweepScenario`] so its
-/// policies share the level-1 characterization, and the mixes fan out across
-/// cores through the [`SweepRunner`].
+/// cooling configuration. Each mix becomes one [`SweepScenario`]; the
+/// [`SweepRunner`] fans the individual {mix, policy} cells across cores,
+/// and all cells of a mix share its level-1 characterization through the
+/// sweep's `CharStore`.
 pub fn run_matrix(
     scale: Scale,
     cooling: CoolingConfig,

@@ -177,11 +177,26 @@ impl std::fmt::Display for Table {
     }
 }
 
+/// Result of one [`bench_case`] measurement, in a machine-consumable form
+/// (serialized into `BENCH_sweep.json` by [`write_bench_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// Case label (e.g. `"memspot_w1/dtm_ts"`).
+    pub label: String,
+    /// Mean wall-clock time per iteration, milliseconds.
+    pub mean_ms: f64,
+    /// Minimum wall-clock time per iteration, milliseconds.
+    pub min_ms: f64,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
 /// Minimal wall-clock benchmark runner used by the `benches/` binaries
 /// (the container builds offline, so there is no external bench harness).
-/// Runs one warm-up iteration plus `iters` timed iterations and prints the
-/// mean and minimum time per iteration.
-pub fn bench_case<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) {
+/// Runs one warm-up iteration plus `iters` timed iterations, prints the
+/// mean and minimum time per iteration and returns them as [`BenchStats`]
+/// for machine-readable reporting.
+pub fn bench_case<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchStats {
     let iters = iters.max(1);
     let _warmup = f();
     let mut samples_ms = Vec::with_capacity(iters);
@@ -194,6 +209,63 @@ pub fn bench_case<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) {
     let mean = samples_ms.iter().sum::<f64>() / samples_ms.len() as f64;
     let min = samples_ms.iter().cloned().fold(f64::INFINITY, f64::min);
     println!("{label:<44} {mean:>10.3} ms/iter (min {min:.3} ms, {iters} iters)");
+    BenchStats { label: label.to_string(), mean_ms: mean, min_ms: min, iters }
+}
+
+/// Absolute path of a bench-output file at the **workspace root**. Cargo
+/// runs bench executables with their cwd set to the *package* root
+/// (`crates/bench`), while examples run from the caller's cwd — anchoring on
+/// the compile-time manifest dir makes every binary agree on one location,
+/// which is where CI picks the artifact up.
+pub fn bench_output_path(file_name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(file_name)
+}
+
+/// Writes benchmark results as machine-readable JSON (the `BENCH_sweep.json`
+/// artifact CI uploads): a `benchmarks` array of [`BenchStats`] plus a flat
+/// `metrics` object for scalar quantities such as speedups or cache-hit
+/// counts.
+pub fn write_bench_json(
+    path: impl AsRef<std::path::Path>,
+    stats: &[BenchStats],
+    metrics: &[(&str, f64)],
+) -> std::io::Result<()> {
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let benches: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"label\": \"{}\", \"mean_ms\": {}, \"min_ms\": {}, \"iters\": {}}}",
+                esc(&s.label),
+                num(s.mean_ms),
+                num(s.min_ms),
+                s.iters
+            )
+        })
+        .collect();
+    let metric_lines: Vec<String> = metrics.iter().map(|(k, v)| format!("    \"{}\": {}", esc(k), num(*v))).collect();
+    let json = format!(
+        "{{\n  \"benchmarks\": [\n{}\n  ],\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+        benches.join(",\n"),
+        metric_lines.join(",\n")
+    );
+    std::fs::write(path, json)
 }
 
 /// Formats a floating point number with three significant decimals.
@@ -248,5 +320,31 @@ mod tests {
         assert_eq!(f1(1.26), "1.3");
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn bench_case_returns_stats() {
+        let stats = bench_case("harness/self_test", 3, || std::hint::black_box(21 * 2));
+        assert_eq!(stats.label, "harness/self_test");
+        assert_eq!(stats.iters, 3);
+        assert!(stats.mean_ms >= stats.min_ms);
+        assert!(stats.min_ms >= 0.0);
+    }
+
+    #[test]
+    fn bench_json_round_trips_labels_and_metrics() {
+        let stats = vec![
+            BenchStats { label: "sweep/sequential".to_string(), mean_ms: 12.5, min_ms: 11.0, iters: 3 },
+            BenchStats { label: "sweep/\"quoted\"".to_string(), mean_ms: 6.25, min_ms: 6.0, iters: 3 },
+        ];
+        let path = std::env::temp_dir().join("bench_json_round_trip_test.json");
+        write_bench_json(&path, &stats, &[("speedup", 2.0), ("threads", 4.0)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"label\": \"sweep/sequential\""));
+        assert!(body.contains("\\\"quoted\\\""));
+        assert!(body.contains("\"mean_ms\": 12.500000"));
+        assert!(body.contains("\"speedup\": 2.000000"));
+        assert!(body.contains("\"benchmarks\"") && body.contains("\"metrics\""));
     }
 }

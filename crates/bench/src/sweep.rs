@@ -1,17 +1,29 @@
 //! Parallel scenario sweep engine.
 //!
 //! A paper-style evaluation is a grid of {cooling configuration × thermal
-//! model × workload mix × DTM scheme} MEMSpot runs. The cells are
-//! independent except for one shared artifact: the level-1 characterization
-//! table of a workload mix, which every policy run of that mix reuses.
-//! [`SweepRunner`] therefore parallelizes at *group* granularity — one group
-//! per {cooling, model, mix} scenario, each running its policy list on one
-//! worker with a private `MemSpot` — and fans the groups across OS threads
-//! with a work-stealing index (`std::thread::scope`; the container has no
-//! external thread-pool crate). Results come back in deterministic grid
-//! order regardless of which worker finished first.
+//! model × workload mix × DTM scheme} MEMSpot runs. Since the expensive
+//! level-1 characterizations live in a process-wide
+//! [`CharStore`](memtherm::sim::characterize::CharStore) — keyed by (mix,
+//! mode, budget, geometry), *not* by cooling or policy — every grid cell is
+//! fully independent: [`SweepRunner`] therefore parallelizes at **cell**
+//! granularity (one {cooling, model, mix, policy} run per unit of work).
+//! Workers claim contiguous *chunks* of cells through a shared atomic
+//! cursor, so grids far larger than the core count load-balance without a
+//! scheduler thread (`std::thread::scope`; the container has no external
+//! thread-pool crate). One shared store per sweep means W1@AOHS and W1@FDHS
+//! characterize each design point exactly once per process, whichever worker
+//! gets there first; racing workers block on the in-flight computation
+//! instead of duplicating it.
+//!
+//! Results come back in deterministic grid order regardless of which worker
+//! finished first, and — because level-1 runs are deterministic functions of
+//! their store key — are bit-identical between sequential and parallel
+//! execution. [`SweepOutcome`] carries per-cell wall-clock times and the
+//! store's hit/miss counters so callers can see both the load balance and
+//! how much level-1 work the sharing saved.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cpu_model::CpuConfig;
@@ -23,7 +35,8 @@ use crate::ch4::{MatrixRun, PolicySpec};
 
 /// One scenario of the sweep grid: a cooling configuration and thermal
 /// model choice applied to one workload mix, evaluated under a list of DTM
-/// policies (which share the mix's level-1 characterization).
+/// policies (each policy becomes one independent grid cell; the cells share
+/// the mix's level-1 characterization through the sweep's `CharStore`).
 #[derive(Debug, Clone)]
 pub struct SweepScenario {
     /// Cooling configuration.
@@ -50,8 +63,8 @@ impl SweepScenario {
     }
 }
 
-/// Outcome of a sweep: the per-cell results in grid order plus the
-/// wall-clock time the sweep took.
+/// Outcome of a sweep: the per-cell results in grid order plus timing and
+/// characterization-sharing statistics.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// One entry per grid cell, ordered scenario-major then policy order.
@@ -60,12 +73,25 @@ pub struct SweepOutcome {
     pub wall_clock_s: f64,
     /// Number of worker threads used.
     pub threads: usize,
+    /// Per-cell wall-clock times, seconds, aligned with `runs`.
+    pub cell_wall_clock_s: Vec<f64>,
+    /// Level-1 lookups served from the shared `CharStore`.
+    pub char_store_hits: u64,
+    /// Level-1 lookups that had to run the closed-loop simulation.
+    pub char_store_misses: u64,
 }
 
-/// Fans a grid of MEMSpot scenarios across worker threads.
+/// Fans a grid of MEMSpot cells across worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
     threads: usize,
+}
+
+/// One unit of sweep work: a single {scenario, policy} grid cell.
+#[derive(Debug, Clone, Copy)]
+struct SweepCell<'a> {
+    scenario: &'a SweepScenario,
+    spec: &'a PolicySpec,
 }
 
 impl SweepRunner {
@@ -86,9 +112,9 @@ impl SweepRunner {
         self.threads
     }
 
-    /// Runs every scenario of the grid and returns the per-cell results in
+    /// Runs every cell of the grid and returns the per-cell results in
     /// deterministic grid order (scenario-major, then the scenario's policy
-    /// order), plus the sweep's wall-clock time.
+    /// order), plus the sweep's timing and store statistics.
     ///
     /// `make_config` maps a scenario's cooling configuration to the MEMSpot
     /// configuration to run it under (typically `scale.memspot_config`);
@@ -101,9 +127,61 @@ impl SweepRunner {
         let start = Instant::now();
         let cpu = CpuConfig::paper_quad_core();
         let mem = FbdimmConfig::ddr2_667_paper();
-        let groups = parallel_map(self.threads, scenarios, |scenario| run_scenario(scenario, &cpu, mem, &make_config));
-        let runs = groups.into_iter().flatten().collect();
-        SweepOutcome { runs, wall_clock_s: start.elapsed().as_secs_f64(), threads: self.threads }
+        let store = Arc::new(CharStore::new());
+
+        // Pre-warm: every cell's window loop starts from its mix's
+        // full-speed design point, so without this step the first cells of a
+        // mix pile up on one in-flight store computation. Characterizing the
+        // distinct (mix, budget) full-speed points in parallel up front
+        // turns that head-of-line blocking into parallel level-1 work.
+        let mut warm: Vec<(&SweepScenario, u64)> = Vec::new();
+        for scenario in scenarios {
+            let budget = make_config(scenario.cooling).characterization_budget;
+            if !warm.iter().any(|(s, b)| s.mix.id == scenario.mix.id && *b == budget) {
+                warm.push((scenario, budget));
+            }
+        }
+        parallel_map(self.threads, &warm, |(scenario, budget)| {
+            let mut table = CharacterizationTable::with_store(
+                cpu.clone(),
+                mem,
+                scenario.mix.id.clone(),
+                scenario.mix.apps.clone(),
+                *budget,
+                Arc::clone(&store),
+            );
+            table.point(&RunningMode::full_speed(&cpu));
+        });
+
+        let cells: Vec<SweepCell> = scenarios
+            .iter()
+            .flat_map(|scenario| scenario.specs.iter().map(move |spec| SweepCell { scenario, spec }))
+            .collect();
+        // Small grids claim one cell at a time — cell runtimes vary by tens
+        // of percent across policies/mixes, and a multi-cell claim at the
+        // tail strands one worker with two heavy cells. Grids ≫ cores
+        // amortize cursor traffic with multi-cell claims while still leaving
+        // ≥ ~8 claims per worker for load balancing.
+        let chunk = (cells.len() / (self.threads * 8)).max(1);
+        let timed = parallel_map_chunked(self.threads, chunk, &cells, |cell| {
+            let cell_start = Instant::now();
+            let run = run_cell(cell, &cpu, mem, &make_config, &store);
+            (run, cell_start.elapsed().as_secs_f64())
+        });
+        let mut runs = Vec::with_capacity(timed.len());
+        let mut cell_wall_clock_s = Vec::with_capacity(timed.len());
+        for (run, secs) in timed {
+            runs.push(run);
+            cell_wall_clock_s.push(secs);
+        }
+        SweepOutcome {
+            runs,
+            wall_clock_s: start.elapsed().as_secs_f64(),
+            threads: self.threads,
+            cell_wall_clock_s,
+            char_store_hits: store.hits(),
+            char_store_misses: store.misses(),
+        }
     }
 }
 
@@ -113,7 +191,21 @@ impl SweepRunner {
 /// by experiment drivers whose unit of work is not a `MemSpot` grid cell
 /// (e.g. the Chapter 5 platform runs).
 pub fn parallel_map<T: Sync, R: Send>(threads: usize, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    parallel_map_chunked(threads, 1, items, f)
+}
+
+/// [`parallel_map`] with a chunked work queue: workers claim `chunk`
+/// contiguous items per cursor fetch. For grids far larger than the core
+/// count this amortizes the (already cheap) cursor traffic and keeps cache
+/// locality within a claim, while still load-balancing the tail.
+pub fn parallel_map_chunked<T: Sync, R: Send>(
+    threads: usize,
+    chunk: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
     let workers = threads.max(1).min(items.len().max(1));
+    let chunk = chunk.max(1);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -129,9 +221,13 @@ pub fn parallel_map<T: Sync, R: Send>(threads: usize, items: &[T], f: impl Fn(&T
             handles.push(scope.spawn(move || {
                 let mut done: Vec<(usize, R)> = Vec::new();
                 loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(idx) else { break };
-                    done.push((idx, f(item)));
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    for (idx, item) in items.iter().enumerate().skip(start).take(chunk) {
+                        done.push((idx, f(item)));
+                    }
                 }
                 done
             }));
@@ -152,32 +248,23 @@ impl Default for SweepRunner {
     }
 }
 
-fn run_scenario(
-    scenario: &SweepScenario,
+fn run_cell(
+    cell: &SweepCell,
     cpu: &CpuConfig,
     mem: FbdimmConfig,
     make_config: &(impl Fn(CoolingConfig) -> MemSpotConfig + Sync),
-) -> Vec<MatrixRun> {
+    store: &Arc<CharStore>,
+) -> MatrixRun {
+    let scenario = cell.scenario;
     let mut cfg = make_config(scenario.cooling);
     if scenario.integrated {
         cfg = cfg.with_integrated(scenario.interaction_degree);
     }
     let limits = cfg.limits;
-    let mut spot = MemSpot::with_hardware(cpu.clone(), mem, cfg);
-    scenario
-        .specs
-        .iter()
-        .map(|spec| {
-            let mut policy = spec.build(cpu, limits);
-            let result = spot.run(&scenario.mix, policy.as_mut());
-            MatrixRun {
-                cooling: scenario.cooling.label(),
-                workload: scenario.mix.id.clone(),
-                policy: policy.name(),
-                result,
-            }
-        })
-        .collect()
+    let mut spot = MemSpot::with_store(cpu.clone(), mem, cfg, Arc::clone(store));
+    let mut policy = cell.spec.build(cpu, limits);
+    let result = spot.run(&scenario.mix, policy.as_mut());
+    MatrixRun { cooling: scenario.cooling.label(), workload: scenario.mix.id.clone(), policy: policy.name(), result }
 }
 
 #[cfg(test)]
@@ -212,13 +299,38 @@ mod tests {
 
     #[test]
     fn parallel_results_match_sequential_results_exactly() {
-        // Each scenario is deterministic and runs on exactly one worker, so
-        // parallelism must not change any simulated quantity.
+        // Cells are deterministic and level-1 points are deterministic
+        // functions of their store key, so neither parallelism nor the
+        // shared store may change any simulated quantity.
         let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
         let a = SweepRunner::with_threads(1).run(&grid(), make);
         let b = SweepRunner::with_threads(4).run(&grid(), make);
         for (x, y) in a.runs.iter().zip(b.runs.iter()) {
             assert_eq!(x.result, y.result, "{}/{}/{} diverged", x.cooling, x.workload, x.policy);
+        }
+    }
+
+    #[test]
+    fn shared_store_reports_hits_on_grids_that_revisit_a_mix() {
+        // W1 appears under both cooling configs and under two policies per
+        // scenario: the level-1 points must be computed once and then hit.
+        let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
+        let outcome = SweepRunner::with_threads(2).run(&grid(), make);
+        assert!(outcome.char_store_hits > 0, "expected level-1 dedup across cells");
+        assert!(outcome.char_store_misses > 0);
+        // Every cell carries its wall-clock measurement, and no cell takes
+        // longer than the sweep (pre-warm time is outside the cells).
+        assert_eq!(outcome.cell_wall_clock_s.len(), outcome.runs.len());
+        assert!(outcome.cell_wall_clock_s.iter().all(|&s| s > 0.0 && s <= outcome.wall_clock_s));
+    }
+
+    #[test]
+    fn chunked_map_matches_sequential_map_for_any_chunk_size() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for chunk in [0, 1, 2, 5, 36, 37, 1000] {
+            let got = parallel_map_chunked(4, chunk, &items, |x| x * x);
+            assert_eq!(got, expected, "chunk {chunk}");
         }
     }
 

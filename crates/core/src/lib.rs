@@ -30,8 +30,12 @@
 //!   `fbdimm-sim` substrates; level 2 ("MEMSpot") replays those
 //!   characterizations in 10 ms windows over thousands of simulated seconds.
 //!   The window loop lives in [`SimEngine`](crate::sim::engine::SimEngine),
-//!   which steps the thermal scene from per-position power and feeds each
-//!   DTM policy the full observation; `MemSpot` is the caching facade.
+//!   which steps the thermal scene from per-position power (with
+//!   precomputed RC step coefficients — no per-window `exp()`) and feeds
+//!   each DTM policy the full observation; `MemSpot` is the facade, backed
+//!   by a thread-safe [`CharStore`](crate::sim::characterize::CharStore)
+//!   that shares level-1 design points across runs, policies and — when
+//!   injected into several simulators — whole sweep grids.
 //!
 //! ## Quick start
 //!
@@ -83,7 +87,7 @@ pub mod prelude {
     pub use crate::power::amb::AmbPowerModel;
     pub use crate::power::dram::DramPowerModel;
     pub use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};
-    pub use crate::sim::characterize::{CharPoint, CharacterizationTable};
+    pub use crate::sim::characterize::{CharPoint, CharStore, CharStoreKey, CharacterizationTable, ModeKey};
     pub use crate::sim::engine::SimEngine;
     pub use crate::sim::memspot::{MemSpot, MemSpotConfig, MemSpotResult, PositionPeak, TempSample};
     pub use crate::sim::modes::{scheme_mode, ThermalRunningLevel};

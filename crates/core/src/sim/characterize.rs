@@ -5,11 +5,30 @@
 //! performance and memory-throughput numbers the second level replays:
 //! aggregate instruction rate, per-core weights, read/write throughput, the
 //! per-DIMM local/bypass traffic split and the shared-cache miss statistics.
-//! [`CharacterizationTable`] builds these points lazily (one closed-loop
-//! `cpu-model` + `fbdimm-sim` run per distinct mode) and caches them — the
-//! analogue of the paper's `Wi × D` trace set.
+//! Each point costs one closed-loop `cpu-model` + `fbdimm-sim` run — by far
+//! the most expensive unit of work in a scenario sweep — so the module is
+//! built around sharing them:
+//!
+//! * [`CharStore`] is the process-wide, thread-safe home of every computed
+//!   point, keyed by [`CharStoreKey`] (mix id, quantized [`ModeKey`],
+//!   characterization budget, memory geometry, hardware-config
+//!   fingerprint). The level-1 outcome is
+//!   independent of the cooling configuration and the DTM policy, so a sweep
+//!   grid that revisits the same mix under different cooling setups or
+//!   policies characterizes each design point exactly once per process.
+//!   Concurrent requests for the same key are deduplicated (losers block on
+//!   the winner's in-flight computation), and hit/miss counters expose how
+//!   much work the sharing saved.
+//! * [`CharacterizationTable`] is the per-run view: it owns the `MulticoreSim`
+//!   that computes missing points, keeps a lock-free local cache of
+//!   `Arc<CharPoint>` handles for the modes it has already resolved, and
+//!   falls through to the shared store on local misses. Lookups return
+//!   `Arc<CharPoint>` — a cache hit never deep-clones the point's inner
+//!   vectors. This is the analogue of the paper's `Wi × D` trace set.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use cpu_model::{CpuConfig, MulticoreSim, RunMeasurement, RunningMode};
 use fbdimm_sim::{DimmTraffic, FbdimmConfig};
@@ -94,15 +113,19 @@ impl CharPoint {
 
 /// Quantized key identifying a running mode (so nearly identical floating
 /// point modes share one characterization).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ModeKey {
-    active_cores: usize,
-    freq_mhz: u32,
-    cap_mbps: u32,
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModeKey {
+    /// Number of active cores.
+    pub active_cores: usize,
+    /// Core frequency quantized to MHz.
+    pub freq_mhz: u32,
+    /// Bandwidth cap quantized to MB/s (`u32::MAX` = unlimited, 0 = off).
+    pub cap_mbps: u32,
 }
 
 impl ModeKey {
-    fn from_mode(mode: &RunningMode) -> Self {
+    /// Quantizes a running mode.
+    pub fn from_mode(mode: &RunningMode) -> Self {
         ModeKey {
             active_cores: mode.active_cores,
             freq_mhz: (mode.op.freq_ghz * 1000.0).round() as u32,
@@ -112,34 +135,175 @@ impl ModeKey {
             },
         }
     }
+
+    /// Whether the quantized mode makes any forward progress (mirrors
+    /// [`RunningMode::makes_progress`] at quantization granularity).
+    pub fn makes_progress(&self) -> bool {
+        self.active_cores > 0 && self.cap_mbps > 0
+    }
 }
 
-/// Lazily-built, cached characterization of one workload mix across running
-/// modes.
+/// Identity of one shared level-1 design point: the workload mix, the
+/// quantized running mode, the characterization budget, the memory geometry
+/// and a fingerprint of the full hardware configuration (everything the
+/// closed-loop level-1 run depends on — notably *not* the cooling
+/// configuration or the DTM policy).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CharStoreKey {
+    /// Workload mix identifier.
+    pub mix_id: String,
+    /// Quantized running mode.
+    pub mode: ModeKey,
+    /// Demand L2 accesses simulated per design point.
+    pub budget: u64,
+    /// Logical memory channels.
+    pub channels: usize,
+    /// DIMMs per channel.
+    pub dimms_per_channel: usize,
+    /// Fingerprint of the complete `CpuConfig` + `FbdimmConfig` pair, so
+    /// simulators sharing a store with different hardware (cache sizes,
+    /// DVFS ladders, memory timings, ...) but identical geometry never alias
+    /// each other's points. Stable within a process, which is the store's
+    /// lifetime.
+    pub hw_fingerprint: u64,
+}
+
+/// FNV-1a fingerprint of the hardware configurations' canonical (`Debug`)
+/// rendering — cheap, collision-resistant enough for a per-process cache
+/// key, and automatically covers every field the configs grow.
+fn hardware_fingerprint(cpu: &CpuConfig, mem: &FbdimmConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{cpu:?}\u{1f}{mem:?}").bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Thread-safe, process-wide store of level-1 characterization points.
+///
+/// Sweep cells that revisit the same `(mix, mode, budget, geometry)` design
+/// point — e.g. the same workload under two cooling configurations, or two
+/// DTM policies exploring the same running level — share one `Arc<CharPoint>`
+/// instead of recomputing the closed-loop level-1 run. Concurrent first
+/// requests for one key are collapsed: a single caller computes while the
+/// others block on the entry's [`OnceLock`] and then share the result, so a
+/// design point is simulated at most once per process no matter how the
+/// sweep is parallelized.
+#[derive(Debug, Default)]
+pub struct CharStore {
+    cells: Mutex<HashMap<CharStoreKey, Arc<OnceLock<Arc<CharPoint>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CharStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the point for `key`, running `compute` (at most once per key
+    /// process-wide) if it is not stored yet.
+    pub fn get_or_compute(&self, key: CharStoreKey, compute: impl FnOnce() -> CharPoint) -> Arc<CharPoint> {
+        let cell = {
+            let mut cells = self.cells.lock().expect("CharStore lock poisoned");
+            Arc::clone(cells.entry(key).or_default())
+        };
+        // The map lock is released before computing: a miss on one key never
+        // blocks progress on another. Racing callers of the *same* key block
+        // here until the winner's computation lands.
+        let mut computed = false;
+        let point = Arc::clone(cell.get_or_init(|| {
+            computed = true;
+            Arc::new(compute())
+        }));
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        point
+    }
+
+    /// Number of lookups that found an already-computed point.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to run the level-1 simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of design points stored.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("CharStore lock poisoned").values().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Whether the store holds no completed design point.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-run view of one workload mix's characterization across running modes.
+///
+/// The table owns the `MulticoreSim` that computes missing points and a
+/// lock-free local cache of the modes it has already resolved; local misses
+/// fall through to the shared [`CharStore`]. Lookups hand out
+/// `Arc<CharPoint>` handles, never deep clones.
 #[derive(Debug)]
 pub struct CharacterizationTable {
     sim: MulticoreSim,
+    mix_id: String,
     apps: Vec<AppBehavior>,
     budget: u64,
-    cache: HashMap<ModeKey, CharPoint>,
+    hw_fingerprint: u64,
+    store: Arc<CharStore>,
+    local: HashMap<ModeKey, Arc<CharPoint>>,
 }
 
 impl CharacterizationTable {
-    /// Creates a table for the given mix of applications. `budget` is the
-    /// number of demand L2 accesses simulated per design point (larger =
-    /// more accurate, slower).
+    /// Creates a table for the given mix of applications with a private
+    /// store (no cross-table sharing). `budget` is the number of demand L2
+    /// accesses simulated per design point (larger = more accurate, slower).
     pub fn new(cpu: CpuConfig, mem: FbdimmConfig, apps: Vec<AppBehavior>, budget: u64) -> Self {
-        CharacterizationTable { sim: MulticoreSim::new(cpu, mem), apps, budget, cache: HashMap::new() }
+        Self::with_store(cpu, mem, String::new(), apps, budget, Arc::new(CharStore::new()))
     }
 
-    /// Number of design points characterized so far.
+    /// Creates a table whose points live in (and are shared through) an
+    /// external [`CharStore`]. `mix_id` identifies the application mix in
+    /// the store key, so every table created for the same mix against the
+    /// same store shares one set of design points.
+    pub fn with_store(
+        cpu: CpuConfig,
+        mem: FbdimmConfig,
+        mix_id: impl Into<String>,
+        apps: Vec<AppBehavior>,
+        budget: u64,
+        store: Arc<CharStore>,
+    ) -> Self {
+        let hw_fingerprint = hardware_fingerprint(&cpu, &mem);
+        CharacterizationTable {
+            sim: MulticoreSim::new(cpu, mem),
+            mix_id: mix_id.into(),
+            apps,
+            budget,
+            hw_fingerprint,
+            store,
+            local: HashMap::new(),
+        }
+    }
+
+    /// Number of design points this table has resolved so far.
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.local.len()
     }
 
-    /// Whether no design point has been characterized yet.
+    /// Whether no design point has been resolved yet.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.local.is_empty()
     }
 
     /// The applications of the mix being characterized.
@@ -147,19 +311,40 @@ impl CharacterizationTable {
         &self.apps
     }
 
-    /// Returns the characterization of `mode`, simulating it on first use.
+    /// The shared store backing this table.
+    pub fn store(&self) -> &Arc<CharStore> {
+        &self.store
+    }
+
+    /// Returns the characterization of `mode`, simulating it on first use
+    /// (process-wide, when the backing store is shared).
     ///
     /// For modes that gate some cores (DTM-ACG / DTM-COMB), the schemes
     /// rotate the gated cores round-robin among the applications for
     /// fairness; the characterization therefore averages over all rotations
     /// of the application list, so every application's cache behaviour
     /// contributes to the gated design point.
-    pub fn point(&mut self, mode: &RunningMode) -> CharPoint {
+    pub fn point(&mut self, mode: &RunningMode) -> Arc<CharPoint> {
         let key = ModeKey::from_mode(mode);
-        if let Some(p) = self.cache.get(&key) {
-            return p.clone();
+        if let Some(p) = self.local.get(&key) {
+            return Arc::clone(p);
         }
-        let point = if mode.makes_progress() {
+        let store = Arc::clone(&self.store);
+        let store_key = CharStoreKey {
+            mix_id: self.mix_id.clone(),
+            mode: key,
+            budget: self.budget,
+            channels: self.sim.memory_config().logical_channels,
+            dimms_per_channel: self.sim.memory_config().dimms_per_channel,
+            hw_fingerprint: self.hw_fingerprint,
+        };
+        let point = store.get_or_compute(store_key, || self.compute_point(mode));
+        self.local.insert(key, Arc::clone(&point));
+        point
+    }
+
+    fn compute_point(&mut self, mode: &RunningMode) -> CharPoint {
+        if mode.makes_progress() {
             let active = mode.active_cores.min(self.apps.len()).min(self.sim.cpu_config().cores);
             if active < self.apps.len() {
                 self.rotation_averaged_point(mode)
@@ -169,9 +354,7 @@ impl CharacterizationTable {
             }
         } else {
             CharPoint::idle(*mode, self.sim.cpu_config().cores, self.sim.memory_config())
-        };
-        self.cache.insert(key, point.clone());
-        point
+        }
     }
 
     fn rotation_averaged_point(&mut self, mode: &RunningMode) -> CharPoint {
@@ -305,5 +488,117 @@ mod tests {
         t.point(&a);
         t.point(&b);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn shared_store_deduplicates_points_across_tables() {
+        let store = Arc::new(CharStore::new());
+        let make = || {
+            CharacterizationTable::with_store(
+                CpuConfig::paper_quad_core(),
+                FbdimmConfig::ddr2_667_paper(),
+                "W1",
+                mixes::w1().apps,
+                15_000,
+                Arc::clone(&store),
+            )
+        };
+        let mut first = make();
+        let mut second = make();
+        let full = RunningMode::full_speed(&CpuConfig::paper_quad_core());
+        let a = first.point(&full);
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        let b = second.point(&full);
+        assert_eq!((store.hits(), store.misses()), (1, 1), "second table must reuse the stored point");
+        assert!(Arc::ptr_eq(&a, &b), "a store hit must hand out the same allocation, not a deep clone");
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn table_local_cache_hits_do_not_touch_the_store() {
+        let mut t = table();
+        let full = RunningMode::full_speed(&CpuConfig::paper_quad_core());
+        let a = t.point(&full);
+        let b = t.point(&full);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(t.store().misses(), 1);
+        assert_eq!(t.store().hits(), 0, "repeat lookups are absorbed by the table-local cache");
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_compute_once() {
+        let store = Arc::new(CharStore::new());
+        let key = || CharStoreKey {
+            mix_id: "W1".to_string(),
+            mode: ModeKey { active_cores: 4, freq_mhz: 3200, cap_mbps: u32::MAX },
+            budget: 1_000,
+            channels: 2,
+            dimms_per_channel: 4,
+            hw_fingerprint: 0,
+        };
+        let computations = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = Arc::clone(&store);
+                let computations = Arc::clone(&computations);
+                scope.spawn(move || {
+                    store.get_or_compute(key(), || {
+                        computations.fetch_add(1, Ordering::Relaxed);
+                        CharPoint::idle(
+                            RunningMode::full_speed(&CpuConfig::paper_quad_core()),
+                            4,
+                            &FbdimmConfig::ddr2_667_paper(),
+                        )
+                    });
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::Relaxed), 1, "exactly one thread computes");
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 3);
+    }
+
+    #[test]
+    fn different_hardware_with_identical_geometry_never_aliases() {
+        // Same mix, budget and channel geometry but a different CPU config:
+        // the hardware fingerprint must keep the store entries apart.
+        let store = Arc::new(CharStore::new());
+        let mut paper = CharacterizationTable::with_store(
+            CpuConfig::paper_quad_core(),
+            FbdimmConfig::ddr2_667_paper(),
+            "W1",
+            mixes::w1().apps,
+            15_000,
+            Arc::clone(&store),
+        );
+        let mut small_l2 = CpuConfig::paper_quad_core();
+        small_l2.l2.capacity_bytes /= 4;
+        let mut shrunk = CharacterizationTable::with_store(
+            small_l2.clone(),
+            FbdimmConfig::ddr2_667_paper(),
+            "W1",
+            mixes::w1().apps,
+            15_000,
+            Arc::clone(&store),
+        );
+        let full = RunningMode::full_speed(&CpuConfig::paper_quad_core());
+        let a = paper.point(&full);
+        let b = shrunk.point(&full);
+        assert_eq!(store.misses(), 2, "distinct hardware must characterize separately");
+        assert_eq!(store.hits(), 0);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(b.l2_miss_rate > a.l2_miss_rate, "a quarter-size L2 must miss more");
+    }
+
+    #[test]
+    fn mode_key_progress_mirrors_running_mode() {
+        let cpu = CpuConfig::paper_quad_core();
+        let full = RunningMode::full_speed(&cpu);
+        assert!(ModeKey::from_mode(&full).makes_progress());
+        let off = RunningMode { active_cores: 0, op: cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) };
+        assert!(!ModeKey::from_mode(&off).makes_progress());
+        let shut = full.with_bandwidth_cap_gbps(0.0);
+        assert!(!ModeKey::from_mode(&shut).makes_progress());
     }
 }

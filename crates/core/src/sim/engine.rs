@@ -9,10 +9,18 @@
 //! full sensed temperature field with the hottest DIMM derived by arg-max —
 //! instead of two bare floats.
 //!
+//! The loop is allocation-free at steady state: the scene steps with
+//! precomputed RC decay coefficients (no per-window `exp()`), one scratch
+//! observation buffer is refilled per DTM interval, the idle-power vector is
+//! computed once per run, and mode residency is keyed by the quantized
+//! [`ModeKey`] (stringified once per distinct mode after the run) instead of
+//! formatting a `String` every step.
+//!
 //! [`MemSpot`](crate::sim::memspot::MemSpot) remains the public facade; it
 //! handles characterization-table caching and delegates each run here.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cpu_model::{CpuConfig, PaperCpuPower, ProcessorPowerModel, RunningMode};
 use fbdimm_sim::FbdimmConfig;
@@ -20,7 +28,7 @@ use workloads::{BatchJob, WorkloadMix};
 
 use crate::dtm::policy::DtmPolicy;
 use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};
-use crate::sim::characterize::{CharPoint, CharacterizationTable};
+use crate::sim::characterize::{CharPoint, CharacterizationTable, ModeKey};
 use crate::sim::energy::EnergyAccumulator;
 use crate::sim::memspot::{MemSpotConfig, MemSpotResult, PositionPeak, TempSample};
 use crate::thermal::params::AmbientParams;
@@ -96,9 +104,15 @@ impl<'a> SimEngine<'a> {
     }
 
     /// Per-position power for a progressing design point, in scene order.
-    /// Positions the point carries no traffic for draw idle power.
-    fn position_powers(&self, scene: &DimmThermalScene, point: &CharPoint) -> Vec<FbdimmPowerBreakdown> {
-        let mut powers = self.idle_powers();
+    /// Positions the point carries no traffic for draw idle power. `idle` is
+    /// the run's cached [`SimEngine::idle_powers`] vector.
+    fn position_powers(
+        &self,
+        scene: &DimmThermalScene,
+        idle: &[FbdimmPowerBreakdown],
+        point: &CharPoint,
+    ) -> Vec<FbdimmPowerBreakdown> {
+        let mut powers = idle.to_vec();
         for (d, p) in point
             .dimm_traffic
             .iter()
@@ -114,11 +128,12 @@ impl<'a> SimEngine<'a> {
     fn window_power(
         &self,
         scene: &DimmThermalScene,
+        idle: &[FbdimmPowerBreakdown],
         point: &CharPoint,
         mode: &RunningMode,
         progressing: bool,
     ) -> WindowPower {
-        let positions = if progressing { self.position_powers(scene, point) } else { self.idle_powers() };
+        let positions = if progressing { self.position_powers(scene, idle, point) } else { idle.to_vec() };
         let mem_w: f64 =
             positions.iter().map(FbdimmPowerBreakdown::total_watts).sum::<f64>() * self.mem.phys_per_logical as f64;
         let (cpu_w, v_ipc) = if progressing {
@@ -151,14 +166,20 @@ impl<'a> SimEngine<'a> {
         let full_point = table.point(&full_mode);
         let full_shares = full_point.core_share.clone();
 
+        // Run-constant hot-loop state: the idle-power vector (scene order)
+        // and the scratch observation buffer refilled at each DTM interval.
+        let idle = self.idle_powers();
+        let mut observation = scene.observe();
+
         let step_s = self.config.window_s.min(self.config.dtm_interval_s).max(1e-4);
         let mut time_s = 0.0f64;
         let mut next_dtm_s = 0.0f64;
         let mut next_trace_s = 0.0f64;
         let mut mode = full_mode;
-        let mut point: CharPoint = full_point;
+        let mut mode_key = ModeKey::from_mode(&mode);
+        let mut point: Arc<CharPoint> = full_point;
         let mut progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
-        let mut window = self.window_power(&scene, &point, &mode, progressing);
+        let mut window = self.window_power(&scene, &idle, &point, &mode, progressing);
 
         let mut total_instructions = 0.0f64;
         let mut total_bytes = 0.0f64;
@@ -166,7 +187,7 @@ impl<'a> SimEngine<'a> {
         let (mut max_amb, mut max_dram) = scene.max_temps_c();
         let mut ambient_sum = 0.0f64;
         let mut ambient_samples = 0u64;
-        let mut residency: BTreeMap<String, f64> = BTreeMap::new();
+        let mut residency: BTreeMap<ModeKey, f64> = BTreeMap::new();
         let mut trace = Vec::new();
 
         policy.reset();
@@ -176,14 +197,15 @@ impl<'a> SimEngine<'a> {
             // temperature field.
             let mut overhead_s = 0.0;
             if time_s + 1e-12 >= next_dtm_s {
-                let observation = scene.observe();
+                scene.observe_into(&mut observation);
                 let new_mode = policy.decide(&observation, self.config.dtm_interval_s);
                 if new_mode != mode {
                     overhead_s = self.config.dtm_overhead_s;
                     mode = new_mode;
+                    mode_key = ModeKey::from_mode(&mode);
                     point = table.point(&mode);
                     progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
-                    window = self.window_power(&scene, &point, &mode, progressing);
+                    window = self.window_power(&scene, &idle, &point, &mode, progressing);
                 }
                 next_dtm_s += self.config.dtm_interval_s;
             }
@@ -212,7 +234,7 @@ impl<'a> SimEngine<'a> {
             max_dram = max_dram.max(dram_now);
             ambient_sum += scene.ambient_c();
             ambient_samples += 1;
-            *residency.entry(mode_label(&mode)).or_insert(0.0) += step_s;
+            *residency.entry(mode_key).or_insert(0.0) += step_s;
 
             if self.config.record_temp_trace && time_s + 1e-12 >= next_trace_s {
                 trace.push(TempSample {
@@ -229,9 +251,13 @@ impl<'a> SimEngine<'a> {
             time_s += step_s;
         }
 
+        // Labels are derived from the quantized key exactly once per distinct
+        // mode; distinct keys that render identically (sub-0.1-unit
+        // differences) merge by summing their residency.
         let elapsed = energy.elapsed_s().max(1e-9);
-        for v in residency.values_mut() {
-            *v /= elapsed;
+        let mut mode_residency: BTreeMap<String, f64> = BTreeMap::new();
+        for (key, secs) in residency {
+            *mode_residency.entry(mode_label_from_key(&key)).or_insert(0.0) += secs / elapsed;
         }
 
         let position_peaks = scene
@@ -256,22 +282,30 @@ impl<'a> SimEngine<'a> {
             avg_ambient_c: if ambient_samples == 0 { 0.0 } else { ambient_sum / ambient_samples as f64 },
             max_amb_c: max_amb,
             max_dram_c: max_dram,
-            mode_residency: residency,
+            mode_residency,
             temp_trace: trace,
             position_peaks,
         }
     }
 }
 
-fn mode_label(mode: &RunningMode) -> String {
-    if !mode.makes_progress() {
+/// Human-readable label of a quantized running mode. Quantization-equivalent
+/// modes map to one [`ModeKey`] and therefore to one label; the window loop
+/// only stringifies each distinct key once, after the run.
+fn mode_label_from_key(key: &ModeKey) -> String {
+    if !key.makes_progress() {
         return "off".to_string();
     }
-    let cap = match mode.bandwidth_cap {
-        None => "nolimit".to_string(),
-        Some(c) => format!("{:.1}GB/s", c / 1e9),
-    };
-    format!("{}c@{:.1}GHz/{}", mode.active_cores, mode.op.freq_ghz, cap)
+    let freq_ghz = key.freq_mhz as f64 / 1000.0;
+    match key.cap_mbps {
+        u32::MAX => format!("{}c@{:.1}GHz/nolimit", key.active_cores, freq_ghz),
+        cap => format!("{}c@{:.1}GHz/{:.1}GB/s", key.active_cores, freq_ghz, cap as f64 / 1000.0),
+    }
+}
+
+#[cfg(test)]
+fn mode_label(mode: &RunningMode) -> String {
+    mode_label_from_key(&ModeKey::from_mode(mode))
 }
 
 impl FbdimmPowerModel {
@@ -340,7 +374,7 @@ mod tests {
         let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w1().apps, 15_000);
         let mode = RunningMode::full_speed(&cpu);
         let point = table.point(&mode);
-        let w = engine.window_power(&scene, &point, &mode, true);
+        let w = engine.window_power(&scene, &engine.idle_powers(), &point, &mode, true);
         assert_eq!(w.positions.len(), mem.dimm_positions());
         // The window total equals the legacy subsystem accounting.
         let legacy = power.subsystem_power_watts_from_point(&point, mem.dimms_per_channel, mem.phys_per_logical);
@@ -360,10 +394,32 @@ mod tests {
         let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w1().apps, 15_000);
         let off = RunningMode { active_cores: 0, op: cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) };
         let point = table.point(&off);
-        let w = engine.window_power(&scene, &point, &off, false);
+        let w = engine.window_power(&scene, &engine.idle_powers(), &point, &off, false);
         let legacy =
             power.subsystem_idle_power_watts(mem.logical_channels, mem.dimms_per_channel, mem.phys_per_logical);
         assert!((w.mem_w - legacy).abs() < 1e-9);
         assert_eq!(w.v_ipc, 0.0);
+    }
+
+    #[test]
+    fn mode_labels_are_stable_across_quantization_equivalent_modes() {
+        let cpu = CpuConfig::paper_quad_core();
+        let a = RunningMode::full_speed(&cpu).with_bandwidth_cap_gbps(6.4);
+        let mut b = a;
+        b.bandwidth_cap = Some(6.4e9 + 10.0); // quantizes to the same ModeKey
+        assert_eq!(ModeKey::from_mode(&a), ModeKey::from_mode(&b));
+        assert_eq!(mode_label(&a), mode_label(&b));
+        assert_eq!(mode_label(&a), "4c@3.2GHz/6.4GB/s");
+
+        let mut c = a;
+        c.op.freq_ghz += 2e-4; // sub-MHz wobble quantizes away too
+        assert_eq!(mode_label(&a), mode_label(&c));
+
+        let full = RunningMode::full_speed(&cpu);
+        assert_eq!(mode_label(&full), "4c@3.2GHz/nolimit");
+        let off = RunningMode { active_cores: 0, op: cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) };
+        assert_eq!(mode_label(&off), "off");
+        let shut = full.with_bandwidth_cap_gbps(0.0);
+        assert_eq!(mode_label(&shut), "off");
     }
 }

@@ -13,11 +13,13 @@
 //! whole temperature field and chooses the running mode for the next
 //! interval.
 //!
-//! [`MemSpot`] is the public facade: it owns the hardware models, caches
-//! level-1 characterizations across policy runs of the same mix, and
+//! [`MemSpot`] is the public facade: it owns the hardware models, backs its
+//! level-1 characterizations with a [`CharStore`] — private by default,
+//! injectable via [`MemSpot::with_store`] so a whole sweep shares one — and
 //! delegates each run to the engine.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use cpu_model::{CpuConfig, PaperCpuPower};
 use fbdimm_sim::FbdimmConfig;
@@ -25,7 +27,7 @@ use workloads::WorkloadMix;
 
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::power::fbdimm::FbdimmPowerModel;
-use crate::sim::characterize::CharacterizationTable;
+use crate::sim::characterize::{CharStore, CharacterizationTable};
 use crate::sim::engine::SimEngine;
 use crate::thermal::params::{CoolingConfig, ThermalLimits};
 
@@ -249,8 +251,10 @@ pub struct MemSpot {
     power: FbdimmPowerModel,
     cpu_power: PaperCpuPower,
     config: MemSpotConfig,
-    /// Level-1 characterizations, shared across policy runs of the same
-    /// workload mix (keyed by mix identifier).
+    /// Shared home of level-1 design points (private unless injected).
+    store: Arc<CharStore>,
+    /// Per-mix table views over the store, kept across policy runs so their
+    /// local caches stay warm (keyed by mix identifier).
     tables: HashMap<String, CharacterizationTable>,
 }
 
@@ -261,14 +265,24 @@ impl MemSpot {
         Self::with_hardware(CpuConfig::paper_quad_core(), FbdimmConfig::ddr2_667_paper(), config)
     }
 
-    /// Creates a simulator with explicit hardware configurations.
+    /// Creates a simulator with explicit hardware configurations and a
+    /// private characterization store.
     pub fn with_hardware(cpu: CpuConfig, mem: FbdimmConfig, config: MemSpotConfig) -> Self {
+        Self::with_store(cpu, mem, config, Arc::new(CharStore::new()))
+    }
+
+    /// Creates a simulator whose level-1 characterizations live in (and are
+    /// shared through) an external [`CharStore`]. Sweep engines pass one
+    /// store to every cell so each design point is characterized once per
+    /// process.
+    pub fn with_store(cpu: CpuConfig, mem: FbdimmConfig, config: MemSpotConfig, store: Arc<CharStore>) -> Self {
         MemSpot {
             cpu,
             mem,
             power: FbdimmPowerModel::paper_defaults(),
             cpu_power: PaperCpuPower::new(),
             config,
+            store,
             tables: HashMap::new(),
         }
     }
@@ -283,19 +297,27 @@ impl MemSpot {
         &self.cpu
     }
 
+    /// The characterization store backing this simulator.
+    pub fn char_store(&self) -> &Arc<CharStore> {
+        &self.store
+    }
+
     /// Runs one workload mix under one DTM policy to batch completion (or
     /// the safety stop) and returns the aggregate result.
     ///
-    /// Level-1 characterizations are cached inside the simulator and shared
-    /// across policy runs of the same mix, which is why this method takes
-    /// `&mut self`.
+    /// Level-1 characterizations are cached in the backing [`CharStore`] and
+    /// shared across policy runs of the same mix (and, with
+    /// [`MemSpot::with_store`], across simulators), which is why this method
+    /// takes `&mut self`.
     pub fn run(&mut self, mix: &WorkloadMix, policy: &mut dyn DtmPolicy) -> MemSpotResult {
         let mut table = self.tables.remove(&mix.id).unwrap_or_else(|| {
-            CharacterizationTable::new(
+            CharacterizationTable::with_store(
                 self.cpu.clone(),
                 self.mem,
+                mix.id.clone(),
                 mix.apps.clone(),
                 self.config.characterization_budget,
+                Arc::clone(&self.store),
             )
         });
         let engine = SimEngine::new(&self.cpu, &self.mem, &self.power, &self.cpu_power, &self.config);
@@ -435,6 +457,30 @@ mod tests {
         let r = spot.run(&mixes::w1(), &mut bw);
         assert!(r.temp_trace.len() as f64 >= r.running_time_s.floor() - 1.0);
         assert!(r.temp_trace.windows(2).all(|w| w[0].time_s < w[1].time_s));
+    }
+
+    #[test]
+    fn simulators_sharing_a_store_characterize_each_design_point_once() {
+        let store = Arc::new(CharStore::new());
+        let cfg = MemSpotConfig::tiny(CoolingConfig::aohs_1_5());
+        let make = || {
+            MemSpot::with_store(CpuConfig::paper_quad_core(), FbdimmConfig::ddr2_667_paper(), cfg, Arc::clone(&store))
+        };
+        let mut first = make();
+        let mut p1 = NoLimit::new(first.cpu_config());
+        let a = first.run(&mixes::w1(), &mut p1);
+        let misses_after_first = store.misses();
+        assert!(misses_after_first > 0);
+        assert_eq!(store.hits(), 0);
+
+        // A second simulator (e.g. another sweep cell with a different
+        // cooling config) reuses every point instead of re-simulating.
+        let mut second = make();
+        let mut p2 = NoLimit::new(second.cpu_config());
+        let b = second.run(&mixes::w1(), &mut p2);
+        assert_eq!(store.misses(), misses_after_first, "no new level-1 work");
+        assert!(store.hits() > 0);
+        assert_eq!(a, b, "shared points must not change results");
     }
 
     #[test]

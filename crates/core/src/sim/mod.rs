@@ -6,7 +6,7 @@ pub mod engine;
 pub mod memspot;
 pub mod modes;
 
-pub use characterize::{CharPoint, CharacterizationTable};
+pub use characterize::{CharPoint, CharStore, CharStoreKey, CharacterizationTable, ModeKey};
 pub use energy::EnergyAccumulator;
 pub use engine::SimEngine;
 pub use memspot::{MemSpot, MemSpotConfig, MemSpotResult, PositionPeak, TempSample};

@@ -7,6 +7,16 @@
 //! paper observes no meaningful thermal-leakage feedback for DRAM devices
 //! and AMBs (≈2 % power increase over the full temperature range), so the
 //! node deliberately has no leakage loop.
+//!
+//! For a fixed step length the decay factor `α = 1 − e^(−Δt/τ)` is a
+//! constant, so hot loops precompute it once with
+//! [`ThermalNode::decay_alpha`] and advance nodes with
+//! [`ThermalNode::step_with_alpha`] — the HotSpot-style RC step-coefficient
+//! trick — instead of paying one `exp()` per node per step. [`step`]
+//! (closed form) and the cached path are numerically identical because both
+//! evaluate the same expression.
+//!
+//! [`step`]: ThermalNode::step
 
 /// One first-order thermal node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,13 +51,31 @@ impl ThermalNode {
         self.temp_c = temp_c;
     }
 
+    /// The exponential decay factor `1 − e^(−Δt/τ)` of Equation 3.5 for one
+    /// step of `dt_s` seconds (0 for non-positive steps). Precompute this
+    /// once per fixed step length and reuse it through
+    /// [`ThermalNode::step_with_alpha`].
+    pub fn decay_alpha(tau_s: f64, dt_s: f64) -> f64 {
+        if dt_s > 0.0 {
+            1.0 - (-dt_s / tau_s).exp()
+        } else {
+            0.0
+        }
+    }
+
     /// Advances the node by `dt_s` seconds toward `stable_c` (Equation 3.5)
     /// and returns the new temperature.
     pub fn step(&mut self, stable_c: f64, dt_s: f64) -> f64 {
-        if dt_s > 0.0 {
-            let alpha = 1.0 - (-dt_s / self.tau_s).exp();
-            self.temp_c += (stable_c - self.temp_c) * alpha;
-        }
+        self.step_with_alpha(stable_c, Self::decay_alpha(self.tau_s, dt_s))
+    }
+
+    /// Advances the node toward `stable_c` using a precomputed decay factor
+    /// (see [`ThermalNode::decay_alpha`]). Bit-identical to [`step`] when
+    /// `alpha` was computed from this node's `tau_s` and the same `dt_s`.
+    ///
+    /// [`step`]: ThermalNode::step
+    pub fn step_with_alpha(&mut self, stable_c: f64, alpha: f64) -> f64 {
+        self.temp_c += (stable_c - self.temp_c) * alpha;
         self.temp_c
     }
 
@@ -156,5 +184,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_tau_is_rejected() {
         let _ = ThermalNode::new(25.0, 0.0);
+    }
+
+    #[test]
+    fn precomputed_alpha_is_bit_identical_to_the_closed_form() {
+        let alpha = ThermalNode::decay_alpha(50.0, 0.01);
+        let mut cached = ThermalNode::new(40.0, 50.0);
+        let mut closed = ThermalNode::new(40.0, 50.0);
+        for i in 0..10_000 {
+            let stable = 95.0 + (i % 7) as f64;
+            cached.step_with_alpha(stable, alpha);
+            closed.step(stable, 0.01);
+            assert_eq!(cached.temp_c(), closed.temp_c(), "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_dt_yield_zero_alpha() {
+        assert_eq!(ThermalNode::decay_alpha(50.0, 0.0), 0.0);
+        assert_eq!(ThermalNode::decay_alpha(50.0, -1.0), 0.0);
+        let mut node = ThermalNode::new(75.0, 100.0);
+        node.step_with_alpha(120.0, 0.0);
+        assert_eq!(node.temp_c(), 75.0);
     }
 }

@@ -99,6 +99,19 @@ struct ScenePosition {
     peak_dram_c: f64,
 }
 
+/// Precomputed per-step RC decay factors for one step length. Every position
+/// shares the same AMB and DRAM time constants (Table 3.2), so a whole-scene
+/// step needs three `exp()` evaluations in total — computed once per distinct
+/// `dt_s` and reused for every subsequent window of the same length, instead
+/// of `2 × positions + 1` per step.
+#[derive(Debug, Clone, Copy)]
+struct StepCoeffs {
+    dt_s: f64,
+    ambient_alpha: f64,
+    amb_alpha: f64,
+    dram_alpha: f64,
+}
+
 /// A thermal model of the whole DIMM population.
 ///
 /// Positions are ordered channel-major (`index = channel ×
@@ -117,6 +130,7 @@ pub struct DimmThermalScene {
     ambient: ThermalNode,
     dimms_per_channel: usize,
     positions: Vec<ScenePosition>,
+    coeffs: Option<StepCoeffs>,
 }
 
 impl DimmThermalScene {
@@ -151,6 +165,7 @@ impl DimmThermalScene {
             ambient: ThermalNode::new(start, ambient_params.tau_cpu_dram_s),
             dimms_per_channel,
             positions,
+            coeffs: None,
         }
     }
 
@@ -215,14 +230,30 @@ impl DimmThermalScene {
     /// Panics if `powers.len()` does not match the number of positions.
     pub fn step(&mut self, powers: &[FbdimmPowerBreakdown], sum_voltage_ipc: f64, dt_s: f64) {
         assert_eq!(powers.len(), self.positions.len(), "one power breakdown per DIMM position required");
+        // All positions share two time constants, so one scene step costs
+        // three `exp()`s — and zero once the step length repeats (the window
+        // loop always steps with a fixed `step_s`).
+        let coeffs = match self.coeffs {
+            Some(c) if c.dt_s == dt_s => c,
+            _ => {
+                let c = StepCoeffs {
+                    dt_s,
+                    ambient_alpha: ThermalNode::decay_alpha(self.ambient.tau_s(), dt_s),
+                    amb_alpha: ThermalNode::decay_alpha(self.resistances.tau_amb_s, dt_s),
+                    dram_alpha: ThermalNode::decay_alpha(self.resistances.tau_dram_s, dt_s),
+                };
+                self.coeffs = Some(c);
+                c
+            }
+        };
         let stable_ambient = self.ambient_params.stable_ambient_c(sum_voltage_ipc);
-        let ambient = self.ambient.step(stable_ambient, dt_s);
+        let ambient = self.ambient.step_with_alpha(stable_ambient, coeffs.ambient_alpha);
         let r = &self.resistances;
         for (pos, p) in self.positions.iter_mut().zip(powers) {
             let stable_amb = ambient + p.amb_watts * r.psi_amb + p.dram_watts * r.psi_dram_amb;
             let stable_dram = ambient + p.amb_watts * r.psi_amb_dram + p.dram_watts * r.psi_dram;
-            let amb_c = pos.amb.step(stable_amb, dt_s);
-            let dram_c = pos.dram.step(stable_dram, dt_s);
+            let amb_c = pos.amb.step_with_alpha(stable_amb, coeffs.amb_alpha);
+            let dram_c = pos.dram.step_with_alpha(stable_dram, coeffs.dram_alpha);
             pos.peak_amb_c = pos.peak_amb_c.max(amb_c);
             pos.peak_dram_c = pos.peak_dram_c.max(dram_c);
         }
@@ -256,14 +287,23 @@ impl DimmThermalScene {
     /// Snapshots the scene into the observation a DTM policy consumes, with
     /// the hottest DIMM *derived* (arg-max over positions).
     pub fn observe(&self) -> ThermalObservation {
-        let mut obs = ThermalObservation {
-            max_amb_c: f64::NEG_INFINITY,
-            max_dram_c: f64::NEG_INFINITY,
-            ambient_c: self.ambient.temp_c(),
-            hottest_amb: None,
-            hottest_dram: None,
-            positions: Vec::with_capacity(self.positions.len()),
-        };
+        let mut obs = ThermalObservation::from_hottest(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        self.observe_into(&mut obs);
+        obs
+    }
+
+    /// Like [`DimmThermalScene::observe`] but refills a caller-owned
+    /// observation, reusing its `positions` allocation. The window loop calls
+    /// this once per DTM interval with one scratch buffer per run, so the
+    /// hot path allocates nothing.
+    pub fn observe_into(&self, obs: &mut ThermalObservation) {
+        obs.max_amb_c = f64::NEG_INFINITY;
+        obs.max_dram_c = f64::NEG_INFINITY;
+        obs.ambient_c = self.ambient.temp_c();
+        obs.hottest_amb = None;
+        obs.hottest_dram = None;
+        obs.positions.clear();
+        obs.positions.reserve(self.positions.len());
         for p in &self.positions {
             let amb_c = p.amb.temp_c();
             let dram_c = p.dram.temp_c();
@@ -277,7 +317,6 @@ impl DimmThermalScene {
             }
             obs.positions.push(PositionTemp { channel: p.channel, dimm: p.dimm, amb_c, dram_c });
         }
-        obs
     }
 
     /// Whether any position currently exceeds a thermal design point.
@@ -414,6 +453,49 @@ mod tests {
         let obs = scene.observe();
         assert!(obs.over_tdp(scene.limits()));
         assert_eq!(obs.max_amb_c, 110.5);
+    }
+
+    #[test]
+    fn observe_into_reuses_the_buffer_and_matches_observe() {
+        let mem = shape();
+        let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let powers = graded_powers(scene.len());
+        let mut scratch = scene.observe();
+        for _ in 0..50 {
+            scene.step(&powers, 0.0, 1.0);
+            scene.observe_into(&mut scratch);
+            assert_eq!(scratch, scene.observe());
+        }
+    }
+
+    #[test]
+    fn changing_step_lengths_invalidate_the_cached_coefficients() {
+        // Stepping with alternating dt must match a scene that never cached
+        // (i.e. per-step closed-form nodes), because the coefficient cache is
+        // keyed by dt.
+        let mem = shape();
+        let cooling = CoolingConfig::aohs_1_5();
+        let limits = ThermalLimits::paper_fbdimm();
+        let mut scene = DimmThermalScene::isolated(&mem, cooling, limits);
+        let r = cooling.resistances();
+        let inlet = scene.ambient_params().system_inlet_c;
+        let powers = graded_powers(scene.len());
+        let mut mirror_amb = vec![inlet; scene.len()];
+        let mut mirror_dram = vec![inlet; scene.len()];
+        for i in 0..400 {
+            let dt = if i % 3 == 0 { 0.01 } else { 1.0 };
+            scene.step(&powers, 0.0, dt);
+            for (j, p) in powers.iter().enumerate() {
+                let stable_amb = inlet + p.amb_watts * r.psi_amb + p.dram_watts * r.psi_dram_amb;
+                let stable_dram = inlet + p.amb_watts * r.psi_amb_dram + p.dram_watts * r.psi_dram;
+                mirror_amb[j] += (stable_amb - mirror_amb[j]) * (1.0 - (-dt / r.tau_amb_s).exp());
+                mirror_dram[j] += (stable_dram - mirror_dram[j]) * (1.0 - (-dt / r.tau_dram_s).exp());
+            }
+        }
+        for (pos, (ma, md)) in scene.position_temps().iter().zip(mirror_amb.iter().zip(mirror_dram.iter())) {
+            assert!((pos.amb_c - ma).abs() < 1e-12, "AMB {} vs mirror {}", pos.amb_c, ma);
+            assert!((pos.dram_c - md).abs() < 1e-12, "DRAM {} vs mirror {}", pos.dram_c, md);
+        }
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Builds a 16-cell grid — {AOHS_1.5, FDHS_1.0} × {W1, W6} × {No-limit,
 //! DTM-TS, DTM-ACG, DTM-CDVFS} — and runs it twice through the
 //! `SweepRunner`: once sequentially (one worker) and once fanned across all
-//! cores. The wall-clock times of both passes are printed, followed by a
+//! cores at cell granularity. Each pass uses its own shared `CharStore`, so
+//! the printed wall-clock comparison is fair while still showing the
+//! level-1 dedup (the same mix under two cooling configs characterizes
+//! once). Both passes are written to `BENCH_sweep.json`, followed by a
 //! per-scheme summary of the paper's headline quantities.
 //!
 //! Run with: `cargo run --release --example cooling_sweep`
@@ -12,6 +15,7 @@ use std::collections::BTreeMap;
 
 use dram_thermal::prelude::*;
 use experiments::ch4::PolicySpec;
+use experiments::harness::{bench_output_path, write_bench_json, BenchStats};
 use experiments::sweep::{SweepRunner, SweepScenario};
 
 fn grid() -> Vec<SweepScenario> {
@@ -47,12 +51,50 @@ fn main() {
 
     let runner = SweepRunner::new();
     let parallel = runner.run(&scenarios, sweep_config);
+    let speedup = sequential.wall_clock_s / parallel.wall_clock_s.max(1e-9);
     println!(
         "parallel   ({} workers):      {:.2} s wall-clock  ({:.2}x speedup)",
-        parallel.threads,
-        parallel.wall_clock_s,
-        sequential.wall_clock_s / parallel.wall_clock_s.max(1e-9)
+        parallel.threads, parallel.wall_clock_s, speedup
     );
+    println!(
+        "char store (parallel pass): {} hits / {} misses — each design point of a mix is characterized once",
+        parallel.char_store_hits, parallel.char_store_misses
+    );
+    let slowest_cell = parallel.cell_wall_clock_s.iter().cloned().fold(0.0, f64::max);
+    println!("slowest cell: {slowest_cell:.2} s of {} cells", parallel.runs.len());
+
+    let stats = [
+        BenchStats {
+            label: "cooling_sweep/sequential_1_worker".to_string(),
+            mean_ms: sequential.wall_clock_s * 1e3,
+            min_ms: sequential.wall_clock_s * 1e3,
+            iters: 1,
+        },
+        BenchStats {
+            label: format!("cooling_sweep/parallel_{}_workers", parallel.threads),
+            mean_ms: parallel.wall_clock_s * 1e3,
+            min_ms: parallel.wall_clock_s * 1e3,
+            iters: 1,
+        },
+    ];
+    // The pre-PR reference numbers were measured on the same 2-core
+    // container immediately before the shared-store / allocation-free-loop
+    // overhaul (group-granular sweep, per-scenario tables, exp() per node
+    // per window): 2.48 s sequential, 1.71 s parallel.
+    let metrics = [
+        ("cells", cells as f64),
+        ("threads", parallel.threads as f64),
+        ("speedup", speedup),
+        ("char_store_hits", parallel.char_store_hits as f64),
+        ("char_store_misses", parallel.char_store_misses as f64),
+        ("pre_pr_sequential_ms_2core_ref", 2480.0),
+        ("pre_pr_parallel_ms_2core_ref", 1710.0),
+    ];
+    let path = bench_output_path("BENCH_sweep.json");
+    match write_bench_json(&path, &stats, &metrics) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 
     // Per-scheme summary: mean normalized running time (vs the No-limit
     // baseline of the same cooling × workload) and the hottest AMB observed.

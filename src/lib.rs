@@ -25,8 +25,11 @@
 //! *derived* by arg-max at observation time, and DTM policies receive the
 //! full `ThermalObservation` (maxima + per-position field) instead of two
 //! bare floats. The `SimEngine` window loop drives the scene inside
-//! `MemSpot`, and the `experiments` crate's `SweepRunner` fans grids of
-//! {cooling × workload × policy} runs across cores.
+//! `MemSpot` allocation-free (precomputed RC step coefficients, reused
+//! observation buffer), and the `experiments` crate's `SweepRunner` fans
+//! grids of {cooling × workload × policy} cells across cores through a
+//! chunked work queue, deduplicating the expensive level-1
+//! characterizations in a shared, thread-safe `CharStore`.
 //!
 //! ## Quick start
 //!

@@ -245,6 +245,71 @@ fn acg_decisions_are_monotone() {
     });
 }
 
+/// Coefficient-cached RC stepping (`decay_alpha` + `step_with_alpha`, the
+/// window loop's hot path) matches the closed-form `exp()` integration of
+/// Equation 3.5 within 1e-12 over randomized (tau, dt, power) sequences.
+#[test]
+fn cached_rc_coefficients_match_the_closed_form_exp_path() {
+    for_each_case("cached_rc_coefficients_match_the_closed_form_exp_path", |rng| {
+        let tau = 1.0 + rng.next_f64() * 200.0;
+        let mut cached = ThermalNode::new(20.0 + rng.next_f64() * 60.0, tau);
+        let mut reference = cached.temp_c();
+        // A handful of segments with a fixed dt each: the cached path
+        // computes alpha once per segment, the reference pays exp() per step.
+        for _ in 0..rng.gen_range(1..6u64) {
+            let dt = 10f64.powf(rng.next_f64() * 4.0 - 2.0); // 0.01 .. 100 s
+            let alpha = ThermalNode::decay_alpha(tau, dt);
+            for _ in 0..rng.gen_range(1..80u64) {
+                let power_c = rng.next_f64() * 120.0; // stable temperature
+                cached.step_with_alpha(power_c, alpha);
+                reference += (power_c - reference) * (1.0 - (-dt / tau).exp());
+                assert!(
+                    (cached.temp_c() - reference).abs() < 1e-12,
+                    "cached {} vs closed form {} (tau {tau}, dt {dt})",
+                    cached.temp_c(),
+                    reference
+                );
+            }
+        }
+    });
+}
+
+/// The whole-scene coefficient cache (three `exp()`s per distinct step
+/// length instead of `2·positions+1` per window) is equivalent to stepping
+/// every node with the closed form, including across step-length changes
+/// that invalidate the cache.
+#[test]
+fn scene_coefficient_cache_matches_per_node_closed_form() {
+    for_each_case("scene_coefficient_cache_matches_per_node_closed_form", |rng| {
+        let mem = FbdimmConfig::ddr2_667_paper();
+        let cooling = if rng.gen_bool(0.5) { CoolingConfig::aohs_1_5() } else { CoolingConfig::fdhs_1_0() };
+        let mut scene = DimmThermalScene::isolated(&mem, cooling, ThermalLimits::paper_fbdimm());
+        let r = cooling.resistances();
+        let inlet = scene.ambient_params().system_inlet_c;
+        let n = scene.len();
+        let mut amb = vec![inlet; n];
+        let mut dram = vec![inlet; n];
+        let dts = [0.01, 0.1, 1.0, 7.5];
+        for _ in 0..60 {
+            let dt = dts[rng.gen_range(0..dts.len() as u64) as usize];
+            let powers: Vec<FbdimmPowerBreakdown> = (0..n)
+                .map(|_| FbdimmPowerBreakdown { amb_watts: rng.next_f64() * 8.0, dram_watts: rng.next_f64() * 3.0 })
+                .collect();
+            scene.step(&powers, 0.0, dt);
+            for (i, p) in powers.iter().enumerate() {
+                let stable_amb = inlet + p.amb_watts * r.psi_amb + p.dram_watts * r.psi_dram_amb;
+                let stable_dram = inlet + p.amb_watts * r.psi_amb_dram + p.dram_watts * r.psi_dram;
+                amb[i] += (stable_amb - amb[i]) * (1.0 - (-dt / r.tau_amb_s).exp());
+                dram[i] += (stable_dram - dram[i]) * (1.0 - (-dt / r.tau_dram_s).exp());
+            }
+            for (pos, (a, d)) in scene.position_temps().iter().zip(amb.iter().zip(dram.iter())) {
+                assert!((pos.amb_c - a).abs() < 1e-12, "AMB {} vs {}", pos.amb_c, a);
+                assert!((pos.dram_c - d).abs() < 1e-12, "DRAM {} vs {}", pos.dram_c, d);
+            }
+        }
+    });
+}
+
 /// Synthetic workload streams always stay within their declared
 /// footprint and attribute at least one instruction per access.
 #[test]
