@@ -82,9 +82,14 @@ pub struct SweepOutcome {
 }
 
 /// Fans a grid of MEMSpot cells across worker threads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepRunner {
     threads: usize,
+    /// Store shared by every cell; `None` allocates a fresh in-memory store
+    /// per [`SweepRunner::run`]. Inject a
+    /// [`CharStore::with_disk_cache`]-backed store to persist level-1 work
+    /// across processes.
+    store: Option<Arc<CharStore>>,
 }
 
 /// One unit of sweep work: a single {scenario, policy} grid cell.
@@ -98,13 +103,22 @@ impl SweepRunner {
     /// A runner using all available cores.
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        SweepRunner { threads }
+        SweepRunner { threads, store: None }
     }
 
     /// A runner with an explicit worker count (1 = sequential; used as the
     /// baseline of the speedup measurements).
     pub fn with_threads(threads: usize) -> Self {
-        SweepRunner { threads: threads.max(1) }
+        SweepRunner { threads: threads.max(1), store: None }
+    }
+
+    /// Makes every sweep of this runner share `store` instead of allocating
+    /// a fresh in-memory store per run — with a disk-backed store
+    /// ([`CharStore::with_disk_cache`]), repeated sweeps skip level-1
+    /// characterization entirely once the cache file is warm.
+    pub fn with_char_store(mut self, store: Arc<CharStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// The number of worker threads this runner uses.
@@ -127,7 +141,10 @@ impl SweepRunner {
         let start = Instant::now();
         let cpu = CpuConfig::paper_quad_core();
         let mem = FbdimmConfig::ddr2_667_paper();
-        let store = Arc::new(CharStore::new());
+        let store = self.store.clone().unwrap_or_else(|| Arc::new(CharStore::new()));
+        // With an injected (possibly disk-backed, long-lived) store the
+        // counters are cumulative; report this sweep's share as deltas.
+        let (hits_before, misses_before) = (store.hits(), store.misses());
 
         // Pre-warm: every cell's window loop starts from its mix's
         // full-speed design point, so without this step the first cells of a
@@ -179,8 +196,8 @@ impl SweepRunner {
             wall_clock_s: start.elapsed().as_secs_f64(),
             threads: self.threads,
             cell_wall_clock_s,
-            char_store_hits: store.hits(),
-            char_store_misses: store.misses(),
+            char_store_hits: store.hits() - hits_before,
+            char_store_misses: store.misses() - misses_before,
         }
     }
 }
@@ -262,6 +279,9 @@ fn run_cell(
     }
     let limits = cfg.limits;
     let mut spot = MemSpot::with_store(cpu.clone(), mem, cfg, Arc::clone(store));
+    // The sweep already runs one cell per core; rotation-averaged level-1
+    // points must not fan out further (results are identical either way).
+    spot.set_level1_rotation_threads(1);
     let mut policy = cell.spec.build(cpu, limits);
     let result = spot.run(&scenario.mix, policy.as_mut());
     MatrixRun { cooling: scenario.cooling.label(), workload: scenario.mix.id.clone(), policy: policy.name(), result }

@@ -19,12 +19,28 @@
 //!   Concurrent requests for the same key are deduplicated (losers block on
 //!   the winner's in-flight computation), and hit/miss counters expose how
 //!   much work the sharing saved.
+//! * [`CharStore::with_disk_cache`] extends the sharing **across
+//!   processes**: points already in the cache file load at startup (and
+//!   count as hits), and every point computed by this process is appended,
+//!   so repeated sweeps, examples and CI runs skip level-1 entirely once
+//!   the file is warm. The file is a versioned, line-delimited JSON format
+//!   (see [`crate::sim::diskcache`]); entries are keyed by the full
+//!   [`CharStoreKey`] — including the hardware fingerprint, so caches from
+//!   different hardware configurations coexist without aliasing — and a
+//!   format-version mismatch discards the file wholesale rather than
+//!   risking stale semantics. Floats round-trip bit-exactly: a reloaded
+//!   point is indistinguishable from a computed one.
 //! * [`CharacterizationTable`] is the per-run view: it owns the `MulticoreSim`
 //!   that computes missing points, keeps a lock-free local cache of
 //!   `Arc<CharPoint>` handles for the modes it has already resolved, and
 //!   falls through to the shared store on local misses. Lookups return
 //!   `Arc<CharPoint>` — a cache hit never deep-clones the point's inner
 //!   vectors. This is the analogue of the paper's `Wi × D` trace set.
+//!   [`CharacterizationTable::points`] resolves a whole batch of modes at
+//!   once, fanning the distinct missing design points (and, for a single
+//!   gated point, its application rotations) across cores — closed-loop
+//!   runs are independent and deterministic, so the parallelism changes
+//!   wall-clock only, never a result.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +49,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use cpu_model::{CpuConfig, MulticoreSim, RunMeasurement, RunningMode};
 use fbdimm_sim::{DimmTraffic, FbdimmConfig};
 use workloads::AppBehavior;
+
+use crate::sim::diskcache::DiskCache;
 
 /// One characterized design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,10 +110,7 @@ impl CharPoint {
 
     /// An all-zero point for modes that make no progress.
     pub fn idle(mode: RunningMode, cores: usize, mem_cfg: &FbdimmConfig) -> Self {
-        let dimm_traffic = (0..mem_cfg.logical_channels)
-            .flat_map(|c| (0..mem_cfg.dimms_per_channel).map(move |d| (c, d)))
-            .map(|(channel, dimm)| DimmTraffic { channel, dimm, ..Default::default() })
-            .collect();
+        let dimm_traffic = mem_cfg.idle_dimm_traffic();
         CharPoint {
             mode,
             instr_rate_total: 0.0,
@@ -195,6 +210,8 @@ pub struct CharStore {
     cells: Mutex<HashMap<CharStoreKey, Arc<OnceLock<Arc<CharPoint>>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional disk backing: pre-loaded at construction, appended on miss.
+    disk: Option<DiskCache>,
 }
 
 impl CharStore {
@@ -203,12 +220,44 @@ impl CharStore {
         Self::default()
     }
 
+    /// Creates a store backed by a results-cache file at `path`: every entry
+    /// already on disk is served as a hit (zero level-1 work), and every
+    /// point computed by this process is appended, so repeated sweeps,
+    /// examples and CI runs skip level-1 entirely once the cache is warm.
+    /// The file is versioned ([`crate::sim::diskcache::FORMAT_VERSION`]) and
+    /// keyed by the full [`CharStoreKey`] including the hardware
+    /// fingerprint; a stale format version discards the file, while entries
+    /// from other hardware configurations simply never match.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading an existing cache file (a missing
+    /// file is not an error — it is created on first append).
+    pub fn with_disk_cache(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let (disk, entries) = DiskCache::open(path)?;
+        let store = CharStore { disk: Some(disk), ..Self::default() };
+        {
+            let mut cells = store.cells.lock().expect("CharStore lock poisoned");
+            for (key, point) in entries {
+                let cell: &Arc<OnceLock<Arc<CharPoint>>> = cells.entry(key).or_default();
+                let _ = cell.set(Arc::new(point));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Path of the disk cache backing this store, if any.
+    pub fn disk_cache_path(&self) -> Option<&std::path::Path> {
+        self.disk.as_ref().map(DiskCache::path)
+    }
+
     /// Returns the point for `key`, running `compute` (at most once per key
-    /// process-wide) if it is not stored yet.
+    /// process-wide) if it is not stored yet. Freshly computed points are
+    /// appended to the disk cache, when one is attached.
     pub fn get_or_compute(&self, key: CharStoreKey, compute: impl FnOnce() -> CharPoint) -> Arc<CharPoint> {
         let cell = {
             let mut cells = self.cells.lock().expect("CharStore lock poisoned");
-            Arc::clone(cells.entry(key).or_default())
+            Arc::clone(cells.entry(key.clone()).or_default())
         };
         // The map lock is released before computing: a miss on one key never
         // blocks progress on another. Racing callers of the *same* key block
@@ -220,7 +269,24 @@ impl CharStore {
         }));
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(disk) = &self.disk {
+                disk.append(&key, &point);
+            }
         } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        point
+    }
+
+    /// Returns the point for `key` if it is already computed, without
+    /// blocking on (or joining) an in-flight computation. A found point
+    /// counts as a hit; an absent or still-computing one is not counted at
+    /// all.
+    pub fn peek(&self, key: &CharStoreKey) -> Option<Arc<CharPoint>> {
+        let cells = self.cells.lock().expect("CharStore lock poisoned");
+        let point = cells.get(key).and_then(|cell| cell.get()).cloned();
+        drop(cells);
+        if point.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         point
@@ -262,6 +328,11 @@ pub struct CharacterizationTable {
     hw_fingerprint: u64,
     store: Arc<CharStore>,
     local: HashMap<ModeKey, Arc<CharPoint>>,
+    /// Worker threads for rotation-averaged (core-gated) design points; the
+    /// rotations are independent deterministic simulations, so fanning them
+    /// out changes wall-clock only, never results. Set to 1 inside engines
+    /// that already parallelize at a coarser granularity.
+    rotation_threads: usize,
 }
 
 impl CharacterizationTable {
@@ -293,7 +364,17 @@ impl CharacterizationTable {
             hw_fingerprint,
             store,
             local: HashMap::new(),
+            rotation_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         }
+    }
+
+    /// Sets the number of worker threads used for rotation-averaged design
+    /// points (minimum 1). Results are bit-identical for any value; engines
+    /// that already fan out at cell granularity pass 1 to avoid
+    /// oversubscription.
+    pub fn with_rotation_threads(mut self, threads: usize) -> Self {
+        self.rotation_threads = threads.max(1);
+        self
     }
 
     /// Number of design points this table has resolved so far.
@@ -329,91 +410,238 @@ impl CharacterizationTable {
         if let Some(p) = self.local.get(&key) {
             return Arc::clone(p);
         }
+        let store_key = self.store_key(key);
         let store = Arc::clone(&self.store);
-        let store_key = CharStoreKey {
+        let sim = &mut self.sim;
+        let apps = &self.apps;
+        let budget = self.budget;
+        let threads = self.rotation_threads;
+        let point = store.get_or_compute(store_key, || compute_point(sim, apps, budget, threads, mode));
+        self.local.insert(key, Arc::clone(&point));
+        point
+    }
+
+    /// Resolves a whole batch of modes, computing the distinct *missing*
+    /// design points concurrently (they are independent closed-loop runs, so
+    /// the results are bit-identical to resolving them one at a time).
+    /// Grid engines and benches use this to characterize a mode lattice at
+    /// full hardware parallelism. Each finished point is registered through
+    /// the shared store (and appended to its disk cache, when present);
+    /// points another table or an earlier process already computed are
+    /// adopted up front and never scheduled.
+    pub fn points(&mut self, modes: &[RunningMode]) -> Vec<Arc<CharPoint>> {
+        let mut missing: Vec<RunningMode> = Vec::new();
+        let mut missing_keys: Vec<ModeKey> = Vec::new();
+        for mode in modes {
+            let key = ModeKey::from_mode(mode);
+            if !self.local.contains_key(&key) && !missing_keys.contains(&key) {
+                // Adopt points already present in the (possibly disk-backed)
+                // shared store instead of scheduling work for them.
+                if let Some(point) = self.store.peek(&self.store_key(key)) {
+                    self.local.insert(key, point);
+                    continue;
+                }
+                missing_keys.push(key);
+                missing.push(*mode);
+            }
+        }
+        if self.rotation_threads > 1 && missing.len() > 1 {
+            let cpu = self.sim.cpu_config().clone();
+            let mem = *self.sim.memory_config();
+            let apps = &self.apps;
+            let budget = self.budget;
+            let store = &self.store;
+            // A few threads per core, timesliced by the OS: design points
+            // differ widely in cost (a gated point is several rotation
+            // runs), and on small shared hosts letting many points progress
+            // concurrently rebalances around stalls better than a static
+            // assignment of points to workers. The worker count is capped so
+            // a large mode lattice cannot spawn hundreds of threads (and
+            // simulators) at once; surplus points queue behind a shared
+            // cursor. Rotations inside a worker stay sequential — the
+            // point-level workers already cover the cores.
+            let workers = missing.len().min(self.rotation_threads.saturating_mul(4));
+            let jobs: Vec<(RunningMode, CharStoreKey)> =
+                missing.iter().zip(missing_keys.iter()).map(|(m, k)| (*m, self.store_key(*k))).collect();
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let resolved: Vec<Vec<(ModeKey, Arc<CharPoint>)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let cpu = cpu.clone();
+                        let (jobs, cursor) = (&jobs, &cursor);
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            let mut sim: Option<MulticoreSim> = None;
+                            loop {
+                                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some((mode, store_key)) = jobs.get(j) else { break };
+                                let point = store.get_or_compute(store_key.clone(), || {
+                                    let sim = sim.get_or_insert_with(|| MulticoreSim::new(cpu.clone(), mem));
+                                    compute_point(sim, apps, budget, 1, mode)
+                                });
+                                done.push((ModeKey::from_mode(mode), point));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("batch point worker panicked")).collect()
+            });
+            for (key, point) in resolved.into_iter().flatten() {
+                self.local.insert(key, point);
+            }
+        }
+        modes.iter().map(|mode| self.point(mode)).collect()
+    }
+
+    fn store_key(&self, key: ModeKey) -> CharStoreKey {
+        CharStoreKey {
             mix_id: self.mix_id.clone(),
             mode: key,
             budget: self.budget,
             channels: self.sim.memory_config().logical_channels,
             dimms_per_channel: self.sim.memory_config().dimms_per_channel,
             hw_fingerprint: self.hw_fingerprint,
-        };
-        let point = store.get_or_compute(store_key, || self.compute_point(mode));
-        self.local.insert(key, Arc::clone(&point));
-        point
+        }
     }
+}
 
-    fn compute_point(&mut self, mode: &RunningMode) -> CharPoint {
-        if mode.makes_progress() {
-            let active = mode.active_cores.min(self.apps.len()).min(self.sim.cpu_config().cores);
-            if active < self.apps.len() {
-                self.rotation_averaged_point(mode)
-            } else {
-                let m = self.sim.run(&self.apps, mode, self.budget);
-                CharPoint::from_measurement(&m)
-            }
+/// Computes one design point on `sim` (`rotation_threads` only affects
+/// wall-clock, never results).
+fn compute_point(
+    sim: &mut MulticoreSim,
+    apps: &[AppBehavior],
+    budget: u64,
+    rotation_threads: usize,
+    mode: &RunningMode,
+) -> CharPoint {
+    if mode.makes_progress() {
+        let active = mode.active_cores.min(apps.len()).min(sim.cpu_config().cores);
+        if active < apps.len() {
+            rotation_averaged_point(sim, apps, budget, rotation_threads, mode)
         } else {
-            CharPoint::idle(*mode, self.sim.cpu_config().cores, self.sim.memory_config())
+            let m = sim.run(apps, mode, budget);
+            CharPoint::from_measurement(&m)
         }
+    } else {
+        CharPoint::idle(*mode, sim.cpu_config().cores, sim.memory_config())
     }
+}
 
-    fn rotation_averaged_point(&mut self, mode: &RunningMode) -> CharPoint {
-        let n = self.apps.len();
-        let rotations = n.max(1);
-        let cores = self.sim.cpu_config().cores;
-        let budget = (self.budget / rotations as u64).max(1_000);
+/// Characterizes a core-gated mode as the average over all cyclic rotations
+/// of the application list (Section 4.3.1 fairness).
+fn rotation_averaged_point(
+    sim: &mut MulticoreSim,
+    apps: &[AppBehavior],
+    table_budget: u64,
+    rotation_threads: usize,
+    mode: &RunningMode,
+) -> CharPoint {
+    let n = apps.len();
+    let rotations = n.max(1);
+    let cores = sim.cpu_config().cores;
+    let budget = (table_budget / rotations as u64).max(1_000);
 
-        let mut acc: Option<CharPoint> = None;
-        let mut app_share = vec![0.0f64; cores.max(n)];
-        for offset in 0..rotations {
-            let rotated: Vec<_> = (0..n).map(|i| self.apps[(offset + i) % n].clone()).collect();
-            let m = self.sim.run(&rotated, mode, budget);
-            let p = CharPoint::from_measurement(&m);
-            // Attribute each core's share back to the application that was
-            // running on it under this rotation.
-            for (core_pos, share) in p.core_share.iter().enumerate() {
-                let app_index = (offset + core_pos) % n;
-                app_share[app_index] += share / rotations as f64;
-            }
-            acc = Some(match acc {
-                None => p,
-                Some(mut a) => {
-                    a.instr_rate_total += p.instr_rate_total;
-                    a.read_gbps += p.read_gbps;
-                    a.write_gbps += p.write_gbps;
-                    a.ipc_ref_sum += p.ipc_ref_sum;
-                    a.l2_miss_rate += p.l2_miss_rate;
-                    a.l2_misses_per_instr += p.l2_misses_per_instr;
-                    a.bytes_per_instr += p.bytes_per_instr;
-                    for (d, pd) in a.dimm_traffic.iter_mut().zip(p.dimm_traffic.iter()) {
-                        d.local_gbps += pd.local_gbps;
-                        d.bypass_gbps += pd.bypass_gbps;
-                        d.read_fraction += pd.read_fraction;
-                    }
-                    a
+    // Each rotation is an independent, deterministic closed-loop run (fresh
+    // memory system and cores per run), so the rotations fan out across
+    // threads; the results are folded *in rotation order* below, which keeps
+    // every floating-point sum identical to a sequential pass. Applications
+    // are handed to the simulator by reference — the rotated orders borrow
+    // from `apps` instead of cloning the behaviour models once per rotation.
+    let points: Vec<CharPoint> = if rotation_threads > 1 && rotations > 1 {
+        let cpu = sim.cpu_config().clone();
+        let mem = *sim.memory_config();
+        let workers = rotation_threads.min(rotations);
+        let mut slots: Vec<Option<CharPoint>> = (0..rotations).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let cpu = cpu.clone();
+                    scope.spawn(move || {
+                        // One simulator per worker, reused across its
+                        // rotations.
+                        let mut sim = MulticoreSim::new(cpu, mem);
+                        (w..rotations)
+                            .step_by(workers)
+                            .map(|offset| {
+                                let rotated: Vec<&AppBehavior> = (0..n).map(|i| &apps[(offset + i) % n]).collect();
+                                (offset, CharPoint::from_measurement(&sim.run_order(&rotated, mode, budget)))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (offset, point) in handle.join().expect("rotation worker panicked") {
+                    slots[offset] = Some(point);
                 }
-            });
+            }
+        });
+        slots.into_iter().map(|p| p.expect("every rotation computed")).collect()
+    } else {
+        let mut points = Vec::with_capacity(rotations);
+        for offset in 0..rotations {
+            let rotated: Vec<&AppBehavior> = (0..n).map(|i| &apps[(offset + i) % n]).collect();
+            let m = sim.run_order(&rotated, mode, budget);
+            points.push(CharPoint::from_measurement(&m));
         }
-        let mut avg = acc.expect("at least one rotation");
-        let r = rotations as f64;
-        avg.instr_rate_total /= r;
-        avg.read_gbps /= r;
-        avg.write_gbps /= r;
-        avg.ipc_ref_sum /= r;
-        avg.l2_miss_rate /= r;
-        avg.l2_misses_per_instr /= r;
-        avg.bytes_per_instr /= r;
-        for d in avg.dimm_traffic.iter_mut() {
-            d.local_gbps /= r;
-            d.bypass_gbps /= r;
-            d.read_fraction /= r;
+        points
+    };
+    fold_rotations(points, cores, n, mode)
+}
+
+/// Folds per-rotation measurements into one averaged design point. The fold
+/// runs in rotation order with fixed arithmetic, so the result is identical
+/// however the rotations were scheduled.
+fn fold_rotations(points: Vec<CharPoint>, cores: usize, n: usize, mode: &RunningMode) -> CharPoint {
+    let rotations = points.len().max(1);
+    let mut acc: Option<CharPoint> = None;
+    let mut app_share = vec![0.0f64; cores.max(n)];
+    for (offset, p) in points.into_iter().enumerate() {
+        // Attribute each core's share back to the application that was
+        // running on it under this rotation.
+        for (core_pos, share) in p.core_share.iter().enumerate() {
+            let app_index = (offset + core_pos) % n;
+            app_share[app_index] += share / rotations as f64;
         }
-        // Shares are per application; they already average to 1 across apps.
-        app_share.truncate(cores.max(n));
-        avg.core_share = app_share;
-        avg.mode = *mode;
-        avg
+        acc = Some(match acc {
+            None => p,
+            Some(mut a) => {
+                a.instr_rate_total += p.instr_rate_total;
+                a.read_gbps += p.read_gbps;
+                a.write_gbps += p.write_gbps;
+                a.ipc_ref_sum += p.ipc_ref_sum;
+                a.l2_miss_rate += p.l2_miss_rate;
+                a.l2_misses_per_instr += p.l2_misses_per_instr;
+                a.bytes_per_instr += p.bytes_per_instr;
+                for (d, pd) in a.dimm_traffic.iter_mut().zip(p.dimm_traffic.iter()) {
+                    d.local_gbps += pd.local_gbps;
+                    d.bypass_gbps += pd.bypass_gbps;
+                    d.read_fraction += pd.read_fraction;
+                }
+                a
+            }
+        });
     }
+    let mut avg = acc.expect("at least one rotation");
+    let r = rotations as f64;
+    avg.instr_rate_total /= r;
+    avg.read_gbps /= r;
+    avg.write_gbps /= r;
+    avg.ipc_ref_sum /= r;
+    avg.l2_miss_rate /= r;
+    avg.l2_misses_per_instr /= r;
+    avg.bytes_per_instr /= r;
+    for d in avg.dimm_traffic.iter_mut() {
+        d.local_gbps /= r;
+        d.bypass_gbps /= r;
+        d.read_fraction /= r;
+    }
+    // Shares are per application; they already average to 1 across apps.
+    app_share.truncate(cores.max(n));
+    avg.core_share = app_share;
+    avg.mode = *mode;
+    avg
 }
 
 #[cfg(test)]
@@ -589,6 +817,145 @@ mod tests {
         assert_eq!(store.hits(), 0);
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(b.l2_miss_rate > a.l2_miss_rate, "a quarter-size L2 must miss more");
+    }
+
+    #[test]
+    fn batch_points_match_sequential_points_exactly() {
+        let cpu = CpuConfig::paper_quad_core();
+        let full = RunningMode::full_speed(&cpu);
+        let modes = [full, full.with_active_cores(2), full.with_bandwidth_cap_gbps(6.4)];
+        let mut sequential = table();
+        let expected: Vec<_> = modes.iter().map(|m| sequential.point(m)).collect();
+        let mut batched = table();
+        let got = batched.points(&modes);
+        for (a, b) in expected.iter().zip(got.iter()) {
+            assert_eq!(**a, **b, "parallel batch resolution must be bit-identical");
+        }
+        assert_eq!(batched.len(), 3);
+        // A second batch over the same modes is served from the local cache.
+        let again = batched.points(&modes);
+        for (a, b) in got.iter().zip(again.iter()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn batch_points_deduplicate_repeated_modes() {
+        let cpu = CpuConfig::paper_quad_core();
+        let full = RunningMode::full_speed(&cpu);
+        let mut t = table();
+        let got = t.points(&[full, full, full]);
+        assert_eq!(got.len(), 3);
+        assert!(Arc::ptr_eq(&got[0], &got[1]) && Arc::ptr_eq(&got[1], &got[2]));
+        assert_eq!(t.store().misses(), 1, "one computation for three requests");
+    }
+
+    /// A unique temp file path for disk-cache tests.
+    fn temp_cache_path(tag: &str) -> std::path::PathBuf {
+        let unique = format!("memtherm_char_cache_{}_{}_{tag}.jsonl", std::process::id(), {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        });
+        std::env::temp_dir().join(unique)
+    }
+
+    fn disk_table(path: &std::path::Path) -> (Arc<CharStore>, CharacterizationTable) {
+        let store = Arc::new(CharStore::with_disk_cache(path).expect("open disk cache"));
+        let table = CharacterizationTable::with_store(
+            CpuConfig::paper_quad_core(),
+            FbdimmConfig::ddr2_667_paper(),
+            "W1",
+            mixes::w1().apps,
+            15_000,
+            Arc::clone(&store),
+        );
+        (store, table)
+    }
+
+    #[test]
+    fn disk_cache_round_trips_points_bit_exactly_and_eliminates_misses() {
+        let path = temp_cache_path("roundtrip");
+        let cpu = CpuConfig::paper_quad_core();
+        let full = RunningMode::full_speed(&cpu);
+        let modes = [full, full.with_active_cores(2), full.with_bandwidth_cap_gbps(6.4)];
+
+        // First process: cold cache, three misses, entries appended.
+        let (store, mut table) = disk_table(&path);
+        let computed: Vec<_> = modes.iter().map(|m| table.point(m)).collect();
+        assert_eq!(store.misses(), 3);
+        drop(table);
+        drop(store);
+
+        // Second process: warm cache — identical points, zero level-1 work.
+        let (store2, mut table2) = disk_table(&path);
+        assert_eq!(store2.len(), 3, "all entries load at startup");
+        for (mode, original) in modes.iter().zip(computed.iter()) {
+            let reloaded = table2.point(mode);
+            assert_eq!(**original, *reloaded, "disk round-trip must be bit-identical");
+        }
+        assert_eq!(store2.misses(), 0, "a warm disk cache serves every lookup");
+        assert_eq!(store2.hits(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_cache_version_bump_invalidates_cleanly() {
+        let path = temp_cache_path("version");
+        {
+            let (store, mut table) = disk_table(&path);
+            table.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core()));
+            assert_eq!(store.misses(), 1);
+        }
+        // Rewrite the header with a bumped version; entries must be ignored.
+        let body = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = body.lines().collect();
+        let bumped = format!(
+            "{{\"format\": \"memtherm-char-cache\", \"version\": {}}}",
+            crate::sim::diskcache::FORMAT_VERSION + 1
+        );
+        lines[0] = &bumped;
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        let (store, mut table) = disk_table(&path);
+        assert!(store.is_empty(), "a future format version must not be trusted");
+        table.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core()));
+        assert_eq!(store.misses(), 1, "the point is recomputed");
+        drop(table);
+
+        // The invalidated file was rewritten: a third store sees the fresh
+        // entry under the current version again.
+        let (store3, _) = disk_table(&path);
+        assert_eq!(store3.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_cache_entries_of_other_hardware_never_alias() {
+        let path = temp_cache_path("hw");
+        {
+            let (store, mut table) = disk_table(&path);
+            table.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core()));
+            assert_eq!(store.misses(), 1);
+        }
+        // Same mix/budget/geometry, different L2 size: the fingerprint in the
+        // stored key must keep the entry from matching.
+        let store = Arc::new(CharStore::with_disk_cache(&path).expect("open disk cache"));
+        assert_eq!(store.len(), 1, "the entry itself still loads");
+        let mut small_l2 = CpuConfig::paper_quad_core();
+        small_l2.l2.capacity_bytes /= 4;
+        let mut shrunk = CharacterizationTable::with_store(
+            small_l2,
+            FbdimmConfig::ddr2_667_paper(),
+            "W1",
+            mixes::w1().apps,
+            15_000,
+            Arc::clone(&store),
+        );
+        shrunk.point(&RunningMode::full_speed(&CpuConfig::paper_quad_core()));
+        assert_eq!(store.misses(), 1, "different hardware must recompute, not reuse");
+        assert_eq!(store.hits(), 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

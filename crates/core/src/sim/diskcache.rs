@@ -1,0 +1,592 @@
+//! Disk persistence for the level-1 characterization store.
+//!
+//! [`DiskCache`] backs a [`CharStore`](crate::sim::characterize::CharStore)
+//! with an append-only, line-delimited JSON file so characterizations
+//! survive the process: repeated sweeps, examples and CI runs skip level-1
+//! entirely on a warm cache. The container builds offline (no serde), so
+//! both the writer and the reader are hand-rolled:
+//!
+//! * **Format** — line 1 is a header `{"format": "memtherm-char-cache",
+//!   "version": N}`; every further line is one `{"key": {...}, "point":
+//!   {...}}` entry. Appending an entry is a single `write` of one line,
+//!   which keeps concurrent writers from different threads safe behind a
+//!   mutex and makes a torn tail line recoverable (it is simply skipped on
+//!   the next load).
+//! * **Versioning** — a header whose format name or version does not match
+//!   [`FORMAT_VERSION`] invalidates the whole file: the load returns no
+//!   entries and the next append rewrites the file from scratch. Entries
+//!   whose `hw_fingerprint` belongs to a different hardware configuration
+//!   are *not* special-cased — the fingerprint is part of the key, so they
+//!   coexist harmlessly and simply never match.
+//! * **Exactness** — floating-point fields are written with Rust's shortest
+//!   round-trip formatting (`{:?}`), so a reloaded [`CharPoint`] is
+//!   bit-identical to the computed one; malformed or truncated lines are
+//!   skipped rather than failing the load.
+
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use cpu_model::{OperatingPoint, RunningMode};
+use fbdimm_sim::DimmTraffic;
+
+use crate::sim::characterize::{CharPoint, CharStoreKey, ModeKey};
+
+/// Version of the on-disk format; bump on any incompatible layout change.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Format name written into (and required of) the header line.
+const FORMAT_NAME: &str = "memtherm-char-cache";
+
+/// Append-only disk backing of a characterization store.
+#[derive(Debug)]
+pub struct DiskCache {
+    path: PathBuf,
+    /// Open append handle; `None` until the first append. The flag records
+    /// whether the existing file must be rewritten (missing or invalidated).
+    writer: Mutex<(Option<File>, bool)>,
+}
+
+impl DiskCache {
+    /// Opens a disk cache at `path` and loads every valid entry.
+    ///
+    /// A missing file yields an empty cache; a header mismatch (older or
+    /// newer format version) discards the contents and schedules the file to
+    /// be rewritten on the first append.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Self, Vec<(CharStoreKey, CharPoint)>)> {
+        let path = path.as_ref().to_path_buf();
+        let (entries, must_reset) = match std::fs::read_to_string(&path) {
+            Ok(body) => {
+                let mut lines = body.lines();
+                if lines.next().map(header_is_current) == Some(true) {
+                    (lines.filter_map(parse_entry).collect(), false)
+                } else {
+                    (Vec::new(), true)
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => (Vec::new(), true),
+            Err(e) => return Err(e),
+        };
+        Ok((DiskCache { path, writer: Mutex::new((None, must_reset)) }, entries))
+    }
+
+    /// The file the cache persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one computed entry. I/O failures are swallowed: the disk
+    /// cache is an accelerator, and a read-only or full filesystem must not
+    /// break the simulation that produced the point.
+    pub fn append(&self, key: &CharStoreKey, point: &CharPoint) {
+        let line = serialize_entry(key, point);
+        let mut writer = self.writer.lock().expect("disk cache writer poisoned");
+        if writer.0.is_none() {
+            let truncate = writer.1;
+            let file = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .append(!truncate)
+                .write(truncate)
+                .truncate(truncate)
+                .open(&self.path);
+            let mut file = match file {
+                Ok(f) => f,
+                // The reset stays scheduled: a later append retries the open.
+                Err(_) => return,
+            };
+            let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+            if truncate || len == 0 {
+                let header = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
+                if file.write_all(header.as_bytes()).is_err() {
+                    return;
+                }
+            } else {
+                // A previous process may have died mid-append, leaving a torn
+                // tail without a newline; terminate it so the next entry
+                // starts on its own line (the torn line alone is skipped on
+                // load, as documented).
+                let mut tail = [0u8; 1];
+                let ends_with_newline = std::io::Seek::seek(&mut file, std::io::SeekFrom::End(-1))
+                    .and_then(|_| std::io::Read::read_exact(&mut file, &mut tail))
+                    .map(|()| tail[0] == b'\n')
+                    .unwrap_or(true);
+                if std::io::Seek::seek(&mut file, std::io::SeekFrom::End(0)).is_err() {
+                    return;
+                }
+                if !ends_with_newline && file.write_all(b"\n").is_err() {
+                    return;
+                }
+            }
+            writer.1 = false;
+            writer.0 = Some(file);
+        }
+        if let Some(file) = writer.0.as_mut() {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn header_is_current(line: &str) -> bool {
+    let Some(header) = Json::parse(line) else { return false };
+    header.get("format").and_then(Json::as_str) == Some(FORMAT_NAME)
+        && header.get("version").and_then(Json::as_u64) == Some(FORMAT_VERSION)
+}
+
+/// Formats an `f64` so that parsing the text reproduces the exact bits
+/// (Rust's `{:?}` emits the shortest round-trip decimal form).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "inf".to_string()
+    } else {
+        "-inf".to_string()
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn serialize_entry(key: &CharStoreKey, point: &CharPoint) -> String {
+    let core_share: Vec<String> = point.core_share.iter().map(|&s| fmt_f64(s)).collect();
+    let dimms: Vec<String> = point
+        .dimm_traffic
+        .iter()
+        .map(|d| {
+            format!(
+                "[{}, {}, {}, {}, {}]",
+                d.channel,
+                d.dimm,
+                fmt_f64(d.local_gbps),
+                fmt_f64(d.bypass_gbps),
+                fmt_f64(d.read_fraction)
+            )
+        })
+        .collect();
+    let cap = match point.mode.bandwidth_cap {
+        None => "null".to_string(),
+        Some(c) => fmt_f64(c),
+    };
+    format!(
+        concat!(
+            "{{\"key\": {{\"mix\": \"{}\", \"cores\": {}, \"freq_mhz\": {}, \"cap_mbps\": {}, \"budget\": {}, ",
+            "\"channels\": {}, \"dimms_per_channel\": {}, \"hw\": {}}}, ",
+            "\"point\": {{\"active_cores\": {}, \"freq_ghz\": {}, \"voltage\": {}, \"cap\": {}, ",
+            "\"instr_rate\": {}, \"core_share\": [{}], \"read_gbps\": {}, \"write_gbps\": {}, ",
+            "\"dimms\": [{}], \"ipc_ref_sum\": {}, \"l2_miss_rate\": {}, \"l2_mpi\": {}, \"bpi\": {}}}}}\n"
+        ),
+        esc(&key.mix_id),
+        key.mode.active_cores,
+        key.mode.freq_mhz,
+        key.mode.cap_mbps,
+        key.budget,
+        key.channels,
+        key.dimms_per_channel,
+        key.hw_fingerprint,
+        point.mode.active_cores,
+        fmt_f64(point.mode.op.freq_ghz),
+        fmt_f64(point.mode.op.voltage),
+        cap,
+        fmt_f64(point.instr_rate_total),
+        core_share.join(", "),
+        fmt_f64(point.read_gbps),
+        fmt_f64(point.write_gbps),
+        dimms.join(", "),
+        fmt_f64(point.ipc_ref_sum),
+        fmt_f64(point.l2_miss_rate),
+        fmt_f64(point.l2_misses_per_instr),
+        fmt_f64(point.bytes_per_instr),
+    )
+}
+
+fn parse_entry(line: &str) -> Option<(CharStoreKey, CharPoint)> {
+    let entry = Json::parse(line)?;
+    let key = entry.get("key")?;
+    let point = key_sibling_point(&entry)?;
+    let key = CharStoreKey {
+        mix_id: key.get("mix")?.as_str()?.to_string(),
+        mode: ModeKey {
+            active_cores: key.get("cores")?.as_u64()? as usize,
+            freq_mhz: key.get("freq_mhz")?.as_u64()? as u32,
+            cap_mbps: key.get("cap_mbps")?.as_u64()? as u32,
+        },
+        budget: key.get("budget")?.as_u64()?,
+        channels: key.get("channels")?.as_u64()? as usize,
+        dimms_per_channel: key.get("dimms_per_channel")?.as_u64()? as usize,
+        hw_fingerprint: key.get("hw")?.as_u64()?,
+    };
+    Some((key, point))
+}
+
+fn key_sibling_point(entry: &Json) -> Option<CharPoint> {
+    let p = entry.get("point")?;
+    let cap = match p.get("cap")? {
+        Json::Null => None,
+        other => Some(other.as_f64()?),
+    };
+    let core_share = p.get("core_share")?.as_arr()?.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>()?;
+    let mut dimm_traffic = Vec::new();
+    for d in p.get("dimms")?.as_arr()? {
+        let d = d.as_arr()?;
+        if d.len() != 5 {
+            return None;
+        }
+        dimm_traffic.push(DimmTraffic {
+            channel: d[0].as_u64()? as usize,
+            dimm: d[1].as_u64()? as usize,
+            local_gbps: d[2].as_f64()?,
+            bypass_gbps: d[3].as_f64()?,
+            read_fraction: d[4].as_f64()?,
+        });
+    }
+    Some(CharPoint {
+        mode: RunningMode {
+            active_cores: p.get("active_cores")?.as_u64()? as usize,
+            op: OperatingPoint::new(p.get("freq_ghz")?.as_f64()?, p.get("voltage")?.as_f64()?),
+            bandwidth_cap: cap,
+        },
+        instr_rate_total: p.get("instr_rate")?.as_f64()?,
+        core_share,
+        read_gbps: p.get("read_gbps")?.as_f64()?,
+        write_gbps: p.get("write_gbps")?.as_f64()?,
+        dimm_traffic,
+        ipc_ref_sum: p.get("ipc_ref_sum")?.as_f64()?,
+        l2_miss_rate: p.get("l2_miss_rate")?.as_f64()?,
+        l2_misses_per_instr: p.get("l2_mpi")?.as_f64()?,
+        bytes_per_instr: p.get("bpi")?.as_f64()?,
+    })
+}
+
+/// Minimal JSON value: numbers keep their raw text so integers round-trip at
+/// full `u64` precision and floats at full bit precision.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as raw text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(input: &str) -> Option<Json> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b't' => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null", Json::Null),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Option<Json> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    // Accept the JSON number grammar plus the non-standard NaN/inf forms the
+    // writer may emit; `f64::from_str` understands all of them.
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'N' | b'a' | b'i' | b'n' | b'f')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    Some(Json::Num(std::str::from_utf8(&bytes[start..*pos]).ok()?.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos)? == &b']' {
+        *pos += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos)? == &b'}' {
+        *pos += 1;
+        return Some(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos)? != &b'"' {
+            return None;
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos)? != &b':' {
+            return None;
+        }
+        *pos += 1;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_point() -> CharPoint {
+        CharPoint {
+            mode: RunningMode {
+                active_cores: 4,
+                op: OperatingPoint::new(3.2, 1.55),
+                bandwidth_cap: Some(6.4e9 + 0.123456789),
+            },
+            instr_rate_total: 1.234567890123e9,
+            core_share: vec![0.25, 0.3, 0.0, 0.45],
+            read_gbps: 11.31177245,
+            write_gbps: 0.0,
+            dimm_traffic: vec![
+                DimmTraffic { channel: 0, dimm: 0, local_gbps: 0.71, bypass_gbps: 2.13, read_fraction: 1.0 },
+                DimmTraffic { channel: 1, dimm: 3, local_gbps: 0.69, bypass_gbps: 0.0, read_fraction: 0.875 },
+            ],
+            ipc_ref_sum: 0.3333333333333333,
+            l2_miss_rate: 0.7182818284590452,
+            l2_misses_per_instr: 0.0141421356,
+            bytes_per_instr: 9.869604401,
+        }
+    }
+
+    fn sample_key() -> CharStoreKey {
+        CharStoreKey {
+            mix_id: "W1 \"quoted\"\n".to_string(),
+            mode: ModeKey { active_cores: 4, freq_mhz: 3200, cap_mbps: u32::MAX },
+            budget: 120_000,
+            channels: 2,
+            dimms_per_channel: 4,
+            hw_fingerprint: u64::MAX - 12345,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_bit_exactly() {
+        let (key, point) = (sample_key(), sample_point());
+        let line = serialize_entry(&key, &point);
+        let (k2, p2) = parse_entry(line.trim_end()).expect("entry parses");
+        assert_eq!(key, k2, "key round-trip (incl. full-precision u64 fingerprint)");
+        assert_eq!(point, p2, "point round-trip must be bit-identical");
+    }
+
+    #[test]
+    fn nan_and_infinity_round_trip() {
+        let mut point = sample_point();
+        point.bytes_per_instr = f64::INFINITY;
+        point.ipc_ref_sum = f64::NEG_INFINITY;
+        let line = serialize_entry(&sample_key(), &point);
+        let (_, p2) = parse_entry(line.trim_end()).expect("entry parses");
+        assert!(p2.bytes_per_instr.is_infinite() && p2.bytes_per_instr > 0.0);
+        assert!(p2.ipc_ref_sum.is_infinite() && p2.ipc_ref_sum < 0.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        assert!(parse_entry("").is_none());
+        assert!(parse_entry("{\"key\": {}}").is_none());
+        assert!(parse_entry("{\"key\": {\"mix\": \"W1\"}, \"point\": 3}").is_none());
+        assert!(parse_entry("{ truncated").is_none());
+    }
+
+    #[test]
+    fn append_after_torn_tail_starts_a_fresh_line() {
+        let path = std::env::temp_dir().join(format!("diskcache_torn_tail_{}.jsonl", std::process::id()));
+        // A valid header + one valid entry + a torn (newline-less) tail.
+        let valid = serialize_entry(&sample_key(), &sample_point());
+        std::fs::write(
+            &path,
+            format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n{valid}{{\"key\": {{\"mix"),
+        )
+        .unwrap();
+        let (cache, entries) = DiskCache::open(&path).unwrap();
+        assert_eq!(entries.len(), 1, "torn tail is skipped, valid entry loads");
+        let mut other_key = sample_key();
+        other_key.budget += 1;
+        cache.append(&other_key, &sample_point());
+        drop(cache);
+        // The appended entry must not have merged into the torn line.
+        let (_, entries) = DiskCache::open(&path).unwrap();
+        assert_eq!(entries.len(), 2, "appended entry survives a torn predecessor");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_detection_requires_exact_format_and_version() {
+        assert!(header_is_current(&format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}")));
+        assert!(!header_is_current(&format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {}}}", FORMAT_VERSION + 1)));
+        assert!(!header_is_current("{\"format\": \"something-else\", \"version\": 1}"));
+        assert!(!header_is_current("not json"));
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = Json::parse(r#"{"a": [1, 2.5, null, true, false], "b": {"c": "x\tyA"}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\tyA"));
+        assert!(Json::parse("[1, 2").is_none(), "unterminated array");
+        assert!(Json::parse("{\"a\" 1}").is_none(), "missing colon");
+        assert!(Json::parse("[] trailing").is_none(), "trailing garbage");
+    }
+}

@@ -1,12 +1,14 @@
 //! The two-level thermal simulator (Section 4.3.1).
 
 pub mod characterize;
+pub mod diskcache;
 pub mod energy;
 pub mod engine;
 pub mod memspot;
 pub mod modes;
 
 pub use characterize::{CharPoint, CharStore, CharStoreKey, CharacterizationTable, ModeKey};
+pub use diskcache::DiskCache;
 pub use energy::EnergyAccumulator;
 pub use engine::SimEngine;
 pub use memspot::{MemSpot, MemSpotConfig, MemSpotResult, PositionPeak, TempSample};

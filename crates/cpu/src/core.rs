@@ -111,8 +111,22 @@ impl CoreSim {
     /// given the current-to-reference frequency ratio (prefetchers issue
     /// fewer useless requests when the core runs slower).
     pub fn roll_speculative(&mut self, freq_ratio: f64) -> bool {
+        let p = self.speculative_probability(freq_ratio);
+        self.roll_speculative_p(p)
+    }
+
+    /// The per-access speculative-read probability at a frequency ratio —
+    /// constant over a run, so drivers precompute it once and use
+    /// [`Self::roll_speculative_p`] in the loop.
+    pub fn speculative_probability(&self, freq_ratio: f64) -> f64 {
         let p = (self.app.speculative_apki / self.app.l2_apki.max(1e-9)) * freq_ratio.clamp(0.0, 1.0);
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
+        p.clamp(0.0, 1.0)
+    }
+
+    /// [`Self::roll_speculative`] with the probability precomputed via
+    /// [`Self::speculative_probability`].
+    pub fn roll_speculative_p(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
     }
 
     /// Ensures a miss slot is available, stalling the core until the oldest

@@ -8,6 +8,25 @@
 //! throughput are outputs, not inputs. The result, [`RunMeasurement`],
 //! carries exactly the per-design-point quantities the paper's second-level
 //! thermal simulator consumes.
+//!
+//! # Warm-state reuse
+//!
+//! Every run starts from *warmed* shared caches: the active instances' hot
+//! regions are prefilled round-robin so measured miss rates reflect
+//! steady-state contention, not cold-start compulsory misses. That prefill
+//! (`hot_bytes/64` lines per instance — tens of thousands of cache accesses)
+//! depends only on the active instances' hot-region sizes in core order,
+//! *not* on the running mode, so the simulator computes each warmed cache
+//! image once and replays it for every subsequent run with the same key as
+//! a flat-buffer clone (a `memcpy`). A characterization table sweeping many
+//! modes of one mix therefore pays for each distinct prefill exactly once.
+//!
+//! The closed loop itself is allocation-free: the memory system runs in
+//! stats-only mode (no retained completion records), queue back-pressure
+//! lives in a fixed ring, and the next core to advance comes from a cached
+//! min/runner-up schedule instead of a per-access scan.
+
+use std::collections::HashMap;
 
 use fbdimm_sim::{FbdimmConfig, MemRequest, MemorySystem, Picos, RequestKind, TrafficWindow, PS_PER_SEC};
 use workloads::AppBehavior;
@@ -80,11 +99,7 @@ pub struct RunMeasurement {
 impl RunMeasurement {
     /// A run in which nothing executes (memory off or no active cores).
     pub fn idle(mode: RunningMode, cfg: &CpuConfig, mem_cfg: &FbdimmConfig) -> Self {
-        let dimms = (0..mem_cfg.logical_channels)
-            .flat_map(|c| (0..mem_cfg.dimms_per_channel).map(move |d| (c, d)))
-            .map(|(channel, dimm)| fbdimm_sim::DimmTraffic { channel, dimm, ..Default::default() })
-            .collect();
-        let traffic = TrafficWindow { dimms, ..Default::default() };
+        let traffic = TrafficWindow { dimms: mem_cfg.idle_dimm_traffic(), ..Default::default() };
         RunMeasurement {
             mode,
             reference_freq_ghz: cfg.reference_freq_ghz(),
@@ -148,11 +163,37 @@ impl RunMeasurement {
     }
 }
 
+/// Retention state of one warm-start cache image.
+///
+/// Building a warm image from the closed form costs about as much as
+/// cloning one, so cloning on first use would double the cost of one-shot
+/// keys for nothing. A key is merely *marked* on first use; the image is
+/// cloned and kept when the key comes back, and from then on every run
+/// replays it with a flat `memcpy`.
+#[derive(Debug, Clone)]
+enum WarmImage {
+    /// Key used once so far; not worth an image clone yet.
+    SeenOnce,
+    /// Key reused: the warmed caches, replayed on every further run.
+    Stored(Vec<SetAssocCache>),
+}
+
 /// The first-level (architecture) simulator.
 #[derive(Debug, Clone)]
 pub struct MulticoreSim {
     cpu: CpuConfig,
     mem_cfg: FbdimmConfig,
+    /// Warmed shared-cache images, keyed by the active instances' hot-region
+    /// sizes in lines, in core order — the only inputs of the (mode
+    /// independent) warm-start prefill besides the fixed cache geometry.
+    /// Replaying an image into the scratch caches is a flat-buffer `memcpy`,
+    /// so repeat runs skip the prefill entirely; the image itself is only
+    /// retained from a key's second use onward (see [`WarmImage`]).
+    warm_images: HashMap<Vec<u64>, WarmImage>,
+    /// Persistent shared-cache instances the closed loop runs against. Kept
+    /// across runs so a warm start is a copy into already-touched memory
+    /// rather than a fresh multi-megabyte allocation per run.
+    scratch_caches: Vec<SetAssocCache>,
 }
 
 impl MulticoreSim {
@@ -164,7 +205,8 @@ impl MulticoreSim {
     pub fn new(cpu: CpuConfig, mem_cfg: FbdimmConfig) -> Self {
         cpu.validate().expect("invalid CPU configuration");
         mem_cfg.validate().expect("invalid FBDIMM configuration");
-        MulticoreSim { cpu, mem_cfg }
+        let scratch_caches = (0..cpu.l2_count).map(|_| SetAssocCache::new(cpu.l2)).collect();
+        MulticoreSim { cpu, mem_cfg, warm_images: HashMap::new(), scratch_caches }
     }
 
     /// The processor configuration.
@@ -185,6 +227,19 @@ impl MulticoreSim {
     /// non-decreasing time order (arrival times are clamped to the latest
     /// arrival seen, a sub-nanosecond approximation).
     pub fn run(&mut self, apps: &[AppBehavior], mode: &RunningMode, demand_access_budget: u64) -> RunMeasurement {
+        let refs: Vec<&AppBehavior> = apps.iter().collect();
+        self.run_order(&refs, mode, demand_access_budget)
+    }
+
+    /// [`Self::run`] over an explicit application order, borrowed rather
+    /// than cloned — rotation-averaged characterizations re-run the same mix
+    /// under every cyclic order without copying the behaviour models.
+    pub fn run_order(
+        &mut self,
+        apps: &[&AppBehavior],
+        mode: &RunningMode,
+        demand_access_budget: u64,
+    ) -> RunMeasurement {
         let active = mode.active_cores.min(apps.len()).min(self.cpu.cores);
         if active == 0 || !mode.makes_progress() {
             return RunMeasurement::idle(*mode, &self.cpu, &self.mem_cfg);
@@ -192,51 +247,76 @@ impl MulticoreSim {
 
         let mut memory = MemorySystem::new(self.mem_cfg);
         memory.set_bandwidth_cap(mode.bandwidth_cap);
-
-        let mut caches: Vec<SetAssocCache> = (0..self.cpu.l2_count).map(|_| SetAssocCache::new(self.cpu.l2)).collect();
+        // Characterization consumes every completion inline; keep the
+        // controller in stats-only mode so nothing accumulates per access.
+        memory.set_record_completions(false);
 
         let mut cores: Vec<CoreSim> = (0..active)
             .map(|i| {
                 // Give each instance a private 1 TB-aligned slice of the line
                 // address space so footprints never alias.
                 let base = (i as u64 + 1) << 34;
-                CoreSim::new(&apps[i], i, base, 0xD0A0 + i as u64)
+                CoreSim::new(apps[i], i, base, 0xD0A0 + i as u64)
             })
             .collect();
 
-        // Warm start: pre-fill the shared caches with the active instances'
-        // hot regions (interleaved round-robin) so that the measured miss
-        // rates reflect steady-state cache contention rather than cold-start
-        // compulsory misses. Statistics are reset afterwards.
-        {
-            let hot_lines: Vec<u64> = cores.iter().map(|c| (c.app().hot_bytes / 64).max(1)).collect();
-            let max_hot = hot_lines.iter().copied().max().unwrap_or(1);
-            for offset in 0..max_hot {
-                for (i, core) in cores.iter().enumerate() {
-                    if offset < hot_lines[i] {
-                        let cache_idx = self.cpu.l2_of_core(core.core_id);
-                        caches[cache_idx].access(core.absolute_line(offset), false);
-                    }
+        // Warm start: begin from shared caches pre-filled with the active
+        // instances' hot regions (interleaved round-robin) so that measured
+        // miss rates reflect steady-state cache contention rather than
+        // cold-start compulsory misses. The prefill is independent of the
+        // running mode, so the warmed image is built (closed-form) once per
+        // distinct hot-region key; a key seen repeatedly gets its image
+        // retained so later runs replay it into the persistent scratch
+        // caches with a flat `memcpy`. Storing is deferred to the second
+        // use: one-shot keys (a rotation of a mix characterized once) never
+        // pay the multi-megabyte image clone.
+        let hot_lines: Vec<u64> = cores.iter().map(|c| (c.app().hot_bytes / 64).max(1)).collect();
+        match self.warm_images.get(&hot_lines) {
+            Some(WarmImage::Stored(images)) => {
+                for (scratch, image) in self.scratch_caches.iter_mut().zip(images.iter()) {
+                    scratch.copy_state_from(image);
                 }
             }
-            for cache in &mut caches {
-                cache.reset_stats();
+            seen => {
+                let store = matches!(seen, Some(WarmImage::SeenOnce));
+                for (cache_idx, scratch) in self.scratch_caches.iter_mut().enumerate() {
+                    // Entries of this shared cache, in core order — the
+                    // round-robin interleave restricted to one cache visits
+                    // its cores in ascending index order per offset.
+                    let entries: Vec<(u64, u64)> = cores
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| self.cpu.l2_of_core(*i) == cache_idx)
+                        .map(|(i, c)| (c.base_line, hot_lines[i]))
+                        .collect();
+                    scratch.warm_fill_round_robin(&entries);
+                    scratch.reset_stats();
+                }
+                let image = if store { WarmImage::Stored(self.scratch_caches.clone()) } else { WarmImage::SeenOnce };
+                self.warm_images.insert(hot_lines, image);
             }
         }
+        let caches = &mut self.scratch_caches;
 
         let freq = mode.op.freq_ghz;
         let freq_ratio = freq / self.cpu.reference_freq_ghz();
+        let spec_p: Vec<f64> = cores.iter().map(|c| c.speculative_probability(freq_ratio)).collect();
         let mut last_arrival: Picos = 0;
         let mut demand_issued = 0u64;
 
+        // Core schedule: the run advances the core whose local clock is
+        // furthest behind (first index among ties). Only that core's clock
+        // moves, so the minimum is cached together with the runner-up over
+        // the *other* cores; a full rescan happens only when the advanced
+        // core overtakes the runner-up, and scans a compact times array
+        // rather than the core structs. All clocks start at zero.
+        let mut times: Vec<Picos> = vec![0; active];
+        let mut min_idx = 0usize;
+        let (mut runner_time, mut runner_idx) =
+            if active > 1 { (0 as Picos, 1usize) } else { (Picos::MAX, usize::MAX) };
+
         while demand_issued < demand_access_budget {
-            // Advance the core whose local clock is furthest behind.
-            let idx = cores
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.time_ps)
-                .map(|(i, _)| i)
-                .expect("at least one active core");
+            let idx = min_idx;
             let cache_idx = self.cpu.l2_of_core(idx);
             let core = &mut cores[idx];
 
@@ -274,7 +354,7 @@ impl MulticoreSim {
 
             // Speculative / prefetch traffic: a next-line read that does not
             // block the core.
-            if core.roll_speculative(freq_ratio) {
+            if core.roll_speculative_p(spec_p[idx]) {
                 let spec_line = core.absolute_line(access.line.wrapping_add(1));
                 if !caches[cache_idx].access(spec_line, false).is_hit() {
                     last_arrival = last_arrival.max(core.time_ps);
@@ -283,6 +363,30 @@ impl MulticoreSim {
                         core.stats_mut().spec_reads += 1;
                     }
                 }
+            }
+
+            // Re-establish the schedule: `idx` stays the minimum while it
+            // has not passed the cached runner-up (ties resolve to the lower
+            // index, matching a first-minimum scan).
+            let t_new = cores[idx].time_ps;
+            times[idx] = t_new;
+            if t_new > runner_time || (t_new == runner_time && runner_idx < idx) {
+                let (mut best_t, mut best_i) = (Picos::MAX, 0usize);
+                let (mut second_t, mut second_i) = (Picos::MAX, usize::MAX);
+                for (i, &t) in times.iter().enumerate() {
+                    if t < best_t {
+                        second_t = best_t;
+                        second_i = best_i;
+                        best_t = t;
+                        best_i = i;
+                    } else if t < second_t {
+                        second_t = t;
+                        second_i = i;
+                    }
+                }
+                min_idx = best_i;
+                runner_time = second_t;
+                runner_idx = second_i;
             }
         }
 

@@ -165,6 +165,19 @@ impl FbdimmConfig {
         self.logical_channels * self.dimms_per_channel
     }
 
+    /// One all-zero [`DimmTraffic`](crate::stats::DimmTraffic) entry per
+    /// DIMM position, in (channel-major, chain-position) order — the
+    /// canonical traffic split of an idle (or shut-off) memory subsystem,
+    /// shaped exactly like a live [`TrafficWindow::dimms`]
+    /// (crate::stats::TrafficWindow::dimms) so the power model can consume
+    /// either without special cases.
+    pub fn idle_dimm_traffic(&self) -> Vec<crate::stats::DimmTraffic> {
+        (0..self.logical_channels)
+            .flat_map(|c| (0..self.dimms_per_channel).map(move |d| (c, d)))
+            .map(|(channel, dimm)| crate::stats::DimmTraffic { channel, dimm, ..Default::default() })
+            .collect()
+    }
+
     /// Total number of physical DIMMs in the subsystem.
     pub fn physical_dimms(&self) -> usize {
         self.dimm_positions() * self.phys_per_logical
@@ -295,6 +308,17 @@ mod tests {
         let mut cfg = FbdimmConfig::ddr2_667_paper();
         cfg.queue_entries = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn idle_dimm_traffic_covers_every_position_with_zeroes() {
+        let cfg = FbdimmConfig::ddr2_667_paper();
+        let idle = cfg.idle_dimm_traffic();
+        assert_eq!(idle.len(), cfg.dimm_positions());
+        for (i, d) in idle.iter().enumerate() {
+            assert_eq!((d.channel, d.dimm), (i / cfg.dimms_per_channel, i % cfg.dimms_per_channel));
+            assert_eq!((d.local_gbps, d.bypass_gbps, d.read_fraction), (0.0, 0.0, 0.0));
+        }
     }
 
     #[test]

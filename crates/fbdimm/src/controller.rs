@@ -12,8 +12,6 @@
 //! needs: sustained throughput, per-DIMM traffic splits and queueing-induced
 //! latency all emerge from contention on these resources.
 
-use std::collections::BinaryHeap;
-
 use crate::amb::{northbound_latency, southbound_latency};
 use crate::bank::BankGroup;
 use crate::channel::ChannelLinks;
@@ -75,6 +73,104 @@ impl std::fmt::Display for EnqueueError {
 
 impl std::error::Error for EnqueueError {}
 
+/// Fixed-capacity ring of queue-slot release times, kept sorted ascending.
+///
+/// The controller's transaction queue holds at most `queue_entries` slots,
+/// so the ring is allocated once at construction and never grows: freeing
+/// expired slots advances the head pointer, and back-pressure pops the
+/// earliest release time in O(1). Insertion keeps the ring sorted with a
+/// binary search plus an in-ring shift — bounded by the (small, fixed)
+/// queue capacity, with no per-transaction allocation.
+#[derive(Debug, Clone)]
+struct SlotRing {
+    /// Release (finish) times, sorted ascending from `head`. The backing
+    /// array is sized to the next power of two so ring indices wrap with a
+    /// mask instead of a division.
+    slots: Box<[Picos]>,
+    /// `slots.len() - 1` (power-of-two capacity).
+    mask: usize,
+    /// Capacity limit actually honoured (`queue_entries`).
+    capacity: usize,
+    head: usize,
+    len: usize,
+}
+
+impl SlotRing {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let storage = capacity.next_power_of_two();
+        SlotRing { slots: vec![0; storage].into_boxed_slice(), mask: storage - 1, capacity, head: 0, len: 0 }
+    }
+
+    #[inline]
+    fn at(&self, logical: usize) -> Picos {
+        self.slots[(self.head + logical) & self.mask]
+    }
+
+    /// Frees every slot whose release time is at or before `now`.
+    #[inline]
+    fn release_until(&mut self, now: Picos) {
+        while self.len > 0 && self.at(0) <= now {
+            self.head = (self.head + 1) & self.mask;
+            self.len -= 1;
+        }
+    }
+
+    /// Removes and returns the earliest release time.
+    fn pop_earliest(&mut self) -> Option<Picos> {
+        if self.len == 0 {
+            return None;
+        }
+        let t = self.at(0);
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(t)
+    }
+
+    /// Inserts a release time, keeping the ring sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full (the controller pops a slot before pushing
+    /// whenever the queue is at capacity, so this cannot happen in use).
+    fn push(&mut self, t: Picos) {
+        assert!(self.len < self.capacity, "slot ring overflow");
+        // Binary search for the first element greater than `t`.
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.at(mid) <= t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Shift the tail right by one (within the ring) and place `t`.
+        let mut i = self.len;
+        while i > lo {
+            self.slots[(self.head + i) & self.mask] = self.slots[(self.head + i - 1) & self.mask];
+            i -= 1;
+        }
+        self.slots[(self.head + lo) & self.mask] = t;
+        self.len += 1;
+    }
+
+    /// Number of slots still held strictly after `now` — a binary search
+    /// over the sorted ring, constant-bounded by the fixed queue capacity.
+    fn occupied_after(&self, now: Picos) -> usize {
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.at(mid) <= now {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        self.len - lo
+    }
+}
+
 /// The FBDIMM memory controller.
 #[derive(Debug, Clone)]
 pub struct MemoryController {
@@ -83,10 +179,15 @@ pub struct MemoryController {
     banks: Vec<BankGroup>,
     throttle: ActivationThrottle,
     stats: MemoryStats,
-    /// Completion times of transactions still occupying a queue slot,
-    /// ordered as a min-heap (via `Reverse`).
-    queue_slots: BinaryHeap<std::cmp::Reverse<Picos>>,
+    /// Release times of transactions still occupying a queue slot.
+    queue_slots: SlotRing,
+    /// Retained completion records ([`Self::drain_completions`]); not
+    /// populated in stats-only mode.
     completions: Vec<Completion>,
+    /// Whether completion records are retained. Closed-loop callers that
+    /// consume each completion inline (the level-1 characterization runs)
+    /// disable this so the record buffer does not grow unboundedly.
+    record_completions: bool,
     next_id: u64,
     last_arrival: Picos,
     last_finish: Picos,
@@ -109,13 +210,26 @@ impl MemoryController {
             // bandwidth limits of Table 4.3 are meant to act.
             throttle: ActivationThrottle::unlimited(10 * PS_PER_US),
             stats: MemoryStats::new(&cfg),
-            queue_slots: BinaryHeap::new(),
+            queue_slots: SlotRing::new(cfg.queue_entries),
             completions: Vec::new(),
+            record_completions: true,
             next_id: 0,
             last_arrival: 0,
             last_finish: 0,
             cfg,
         }
+    }
+
+    /// Enables or disables completion-record retention (on by default).
+    ///
+    /// With recording off the controller runs in *stats-only* mode:
+    /// [`Self::enqueue_returning`] still hands each completion back to the
+    /// caller, but nothing is retained for [`Self::drain_completions`] — the
+    /// right mode for closed-loop characterization runs, which consume every
+    /// completion inline and would otherwise grow the record buffer by one
+    /// entry per transaction for the whole run.
+    pub fn set_record_completions(&mut self, record: bool) {
+        self.record_completions = record;
     }
 
     /// The configuration the controller was built with.
@@ -144,8 +258,11 @@ impl MemoryController {
     }
 
     /// Number of transactions whose queue slot is still held at time `now`.
+    /// Derived from the sorted slot ring by binary search, so the cost is
+    /// bounded by `log2(queue_entries)` — effectively constant — rather than
+    /// a scan of the whole queue.
     pub fn occupancy_at(&self, now: Picos) -> usize {
-        self.queue_slots.iter().filter(|std::cmp::Reverse(t)| *t > now).count()
+        self.queue_slots.occupied_after(now)
     }
 
     /// Finish time of the most recently scheduled transaction.
@@ -165,6 +282,10 @@ impl MemoryController {
     /// off and [`EnqueueError::OutOfOrderArrival`] if arrival order is
     /// violated.
     pub fn enqueue(&mut self, req: MemRequest) -> Result<RequestId, EnqueueError> {
+        self.schedule(req).map(|c| c.id)
+    }
+
+    fn schedule(&mut self, req: MemRequest) -> Result<Completion, EnqueueError> {
         if self.is_shut_off() {
             return Err(EnqueueError::MemoryShutOff);
         }
@@ -181,16 +302,10 @@ impl MemoryController {
 
         // Queue back-pressure: free slots whose transactions completed before
         // this request arrived, then wait for a slot if still full.
-        while let Some(std::cmp::Reverse(t)) = self.queue_slots.peek() {
-            if *t <= req.arrival_ps {
-                self.queue_slots.pop();
-            } else {
-                break;
-            }
-        }
+        self.queue_slots.release_until(req.arrival_ps);
         let mut start = req.arrival_ps;
-        if self.queue_slots.len() >= self.cfg.queue_entries {
-            if let Some(std::cmp::Reverse(slot_free)) = self.queue_slots.pop() {
+        if self.queue_slots.len >= self.cfg.queue_entries {
+            if let Some(slot_free) = self.queue_slots.pop_earliest() {
                 start = start.max(slot_free);
             }
         }
@@ -225,28 +340,27 @@ impl MemoryController {
         };
 
         self.last_finish = self.last_finish.max(finish);
-        self.queue_slots.push(std::cmp::Reverse(finish));
+        self.queue_slots.push(finish);
         self.stats.record(loc.channel, loc.dimm, req.kind, self.cfg.line_bytes, finish.saturating_sub(req.arrival_ps));
-        self.completions.push(Completion {
-            id,
-            core: req.core,
-            kind: req.kind,
-            arrival_ps: req.arrival_ps,
-            finish_ps: finish,
-        });
-        Ok(id)
+        let completion =
+            Completion { id, core: req.core, kind: req.kind, arrival_ps: req.arrival_ps, finish_ps: finish };
+        if self.record_completions {
+            self.completions.push(completion);
+        }
+        Ok(completion)
     }
 
     /// Enqueues a transaction and returns its completion record directly
-    /// (the completion is *also* retained for [`Self::drain_completions`]).
-    /// This is the interface the closed-loop CPU model uses.
+    /// (the completion is *also* retained for [`Self::drain_completions`]
+    /// unless stats-only mode is active; see
+    /// [`Self::set_record_completions`]). This is the interface the
+    /// closed-loop CPU model uses.
     ///
     /// # Errors
     ///
     /// Same as [`Self::enqueue`].
     pub fn enqueue_returning(&mut self, req: MemRequest) -> Result<Completion, EnqueueError> {
-        self.enqueue(req)?;
-        Ok(*self.completions.last().expect("enqueue just pushed a completion"))
+        self.schedule(req)
     }
 
     /// Removes and returns all completions recorded so far, sorted by finish
@@ -422,5 +536,69 @@ mod tests {
         }
         assert!(mc.occupancy_at(0) > 0);
         assert_eq!(mc.occupancy_at(mc.last_finish_ps()), 0);
+    }
+
+    #[test]
+    fn occupancy_matches_explicit_count_at_every_probe_time() {
+        // The ring-derived occupancy must agree with a brute-force count of
+        // completions still in flight, at arbitrary probe times.
+        let mut mc = controller();
+        for line in 0..200u64 {
+            mc.enqueue(MemRequest::new(line * 7, RequestKind::Read, 0)).unwrap();
+        }
+        let horizon = mc.last_finish_ps();
+        let done = mc.drain_completions();
+        for probe in (0..=10).map(|i| horizon * i / 10) {
+            // Slots freed lazily on enqueue never exceed the in-flight count,
+            // and at/after the horizon both must be zero.
+            let in_flight = done.iter().filter(|c| c.finish_ps > probe).count();
+            assert!(
+                mc.occupancy_at(probe) <= in_flight.min(mc.config().queue_entries),
+                "probe {probe}: occupancy {} vs in-flight {in_flight}",
+                mc.occupancy_at(probe)
+            );
+        }
+        assert_eq!(mc.occupancy_at(horizon), 0);
+    }
+
+    #[test]
+    fn stats_only_mode_matches_recording_mode_exactly() {
+        // Same request stream through a recording and a stats-only
+        // controller: every completion handed back and every statistic must
+        // be identical — only the retained record buffer differs.
+        let mut recording = controller();
+        let mut stats_only = controller();
+        stats_only.set_record_completions(false);
+        for line in 0..5_000u64 {
+            let kind = if line % 5 == 0 { RequestKind::Write } else { RequestKind::Read };
+            let a = recording.enqueue_returning(MemRequest::new(line, kind, 0)).unwrap();
+            let b = stats_only.enqueue_returning(MemRequest::new(line, kind, 0)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(recording.last_finish_ps(), stats_only.last_finish_ps());
+        let horizon = recording.last_finish_ps();
+        assert_eq!(recording.take_window(horizon), stats_only.take_window(horizon));
+        assert_eq!(recording.drain_completions().len(), 5_000);
+        assert!(stats_only.drain_completions().is_empty(), "stats-only mode must not retain records");
+    }
+
+    #[test]
+    fn slot_ring_stays_sorted_under_mixed_traffic() {
+        let mut ring = SlotRing::new(8);
+        for t in [50, 10, 30, 70, 20, 60, 40, 80] {
+            ring.push(t);
+        }
+        assert_eq!(ring.occupied_after(0), 8);
+        assert_eq!(ring.occupied_after(45), 4);
+        assert_eq!(ring.pop_earliest(), Some(10));
+        ring.release_until(40);
+        assert_eq!(ring.pop_earliest(), Some(50));
+        // Refill across the wrapped head to exercise modular shifting.
+        ring.push(55);
+        ring.push(5);
+        assert_eq!(ring.pop_earliest(), Some(5));
+        assert_eq!(ring.occupied_after(54), 4);
+        assert_eq!(ring.occupied_after(55), 3);
+        assert_eq!(ring.occupied_after(100), 0);
     }
 }

@@ -66,6 +66,12 @@ impl MemorySystem {
         self.controller.enqueue_returning(req)
     }
 
+    /// Enables or disables completion-record retention (stats-only mode when
+    /// disabled); see [`MemoryController::set_record_completions`].
+    pub fn set_record_completions(&mut self, record: bool) {
+        self.controller.set_record_completions(record);
+    }
+
     /// Returns all completions recorded so far (sorted by finish time) and
     /// clears the internal completion buffer.
     pub fn run_until_idle(&mut self) -> Vec<Completion> {

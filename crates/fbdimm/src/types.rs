@@ -100,18 +100,23 @@ pub struct DimmLocation {
 /// assert_ne!((a.channel, a.dimm, a.bank), (b.channel, b.dimm, b.bank));
 /// ```
 pub fn map_address(cfg: &FbdimmConfig, line: LineAddr) -> DimmLocation {
-    let channels = cfg.logical_channels as u64;
-    let dimms = cfg.dimms_per_channel as u64;
-    let banks = cfg.banks_per_dimm as u64;
+    // One division pair per level, replaced by mask/shift for the (usual)
+    // power-of-two counts: this runs once per memory transaction of the
+    // closed-loop level-1 simulation.
+    #[inline]
+    fn split(value: u64, count: u64) -> (u64, u64) {
+        if count.is_power_of_two() {
+            (value & (count - 1), value >> count.trailing_zeros())
+        } else {
+            (value % count, value / count)
+        }
+    }
 
-    let channel = (line % channels) as usize;
-    let rest = line / channels;
-    let bank = (rest % banks) as usize;
-    let rest = rest / banks;
-    let dimm = (rest % dimms) as usize;
-    let row = rest / dimms;
+    let (channel, rest) = split(line, cfg.logical_channels as u64);
+    let (bank, rest) = split(rest, cfg.banks_per_dimm as u64);
+    let (dimm, row) = split(rest, cfg.dimms_per_channel as u64);
 
-    DimmLocation { channel, dimm, bank, row }
+    DimmLocation { channel: channel as usize, dimm: dimm as usize, bank: bank as usize, row }
 }
 
 #[cfg(test)]

@@ -61,6 +61,15 @@ pub struct AccessStream {
     rng: SmallRng,
     phase: PhaseModel,
     instructions_so_far: u64,
+    /// `instructions_so_far % phase.period_instructions`, maintained
+    /// incrementally so the per-access phase check costs no division.
+    phase_pos: u64,
+    /// `phase.duty * phase.period_instructions`, precomputed.
+    quiet_threshold: f64,
+    /// Mean access gap (instructions) in the memory-intensive phase.
+    mean_gap_busy: f64,
+    /// Mean access gap in the quiet phase (`mean_gap_busy * quiet factor`).
+    mean_gap_quiet: f64,
     stream_cursor: u64,
     hot_lines: u64,
     stream_lines: u64,
@@ -73,22 +82,37 @@ impl AccessStream {
     pub fn new(app: &AppBehavior, seed: u64) -> Self {
         let hot_lines = (app.hot_bytes / 64).max(1);
         let stream_lines = (app.stream_bytes / 64).max(1);
-        AccessStream {
+        let mut stream = AccessStream {
             app: app.clone(),
             rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             phase: PhaseModel::default(),
             instructions_so_far: 0,
+            phase_pos: 0,
+            quiet_threshold: 0.0,
+            mean_gap_busy: 0.0,
+            mean_gap_quiet: 0.0,
             stream_cursor: 0,
             hot_lines,
             stream_lines,
             accesses_generated: 0,
-        }
+        };
+        stream.cache_phase_constants();
+        stream
     }
 
     /// Overrides the default phase model.
     pub fn with_phase(mut self, phase: PhaseModel) -> Self {
         self.phase = phase;
+        self.cache_phase_constants();
         self
+    }
+
+    /// (Re)derives the per-access constants from the app and phase models.
+    fn cache_phase_constants(&mut self) {
+        self.quiet_threshold = self.phase.duty * self.phase.period_instructions as f64;
+        self.mean_gap_busy = 1000.0 / self.app.l2_apki.max(0.01);
+        self.mean_gap_quiet = self.mean_gap_busy * self.phase.quiet_gap_factor;
+        self.phase_pos = self.instructions_so_far % self.phase.period_instructions;
     }
 
     /// The application this stream models.
@@ -114,17 +138,14 @@ impl AccessStream {
     }
 
     fn in_quiet_phase(&self) -> bool {
-        let pos = self.instructions_so_far % self.phase.period_instructions;
-        pos as f64 > self.phase.duty * self.phase.period_instructions as f64
+        self.phase_pos as f64 > self.quiet_threshold
     }
 
     /// Produces the next demand access.
     pub fn next_access(&mut self) -> StreamAccess {
-        // Mean gap between demand L2 accesses in instructions.
-        let mut mean_gap = 1000.0 / self.app.l2_apki.max(0.01);
-        if self.in_quiet_phase() {
-            mean_gap *= self.phase.quiet_gap_factor;
-        }
+        // Mean gap between demand L2 accesses in instructions (precomputed
+        // per phase — this runs once per access of the closed loop).
+        let mean_gap = if self.in_quiet_phase() { self.mean_gap_quiet } else { self.mean_gap_busy };
         // Geometric-like jitter around the mean, bounded to keep the stream
         // well behaved.
         let jitter: f64 = self.rng.gen_range(0.5..1.5);
@@ -136,12 +157,16 @@ impl AccessStream {
         } else {
             // Sequential walk through the streaming region, offset past the
             // hot region.
-            self.stream_cursor = (self.stream_cursor + 1) % self.stream_lines;
+            self.stream_cursor = if self.stream_cursor + 1 == self.stream_lines { 0 } else { self.stream_cursor + 1 };
             self.hot_lines + self.stream_cursor
         };
         let is_write = self.rng.gen_bool(self.app.write_fraction.clamp(0.0, 1.0));
 
         self.instructions_so_far += gap;
+        self.phase_pos += gap;
+        while self.phase_pos >= self.phase.period_instructions {
+            self.phase_pos -= self.phase.period_instructions;
+        }
         self.accesses_generated += 1;
         StreamAccess { gap_instructions: gap, line, is_write, is_hot }
     }
