@@ -9,6 +9,12 @@
 //! scheduler/noisy-neighbor interference that single-shot wall clocks pick
 //! up on small shared CI runners.
 //!
+//! A `stacked` case then runs 4-high 3D-stack cells through the same
+//! runner so `BENCH_sweep.json` tracks the stacked-scenario axis, and
+//! gates that the per-layer thermal field is actually resolved: the peak
+//! of the inner die (next to the hot base die) must exceed the peak of
+//! the spreader-side outer die by a nonzero margin under load.
+//!
 //! The batch size is a few times the `Smoke` scale: large enough that the
 //! parallelizable window loops dominate the (partly serialized, shared)
 //! level-1 characterizations, which keeps the speedup measurement stable on
@@ -75,6 +81,36 @@ fn main() {
         parallel.char_store_hits, parallel.char_store_misses
     );
 
+    // Stacked-scenario case: 4-high 3D stacks through the same machinery.
+    let stacked_scenarios = vec![
+        SweepScenario::stacked(
+            CoolingConfig::aohs_1_5(),
+            StackKind::stacked4(),
+            workloads::mixes::w1(),
+            vec![PolicySpec::NoLimit, PolicySpec::Ts],
+        ),
+        SweepScenario::stacked(
+            CoolingConfig::fdhs_1_0(),
+            StackKind::stacked4(),
+            workloads::mixes::w6(),
+            vec![PolicySpec::NoLimit],
+        ),
+    ];
+    let stacked_start = std::time::Instant::now();
+    let stacked = SweepRunner::new().run(&stacked_scenarios, make);
+    let stacked_ms = stacked_start.elapsed().as_secs_f64() * 1e3;
+    // Per-layer peak spread of the thermally unconstrained W1 run: inner
+    // die (layer 1, next to the base) vs spreader-side outer die (layer 4).
+    let no_limit = stacked.runs.iter().find(|r| r.policy == "No-limit").expect("stacked baseline");
+    let hot = no_limit.result.hottest_position().expect("stacked peaks");
+    let layer_spread_c = hot.layers_c[1] - hot.layers_c[hot.layers_c.len() - 1];
+    println!(
+        "sweep/stacked_3d_4h                          {:>10.3} ms ({} cells, inner-outer die spread {:.2} degC)",
+        stacked_ms,
+        stacked.runs.len(),
+        layer_spread_c
+    );
+
     let stats = [
         BenchStats {
             label: "sweep/sequential_1_worker".to_string(),
@@ -88,6 +124,7 @@ fn main() {
             min_ms: min(&par_ms),
             iters: PASSES,
         },
+        BenchStats { label: "sweep/stacked_3d_4h".to_string(), mean_ms: stacked_ms, min_ms: stacked_ms, iters: 1 },
     ];
     let metrics = [
         ("cells", cells as f64),
@@ -95,6 +132,8 @@ fn main() {
         ("speedup", speedup),
         ("char_store_hits", parallel.char_store_hits as f64),
         ("char_store_misses", parallel.char_store_misses as f64),
+        ("stacked_cells", stacked.runs.len() as f64),
+        ("stacked_layer_spread_c", layer_spread_c),
     ];
     let path = bench_output_path("BENCH_sweep.json");
     write_bench_json(&path, &stats, &metrics).expect("write BENCH_sweep.json");
@@ -104,6 +143,14 @@ fn main() {
         eprintln!(
             "FAIL: best-of-{PASSES} parallel speedup {speedup:.2}x on {} workers is below the 1.2x gate",
             parallel.threads
+        );
+        std::process::exit(1);
+    }
+    let spread_resolved = layer_spread_c.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !spread_resolved {
+        eprintln!(
+            "FAIL: stacked sweep must resolve a nonzero per-layer peak spread \
+             (inner die hotter than the outer die under load), got {layer_spread_c:.3} degC"
         );
         std::process::exit(1);
     }

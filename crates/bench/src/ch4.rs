@@ -100,7 +100,14 @@ pub fn run_matrix(
     let scenarios: Vec<SweepScenario> = scale
         .ch4_mixes()
         .into_iter()
-        .map(|mix| SweepScenario { cooling, integrated, interaction_degree, mix, specs: all_specs.clone() })
+        .map(|mix| SweepScenario {
+            cooling,
+            integrated,
+            interaction_degree,
+            stack: StackKind::Fbdimm,
+            mix,
+            specs: all_specs.clone(),
+        })
         .collect();
     SweepRunner::new().run(&scenarios, |cooling| scale.memspot_config(cooling)).runs
 }

@@ -1,7 +1,7 @@
 //! Parallel scenario sweep engine.
 //!
 //! A paper-style evaluation is a grid of {cooling configuration × thermal
-//! model × workload mix × DTM scheme} MEMSpot runs. Since the expensive
+//! model × device stack × workload mix × DTM scheme} MEMSpot runs. Since the expensive
 //! level-1 characterizations live in a process-wide
 //! [`CharStore`](memtherm::sim::characterize::CharStore) — keyed by (mix,
 //! mode, budget, geometry), *not* by cooling or policy — every grid cell is
@@ -45,6 +45,9 @@ pub struct SweepScenario {
     pub integrated: bool,
     /// Optional thermal-interaction degree override (integrated model only).
     pub interaction_degree: Option<f64>,
+    /// Device-stack topology each DIMM position holds (the stacked-scenario
+    /// axis: FBDIMM pairs, DDR4/5 rank pairs, 3D stacks).
+    pub stack: StackKind,
     /// The workload mix to run.
     pub mix: WorkloadMix,
     /// The policies to evaluate, in order.
@@ -52,9 +55,16 @@ pub struct SweepScenario {
 }
 
 impl SweepScenario {
-    /// A scenario under the isolated thermal model.
+    /// A scenario under the isolated thermal model with the legacy FBDIMM
+    /// stack.
     pub fn isolated(cooling: CoolingConfig, mix: WorkloadMix, specs: Vec<PolicySpec>) -> Self {
-        SweepScenario { cooling, integrated: false, interaction_degree: None, mix, specs }
+        SweepScenario { cooling, integrated: false, interaction_degree: None, stack: StackKind::Fbdimm, mix, specs }
+    }
+
+    /// A scenario under the isolated thermal model with an explicit device
+    /// stack (rank pairs, 3D stacks).
+    pub fn stacked(cooling: CoolingConfig, stack: StackKind, mix: WorkloadMix, specs: Vec<PolicySpec>) -> Self {
+        SweepScenario { stack, ..Self::isolated(cooling, mix, specs) }
     }
 
     /// Number of grid cells (policy runs) this scenario contains.
@@ -273,7 +283,7 @@ fn run_cell(
     store: &Arc<CharStore>,
 ) -> MatrixRun {
     let scenario = cell.scenario;
-    let mut cfg = make_config(scenario.cooling);
+    let mut cfg = make_config(scenario.cooling).with_stack(scenario.stack);
     if scenario.integrated {
         cfg = cfg.with_integrated(scenario.interaction_degree);
     }
@@ -352,6 +362,34 @@ mod tests {
             let got = parallel_map_chunked(4, chunk, &items, |x| x * x);
             assert_eq!(got, expected, "chunk {chunk}");
         }
+    }
+
+    #[test]
+    fn stacked_scenarios_ride_the_same_grid() {
+        let specs = vec![PolicySpec::NoLimit];
+        let scenarios = vec![
+            SweepScenario::isolated(CoolingConfig::aohs_1_5(), mixes::w1(), specs.clone()),
+            SweepScenario::stacked(CoolingConfig::aohs_1_5(), StackKind::stacked4(), mixes::w1(), specs.clone()),
+            SweepScenario::stacked(CoolingConfig::aohs_1_5(), StackKind::RankPair, mixes::w1(), specs),
+        ];
+        let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
+        let outcome = SweepRunner::with_threads(2).run(&scenarios, make);
+        assert_eq!(outcome.runs.len(), 3);
+        assert_eq!(outcome.runs[0].result.stack, "fbdimm");
+        assert_eq!(outcome.runs[1].result.stack, "3d-4h");
+        assert_eq!(outcome.runs[2].result.stack, "rank-pair");
+        // The 4-high stack resolves five layers per position and heats the
+        // inner die (next to the base) beyond the spreader-side outer die.
+        let stacked = &outcome.runs[1].result;
+        let hot = stacked.hottest_position().expect("peaks exist");
+        assert_eq!(hot.layers_c.len(), 5);
+        assert!(hot.layers_c[1] > hot.layers_c[4], "inner {:.1} vs outer {:.1}", hot.layers_c[1], hot.layers_c[4]);
+        // The rank pair has no buffer die: its AMB maximum is NaN, not 0.0.
+        assert!(outcome.runs[2].result.max_amb_c.is_nan());
+        assert!(outcome.runs[2].result.max_dram_c > 50.0);
+        // Topologies share level-1 characterizations — the store key knows
+        // nothing about the thermal stack.
+        assert!(outcome.char_store_hits > 0, "stacked cells must reuse the mix's level-1 points");
     }
 
     #[test]

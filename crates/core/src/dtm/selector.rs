@@ -58,22 +58,41 @@ impl LevelSelector {
         }
     }
 
-    /// Selects the emergency level for the next interval.
+    /// Selects the emergency level for the next interval. An absent device
+    /// is signalled with a `NaN` temperature (a DDR4/5 rank pair has no
+    /// AMB): it never trips a threshold and is kept out of its PID
+    /// controller, so the decision rests on the devices that exist.
     pub fn select(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> EmergencyLevel {
         // Reaching a TDP always forces the highest emergency level, PID or
-        // not: the chipset's fail-safe throttling stays in charge.
+        // not: the chipset's fail-safe throttling stays in charge. (`NaN >=
+        // tdp` is false, so absent devices cannot force it.)
         if amb_temp_c >= self.limits.amb_tdp_c || dram_temp_c >= self.limits.dram_tdp_c {
             if let Some((amb, dram)) = &mut self.pid {
-                amb.update(amb_temp_c, dt_s);
-                dram.update(dram_temp_c, dt_s);
+                if !amb_temp_c.is_nan() {
+                    amb.update(amb_temp_c, dt_s);
+                }
+                if !dram_temp_c.is_nan() {
+                    dram.update(dram_temp_c, dt_s);
+                }
             }
             return EmergencyLevel::L5;
         }
         match &mut self.pid {
             None => self.thresholds.level(amb_temp_c, dram_temp_c),
             Some((amb_pid, dram_pid)) => {
-                let la = amb_pid.decide_level(amb_temp_c, dt_s, EmergencyLevel::ALL.len());
-                let ld = dram_pid.decide_level(dram_temp_c, dt_s, EmergencyLevel::ALL.len());
+                // A NaN fed into a PID would poison its integral state for
+                // the rest of the run; an absent device contributes the
+                // lowest level instead.
+                let la = if amb_temp_c.is_nan() {
+                    0
+                } else {
+                    amb_pid.decide_level(amb_temp_c, dt_s, EmergencyLevel::ALL.len())
+                };
+                let ld = if dram_temp_c.is_nan() {
+                    0
+                } else {
+                    dram_pid.decide_level(dram_temp_c, dt_s, EmergencyLevel::ALL.len())
+                };
                 EmergencyLevel::from_index(la.max(ld))
             }
         }

@@ -40,10 +40,10 @@ impl DtmPolicy for DtmTs {
     fn decide(&mut self, observation: &ThermalObservation, _dt_s: f64) -> RunningMode {
         if observation.over_tdp(&self.limits) {
             self.shut_down = true;
-        } else if self.shut_down
-            && observation.max_amb_c <= self.limits.amb_trp_c
-            && observation.max_dram_c <= self.limits.dram_trp_c
-        {
+        } else if self.shut_down && observation.released(&self.limits) {
+            // `released` is NaN-safe: a stack with no buffer die (DDR4/5
+            // rank pairs report `max_amb_c = NaN`) releases on the DRAM
+            // condition alone instead of latching shut forever.
             self.shut_down = false;
         }
         if self.shut_down {

@@ -9,15 +9,19 @@
 //!   channel-resolved base API is `FbdimmPowerModel::scene_power`, which
 //!   returns one power breakdown per DIMM position; the hottest-DIMM and
 //!   subsystem-total figures are derived from it.
-//! * **Thermal models** ([`thermal`]): steady-state AMB/DRAM temperatures
+//! * **Thermal models** ([`thermal`]): steady-state device temperatures
 //!   from thermal resistances (Eqs. 3.3–3.4, Table 3.2), first-order dynamic
 //!   temperature (Eq. 3.5), and the integrated model that adds
 //!   processor→memory heating of the DRAM ambient (Eq. 3.6, Table 3.3).
 //!   Both dynamic models implement the
 //!   [`ThermalModel`](crate::thermal::model::ThermalModel) trait, and a
 //!   [`DimmThermalScene`](crate::thermal::scene::DimmThermalScene) tracks an
-//!   RC node pair for **every** DIMM position (channels × DIMMs per
-//!   channel), deriving the hottest DIMM by arg-max instead of assuming it.
+//!   RC node **stack** for every DIMM position (channels × DIMMs per
+//!   channel): the legacy AMB+DRAM pair, DDR4/5-style rank pairs, or
+//!   CoMeT-style 3D stacks whose dies couple vertically through TSV
+//!   resistances ([`StackTopology`](crate::thermal::params::StackTopology)).
+//!   The hottest device is derived by arg-max over positions *and layers*
+//!   instead of being assumed.
 //! * **DTM schemes** ([`dtm`]): thermal shutdown (DTM-TS), bandwidth
 //!   throttling (DTM-BW), adaptive core gating (DTM-ACG), coordinated DVFS
 //!   (DTM-CDVFS) and the combined policy (DTM-COMB), each optionally driven
@@ -94,7 +98,10 @@ pub mod prelude {
     pub use crate::thermal::integrated::IntegratedThermalModel;
     pub use crate::thermal::isolated::IsolatedThermalModel;
     pub use crate::thermal::model::ThermalModel;
-    pub use crate::thermal::params::{AmbientParams, CoolingConfig, HeatSpreader, ThermalLimits, ThermalResistances};
+    pub use crate::thermal::params::{
+        AmbientParams, CoolingConfig, DeviceLayer, DeviceLayerKind, HeatSpreader, StackKind, StackTopology,
+        ThermalLimits, ThermalResistances,
+    };
     pub use crate::thermal::rc::ThermalNode;
     pub use crate::thermal::scene::{DimmThermalScene, PositionTemp, ThermalObservation};
     pub use cpu_model::{CpuConfig, OperatingPoint, PaperCpuPower, ProcessorPowerModel, RunningMode};

@@ -34,8 +34,20 @@ impl AmbPowerModel {
     /// assert!((m.power_watts(0.0, 0.0, true) - 4.0).abs() < 1e-12);
     /// ```
     pub fn power_watts(&self, bypass_gbps: f64, local_gbps: f64, is_last: bool) -> f64 {
-        let idle = if is_last { self.idle_last_watts } else { self.idle_other_watts };
-        idle + self.beta_bypass * bypass_gbps.max(0.0) + self.gamma_local * local_gbps.max(0.0)
+        self.idle_watts(is_last) + self.beta_bypass * bypass_gbps.max(0.0) + self.gamma_local * local_gbps.max(0.0)
+    }
+
+    /// The idle (zero-traffic) term of Equation 3.2 alone. In a 3D-stacked
+    /// topology this is the floor of the base logic die's power — the
+    /// buffer role moves from a discrete AMB onto the stack's bottom layer,
+    /// where [`StackTopology::stacked_3d`](crate::thermal::params::StackTopology::stacked_3d)
+    /// deposits the whole buffer power share.
+    pub fn idle_watts(&self, is_last: bool) -> f64 {
+        if is_last {
+            self.idle_last_watts
+        } else {
+            self.idle_other_watts
+        }
     }
 }
 

@@ -39,6 +39,27 @@ impl DramPowerModel {
     pub fn power_watts(&self, read_gbps: f64, write_gbps: f64) -> f64 {
         self.static_watts + self.alpha_read * read_gbps.max(0.0) + self.alpha_write * write_gbps.max(0.0)
     }
+
+    /// Power of one die of a multi-die device (a DDR4/5 rank or a 3D
+    /// stack's layer) when the accesses interleave evenly across `dies`
+    /// dies: each die carries its share of the static (refresh) power and
+    /// of the throughput-proportional access power.
+    ///
+    /// ```
+    /// use memtherm::power::dram::DramPowerModel;
+    /// let m = DramPowerModel::ddr2_667_1gb();
+    /// let whole = m.power_watts(2.0, 1.0);
+    /// let die = m.per_die_watts(2.0, 1.0, 4);
+    /// assert!((4.0 * die - whole).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is zero.
+    pub fn per_die_watts(&self, read_gbps: f64, write_gbps: f64, dies: usize) -> f64 {
+        assert!(dies > 0, "a device needs at least one die");
+        self.power_watts(read_gbps, write_gbps) / dies as f64
+    }
 }
 
 impl Default for DramPowerModel {

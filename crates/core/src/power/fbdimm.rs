@@ -1,14 +1,17 @@
 //! Whole-subsystem FBDIMM power accounting.
 //!
 //! Combines the per-DIMM DRAM and AMB power models over a traffic window
-//! produced by the memory simulator: per-DIMM power for the thermal model
-//! (which only cares about the hottest DIMM, Section 3.4) and total memory
-//! subsystem power for the energy results (Figure 4.9).
+//! produced by the memory simulator: per-DIMM power for the thermal model,
+//! per-**layer** power for the stack-resolved scene (each position's
+//! buffer/DRAM breakdown splits over its
+//! [`StackTopology`](crate::thermal::params::StackTopology)'s layers), and
+//! total memory subsystem power for the energy results (Figure 4.9).
 
 use fbdimm_sim::{DimmTraffic, TrafficWindow};
 
 use crate::power::amb::AmbPowerModel;
 use crate::power::dram::DramPowerModel;
+use crate::thermal::params::StackTopology;
 
 /// Power of one DIMM position, split into its AMB and DRAM components.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -23,6 +26,13 @@ impl FbdimmPowerBreakdown {
     /// Total power of the DIMM.
     pub fn total_watts(&self) -> f64 {
         self.amb_watts + self.dram_watts
+    }
+
+    /// Splits this position's power over the layers of a device stack:
+    /// one watt figure per layer, conserving the total (`amb_watts +
+    /// dram_watts` flows into the stack, no more, no less).
+    pub fn layer_watts(&self, topology: &StackTopology) -> Vec<f64> {
+        topology.split_watts(self.amb_watts, self.dram_watts)
     }
 }
 
@@ -71,6 +81,28 @@ impl FbdimmPowerModel {
     /// `window.dimms` (channel-major for a full window).
     pub fn scene_power(&self, window: &TrafficWindow, dimms_per_channel: usize) -> Vec<FbdimmPowerBreakdown> {
         self.scene_power_from_traffic(&window.dimms, dimms_per_channel)
+    }
+
+    /// Per-layer watts of one position's device stack: the position's
+    /// buffer/DRAM power split over the topology's layers (a 3D stack
+    /// spreads the DRAM power across its dies and deposits the interface
+    /// power in the base die; a rank pair folds the register power into the
+    /// ranks).
+    pub fn stack_power(&self, traffic: &DimmTraffic, is_last: bool, topology: &StackTopology) -> Vec<f64> {
+        self.dimm_power(traffic, is_last).layer_watts(topology)
+    }
+
+    /// Per-position, per-layer watts for a list of per-DIMM traffic splits:
+    /// [`FbdimmPowerModel::scene_power_from_traffic`] pushed down to layer
+    /// resolution. The flattened sum equals the subsystem total for one
+    /// physical DIMM per position (energy conservation).
+    pub fn scene_stack_power(
+        &self,
+        dimms: &[DimmTraffic],
+        dimms_per_channel: usize,
+        topology: &StackTopology,
+    ) -> Vec<Vec<f64>> {
+        self.scene_power_from_traffic(dimms, dimms_per_channel).iter().map(|p| p.layer_watts(topology)).collect()
     }
 
     /// Power of the hottest DIMM of a traffic window — the quantity the
@@ -193,5 +225,28 @@ mod tests {
     fn breakdown_total_is_sum_of_parts() {
         let b = FbdimmPowerBreakdown { amb_watts: 5.0, dram_watts: 2.0 };
         assert!((b.total_watts() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_power_pushes_scene_power_down_to_layer_resolution() {
+        use crate::thermal::params::{CoolingConfig, StackKind};
+        let model = FbdimmPowerModel::paper_defaults();
+        let topology = StackKind::stacked4().topology(&CoolingConfig::aohs_1_5());
+        let dimms = vec![
+            DimmTraffic { channel: 0, dimm: 0, local_gbps: 1.0, bypass_gbps: 2.0, read_fraction: 0.7 },
+            DimmTraffic { channel: 0, dimm: 1, local_gbps: 0.5, bypass_gbps: 0.0, read_fraction: 0.5 },
+        ];
+        let per_position = model.scene_power_from_traffic(&dimms, 2);
+        let per_layer = model.scene_stack_power(&dimms, 2, &topology);
+        assert_eq!(per_layer.len(), per_position.len());
+        for (i, (layers, breakdown)) in per_layer.iter().zip(&per_position).enumerate() {
+            assert_eq!(layers.len(), topology.depth());
+            // The split conserves the position's power and matches the
+            // single-position entry point.
+            assert!((layers.iter().sum::<f64>() - breakdown.total_watts()).abs() < 1e-12);
+            assert_eq!(layers, &model.stack_power(&dimms[i], dimms[i].dimm + 1 == 2, &topology));
+            // The base die carries the whole buffer (AMB-equivalent) power.
+            assert!((layers[0] - breakdown.amb_watts).abs() < 1e-12);
+        }
     }
 }

@@ -12,6 +12,16 @@
 //!   which keeps concurrent writers from different threads safe behind a
 //!   mutex and makes a torn tail line recoverable (it is simply skipped on
 //!   the next load).
+//! * **Cross-process locking** — every append additionally takes an
+//!   advisory file lock (a `<path>.lock` sibling created with
+//!   `O_CREAT|O_EXCL` semantics via `create_new`, retried in a bounded
+//!   sleep loop), so multiple *processes* sharing one cache file serialize
+//!   their appends and their lazy header initialization instead of racing.
+//!   Stale locks left by a crashed holder are broken after 10 s; if the
+//!   lock cannot be acquired within the 2 s retry budget the append
+//!   proceeds unlocked — the cache is an accelerator and a wedged lock
+//!   file must not stall the simulation (the worst case is a torn line,
+//!   which the loader already skips).
 //! * **Versioning** — a header whose format name or version does not match
 //!   [`FORMAT_VERSION`] invalidates the whole file: the load returns no
 //!   entries and the next append rewrites the file from scratch. Entries
@@ -27,6 +37,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{ErrorKind, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use cpu_model::{OperatingPoint, RunningMode};
 use fbdimm_sim::DimmTraffic;
@@ -43,9 +54,74 @@ const FORMAT_NAME: &str = "memtherm-char-cache";
 #[derive(Debug)]
 pub struct DiskCache {
     path: PathBuf,
+    /// Sibling lock file serializing appends across processes.
+    lock_path: PathBuf,
     /// Open append handle; `None` until the first append. The flag records
     /// whether the existing file must be rewritten (missing or invalidated).
     writer: Mutex<(Option<File>, bool)>,
+}
+
+/// Held advisory lock: the `.lock` file exists while the guard lives and is
+/// removed on drop (including unwinds).
+#[derive(Debug)]
+struct PathLock {
+    path: PathBuf,
+}
+
+impl Drop for PathLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// How long a lock file may sit unmodified before it is considered
+/// abandoned by a crashed holder and broken.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(10);
+
+/// Retry budget for acquiring the lock before proceeding unlocked.
+const LOCK_RETRY_BUDGET: Duration = Duration::from_secs(2);
+
+/// Acquires an advisory cross-process lock at `path` via `create_new`
+/// (`O_EXCL`): only one process can create the file, everyone else retries
+/// in a short sleep loop. Returns `None` when the budget runs out or the
+/// filesystem rejects lock files entirely — callers degrade to unlocked
+/// operation rather than failing.
+fn acquire_path_lock(path: &Path) -> Option<PathLock> {
+    let deadline = Instant::now() + LOCK_RETRY_BUDGET;
+    loop {
+        match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut file) => {
+                // Best effort breadcrumb for humans inspecting a stuck lock.
+                let _ = writeln!(file, "{}", std::process::id());
+                return Some(PathLock { path: path.to_path_buf() });
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                let stale = std::fs::metadata(path)
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|m| m.elapsed().ok())
+                    .is_some_and(|age| age > LOCK_STALE_AFTER);
+                if stale {
+                    // The holder died. Only one breaker may win: atomically
+                    // rename the stale lock aside before deleting it, so a
+                    // second breaker cannot remove the lock a successful
+                    // breaker has already re-created (which would let two
+                    // processes hold it at once). Losers fall through and
+                    // re-enter the `create_new` race.
+                    let aside = path.with_extension(format!("stale.{}", std::process::id()));
+                    if std::fs::rename(path, &aside).is_ok() {
+                        let _ = std::fs::remove_file(&aside);
+                    }
+                    continue;
+                }
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return None,
+        }
+    }
 }
 
 impl DiskCache {
@@ -72,7 +148,8 @@ impl DiskCache {
             Err(e) if e.kind() == ErrorKind::NotFound => (Vec::new(), true),
             Err(e) => return Err(e),
         };
-        Ok((DiskCache { path, writer: Mutex::new((None, must_reset)) }, entries))
+        let lock_path = lock_path_for(&path);
+        Ok((DiskCache { path, lock_path, writer: Mutex::new((None, must_reset)) }, entries))
     }
 
     /// The file the cache persists to.
@@ -80,33 +157,58 @@ impl DiskCache {
         &self.path
     }
 
-    /// Appends one computed entry. I/O failures are swallowed: the disk
-    /// cache is an accelerator, and a read-only or full filesystem must not
-    /// break the simulation that produced the point.
+    /// Appends one computed entry, holding the cross-process advisory lock
+    /// around the write (and around the lazy header initialization, so two
+    /// processes racing to create the file cannot clobber each other's
+    /// entries). I/O failures are swallowed: the disk cache is an
+    /// accelerator, and a read-only or full filesystem must not break the
+    /// simulation that produced the point.
     pub fn append(&self, key: &CharStoreKey, point: &CharPoint) {
         let line = serialize_entry(key, point);
         let mut writer = self.writer.lock().expect("disk cache writer poisoned");
+        // Degrading to an unlocked append on timeout is deliberate (see the
+        // module docs): a wedged lock must not stall the simulation.
+        let _lock = acquire_path_lock(&self.lock_path);
         if writer.0.is_none() {
-            let truncate = writer.1;
-            let file = OpenOptions::new()
-                .create(true)
-                .read(true)
-                .append(!truncate)
-                .write(truncate)
-                .truncate(truncate)
-                .open(&self.path);
+            let mut truncate = writer.1;
+            if truncate {
+                // The file was missing or invalid when *we* loaded, but
+                // another process may have created a valid cache since;
+                // re-check under the lock instead of truncating its entries.
+                if let Ok(body) = std::fs::read_to_string(&self.path) {
+                    if body.lines().next().map(header_is_current) == Some(true) {
+                        truncate = false;
+                    }
+                }
+            }
+            if truncate {
+                // Rewrite the header through a scoped handle; the persistent
+                // handle below is opened in append mode so a concurrent
+                // process's lines can never be overwritten at a stale offset.
+                let rewritten =
+                    OpenOptions::new().create(true).write(true).truncate(true).open(&self.path).and_then(|mut f| {
+                        f.write_all(
+                            format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n").as_bytes(),
+                        )
+                    });
+                if rewritten.is_err() {
+                    // The reset stays scheduled: a later append retries.
+                    return;
+                }
+            }
+            let file = OpenOptions::new().create(true).read(true).append(true).open(&self.path);
             let mut file = match file {
                 Ok(f) => f,
                 // The reset stays scheduled: a later append retries the open.
                 Err(_) => return,
             };
             let len = file.metadata().map(|m| m.len()).unwrap_or(0);
-            if truncate || len == 0 {
+            if len == 0 {
                 let header = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
                 if file.write_all(header.as_bytes()).is_err() {
                     return;
                 }
-            } else {
+            } else if !truncate {
                 // A previous process may have died mid-append, leaving a torn
                 // tail without a newline; terminate it so the next entry
                 // starts on its own line (the torn line alone is skipped on
@@ -130,6 +232,13 @@ impl DiskCache {
             let _ = file.write_all(line.as_bytes());
         }
     }
+}
+
+/// The sibling lock-file path of a cache file (`<path>.lock`).
+fn lock_path_for(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".lock");
+    path.with_file_name(name)
 }
 
 fn header_is_current(line: &str) -> bool {
@@ -569,6 +678,50 @@ mod tests {
         let (_, entries) = DiskCache::open(&path).unwrap();
         assert_eq!(entries.len(), 2, "appended entry survives a torn predecessor");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn path_lock_excludes_while_held_and_releases_on_drop() {
+        let path = std::env::temp_dir().join(format!("diskcache_lock_{}.lock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let guard = acquire_path_lock(&path).expect("first acquire succeeds");
+        // `create_new` semantics: nobody else can create the file while the
+        // guard lives (this is what a second process's acquire loop hits).
+        assert!(OpenOptions::new().write(true).create_new(true).open(&path).is_err());
+        drop(guard);
+        assert!(!path.exists(), "the lock file is removed on release");
+        let guard = acquire_path_lock(&path).expect("re-acquire after release");
+        drop(guard);
+    }
+
+    #[test]
+    fn lock_path_is_a_sibling_of_the_cache_file() {
+        assert_eq!(lock_path_for(Path::new("/tmp/cache.jsonl")), Path::new("/tmp/cache.jsonl.lock"));
+        assert_eq!(lock_path_for(Path::new("cache.jsonl")), Path::new("cache.jsonl.lock"));
+    }
+
+    #[test]
+    fn racing_header_initialization_does_not_clobber_a_foreign_writers_entries() {
+        // The cross-process init race: two caches open the same missing
+        // file, the second to append must detect the now-valid header under
+        // the lock and append instead of truncating the first's entries.
+        let path = temp_path("init_race");
+        let (a, entries) = DiskCache::open(&path).unwrap();
+        assert!(entries.is_empty());
+        let (b, _) = DiskCache::open(&path).unwrap();
+        let mut key_b = sample_key();
+        key_b.budget += 1;
+        b.append(&sample_key(), &sample_point());
+        a.append(&key_b, &sample_point());
+        let (_, entries) = DiskCache::open(&path).unwrap();
+        assert_eq!(entries.len(), 2, "both writers' entries survive the init race");
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("diskcache_{}_{}.jsonl", tag, std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
     }
 
     #[test]

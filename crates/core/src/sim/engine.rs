@@ -2,19 +2,22 @@
 //!
 //! [`SimEngine`] owns the inner loop MEMSpot used to inline: every window it
 //! converts the current design point's per-DIMM traffic into per-position
-//! power (Eqs. 3.1–3.2), advances the channel-resolved
-//! [`DimmThermalScene`] (Eqs. 3.3–3.6), integrates energy and batch
-//! progress, and at every DTM interval hands the active policy a
+//! power (Eqs. 3.1–3.2), advances the stack-resolved [`DimmThermalScene`]
+//! (Eqs. 3.3–3.6, with each position's power split over the configured
+//! [`StackKind`](crate::thermal::params::StackKind)'s layers), integrates
+//! energy and batch progress, and at every DTM interval hands the active
+//! policy a
 //! [`ThermalObservation`](crate::thermal::scene::ThermalObservation) — the
-//! full sensed temperature field with the hottest DIMM derived by arg-max —
-//! instead of two bare floats.
+//! full sensed per-position, per-layer temperature field with the hottest
+//! devices derived by arg-max — instead of two bare floats.
 //!
-//! The loop is allocation-free at steady state: the scene steps with
-//! precomputed RC decay coefficients (no per-window `exp()`), one scratch
-//! observation buffer is refilled per DTM interval, the idle-power vector is
-//! computed once per run, and mode residency is keyed by the quantized
-//! [`ModeKey`] (stringified once per distinct mode after the run) instead of
-//! formatting a `String` every step.
+//! The loop is allocation-free at steady state for any stack depth: the
+//! scene steps with precomputed per-layer RC decay coefficients (no
+//! per-window `exp()`, `depth + 1` of them cached per distinct step
+//! length), one scratch observation buffer is refilled per DTM interval,
+//! the idle-power vector is computed once per run, and mode residency is
+//! keyed by the quantized [`ModeKey`] (stringified once per distinct mode
+//! after the run) instead of formatting a `String` every step.
 //!
 //! [`MemSpot`](crate::sim::memspot::MemSpot) remains the public facade; it
 //! handles characterization-table caching and delegates each run here.
@@ -69,8 +72,11 @@ impl<'a> SimEngine<'a> {
         SimEngine { cpu, mem, power, cpu_power, config }
     }
 
-    /// Builds the thermal scene the run steps: one RC node pair per DIMM
-    /// position, under the configured ambient model.
+    /// Builds the thermal scene the run steps: one RC node **stack** per
+    /// DIMM position (the configured [`StackKind`]'s topology), under the
+    /// configured ambient model.
+    ///
+    /// [`StackKind`]: crate::thermal::params::StackKind
     pub fn make_scene(&self) -> DimmThermalScene {
         let mut params = if self.config.integrated {
             let mut p = AmbientParams::integrated(&self.config.cooling);
@@ -84,12 +90,13 @@ impl<'a> SimEngine<'a> {
         if let Some(inlet) = self.config.ambient_override_c {
             params.system_inlet_c = inlet;
         }
-        DimmThermalScene::new(
+        DimmThermalScene::with_topology(
             self.mem.logical_channels,
             self.mem.dimms_per_channel,
             self.config.cooling,
             self.config.limits,
             params,
+            self.config.stack.topology(&self.config.cooling),
         )
     }
 
@@ -263,11 +270,20 @@ impl<'a> SimEngine<'a> {
         let position_peaks = scene
             .position_peaks()
             .into_iter()
-            .map(|p| PositionPeak { channel: p.channel, dimm: p.dimm, max_amb_c: p.amb_c, max_dram_c: p.dram_c })
+            .enumerate()
+            .map(|(i, p)| PositionPeak {
+                channel: p.channel,
+                dimm: p.dimm,
+                max_amb_c: p.amb_c,
+                max_dram_c: p.dram_c,
+                hottest_layer: p.hottest_layer,
+                layers_c: scene.layer_peaks_of(i).to_vec(),
+            })
             .collect();
 
         MemSpotResult {
             workload: mix.id.clone(),
+            stack: self.config.stack.label(),
             policy: policy.name(),
             scheme: policy.scheme(),
             completed: batch.is_complete(),

@@ -5,13 +5,15 @@
 //! in [`SimEngine`](crate::sim::engine::SimEngine): every window it looks up
 //! the level-1 characterization of the current running mode, advances batch
 //! progress, converts the per-DIMM memory traffic to per-position DRAM/AMB
-//! power (Eqs. 3.1–3.2), steps the channel-resolved
+//! power (Eqs. 3.1–3.2), steps the stack-resolved
 //! [`DimmThermalScene`](crate::thermal::scene::DimmThermalScene)
-//! (Eqs. 3.3–3.6) and integrates energy. Every DTM interval the active
-//! policy reads a
+//! (Eqs. 3.3–3.6; the configured
+//! [`StackKind`](crate::thermal::params::StackKind) decides whether each
+//! position is an FBDIMM pair, a DDR4/5 rank pair or a 3D stack) and
+//! integrates energy. Every DTM interval the active policy reads a
 //! [`ThermalObservation`](crate::thermal::scene::ThermalObservation) of the
-//! whole temperature field and chooses the running mode for the next
-//! interval.
+//! whole per-position, per-layer temperature field and chooses the running
+//! mode for the next interval.
 //!
 //! [`MemSpot`] is the public facade: it owns the hardware models, backs its
 //! level-1 characterizations with a [`CharStore`] — private by default,
@@ -29,7 +31,8 @@ use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::power::fbdimm::FbdimmPowerModel;
 use crate::sim::characterize::{CharStore, CharacterizationTable};
 use crate::sim::engine::SimEngine;
-use crate::thermal::params::{CoolingConfig, ThermalLimits};
+use crate::thermal::params::{CoolingConfig, StackKind, ThermalLimits};
+use crate::thermal::scene::f64_eq_nan;
 
 /// Configuration of a MEMSpot run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +71,9 @@ pub struct MemSpotConfig {
     /// The Chapter 5 server emulation uses this to apply the measured room /
     /// hot-box ambient temperatures.
     pub ambient_override_c: Option<f64>,
+    /// The device stack each DIMM position holds: the paper's AMB+DRAM
+    /// FBDIMM pair (default), a DDR4/5-style rank pair, or a 3D stack.
+    pub stack: StackKind,
 }
 
 impl MemSpotConfig {
@@ -91,6 +97,7 @@ impl MemSpotConfig {
             temp_trace_interval_s: 1.0,
             record_temp_trace: false,
             ambient_override_c: None,
+            stack: StackKind::Fbdimm,
         }
     }
 
@@ -127,14 +134,22 @@ impl MemSpotConfig {
         self.interaction_degree = degree;
         self
     }
+
+    /// Returns a copy whose DIMM positions hold the given device stack.
+    pub fn with_stack(mut self, stack: StackKind) -> Self {
+        self.stack = stack;
+        self
+    }
 }
 
-/// One sample of the recorded temperature trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One sample of the recorded temperature trace. Equality is NaN-aware on
+/// `amb_c` (bufferless stacks sample `NaN`).
+#[derive(Debug, Clone, Copy)]
 pub struct TempSample {
     /// Simulated time in seconds.
     pub time_s: f64,
-    /// Hottest AMB temperature across the DIMM positions, °C.
+    /// Hottest buffer (AMB / base-die) temperature across the DIMM
+    /// positions, °C. `NaN` when the stack has no buffer layer.
     pub amb_c: f64,
     /// Hottest DRAM temperature across the DIMM positions, °C.
     pub dram_c: f64,
@@ -146,24 +161,56 @@ pub struct TempSample {
     pub freq_ghz: f64,
 }
 
-/// Peak temperatures of one DIMM position over a run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+impl PartialEq for TempSample {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s == other.time_s
+            && f64_eq_nan(self.amb_c, other.amb_c)
+            && self.dram_c == other.dram_c
+            && self.ambient_c == other.ambient_c
+            && self.active_cores == other.active_cores
+            && self.freq_ghz == other.freq_ghz
+    }
+}
+
+/// Peak temperatures of one DIMM position's device stack over a run.
+/// Equality is NaN-aware on `max_amb_c` (bufferless stacks).
+#[derive(Debug, Clone)]
 pub struct PositionPeak {
     /// Logical channel index.
     pub channel: usize,
     /// DIMM position along the chain (0 = closest to the controller).
     pub dimm: usize,
-    /// Maximum AMB temperature observed at this position, °C.
+    /// Maximum buffer (AMB / base-die) temperature observed at this
+    /// position, °C. `NaN` when the stack has no buffer layer.
     pub max_amb_c: f64,
-    /// Maximum DRAM temperature observed at this position, °C.
+    /// Maximum DRAM-layer temperature observed at this position, °C.
     pub max_dram_c: f64,
+    /// Index of the layer whose peak was the hottest of the stack.
+    pub hottest_layer: usize,
+    /// Per-layer peak temperatures, in stack order (bottom to top).
+    pub layers_c: Vec<f64>,
 }
 
-/// Result of one MEMSpot run.
-#[derive(Debug, Clone, PartialEq)]
+impl PartialEq for PositionPeak {
+    fn eq(&self, other: &Self) -> bool {
+        self.channel == other.channel
+            && self.dimm == other.dimm
+            && f64_eq_nan(self.max_amb_c, other.max_amb_c)
+            && self.max_dram_c == other.max_dram_c
+            && self.hottest_layer == other.hottest_layer
+            && self.layers_c == other.layers_c
+    }
+}
+
+/// Result of one MEMSpot run. Equality is NaN-aware on `max_amb_c` (and on
+/// the NaN-able fields of the nested peak/trace types), so bit-identical
+/// bufferless-stack runs compare equal.
+#[derive(Debug, Clone)]
 pub struct MemSpotResult {
     /// Workload mix identifier.
     pub workload: String,
+    /// Device-stack topology label ("fbdimm", "rank-pair", "3d-4h", ...).
+    pub stack: String,
     /// Policy name (e.g. `"DTM-ACG+PID"`).
     pub policy: String,
     /// Scheme of the policy.
@@ -188,7 +235,8 @@ pub struct MemSpotResult {
     pub avg_cpu_power_w: f64,
     /// Average memory ambient (inlet) temperature, °C.
     pub avg_ambient_c: f64,
-    /// Maximum AMB temperature observed anywhere, °C.
+    /// Maximum buffer (AMB / base-die) temperature observed anywhere, °C.
+    /// `NaN` for stacks with no buffer layer.
     pub max_amb_c: f64,
     /// Maximum DRAM temperature observed anywhere, °C.
     pub max_dram_c: f64,
@@ -199,6 +247,30 @@ pub struct MemSpotResult {
     /// Per-DIMM-position peak temperatures (channel-resolved thermal
     /// field); `max_amb_c` / `max_dram_c` are the maxima over this list.
     pub position_peaks: Vec<PositionPeak>,
+}
+
+impl PartialEq for MemSpotResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.workload == other.workload
+            && self.stack == other.stack
+            && self.policy == other.policy
+            && self.scheme == other.scheme
+            && self.completed == other.completed
+            && self.running_time_s == other.running_time_s
+            && self.total_instructions == other.total_instructions
+            && self.total_memory_bytes == other.total_memory_bytes
+            && self.total_l2_misses == other.total_l2_misses
+            && self.memory_energy_j == other.memory_energy_j
+            && self.cpu_energy_j == other.cpu_energy_j
+            && self.avg_memory_power_w == other.avg_memory_power_w
+            && self.avg_cpu_power_w == other.avg_cpu_power_w
+            && self.avg_ambient_c == other.avg_ambient_c
+            && f64_eq_nan(self.max_amb_c, other.max_amb_c)
+            && self.max_dram_c == other.max_dram_c
+            && self.mode_residency == other.mode_residency
+            && self.temp_trace == other.temp_trace
+            && self.position_peaks == other.position_peaks
+    }
 }
 
 impl MemSpotResult {
@@ -235,11 +307,12 @@ impl MemSpotResult {
         self.cpu_energy_j / baseline.cpu_energy_j
     }
 
-    /// The peak entry of the hottest DIMM position (by AMB temperature).
+    /// The peak entry of the hottest DIMM position — by buffer temperature
+    /// when the stack has one, by the hottest layer peak otherwise
+    /// (NaN-safe for bufferless rank pairs).
     pub fn hottest_position(&self) -> Option<&PositionPeak> {
-        self.position_peaks
-            .iter()
-            .max_by(|a, b| a.max_amb_c.partial_cmp(&b.max_amb_c).unwrap_or(std::cmp::Ordering::Equal))
+        let rank = |p: &PositionPeak| if p.max_amb_c.is_nan() { p.layers_c[p.hottest_layer] } else { p.max_amb_c };
+        self.position_peaks.iter().max_by(|a, b| rank(a).partial_cmp(&rank(b)).unwrap_or(std::cmp::Ordering::Equal))
     }
 }
 

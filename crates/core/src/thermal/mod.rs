@@ -1,4 +1,39 @@
-//! FBDIMM thermal models (Sections 3.4 and 3.5).
+//! FBDIMM thermal models (Sections 3.4 and 3.5), generalized to device
+//! stacks.
+//!
+//! The substrate is the first-order RC node of Equation 3.5 ([`rc`]). The
+//! paper composes two of them — one AMB, one DRAM — through the measured
+//! Table 3.2 Ψ resistances; [`params::StackTopology`] lifts that pattern
+//! into an ordered stack of [`params::DeviceLayer`]s per DIMM position with
+//! an N×N Ψ coupling matrix, and [`scene::DimmThermalScene`] integrates one
+//! such stack per position (all sharing the memory-ambient node of
+//! Equation 3.6). Three families of topologies are built in:
+//!
+//! * **FBDIMM** ([`StackKind::Fbdimm`]) — the paper's AMB + DRAM pair,
+//!   carrying Table 3.2 verbatim. This is the two-layer instance of the
+//!   general machinery and reproduces the pre-stack trajectories
+//!   bit-identically.
+//! * **DDR4/5 rank pairs** ([`StackKind::RankPair`]) — two DRAM ranks on
+//!   one module, no buffer die; the ranks couple through the PCB.
+//!   Observations of such a scene report a `NaN` AMB maximum (there is no
+//!   AMB), and every limit check is NaN-safe.
+//! * **3D stacks** ([`StackKind::Stacked3d`]) — a base logic/interface die
+//!   plus N DRAM dies coupled vertically through TSV-field resistances,
+//!   after the interval-thermal-simulation methodology of CoMeT
+//!   (arXiv:2109.12405, PAPERS.md), which models 2D/2.5D/3D
+//!   processor-memory systems with per-layer thermal nodes, and the 3-D
+//!   memory-integration analysis of arXiv:1109.0708, which motivates
+//!   modeling vertical heat coupling between stacked dies: dies buried
+//!   next to the hot base die run measurably hotter than the die under the
+//!   heat spreader, so a hottest-*layer* arg-max (not a fixed AMB/DRAM
+//!   pair) decides thermal emergencies. The ladder Ψ matrices are exact
+//!   steady-state solutions (conductance-matrix inversion), so the scene's
+//!   RC dynamics relax to the true superposition temperatures.
+//!
+//! The single-DIMM models ([`isolated`], [`integrated`]) remain as the
+//! legacy reference implementations behind the [`model::ThermalModel`]
+//! trait; the scene's regression tests pin its FBDIMM instance against
+//! them.
 
 pub mod integrated;
 pub mod isolated;
@@ -10,6 +45,9 @@ pub mod scene;
 pub use integrated::IntegratedThermalModel;
 pub use isolated::IsolatedThermalModel;
 pub use model::ThermalModel;
-pub use params::{AmbientParams, CoolingConfig, HeatSpreader, ThermalLimits, ThermalResistances};
+pub use params::{
+    AmbientParams, CoolingConfig, DeviceLayer, DeviceLayerKind, HeatSpreader, StackKind, StackTopology, ThermalLimits,
+    ThermalResistances,
+};
 pub use rc::ThermalNode;
 pub use scene::{DimmThermalScene, PositionTemp, ThermalObservation};

@@ -1,69 +1,132 @@
-//! Channel-resolved thermal scene: one RC node pair per DIMM position.
+//! Stack-resolved thermal scene: one RC node **stack** per DIMM position.
 //!
-//! The paper's two-level simulator tracks only the *hottest* DIMM
-//! (Section 4.3.1), but the memory simulator already reports per-position
-//! traffic and the power model already computes per-position power. A
-//! [`DimmThermalScene`] keeps an AMB/DRAM thermal node pair for **every**
-//! DIMM position (logical channels × DIMMs per channel), all breathing the
-//! same memory-ambient air, and derives the hottest DIMM by arg-max instead
-//! of assuming it. Because each position integrates the same Equations
-//! 3.3–3.6 the legacy single-model trajectory falls out as the scene's
-//! maximum whenever one position carries the worst-case power — which is the
-//! regression contract the `scene_matches_legacy` tests pin down.
+//! The paper's two-level simulator tracks a single AMB+DRAM pair for the
+//! hottest DIMM (Section 4.3.1). A [`DimmThermalScene`] generalizes that
+//! twice over:
 //!
-//! The scene also produces the [`ThermalObservation`] the DTM policies
-//! consume: maximum device temperatures (what a global policy throttles on),
-//! the full per-position temperature field (what future per-DIMM policies
-//! need) and the derived hottest positions.
+//! * **Across positions** — every DIMM position (logical channels × DIMMs
+//!   per channel) integrates its own temperatures from its own power, all
+//!   breathing the same memory-ambient air, and the hottest device is
+//!   derived by arg-max instead of assumed.
+//! * **Across layers** — each position holds an ordered
+//!   [`StackTopology`](crate::thermal::params::StackTopology) of
+//!   [`DeviceLayer`](crate::thermal::params::DeviceLayer) nodes: the legacy
+//!   AMB+DRAM pair, a DDR4/5-style rank pair with no buffer die, or a
+//!   CoMeT-style 3D stack whose dies couple vertically through TSV
+//!   resistances and heat each other. Layer temperatures follow the same
+//!   Equation 3.5 RC dynamics toward steady states given by the topology's
+//!   Ψ coupling matrix (Eqs. 3.3–3.4 generalized to N layers).
+//!
+//! The FBDIMM topology is the two-layer instance of the general machinery
+//! and reproduces the pre-stack trajectories **bit-identically** (pinned by
+//! `tests/scene_regression.rs` and the bit-pattern golden in
+//! `tests/stack_regression.rs`).
+//!
+//! The scene produces the [`ThermalObservation`] the DTM policies consume:
+//! maximum device temperatures (NaN-safe — a stack with no buffer die has
+//! no AMB maximum), the full per-position × per-layer temperature field,
+//! and the derived hottest positions and layers.
 
 use fbdimm_sim::FbdimmConfig;
 
 use crate::power::fbdimm::FbdimmPowerBreakdown;
-use crate::thermal::params::{AmbientParams, CoolingConfig, ThermalLimits, ThermalResistances};
+use crate::thermal::params::{AmbientParams, CoolingConfig, DeviceLayerKind, StackTopology, ThermalLimits};
 use crate::thermal::rc::ThermalNode;
 
-/// Temperatures of one DIMM position.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// NaN-aware `f64` equality: a `NaN` buffer maximum is a regular value
+/// ("this stack has no buffer die"), so two observations of the same
+/// bufferless scene must compare equal instead of `NaN != NaN` poisoning
+/// every derived comparison.
+pub(crate) fn f64_eq_nan(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+/// Temperature summary of one DIMM position's device stack.
+#[derive(Debug, Clone, Copy)]
 pub struct PositionTemp {
     /// Logical channel index.
     pub channel: usize,
     /// DIMM position along the chain (0 = closest to the controller).
     pub dimm: usize,
-    /// AMB temperature, °C.
+    /// Buffer-layer (AMB / base-die) temperature, °C. `NaN` when the stack
+    /// has no buffer layer (DDR4/5 rank pairs).
     pub amb_c: f64,
-    /// DRAM temperature, °C.
+    /// Hottest DRAM-layer temperature of the stack, °C.
     pub dram_c: f64,
+    /// Index of the hottest layer in the stack (arg-max over all layers).
+    pub hottest_layer: usize,
+    /// Temperature of that hottest layer, °C.
+    pub hottest_layer_c: f64,
+}
+
+impl PartialEq for PositionTemp {
+    fn eq(&self, other: &Self) -> bool {
+        self.channel == other.channel
+            && self.dimm == other.dimm
+            && f64_eq_nan(self.amb_c, other.amb_c)
+            && self.dram_c == other.dram_c
+            && self.hottest_layer == other.hottest_layer
+            && self.hottest_layer_c == other.hottest_layer_c
+    }
 }
 
 /// What a DTM policy sees at a decision point: the sensed temperature field
 /// of the memory subsystem.
 ///
 /// Policies that act globally (all of Chapter 4's schemes) read the maxima;
-/// the per-position field is carried alongside so spatially aware policies
-/// can be written against the same interface.
-#[derive(Debug, Clone, PartialEq)]
+/// the per-position and per-layer fields are carried alongside so spatially
+/// aware policies can be written against the same interface.
+///
+/// Equality is NaN-aware on the fields where `NaN` is a meaningful value
+/// (`max_amb_c` for bufferless stacks, `ambient_c` for synthesized
+/// observations), so identical observations always compare equal.
+#[derive(Debug, Clone)]
 pub struct ThermalObservation {
-    /// Hottest AMB temperature across all DIMM positions, °C.
+    /// Hottest buffer (AMB / base-die) temperature across all positions,
+    /// °C. `NaN` when the scene's stacks have no buffer layer — use
+    /// [`ThermalObservation::max_amb_opt`] for Option-style access; all
+    /// limit checks on this struct treat `NaN` as "no such device" rather
+    /// than reporting 0.0 as a hot (or cold) spot.
     pub max_amb_c: f64,
-    /// Hottest DRAM temperature across all DIMM positions, °C.
+    /// Hottest DRAM temperature across all positions and DRAM layers, °C.
     pub max_dram_c: f64,
     /// Memory ambient (DIMM inlet) temperature, °C. `NaN` when the
     /// observation was synthesized from scalar device sensors that cannot
     /// see the ambient ([`ThermalObservation::from_hottest`]).
     pub ambient_c: f64,
-    /// `(channel, dimm)` of the position with the hottest AMB, if any.
+    /// `(channel, dimm)` of the position with the hottest buffer, if any.
     pub hottest_amb: Option<(usize, usize)>,
-    /// `(channel, dimm)` of the position with the hottest DRAM, if any.
+    /// `(channel, dimm)` of the position with the hottest DRAM layer, if any.
     pub hottest_dram: Option<(usize, usize)>,
-    /// The full per-position temperature field (empty when the observation
-    /// was synthesized from scalar sensors).
+    /// The per-position stack summaries (empty when the observation was
+    /// synthesized from scalar sensors).
     pub positions: Vec<PositionTemp>,
+    /// Number of layers per stack (0 for synthesized observations).
+    pub layer_depth: usize,
+    /// Flat per-layer temperature field, position-major: the stack of
+    /// `positions[i]` occupies `layer_temps_c[i*layer_depth..(i+1)*layer_depth]`.
+    pub layer_temps_c: Vec<f64>,
+}
+
+impl PartialEq for ThermalObservation {
+    fn eq(&self, other: &Self) -> bool {
+        f64_eq_nan(self.max_amb_c, other.max_amb_c)
+            && self.max_dram_c == other.max_dram_c
+            && f64_eq_nan(self.ambient_c, other.ambient_c)
+            && self.hottest_amb == other.hottest_amb
+            && self.hottest_dram == other.hottest_dram
+            && self.positions == other.positions
+            && self.layer_depth == other.layer_depth
+            && self.layer_temps_c == other.layer_temps_c
+    }
 }
 
 impl ThermalObservation {
     /// Builds an observation from scalar hottest-device temperatures, with
     /// no per-position field. This is what a pair of physical sensors (or a
-    /// unit test) provides. `ambient_c` is `NaN` — the sensors cannot see
+    /// unit test) provides; a sensor board with no buffer device passes
+    /// `f64::NAN` for `max_amb_c` and every limit check on the observation
+    /// stays well-defined. `ambient_c` is `NaN` — the sensors cannot see
     /// the ambient; use [`ThermalObservation::with_ambient_c`] when the
     /// caller knows it.
     pub fn from_hottest(max_amb_c: f64, max_dram_c: f64) -> Self {
@@ -74,6 +137,8 @@ impl ThermalObservation {
             hottest_amb: None,
             hottest_dram: None,
             positions: Vec::new(),
+            layer_depth: 0,
+            layer_temps_c: Vec::new(),
         }
     }
 
@@ -83,33 +148,50 @@ impl ThermalObservation {
         self
     }
 
-    /// Whether either maximum reaches its thermal design point.
+    /// The hottest buffer temperature, or `None` when the observed stacks
+    /// have no buffer layer (`max_amb_c` is `NaN`).
+    pub fn max_amb_opt(&self) -> Option<f64> {
+        if self.max_amb_c.is_nan() {
+            None
+        } else {
+            Some(self.max_amb_c)
+        }
+    }
+
+    /// Whether either maximum reaches its thermal design point. `NaN`
+    /// maxima (absent devices) never trip a limit.
     pub fn over_tdp(&self, limits: &ThermalLimits) -> bool {
         self.max_amb_c >= limits.amb_tdp_c || self.max_dram_c >= limits.dram_tdp_c
     }
-}
 
-#[derive(Debug, Clone)]
-struct ScenePosition {
-    channel: usize,
-    dimm: usize,
-    amb: ThermalNode,
-    dram: ThermalNode,
-    peak_amb_c: f64,
-    peak_dram_c: f64,
+    /// Whether every present device has cooled to (or below) its thermal
+    /// release point — the DTM-TS re-enable condition. `NaN` maxima
+    /// (absent devices) count as released.
+    pub fn released(&self, limits: &ThermalLimits) -> bool {
+        let at_or_below = |temp: f64, trp_c: f64| temp.is_nan() || temp <= trp_c;
+        at_or_below(self.max_amb_c, limits.amb_trp_c) && at_or_below(self.max_dram_c, limits.dram_trp_c)
+    }
+
+    /// The per-layer temperatures of position `index`, in stack order
+    /// (empty for synthesized observations).
+    pub fn layers_of(&self, index: usize) -> &[f64] {
+        if self.layer_depth == 0 {
+            return &[];
+        }
+        &self.layer_temps_c[index * self.layer_depth..(index + 1) * self.layer_depth]
+    }
 }
 
 /// Precomputed per-step RC decay factors for one step length. Every position
-/// shares the same AMB and DRAM time constants (Table 3.2), so a whole-scene
-/// step needs three `exp()` evaluations in total — computed once per distinct
-/// `dt_s` and reused for every subsequent window of the same length, instead
-/// of `2 × positions + 1` per step.
-#[derive(Debug, Clone, Copy)]
+/// shares the topology's per-layer time constants, so a whole-scene step
+/// needs `depth + 1` `exp()` evaluations in total — computed once per
+/// distinct `dt_s` and reused for every subsequent window of the same
+/// length, instead of `depth × positions + 1` per step.
+#[derive(Debug, Clone)]
 struct StepCoeffs {
     dt_s: f64,
     ambient_alpha: f64,
-    amb_alpha: f64,
-    dram_alpha: f64,
+    layer_alphas: Vec<f64>,
 }
 
 /// A thermal model of the whole DIMM population.
@@ -117,25 +199,35 @@ struct StepCoeffs {
 /// Positions are ordered channel-major (`index = channel ×
 /// dimms_per_channel + dimm`), matching the order of
 /// [`FbdimmPowerModel::scene_power`](crate::power::fbdimm::FbdimmPowerModel::scene_power)
-/// for a full traffic window.
+/// for a full traffic window. Each position holds one device stack; layer
+/// temperatures live in a flat position-major array so the window loop
+/// touches contiguous memory.
 ///
 /// All positions share one memory-ambient node (constant under isolated
 /// parameters, processor-driven under integrated ones, Equation 3.6).
 #[derive(Debug, Clone)]
 pub struct DimmThermalScene {
     cooling: CoolingConfig,
-    resistances: ThermalResistances,
+    topology: StackTopology,
     limits: ThermalLimits,
     ambient_params: AmbientParams,
     ambient: ThermalNode,
     dimms_per_channel: usize,
-    positions: Vec<ScenePosition>,
+    /// `(channel, dimm)` per position, channel-major.
+    coords: Vec<(usize, usize)>,
+    /// Current layer temperatures, position-major flat (positions × depth).
+    temps_c: Vec<f64>,
+    /// Running per-layer peak temperatures since construction, same layout.
+    peaks_c: Vec<f64>,
     coeffs: Option<StepCoeffs>,
+    /// Per-layer watts scratch for one position (reused every step).
+    watts: Vec<f64>,
 }
 
 impl DimmThermalScene {
-    /// Creates a scene with explicit shape and ambient parameters; every
-    /// node starts at the ambient inlet temperature.
+    /// Creates a scene with explicit shape and ambient parameters and the
+    /// legacy FBDIMM (AMB + DRAM) stack at every position; every node
+    /// starts at the ambient inlet temperature.
     pub fn new(
         channels: usize,
         dimms_per_channel: usize,
@@ -143,53 +235,71 @@ impl DimmThermalScene {
         limits: ThermalLimits,
         ambient_params: AmbientParams,
     ) -> Self {
+        let topology = StackTopology::fbdimm(&cooling.resistances());
+        Self::with_topology(channels, dimms_per_channel, cooling, limits, ambient_params, topology)
+    }
+
+    /// Creates a scene whose positions each hold the given device stack.
+    pub fn with_topology(
+        channels: usize,
+        dimms_per_channel: usize,
+        cooling: CoolingConfig,
+        limits: ThermalLimits,
+        ambient_params: AmbientParams,
+        topology: StackTopology,
+    ) -> Self {
         assert!(channels > 0 && dimms_per_channel > 0, "scene must contain at least one DIMM position");
-        let resistances = cooling.resistances();
         let start = ambient_params.system_inlet_c;
-        let positions = (0..channels)
-            .flat_map(|channel| (0..dimms_per_channel).map(move |dimm| (channel, dimm)))
-            .map(|(channel, dimm)| ScenePosition {
-                channel,
-                dimm,
-                amb: ThermalNode::new(start, resistances.tau_amb_s),
-                dram: ThermalNode::new(start, resistances.tau_dram_s),
-                peak_amb_c: start,
-                peak_dram_c: start,
-            })
-            .collect();
+        let coords: Vec<(usize, usize)> =
+            (0..channels).flat_map(|channel| (0..dimms_per_channel).map(move |dimm| (channel, dimm))).collect();
+        let cells = coords.len() * topology.depth();
         DimmThermalScene {
             cooling,
-            resistances,
             limits,
             ambient_params,
             ambient: ThermalNode::new(start, ambient_params.tau_cpu_dram_s),
             dimms_per_channel,
-            positions,
+            coords,
+            temps_c: vec![start; cells],
+            peaks_c: vec![start; cells],
             coeffs: None,
+            watts: vec![0.0; topology.depth()],
+            topology,
         }
     }
 
     /// A scene shaped like `mem` under the isolated thermal model (constant
-    /// ambient, Table 3.3).
+    /// ambient, Table 3.3), with the legacy FBDIMM stack.
     pub fn isolated(mem: &FbdimmConfig, cooling: CoolingConfig, limits: ThermalLimits) -> Self {
         Self::new(mem.logical_channels, mem.dimms_per_channel, cooling, limits, AmbientParams::isolated(&cooling))
     }
 
     /// A scene shaped like `mem` under the integrated thermal model
-    /// (processor-heated ambient, Equation 3.6).
+    /// (processor-heated ambient, Equation 3.6), with the legacy FBDIMM
+    /// stack.
     pub fn integrated(mem: &FbdimmConfig, cooling: CoolingConfig, limits: ThermalLimits) -> Self {
         Self::new(mem.logical_channels, mem.dimms_per_channel, cooling, limits, AmbientParams::integrated(&cooling))
     }
 
     /// Number of DIMM positions in the scene.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        self.coords.len()
     }
 
     /// Whether the scene has no positions (never true for a constructed
     /// scene; provided for API completeness).
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.coords.is_empty()
+    }
+
+    /// The device stack each position holds.
+    pub fn topology(&self) -> &StackTopology {
+        &self.topology
+    }
+
+    /// Number of layers per position (the stack depth).
+    pub fn depth(&self) -> usize {
+        self.topology.depth()
     }
 
     /// The cooling configuration in use.
@@ -215,77 +325,135 @@ impl DimmThermalScene {
     /// Flat index of a `(channel, dimm)` position.
     pub fn position_index(&self, channel: usize, dimm: usize) -> Option<usize> {
         let idx = channel * self.dimms_per_channel + dimm;
-        (dimm < self.dimms_per_channel && idx < self.positions.len()).then_some(idx)
+        (dimm < self.dimms_per_channel && idx < self.coords.len()).then_some(idx)
     }
 
     /// Advances every position by `dt_s` seconds.
     ///
-    /// `powers` carries one AMB/DRAM power breakdown per position in scene
-    /// order; `sum_voltage_ipc` is the processors' Σ(V·IPC) term of
-    /// Equation 3.6 (ignored under isolated ambient parameters, where
-    /// Ψ_CPU_MEM×ξ = 0).
+    /// `powers` carries one buffer/DRAM power breakdown per position in
+    /// scene order; the topology splits each breakdown over the stack's
+    /// layers and the Ψ matrix couples the layer powers into per-layer
+    /// steady states (vertically stacked dies heat each other through
+    /// their TSV resistances). `sum_voltage_ipc` is the processors'
+    /// Σ(V·IPC) term of Equation 3.6 (ignored under isolated ambient
+    /// parameters, where Ψ_CPU_MEM×ξ = 0).
     ///
     /// # Panics
     ///
     /// Panics if `powers.len()` does not match the number of positions.
     pub fn step(&mut self, powers: &[FbdimmPowerBreakdown], sum_voltage_ipc: f64, dt_s: f64) {
-        assert_eq!(powers.len(), self.positions.len(), "one power breakdown per DIMM position required");
-        // All positions share two time constants, so one scene step costs
-        // three `exp()`s — and zero once the step length repeats (the window
-        // loop always steps with a fixed `step_s`).
-        let coeffs = match self.coeffs {
-            Some(c) if c.dt_s == dt_s => c,
-            _ => {
-                let c = StepCoeffs {
-                    dt_s,
-                    ambient_alpha: ThermalNode::decay_alpha(self.ambient.tau_s(), dt_s),
-                    amb_alpha: ThermalNode::decay_alpha(self.resistances.tau_amb_s, dt_s),
-                    dram_alpha: ThermalNode::decay_alpha(self.resistances.tau_dram_s, dt_s),
-                };
-                self.coeffs = Some(c);
-                c
-            }
-        };
+        assert_eq!(powers.len(), self.coords.len(), "one power breakdown per DIMM position required");
+        let depth = self.topology.depth();
+        // All positions share the topology's per-layer time constants, so
+        // one scene step costs `depth + 1` `exp()`s — and zero once the step
+        // length repeats (the window loop always steps with a fixed
+        // `step_s`).
+        if !matches!(&self.coeffs, Some(c) if c.dt_s == dt_s) {
+            self.coeffs = Some(StepCoeffs {
+                dt_s,
+                ambient_alpha: ThermalNode::decay_alpha(self.ambient.tau_s(), dt_s),
+                layer_alphas: self.topology.layers().iter().map(|l| ThermalNode::decay_alpha(l.tau_s, dt_s)).collect(),
+            });
+        }
+        let coeffs = self.coeffs.as_ref().expect("coefficients computed above");
         let stable_ambient = self.ambient_params.stable_ambient_c(sum_voltage_ipc);
         let ambient = self.ambient.step_with_alpha(stable_ambient, coeffs.ambient_alpha);
-        let r = &self.resistances;
-        for (pos, p) in self.positions.iter_mut().zip(powers) {
-            let stable_amb = ambient + p.amb_watts * r.psi_amb + p.dram_watts * r.psi_dram_amb;
-            let stable_dram = ambient + p.amb_watts * r.psi_amb_dram + p.dram_watts * r.psi_dram;
-            let amb_c = pos.amb.step_with_alpha(stable_amb, coeffs.amb_alpha);
-            let dram_c = pos.dram.step_with_alpha(stable_dram, coeffs.dram_alpha);
-            pos.peak_amb_c = pos.peak_amb_c.max(amb_c);
-            pos.peak_dram_c = pos.peak_dram_c.max(dram_c);
+        for (pos, p) in powers.iter().enumerate() {
+            self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut self.watts);
+            let base = pos * depth;
+            for l in 0..depth {
+                let mut stable = ambient;
+                for (w, psi) in self.watts.iter().zip(self.topology.psi_row(l)) {
+                    stable += w * psi;
+                }
+                let t = &mut self.temps_c[base + l];
+                *t += (stable - *t) * coeffs.layer_alphas[l];
+                let peak = &mut self.peaks_c[base + l];
+                *peak = peak.max(*t);
+            }
         }
     }
 
-    /// The current hottest `(amb, dram)` temperatures across all positions,
-    /// without materializing a full observation (the per-window hot path of
-    /// the simulation engine).
+    /// The current hottest `(buffer, dram)` temperatures across all
+    /// positions, without materializing a full observation (the per-window
+    /// hot path of the simulation engine). The buffer maximum is `NaN` when
+    /// the stack has no buffer layer.
     pub fn max_temps_c(&self) -> (f64, f64) {
-        self.positions
-            .iter()
-            .fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |(a, d), p| (a.max(p.amb.temp_c()), d.max(p.dram.temp_c())))
+        self.fold_kind_maxima(&self.temps_c)
     }
 
-    /// The current per-position temperature field.
+    /// Like [`DimmThermalScene::max_temps_c`] but over the running
+    /// per-layer peaks instead of the current temperatures.
+    pub fn peak_temps_c(&self) -> (f64, f64) {
+        self.fold_kind_maxima(&self.peaks_c)
+    }
+
+    fn fold_kind_maxima(&self, field: &[f64]) -> (f64, f64) {
+        let depth = self.topology.depth();
+        let mut max_buffer = f64::NEG_INFINITY;
+        let mut max_dram = f64::NEG_INFINITY;
+        for stack in field.chunks_exact(depth) {
+            for (layer, &t) in self.topology.layers().iter().zip(stack) {
+                match layer.kind {
+                    DeviceLayerKind::Buffer => max_buffer = max_buffer.max(t),
+                    DeviceLayerKind::Dram => max_dram = max_dram.max(t),
+                }
+            }
+        }
+        if self.topology.has_buffer() {
+            (max_buffer, max_dram)
+        } else {
+            (f64::NAN, max_dram)
+        }
+    }
+
+    fn summarize(&self, pos: usize, field: &[f64]) -> PositionTemp {
+        let depth = self.topology.depth();
+        let stack = &field[pos * depth..(pos + 1) * depth];
+        let (channel, dimm) = self.coords[pos];
+        let mut amb_c = f64::NAN;
+        let mut dram_c = f64::NEG_INFINITY;
+        let mut hottest_layer = 0;
+        let mut hottest_layer_c = f64::NEG_INFINITY;
+        for (l, (layer, &t)) in self.topology.layers().iter().zip(stack).enumerate() {
+            match layer.kind {
+                DeviceLayerKind::Buffer => amb_c = if amb_c.is_nan() { t } else { amb_c.max(t) },
+                DeviceLayerKind::Dram => dram_c = dram_c.max(t),
+            }
+            if t > hottest_layer_c {
+                hottest_layer_c = t;
+                hottest_layer = l;
+            }
+        }
+        PositionTemp { channel, dimm, amb_c, dram_c, hottest_layer, hottest_layer_c }
+    }
+
+    /// The current per-position temperature summaries.
     pub fn position_temps(&self) -> Vec<PositionTemp> {
-        self.positions
-            .iter()
-            .map(|p| PositionTemp { channel: p.channel, dimm: p.dimm, amb_c: p.amb.temp_c(), dram_c: p.dram.temp_c() })
-            .collect()
+        (0..self.coords.len()).map(|pos| self.summarize(pos, &self.temps_c)).collect()
     }
 
-    /// The running per-position peak temperatures since construction.
+    /// The running per-position peak summaries since construction.
     pub fn position_peaks(&self) -> Vec<PositionTemp> {
-        self.positions
-            .iter()
-            .map(|p| PositionTemp { channel: p.channel, dimm: p.dimm, amb_c: p.peak_amb_c, dram_c: p.peak_dram_c })
-            .collect()
+        (0..self.coords.len()).map(|pos| self.summarize(pos, &self.peaks_c)).collect()
+    }
+
+    /// The running per-layer peak temperatures of position `index`, in
+    /// stack order.
+    pub fn layer_peaks_of(&self, index: usize) -> &[f64] {
+        let depth = self.topology.depth();
+        &self.peaks_c[index * depth..(index + 1) * depth]
+    }
+
+    /// The current per-layer temperatures of position `index`, in stack
+    /// order.
+    pub fn layers_of(&self, index: usize) -> &[f64] {
+        let depth = self.topology.depth();
+        &self.temps_c[index * depth..(index + 1) * depth]
     }
 
     /// Snapshots the scene into the observation a DTM policy consumes, with
-    /// the hottest DIMM *derived* (arg-max over positions).
+    /// the hottest devices *derived* (arg-max over positions and layers).
     pub fn observe(&self) -> ThermalObservation {
         let mut obs = ThermalObservation::from_hottest(f64::NEG_INFINITY, f64::NEG_INFINITY);
         self.observe_into(&mut obs);
@@ -293,47 +461,64 @@ impl DimmThermalScene {
     }
 
     /// Like [`DimmThermalScene::observe`] but refills a caller-owned
-    /// observation, reusing its `positions` allocation. The window loop calls
-    /// this once per DTM interval with one scratch buffer per run, so the
-    /// hot path allocates nothing.
+    /// observation, reusing its `positions` and `layer_temps_c`
+    /// allocations. The window loop calls this once per DTM interval with
+    /// one scratch buffer per run, so the hot path allocates nothing.
     pub fn observe_into(&self, obs: &mut ThermalObservation) {
+        let depth = self.topology.depth();
         obs.max_amb_c = f64::NEG_INFINITY;
         obs.max_dram_c = f64::NEG_INFINITY;
         obs.ambient_c = self.ambient.temp_c();
         obs.hottest_amb = None;
         obs.hottest_dram = None;
+        obs.layer_depth = depth;
         obs.positions.clear();
-        obs.positions.reserve(self.positions.len());
-        for p in &self.positions {
-            let amb_c = p.amb.temp_c();
-            let dram_c = p.dram.temp_c();
-            if amb_c > obs.max_amb_c {
-                obs.max_amb_c = amb_c;
-                obs.hottest_amb = Some((p.channel, p.dimm));
+        obs.positions.reserve(self.coords.len());
+        obs.layer_temps_c.clear();
+        obs.layer_temps_c.extend_from_slice(&self.temps_c);
+        for pos in 0..self.coords.len() {
+            let summary = self.summarize(pos, &self.temps_c);
+            if summary.amb_c > obs.max_amb_c {
+                obs.max_amb_c = summary.amb_c;
+                obs.hottest_amb = Some((summary.channel, summary.dimm));
             }
-            if dram_c > obs.max_dram_c {
-                obs.max_dram_c = dram_c;
-                obs.hottest_dram = Some((p.channel, p.dimm));
+            if summary.dram_c > obs.max_dram_c {
+                obs.max_dram_c = summary.dram_c;
+                obs.hottest_dram = Some((summary.channel, summary.dimm));
             }
-            obs.positions.push(PositionTemp { channel: p.channel, dimm: p.dimm, amb_c, dram_c });
+            obs.positions.push(summary);
+        }
+        if !self.topology.has_buffer() {
+            obs.max_amb_c = f64::NAN;
         }
     }
 
-    /// Whether any position currently exceeds a thermal design point.
+    /// Whether any layer of any position currently exceeds the thermal
+    /// design point of its device kind (buffer layers check the AMB TDP,
+    /// DRAM layers the DRAM TDP).
     pub fn over_tdp(&self) -> bool {
-        self.positions
-            .iter()
-            .any(|p| p.amb.temp_c() >= self.limits.amb_tdp_c || p.dram.temp_c() >= self.limits.dram_tdp_c)
+        let depth = self.topology.depth();
+        self.temps_c.chunks_exact(depth).any(|stack| {
+            self.topology.layers().iter().zip(stack).any(|(layer, &t)| t >= self.limits.tdp_for(layer.kind))
+        })
     }
 
-    /// Forces every position to the given device temperatures (used to start
+    /// Forces every position to the given device temperatures: buffer
+    /// layers to `amb_c`, DRAM layers to `dram_c` (used to start
     /// experiments from a known state).
     pub fn set_uniform_temps_c(&mut self, amb_c: f64, dram_c: f64) {
-        for p in &mut self.positions {
-            p.amb.set_temp_c(amb_c);
-            p.dram.set_temp_c(dram_c);
-            p.peak_amb_c = p.peak_amb_c.max(amb_c);
-            p.peak_dram_c = p.peak_dram_c.max(dram_c);
+        let depth = self.topology.depth();
+        for (cell, layer) in
+            self.temps_c.iter_mut().zip(self.topology.layers().iter().cycle().take(depth * self.coords.len()))
+        {
+            let t = match layer.kind {
+                DeviceLayerKind::Buffer => amb_c,
+                DeviceLayerKind::Dram => dram_c,
+            };
+            *cell = t;
+        }
+        for (peak, &t) in self.peaks_c.iter_mut().zip(self.temps_c.iter()) {
+            *peak = peak.max(t);
         }
     }
 }
@@ -343,6 +528,7 @@ mod tests {
     use super::*;
     use crate::thermal::isolated::IsolatedThermalModel;
     use crate::thermal::model::ThermalModel;
+    use crate::thermal::params::StackKind;
 
     fn shape() -> FbdimmConfig {
         FbdimmConfig::ddr2_667_paper()
@@ -354,12 +540,27 @@ mod tests {
         (0..n).map(|i| FbdimmPowerBreakdown { amb_watts: 6.5 - 0.3 * (i % 4) as f64, dram_watts: 2.0 }).collect()
     }
 
+    fn stacked_scene(kind: StackKind) -> DimmThermalScene {
+        let mem = shape();
+        let cooling = CoolingConfig::aohs_1_5();
+        DimmThermalScene::with_topology(
+            mem.logical_channels,
+            mem.dimms_per_channel,
+            cooling,
+            ThermalLimits::paper_fbdimm(),
+            AmbientParams::isolated(&cooling),
+            kind.topology(&cooling),
+        )
+    }
+
     #[test]
     fn scene_has_one_position_per_dimm() {
         let mem = shape();
         let scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
         assert_eq!(scene.len(), mem.dimm_positions());
         assert!(!scene.is_empty());
+        assert_eq!(scene.depth(), 2);
+        assert_eq!(scene.topology().name(), "fbdimm");
         assert_eq!(scene.position_index(1, 3), Some(7));
         assert_eq!(scene.position_index(0, 4), None);
         assert_eq!(scene.position_index(7, 0), None);
@@ -379,10 +580,15 @@ mod tests {
         assert_eq!(dimm, 0, "dimm 0 carries the most power");
         assert!(channel < mem.logical_channels);
         assert_eq!(obs.positions.len(), scene.len());
+        assert_eq!(obs.layer_depth, 2);
+        assert_eq!(obs.layer_temps_c.len(), scene.len() * 2);
         // The field is spatially resolved: the far end of the chain is cooler.
         let near = obs.positions.iter().find(|p| p.channel == 0 && p.dimm == 0).unwrap();
         let far = obs.positions.iter().find(|p| p.channel == 0 && p.dimm == 3).unwrap();
         assert!(near.amb_c > far.amb_c + 3.0, "near {:.1} vs far {:.1}", near.amb_c, far.amb_c);
+        // Per-layer access agrees with the summary: the AMB layer is layer 0.
+        assert_eq!(obs.layers_of(0)[0], obs.positions[0].amb_c);
+        assert_eq!(obs.positions[0].hottest_layer, 0, "the AMB runs hotter than the DRAM");
     }
 
     #[test]
@@ -441,6 +647,8 @@ mod tests {
         assert!(scene.observe().max_amb_c < peak_during_burst - 5.0, "scene must cool down");
         let peaks = scene.position_peaks();
         assert!(peaks.iter().all(|p| p.amb_c >= peak_during_burst - 0.1), "peaks must persist");
+        let (peak_amb, _) = scene.peak_temps_c();
+        assert!(peak_amb >= peak_during_burst - 1e-9);
     }
 
     #[test]
@@ -504,9 +712,68 @@ mod tests {
         assert_eq!(obs.max_amb_c, 109.0);
         assert_eq!(obs.max_dram_c, 82.0);
         assert!(obs.positions.is_empty() && obs.hottest_amb.is_none());
+        assert_eq!(obs.layer_depth, 0);
+        assert!(obs.layers_of(0).is_empty());
         assert!(obs.ambient_c.is_nan(), "scalar sensors cannot see the ambient");
         assert_eq!(obs.with_ambient_c(50.0).ambient_c, 50.0);
         let obs = ThermalObservation::from_hottest(109.0, 82.0);
         assert!(!obs.over_tdp(&ThermalLimits::paper_fbdimm()));
+    }
+
+    #[test]
+    fn bufferless_observation_is_nan_safe() {
+        // A DDR4/5 rank pair has no AMB; the observation must not invent a
+        // 0.0 (or -inf) hot spot and every limit check must stay sane.
+        let mut scene = stacked_scene(StackKind::RankPair);
+        let powers = vec![FbdimmPowerBreakdown { amb_watts: 1.0, dram_watts: 3.0 }; scene.len()];
+        for _ in 0..200 {
+            scene.step(&powers, 0.0, 1.0);
+        }
+        let obs = scene.observe();
+        assert!(obs.max_amb_c.is_nan(), "no buffer layer -> NaN, got {}", obs.max_amb_c);
+        assert_eq!(obs.max_amb_opt(), None);
+        assert!(obs.hottest_amb.is_none());
+        assert!(obs.max_dram_c > 55.0);
+        let limits = ThermalLimits::paper_fbdimm();
+        assert!(!obs.over_tdp(&limits), "NaN must never trip a limit");
+        assert!(obs.released(&limits), "NaN counts as released");
+        let (amb, dram) = scene.max_temps_c();
+        assert!(amb.is_nan() && dram > 55.0);
+        // The round-trip through scalar sensors stays NaN-safe too.
+        let synth = ThermalObservation::from_hottest(obs.max_amb_c, obs.max_dram_c);
+        assert!(synth.max_amb_opt().is_none());
+        assert!(!synth.over_tdp(&limits));
+    }
+
+    #[test]
+    fn stacked_positions_heat_their_inner_dies_most() {
+        let mut scene = stacked_scene(StackKind::stacked4());
+        assert_eq!(scene.depth(), 5);
+        let powers = vec![FbdimmPowerBreakdown { amb_watts: 6.0, dram_watts: 2.0 }; scene.len()];
+        for _ in 0..600 {
+            scene.step(&powers, 0.0, 1.0);
+        }
+        let obs = scene.observe();
+        // Layer 0 is the base buffer die; dies 1..=4 sit above it. The die
+        // next to the hot base (the inner die) must beat the spreader-side
+        // outer die.
+        let stack = obs.layers_of(0);
+        assert!(stack[1] > stack[4] + 1.0, "inner die {:.1} vs outer die {:.1}", stack[1], stack[4]);
+        // The buffer maximum is real (base die), and per-layer peaks exist.
+        assert!(obs.max_amb_opt().is_some());
+        assert_eq!(scene.layer_peaks_of(0).len(), 5);
+        assert!(scene.layer_peaks_of(0)[1] >= stack[1]);
+    }
+
+    #[test]
+    fn per_layer_tdp_checks_catch_a_hot_inner_die() {
+        let mut scene = stacked_scene(StackKind::stacked4());
+        assert!(!scene.over_tdp());
+        // Push only the DRAM dies over their TDP; the base stays cool.
+        scene.set_uniform_temps_c(50.0, 86.0);
+        assert!(scene.over_tdp(), "a DRAM layer at 86 degC must trip the 85 degC DRAM TDP");
+        let obs = scene.observe();
+        assert!(obs.over_tdp(scene.limits()));
+        assert!(obs.max_amb_c < 85.0, "the base die is cool");
     }
 }

@@ -1,0 +1,121 @@
+//! Cross-process disk-cache contract: two *processes* appending to one
+//! results-cache file concurrently (each serialized by the `<path>.lock`
+//! advisory lock) must produce a file every entry of which loads back.
+//!
+//! The test re-executes its own test binary twice — once per writer role,
+//! selected by an environment variable — from two threads, waits for both
+//! children, then reopens the cache and verifies that all entries from both
+//! processes survived without corruption.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use cpu_model::{OperatingPoint, RunningMode};
+use memtherm::sim::characterize::{CharPoint, CharStore, CharStoreKey, ModeKey};
+
+const ROLE_ENV: &str = "MEMTHERM_XPROC_ROLE";
+const PATH_ENV: &str = "MEMTHERM_XPROC_PATH";
+const ENTRIES_PER_PROCESS: u64 = 60;
+
+fn key_for(role: u64, i: u64) -> CharStoreKey {
+    CharStoreKey {
+        mix_id: format!("xproc-w{role}"),
+        mode: ModeKey { active_cores: 4, freq_mhz: 3200, cap_mbps: u32::MAX },
+        budget: 10_000 + role * 100_000 + i,
+        channels: 2,
+        dimms_per_channel: 4,
+        hw_fingerprint: 0xfeed_beef,
+    }
+}
+
+fn point_for(role: u64, i: u64) -> CharPoint {
+    CharPoint {
+        mode: RunningMode { active_cores: 4, op: OperatingPoint::new(3.2, 1.55), bandwidth_cap: None },
+        instr_rate_total: 1e9 + (role * 1000 + i) as f64,
+        core_share: vec![0.25; 4],
+        read_gbps: role as f64 + 0.125,
+        write_gbps: i as f64 * 0.5,
+        dimm_traffic: Vec::new(),
+        ipc_ref_sum: 3.5,
+        l2_miss_rate: 0.25,
+        l2_misses_per_instr: 0.01,
+        bytes_per_instr: 1.5,
+    }
+}
+
+/// Child role: open the shared cache and append this role's entries through
+/// the normal `CharStore` miss path, yielding between appends so the two
+/// processes interleave at the lock.
+fn run_child(role: u64, path: &str) {
+    let store = CharStore::with_disk_cache(path).expect("child opens the shared cache");
+    for i in 0..ENTRIES_PER_PROCESS {
+        let point = point_for(role, i);
+        let got = store.get_or_compute(key_for(role, i), || point.clone());
+        assert_eq!(*got, point);
+        if i % 8 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[test]
+fn two_processes_append_to_one_cache_without_corruption() {
+    if let (Ok(role), Ok(path)) = (std::env::var(ROLE_ENV), std::env::var(PATH_ENV)) {
+        run_child(role.parse().expect("numeric role"), &path);
+        return;
+    }
+
+    let path = std::env::temp_dir().join(format!("memtherm_xproc_cache_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let exe = std::env::current_exe().expect("test binary path");
+    let path_str = Arc::new(path.to_string_lossy().into_owned());
+
+    // Two threads each spawn one writer process; neither file nor header
+    // exists yet, so the children also race the lazy header initialization.
+    let children: Vec<_> = (0..2u64)
+        .map(|role| {
+            let exe = exe.clone();
+            let path = Arc::clone(&path_str);
+            std::thread::spawn(move || {
+                Command::new(exe)
+                    .args([
+                        "--exact",
+                        "two_processes_append_to_one_cache_without_corruption",
+                        "--test-threads",
+                        "1",
+                        "--nocapture",
+                    ])
+                    .env(ROLE_ENV, role.to_string())
+                    .env(PATH_ENV, path.as_str())
+                    .status()
+                    .expect("spawn child test process")
+            })
+        })
+        .collect();
+    for child in children {
+        let status = child.join().expect("join spawner thread");
+        assert!(status.success(), "child writer failed: {status}");
+    }
+
+    // Every entry from both processes must load back, and the values must
+    // round-trip exactly (no torn or interleaved lines).
+    let store = CharStore::with_disk_cache(path.as_path()).expect("reopen the shared cache");
+    assert_eq!(
+        store.len(),
+        (2 * ENTRIES_PER_PROCESS) as usize,
+        "all {} entries from both processes survive",
+        2 * ENTRIES_PER_PROCESS
+    );
+    for role in 0..2u64 {
+        for i in 0..ENTRIES_PER_PROCESS {
+            let expected = point_for(role, i);
+            let got = store.get_or_compute(key_for(role, i), || panic!("entry (role {role}, {i}) missing"));
+            assert_eq!(*got, expected, "entry (role {role}, {i}) corrupted");
+        }
+    }
+    // The advisory lock file does not outlive the writers.
+    assert!(!path.with_file_name(format!("{}.lock", path.file_name().unwrap().to_string_lossy())).exists());
+    let _ = std::fs::remove_file(&path);
+}

@@ -13,6 +13,12 @@
 //! All passes are written to `BENCH_sweep.json`, followed by a per-scheme
 //! summary of the paper's headline quantities.
 //!
+//! A final stacked pass swaps the FBDIMM pair for a **4-high 3D stack**
+//! (base logic die + four DRAM dies coupled through TSV resistances) and
+//! prints the per-layer peak temperatures of the hottest position: the
+//! inner die next to the hot base runs hottest, the spreader-side outer
+//! die coolest — the per-layer resolution the stack topology adds.
+//!
 //! Run with: `cargo run --release --example cooling_sweep`
 
 use std::collections::BTreeMap;
@@ -157,4 +163,44 @@ fn main() {
     }
     println!("\n(normalized time is vs the thermally unconstrained No-limit baseline;");
     println!(" every DTM scheme must stay at or below ~110 degC AMB)");
+
+    // Stacked pass: the same machinery with a 4-high 3D stack per position.
+    let stacked_scenarios = vec![
+        SweepScenario::stacked(
+            CoolingConfig::aohs_1_5(),
+            StackKind::stacked4(),
+            mixes::w1(),
+            vec![PolicySpec::NoLimit, PolicySpec::Ts],
+        ),
+        SweepScenario::stacked(
+            CoolingConfig::aohs_1_5(),
+            StackKind::stacked4(),
+            mixes::w6(),
+            vec![PolicySpec::NoLimit],
+        ),
+    ];
+    let stacked = SweepRunner::new().run(&stacked_scenarios, sweep_config);
+    println!("\n4-high 3D-stack scenario ({} cells, {:.2} s):", stacked.runs.len(), stacked.wall_clock_s);
+    println!(
+        "{:<10} {:<10} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "policy", "stack", "base", "die0", "die1", "die2", "die3"
+    );
+    for run in &stacked.runs {
+        let hot = run.result.hottest_position().expect("stacked peaks");
+        println!(
+            "{:<10} {:<10} {:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            run.workload,
+            run.policy,
+            run.result.stack,
+            hot.layers_c[0],
+            hot.layers_c[1],
+            hot.layers_c[2],
+            hot.layers_c[3],
+            hot.layers_c[4]
+        );
+        let (inner, outer) = (hot.layers_c[1], hot.layers_c[4]);
+        assert!(inner > outer, "the inner die ({inner:.1}) must run hotter than the outer die ({outer:.1})");
+    }
+    println!("(per-layer peak temperatures in degC; the inner die next to the base is the hottest DRAM die,");
+    println!(" the die under the heat spreader the coolest — vertical TSV coupling resolved per layer)");
 }

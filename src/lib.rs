@@ -17,19 +17,25 @@
 //! The thermal stack is organized around two abstractions. The
 //! `ThermalModel` trait unifies the paper's isolated (Section 3.4) and
 //! integrated (Section 3.5) single-DIMM models behind one interface. On top
-//! of it, a `DimmThermalScene` resolves the whole subsystem: one AMB/DRAM
-//! RC node pair per DIMM position (logical channels × DIMMs per channel),
-//! stepped from the per-position power that `FbdimmPowerModel::scene_power`
-//! computes out of the memory simulator's per-DIMM traffic split. The
-//! hottest DIMM — the only thing the paper's simulator tracked — is
-//! *derived* by arg-max at observation time, and DTM policies receive the
-//! full `ThermalObservation` (maxima + per-position field) instead of two
-//! bare floats. The `SimEngine` window loop drives the scene inside
-//! `MemSpot` allocation-free (precomputed RC step coefficients, reused
-//! observation buffer), and the `experiments` crate's `SweepRunner` fans
-//! grids of {cooling × workload × policy} cells across cores through a
-//! chunked work queue, deduplicating the expensive level-1
-//! characterizations in a shared, thread-safe `CharStore`.
+//! of it, a `DimmThermalScene` resolves the whole subsystem: one RC node
+//! **stack** per DIMM position (logical channels × DIMMs per channel),
+//! described by a `StackTopology` — the paper's AMB+DRAM FBDIMM pair, a
+//! DDR4/5-style rank pair, or a CoMeT-style 3D stack whose dies heat each
+//! other through vertical TSV resistances — and stepped from the
+//! per-position power that `FbdimmPowerModel::scene_power` computes out of
+//! the memory simulator's per-DIMM traffic split (split over the stack's
+//! layers by the topology). The hottest device — the only thing the
+//! paper's simulator tracked — is *derived* by arg-max over positions and
+//! layers at observation time, and DTM policies receive the full
+//! `ThermalObservation` (NaN-safe maxima + per-position, per-layer field)
+//! instead of two bare floats. The `SimEngine` window loop drives the
+//! scene inside `MemSpot` allocation-free (precomputed per-layer RC step
+//! coefficients, reused observation buffer), and the `experiments` crate's
+//! `SweepRunner` fans grids of {cooling × stack × workload × policy} cells
+//! across cores through a chunked work queue, deduplicating the expensive
+//! level-1 characterizations in a shared, thread-safe `CharStore` whose
+//! disk cache is safe to share between concurrent processes (advisory
+//! lock-file protocol around appends).
 //!
 //! ## Quick start
 //!
