@@ -73,7 +73,7 @@ fn main() {
         let obs = ThermalObservation::from_hottest(109.2, 80.0);
         let mut cores = 0usize;
         for _ in 0..1_000_000 {
-            cores = memtherm::dtm::policy::DtmPolicy::decide(&mut policy, &obs, 0.01).active_cores;
+            cores = memtherm::dtm::policy::DtmPolicy::decide(&mut policy, &obs, 0.01).mode.active_cores;
         }
         cores
     });

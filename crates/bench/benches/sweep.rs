@@ -15,6 +15,12 @@
 //! of the inner die (next to the hot base die) must exceed the peak of
 //! the spreader-side outer die by a nonzero margin under load.
 //!
+//! A `spatial` case follows: DTM-BW (global throttling) vs DTM-MIG
+//! (migration-aware steering) on the same 4-high stack. Migration must
+//! *flatten* the thermal field — the hottest-vs-coldest position peak
+//! spread under DTM-MIG has to come in strictly below DTM-BW's — and the
+//! reduction in °C is recorded and gated > 0.
+//!
 //! The batch size is a few times the `Smoke` scale: large enough that the
 //! parallelizable window loops dominate the (partly serialized, shared)
 //! level-1 characterizations, which keeps the speedup measurement stable on
@@ -111,6 +117,34 @@ fn main() {
         layer_spread_c
     );
 
+    // Spatial-DTM case: global DTM-BW vs migration-aware DTM-MIG on the
+    // 4-high stack grid. DTM-MIG steers traffic off the hottest position,
+    // so its hottest-vs-coldest position peak spread must come in strictly
+    // below DTM-BW's.
+    let spatial_scenarios = vec![SweepScenario::stacked(
+        CoolingConfig::aohs_1_5(),
+        StackKind::stacked4(),
+        workloads::mixes::w1(),
+        vec![PolicySpec::Bw { pid: false }, PolicySpec::Mig],
+    )];
+    let spatial_start = std::time::Instant::now();
+    let spatial = SweepRunner::new().run(&spatial_scenarios, make);
+    let spatial_ms = spatial_start.elapsed().as_secs_f64() * 1e3;
+    let bw_run = spatial.runs.iter().find(|r| r.policy == "DTM-BW").expect("spatial DTM-BW cell");
+    let mig_run = spatial.runs.iter().find(|r| r.policy == "DTM-MIG").expect("spatial DTM-MIG cell");
+    let bw_spread_c = bw_run.result.position_peak_spread_c();
+    let mig_spread_c = mig_run.result.position_peak_spread_c();
+    let mig_spread_reduction_c = bw_spread_c - mig_spread_c;
+    println!(
+        "sweep/spatial_dtm_4h                         {:>10.3} ms (spread {:.2} degC BW vs {:.2} degC MIG, \
+         reduction {:.2} degC, {:.2} GB migrated)",
+        spatial_ms,
+        bw_spread_c,
+        mig_spread_c,
+        mig_spread_reduction_c,
+        mig_run.result.migrated_traffic_bytes / 1e9
+    );
+
     let stats = [
         BenchStats {
             label: "sweep/sequential_1_worker".to_string(),
@@ -125,6 +159,7 @@ fn main() {
             iters: PASSES,
         },
         BenchStats { label: "sweep/stacked_3d_4h".to_string(), mean_ms: stacked_ms, min_ms: stacked_ms, iters: 1 },
+        BenchStats { label: "sweep/spatial_dtm_4h".to_string(), mean_ms: spatial_ms, min_ms: spatial_ms, iters: 1 },
     ];
     let metrics = [
         ("cells", cells as f64),
@@ -134,6 +169,10 @@ fn main() {
         ("char_store_misses", parallel.char_store_misses as f64),
         ("stacked_cells", stacked.runs.len() as f64),
         ("stacked_layer_spread_c", layer_spread_c),
+        ("bw_position_spread_c", bw_spread_c),
+        ("mig_position_spread_c", mig_spread_c),
+        ("mig_spread_reduction_c", mig_spread_reduction_c),
+        ("mig_migrated_gb", mig_run.result.migrated_traffic_bytes / 1e9),
     ];
     let path = bench_output_path("BENCH_sweep.json");
     write_bench_json(&path, &stats, &metrics).expect("write BENCH_sweep.json");
@@ -151,6 +190,14 @@ fn main() {
         eprintln!(
             "FAIL: stacked sweep must resolve a nonzero per-layer peak spread \
              (inner die hotter than the outer die under load), got {layer_spread_c:.3} degC"
+        );
+        std::process::exit(1);
+    }
+    let migration_flattens = mig_spread_reduction_c.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !migration_flattens {
+        eprintln!(
+            "FAIL: DTM-MIG must reduce the hottest-vs-coldest position spread vs DTM-BW \
+             on the 4-high stack, got {mig_spread_reduction_c:.3} degC"
         );
         std::process::exit(1);
     }

@@ -29,6 +29,15 @@ pub enum PolicySpec {
         /// Use the PID formal controller.
         pid: bool,
     },
+    /// DTM-CBW: per-channel bandwidth caps keyed to each channel's hottest
+    /// layer, optionally PID-driven.
+    Cbw {
+        /// Use the PID formal controller (one pair per channel).
+        pid: bool,
+    },
+    /// DTM-MIG: migration-aware traffic steering away from the hottest
+    /// DIMM position (global fail-safe on the DTM-BW ladder).
+    Mig,
 }
 
 impl PolicySpec {
@@ -55,6 +64,19 @@ impl PolicySpec {
         ]
     }
 
+    /// The spatially aware comparison set: the paper's global DTM-BW and
+    /// DTM-ACG references next to the per-channel and migration-aware
+    /// policies that exploit the resolved thermal field.
+    pub fn spatial_set() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Bw { pid: false },
+            PolicySpec::Acg { pid: false },
+            PolicySpec::Cbw { pid: false },
+            PolicySpec::Cbw { pid: true },
+            PolicySpec::Mig,
+        ]
+    }
+
     /// Builds the concrete policy object.
     pub fn build(self, cpu: &CpuConfig, limits: ThermalLimits) -> Box<dyn DtmPolicy> {
         match self {
@@ -66,6 +88,9 @@ impl PolicySpec {
             PolicySpec::Acg { pid: true } => Box::new(DtmAcg::with_pid(cpu.clone(), limits)),
             PolicySpec::Cdvfs { pid: false } => Box::new(DtmCdvfs::new(cpu.clone(), limits)),
             PolicySpec::Cdvfs { pid: true } => Box::new(DtmCdvfs::with_pid(cpu.clone(), limits)),
+            PolicySpec::Cbw { pid: false } => Box::new(DtmCbw::new(cpu.clone(), limits)),
+            PolicySpec::Cbw { pid: true } => Box::new(DtmCbw::with_pid(cpu.clone(), limits)),
+            PolicySpec::Mig => Box::new(DtmMig::new(cpu.clone(), limits)),
         }
     }
 }
@@ -461,8 +486,12 @@ mod tests {
         let limits = ThermalLimits::paper_fbdimm();
         assert_eq!(PolicySpec::Ts.build(&cpu, limits).name(), "DTM-TS");
         assert_eq!(PolicySpec::Acg { pid: true }.build(&cpu, limits).name(), "DTM-ACG+PID");
+        assert_eq!(PolicySpec::Cbw { pid: false }.build(&cpu, limits).name(), "DTM-CBW");
+        assert_eq!(PolicySpec::Cbw { pid: true }.build(&cpu, limits).name(), "DTM-CBW+PID");
+        assert_eq!(PolicySpec::Mig.build(&cpu, limits).name(), "DTM-MIG");
         assert_eq!(PolicySpec::figure_4_3_set().len(), 7);
         assert_eq!(PolicySpec::threshold_set().len(), 4);
+        assert_eq!(PolicySpec::spatial_set().len(), 5);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! The memory controller limits throughput according to the thermal
 //! emergency level (Table 4.3: no limit / 19.2 / 12.8 / 6.4 GB/s / off).
 
-use cpu_model::{CpuConfig, RunningMode};
+use cpu_model::CpuConfig;
 
+use crate::dtm::plan::ActuationPlan;
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
 use crate::sim::modes::scheme_mode;
@@ -31,9 +32,9 @@ impl DtmBw {
 }
 
 impl DtmPolicy for DtmBw {
-    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode {
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> ActuationPlan {
         let level = self.selector.select(observation.max_amb_c, observation.max_dram_c, dt_s);
-        scheme_mode(DtmScheme::Bw, level, &self.cpu)
+        scheme_mode(DtmScheme::Bw, level, &self.cpu).into()
     }
 
     fn scheme(&self) -> DtmScheme {

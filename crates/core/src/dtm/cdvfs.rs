@@ -5,8 +5,9 @@
 //! frequency and voltage of *all* processor cores, proactively putting the
 //! processor into a power mode that matches the memory's thermal headroom.
 
-use cpu_model::{CpuConfig, RunningMode};
+use cpu_model::CpuConfig;
 
+use crate::dtm::plan::ActuationPlan;
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
 use crate::sim::modes::scheme_mode;
@@ -33,9 +34,9 @@ impl DtmCdvfs {
 }
 
 impl DtmPolicy for DtmCdvfs {
-    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode {
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> ActuationPlan {
         let level = self.selector.select(observation.max_amb_c, observation.max_dram_c, dt_s);
-        scheme_mode(DtmScheme::Cdvfs, level, &self.cpu)
+        scheme_mode(DtmScheme::Cdvfs, level, &self.cpu).into()
     }
 
     fn scheme(&self) -> DtmScheme {

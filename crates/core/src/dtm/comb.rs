@@ -5,8 +5,9 @@
 //! memory traffic (like DTM-ACG) and processor heat dissipation to the
 //! memory (like DTM-CDVFS).
 
-use cpu_model::{CpuConfig, RunningMode};
+use cpu_model::CpuConfig;
 
+use crate::dtm::plan::ActuationPlan;
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
 use crate::sim::modes::scheme_mode;
@@ -33,9 +34,9 @@ impl DtmComb {
 }
 
 impl DtmPolicy for DtmComb {
-    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode {
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> ActuationPlan {
         let level = self.selector.select(observation.max_amb_c, observation.max_dram_c, dt_s);
-        scheme_mode(DtmScheme::Comb, level, &self.cpu)
+        scheme_mode(DtmScheme::Comb, level, &self.cpu).into()
     }
 
     fn scheme(&self) -> DtmScheme {

@@ -53,6 +53,26 @@ impl EmergencyLevel {
             other
         }
     }
+
+    /// The fraction of a channel's traffic a per-channel throttling policy
+    /// serves at this level: the Table 4.3 DTM-BW caps
+    /// ([`BW_LIMITS_GBPS`](crate::sim::modes::BW_LIMITS_GBPS) — no limit /
+    /// 19.2 / 12.8 / 6.4 GB/s / off) normalized to the subsystem's
+    /// [`PEAK_BANDWIDTH_GBPS`](crate::sim::modes::PEAK_BANDWIDTH_GBPS)
+    /// (25.6 GB/s), i.e. 1.0 / 0.75 / 0.5 / 0.25 / 0.0 — derived from the
+    /// same constants DTM-BW's global caps use, so retuning the caps
+    /// retunes the fractions with them. Applying the fraction per channel
+    /// instead of capping the whole subsystem is what lets
+    /// [`DtmCbw`](crate::dtm::cbw::DtmCbw) throttle only the channels that
+    /// are actually hot.
+    pub fn service_fraction(self) -> f64 {
+        use crate::sim::modes::{BW_LIMITS_GBPS, PEAK_BANDWIDTH_GBPS};
+        match self {
+            EmergencyLevel::L1 => 1.0,
+            EmergencyLevel::L5 => 0.0,
+            level => BW_LIMITS_GBPS[level.index() - 1] / PEAK_BANDWIDTH_GBPS,
+        }
+    }
 }
 
 impl std::fmt::Display for EmergencyLevel {
@@ -174,6 +194,21 @@ mod tests {
         assert!(EmergencyLevel::L4 > EmergencyLevel::L2);
         assert_eq!(EmergencyLevel::L2.max(EmergencyLevel::L3), EmergencyLevel::L3);
         assert_eq!(EmergencyLevel::L5.to_string(), "L5");
+    }
+
+    #[test]
+    fn service_fractions_mirror_the_table_4_3_caps() {
+        let fractions: Vec<f64> = EmergencyLevel::ALL.iter().map(|l| l.service_fraction()).collect();
+        // The caps over the 25.6 GB/s peak: 1.0 / 0.75 / 0.5 / 0.25 / 0.0
+        // (compared with tolerance — the fractions are *derived* from
+        // BW_LIMITS_GBPS / PEAK_BANDWIDTH_GBPS, not restated literals).
+        for (got, want) in fractions.iter().zip([1.0, 0.75, 0.5, 0.25, 0.0]) {
+            assert!((got - want).abs() < 1e-12, "fraction {got} vs {want}");
+        }
+        assert_eq!(fractions[0], 1.0);
+        assert_eq!(fractions[4], 0.0);
+        // Strictly decreasing: a hotter channel is always served less.
+        assert!(fractions.windows(2).all(|w| w[0] > w[1]));
     }
 
     #[test]

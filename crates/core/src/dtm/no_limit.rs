@@ -2,6 +2,7 @@
 
 use cpu_model::{CpuConfig, RunningMode};
 
+use crate::dtm::plan::ActuationPlan;
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::thermal::scene::ThermalObservation;
 
@@ -20,8 +21,8 @@ impl NoLimit {
 }
 
 impl DtmPolicy for NoLimit {
-    fn decide(&mut self, _observation: &ThermalObservation, _dt_s: f64) -> RunningMode {
-        self.mode
+    fn decide(&mut self, _observation: &ThermalObservation, _dt_s: f64) -> ActuationPlan {
+        self.mode.into()
     }
 
     fn scheme(&self) -> DtmScheme {

@@ -1,0 +1,387 @@
+//! Spatially resolved DTM actuation plans.
+//!
+//! The paper's DTM schemes act globally: one [`RunningMode`] throttles the
+//! whole machine based on the hottest device. The thermal scene, however,
+//! resolves temperatures per DIMM position and per stacked die, and
+//! [`ActuationPlan`] is the decision type that lets a policy exploit that
+//! field. A plan always carries the global running mode; on top of it a
+//! policy may attach
+//!
+//! * **per-channel service fractions** — the share of a logical channel's
+//!   memory traffic the controller serves next interval (`1.0` = no
+//!   throttling, `0.0` = channel paused), the actuator of
+//!   [`DtmCbw`](crate::dtm::cbw::DtmCbw); and
+//! * **per-position steering weights** — how the subsystem's locally served
+//!   traffic is distributed over the DIMM positions (channel-major, summing
+//!   to 1), the actuator of [`DtmMig`](crate::dtm::mig::DtmMig)-style page
+//!   migration away from hot DIMMs.
+//!
+//! A plan with neither attachment is **scalar** and reproduces the legacy
+//! behavior exactly: the simulation engine routes scalar plans through the
+//! unchanged global code path (pinned bit-identical by
+//! `tests/policy_plan_regression.rs`). `From<RunningMode>` is the shim that
+//! keeps scalar policies one-liners — they return `mode.into()`.
+//!
+//! [`ActuationPlan::apply_traffic_into`] is the single encoding of how a
+//! spatial plan transforms a characterized per-DIMM traffic split: steering
+//! redistributes the locally served throughput over the position grid,
+//! per-channel service fractions scale each channel's share, and the bypass
+//! (forwarded) traffic of every FBDIMM chain is rebuilt from the planned
+//! local traffic so asymmetric throttling shows up as asymmetric heat.
+
+use cpu_model::RunningMode;
+use fbdimm_sim::DimmTraffic;
+
+/// What a DTM policy decides at each interval: the global running mode plus
+/// optional per-channel throttling and traffic steering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActuationPlan {
+    /// Global running mode (active cores, DVFS point, global bandwidth cap).
+    pub mode: RunningMode,
+    /// Per-logical-channel service fractions in `[0, 1]`; empty = every
+    /// channel fully served (no per-channel throttling).
+    pub channel_service: Vec<f64>,
+    /// Per-position traffic-steering weights, channel-major (position
+    /// `channel × dimms_per_channel + dimm`), summing to 1; empty = traffic
+    /// follows the workload's natural distribution.
+    pub steering: Vec<f64>,
+}
+
+impl From<RunningMode> for ActuationPlan {
+    /// The scalar shim: a bare running mode is a plan that actuates
+    /// globally, exactly like the pre-plan policies did.
+    fn from(mode: RunningMode) -> Self {
+        ActuationPlan::global(mode)
+    }
+}
+
+/// How a plan transformed a traffic split (progress and accounting inputs
+/// for the window loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanTrafficStats {
+    /// Fraction of the natural locally-served throughput still served after
+    /// per-channel throttling (1.0 for plans without service fractions);
+    /// scales batch progress the way a global bandwidth cap would.
+    pub service_scale: f64,
+    /// Locally served throughput moved off its natural position by steering,
+    /// GB/s (0.0 for plans without steering weights).
+    pub migrated_gbps: f64,
+}
+
+impl PlanTrafficStats {
+    /// The stats of a plan that changes nothing.
+    pub fn identity() -> Self {
+        PlanTrafficStats { service_scale: 1.0, migrated_gbps: 0.0 }
+    }
+}
+
+impl ActuationPlan {
+    /// A plan that only sets the global running mode (scalar plan).
+    pub fn global(mode: RunningMode) -> Self {
+        ActuationPlan { mode, channel_service: Vec::new(), steering: Vec::new() }
+    }
+
+    /// Whether the plan actuates globally only — no per-channel service
+    /// fractions and no steering weights. Scalar plans take the legacy
+    /// (bit-identical) path through the simulation engine.
+    pub fn is_scalar(&self) -> bool {
+        self.channel_service.is_empty() && self.steering.is_empty()
+    }
+
+    /// Attaches per-channel service fractions, clamped into `[0, 1]`
+    /// (non-finite entries become 1.0 — a broken sensor must not stall a
+    /// channel forever).
+    pub fn with_channel_service(mut self, mut service: Vec<f64>) -> Self {
+        for s in &mut service {
+            *s = if s.is_finite() { s.clamp(0.0, 1.0) } else { 1.0 };
+        }
+        self.channel_service = service;
+        self
+    }
+
+    /// Attaches per-position steering weights. Negative and non-finite
+    /// entries are floored to 0 and the vector is normalized to sum to 1;
+    /// an all-zero vector is treated as "no steering".
+    pub fn with_steering(mut self, mut weights: Vec<f64>) -> Self {
+        for w in &mut weights {
+            if !w.is_finite() || *w < 0.0 {
+                *w = 0.0;
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum > 0.0 {
+            for w in &mut weights {
+                *w /= sum;
+            }
+            self.steering = weights;
+        } else {
+            self.steering = Vec::new();
+        }
+        self
+    }
+
+    /// The service fraction of a logical channel (1.0 when the plan carries
+    /// no per-channel fractions or the channel is out of range).
+    pub fn service_for(&self, channel: usize) -> f64 {
+        self.channel_service.get(channel).copied().unwrap_or(1.0)
+    }
+
+    /// Whether the plan throttles a given channel — through a per-channel
+    /// service fraction below 1 or through the global bandwidth cap (which
+    /// caps every channel at once).
+    pub fn throttles_channel(&self, channel: usize) -> bool {
+        self.mode.bandwidth_cap.is_some() || self.service_for(channel) < 1.0
+    }
+
+    /// Applies the plan's spatial fields to a characterized per-DIMM traffic
+    /// split, writing one [`DimmTraffic`] per position (channel-major grid)
+    /// into `out` — the scratch buffer is reused across calls, so the window
+    /// loop allocates nothing at steady state.
+    ///
+    /// Steps, in order:
+    ///
+    /// 1. The natural split is scattered onto the full position grid
+    ///    (positions without characterized traffic idle at zero).
+    /// 2. If the plan carries steering weights of matching length, the total
+    ///    locally served throughput is redistributed as `total × weight[i]`
+    ///    (total conserved; a position that had no traffic inherits the
+    ///    aggregate read fraction).
+    /// 3. Per-channel service fractions scale each position's local traffic.
+    /// 4. Bypass (forwarded) traffic is rebuilt per channel from the planned
+    ///    local traffic: a DIMM forwards everything served behind it.
+    ///
+    /// Returns the [`PlanTrafficStats`] the engine needs to scale batch
+    /// progress and account migrated traffic.
+    ///
+    /// Geometry mismatches are debug-asserted: steering weights whose length
+    /// is not `channels × dimms_per_channel` are ignored in release builds
+    /// (the plan was built against a different grid), and natural traffic
+    /// entries outside the grid are dropped. Both indicate a caller mixing
+    /// plans or design points across memory configurations.
+    pub fn apply_traffic_into(
+        &self,
+        natural: &[DimmTraffic],
+        channels: usize,
+        dimms_per_channel: usize,
+        out: &mut Vec<DimmTraffic>,
+    ) -> PlanTrafficStats {
+        let positions = channels * dimms_per_channel;
+        debug_assert!(
+            self.steering.is_empty() || self.steering.len() == positions,
+            "steering weights ({}) do not match the {channels}x{dimms_per_channel} position grid",
+            self.steering.len(),
+        );
+        debug_assert!(
+            natural.iter().all(|d| d.channel < channels && d.dimm < dimms_per_channel),
+            "natural traffic split carries positions outside the {channels}x{dimms_per_channel} grid",
+        );
+        out.clear();
+        out.extend((0..channels).flat_map(|channel| {
+            (0..dimms_per_channel).map(move |dimm| DimmTraffic { channel, dimm, ..DimmTraffic::default() })
+        }));
+        let mut total_local = 0.0;
+        let mut total_read = 0.0;
+        for d in natural {
+            if d.channel < channels && d.dimm < dimms_per_channel {
+                let slot = &mut out[d.channel * dimms_per_channel + d.dimm];
+                slot.local_gbps = d.local_gbps;
+                slot.read_fraction = d.read_fraction;
+                total_local += d.local_gbps;
+                total_read += d.local_gbps * d.read_fraction;
+            }
+        }
+        let aggregate_read_fraction = if total_local > 0.0 { total_read / total_local } else { 0.0 };
+
+        // 2. Steering: redistribute the (conserved) total over the grid.
+        let mut migrated_gbps = 0.0;
+        if self.steering.len() == positions && total_local > 0.0 {
+            for (slot, &w) in out.iter_mut().zip(&self.steering) {
+                let steered = total_local * w;
+                migrated_gbps += (steered - slot.local_gbps).abs();
+                if slot.local_gbps == 0.0 {
+                    slot.read_fraction = aggregate_read_fraction;
+                }
+                slot.local_gbps = steered;
+            }
+            migrated_gbps *= 0.5; // every moved GB/s leaves one slot and enters another
+        }
+
+        // 3. Per-channel service fractions throttle each channel's share.
+        let steered_total: f64 = out.iter().map(|d| d.local_gbps).sum();
+        if !self.channel_service.is_empty() {
+            for slot in out.iter_mut() {
+                slot.local_gbps *= self.service_for(slot.channel);
+            }
+        }
+        let served_total: f64 = out.iter().map(|d| d.local_gbps).sum();
+        let service_scale = if steered_total > 0.0 { served_total / steered_total } else { 1.0 };
+
+        // 4. Rebuild the FBDIMM chain bypass from the planned local traffic.
+        for channel in 0..channels {
+            let base = channel * dimms_per_channel;
+            let mut behind = 0.0;
+            for dimm in (0..dimms_per_channel).rev() {
+                out[base + dimm].bypass_gbps = behind;
+                behind += out[base + dimm].local_gbps;
+            }
+        }
+
+        PlanTrafficStats { service_scale, migrated_gbps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_model::CpuConfig;
+    use workloads::rng::SmallRng;
+
+    fn full_mode() -> RunningMode {
+        RunningMode::full_speed(&CpuConfig::paper_quad_core())
+    }
+
+    fn natural() -> Vec<DimmTraffic> {
+        vec![
+            DimmTraffic { channel: 0, dimm: 0, local_gbps: 2.0, bypass_gbps: 3.0, read_fraction: 0.8 },
+            DimmTraffic { channel: 0, dimm: 1, local_gbps: 1.5, bypass_gbps: 1.5, read_fraction: 0.6 },
+            DimmTraffic { channel: 0, dimm: 2, local_gbps: 1.5, bypass_gbps: 0.0, read_fraction: 0.5 },
+            DimmTraffic { channel: 1, dimm: 0, local_gbps: 1.0, bypass_gbps: 0.0, read_fraction: 0.7 },
+        ]
+    }
+
+    #[test]
+    fn scalar_shim_round_trips_the_mode() {
+        let mode = full_mode();
+        let plan: ActuationPlan = mode.into();
+        assert!(plan.is_scalar());
+        assert_eq!(plan.mode, mode);
+        assert_eq!(plan.service_for(0), 1.0);
+        assert!(!plan.throttles_channel(0));
+        assert_eq!(plan, ActuationPlan::global(mode));
+    }
+
+    #[test]
+    fn channel_service_is_clamped_and_reported() {
+        let plan = ActuationPlan::global(full_mode()).with_channel_service(vec![1.5, 0.5, -0.25, f64::NAN]);
+        assert_eq!(plan.channel_service, vec![1.0, 0.5, 0.0, 1.0]);
+        assert!(!plan.is_scalar());
+        assert!(!plan.throttles_channel(0), "clamped to full service");
+        assert!(plan.throttles_channel(1) && plan.throttles_channel(2));
+        assert_eq!(plan.service_for(9), 1.0, "out-of-range channels are unthrottled");
+    }
+
+    #[test]
+    fn global_cap_counts_as_throttling_every_channel() {
+        let plan = ActuationPlan::global(full_mode().with_bandwidth_cap_gbps(6.4));
+        assert!(plan.throttles_channel(0) && plan.throttles_channel(7));
+        assert!(plan.is_scalar(), "a global cap alone is still a scalar plan");
+    }
+
+    #[test]
+    fn steering_is_sanitized_and_normalized() {
+        let plan = ActuationPlan::global(full_mode()).with_steering(vec![3.0, 1.0, -2.0, f64::INFINITY]);
+        assert_eq!(plan.steering, vec![0.75, 0.25, 0.0, 0.0]);
+        let none = ActuationPlan::global(full_mode()).with_steering(vec![0.0, -1.0]);
+        assert!(none.is_scalar(), "an all-zero weight vector means no steering");
+    }
+
+    #[test]
+    fn identity_plan_scatters_traffic_onto_the_grid_and_rebuilds_bypass() {
+        let plan = ActuationPlan::global(full_mode());
+        let mut out = Vec::new();
+        let stats = plan.apply_traffic_into(&natural(), 2, 4, &mut out);
+        assert_eq!(stats, PlanTrafficStats::identity());
+        assert_eq!(out.len(), 8);
+        // Locals land on their positions; uncharacterized positions idle.
+        assert_eq!(out[0].local_gbps, 2.0);
+        assert_eq!(out[3].local_gbps, 0.0);
+        // Bypass is the suffix sum of the locals behind each DIMM — which for
+        // this chain-consistent split reproduces the natural bypass.
+        assert_eq!(out[0].bypass_gbps, 3.0);
+        assert_eq!(out[1].bypass_gbps, 1.5);
+        assert_eq!(out[2].bypass_gbps, 0.0);
+        assert_eq!(out[4].bypass_gbps, 0.0);
+    }
+
+    #[test]
+    fn service_fractions_scale_channels_and_progress() {
+        let plan = ActuationPlan::global(full_mode()).with_channel_service(vec![0.5, 1.0]);
+        let mut out = Vec::new();
+        let stats = plan.apply_traffic_into(&natural(), 2, 4, &mut out);
+        // Channel 0 halves (5.0 -> 2.5 GB/s), channel 1 untouched (1.0).
+        assert!((out[0].local_gbps - 1.0).abs() < 1e-12);
+        assert!((out[4].local_gbps - 1.0).abs() < 1e-12);
+        // Progress scales by served/natural = 3.5/6.0.
+        assert!((stats.service_scale - 3.5 / 6.0).abs() < 1e-12);
+        assert_eq!(stats.migrated_gbps, 0.0);
+        // The throttled channel's bypass shrank with its locals.
+        assert!((out[0].bypass_gbps - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steering_conserves_total_traffic_and_counts_migration() {
+        // All weight onto channel 1: every locally served GB/s moves.
+        let mut w = vec![0.0; 8];
+        w[4] = 1.0;
+        let plan = ActuationPlan::global(full_mode()).with_steering(w);
+        let mut out = Vec::new();
+        let stats = plan.apply_traffic_into(&natural(), 2, 4, &mut out);
+        let total: f64 = out.iter().map(|d| d.local_gbps).sum();
+        assert!((total - 6.0).abs() < 1e-12, "steering conserves the total");
+        assert!((out[4].local_gbps - 6.0).abs() < 1e-12);
+        assert_eq!(stats.service_scale, 1.0, "steering alone never throttles");
+        // 5.0 GB/s left channel 0; position (1,0) gained 5.0 of its 6.0.
+        assert!((stats.migrated_gbps - 5.0).abs() < 1e-12);
+        // Positions that had no characterized traffic inherit the aggregate
+        // read fraction.
+        let aggregate = (2.0 * 0.8 + 1.5 * 0.6 + 1.5 * 0.5 + 1.0 * 0.7) / 6.0;
+        assert!((out[3].read_fraction - aggregate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_plans_conserve_traffic_and_keep_weights_normalized() {
+        // Property test: for random weights and service fractions, the
+        // steered total equals the natural total, the served total matches
+        // service_scale, and sanitized weights always sum to 1.
+        let mut rng = SmallRng::seed_from_u64(0x091a_2026);
+        for case in 0..300 {
+            let channels = 1 + rng.gen_range(0..4u64) as usize;
+            let dpc = 1 + rng.gen_range(0..4u64) as usize;
+            let natural: Vec<DimmTraffic> = (0..channels)
+                .flat_map(|channel| (0..dpc).map(move |dimm| (channel, dimm)))
+                .map(|(channel, dimm)| DimmTraffic {
+                    channel,
+                    dimm,
+                    local_gbps: 2.0 * rng.next_f64(),
+                    bypass_gbps: 0.0,
+                    read_fraction: rng.next_f64(),
+                })
+                .collect();
+            let weights: Vec<f64> = (0..channels * dpc).map(|_| rng.next_f64()).collect();
+            let service: Vec<f64> = (0..channels).map(|_| rng.next_f64()).collect();
+            let plan = ActuationPlan::global(full_mode()).with_steering(weights).with_channel_service(service.clone());
+            let sum: f64 = plan.steering.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "case {case}: weights sum to {sum}");
+            assert!(plan.steering.iter().all(|&w| w >= 0.0));
+
+            let natural_total: f64 = natural.iter().map(|d| d.local_gbps).sum();
+            let mut out = Vec::new();
+            let stats = plan.apply_traffic_into(&natural, channels, dpc, &mut out);
+            let served: f64 = out.iter().map(|d| d.local_gbps).sum();
+            let expected_served: f64 =
+                plan.steering.iter().enumerate().map(|(i, &w)| natural_total * w * service[i / dpc]).sum();
+            assert!((served - expected_served).abs() < 1e-9, "case {case}");
+            let scale = if natural_total > 0.0 { served / natural_total } else { 1.0 };
+            assert!((stats.service_scale - scale).abs() < 1e-9, "case {case}");
+            // Bypass consistency: every DIMM forwards exactly what is served
+            // behind it.
+            for channel in 0..channels {
+                let base = channel * dpc;
+                for dimm in 0..dpc {
+                    let behind: f64 = (dimm + 1..dpc).map(|d| out[base + d].local_gbps).sum();
+                    assert!((out[base + dimm].bypass_gbps - behind).abs() < 1e-12, "case {case}");
+                }
+            }
+        }
+    }
+}

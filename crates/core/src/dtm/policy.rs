@@ -2,6 +2,7 @@
 
 use cpu_model::RunningMode;
 
+use crate::dtm::plan::ActuationPlan;
 use crate::thermal::scene::ThermalObservation;
 
 /// Identifier of a DTM scheme.
@@ -20,6 +21,12 @@ pub enum DtmScheme {
     Cdvfs,
     /// Combined core gating + DVFS (DTM-COMB, Chapter 5).
     Comb,
+    /// Per-channel bandwidth throttling (DTM-CBW): every logical channel is
+    /// capped from its own hottest layer instead of the global maximum.
+    Cbw,
+    /// Migration-aware steering (DTM-MIG): traffic is shifted away from the
+    /// hottest DIMM position toward the coldest.
+    Mig,
 }
 
 impl std::fmt::Display for DtmScheme {
@@ -31,6 +38,8 @@ impl std::fmt::Display for DtmScheme {
             DtmScheme::Acg => "DTM-ACG",
             DtmScheme::Cdvfs => "DTM-CDVFS",
             DtmScheme::Comb => "DTM-COMB",
+            DtmScheme::Cbw => "DTM-CBW",
+            DtmScheme::Mig => "DTM-MIG",
         };
         write!(f, "{s}")
     }
@@ -40,20 +49,24 @@ impl std::fmt::Display for DtmScheme {
 ///
 /// The second-level simulator calls [`DtmPolicy::decide`] once per DTM
 /// interval with a [`ThermalObservation`] — the sensed temperature field of
-/// the memory subsystem, including the per-position temperatures and the
-/// derived hottest DIMM; the policy returns the running mode for the next
-/// interval. The paper's schemes act on the observation's maxima; the full
-/// field is available for spatially aware policies.
+/// the memory subsystem, including the per-position, per-layer temperatures
+/// and the derived hottest devices — and the policy returns an
+/// [`ActuationPlan`] for the next interval. The paper's schemes actuate
+/// globally and return scalar plans (`mode.into()`, one line per policy);
+/// spatially aware policies attach per-channel service fractions or
+/// steering weights on top of the global mode.
 pub trait DtmPolicy: std::fmt::Debug {
-    /// Chooses the running mode for the next interval. `dt_s` is the time
-    /// since the previous decision in seconds.
-    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> RunningMode;
+    /// Chooses the actuation plan for the next interval. `dt_s` is the time
+    /// since the previous decision in seconds. Scalar policies return
+    /// `mode.into()`.
+    fn decide(&mut self, observation: &ThermalObservation, dt_s: f64) -> ActuationPlan;
 
-    /// Convenience for sensor-style callers and tests: decides from scalar
-    /// hottest-device temperatures (an observation with no per-position
-    /// field).
+    /// Convenience for sensor-style callers and tests: the plan's global
+    /// running mode, decided from scalar hottest-device temperatures (an
+    /// observation with no per-position field — spatial policies degrade to
+    /// their global behavior).
     fn decide_temps(&mut self, amb_temp_c: f64, dram_temp_c: f64, dt_s: f64) -> RunningMode {
-        self.decide(&ThermalObservation::from_hottest(amb_temp_c, dram_temp_c), dt_s)
+        self.decide(&ThermalObservation::from_hottest(amb_temp_c, dram_temp_c), dt_s).mode
     }
 
     /// The scheme this policy implements.
@@ -89,5 +102,8 @@ mod tests {
         assert_eq!(DtmScheme::Cdvfs.to_string(), "DTM-CDVFS");
         assert_eq!(DtmScheme::Comb.to_string(), "DTM-COMB");
         assert_eq!(DtmScheme::NoLimit.to_string(), "No-limit");
+        // The spatially aware additions follow the paper's naming pattern.
+        assert_eq!(DtmScheme::Cbw.to_string(), "DTM-CBW");
+        assert_eq!(DtmScheme::Mig.to_string(), "DTM-MIG");
     }
 }

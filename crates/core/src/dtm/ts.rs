@@ -7,6 +7,7 @@
 
 use cpu_model::{CpuConfig, RunningMode};
 
+use crate::dtm::plan::ActuationPlan;
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::thermal::params::ThermalLimits;
 use crate::thermal::scene::ThermalObservation;
@@ -37,7 +38,7 @@ impl DtmTs {
 }
 
 impl DtmPolicy for DtmTs {
-    fn decide(&mut self, observation: &ThermalObservation, _dt_s: f64) -> RunningMode {
+    fn decide(&mut self, observation: &ThermalObservation, _dt_s: f64) -> ActuationPlan {
         if observation.over_tdp(&self.limits) {
             self.shut_down = true;
         } else if self.shut_down && observation.released(&self.limits) {
@@ -47,9 +48,9 @@ impl DtmPolicy for DtmTs {
             self.shut_down = false;
         }
         if self.shut_down {
-            RunningMode { active_cores: 0, op: self.cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) }
+            RunningMode { active_cores: 0, op: self.cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) }.into()
         } else {
-            RunningMode::full_speed(&self.cpu)
+            RunningMode::full_speed(&self.cpu).into()
         }
     }
 

@@ -27,8 +27,13 @@
 //!   (DTM-CDVFS) and the combined policy (DTM-COMB), each optionally driven
 //!   by a PID formal controller (Eq. 4.1). Policies consume a
 //!   [`ThermalObservation`](crate::thermal::scene::ThermalObservation) — the
-//!   sensed temperature field with per-position resolution — rather than two
-//!   bare floats.
+//!   sensed temperature field with per-position, per-layer resolution — and
+//!   answer with an [`ActuationPlan`](crate::dtm::plan::ActuationPlan):
+//!   the global running mode plus optional per-channel service fractions
+//!   and traffic-steering weights. Two spatially aware schemes exploit the
+//!   field the paper's policies ignore: DTM-CBW (per-channel bandwidth
+//!   caps keyed to each channel's hottest layer) and DTM-MIG
+//!   (migration-aware steering away from the hottest DIMM position).
 //! * **The two-level thermal simulator** ([`sim`]): level 1 characterizes
 //!   workload mixes under every running mode using the `cpu-model` and
 //!   `fbdimm-sim` substrates; level 2 ("MEMSpot") replays those
@@ -86,8 +91,9 @@ pub mod thermal;
 pub mod prelude {
     pub use crate::dtm::emergency::{EmergencyLevel, EmergencyThresholds};
     pub use crate::dtm::pid::PidController;
+    pub use crate::dtm::plan::{ActuationPlan, PlanTrafficStats};
     pub use crate::dtm::policy::{DtmPolicy, DtmScheme};
-    pub use crate::dtm::{acg::DtmAcg, bw::DtmBw, cdvfs::DtmCdvfs, comb::DtmComb, ts::DtmTs};
+    pub use crate::dtm::{acg::DtmAcg, bw::DtmBw, cbw::DtmCbw, cdvfs::DtmCdvfs, comb::DtmComb, mig::DtmMig, ts::DtmTs};
     pub use crate::power::amb::AmbPowerModel;
     pub use crate::power::dram::DramPowerModel;
     pub use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};

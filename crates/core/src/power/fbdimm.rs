@@ -4,11 +4,16 @@
 //! produced by the memory simulator: per-DIMM power for the thermal model,
 //! per-**layer** power for the stack-resolved scene (each position's
 //! buffer/DRAM breakdown splits over its
-//! [`StackTopology`](crate::thermal::params::StackTopology)'s layers), and
+//! [`StackTopology`](crate::thermal::params::StackTopology)'s layers),
+//! plan-transformed power for spatially resolved DTM
+//! ([`FbdimmPowerModel::scene_power_planned`] routes a traffic split
+//! through an [`ActuationPlan`]'s steering weights and per-channel service
+//! fractions, so asymmetric throttling shows up as asymmetric heat), and
 //! total memory subsystem power for the energy results (Figure 4.9).
 
 use fbdimm_sim::{DimmTraffic, TrafficWindow};
 
+use crate::dtm::plan::{ActuationPlan, PlanTrafficStats};
 use crate::power::amb::AmbPowerModel;
 use crate::power::dram::DramPowerModel;
 use crate::thermal::params::StackTopology;
@@ -81,6 +86,35 @@ impl FbdimmPowerModel {
     /// `window.dimms` (channel-major for a full window).
     pub fn scene_power(&self, window: &TrafficWindow, dimms_per_channel: usize) -> Vec<FbdimmPowerBreakdown> {
         self.scene_power_from_traffic(&window.dimms, dimms_per_channel)
+    }
+
+    /// Per-position power breakdowns after an [`ActuationPlan`] transformed
+    /// the traffic split: steering weights redistribute the locally served
+    /// throughput over the `channels × dimms_per_channel` position grid,
+    /// per-channel service fractions scale each channel's share, and the
+    /// FBDIMM chain bypass is rebuilt from the planned locals
+    /// ([`ActuationPlan::apply_traffic_into`]) — so a plan that starves one
+    /// channel cools exactly that channel's positions. Scalar plans
+    /// reproduce [`FbdimmPowerModel::scene_power_from_traffic`] over the
+    /// grid. Returns the breakdowns (grid order) together with the plan's
+    /// [`PlanTrafficStats`].
+    ///
+    /// This is the convenience composition of
+    /// [`ActuationPlan::apply_traffic_into`] and
+    /// [`FbdimmPowerModel::scene_power_from_traffic`] for one-shot callers
+    /// (analyses, tests); the window loop in `sim/engine.rs` inlines the
+    /// same two primitives with reusable scratch buffers, so the two paths
+    /// cannot diverge behaviorally.
+    pub fn scene_power_planned(
+        &self,
+        dimms: &[DimmTraffic],
+        channels: usize,
+        dimms_per_channel: usize,
+        plan: &ActuationPlan,
+    ) -> (Vec<FbdimmPowerBreakdown>, PlanTrafficStats) {
+        let mut grid = Vec::new();
+        let stats = plan.apply_traffic_into(dimms, channels, dimms_per_channel, &mut grid);
+        (self.scene_power_from_traffic(&grid, dimms_per_channel), stats)
     }
 
     /// Per-layer watts of one position's device stack: the position's
@@ -225,6 +259,43 @@ mod tests {
     fn breakdown_total_is_sum_of_parts() {
         let b = FbdimmPowerBreakdown { amb_watts: 5.0, dram_watts: 2.0 };
         assert!((b.total_watts() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planned_scene_power_makes_asymmetric_throttling_asymmetric_heat() {
+        use crate::dtm::plan::ActuationPlan;
+        use cpu_model::{CpuConfig, RunningMode};
+        let model = FbdimmPowerModel::paper_defaults();
+        let dimms = vec![
+            DimmTraffic { channel: 0, dimm: 0, local_gbps: 2.0, bypass_gbps: 2.0, read_fraction: 0.7 },
+            DimmTraffic { channel: 0, dimm: 1, local_gbps: 2.0, bypass_gbps: 0.0, read_fraction: 0.7 },
+            DimmTraffic { channel: 1, dimm: 0, local_gbps: 2.0, bypass_gbps: 2.0, read_fraction: 0.7 },
+            DimmTraffic { channel: 1, dimm: 1, local_gbps: 2.0, bypass_gbps: 0.0, read_fraction: 0.7 },
+        ];
+        let mode = RunningMode::full_speed(&CpuConfig::paper_quad_core());
+
+        // A scalar plan reproduces the unplanned per-position power exactly.
+        let (scalar, stats) = model.scene_power_planned(&dimms, 2, 2, &ActuationPlan::global(mode));
+        assert_eq!(stats.service_scale, 1.0);
+        assert_eq!(scalar, model.scene_power_from_traffic(&dimms, 2));
+
+        // Starving channel 0 cools channel 0's positions and only them.
+        let plan = ActuationPlan::global(mode).with_channel_service(vec![0.25, 1.0]);
+        let (planned, stats) = model.scene_power_planned(&dimms, 2, 2, &plan);
+        assert!((stats.service_scale - 0.625).abs() < 1e-12, "half the traffic at 1/4 service");
+        assert!(planned[0].total_watts() < scalar[0].total_watts());
+        assert!(planned[1].total_watts() < scalar[1].total_watts());
+        assert_eq!(planned[2], scalar[2], "untouched channel keeps its heat");
+        assert_eq!(planned[3], scalar[3]);
+
+        // Steering everything onto channel 1 moves the watts with it.
+        let steer = ActuationPlan::global(mode).with_steering(vec![0.0, 0.0, 0.5, 0.5]);
+        let (steered, stats) = model.scene_power_planned(&dimms, 2, 2, &steer);
+        assert_eq!(stats.service_scale, 1.0, "steering moves heat without throttling");
+        assert!(stats.migrated_gbps > 0.0);
+        let idle = model.idle_dimm_power(false);
+        assert!((steered[0].total_watts() - idle.total_watts()).abs() < 1e-12, "drained position idles");
+        assert!(steered[2].total_watts() > scalar[2].total_watts(), "target position heats up");
     }
 
     #[test]

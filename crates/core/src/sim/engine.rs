@@ -9,15 +9,24 @@
 //! policy a
 //! [`ThermalObservation`](crate::thermal::scene::ThermalObservation) — the
 //! full sensed per-position, per-layer temperature field with the hottest
-//! devices derived by arg-max — instead of two bare floats.
+//! devices derived by arg-max — and receives an
+//! [`ActuationPlan`](crate::dtm::plan::ActuationPlan) back. Scalar plans
+//! (global mode only) take the legacy code path bit-identically; spatial
+//! plans steer the design point's traffic across positions and throttle
+//! individual channels ([`ActuationPlan::apply_traffic_into`]), so
+//! asymmetric throttling shows up as asymmetric heat, batch progress scales
+//! with the served traffic fraction, and the result gains per-channel
+//! throttle residency plus the total migrated traffic.
 //!
 //! The loop is allocation-free at steady state for any stack depth: the
 //! scene steps with precomputed per-layer RC decay coefficients (no
 //! per-window `exp()`, `depth + 1` of them cached per distinct step
 //! length), one scratch observation buffer is refilled per DTM interval,
-//! the idle-power vector is computed once per run, and mode residency is
-//! keyed by the quantized [`ModeKey`] (stringified once per distinct mode
-//! after the run) instead of formatting a `String` every step.
+//! the idle-power vector is computed once per run, the planned-traffic grid
+//! is a scratch buffer rebuilt only when the plan or design point changes,
+//! and mode residency is keyed by the quantized [`ModeKey`] (stringified
+//! once per distinct mode after the run) instead of formatting a `String`
+//! every step.
 //!
 //! [`MemSpot`](crate::sim::memspot::MemSpot) remains the public facade; it
 //! handles characterization-table caching and delegates each run here.
@@ -26,9 +35,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cpu_model::{CpuConfig, PaperCpuPower, ProcessorPowerModel, RunningMode};
-use fbdimm_sim::FbdimmConfig;
+use fbdimm_sim::{DimmTraffic, FbdimmConfig};
 use workloads::{BatchJob, WorkloadMix};
 
+use crate::dtm::plan::{ActuationPlan, PlanTrafficStats};
 use crate::dtm::policy::DtmPolicy;
 use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};
 use crate::sim::characterize::{CharPoint, CharacterizationTable, ModeKey};
@@ -110,21 +120,19 @@ impl<'a> SimEngine<'a> {
             .collect()
     }
 
-    /// Per-position power for a progressing design point, in scene order.
-    /// Positions the point carries no traffic for draw idle power. `idle` is
-    /// the run's cached [`SimEngine::idle_powers`] vector.
+    /// Per-position power for a per-DIMM traffic split, in scene order —
+    /// either a design point's natural split or the grid an
+    /// [`ActuationPlan`] produced from it. Positions the split carries no
+    /// traffic for draw idle power. `idle` is the run's cached
+    /// [`SimEngine::idle_powers`] vector.
     fn position_powers(
         &self,
         scene: &DimmThermalScene,
         idle: &[FbdimmPowerBreakdown],
-        point: &CharPoint,
+        traffic: &[DimmTraffic],
     ) -> Vec<FbdimmPowerBreakdown> {
         let mut powers = idle.to_vec();
-        for (d, p) in point
-            .dimm_traffic
-            .iter()
-            .zip(self.power.scene_power_from_traffic(&point.dimm_traffic, self.mem.dimms_per_channel))
-        {
+        for (d, p) in traffic.iter().zip(self.power.scene_power_from_traffic(traffic, self.mem.dimms_per_channel)) {
             if let Some(idx) = scene.position_index(d.channel, d.dimm) {
                 powers[idx] = p;
             }
@@ -137,10 +145,11 @@ impl<'a> SimEngine<'a> {
         scene: &DimmThermalScene,
         idle: &[FbdimmPowerBreakdown],
         point: &CharPoint,
+        traffic: &[DimmTraffic],
         mode: &RunningMode,
         progressing: bool,
     ) -> WindowPower {
-        let positions = if progressing { self.position_powers(scene, idle, point) } else { idle.to_vec() };
+        let positions = if progressing { self.position_powers(scene, idle, traffic) } else { idle.to_vec() };
         let mem_w: f64 =
             positions.iter().map(FbdimmPowerBreakdown::total_watts).sum::<f64>() * self.mem.phys_per_logical as f64;
         let (cpu_w, v_ipc) = if progressing {
@@ -173,24 +182,32 @@ impl<'a> SimEngine<'a> {
         let full_point = table.point(&full_mode);
         let full_shares = full_point.core_share.clone();
 
-        // Run-constant hot-loop state: the idle-power vector (scene order)
-        // and the scratch observation buffer refilled at each DTM interval.
+        // Run-constant hot-loop state: the idle-power vector (scene order),
+        // the scratch observation buffer refilled at each DTM interval, and
+        // the planned-traffic grid rebuilt only when a spatial plan (or its
+        // design point) changes.
         let idle = self.idle_powers();
         let mut observation = scene.observe();
+        let mut plan_traffic: Vec<DimmTraffic> = Vec::new();
+        let mut plan_stats = PlanTrafficStats::identity();
+        let channels = self.mem.logical_channels;
 
         let step_s = self.config.window_s.min(self.config.dtm_interval_s).max(1e-4);
         let mut time_s = 0.0f64;
         let mut next_dtm_s = 0.0f64;
         let mut next_trace_s = 0.0f64;
+        let mut plan = ActuationPlan::global(full_mode);
         let mut mode = full_mode;
         let mut mode_key = ModeKey::from_mode(&mode);
         let mut point: Arc<CharPoint> = full_point;
         let mut progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
-        let mut window = self.window_power(&scene, &idle, &point, &mode, progressing);
+        let mut window = self.window_power(&scene, &idle, &point, &point.dimm_traffic, &mode, progressing);
 
         let mut total_instructions = 0.0f64;
         let mut total_bytes = 0.0f64;
         let mut total_misses = 0.0f64;
+        let mut migrated_bytes = 0.0f64;
+        let mut channel_throttle_s = vec![0.0f64; channels];
         let (mut max_amb, mut max_dram) = scene.max_temps_c();
         let mut ambient_sum = 0.0f64;
         let mut ambient_samples = 0u64;
@@ -201,30 +218,50 @@ impl<'a> SimEngine<'a> {
 
         while !batch.is_complete() && time_s < self.config.max_sim_time_s {
             // DTM decision at the configured interval, on the full sensed
-            // temperature field.
+            // temperature field. Scalar plans change only when their mode
+            // changes, so the legacy policies charge overhead (and recompute
+            // window power) exactly as often as before the plan refactor.
             let mut overhead_s = 0.0;
             if time_s + 1e-12 >= next_dtm_s {
                 scene.observe_into(&mut observation);
-                let new_mode = policy.decide(&observation, self.config.dtm_interval_s);
-                if new_mode != mode {
+                let new_plan = policy.decide(&observation, self.config.dtm_interval_s);
+                if new_plan != plan {
                     overhead_s = self.config.dtm_overhead_s;
-                    mode = new_mode;
-                    mode_key = ModeKey::from_mode(&mode);
-                    point = table.point(&mode);
-                    progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
-                    window = self.window_power(&scene, &idle, &point, &mode, progressing);
+                    if new_plan.mode != mode {
+                        mode = new_plan.mode;
+                        mode_key = ModeKey::from_mode(&mode);
+                        point = table.point(&mode);
+                        progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
+                    }
+                    plan = new_plan;
+                    if plan.is_scalar() {
+                        plan_stats = PlanTrafficStats::identity();
+                        window = self.window_power(&scene, &idle, &point, &point.dimm_traffic, &mode, progressing);
+                    } else {
+                        plan_stats = plan.apply_traffic_into(
+                            &point.dimm_traffic,
+                            channels,
+                            self.mem.dimms_per_channel,
+                            &mut plan_traffic,
+                        );
+                        window = self.window_power(&scene, &idle, &point, &plan_traffic, &mode, progressing);
+                    }
                 }
                 next_dtm_s += self.config.dtm_interval_s;
             }
 
             let effective_s = (step_s - overhead_s).max(0.0);
 
-            // Advance batch progress and traffic statistics.
+            // Advance batch progress and traffic statistics; per-channel
+            // service fractions scale progress by the served traffic share
+            // (`service_scale` is exactly 1.0 for scalar plans, so the
+            // legacy trajectories carry identical bits).
             if progressing {
-                let instr = point.instr_rate_total * effective_s;
+                let instr = point.instr_rate_total * plan_stats.service_scale * effective_s;
                 total_instructions += instr;
-                total_bytes += point.total_gbps() * 1e9 * effective_s;
+                total_bytes += point.total_gbps() * plan_stats.service_scale * 1e9 * effective_s;
                 total_misses += point.l2_misses_per_instr * instr;
+                migrated_bytes += plan_stats.migrated_gbps * 1e9 * effective_s;
                 for core in 0..self.cpu.cores {
                     let share = full_shares.get(core).copied().unwrap_or(0.0);
                     if share > 0.0 {
@@ -242,6 +279,11 @@ impl<'a> SimEngine<'a> {
             ambient_sum += scene.ambient_c();
             ambient_samples += 1;
             *residency.entry(mode_key).or_insert(0.0) += step_s;
+            for (channel, throttled_s) in channel_throttle_s.iter_mut().enumerate() {
+                if plan.throttles_channel(channel) {
+                    *throttled_s += step_s;
+                }
+            }
 
             if self.config.record_temp_trace && time_s + 1e-12 >= next_trace_s {
                 trace.push(TempSample {
@@ -301,6 +343,8 @@ impl<'a> SimEngine<'a> {
             mode_residency,
             temp_trace: trace,
             position_peaks,
+            channel_throttle_residency: channel_throttle_s.iter().map(|&s| s / elapsed).collect(),
+            migrated_traffic_bytes: migrated_bytes,
         }
     }
 }
@@ -390,7 +434,7 @@ mod tests {
         let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w1().apps, 15_000);
         let mode = RunningMode::full_speed(&cpu);
         let point = table.point(&mode);
-        let w = engine.window_power(&scene, &engine.idle_powers(), &point, &mode, true);
+        let w = engine.window_power(&scene, &engine.idle_powers(), &point, &point.dimm_traffic, &mode, true);
         assert_eq!(w.positions.len(), mem.dimm_positions());
         // The window total equals the legacy subsystem accounting.
         let legacy = power.subsystem_power_watts_from_point(&point, mem.dimms_per_channel, mem.phys_per_logical);
@@ -410,7 +454,7 @@ mod tests {
         let mut table = CharacterizationTable::new(cpu.clone(), mem, mixes::w1().apps, 15_000);
         let off = RunningMode { active_cores: 0, op: cpu.dvfs.bottom(), bandwidth_cap: Some(0.0) };
         let point = table.point(&off);
-        let w = engine.window_power(&scene, &engine.idle_powers(), &point, &off, false);
+        let w = engine.window_power(&scene, &engine.idle_powers(), &point, &point.dimm_traffic, &off, false);
         let legacy =
             power.subsystem_idle_power_watts(mem.logical_channels, mem.dimms_per_channel, mem.phys_per_logical);
         assert!((w.mem_w - legacy).abs() < 1e-9);

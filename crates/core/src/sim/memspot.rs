@@ -247,6 +247,17 @@ pub struct MemSpotResult {
     /// Per-DIMM-position peak temperatures (channel-resolved thermal
     /// field); `max_amb_c` / `max_dram_c` are the maxima over this list.
     pub position_peaks: Vec<PositionPeak>,
+    /// Fraction of the run each logical channel spent throttled — by a
+    /// per-channel service fraction below 1
+    /// ([`ActuationPlan`](crate::dtm::plan::ActuationPlan) spatial plans)
+    /// or by a global bandwidth cap, which throttles every channel at once.
+    /// One entry per logical channel; all zero for policies that never
+    /// capped anything.
+    pub channel_throttle_residency: Vec<f64>,
+    /// Total traffic moved off its natural DIMM position by steering
+    /// weights (DTM-MIG-style migration), bytes. Zero for plans without
+    /// steering.
+    pub migrated_traffic_bytes: f64,
 }
 
 impl PartialEq for MemSpotResult {
@@ -270,6 +281,8 @@ impl PartialEq for MemSpotResult {
             && self.mode_residency == other.mode_residency
             && self.temp_trace == other.temp_trace
             && self.position_peaks == other.position_peaks
+            && self.channel_throttle_residency == other.channel_throttle_residency
+            && self.migrated_traffic_bytes == other.migrated_traffic_bytes
     }
 }
 
@@ -313,6 +326,22 @@ impl MemSpotResult {
     pub fn hottest_position(&self) -> Option<&PositionPeak> {
         let rank = |p: &PositionPeak| if p.max_amb_c.is_nan() { p.layers_c[p.hottest_layer] } else { p.max_amb_c };
         self.position_peaks.iter().max_by(|a, b| rank(a).partial_cmp(&rank(b)).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The hottest-layer peak of the hottest DIMM position, °C — the
+    /// spatial hot spot of the run, whatever device kind it is (base die,
+    /// AMB or a DRAM layer).
+    pub fn hottest_layer_peak_c(&self) -> f64 {
+        self.position_peaks.iter().map(|p| p.layers_c[p.hottest_layer]).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Hottest-vs-coldest position peak spread, °C: the hottest-layer peak
+    /// of the hottest position minus that of the coldest. This is the
+    /// flatness metric spatial DTM policies (DTM-MIG) optimize — a
+    /// perfectly balanced field has zero spread.
+    pub fn position_peak_spread_c(&self) -> f64 {
+        let coldest = self.position_peaks.iter().map(|p| p.layers_c[p.hottest_layer]).fold(f64::INFINITY, f64::min);
+        self.hottest_layer_peak_c() - coldest
     }
 }
 

@@ -25,6 +25,12 @@ impl std::fmt::Display for ThermalRunningLevel {
 /// The DTM-BW bandwidth limits of Table 4.3, in GB/s, for levels L2..L4.
 pub const BW_LIMITS_GBPS: [f64; 3] = [19.2, 12.8, 6.4];
 
+/// Peak throughput of the paper's memory subsystem, GB/s: four fully
+/// populated DDR2-667 FBDIMM channels at 6.4 GB/s each — the reference the
+/// Table 4.3 caps (and the per-channel service fractions derived from
+/// them, [`EmergencyLevel::service_fraction`]) are normalized against.
+pub const PEAK_BANDWIDTH_GBPS: f64 = 25.6;
+
 /// Returns the running mode a scheme selects at a given emergency level
 /// (Table 4.3). The highest emergency level shuts the memory subsystem off
 /// for every scheme.
@@ -37,7 +43,10 @@ pub fn scheme_mode(scheme: DtmScheme, level: EmergencyLevel, cpu: &CpuConfig) ->
     match scheme {
         DtmScheme::NoLimit => full,
         DtmScheme::Ts => full,
-        DtmScheme::Bw => match level {
+        // The spatial schemes actuate through their plans' service fractions
+        // and steering weights; forced to a *global* level they fall back to
+        // the DTM-BW ladder (their fail-safe).
+        DtmScheme::Bw | DtmScheme::Cbw | DtmScheme::Mig => match level {
             EmergencyLevel::L1 => full,
             EmergencyLevel::L2 => full.with_bandwidth_cap_gbps(BW_LIMITS_GBPS[0]),
             EmergencyLevel::L3 => full.with_bandwidth_cap_gbps(BW_LIMITS_GBPS[1]),

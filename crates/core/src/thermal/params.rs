@@ -565,6 +565,17 @@ impl ThermalLimits {
         self
     }
 
+    /// Returns a copy with a different DRAM TDP, shifting the TRP to keep
+    /// the same margin. Bufferless topologies (DDR4/5 rank pairs, 3D
+    /// stacks) are DRAM-limited, so this is their equivalent of the Figure
+    /// 5.14 AMB-TDP sweep.
+    pub fn with_dram_tdp(mut self, tdp_c: f64) -> Self {
+        let margin = self.dram_tdp_c - self.dram_trp_c;
+        self.dram_tdp_c = tdp_c;
+        self.dram_trp_c = tdp_c - margin;
+        self
+    }
+
     /// The thermal design point that applies to a stack layer of the given
     /// kind: buffer dies are judged against the AMB limit, DRAM dies and
     /// ranks against the DRAM limit.

@@ -180,6 +180,49 @@ impl ThermalObservation {
         }
         &self.layer_temps_c[index * self.layer_depth..(index + 1) * self.layer_depth]
     }
+
+    /// Number of logical channels covered by the per-position field (0 for
+    /// synthesized observations).
+    pub fn channels(&self) -> usize {
+        self.positions.iter().map(|p| p.channel + 1).max().unwrap_or(0)
+    }
+
+    /// The hottest buffer and DRAM temperatures of one logical channel,
+    /// NaN-safe: the buffer maximum is `NaN` for bufferless stacks, and both
+    /// are `NaN` when the channel has no observed positions. This is the
+    /// sensor input of per-channel policies
+    /// ([`DtmCbw`](crate::dtm::cbw::DtmCbw)): each channel is throttled from
+    /// its own hottest layer instead of the global maximum.
+    pub fn channel_max_temps(&self, channel: usize) -> (f64, f64) {
+        let nan_max = |acc: f64, t: f64| if t.is_nan() || t <= acc { acc } else { t };
+        let mut amb = f64::NAN;
+        let mut dram = f64::NAN;
+        for p in self.positions.iter().filter(|p| p.channel == channel) {
+            amb = if amb.is_nan() { p.amb_c } else { nan_max(amb, p.amb_c) };
+            dram = if dram.is_nan() { p.dram_c } else { nan_max(dram, p.dram_c) };
+        }
+        (amb, dram)
+    }
+
+    /// Index (into `positions`) of the position whose hottest layer is the
+    /// hottest of the field, or `None` for synthesized observations.
+    pub fn hottest_position_index(&self) -> Option<usize> {
+        self.positions
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.hottest_layer_c.total_cmp(&b.hottest_layer_c))
+            .map(|(i, _)| i)
+    }
+
+    /// Index (into `positions`) of the position whose hottest layer is the
+    /// coolest of the field, or `None` for synthesized observations.
+    pub fn coldest_position_index(&self) -> Option<usize> {
+        self.positions
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.hottest_layer_c.total_cmp(&b.hottest_layer_c))
+            .map(|(i, _)| i)
+    }
 }
 
 /// Precomputed per-step RC decay factors for one step length. Every position
@@ -763,6 +806,46 @@ mod tests {
         assert!(obs.max_amb_opt().is_some());
         assert_eq!(scene.layer_peaks_of(0).len(), 5);
         assert!(scene.layer_peaks_of(0)[1] >= stack[1]);
+    }
+
+    #[test]
+    fn channel_and_position_helpers_resolve_the_field() {
+        let mem = shape();
+        let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let powers = graded_powers(scene.len());
+        for _ in 0..200 {
+            scene.step(&powers, 0.0, 1.0);
+        }
+        let obs = scene.observe();
+        assert_eq!(obs.channels(), mem.logical_channels);
+        let (amb0, dram0) = obs.channel_max_temps(0);
+        let expected_amb =
+            obs.positions.iter().filter(|p| p.channel == 0).map(|p| p.amb_c).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(amb0, expected_amb);
+        assert!(dram0 > 0.0);
+        // A channel outside the field reports NaN for both devices.
+        let (nan_amb, nan_dram) = obs.channel_max_temps(99);
+        assert!(nan_amb.is_nan() && nan_dram.is_nan());
+        // Hottest/coldest positions: dimm 0 carries the bypass power, the
+        // far end of the chain idles coolest.
+        let hot = obs.hottest_position_index().unwrap();
+        let cold = obs.coldest_position_index().unwrap();
+        assert_eq!(obs.positions[hot].dimm, 0);
+        assert_eq!(obs.positions[cold].dimm, 3);
+        assert!(obs.positions[hot].hottest_layer_c > obs.positions[cold].hottest_layer_c);
+        // Bufferless channels report a NaN buffer maximum but a real DRAM one.
+        let mut rank = stacked_scene(StackKind::RankPair);
+        let powers = vec![FbdimmPowerBreakdown { amb_watts: 1.0, dram_watts: 3.0 }; rank.len()];
+        for _ in 0..100 {
+            rank.step(&powers, 0.0, 1.0);
+        }
+        let obs = rank.observe();
+        let (amb, dram) = obs.channel_max_temps(0);
+        assert!(amb.is_nan() && dram > 45.0);
+        // Synthesized observations have no field to resolve.
+        let synth = ThermalObservation::from_hottest(100.0, 80.0);
+        assert_eq!(synth.channels(), 0);
+        assert!(synth.hottest_position_index().is_none() && synth.coldest_position_index().is_none());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! AMB sensor, and actuation goes through the hotplug / cpufreq emulation.
 
 use cpu_model::RunningMode;
+use memtherm::dtm::plan::ActuationPlan;
 use memtherm::dtm::policy::{DtmPolicy, DtmScheme};
 use memtherm::thermal::scene::ThermalObservation;
 
@@ -179,12 +180,13 @@ impl PlatformPolicy {
 impl DtmPolicy for PlatformPolicy {
     /// Reads the observation's hottest AMB through the noisy sensor — the
     /// software stack only has the chipset's worst-case AMB register, not
-    /// the full temperature field.
-    fn decide(&mut self, observation: &ThermalObservation, _dt_s: f64) -> RunningMode {
+    /// the full temperature field — and always actuates globally (a scalar
+    /// plan).
+    fn decide(&mut self, observation: &ThermalObservation, _dt_s: f64) -> ActuationPlan {
         let sensed = self.sensor.read(observation.max_amb_c);
         let level = if self.kind == PolicyKind::NoLimit { 0 } else { self.emergency_level(sensed) };
         self.last_level = level;
-        self.mode_for_level(level)
+        self.mode_for_level(level).into()
     }
 
     fn scheme(&self) -> DtmScheme {

@@ -28,7 +28,12 @@
 //! paper's simulator tracked — is *derived* by arg-max over positions and
 //! layers at observation time, and DTM policies receive the full
 //! `ThermalObservation` (NaN-safe maxima + per-position, per-layer field)
-//! instead of two bare floats. The `SimEngine` window loop drives the
+//! instead of two bare floats. Policies answer with an `ActuationPlan`:
+//! the global running mode (scalar plans reproduce the paper's schemes
+//! bit-identically) optionally extended with per-channel service fractions
+//! (DTM-CBW) and per-position traffic-steering weights (DTM-MIG page
+//! migration), which the engine folds back into per-position heat and
+//! per-channel throttle residency. The `SimEngine` window loop drives the
 //! scene inside `MemSpot` allocation-free (precomputed per-layer RC step
 //! coefficients, reused observation buffer), and the `experiments` crate's
 //! `SweepRunner` fans grids of {cooling × stack × workload × policy} cells

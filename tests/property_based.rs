@@ -241,7 +241,7 @@ fn acg_decisions_are_monotone() {
         let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), limits);
         scene.set_uniform_temps_c(hi, 70.0);
         let mut from_field = DtmAcg::new(cpu, limits);
-        assert_eq!(from_field.decide(&scene.observe(), 1.0).active_cores, cores_hot);
+        assert_eq!(from_field.decide(&scene.observe(), 1.0).mode.active_cores, cores_hot);
     });
 }
 
