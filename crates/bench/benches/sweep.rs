@@ -9,6 +9,11 @@
 //! scheduler/noisy-neighbor interference that single-shot wall clocks pick
 //! up on small shared CI runners.
 //!
+//! A `batched` case then reruns the same grid on ONE worker against a
+//! pre-warmed shared `CharStore`, per-cell engine vs the batched lockstep
+//! engine with steady-state fast-forward, and gates the batched engine's
+//! best-of-3 speedup at 1.2x (`batched_vs_sequential_speedup`).
+//!
 //! A `stacked` case then runs 4-high 3D-stack cells through the same
 //! runner so `BENCH_sweep.json` tracks the stacked-scenario axis, and
 //! gates that the per-layer thermal field is actually resolved: the peak
@@ -28,9 +33,11 @@
 //!
 //! Run with: `cargo bench -p experiments --bench sweep`
 
+use std::sync::Arc;
+
 use experiments::ch4::PolicySpec;
 use experiments::harness::{bench_output_path, write_bench_json, BenchStats};
-use experiments::sweep::{SweepRunner, SweepScenario};
+use experiments::sweep::{SweepExecution, SweepRunner, SweepScenario};
 use memtherm::prelude::*;
 
 fn grid() -> Vec<SweepScenario> {
@@ -85,6 +92,48 @@ fn main() {
     println!(
         "char store: {} hits / {} misses (last parallel pass)",
         parallel.char_store_hits, parallel.char_store_misses
+    );
+
+    // Batched-engine case: the tier-3 lockstep engine + steady-state
+    // fast-forward against the per-cell engine, both on ONE worker and both
+    // against the same pre-warmed shared `CharStore`, so the comparison
+    // isolates exactly the window-loop work the batched engine restructures
+    // (level-1 characterization is identical either way and excluded).
+    let warm_store = Arc::new(CharStore::new());
+    SweepRunner::with_threads(1)
+        .with_char_store(Arc::clone(&warm_store))
+        .with_execution(SweepExecution::PerCell)
+        .run(&scenarios, make);
+    let mut percell_ms = Vec::with_capacity(PASSES);
+    let mut batched_ms = Vec::with_capacity(PASSES);
+    let mut last_batched = None;
+    for _ in 0..PASSES {
+        percell_ms.push(
+            SweepRunner::with_threads(1)
+                .with_char_store(Arc::clone(&warm_store))
+                .with_execution(SweepExecution::PerCell)
+                .run(&scenarios, make)
+                .wall_clock_s
+                * 1e3,
+        );
+        let batched = SweepRunner::with_threads(1).with_char_store(Arc::clone(&warm_store)).run(&scenarios, make);
+        batched_ms.push(batched.wall_clock_s * 1e3);
+        last_batched = Some(batched);
+    }
+    let batched = last_batched.expect("at least one batched pass");
+    let batched_vs_sequential_speedup = min(&percell_ms) / min(&batched_ms).max(1e-9);
+    println!(
+        "sweep/warm_percell_1_worker                  {:>10.3} ms/pass (min {:.3} ms)",
+        mean(&percell_ms),
+        min(&percell_ms)
+    );
+    println!(
+        "sweep/warm_batched_1_worker                  {:>10.3} ms/pass (min {:.3} ms, \
+         {batched_vs_sequential_speedup:.2}x best-of-{PASSES} speedup, {} windows fast-forwarded across {} cells)",
+        mean(&batched_ms),
+        min(&batched_ms),
+        batched.fast_forwarded_windows,
+        batched.fast_forwarded_cells
     );
 
     // Stacked-scenario case: 4-high 3D stacks through the same machinery.
@@ -158,6 +207,18 @@ fn main() {
             min_ms: min(&par_ms),
             iters: PASSES,
         },
+        BenchStats {
+            label: "sweep/warm_percell_1_worker".to_string(),
+            mean_ms: mean(&percell_ms),
+            min_ms: min(&percell_ms),
+            iters: PASSES,
+        },
+        BenchStats {
+            label: "sweep/warm_batched_1_worker".to_string(),
+            mean_ms: mean(&batched_ms),
+            min_ms: min(&batched_ms),
+            iters: PASSES,
+        },
         BenchStats { label: "sweep/stacked_3d_4h".to_string(), mean_ms: stacked_ms, min_ms: stacked_ms, iters: 1 },
         BenchStats { label: "sweep/spatial_dtm_4h".to_string(), mean_ms: spatial_ms, min_ms: spatial_ms, iters: 1 },
     ];
@@ -167,6 +228,9 @@ fn main() {
         ("speedup", speedup),
         ("char_store_hits", parallel.char_store_hits as f64),
         ("char_store_misses", parallel.char_store_misses as f64),
+        ("batched_vs_sequential_speedup", batched_vs_sequential_speedup),
+        ("fast_forwarded_windows", batched.fast_forwarded_windows as f64),
+        ("fast_forwarded_cells", batched.fast_forwarded_cells as f64),
         ("stacked_cells", stacked.runs.len() as f64),
         ("stacked_layer_spread_c", layer_spread_c),
         ("bw_position_spread_c", bw_spread_c),
@@ -178,6 +242,13 @@ fn main() {
     write_bench_json(&path, &stats, &metrics).expect("write BENCH_sweep.json");
     println!("wrote {}", path.display());
 
+    if batched_vs_sequential_speedup < 1.2 {
+        eprintln!(
+            "FAIL: batched engine's best-of-{PASSES} speedup over the per-cell engine is \
+             {batched_vs_sequential_speedup:.2}x, below the 1.2x gate (both single-threaded, warm store)"
+        );
+        std::process::exit(1);
+    }
     if parallel.threads >= 2 && speedup < 1.2 {
         eprintln!(
             "FAIL: best-of-{PASSES} parallel speedup {speedup:.2}x on {} workers is below the 1.2x gate",

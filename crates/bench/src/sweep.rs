@@ -21,6 +21,15 @@
 //! execution. [`SweepOutcome`] carries per-cell wall-clock times and the
 //! store's hit/miss counters so callers can see both the load balance and
 //! how much level-1 work the sharing saved.
+//!
+//! Within each claimed chunk the runner picks one of two execution tiers
+//! ([`SweepExecution`]): the per-cell [`MemSpot`] engine, or (the default)
+//! the batched lockstep engine
+//! ([`BatchedSimEngine`](memtherm::sim::batch::BatchedSimEngine)) which
+//! steps the whole chunk's scenes through shared lane matrices and
+//! fast-forwards cells that reach their thermal steady state. Per-cell
+//! trajectories are independent of lane composition, so the grid results
+//! remain deterministic for any thread or chunk configuration.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -73,6 +82,19 @@ impl SweepScenario {
     }
 }
 
+/// How the runner executes the cells inside each claimed chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepExecution {
+    /// One [`MemSpot`] run per cell — the reference per-cell engine.
+    PerCell,
+    /// The chunk's cells run through one
+    /// [`BatchedSimEngine`](memtherm::sim::batch::BatchedSimEngine): scenes
+    /// step in lockstep over shared lane matrices and steady cells
+    /// fast-forward (per [`SweepRunner::with_batch_options`]).
+    #[default]
+    Batched,
+}
+
 /// Outcome of a sweep: the per-cell results in grid order plus timing and
 /// characterization-sharing statistics.
 #[derive(Debug, Clone)]
@@ -89,6 +111,11 @@ pub struct SweepOutcome {
     pub char_store_hits: u64,
     /// Level-1 lookups that had to run the closed-loop simulation.
     pub char_store_misses: u64,
+    /// Windows replayed analytically by the steady-state fast-forward,
+    /// summed over all cells (always 0 under [`SweepExecution::PerCell`]).
+    pub fast_forwarded_windows: u64,
+    /// Number of cells that engaged the fast-forward at least once.
+    pub fast_forwarded_cells: usize,
 }
 
 /// Fans a grid of MEMSpot cells across worker threads.
@@ -100,6 +127,8 @@ pub struct SweepRunner {
     /// [`CharStore::with_disk_cache`]-backed store to persist level-1 work
     /// across processes.
     store: Option<Arc<CharStore>>,
+    execution: SweepExecution,
+    batch_options: BatchOptions,
 }
 
 /// One unit of sweep work: a single {scenario, policy} grid cell.
@@ -113,13 +142,34 @@ impl SweepRunner {
     /// A runner using all available cores.
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        SweepRunner { threads, store: None }
+        SweepRunner {
+            threads,
+            store: None,
+            execution: SweepExecution::default(),
+            batch_options: BatchOptions::default(),
+        }
     }
 
     /// A runner with an explicit worker count (1 = sequential; used as the
     /// baseline of the speedup measurements).
     pub fn with_threads(threads: usize) -> Self {
-        SweepRunner { threads: threads.max(1), store: None }
+        SweepRunner { threads: threads.max(1), ..Self::new() }
+    }
+
+    /// Selects how chunks of cells are executed (default:
+    /// [`SweepExecution::Batched`]).
+    pub fn with_execution(mut self, execution: SweepExecution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Sets the batched engine's options (fast-forward toggle, convergence
+    /// radius); ignored under [`SweepExecution::PerCell`]. Pass
+    /// [`BatchOptions::literal`] for results bit-identical to the per-cell
+    /// engine.
+    pub fn with_batch_options(mut self, options: BatchOptions) -> Self {
+        self.batch_options = options;
+        self
     }
 
     /// Makes every sweep of this runner share `store` instead of allocating
@@ -134,6 +184,11 @@ impl SweepRunner {
     /// The number of worker threads this runner uses.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The execution tier this runner uses inside each chunk.
+    pub fn execution(&self) -> SweepExecution {
+        self.execution
     }
 
     /// Runs every cell of the grid and returns the per-cell results in
@@ -189,17 +244,62 @@ impl SweepRunner {
         // tail strands one worker with two heavy cells. Grids ≫ cores
         // amortize cursor traffic with multi-cell claims while still leaving
         // ≥ ~8 claims per worker for load balancing.
-        let chunk = (cells.len() / (self.threads * 8)).max(1);
-        let timed = parallel_map_chunked(self.threads, chunk, &cells, |cell| {
-            let cell_start = Instant::now();
-            let run = run_cell(cell, &cpu, mem, &make_config, &store);
-            (run, cell_start.elapsed().as_secs_f64())
-        });
+        let timed: Vec<(MatrixRun, f64, CellRunStats)> = match self.execution {
+            SweepExecution::PerCell => {
+                // Small grids claim one cell at a time — see the chunk-size
+                // comment at the top of the module.
+                let chunk = (cells.len() / (self.threads * 8)).max(1);
+                parallel_map_chunked(self.threads, chunk, &cells, |cell| {
+                    let cell_start = Instant::now();
+                    let run = run_cell(cell, &cpu, mem, &make_config, &store);
+                    (run, cell_start.elapsed().as_secs_f64(), CellRunStats::default())
+                })
+            }
+            SweepExecution::Batched => {
+                // Cells are deterministic regardless of lane composition, so
+                // the chunk boundaries only shape performance, not results.
+                // Wide chunks are what the lockstep lanes feed on (the inner
+                // RC loop runs over a chunk's cells), so claim the widest
+                // chunks that still leave every worker ~2 claims for load
+                // balancing; narrow chunks would degenerate into per-cell
+                // stepping with extra bookkeeping.
+                let power = FbdimmPowerModel::paper_defaults();
+                let cpu_power = PaperCpuPower::new();
+                let claims = (self.threads * 2).max(1);
+                let chunk = cells.len().div_ceil(claims).max(1);
+                let chunks: Vec<&[SweepCell]> = cells.chunks(chunk).collect();
+                let per_chunk = parallel_map(self.threads, &chunks, |batch| {
+                    let chunk_start = Instant::now();
+                    let runs = run_chunk_batched(
+                        batch,
+                        &cpu,
+                        mem,
+                        &power,
+                        &cpu_power,
+                        &make_config,
+                        &store,
+                        &self.batch_options,
+                    );
+                    // Lockstep stepping interleaves the chunk's cells, so
+                    // per-cell wall-clock is reported as the chunk average.
+                    let secs = chunk_start.elapsed().as_secs_f64() / batch.len().max(1) as f64;
+                    (runs, secs)
+                });
+                per_chunk
+                    .into_iter()
+                    .flat_map(|(runs, secs)| runs.into_iter().map(move |(run, stats)| (run, secs, stats)))
+                    .collect()
+            }
+        };
         let mut runs = Vec::with_capacity(timed.len());
         let mut cell_wall_clock_s = Vec::with_capacity(timed.len());
-        for (run, secs) in timed {
+        let mut fast_forwarded_windows = 0u64;
+        let mut fast_forwarded_cells = 0usize;
+        for (run, secs, stats) in timed {
             runs.push(run);
             cell_wall_clock_s.push(secs);
+            fast_forwarded_windows += stats.fast_forwarded_windows;
+            fast_forwarded_cells += usize::from(stats.fast_forwarded_windows > 0);
         }
         SweepOutcome {
             runs,
@@ -208,6 +308,8 @@ impl SweepRunner {
             cell_wall_clock_s,
             char_store_hits: store.hits() - hits_before,
             char_store_misses: store.misses() - misses_before,
+            fast_forwarded_windows,
+            fast_forwarded_cells,
         }
     }
 }
@@ -297,6 +399,46 @@ fn run_cell(
     MatrixRun { cooling: scenario.cooling.label(), workload: scenario.mix.id.clone(), policy: policy.name(), result }
 }
 
+/// Runs one claimed chunk of cells through a single [`BatchedSimEngine`]:
+/// the chunk's scenes are grouped into lockstep lanes and cells that reach
+/// a steady state fast-forward (per `options`). Results come back in chunk
+/// order, one per cell, each with its execution counters.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_batched(
+    chunk: &[SweepCell],
+    cpu: &CpuConfig,
+    mem: FbdimmConfig,
+    power: &FbdimmPowerModel,
+    cpu_power: &PaperCpuPower,
+    make_config: &(impl Fn(CoolingConfig) -> MemSpotConfig + Sync),
+    store: &Arc<CharStore>,
+    options: &BatchOptions,
+) -> Vec<(MatrixRun, CellRunStats)> {
+    let mut batch = Vec::with_capacity(chunk.len());
+    let mut labels = Vec::with_capacity(chunk.len());
+    for cell in chunk {
+        let scenario = cell.scenario;
+        let mut cfg = make_config(scenario.cooling).with_stack(scenario.stack);
+        if scenario.integrated {
+            cfg = cfg.with_integrated(scenario.interaction_degree);
+        }
+        let policy = cell.spec.build(cpu, cfg.limits);
+        labels.push((scenario.cooling.label(), scenario.mix.id.clone(), policy.name()));
+        batch.push(
+            BatchCell::new(cpu, &mem, cfg, scenario.mix.clone(), policy, Arc::clone(store))
+                // One cell per worker already; see `run_cell`.
+                .with_rotation_threads(1),
+        );
+    }
+    let engine = BatchedSimEngine::new(cpu, &mem, power, cpu_power);
+    engine
+        .run(batch, options)
+        .into_iter()
+        .zip(labels)
+        .map(|((result, stats), (cooling, workload, policy))| (MatrixRun { cooling, workload, policy, result }, stats))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +497,22 @@ mod tests {
     }
 
     #[test]
+    fn batched_execution_matches_the_per_cell_engine_bit_for_bit() {
+        // With fast-forward off the batched tier is purely a memory-layout
+        // transformation; every simulated quantity must carry identical
+        // bits to the per-cell engine, for any chunking.
+        let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
+        let per_cell = SweepRunner::with_threads(2).with_execution(SweepExecution::PerCell).run(&grid(), make);
+        let literal = SweepRunner::with_threads(3).with_batch_options(BatchOptions::literal()).run(&grid(), make);
+        assert_eq!(per_cell.fast_forwarded_windows, 0);
+        assert_eq!(per_cell.fast_forwarded_cells, 0);
+        assert_eq!(literal.fast_forwarded_windows, 0);
+        for (x, y) in per_cell.runs.iter().zip(literal.runs.iter()) {
+            assert_eq!(x.result, y.result, "{}/{}/{} diverged", x.cooling, x.workload, x.policy);
+        }
+    }
+
+    #[test]
     fn chunked_map_matches_sequential_map_for_any_chunk_size() {
         let items: Vec<u64> = (0..37).collect();
         let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
@@ -396,6 +554,7 @@ mod tests {
     fn runner_defaults_to_available_parallelism() {
         assert!(SweepRunner::new().threads() >= 1);
         assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+        assert_eq!(SweepRunner::new().execution(), SweepExecution::Batched);
         assert_eq!(SweepScenario::isolated(CoolingConfig::aohs_1_5(), mixes::w1(), vec![PolicySpec::Ts]).cells(), 1);
     }
 }

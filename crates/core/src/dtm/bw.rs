@@ -48,6 +48,18 @@ impl DtmPolicy for DtmBw {
     fn reset(&mut self) {
         self.selector.reset();
     }
+
+    fn observes_field(&self) -> bool {
+        // Decisions read only the scalar device maxima.
+        false
+    }
+
+    fn is_steady(&self, observation: &ThermalObservation, _plan: &ActuationPlan, drift_c: f64) -> bool {
+        // The plan is a pure function of the emergency level, so the policy
+        // is steady exactly when threshold level selection is (PID variants
+        // carry integral state and are never steady).
+        self.selector.is_steady(observation.max_amb_c, observation.max_dram_c, drift_c)
+    }
 }
 
 #[cfg(test)]

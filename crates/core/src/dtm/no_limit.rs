@@ -28,6 +28,17 @@ impl DtmPolicy for NoLimit {
     fn scheme(&self) -> DtmScheme {
         DtmScheme::NoLimit
     }
+
+    fn observes_field(&self) -> bool {
+        // Decisions read only the scalar device maxima.
+        false
+    }
+
+    fn is_steady(&self, _observation: &ThermalObservation, _plan: &ActuationPlan, _drift_c: f64) -> bool {
+        // Stateless and constant: the full-speed plan is returned for every
+        // observation, so the fast-forward contract holds unconditionally.
+        true
+    }
 }
 
 #[cfg(test)]

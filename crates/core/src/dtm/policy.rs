@@ -88,6 +88,39 @@ pub trait DtmPolicy: std::fmt::Debug {
 
     /// Resets any internal controller state.
     fn reset(&mut self) {}
+
+    /// Whether [`DtmPolicy::decide`] / [`DtmPolicy::is_steady`] read the
+    /// observation's spatial field (`positions`, per-layer temperatures,
+    /// hottest coordinates) rather than only the scalar device maxima and
+    /// the ambient. The batched engine ([`crate::sim::batch`]) skips
+    /// synthesizing the per-position field for policies that answer
+    /// `false` — the scalar maxima come straight from the lane's RC sweep.
+    /// The conservative default keeps unknown policies fully observed.
+    fn observes_field(&self) -> bool {
+        true
+    }
+
+    /// Whether the policy has reached a *steady decision state*: given any
+    /// future observation whose temperatures differ from `observation` by at
+    /// most `drift_c` degrees (per field), every future [`DtmPolicy::decide`]
+    /// call is guaranteed to return `plan` again **and** leave the policy's
+    /// internal state unchanged, forever.
+    ///
+    /// This is the policy-side contract of the batched engine's steady-state
+    /// fast-forward ([`crate::sim::batch`]): once a cell's temperatures sit
+    /// within ε of their RC fixed point, future temperatures stay within 2ε
+    /// of the current ones, so a policy that answers `true` here (with
+    /// `drift_c = 2ε`) can be skipped analytically without consulting it
+    /// again. `plan` is the plan the policy just returned for `observation`.
+    ///
+    /// The default is `false` — stateful controllers (PID integrals, spatial
+    /// steering) are never fast-forwarded. Implementations must only answer
+    /// `true` when the contract provably holds under the drift bound; a
+    /// wrong `true` silently changes simulation results.
+    fn is_steady(&self, observation: &ThermalObservation, plan: &ActuationPlan, drift_c: f64) -> bool {
+        let _ = (observation, plan, drift_c);
+        false
+    }
 }
 
 #[cfg(test)]

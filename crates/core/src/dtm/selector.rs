@@ -58,6 +58,24 @@ impl LevelSelector {
         }
     }
 
+    /// Whether level selection is *steady* under a temperature drift bound:
+    /// every pair of temperatures within `drift_c` of the given ones maps to
+    /// the same emergency level. Only threshold selection can promise this —
+    /// it is a pure function of the temperatures (the Table 4.3 quantizer,
+    /// whose top boundary *is* the TDP fail-safe), so steadiness reduces to
+    /// both temperatures sitting clear of every boundary. PID selection
+    /// carries integral state that moves on every call and is never steady.
+    ///
+    /// `NaN` temperatures (absent devices) quantize to the lowest level on
+    /// both sides of the band and are therefore steady.
+    pub fn is_steady(&self, amb_temp_c: f64, dram_temp_c: f64, drift_c: f64) -> bool {
+        if self.uses_pid() {
+            return false;
+        }
+        self.thresholds.level(amb_temp_c - drift_c, dram_temp_c - drift_c)
+            == self.thresholds.level(amb_temp_c + drift_c, dram_temp_c + drift_c)
+    }
+
     /// Selects the emergency level for the next interval. An absent device
     /// is signalled with a `NaN` temperature (a DDR4/5 rank pair has no
     /// AMB): it never trips a threshold and is kept out of its PID
@@ -137,6 +155,21 @@ mod tests {
         assert!(level >= EmergencyLevel::L3, "level {level}");
         s.reset();
         assert_eq!(s.select(95.0, 60.0, 0.01), EmergencyLevel::L1);
+    }
+
+    #[test]
+    fn threshold_steadiness_requires_margin_from_every_boundary() {
+        let s = LevelSelector::threshold(ThermalLimits::paper_fbdimm());
+        // Deep inside L1 / L2 with margin: steady.
+        assert!(s.is_steady(100.0, 70.0, 0.5));
+        assert!(s.is_steady(108.4, 70.0, 0.3));
+        // A boundary inside the drift band: not steady.
+        assert!(!s.is_steady(107.9, 70.0, 0.2)); // AMB L1→L2 at 108.0
+        assert!(!s.is_steady(100.0, 84.9, 0.2)); // DRAM L4→L5 at 85.0
+                                                 // Absent devices (NaN) quantize to L1 on both sides of the band.
+        assert!(s.is_steady(f64::NAN, 70.0, 0.5));
+        // PID selection is never steady — its integral state moves.
+        assert!(!LevelSelector::pid(ThermalLimits::paper_fbdimm()).is_steady(100.0, 70.0, 0.5));
     }
 
     #[test]

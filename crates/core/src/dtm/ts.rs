@@ -61,6 +61,32 @@ impl DtmPolicy for DtmTs {
     fn reset(&mut self) {
         self.shut_down = false;
     }
+
+    fn observes_field(&self) -> bool {
+        // Decisions read only the scalar device maxima.
+        false
+    }
+
+    fn is_steady(&self, observation: &ThermalObservation, _plan: &ActuationPlan, drift_c: f64) -> bool {
+        // The only state is the shutdown latch; the decision is steady iff
+        // no observation within the drift band can flip it. Comparisons are
+        // NaN-safe: an absent device (`NaN`) trips nothing and is written so
+        // a NaN temperature answers `false` on the "stays above" side.
+        let stays_below = |temp: f64, limit: f64| {
+            let reaches = temp + drift_c >= limit;
+            !reaches
+        };
+        let stays_above = |temp: f64, limit: f64| temp - drift_c > limit;
+        if self.shut_down {
+            // Stays latched only while some present device holds clear of
+            // its release point even after drifting down.
+            stays_above(observation.max_amb_c, self.limits.amb_trp_c)
+                || stays_above(observation.max_dram_c, self.limits.dram_trp_c)
+        } else {
+            stays_below(observation.max_amb_c, self.limits.amb_tdp_c)
+                && stays_below(observation.max_dram_c, self.limits.dram_tdp_c)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +131,24 @@ mod tests {
         p.decide_temps(110.0, 80.0, 1.0);
         assert!(!p.decide_temps(109.6, 80.0, 1.0).makes_progress());
         assert!(p.decide_temps(109.5, 80.0, 1.0).makes_progress());
+    }
+
+    #[test]
+    fn steadiness_tracks_the_latch_and_its_margins() {
+        use crate::thermal::scene::ThermalObservation;
+        let mut p = policy();
+        let cool = ThermalObservation::from_hottest(100.0, 70.0);
+        let plan = p.decide(&cool, 1.0);
+        assert!(p.is_steady(&cool, &plan, 1.0));
+        // TDP within the drift band: the latch could set.
+        assert!(!p.is_steady(&ThermalObservation::from_hottest(109.5, 70.0), &plan, 1.0));
+        // Latched shut and holding clear above the release point: steady.
+        let hot = ThermalObservation::from_hottest(120.0, 70.0);
+        let shut_plan = p.decide(&hot, 1.0);
+        assert!(p.is_shut_down());
+        assert!(p.is_steady(&hot, &shut_plan, 1.0));
+        // Near the release point the latch could clear: not steady.
+        assert!(!p.is_steady(&ThermalObservation::from_hottest(109.3, 70.0), &shut_plan, 1.0));
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub mod prelude {
     pub use crate::power::amb::AmbPowerModel;
     pub use crate::power::dram::DramPowerModel;
     pub use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};
+    pub use crate::sim::batch::{BatchCell, BatchOptions, BatchedSimEngine, CellRunStats};
     pub use crate::sim::characterize::{CharPoint, CharStore, CharStoreKey, CharacterizationTable, ModeKey};
     pub use crate::sim::engine::SimEngine;
     pub use crate::sim::memspot::{MemSpot, MemSpotConfig, MemSpotResult, PositionPeak, TempSample};

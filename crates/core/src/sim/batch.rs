@@ -1,0 +1,1057 @@
+//! Tier-3 execution: batched lockstep stepping of many level-2 runs, with
+//! steady-state fast-forward.
+//!
+//! [`SimEngine`](crate::sim::SimEngine) advances one (mix, policy, cooling)
+//! cell at a time; a design-space sweep runs hundreds of such cells whose
+//! window loops are completely independent yet structurally identical. The
+//! [`BatchedSimEngine`] exploits that: cells whose scenes share a device
+//! stack, a step length and an ambient time constant are grouped into
+//! **lanes**, and each lane steps all of its cells in lockstep over one
+//! shared cell-major temperature/peak matrix (row = `position × depth +
+//! layer`, column = cell). The per-window RC update then becomes a tight
+//! inner loop over the cells of a row — contiguous, branch-free and
+//! auto-vectorizable — instead of a pointer-chasing scene walk per cell.
+//!
+//! Everything that is *per-cell logic* (DTM decisions, actuation plans,
+//! window-power rebuilds, batch progress, energy accounting) stays exactly
+//! the per-cell code path, executed cell-by-cell in the same order as
+//! [`SimEngine::run`], so every cell's trajectory is **bit-identical** to a
+//! per-cell run: the lane only restructures the memory layout of the RC
+//! arithmetic, not its operations or their order. Cells that finish (batch
+//! complete or safety stop) drop out of the hot lane by a column
+//! swap-remove, which moves no arithmetic and therefore cannot perturb the
+//! remaining cells.
+//!
+//! Two further layout moves keep the per-window overhead below the
+//! per-cell engine's. Window powers are constant between plan changes, so
+//! each lane keeps its members' per-position powers in a
+//! `positions × cells` matrix rewritten per column on plan change — the RC
+//! sweep reads power rows contiguously instead of chasing each cell's
+//! window struct. And policies that declare they read only the scalar
+//! device maxima ([`DtmPolicy::observes_field`]) are observed straight
+//! from the sweep's running per-cell maxima (`f64::max` over a fixed node
+//! set is order-independent, so the bits match a full scene fold) instead
+//! of re-synthesizing the per-position field at every DTM interval.
+//!
+//! # Steady-state fast-forward
+//!
+//! Long runs spend most of their windows in a fixed point: the actuation
+//! plan stops changing and every RC node sits within ε of the temperature
+//! it would converge to under the frozen window power. From there the
+//! remaining trajectory is closed-form. At each DTM decision the batched
+//! engine checks (all opt-in via [`BatchOptions::fast_forward`]):
+//!
+//! 1. the plan has been unchanged for [`BatchOptions::steady_decisions`]
+//!    consecutive decisions,
+//! 2. the policy itself guarantees steadiness under a 2ε temperature drift
+//!    ([`DtmPolicy::is_steady`]) — stateful controllers (PID) answer
+//!    `false` and are never fast-forwarded,
+//! 3. the shared ambient node is (bitwise, for isolated scenes) at its own
+//!    fixed point, and
+//! 4. every layer temperature is within [`BatchOptions::steady_epsilon_c`]
+//!    of its RC fixed point ([`DimmThermalScene::fixed_point_into`]).
+//!
+//! When all four hold, the cell leaves the lane and its remaining windows
+//! are replayed analytically: time still advances by the literal repeated
+//! float additions (so `running_time_s` and the window **count** are
+//! bit-identical to the stepped run), batch completion events are resolved
+//! by bulk-retiring whole spans of windows in which no job can finish plus
+//! one literal window at each completion boundary (preserving the
+//! round-robin refill interleaving exactly), and the final temperatures
+//! follow `t_end = t* + (t0 − t*)·(1 − α)^W`. Accumulated quantities
+//! (energy, instructions, residency) use `rate × W` instead of `W` repeated
+//! additions and therefore agree with the literal run to relative 1e-9
+//! rather than bitwise; the golden suite pins both contracts.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cpu_model::{CpuConfig, PaperCpuPower, RunningMode};
+use fbdimm_sim::{DimmTraffic, FbdimmConfig};
+use workloads::{BatchJob, WorkloadMix};
+
+use crate::dtm::plan::{ActuationPlan, PlanTrafficStats};
+use crate::dtm::policy::DtmPolicy;
+use crate::power::fbdimm::{FbdimmPowerBreakdown, FbdimmPowerModel};
+use crate::sim::characterize::{CharPoint, CharStore, CharacterizationTable, ModeKey};
+use crate::sim::energy::EnergyAccumulator;
+use crate::sim::engine::{assemble_result, RunTotals, SimEngine, WindowPower};
+use crate::sim::memspot::{MemSpotConfig, MemSpotResult, TempSample};
+use crate::thermal::params::DeviceLayerKind;
+use crate::thermal::rc::ThermalNode;
+use crate::thermal::scene::{DimmThermalScene, ThermalObservation};
+
+/// How close the shared ambient node must sit to its own fixed point before
+/// a cell may fast-forward. Isolated scenes hold the inlet temperature
+/// bitwise, so this is only a gate for integrated (processor-heated)
+/// ambients; it is an order of magnitude tighter than the 1e-9 agreement
+/// the fast-forward promises so the frozen-ambient approximation cannot
+/// consume the error budget.
+const AMBIENT_FF_EPS_C: f64 = 1e-10;
+
+/// Once a cell's plan streak reaches the steadiness threshold, the (fairly
+/// expensive) fixed-point convergence test runs only every this many further
+/// decisions. Engaging the fast-forward a few windows late merely steps a
+/// handful of extra literal windows — strictly *more* accurate — while the
+/// transient dies out, instead of recomputing the fixed point every window.
+const FF_CHECK_PERIOD: u32 = 8;
+
+/// Tuning knobs of the batched execution tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOptions {
+    /// Enables steady-state fast-forward. When `false` the batched engine
+    /// is purely a memory-layout transformation and every result is
+    /// bit-identical to [`SimEngine::run`].
+    pub fast_forward: bool,
+    /// Convergence radius ε: every layer must be within this many degrees
+    /// of its RC fixed point before a cell may fast-forward. Policies are
+    /// consulted with a `2ε` drift bound.
+    pub steady_epsilon_c: f64,
+    /// Number of consecutive DTM decisions that must return an unchanged
+    /// plan before a cell is considered for fast-forward.
+    pub steady_decisions: u32,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { fast_forward: true, steady_epsilon_c: 0.05, steady_decisions: 3 }
+    }
+}
+
+impl BatchOptions {
+    /// Literal batched execution: lockstep lanes, no fast-forward. Every
+    /// cell's result carries identical bits to a per-cell run.
+    pub fn literal() -> Self {
+        BatchOptions { fast_forward: false, ..Default::default() }
+    }
+}
+
+/// Per-cell execution counters returned alongside each [`MemSpotResult`].
+/// Kept outside the result so golden suites can keep comparing results with
+/// `==` while still asserting how each cell was executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellRunStats {
+    /// Windows executed literally (stepped through the lane RC loop).
+    pub stepped_windows: u64,
+    /// Windows replayed analytically by the steady-state fast-forward.
+    pub fast_forwarded_windows: u64,
+}
+
+/// One sweep cell: a run configuration, a workload mix, a policy and the
+/// mix's level-1 characterization table.
+#[derive(Debug)]
+pub struct BatchCell {
+    /// The run configuration (cooling, stack, cadences, …).
+    pub config: MemSpotConfig,
+    /// The workload mix to run.
+    pub mix: WorkloadMix,
+    /// The DTM policy deciding each interval.
+    pub policy: Box<dyn DtmPolicy>,
+    /// Level-1 characterization table for `mix` (backed by a shared
+    /// [`CharStore`] when built via [`BatchCell::new`]).
+    pub table: CharacterizationTable,
+}
+
+impl BatchCell {
+    /// Builds a cell whose characterization table shares `store`, so level-1
+    /// results are computed once per distinct (mix, mode, budget, geometry)
+    /// across the whole batch.
+    pub fn new(
+        cpu: &CpuConfig,
+        mem: &FbdimmConfig,
+        config: MemSpotConfig,
+        mix: WorkloadMix,
+        policy: Box<dyn DtmPolicy>,
+        store: Arc<CharStore>,
+    ) -> Self {
+        let table = CharacterizationTable::with_store(
+            cpu.clone(),
+            *mem,
+            mix.id.clone(),
+            mix.apps.clone(),
+            config.characterization_budget,
+            store,
+        );
+        BatchCell { config, mix, policy, table }
+    }
+
+    /// Caps the level-1 rotation-averaging thread count (sweep engines pass
+    /// 1 so cell-level parallelism composes deterministically).
+    pub fn with_rotation_threads(mut self, threads: usize) -> Self {
+        self.table = self.table.with_rotation_threads(threads);
+        self
+    }
+}
+
+/// The batched lockstep simulation engine. See the module docs for the
+/// execution model and its bit-identity contract.
+#[derive(Debug)]
+pub struct BatchedSimEngine<'a> {
+    cpu: &'a CpuConfig,
+    mem: &'a FbdimmConfig,
+    power: &'a FbdimmPowerModel,
+    cpu_power: &'a PaperCpuPower,
+}
+
+impl<'a> BatchedSimEngine<'a> {
+    /// Borrows the hardware models shared by every cell of the batch.
+    pub fn new(
+        cpu: &'a CpuConfig,
+        mem: &'a FbdimmConfig,
+        power: &'a FbdimmPowerModel,
+        cpu_power: &'a PaperCpuPower,
+    ) -> Self {
+        BatchedSimEngine { cpu, mem, power, cpu_power }
+    }
+
+    /// Runs every cell to completion and returns one `(result, stats)` pair
+    /// per cell, in input order. With [`BatchOptions::literal`] each result
+    /// is bit-identical to [`SimEngine::run`] on the same cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell's configuration fails [`MemSpotConfig::validate`].
+    pub fn run(&self, cells: Vec<BatchCell>, options: &BatchOptions) -> Vec<(MemSpotResult, CellRunStats)> {
+        let configs: Vec<MemSpotConfig> = cells.iter().map(|c| c.config).collect();
+        let engines: Vec<SimEngine<'_>> = configs
+            .iter()
+            .map(|config| SimEngine::new(self.cpu, self.mem, self.power, self.cpu_power, config))
+            .collect();
+        let mut states: Vec<CellState> =
+            cells.into_iter().zip(engines.iter()).map(|(cell, engine)| CellState::new(cell, engine, options)).collect();
+        let mut lanes = build_lanes(&states);
+        let mut results: Vec<Option<(MemSpotResult, CellRunStats)>> = (0..states.len()).map(|_| None).collect();
+        for lane in &mut lanes {
+            lane_pre(lane, &engines, &mut states, options, &mut results);
+            while !lane.members.is_empty() {
+                lane_rc(lane, &states);
+                lane_post_pre(lane, &engines, &mut states, options, &mut results);
+            }
+        }
+        results.into_iter().map(|r| r.expect("every cell finalizes exactly once")).collect()
+    }
+}
+
+/// The full mutable state of one in-flight cell — a field-for-field mirror
+/// of the locals of [`SimEngine::run`], plus the batched-tier bookkeeping
+/// (plan streak, execution stats, scratch buffers).
+#[derive(Debug)]
+struct CellState {
+    mix: WorkloadMix,
+    policy: Box<dyn DtmPolicy>,
+    table: CharacterizationTable,
+    batch: BatchJob,
+    scene: DimmThermalScene,
+    energy: EnergyAccumulator,
+    full_shares: Vec<f64>,
+    idle: Vec<FbdimmPowerBreakdown>,
+    observation: ThermalObservation,
+    plan_traffic: Vec<DimmTraffic>,
+    plan_stats: PlanTrafficStats,
+    step_s: f64,
+    time_s: f64,
+    next_dtm_s: f64,
+    next_trace_s: f64,
+    plan: ActuationPlan,
+    mode: RunningMode,
+    mode_key: ModeKey,
+    point: Arc<CharPoint>,
+    progressing: bool,
+    window: WindowPower,
+    overhead_s: f64,
+    total_instructions: f64,
+    total_bytes: f64,
+    total_misses: f64,
+    migrated_bytes: f64,
+    max_amb: f64,
+    max_dram: f64,
+    ambient_sum: f64,
+    ambient_samples: u64,
+    residency: BTreeMap<ModeKey, f64>,
+    trace: Vec<TempSample>,
+    channel_throttle_s: Vec<f64>,
+    plan_streak: u32,
+    ff_allowed: bool,
+    /// Whether the policy reads the observation's spatial field
+    /// ([`DtmPolicy::observes_field`]); scalar policies get a cheap
+    /// maxima-only observation straight from the lane's RC sweep.
+    wants_field: bool,
+    stats: CellRunStats,
+    /// Fixed-point scratch for the fast-forward engagement check.
+    fp: Vec<f64>,
+    /// Column scratch for syncing lane columns back into the scene.
+    col_scratch: Vec<f64>,
+}
+
+impl CellState {
+    fn new(cell: BatchCell, engine: &SimEngine<'_>, options: &BatchOptions) -> Self {
+        let BatchCell { config, mix, mut policy, mut table } = cell;
+        let batch = BatchJob::new(mix.clone(), config.copies_per_app, engine.cpu.cores, config.instruction_scale);
+        let scene = engine.make_scene();
+        let full_mode = RunningMode::full_speed(engine.cpu);
+        let full_point = table.point(&full_mode);
+        let full_shares = full_point.core_share.clone();
+        let idle = engine.idle_powers();
+        let observation = scene.observe();
+        let mode = full_mode;
+        let mode_key = ModeKey::from_mode(&mode);
+        let progressing = mode.makes_progress() && full_point.instr_rate_total > 0.0;
+        let window = engine.window_power(&scene, &idle, &full_point, &full_point.dimm_traffic, &mode, progressing);
+        let (max_amb, max_dram) = scene.max_temps_c();
+        policy.reset();
+        CellState {
+            batch,
+            energy: EnergyAccumulator::new(),
+            full_shares,
+            idle,
+            observation,
+            plan_traffic: Vec::new(),
+            plan_stats: PlanTrafficStats::identity(),
+            step_s: config.window_s.min(config.dtm_interval_s),
+            time_s: 0.0,
+            next_dtm_s: 0.0,
+            next_trace_s: 0.0,
+            plan: ActuationPlan::global(full_mode),
+            mode,
+            mode_key,
+            point: full_point,
+            progressing,
+            window,
+            overhead_s: 0.0,
+            total_instructions: 0.0,
+            total_bytes: 0.0,
+            total_misses: 0.0,
+            migrated_bytes: 0.0,
+            max_amb,
+            max_dram,
+            ambient_sum: 0.0,
+            ambient_samples: 0,
+            residency: BTreeMap::new(),
+            trace: Vec::new(),
+            channel_throttle_s: vec![0.0; engine.mem.logical_channels],
+            plan_streak: 0,
+            ff_allowed: options.fast_forward && !config.record_temp_trace,
+            wants_field: policy.observes_field(),
+            stats: CellRunStats::default(),
+            fp: Vec::new(),
+            col_scratch: Vec::new(),
+            mix,
+            policy,
+            table,
+            scene,
+        }
+    }
+}
+
+/// One lockstep lane: the cells whose scenes share a device stack, a step
+/// length and an ambient time constant, plus the shared cell-major
+/// temperature/peak matrix they step over. Member position `c` owns matrix
+/// column `c`; removing a member swap-removes its column (a pure copy, so
+/// the surviving cells' bits are untouched).
+#[derive(Debug)]
+struct Lane {
+    members: Vec<usize>,
+    /// Column capacity (the member count at allocation time).
+    stride: usize,
+    rows: usize,
+    depth: usize,
+    /// Row-major `rows × stride` matrices, column = cell.
+    temps: Vec<f64>,
+    peaks: Vec<f64>,
+    /// Per-position scratch: `depth × stride` fixed-point stable temps.
+    stable: Vec<f64>,
+    /// Per-window scratch: each member's post-step ambient.
+    amb: Vec<f64>,
+    /// Per-position scratch: the stack's layer power split.
+    watts: Vec<f64>,
+    /// `positions × stride` buffer/DRAM window powers, column = cell.
+    /// Window powers only change when a cell's plan changes, so these are
+    /// rewritten per column on plan change instead of gathered per window.
+    wamb: Vec<f64>,
+    wdram: Vec<f64>,
+    /// Whether the stack routes buffer watts to layer 0 and DRAM watts to
+    /// layer 1 verbatim (the 2-layer FBDIMM case): the RC sweep then skips
+    /// the per-cell power split entirely.
+    identity_split: bool,
+    /// Per-window scratch: each member's running hottest buffer / DRAM
+    /// temperature, accumulated inside the RC row sweep.
+    max_buffer: Vec<f64>,
+    max_dram: Vec<f64>,
+    /// Whether the lane's shared stack has a buffer die (`false` ⇒ the
+    /// observation reports `NaN` for the buffer maximum).
+    has_buffer: bool,
+    ambient_alpha: f64,
+    layer_alphas: Vec<f64>,
+}
+
+impl Lane {
+    /// Copies member `j`'s temperature column into `out`.
+    fn copy_temp_column(&self, j: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.rows).map(|r| self.temps[r * self.stride + j]));
+    }
+
+    /// Copies member `j`'s peak column into `out`.
+    fn copy_peak_column(&self, j: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.rows).map(|r| self.peaks[r * self.stride + j]));
+    }
+
+    /// Removes member `j`, moving the last member's column into slot `j`.
+    fn remove(&mut self, j: usize) {
+        let last = self.members.len() - 1;
+        if j != last {
+            for r in 0..self.rows {
+                let base = r * self.stride;
+                self.temps[base + j] = self.temps[base + last];
+                self.peaks[base + j] = self.peaks[base + last];
+            }
+            for pos in 0..self.rows / self.depth {
+                let base = pos * self.stride;
+                self.wamb[base + j] = self.wamb[base + last];
+                self.wdram[base + j] = self.wdram[base + last];
+            }
+            // The fused post+pre traversal removes a member *before* the
+            // moved last member's post-step bookkeeping has read its
+            // per-window maxima, so those columns move too.
+            self.max_buffer[j] = self.max_buffer[last];
+            self.max_dram[j] = self.max_dram[last];
+        }
+        self.members.swap_remove(j);
+    }
+
+    /// Rewrites member `j`'s window-power column (after a plan change).
+    fn write_power_column(&mut self, j: usize, positions: &[FbdimmPowerBreakdown]) {
+        for (pos, p) in positions.iter().enumerate() {
+            self.wamb[pos * self.stride + j] = p.amb_watts;
+            self.wdram[pos * self.stride + j] = p.dram_watts;
+        }
+    }
+}
+
+/// Groups cells into lanes and seeds each lane's matrices from the cells'
+/// freshly built scenes.
+fn build_lanes(states: &[CellState]) -> Vec<Lane> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, st) in states.iter().enumerate() {
+        let step_bits = st.step_s.to_bits();
+        let tau_bits = st.scene.ambient_params().tau_cpu_dram_s.to_bits();
+        let found = groups.iter_mut().find(|g| {
+            let rep = &states[g[0]];
+            rep.step_s.to_bits() == step_bits
+                && rep.scene.ambient_params().tau_cpu_dram_s.to_bits() == tau_bits
+                && rep.scene.topology() == st.scene.topology()
+        });
+        match found {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|members| {
+            let rep = &states[members[0]];
+            let depth = rep.scene.depth();
+            let positions = rep.scene.len();
+            let rows = positions * depth;
+            let stride = members.len();
+            let step_s = rep.step_s;
+            let tau_s = rep.scene.ambient_params().tau_cpu_dram_s;
+            let mut temps = vec![0.0; rows * stride];
+            let mut peaks = vec![0.0; rows * stride];
+            let mut wamb = vec![0.0; positions * stride];
+            let mut wdram = vec![0.0; positions * stride];
+            // Seed the per-member maxima from the initial field so a
+            // first-window scalar observation (before any lane sweep has
+            // refreshed the accumulators) sees the same maxima a fresh
+            // `observe` would.
+            let layers = rep.scene.topology().layers();
+            let mut max_buffer = vec![f64::NEG_INFINITY; stride];
+            let mut max_dram = vec![f64::NEG_INFINITY; stride];
+            for (c, &cell) in members.iter().enumerate() {
+                for (r, (&t, &p)) in
+                    states[cell].scene.layer_temps_flat().iter().zip(states[cell].scene.layer_peaks_flat()).enumerate()
+                {
+                    temps[r * stride + c] = t;
+                    peaks[r * stride + c] = p;
+                    match layers[r % depth].kind {
+                        DeviceLayerKind::Buffer => max_buffer[c] = max_buffer[c].max(t),
+                        DeviceLayerKind::Dram => max_dram[c] = max_dram[c].max(t),
+                    }
+                }
+                for (pos, p) in states[cell].window.positions.iter().enumerate() {
+                    wamb[pos * stride + c] = p.amb_watts;
+                    wdram[pos * stride + c] = p.dram_watts;
+                }
+            }
+            let layer_alphas: Vec<f64> =
+                rep.scene.topology().layers().iter().map(|l| ThermalNode::decay_alpha(l.tau_s, step_s)).collect();
+            Lane {
+                stride,
+                rows,
+                depth,
+                temps,
+                peaks,
+                stable: vec![0.0; depth * stride],
+                amb: vec![0.0; stride],
+                watts: vec![0.0; depth],
+                wamb,
+                wdram,
+                identity_split: rep.scene.topology().is_identity_split(),
+                max_buffer,
+                max_dram,
+                has_buffer: rep.scene.topology().has_buffer(),
+                ambient_alpha: ThermalNode::decay_alpha(tau_s, step_s),
+                layer_alphas,
+                members,
+            }
+        })
+        .collect()
+}
+
+/// The per-cell pre-step for lane member `j`: loop condition (finalizing a
+/// finished cell), DTM decision (+ fast-forward engagement), batch
+/// progress, and the cell's ambient step (the first thing
+/// [`DimmThermalScene::step`] does) — each operation in exactly the order
+/// of [`SimEngine::run`]. Returns `true` if the member stayed in the lane
+/// (the caller advances to `j + 1`), `false` if it was finalized or
+/// fast-forwarded out (slot `j` now holds the previously-last member).
+fn member_pre(
+    lane: &mut Lane,
+    j: usize,
+    engines: &[SimEngine<'_>],
+    states: &mut [CellState],
+    options: &BatchOptions,
+    results: &mut [Option<(MemSpotResult, CellRunStats)>],
+) -> bool {
+    let cell = lane.members[j];
+    let engine = &engines[cell];
+    let cfg = engine.config;
+    let st = &mut states[cell];
+    {
+        if st.batch.is_complete() || st.time_s >= cfg.max_sim_time_s {
+            lane.copy_temp_column(j, &mut st.col_scratch);
+            st.scene.set_layer_temps(&st.col_scratch);
+            lane.copy_peak_column(j, &mut st.col_scratch);
+            st.scene.set_layer_peaks(&st.col_scratch);
+            results[cell] = Some(finalize(st, engine));
+            lane.remove(j);
+            return false;
+        }
+        st.overhead_s = 0.0;
+        if st.time_s + 1e-12 >= st.next_dtm_s {
+            if st.wants_field {
+                st.scene.observe_lane_into(&lane.temps, lane.stride, j, &mut st.observation);
+            } else {
+                // Scalar policies read only the device maxima and the
+                // ambient; the maxima are exactly the lane sweep's running
+                // accumulators for this member (`f64::max` over the same
+                // node set), so the full per-position field synthesis is
+                // skipped. Spatial fields of the observation go stale and
+                // must not be read (`DtmPolicy::observes_field`).
+                st.observation.max_amb_c = if lane.has_buffer { lane.max_buffer[j] } else { f64::NAN };
+                st.observation.max_dram_c = lane.max_dram[j];
+                st.observation.ambient_c = st.scene.ambient_c();
+            }
+            let new_plan = st.policy.decide(&st.observation, cfg.dtm_interval_s);
+            if new_plan != st.plan {
+                st.plan_streak = 0;
+                st.overhead_s = cfg.dtm_overhead_s;
+                if new_plan.mode != st.mode {
+                    st.mode = new_plan.mode;
+                    st.mode_key = ModeKey::from_mode(&st.mode);
+                    st.point = st.table.point(&st.mode);
+                    st.progressing = st.mode.makes_progress() && st.point.instr_rate_total > 0.0;
+                }
+                st.plan = new_plan;
+                if st.plan.is_scalar() {
+                    st.plan_stats = PlanTrafficStats::identity();
+                    st.window = engine.window_power(
+                        &st.scene,
+                        &st.idle,
+                        &st.point,
+                        &st.point.dimm_traffic,
+                        &st.mode,
+                        st.progressing,
+                    );
+                } else {
+                    st.plan_stats = st.plan.apply_traffic_into(
+                        &st.point.dimm_traffic,
+                        engine.mem.logical_channels,
+                        engine.mem.dimms_per_channel,
+                        &mut st.plan_traffic,
+                    );
+                    st.window =
+                        engine.window_power(&st.scene, &st.idle, &st.point, &st.plan_traffic, &st.mode, st.progressing);
+                }
+                lane.write_power_column(j, &st.window.positions);
+            } else {
+                st.plan_streak = st.plan_streak.saturating_add(1);
+                if st.ff_allowed
+                    && st.plan_streak >= options.steady_decisions
+                    && (st.plan_streak - options.steady_decisions).is_multiple_of(FF_CHECK_PERIOD)
+                    && ff_engages(lane, j, st, options)
+                {
+                    results[cell] = Some(fast_forward(lane, j, st, engine));
+                    lane.remove(j);
+                    return false;
+                }
+            }
+            st.next_dtm_s += cfg.dtm_interval_s;
+        }
+        let effective_s = (st.step_s - st.overhead_s).max(0.0);
+        if st.progressing {
+            let instr = st.point.instr_rate_total * st.plan_stats.service_scale * effective_s;
+            st.total_instructions += instr;
+            st.total_bytes += st.point.total_gbps() * st.plan_stats.service_scale * 1e9 * effective_s;
+            st.total_misses += st.point.l2_misses_per_instr * instr;
+            st.migrated_bytes += st.plan_stats.migrated_gbps * 1e9 * effective_s;
+            for core in 0..engine.cpu.cores {
+                let share = st.full_shares.get(core).copied().unwrap_or(0.0);
+                if share > 0.0 {
+                    st.batch.retire(core, (instr * share) as u64);
+                }
+            }
+        }
+        lane.amb[j] = st.scene.step_ambient(st.window.v_ipc, lane.ambient_alpha);
+    }
+    true
+}
+
+/// The per-cell post-step bookkeeping for lane member `j`, mirroring the
+/// tail of the per-cell window loop (energy, maxima, residency, throttle
+/// accounting, trace, clock).
+fn member_post(lane: &Lane, j: usize, engines: &[SimEngine<'_>], states: &mut [CellState]) {
+    let cell = lane.members[j];
+    let cfg = engines[cell].config;
+    let st = &mut states[cell];
+    st.energy.add(st.window.mem_w, st.window.cpu_w, st.step_s);
+    let amb_now = if lane.has_buffer { lane.max_buffer[j] } else { f64::NAN };
+    let dram_now = lane.max_dram[j];
+    st.max_amb = st.max_amb.max(amb_now);
+    st.max_dram = st.max_dram.max(dram_now);
+    st.ambient_sum += st.scene.ambient_c();
+    st.ambient_samples += 1;
+    *st.residency.entry(st.mode_key).or_insert(0.0) += st.step_s;
+    for (channel, throttled_s) in st.channel_throttle_s.iter_mut().enumerate() {
+        if st.plan.throttles_channel(channel) {
+            *throttled_s += st.step_s;
+        }
+    }
+    if cfg.record_temp_trace && st.time_s + 1e-12 >= st.next_trace_s {
+        st.trace.push(TempSample {
+            time_s: st.time_s,
+            amb_c: amb_now,
+            dram_c: dram_now,
+            ambient_c: st.scene.ambient_c(),
+            active_cores: st.mode.active_cores,
+            freq_ghz: st.mode.op.freq_ghz,
+        });
+        st.next_trace_s += cfg.temp_trace_interval_s;
+    }
+    st.time_s += st.step_s;
+    st.stats.stepped_windows += 1;
+}
+
+/// The pre-step pass over a whole lane (the first window's phase A).
+fn lane_pre(
+    lane: &mut Lane,
+    engines: &[SimEngine<'_>],
+    states: &mut [CellState],
+    options: &BatchOptions,
+    results: &mut [Option<(MemSpotResult, CellRunStats)>],
+) {
+    let mut j = 0;
+    while j < lane.members.len() {
+        if member_pre(lane, j, engines, states, options, results) {
+            j += 1;
+        }
+    }
+}
+
+/// One fused traversal doing each member's post-step bookkeeping for the
+/// window just stepped and then its pre-step for the next window — the
+/// per-cell operation order of [`SimEngine::run`] is preserved exactly
+/// (cell `i`'s window-`k` tail always precedes its window-`k+1` head; cells
+/// are mutually independent, so their interleaving is free to differ).
+fn lane_post_pre(
+    lane: &mut Lane,
+    engines: &[SimEngine<'_>],
+    states: &mut [CellState],
+    options: &BatchOptions,
+    results: &mut [Option<(MemSpotResult, CellRunStats)>],
+) {
+    let mut j = 0;
+    while j < lane.members.len() {
+        member_post(lane, j, engines, states);
+        if member_pre(lane, j, engines, states, options, results) {
+            j += 1;
+        }
+    }
+}
+
+/// The fused RC update over a whole lane — position-major contiguous
+/// sweeps over all cells at once (the vectorized hot loop this tier exists
+/// for). On identity-split stacks the per-element stable temperature is
+/// computed inline as `ambient + w_buffer·ψ_l0 + w_dram·ψ_l1`, the exact
+/// float-op sequence of `DimmThermalScene::step`, so the bits match the
+/// per-cell engine; other stacks split each cell's watts into the small
+/// `depth × stride` stable scratch first. The sweep also accumulates each
+/// cell's per-device-kind running maximum of the freshly stepped
+/// temperatures — `f64::max` over a fixed set is order-independent, so the
+/// per-cell values carry bits identical to a post-step scene fold.
+fn lane_rc(lane: &mut Lane, states: &[CellState]) {
+    {
+        let Lane {
+            members,
+            stride,
+            depth,
+            temps,
+            peaks,
+            stable,
+            amb,
+            watts,
+            wamb,
+            wdram,
+            identity_split,
+            layer_alphas,
+            max_buffer,
+            max_dram,
+            ..
+        } = lane;
+        let (stride, depth) = (*stride, *depth);
+        let n = members.len();
+        if n > 0 {
+            let topology = states[members[0]].scene.topology();
+            let layers = topology.layers();
+            max_buffer[..n].fill(f64::NEG_INFINITY);
+            max_dram[..n].fill(f64::NEG_INFINITY);
+            for pos in 0..temps.len() / (depth * stride) {
+                let wa = &wamb[pos * stride..pos * stride + n];
+                let wd = &wdram[pos * stride..pos * stride + n];
+                if !*identity_split {
+                    for c in 0..n {
+                        topology.split_watts_into(wa[c], wd[c], watts);
+                        for (l, stable_row) in stable.chunks_exact_mut(stride).enumerate() {
+                            let mut s = amb[c];
+                            for (w, psi) in watts.iter().zip(topology.psi_row(l)) {
+                                s += w * psi;
+                            }
+                            stable_row[c] = s;
+                        }
+                    }
+                }
+                for l in 0..depth {
+                    let alpha = layer_alphas[l];
+                    let row = (pos * depth + l) * stride;
+                    let t_row = &mut temps[row..row + n];
+                    let p_row = &mut peaks[row..row + n];
+                    let m_row = match layers[l].kind {
+                        DeviceLayerKind::Buffer => &mut max_buffer[..n],
+                        DeviceLayerKind::Dram => &mut max_dram[..n],
+                    };
+                    if *identity_split {
+                        let psi = topology.psi_row(l);
+                        let (psi_b, psi_d) = (psi[0], psi[1]);
+                        for i in 0..n {
+                            let s = amb[i] + wa[i] * psi_b + wd[i] * psi_d;
+                            let t = &mut t_row[i];
+                            *t += (s - *t) * alpha;
+                            p_row[i] = p_row[i].max(*t);
+                            m_row[i] = m_row[i].max(*t);
+                        }
+                    } else {
+                        let s_row = &stable[l * stride..l * stride + n];
+                        for (((t, pk), s), m) in t_row.iter_mut().zip(p_row.iter_mut()).zip(s_row).zip(m_row) {
+                            *t += (*s - *t) * alpha;
+                            *pk = pk.max(*t);
+                            *m = m.max(*t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether the cell at lane column `j` satisfies every fast-forward
+/// condition: a provably steady policy, an ambient at its fixed point and
+/// every layer within ε of its RC fixed point (left in `st.fp` for the
+/// jump). The streak and trace conditions are checked by the caller.
+fn ff_engages(lane: &Lane, j: usize, st: &mut CellState, options: &BatchOptions) -> bool {
+    let drift_c = 2.0 * options.steady_epsilon_c;
+    if !st.policy.is_steady(&st.observation, &st.plan, drift_c) {
+        return false;
+    }
+    let stable_ambient = st.scene.ambient_params().stable_ambient_c(st.window.v_ipc);
+    // `!(x <= eps)` deliberately refuses to fast-forward on NaN.
+    let ambient_settled = (st.scene.ambient_c() - stable_ambient).abs() <= AMBIENT_FF_EPS_C;
+    if !ambient_settled {
+        return false;
+    }
+    st.scene.fixed_point_into(&st.window.positions, st.window.v_ipc, &mut st.fp);
+    (0..lane.rows).all(|r| (lane.temps[r * lane.stride + j] - st.fp[r]).abs() <= options.steady_epsilon_c)
+}
+
+/// Replays the cell's remaining windows in closed form and finalizes it.
+///
+/// The plan is frozen (guaranteed by [`DtmPolicy::is_steady`] under the 2ε
+/// drift bound), so every remaining window carries the same power, zero DTM
+/// overhead and the same per-core retire rates. Batch completion is
+/// resolved event-by-event: windows in which no job copy can possibly
+/// finish are bulk-retired in one call per core (pure subtraction — order
+/// cannot matter), and each window in which a copy *does* finish is retired
+/// literally, core by core, so the round-robin refill from the pending
+/// queue interleaves exactly as in the stepped run. Simulated time advances
+/// by the literal repeated additions throughout, keeping `running_time_s`
+/// and the total window count bit-identical.
+fn fast_forward(lane: &Lane, j: usize, st: &mut CellState, engine: &SimEngine<'_>) -> (MemSpotResult, CellRunStats) {
+    let cfg = engine.config;
+    let cores = engine.cpu.cores;
+    let step = st.step_s;
+    let instr = st.point.instr_rate_total * st.plan_stats.service_scale * step;
+    let bytes = st.point.total_gbps() * st.plan_stats.service_scale * 1e9 * step;
+    let misses = st.point.l2_misses_per_instr * instr;
+    let migrated = st.plan_stats.migrated_gbps * 1e9 * step;
+    let rates: Vec<u64> = (0..cores)
+        .map(|core| {
+            let share = st.full_shares.get(core).copied().unwrap_or(0.0);
+            if share > 0.0 {
+                (instr * share) as u64
+            } else {
+                0
+            }
+        })
+        .collect();
+    let shares_positive: Vec<bool> =
+        (0..cores).map(|core| st.full_shares.get(core).copied().unwrap_or(0.0) > 0.0).collect();
+
+    let mut w_total: u64 = 0;
+    while !st.batch.is_complete() && st.time_s < cfg.max_sim_time_s {
+        // Windows until the earliest possible job-copy completion (none if
+        // the cell makes no progress or no core retires instructions).
+        let target: Option<u64> = if st.progressing {
+            (0..cores)
+                .filter(|&core| rates[core] > 0)
+                .filter_map(|core| st.batch.slot(core).map(|s| s.remaining_instructions.div_ceil(rates[core]).max(1)))
+                .min()
+        } else {
+            None
+        };
+        let mut m: u64 = 0;
+        match target {
+            Some(t) => {
+                while m < t && st.time_s < cfg.max_sim_time_s {
+                    st.time_s += step;
+                    m += 1;
+                }
+            }
+            None => {
+                while st.time_s < cfg.max_sim_time_s {
+                    st.time_s += step;
+                    m += 1;
+                }
+            }
+        }
+        if m == 0 {
+            break;
+        }
+        let mf = m as f64;
+        if st.progressing {
+            st.total_instructions += instr * mf;
+            st.total_bytes += bytes * mf;
+            st.total_misses += misses * mf;
+            st.migrated_bytes += migrated * mf;
+            if target == Some(m) {
+                // `m - 1` completion-free windows in bulk, then the
+                // completion window itself replayed literally.
+                if m > 1 {
+                    for core in 0..cores {
+                        if shares_positive[core] {
+                            st.batch.retire(core, rates[core] * (m - 1));
+                        }
+                    }
+                }
+                for core in 0..cores {
+                    if shares_positive[core] {
+                        st.batch.retire(core, rates[core]);
+                    }
+                }
+            } else {
+                for core in 0..cores {
+                    if shares_positive[core] {
+                        st.batch.retire(core, rates[core] * m);
+                    }
+                }
+            }
+        }
+        st.energy.add(st.window.mem_w, st.window.cpu_w, step * mf);
+        *st.residency.entry(st.mode_key).or_insert(0.0) += step * mf;
+        for (channel, throttled_s) in st.channel_throttle_s.iter_mut().enumerate() {
+            if st.plan.throttles_channel(channel) {
+                *throttled_s += step * mf;
+            }
+        }
+        st.ambient_sum += st.scene.ambient_c() * mf;
+        st.ambient_samples += m;
+        w_total += m;
+    }
+
+    // Closed-form end state: each layer decays geometrically toward its
+    // fixed point, `t_end = t* + (t0 − t*)·λ^W` with `λ = 1 − α` (computed
+    // as `exp(W·ln λ)`; `λ = 0` yields `exp(−∞) = 0`, i.e. exactly the
+    // fixed point). Trajectories are monotone, so the running maxima and
+    // peaks only need the endpoint folded in — `t0` already contributed
+    // when its window stepped.
+    st.col_scratch.clear();
+    for r in 0..lane.rows {
+        let t0 = lane.temps[r * lane.stride + j];
+        let lambda = 1.0 - lane.layer_alphas[r % lane.depth];
+        let decay = if w_total == 0 { 1.0 } else { (w_total as f64 * lambda.ln()).exp() };
+        st.col_scratch.push(st.fp[r] + (t0 - st.fp[r]) * decay);
+    }
+    st.scene.set_layer_temps(&st.col_scratch);
+    let peaks_end: Vec<f64> = (0..lane.rows).map(|r| lane.peaks[r * lane.stride + j].max(st.col_scratch[r])).collect();
+    st.scene.set_layer_peaks(&peaks_end);
+    let (amb_now, dram_now) = st.scene.max_temps_c();
+    st.max_amb = st.max_amb.max(amb_now);
+    st.max_dram = st.max_dram.max(dram_now);
+    st.stats.fast_forwarded_windows = w_total;
+    finalize(st, engine)
+}
+
+/// Folds a finished cell's accumulators into its result through the same
+/// [`assemble_result`] path as the per-cell engine. The caller must have
+/// synchronized the cell's scene (temperatures and peaks) beforehand.
+fn finalize(st: &mut CellState, engine: &SimEngine<'_>) -> (MemSpotResult, CellRunStats) {
+    let totals = RunTotals {
+        completed: st.batch.is_complete(),
+        time_s: st.time_s,
+        total_instructions: st.total_instructions,
+        total_bytes: st.total_bytes,
+        total_misses: st.total_misses,
+        migrated_bytes: st.migrated_bytes,
+        max_amb: st.max_amb,
+        max_dram: st.max_dram,
+        ambient_sum: st.ambient_sum,
+        ambient_samples: st.ambient_samples,
+        residency: std::mem::take(&mut st.residency),
+        trace: std::mem::take(&mut st.trace),
+        channel_throttle_s: std::mem::take(&mut st.channel_throttle_s),
+    };
+    let result = assemble_result(&st.mix, engine.config, st.policy.as_ref(), &st.scene, &st.energy, totals);
+    (result, st.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtm::acg::DtmAcg;
+    use crate::dtm::no_limit::NoLimit;
+    use crate::dtm::ts::DtmTs;
+    use crate::thermal::params::{CoolingConfig, StackKind, ThermalLimits};
+    use workloads::mixes;
+
+    fn hardware() -> (CpuConfig, FbdimmConfig, FbdimmPowerModel, PaperCpuPower) {
+        (
+            CpuConfig::paper_quad_core(),
+            FbdimmConfig::ddr2_667_paper(),
+            FbdimmPowerModel::paper_defaults(),
+            PaperCpuPower::new(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn reference(
+        cpu: &CpuConfig,
+        mem: &FbdimmConfig,
+        power: &FbdimmPowerModel,
+        cpu_power: &PaperCpuPower,
+        config: &MemSpotConfig,
+        mix: &WorkloadMix,
+        policy: &mut dyn DtmPolicy,
+        store: Arc<CharStore>,
+    ) -> MemSpotResult {
+        let mut table = CharacterizationTable::with_store(
+            cpu.clone(),
+            *mem,
+            mix.id.clone(),
+            mix.apps.clone(),
+            config.characterization_budget,
+            store,
+        )
+        .with_rotation_threads(1);
+        SimEngine::new(cpu, mem, power, cpu_power, config).run(&mut table, mix, policy)
+    }
+
+    #[test]
+    fn literal_batched_results_are_bit_identical_to_the_per_cell_engine() {
+        let (cpu, mem, power, cpu_power) = hardware();
+        let store = Arc::new(CharStore::new());
+        let limits = ThermalLimits::paper_fbdimm();
+        let configs = [
+            MemSpotConfig::tiny(CoolingConfig::aohs_1_5()),
+            MemSpotConfig::tiny(CoolingConfig::aohs_1_5()).with_integrated(None),
+            MemSpotConfig::tiny(CoolingConfig::fdhs_1_0()).with_stack(StackKind::RankPair),
+        ];
+        let policies: [Box<dyn DtmPolicy>; 3] = [
+            Box::new(NoLimit::new(&cpu)),
+            Box::new(DtmTs::new(cpu.clone(), limits)),
+            Box::new(DtmAcg::new(cpu.clone(), limits)),
+        ];
+        let cells: Vec<BatchCell> = configs
+            .iter()
+            .zip(policies)
+            .map(|(config, policy)| {
+                BatchCell::new(&cpu, &mem, *config, mixes::w1(), policy, Arc::clone(&store)).with_rotation_threads(1)
+            })
+            .collect();
+        let engine = BatchedSimEngine::new(&cpu, &mem, &power, &cpu_power);
+        let batched = engine.run(cells, &BatchOptions::literal());
+
+        let expectations: [Box<dyn DtmPolicy>; 3] = [
+            Box::new(NoLimit::new(&cpu)),
+            Box::new(DtmTs::new(cpu.clone(), limits)),
+            Box::new(DtmAcg::new(cpu.clone(), limits)),
+        ];
+        for ((config, mut policy), (got, stats)) in configs.iter().zip(expectations).zip(&batched) {
+            let want =
+                reference(&cpu, &mem, &power, &cpu_power, config, &mixes::w1(), policy.as_mut(), Arc::clone(&store));
+            assert_eq!(*got, want, "batched run diverged from the per-cell engine");
+            assert_eq!(stats.fast_forwarded_windows, 0, "literal mode must never fast-forward");
+            assert!(stats.stepped_windows > 0);
+        }
+    }
+
+    #[test]
+    fn lanes_group_by_stack_step_and_ambient() {
+        let (cpu, mem, _, _) = hardware();
+        let store = Arc::new(CharStore::new());
+        let mk = |config: MemSpotConfig| {
+            BatchCell::new(&cpu, &mem, config, mixes::w1(), Box::new(NoLimit::new(&cpu)), Arc::clone(&store))
+        };
+        let cells = vec![
+            mk(MemSpotConfig::tiny(CoolingConfig::aohs_1_5())),
+            mk(MemSpotConfig::tiny(CoolingConfig::aohs_1_5())),
+            mk(MemSpotConfig::tiny(CoolingConfig::fdhs_1_0())),
+            mk(MemSpotConfig::tiny(CoolingConfig::aohs_1_5()).with_stack(StackKind::RankPair)),
+        ];
+        let power = FbdimmPowerModel::paper_defaults();
+        let cpu_power = PaperCpuPower::new();
+        let configs: Vec<MemSpotConfig> = cells.iter().map(|c| c.config).collect();
+        let sim_engines: Vec<SimEngine<'_>> =
+            configs.iter().map(|c| SimEngine::new(&cpu, &mem, &power, &cpu_power, c)).collect();
+        let opts = BatchOptions::default();
+        let states: Vec<CellState> =
+            cells.into_iter().zip(sim_engines.iter()).map(|(cell, e)| CellState::new(cell, e, &opts)).collect();
+        let lanes = build_lanes(&states);
+        // aohs FBDIMM pair share a lane; fdhs and the rank pair each get
+        // their own (different resistances => different topology taus).
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes.iter().map(|l| l.members.len()).max(), Some(2));
+        for lane in &lanes {
+            assert_eq!(lane.stride, lane.members.len());
+            assert_eq!(lane.temps.len(), lane.rows * lane.stride);
+        }
+    }
+}

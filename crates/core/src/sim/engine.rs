@@ -1,5 +1,20 @@
 //! The window-stepping core of the second-level simulator.
 //!
+//! This is the first of the simulator's three execution tiers:
+//!
+//! 1. **Per-cell stepping** (this module): one [`SimEngine`] advances one
+//!    design point window by window. It is the reference semantics — every
+//!    other tier is defined as "bit-identical to this loop" — and the right
+//!    tool for a single run or when a policy needs bespoke instrumentation.
+//! 2. **Batched lockstep** ([`crate::sim::batch`]): many independent cells
+//!    share one row-major temperature matrix and advance in lockstep lanes,
+//!    turning the per-window RC update into contiguous row sweeps. Same
+//!    bits, better memory behavior; the sweep harness uses it by default.
+//! 3. **Steady-state fast-forward** (opt-in on the batched tier): cells
+//!    whose temperatures have reached their RC fixed point under an
+//!    unchanging plan are finished in closed form, within 1e-9 of literal
+//!    stepping rather than bit-identically.
+//!
 //! [`SimEngine`] owns the inner loop MEMSpot used to inline: every window it
 //! converts the current design point's per-DIMM traffic into per-position
 //! power (Eqs. 3.1–3.2), advances the stack-resolved [`DimmThermalScene`]
@@ -47,31 +62,38 @@ use crate::sim::memspot::{MemSpotConfig, MemSpotResult, PositionPeak, TempSample
 use crate::thermal::params::AmbientParams;
 use crate::thermal::scene::DimmThermalScene;
 
-/// Power draw of one simulation window.
+/// Power draw of one simulation window. Shared with the batched tier
+/// ([`crate::sim::batch`]), which rebuilds it through the same
+/// [`SimEngine::window_power`] so both tiers carry identical bits.
 #[derive(Debug, Clone)]
-struct WindowPower {
+pub(crate) struct WindowPower {
     /// Per-position device powers, in scene order.
-    positions: Vec<FbdimmPowerBreakdown>,
+    pub(crate) positions: Vec<FbdimmPowerBreakdown>,
     /// Total memory-subsystem power, watts.
-    mem_w: f64,
+    pub(crate) mem_w: f64,
     /// Processor power, watts.
-    cpu_w: f64,
+    pub(crate) cpu_w: f64,
     /// Σ(V·IPC) processor activity term of Eq. 3.6.
-    v_ipc: f64,
+    pub(crate) v_ipc: f64,
 }
 
 /// The window-stepping simulation core.
 #[derive(Debug)]
 pub struct SimEngine<'a> {
-    cpu: &'a CpuConfig,
-    mem: &'a FbdimmConfig,
+    pub(crate) cpu: &'a CpuConfig,
+    pub(crate) mem: &'a FbdimmConfig,
     power: &'a FbdimmPowerModel,
     cpu_power: &'a PaperCpuPower,
-    config: &'a MemSpotConfig,
+    pub(crate) config: &'a MemSpotConfig,
 }
 
 impl<'a> SimEngine<'a> {
     /// Borrows the hardware and run configuration for one or more runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MemSpotConfig::validate`] rejects the configuration
+    /// (e.g. a window or DTM cadence below [`MemSpotConfig::MIN_STEP_S`]).
     pub fn new(
         cpu: &'a CpuConfig,
         mem: &'a FbdimmConfig,
@@ -79,6 +101,7 @@ impl<'a> SimEngine<'a> {
         cpu_power: &'a PaperCpuPower,
         config: &'a MemSpotConfig,
     ) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid MemSpotConfig: {e}"));
         SimEngine { cpu, mem, power, cpu_power, config }
     }
 
@@ -113,7 +136,7 @@ impl<'a> SimEngine<'a> {
     /// Idle power for every position, in scene order — the single encoding
     /// of the "last DIMM of each channel uses the `is_last` AMB
     /// coefficient" rule.
-    fn idle_powers(&self) -> Vec<FbdimmPowerBreakdown> {
+    pub(crate) fn idle_powers(&self) -> Vec<FbdimmPowerBreakdown> {
         (0..self.mem.logical_channels)
             .flat_map(|_| (0..self.mem.dimms_per_channel).map(|d| d + 1 == self.mem.dimms_per_channel))
             .map(|is_last| self.power.idle_dimm_power(is_last))
@@ -140,7 +163,7 @@ impl<'a> SimEngine<'a> {
         powers
     }
 
-    fn window_power(
+    pub(crate) fn window_power(
         &self,
         scene: &DimmThermalScene,
         idle: &[FbdimmPowerBreakdown],
@@ -192,7 +215,9 @@ impl<'a> SimEngine<'a> {
         let mut plan_stats = PlanTrafficStats::identity();
         let channels = self.mem.logical_channels;
 
-        let step_s = self.config.window_s.min(self.config.dtm_interval_s).max(1e-4);
+        // Both cadences are validated ≥ MIN_STEP_S at construction, so the
+        // step is never clamped away from the configured DTM cadence.
+        let step_s = self.config.window_s.min(self.config.dtm_interval_s);
         let mut time_s = 0.0f64;
         let mut next_dtm_s = 0.0f64;
         let mut next_trace_s = 0.0f64;
@@ -300,52 +325,103 @@ impl<'a> SimEngine<'a> {
             time_s += step_s;
         }
 
-        // Labels are derived from the quantized key exactly once per distinct
-        // mode; distinct keys that render identically (sub-0.1-unit
-        // differences) merge by summing their residency.
-        let elapsed = energy.elapsed_s().max(1e-9);
-        let mut mode_residency: BTreeMap<String, f64> = BTreeMap::new();
-        for (key, secs) in residency {
-            *mode_residency.entry(mode_label_from_key(&key)).or_insert(0.0) += secs / elapsed;
-        }
-
-        let position_peaks = scene
-            .position_peaks()
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| PositionPeak {
-                channel: p.channel,
-                dimm: p.dimm,
-                max_amb_c: p.amb_c,
-                max_dram_c: p.dram_c,
-                hottest_layer: p.hottest_layer,
-                layers_c: scene.layer_peaks_of(i).to_vec(),
-            })
-            .collect();
-
-        MemSpotResult {
-            workload: mix.id.clone(),
-            stack: self.config.stack.label(),
-            policy: policy.name(),
-            scheme: policy.scheme(),
+        let totals = RunTotals {
             completed: batch.is_complete(),
-            running_time_s: time_s,
+            time_s,
             total_instructions,
-            total_memory_bytes: total_bytes,
-            total_l2_misses: total_misses,
-            memory_energy_j: energy.memory_joules(),
-            cpu_energy_j: energy.cpu_joules(),
-            avg_memory_power_w: energy.avg_memory_watts(),
-            avg_cpu_power_w: energy.avg_cpu_watts(),
-            avg_ambient_c: if ambient_samples == 0 { 0.0 } else { ambient_sum / ambient_samples as f64 },
-            max_amb_c: max_amb,
-            max_dram_c: max_dram,
-            mode_residency,
-            temp_trace: trace,
-            position_peaks,
-            channel_throttle_residency: channel_throttle_s.iter().map(|&s| s / elapsed).collect(),
-            migrated_traffic_bytes: migrated_bytes,
-        }
+            total_bytes,
+            total_misses,
+            migrated_bytes,
+            max_amb,
+            max_dram,
+            ambient_sum,
+            ambient_samples,
+            residency,
+            trace,
+            channel_throttle_s,
+        };
+        assemble_result(mix, self.config, policy, &scene, &energy, totals)
+    }
+}
+
+/// Per-run accumulators the window loop produces, independent of which
+/// execution tier (per-cell or batched) ran it. Handed to
+/// [`assemble_result`] so both tiers share one result-assembly path.
+#[derive(Debug)]
+pub(crate) struct RunTotals {
+    pub(crate) completed: bool,
+    pub(crate) time_s: f64,
+    pub(crate) total_instructions: f64,
+    pub(crate) total_bytes: f64,
+    pub(crate) total_misses: f64,
+    pub(crate) migrated_bytes: f64,
+    pub(crate) max_amb: f64,
+    pub(crate) max_dram: f64,
+    pub(crate) ambient_sum: f64,
+    pub(crate) ambient_samples: u64,
+    pub(crate) residency: BTreeMap<ModeKey, f64>,
+    pub(crate) trace: Vec<TempSample>,
+    pub(crate) channel_throttle_s: Vec<f64>,
+}
+
+/// Folds a finished run's accumulators and the scene's peak field into a
+/// [`MemSpotResult`]. Labels are derived from the quantized mode key exactly
+/// once per distinct mode; distinct keys that render identically
+/// (sub-0.1-unit differences) merge by summing their residency.
+pub(crate) fn assemble_result(
+    mix: &WorkloadMix,
+    config: &MemSpotConfig,
+    policy: &dyn DtmPolicy,
+    scene: &DimmThermalScene,
+    energy: &EnergyAccumulator,
+    totals: RunTotals,
+) -> MemSpotResult {
+    let elapsed = energy.elapsed_s().max(1e-9);
+    let mut mode_residency: BTreeMap<String, f64> = BTreeMap::new();
+    for (key, secs) in totals.residency {
+        *mode_residency.entry(mode_label_from_key(&key)).or_insert(0.0) += secs / elapsed;
+    }
+
+    let position_peaks = scene
+        .position_peaks()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| PositionPeak {
+            channel: p.channel,
+            dimm: p.dimm,
+            max_amb_c: p.amb_c,
+            max_dram_c: p.dram_c,
+            hottest_layer: p.hottest_layer,
+            layers_c: scene.layer_peaks_of(i).to_vec(),
+        })
+        .collect();
+
+    MemSpotResult {
+        workload: mix.id.clone(),
+        stack: config.stack.label(),
+        policy: policy.name(),
+        scheme: policy.scheme(),
+        completed: totals.completed,
+        running_time_s: totals.time_s,
+        total_instructions: totals.total_instructions,
+        total_memory_bytes: totals.total_bytes,
+        total_l2_misses: totals.total_misses,
+        memory_energy_j: energy.memory_joules(),
+        cpu_energy_j: energy.cpu_joules(),
+        avg_memory_power_w: energy.avg_memory_watts(),
+        avg_cpu_power_w: energy.avg_cpu_watts(),
+        avg_ambient_c: if totals.ambient_samples == 0 {
+            0.0
+        } else {
+            totals.ambient_sum / totals.ambient_samples as f64
+        },
+        max_amb_c: totals.max_amb,
+        max_dram_c: totals.max_dram,
+        mode_residency,
+        temp_trace: totals.trace,
+        position_peaks,
+        channel_throttle_residency: totals.channel_throttle_s.iter().map(|&s| s / elapsed).collect(),
+        migrated_traffic_bytes: totals.migrated_bytes,
     }
 }
 

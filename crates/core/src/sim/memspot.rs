@@ -19,6 +19,13 @@
 //! level-1 characterizations with a [`CharStore`] — private by default,
 //! injectable via [`MemSpot::with_store`] so a whole sweep shares one — and
 //! delegates each run to the engine.
+//!
+//! `MemSpot` is also the entry to the slowest of three execution tiers:
+//! per-cell stepping here, lockstep batching of many cells in
+//! [`BatchedSimEngine`](crate::sim::batch::BatchedSimEngine) (bit-identical,
+//! faster), and the batched tier's opt-in steady-state fast-forward (within
+//! 1e-9, fastest). Use `MemSpot` for one run; hand a whole grid of cells to
+//! the batched engine.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -140,6 +147,33 @@ impl MemSpotConfig {
         self.stack = stack;
         self
     }
+
+    /// Checks the configuration for values the window loop cannot honour.
+    ///
+    /// The engine steps at `min(window_s, dtm_interval_s)`; both cadences
+    /// must be at least [`MemSpotConfig::MIN_STEP_S`] (100 µs). A shorter
+    /// DTM interval used to be clamped silently, which decoupled the actual
+    /// stepping rate from the requested DTM cadence — it is rejected here
+    /// instead, at configuration time.
+    pub fn validate(&self) -> Result<(), String> {
+        // `!(x >= min)` deliberately rejects NaN along with short cadences.
+        let window_ok = self.window_s >= Self::MIN_STEP_S;
+        if !window_ok {
+            return Err(format!("window_s = {} s is below the minimum step of {} s", self.window_s, Self::MIN_STEP_S));
+        }
+        let dtm_ok = self.dtm_interval_s >= Self::MIN_STEP_S;
+        if !dtm_ok {
+            return Err(format!(
+                "dtm_interval_s = {} s is below the minimum step of {} s",
+                self.dtm_interval_s,
+                Self::MIN_STEP_S
+            ));
+        }
+        Ok(())
+    }
+
+    /// Smallest window / DTM cadence the engine steps at, seconds.
+    pub const MIN_STEP_S: f64 = 1e-4;
 }
 
 /// One sample of the recorded temperature trace. Equality is NaN-aware on
@@ -380,7 +414,12 @@ impl MemSpot {
     /// shared through) an external [`CharStore`]. Sweep engines pass one
     /// store to every cell so each design point is characterized once per
     /// process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MemSpotConfig::validate`] rejects the configuration.
     pub fn with_store(cpu: CpuConfig, mem: FbdimmConfig, config: MemSpotConfig, store: Arc<CharStore>) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid MemSpotConfig: {e}"));
         MemSpot {
             cpu,
             mem,
@@ -598,6 +637,39 @@ mod tests {
         assert_eq!(store.misses(), misses_after_first, "no new level-1 work");
         assert!(store.hits() > 0);
         assert_eq!(a, b, "shared points must not change results");
+    }
+
+    #[test]
+    fn sub_minimum_cadences_are_rejected_at_config_time() {
+        let good = MemSpotConfig::tiny(CoolingConfig::aohs_1_5());
+        assert!(good.validate().is_ok());
+
+        let mut short_dtm = good;
+        short_dtm.dtm_interval_s = 5e-5;
+        let err = short_dtm.validate().unwrap_err();
+        assert!(err.contains("dtm_interval_s"), "unexpected error: {err}");
+
+        let mut short_window = good;
+        short_window.window_s = 9.9e-5;
+        assert!(short_window.validate().unwrap_err().contains("window_s"));
+
+        let mut nan_window = good;
+        nan_window.window_s = f64::NAN;
+        assert!(nan_window.validate().is_err(), "NaN cadence must not validate");
+
+        // The boundary itself is accepted.
+        let mut at_min = good;
+        at_min.window_s = MemSpotConfig::MIN_STEP_S;
+        at_min.dtm_interval_s = MemSpotConfig::MIN_STEP_S;
+        assert!(at_min.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MemSpotConfig")]
+    fn building_a_simulator_with_a_sub_minimum_dtm_interval_panics() {
+        let mut cfg = MemSpotConfig::tiny(CoolingConfig::aohs_1_5());
+        cfg.dtm_interval_s = 1e-5;
+        let _ = MemSpot::new(cfg);
     }
 
     #[test]

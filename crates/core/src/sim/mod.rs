@@ -1,5 +1,6 @@
 //! The two-level thermal simulator (Section 4.3.1).
 
+pub mod batch;
 pub mod characterize;
 pub mod diskcache;
 pub mod energy;
@@ -7,6 +8,7 @@ pub mod engine;
 pub mod memspot;
 pub mod modes;
 
+pub use batch::{BatchCell, BatchOptions, BatchedSimEngine, CellRunStats};
 pub use characterize::{CharPoint, CharStore, CharStoreKey, CharacterizationTable, ModeKey};
 pub use diskcache::DiskCache;
 pub use energy::EnergyAccumulator;

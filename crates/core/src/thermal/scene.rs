@@ -417,6 +417,75 @@ impl DimmThermalScene {
         }
     }
 
+    /// Advances only the shared ambient node by one precomputed decay
+    /// factor and returns the new ambient temperature. The batched engine
+    /// ([`crate::sim::batch`]) steps each cell's ambient individually, then
+    /// runs one fused per-layer RC loop over the whole lane; routing the
+    /// update through the same `step_with_alpha` call keeps every cell's
+    /// ambient bit-identical to a [`DimmThermalScene::step`] sequence.
+    pub(crate) fn step_ambient(&mut self, sum_voltage_ipc: f64, alpha: f64) -> f64 {
+        let stable_ambient = self.ambient_params.stable_ambient_c(sum_voltage_ipc);
+        self.ambient.step_with_alpha(stable_ambient, alpha)
+    }
+
+    /// The flat position-major layer temperature field (positions × depth).
+    pub(crate) fn layer_temps_flat(&self) -> &[f64] {
+        &self.temps_c
+    }
+
+    /// The flat position-major running peak field (positions × depth).
+    pub(crate) fn layer_peaks_flat(&self) -> &[f64] {
+        &self.peaks_c
+    }
+
+    /// Overwrites the layer temperature field from a flat position-major
+    /// slice (the batched engine synchronizes its lane matrix back into the
+    /// scene before observations and at the end of a run).
+    pub(crate) fn set_layer_temps(&mut self, temps_c: &[f64]) {
+        assert_eq!(temps_c.len(), self.temps_c.len(), "temperature field shape mismatch");
+        self.temps_c.copy_from_slice(temps_c);
+    }
+
+    /// Overwrites the running peak field from a flat position-major slice.
+    pub(crate) fn set_layer_peaks(&mut self, peaks_c: &[f64]) {
+        assert_eq!(peaks_c.len(), self.peaks_c.len(), "peak field shape mismatch");
+        self.peaks_c.copy_from_slice(peaks_c);
+    }
+
+    /// Computes every layer's RC fixed point — the temperature it converges
+    /// to if `powers` and `sum_voltage_ipc` were held forever, with the
+    /// shared ambient at its own fixed point — into `out` (position-major
+    /// flat, `positions × depth`, cleared first).
+    ///
+    /// The arithmetic mirrors [`DimmThermalScene::step`] operation for
+    /// operation (`stable = ambient + Σ w·ψ` accumulated in ψ-row order), so
+    /// a temperature field sitting exactly at the fixed point is
+    /// bit-stationary under `step` with the same inputs. The steady-state
+    /// fast-forward uses this to decide when the transient has died out and
+    /// to evaluate its closed-form jump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` does not match the number of positions.
+    pub fn fixed_point_into(&self, powers: &[FbdimmPowerBreakdown], sum_voltage_ipc: f64, out: &mut Vec<f64>) {
+        assert_eq!(powers.len(), self.coords.len(), "one power breakdown per DIMM position required");
+        let depth = self.topology.depth();
+        let ambient = self.ambient_params.stable_ambient_c(sum_voltage_ipc);
+        out.clear();
+        out.reserve(powers.len() * depth);
+        let mut watts = vec![0.0; depth];
+        for p in powers {
+            self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut watts);
+            for l in 0..depth {
+                let mut stable = ambient;
+                for (w, psi) in watts.iter().zip(self.topology.psi_row(l)) {
+                    stable += w * psi;
+                }
+                out.push(stable);
+            }
+        }
+    }
+
     /// The current hottest `(buffer, dram)` temperatures across all
     /// positions, without materializing a full observation (the per-window
     /// hot path of the simulation engine). The buffer maximum is `NaN` when
@@ -531,6 +600,46 @@ impl DimmThermalScene {
             }
             obs.positions.push(summary);
         }
+        if !self.topology.has_buffer() {
+            obs.max_amb_c = f64::NAN;
+        }
+    }
+
+    /// Like [`DimmThermalScene::observe_into`] but reading the temperature
+    /// field from column `col` of a row-major lane matrix (`stride` cells
+    /// per row) instead of the scene's own field. The batched engine
+    /// ([`crate::sim::batch`]) keeps in-flight temperatures in its lane, so
+    /// observing through this method skips the two full-field copies a
+    /// sync-then-observe round trip would cost per DTM decision. The column
+    /// is gathered once into the observation's own `layer_temps_c` buffer
+    /// and summarized from there, so every derived quantity carries bits
+    /// identical to a synced [`DimmThermalScene::observe_into`].
+    pub(crate) fn observe_lane_into(&self, temps: &[f64], stride: usize, col: usize, obs: &mut ThermalObservation) {
+        let depth = self.topology.depth();
+        obs.max_amb_c = f64::NEG_INFINITY;
+        obs.max_dram_c = f64::NEG_INFINITY;
+        obs.ambient_c = self.ambient.temp_c();
+        obs.hottest_amb = None;
+        obs.hottest_dram = None;
+        obs.layer_depth = depth;
+        obs.positions.clear();
+        obs.positions.reserve(self.coords.len());
+        let mut field = std::mem::take(&mut obs.layer_temps_c);
+        field.clear();
+        field.extend(temps[col..].iter().step_by(stride).take(self.coords.len() * depth));
+        for pos in 0..self.coords.len() {
+            let summary = self.summarize(pos, &field);
+            if summary.amb_c > obs.max_amb_c {
+                obs.max_amb_c = summary.amb_c;
+                obs.hottest_amb = Some((summary.channel, summary.dimm));
+            }
+            if summary.dram_c > obs.max_dram_c {
+                obs.max_dram_c = summary.dram_c;
+                obs.hottest_dram = Some((summary.channel, summary.dimm));
+            }
+            obs.positions.push(summary);
+        }
+        obs.layer_temps_c = field;
         if !self.topology.has_buffer() {
             obs.max_amb_c = f64::NAN;
         }
@@ -692,6 +801,28 @@ mod tests {
         assert!(peaks.iter().all(|p| p.amb_c >= peak_during_burst - 0.1), "peaks must persist");
         let (peak_amb, _) = scene.peak_temps_c();
         assert!(peak_amb >= peak_during_burst - 1e-9);
+    }
+
+    #[test]
+    fn fixed_point_is_bit_stationary_under_step() {
+        let mem = shape();
+        let mut scene = DimmThermalScene::isolated(&mem, CoolingConfig::aohs_1_5(), ThermalLimits::paper_fbdimm());
+        let powers = graded_powers(scene.len());
+        let mut fp = Vec::new();
+        scene.fixed_point_into(&powers, 0.0, &mut fp);
+        assert_eq!(fp.len(), scene.len() * scene.depth());
+        // A long constant-power run converges toward the fixed point…
+        for _ in 0..5_000 {
+            scene.step(&powers, 0.0, 1.0);
+        }
+        for (t, f) in scene.layer_temps_flat().iter().zip(fp.iter()) {
+            assert!((t - f).abs() < 1e-9, "temp {t} vs fixed point {f}");
+        }
+        // …and a field placed exactly on it does not move by a single bit
+        // (the fast-forward contract: stepping is the identity there).
+        scene.set_layer_temps(&fp);
+        scene.step(&powers, 0.0, 1.0);
+        assert_eq!(scene.layer_temps_flat(), fp.as_slice());
     }
 
     #[test]

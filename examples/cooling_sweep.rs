@@ -1,10 +1,13 @@
 //! Parallel scenario sweep over the paper's cooling configurations.
 //!
 //! Builds a 16-cell grid — {AOHS_1.5, FDHS_1.0} × {W1, W6} × {No-limit,
-//! DTM-TS, DTM-ACG, DTM-CDVFS} — and runs it twice through the
-//! `SweepRunner`: once sequentially (one worker) and once fanned across all
+//! DTM-TS, DTM-ACG, DTM-CDVFS} — and runs it through the `SweepRunner`
+//! three ways: per-cell stepping on one worker (the reference execution
+//! tier), batched lockstep + steady-state fast-forward on one worker (the
+//! default tier — same results within 1e-9, printed with its speedup and
+//! how many windows were fast-forwarded), and batched fanned across all
 //! cores at cell granularity. Each pass uses its own shared `CharStore`, so
-//! the printed wall-clock comparison is fair while still showing the
+//! the printed wall-clock comparisons are fair while still showing the
 //! level-1 dedup (the same mix under two cooling configs characterizes
 //! once). A third pass then runs against a *disk-backed* store
 //! (`target/cooling_sweep_char_cache.jsonl`): the first execution of the
@@ -26,7 +29,7 @@ use std::collections::BTreeMap;
 use dram_thermal::prelude::*;
 use experiments::ch4::PolicySpec;
 use experiments::harness::{bench_output_path, write_bench_json, BenchStats};
-use experiments::sweep::{SweepRunner, SweepScenario};
+use experiments::sweep::{SweepExecution, SweepRunner, SweepScenario};
 
 fn grid() -> Vec<SweepScenario> {
     let specs =
@@ -56,8 +59,18 @@ fn main() {
     let cells: usize = scenarios.iter().map(SweepScenario::cells).sum();
     println!("scenario grid: {} scenarios, {} cells", scenarios.len(), cells);
 
+    // Reference tier: every cell stepped individually through the per-cell
+    // engine. The batched pass below must reproduce it within 1e-9 while
+    // running the same grid faster on the same single worker.
+    let per_cell = SweepRunner::with_threads(1).with_execution(SweepExecution::PerCell).run(&scenarios, sweep_config);
+    println!("per-cell   (1 worker):      {:.2} s wall-clock", per_cell.wall_clock_s);
+
     let sequential = SweepRunner::with_threads(1).run(&scenarios, sweep_config);
-    println!("sequential (1 worker):      {:.2} s wall-clock", sequential.wall_clock_s);
+    let batched_speedup = per_cell.wall_clock_s / sequential.wall_clock_s.max(1e-9);
+    println!(
+        "batched+FF (1 worker):      {:.2} s wall-clock  ({:.2}x vs per-cell, {} windows fast-forwarded across {} cells)",
+        sequential.wall_clock_s, batched_speedup, sequential.fast_forwarded_windows, sequential.fast_forwarded_cells
+    );
 
     let runner = SweepRunner::new();
     let parallel = runner.run(&scenarios, sweep_config);
@@ -102,6 +115,12 @@ fn main() {
 
     let stats = [
         BenchStats {
+            label: "cooling_sweep/percell_1_worker".to_string(),
+            mean_ms: per_cell.wall_clock_s * 1e3,
+            min_ms: per_cell.wall_clock_s * 1e3,
+            iters: 1,
+        },
+        BenchStats {
             label: "cooling_sweep/sequential_1_worker".to_string(),
             mean_ms: sequential.wall_clock_s * 1e3,
             min_ms: sequential.wall_clock_s * 1e3,
@@ -124,6 +143,9 @@ fn main() {
         ("cells", cells as f64),
         ("threads", parallel.threads as f64),
         ("speedup", speedup),
+        ("batched_vs_percell_speedup", batched_speedup),
+        ("fast_forwarded_windows", sequential.fast_forwarded_windows as f64),
+        ("fast_forwarded_cells", sequential.fast_forwarded_cells as f64),
         ("char_store_hits", parallel.char_store_hits as f64),
         ("char_store_misses", parallel.char_store_misses as f64),
         ("disk_pass_char_store_misses", disk_misses),
