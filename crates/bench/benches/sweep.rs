@@ -14,6 +14,14 @@
 //! engine with steady-state fast-forward, and gates the batched engine's
 //! best-of-3 speedup at 1.2x (`batched_vs_sequential_speedup`).
 //!
+//! A `lane_parallel` case reruns the warm grid as ONE batch whose lockstep
+//! lanes fan across all cores (`SweepExecution::lane_parallel`), gating the
+//! best-of-3 speedup over the single-thread batched run at 1.2x on 2+-core
+//! hosts. A `stacked_window_cost` case then measures the literal per-window
+//! cost of a 4-high 3D stack against the FBDIMM identity-split path through
+//! direct `BatchedSimEngine` runs and gates the ratio at 2x — the cached
+//! Ψ-superposition matrices are what keep deep stacks affordable.
+//!
 //! A `stacked` case then runs 4-high 3D-stack cells through the same
 //! runner so `BENCH_sweep.json` tracks the stacked-scenario axis, and
 //! gates that the per-layer thermal field is actually resolved: the peak
@@ -38,6 +46,7 @@ use std::sync::Arc;
 use experiments::ch4::PolicySpec;
 use experiments::harness::{bench_output_path, write_bench_json, BenchStats};
 use experiments::sweep::{SweepExecution, SweepRunner, SweepScenario};
+use memtherm::dtm::no_limit::NoLimit;
 use memtherm::prelude::*;
 
 fn grid() -> Vec<SweepScenario> {
@@ -136,6 +145,73 @@ fn main() {
         batched.fast_forwarded_cells
     );
 
+    // Lane-parallel case: the same warm grid, still one runner chunk (so
+    // the whole grid is one batch), but the batch's lockstep lanes fanned
+    // across all available cores. Bit-identical to the single-thread
+    // batched run by construction; the gate only fires on multi-core hosts
+    // (a 1-core container runs the worker pool degenerately).
+    let lane_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut lane_ms = Vec::with_capacity(PASSES);
+    for _ in 0..PASSES {
+        lane_ms.push(
+            SweepRunner::with_threads(1)
+                .with_char_store(Arc::clone(&warm_store))
+                .with_execution(SweepExecution::lane_parallel(lane_workers))
+                .run(&scenarios, make)
+                .wall_clock_s
+                * 1e3,
+        );
+    }
+    let lane_parallel_speedup = min(&batched_ms) / min(&lane_ms).max(1e-9);
+    println!(
+        "sweep/warm_lane_parallel_{lane_workers}_workers            {:>10.3} ms/pass (min {:.3} ms, \
+         {lane_parallel_speedup:.2}x best-of-{PASSES} vs single-thread batched)",
+        mean(&lane_ms),
+        min(&lane_ms)
+    );
+
+    // Stacked window-cost case: the cached Ψ-superposition path must keep a
+    // 4-high stack's literal per-window cost within 2x of the FBDIMM
+    // identity-split path, despite stepping 2.5x the RC rows per position.
+    // Direct BatchedSimEngine runs expose the stepped-window counts the
+    // normalization needs; literal options keep the fast-forward out of the
+    // denominator.
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let fb_power = FbdimmPowerModel::paper_defaults();
+    let cpu_power = PaperCpuPower::new();
+    let window_engine = BatchedSimEngine::new(&cpu, &mem, &fb_power, &cpu_power);
+    let window_store = Arc::new(CharStore::new());
+    let window_cells = |stack: StackKind| -> Vec<BatchCell> {
+        let cfg = make(CoolingConfig::aohs_1_5()).with_stack(stack);
+        [Box::new(NoLimit::new(&cpu)) as Box<dyn DtmPolicy>, Box::new(DtmTs::new(cpu.clone(), cfg.limits))]
+            .into_iter()
+            .map(|policy| {
+                BatchCell::new(&cpu, &mem, cfg, workloads::mixes::w1(), policy, Arc::clone(&window_store))
+                    .with_rotation_threads(1)
+            })
+            .collect()
+    };
+    let window_cost_us = |stack: StackKind| -> f64 {
+        let _ = window_engine.run(window_cells(stack), &BatchOptions::literal()); // warm the store
+        (0..PASSES)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let out = window_engine.run(window_cells(stack), &BatchOptions::literal());
+                let windows: u64 = out.iter().map(|(_, s)| s.stepped_windows).sum();
+                start.elapsed().as_secs_f64() * 1e6 / windows.max(1) as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let fbdimm_window_us = window_cost_us(StackKind::Fbdimm);
+    let stacked_window_us = window_cost_us(StackKind::stacked4());
+    let stacked_window_cost_ratio = stacked_window_us / fbdimm_window_us.max(1e-9);
+    println!(
+        "sweep/stacked_window_cost                    {:>10.3} us/window vs {:.3} us/window FBDIMM \
+         ({stacked_window_cost_ratio:.2}x, best-of-{PASSES})",
+        stacked_window_us, fbdimm_window_us
+    );
+
     // Stacked-scenario case: 4-high 3D stacks through the same machinery.
     let stacked_scenarios = vec![
         SweepScenario::stacked(
@@ -219,6 +295,12 @@ fn main() {
             min_ms: min(&batched_ms),
             iters: PASSES,
         },
+        BenchStats {
+            label: format!("sweep/warm_lane_parallel_{lane_workers}_workers"),
+            mean_ms: mean(&lane_ms),
+            min_ms: min(&lane_ms),
+            iters: PASSES,
+        },
         BenchStats { label: "sweep/stacked_3d_4h".to_string(), mean_ms: stacked_ms, min_ms: stacked_ms, iters: 1 },
         BenchStats { label: "sweep/spatial_dtm_4h".to_string(), mean_ms: spatial_ms, min_ms: spatial_ms, iters: 1 },
     ];
@@ -231,6 +313,12 @@ fn main() {
         ("batched_vs_sequential_speedup", batched_vs_sequential_speedup),
         ("fast_forwarded_windows", batched.fast_forwarded_windows as f64),
         ("fast_forwarded_cells", batched.fast_forwarded_cells as f64),
+        ("periodic_cycles", batched.periodic_cycles as f64),
+        ("lane_workers", lane_workers as f64),
+        ("lane_parallel_speedup", lane_parallel_speedup),
+        ("stacked_window_cost_ratio", stacked_window_cost_ratio),
+        ("fbdimm_window_us", fbdimm_window_us),
+        ("stacked_window_us", stacked_window_us),
         ("stacked_cells", stacked.runs.len() as f64),
         ("stacked_layer_spread_c", layer_spread_c),
         ("bw_position_spread_c", bw_spread_c),
@@ -253,6 +341,20 @@ fn main() {
         eprintln!(
             "FAIL: best-of-{PASSES} parallel speedup {speedup:.2}x on {} workers is below the 1.2x gate",
             parallel.threads
+        );
+        std::process::exit(1);
+    }
+    if lane_workers >= 2 && lane_parallel_speedup < 1.2 {
+        eprintln!(
+            "FAIL: best-of-{PASSES} lane-parallel speedup {lane_parallel_speedup:.2}x on \
+             {lane_workers} workers is below the 1.2x gate (vs single-thread batched, warm store)"
+        );
+        std::process::exit(1);
+    }
+    if stacked_window_cost_ratio > 2.0 {
+        eprintln!(
+            "FAIL: a 4-high stack's literal per-window cost is {stacked_window_cost_ratio:.2}x \
+             FBDIMM's, above the 2x gate (cached Ψ-superposition path regressed)"
         );
         std::process::exit(1);
     }

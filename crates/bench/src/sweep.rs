@@ -22,14 +22,18 @@
 //! store's hit/miss counters so callers can see both the load balance and
 //! how much level-1 work the sharing saved.
 //!
-//! Within each claimed chunk the runner picks one of two execution tiers
+//! Within each claimed chunk the runner picks an execution tier
 //! ([`SweepExecution`]): the per-cell [`MemSpot`] engine, or (the default)
 //! the batched lockstep engine
 //! ([`BatchedSimEngine`](memtherm::sim::batch::BatchedSimEngine)) which
-//! steps the whole chunk's scenes through shared lane matrices and
-//! fast-forwards cells that reach their thermal steady state. Per-cell
-//! trajectories are independent of lane composition, so the grid results
-//! remain deterministic for any thread or chunk configuration.
+//! steps the whole chunk's scenes through shared lane matrices —
+//! optionally fanning the lanes across worker threads
+//! ([`SweepExecution::lane_parallel`]) — and fast-forwards cells
+//! analytically, both at a thermal steady state and through verified
+//! threshold-policy limit cycles ([`SweepOutcome::periodic_cycles`]
+//! counts the latter). Per-cell trajectories are independent of lane
+//! composition, so the grid results remain deterministic for any thread
+//! or chunk configuration.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -82,17 +86,47 @@ impl SweepScenario {
     }
 }
 
-/// How the runner executes the cells inside each claimed chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// How the runner executes the grid's cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepExecution {
-    /// One [`MemSpot`] run per cell — the reference per-cell engine.
+    /// One [`MemSpot`] run per cell — the reference per-cell engine. Cells
+    /// fan across the runner's thread pool in claimed chunks.
     PerCell,
-    /// The chunk's cells run through one
+    /// Cells run through the
     /// [`BatchedSimEngine`](memtherm::sim::batch::BatchedSimEngine): scenes
     /// step in lockstep over shared lane matrices and steady cells
     /// fast-forward (per [`SweepRunner::with_batch_options`]).
-    #[default]
-    Batched,
+    Batched {
+        /// Lane-level worker threads inside the batched engine. With `1`
+        /// the runner claims chunks of cells across its own thread pool and
+        /// each chunk is batched single-threaded (the legacy dispatch);
+        /// with `> 1` the whole grid becomes one batch whose lockstep
+        /// lanes — column-chunked if the grid degenerates to one lane —
+        /// fan across this many workers
+        /// ([`BatchedSimEngine::run_with_workers`](memtherm::sim::batch::BatchedSimEngine::run_with_workers)).
+        /// Either way the results are bit-identical.
+        lane_workers: usize,
+    },
+}
+
+impl Default for SweepExecution {
+    fn default() -> Self {
+        SweepExecution::batched()
+    }
+}
+
+impl SweepExecution {
+    /// The default batched tier: chunked dispatch across the runner's
+    /// thread pool, each chunk batched on its worker's thread.
+    pub fn batched() -> Self {
+        SweepExecution::Batched { lane_workers: 1 }
+    }
+
+    /// The lane-parallel batched tier: the whole grid in one batch, its
+    /// lanes fanned across `workers` threads.
+    pub fn lane_parallel(workers: usize) -> Self {
+        SweepExecution::Batched { lane_workers: workers.max(1) }
+    }
 }
 
 /// Outcome of a sweep: the per-cell results in grid order plus timing and
@@ -116,6 +150,9 @@ pub struct SweepOutcome {
     pub fast_forwarded_windows: u64,
     /// Number of cells that engaged the fast-forward at least once.
     pub fast_forwarded_cells: usize,
+    /// Whole limit cycles replayed analytically by the periodic
+    /// fast-forward, summed over all cells.
+    pub periodic_cycles: u64,
 }
 
 /// Fans a grid of MEMSpot cells across worker threads.
@@ -255,7 +292,33 @@ impl SweepRunner {
                     (run, cell_start.elapsed().as_secs_f64(), CellRunStats::default())
                 })
             }
-            SweepExecution::Batched => {
+            SweepExecution::Batched { lane_workers } if lane_workers > 1 => {
+                // Lane-parallel dispatch: the whole grid becomes one batch
+                // and the batched engine itself fans the lockstep lanes
+                // (column-chunked when the grid collapses into one lane)
+                // across `lane_workers` threads. One batch maximizes lane
+                // width — the wider the lane, the longer the vectorized RC
+                // row sweeps.
+                let power = FbdimmPowerModel::paper_defaults();
+                let cpu_power = PaperCpuPower::new();
+                let grid_start = Instant::now();
+                let runs = run_chunk_batched(
+                    &cells,
+                    &cpu,
+                    mem,
+                    &power,
+                    &cpu_power,
+                    &make_config,
+                    &store,
+                    &self.batch_options,
+                    lane_workers,
+                );
+                // Lockstep stepping interleaves every cell, so per-cell
+                // wall-clock is reported as the grid average.
+                let secs = grid_start.elapsed().as_secs_f64() / cells.len().max(1) as f64;
+                runs.into_iter().map(|(run, stats)| (run, secs, stats)).collect()
+            }
+            SweepExecution::Batched { .. } => {
                 // Cells are deterministic regardless of lane composition, so
                 // the chunk boundaries only shape performance, not results.
                 // Wide chunks are what the lockstep lanes feed on (the inner
@@ -279,6 +342,7 @@ impl SweepRunner {
                         &make_config,
                         &store,
                         &self.batch_options,
+                        1,
                     );
                     // Lockstep stepping interleaves the chunk's cells, so
                     // per-cell wall-clock is reported as the chunk average.
@@ -295,11 +359,13 @@ impl SweepRunner {
         let mut cell_wall_clock_s = Vec::with_capacity(timed.len());
         let mut fast_forwarded_windows = 0u64;
         let mut fast_forwarded_cells = 0usize;
+        let mut periodic_cycles = 0u64;
         for (run, secs, stats) in timed {
             runs.push(run);
             cell_wall_clock_s.push(secs);
             fast_forwarded_windows += stats.fast_forwarded_windows;
             fast_forwarded_cells += usize::from(stats.fast_forwarded_windows > 0);
+            periodic_cycles += stats.periodic_cycles;
         }
         SweepOutcome {
             runs,
@@ -310,6 +376,7 @@ impl SweepRunner {
             char_store_misses: store.misses() - misses_before,
             fast_forwarded_windows,
             fast_forwarded_cells,
+            periodic_cycles,
         }
     }
 }
@@ -401,8 +468,10 @@ fn run_cell(
 
 /// Runs one claimed chunk of cells through a single [`BatchedSimEngine`]:
 /// the chunk's scenes are grouped into lockstep lanes and cells that reach
-/// a steady state fast-forward (per `options`). Results come back in chunk
-/// order, one per cell, each with its execution counters.
+/// a steady state fast-forward (per `options`). With `lane_workers > 1`
+/// the engine fans the lanes across that many threads; results are
+/// bit-identical either way. Results come back in chunk order, one per
+/// cell, each with its execution counters.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk_batched(
     chunk: &[SweepCell],
@@ -413,6 +482,7 @@ fn run_chunk_batched(
     make_config: &(impl Fn(CoolingConfig) -> MemSpotConfig + Sync),
     store: &Arc<CharStore>,
     options: &BatchOptions,
+    lane_workers: usize,
 ) -> Vec<(MatrixRun, CellRunStats)> {
     let mut batch = Vec::with_capacity(chunk.len());
     let mut labels = Vec::with_capacity(chunk.len());
@@ -432,7 +502,7 @@ fn run_chunk_batched(
     }
     let engine = BatchedSimEngine::new(cpu, &mem, power, cpu_power);
     engine
-        .run(batch, options)
+        .run_with_workers(batch, options, lane_workers)
         .into_iter()
         .zip(labels)
         .map(|((result, stats), (cooling, workload, policy))| (MatrixRun { cooling, workload, policy, result }, stats))
@@ -513,6 +583,29 @@ mod tests {
     }
 
     #[test]
+    fn lane_parallel_execution_matches_single_thread_batched_bit_for_bit() {
+        // Lanes are independent, so fanning them across workers (including
+        // column-chunking when the grid degenerates to one lane) must not
+        // change a single bit of any cell's result.
+        let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
+        let single = SweepRunner::with_threads(1).with_batch_options(BatchOptions::literal()).run(&grid(), make);
+        for workers in [2, 4] {
+            let parallel = SweepRunner::with_threads(1)
+                .with_execution(SweepExecution::lane_parallel(workers))
+                .with_batch_options(BatchOptions::literal())
+                .run(&grid(), make);
+            assert_eq!(single.runs.len(), parallel.runs.len());
+            for (x, y) in single.runs.iter().zip(parallel.runs.iter()) {
+                assert_eq!(
+                    x.result, y.result,
+                    "{}/{}/{} diverged under {workers} lane workers",
+                    x.cooling, x.workload, x.policy
+                );
+            }
+        }
+    }
+
+    #[test]
     fn chunked_map_matches_sequential_map_for_any_chunk_size() {
         let items: Vec<u64> = (0..37).collect();
         let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
@@ -554,7 +647,9 @@ mod tests {
     fn runner_defaults_to_available_parallelism() {
         assert!(SweepRunner::new().threads() >= 1);
         assert_eq!(SweepRunner::with_threads(0).threads(), 1);
-        assert_eq!(SweepRunner::new().execution(), SweepExecution::Batched);
+        assert_eq!(SweepRunner::new().execution(), SweepExecution::Batched { lane_workers: 1 });
+        assert_eq!(SweepExecution::lane_parallel(0), SweepExecution::Batched { lane_workers: 1 });
+        assert_eq!(SweepExecution::lane_parallel(4), SweepExecution::Batched { lane_workers: 4 });
         assert_eq!(SweepScenario::isolated(CoolingConfig::aohs_1_5(), mixes::w1(), vec![PolicySpec::Ts]).cells(), 1);
     }
 }

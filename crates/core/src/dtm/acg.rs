@@ -62,6 +62,12 @@ impl DtmPolicy for DtmAcg {
         // carry integral state and are never steady).
         self.selector.is_steady(observation.max_amb_c, observation.max_dram_c, drift_c)
     }
+
+    fn decide_is_pure(&self) -> bool {
+        // Threshold selection is a pure function of the observed maxima;
+        // the PID variant integrates and is never pure.
+        !self.selector.uses_pid()
+    }
 }
 
 #[cfg(test)]

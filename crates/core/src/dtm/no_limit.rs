@@ -39,6 +39,10 @@ impl DtmPolicy for NoLimit {
         // observation, so the fast-forward contract holds unconditionally.
         true
     }
+
+    fn decide_is_pure(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

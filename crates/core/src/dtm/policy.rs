@@ -55,7 +55,9 @@ impl std::fmt::Display for DtmScheme {
 /// globally and return scalar plans (`mode.into()`, one line per policy);
 /// spatially aware policies attach per-channel service fractions or
 /// steering weights on top of the global mode.
-pub trait DtmPolicy: std::fmt::Debug {
+/// (`Send` is a supertrait so batched cells — which own their policy — can
+/// migrate between the lane-parallel workers of the batched engine.)
+pub trait DtmPolicy: std::fmt::Debug + Send {
     /// Chooses the actuation plan for the next interval. `dt_s` is the time
     /// since the previous decision in seconds. Scalar policies return
     /// `mode.into()`.
@@ -119,6 +121,24 @@ pub trait DtmPolicy: std::fmt::Debug {
     /// wrong `true` silently changes simulation results.
     fn is_steady(&self, observation: &ThermalObservation, plan: &ActuationPlan, drift_c: f64) -> bool {
         let _ = (observation, plan, drift_c);
+        false
+    }
+
+    /// Whether [`DtmPolicy::decide`] is a *pure, memoryless* function of
+    /// its observation: identical observations always yield identical plans
+    /// and a decision never mutates internal state.
+    ///
+    /// This is the policy-side contract of the batched engine's
+    /// limit-cycle fast-forward ([`crate::sim::batch`]): a pure policy
+    /// caught in a periodic (mode, plan, temperature) cycle will replay the
+    /// same decision sequence every period, so whole cycles can be skipped
+    /// analytically without consulting it. Latched or integrating
+    /// controllers (DTM-TS hysteresis, PID) must answer `false` — their
+    /// next decision depends on history, not just the current observation.
+    ///
+    /// The conservative default is `false`; a wrong `true` silently changes
+    /// simulation results.
+    fn decide_is_pure(&self) -> bool {
         false
     }
 }

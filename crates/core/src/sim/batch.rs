@@ -1,9 +1,25 @@
-//! Tier-3 execution: batched lockstep stepping of many level-2 runs, with
-//! steady-state fast-forward.
+//! Batched execution of many level-2 runs: lockstep lanes, lane-parallel
+//! stepping, and analytic fast-forward (steady-state and limit-cycle).
 //!
-//! [`SimEngine`](crate::sim::SimEngine) advances one (mix, policy, cooling)
-//! cell at a time; a design-space sweep runs hundreds of such cells whose
-//! window loops are completely independent yet structurally identical. The
+//! The sweep stack offers four execution tiers, each reproducing the one
+//! below it either bit-for-bit or within a pinned 1e-9 tolerance:
+//!
+//! 1. **Per-cell** — [`SimEngine`](crate::sim::SimEngine) advances one
+//!    (mix, policy, cooling) cell at a time; the reference semantics.
+//! 2. **Batched lockstep** — [`BatchedSimEngine::run`] groups cells into
+//!    lanes and steps each lane over a shared matrix; *bit-identical* to
+//!    tier 1 (a pure memory-layout transformation).
+//! 3. **Lane-parallel** — [`BatchedSimEngine::run_with_workers`] fans the
+//!    lanes of tier 2 across OS threads, column-chunking dominant lanes so
+//!    every worker has work; still *bit-identical* (lanes are independent
+//!    and chunking only reorders independent per-cell operations).
+//! 4. **Fast-forward** — on top of any of the above, the steady-state and
+//!    periodic (limit-cycle) detectors replay provably-predictable window
+//!    spans analytically, keeping every reported quantity within relative
+//!    1e-9 of literal stepping. Opt out with [`BatchOptions::literal`].
+//!
+//! A design-space sweep runs hundreds of cells whose window loops are
+//! completely independent yet structurally identical. The
 //! [`BatchedSimEngine`] exploits that: cells whose scenes share a device
 //! stack, a step length and an ambient time constant are grouped into
 //! **lanes**, and each lane steps all of its cells in lockstep over one
@@ -11,6 +27,10 @@
 //! layer`, column = cell). The per-window RC update then becomes a tight
 //! inner loop over the cells of a row — contiguous, branch-free and
 //! auto-vectorizable — instead of a pointer-chasing scene walk per cell.
+//! Non-identity stacks (rank pairs, 3D stacks) keep their per-lane Ψ
+//! superposition matrices cached per cell column, rewritten only on plan
+//! change, so the lockstep sweep never re-derives the stack coupling per
+//! window.
 //!
 //! Everything that is *per-cell logic* (DTM decisions, actuation plans,
 //! window-power rebuilds, batch progress, energy accounting) stays exactly
@@ -62,8 +82,37 @@
 //! (energy, instructions, residency) use `rate × W` instead of `W` repeated
 //! additions and therefore agree with the literal run to relative 1e-9
 //! rather than bitwise; the golden suite pins both contracts.
+//!
+//! # Periodic (limit-cycle) fast-forward
+//!
+//! Threshold-driven policies (DTM-ACG, DTM-CDVFS, DTM-BW) never reach a
+//! fixed plan: they relax into a **limit cycle**, alternating between
+//! adjacent emergency levels forever. The steady-state detector can't
+//! touch those runs, so a second detector handles them. At every DTM
+//! decision of an eligible cell (fast-forward on, no temperature trace, a
+//! pure memoryless policy, and a step equal to the DTM interval) the
+//! engine fingerprints the decision (plan + layer temperatures); when the
+//! recent history is periodic with some period `k ≤ 16` and the
+//! temperatures recur within ε, it records one full cycle — plans,
+//! observations, per-window stable points, powers and retire amounts —
+//! and then **verifies** the cycle is a genuine attractor: the recorded
+//! temperatures must sit within ε of the cycle's closed-form fixed point
+//! (per layer, contraction `a = λᵏ`), and the policy must reproduce every
+//! recorded plan from anywhere inside the contraction ball
+//! ([`DtmPolicy::is_steady`] against each phase's fixed-point
+//! observation). Verified cycles are replayed analytically: whole cycles
+//! advance by closed-form temperature decay toward the cycle attractor
+//! with `rate × cycles` accounting, job completions are resolved by
+//! replaying the completion cycle literally (retire amounts are exact
+//! integers, so completions land on identical windows), and time advances
+//! by the literal repeated additions — window counts are conserved
+//! exactly and every reported quantity stays within 1e-9 of literal
+//! stepping. Quasiperiodic orbits (the common case at the paper's 10 ms
+//! cadence, where the duty cycle between levels is irrational) fail
+//! verification and keep stepping literally — the detector engages only
+//! when the replay is provably exact.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use cpu_model::{CpuConfig, PaperCpuPower, RunningMode};
@@ -77,7 +126,7 @@ use crate::sim::characterize::{CharPoint, CharStore, CharacterizationTable, Mode
 use crate::sim::energy::EnergyAccumulator;
 use crate::sim::engine::{assemble_result, RunTotals, SimEngine, WindowPower};
 use crate::sim::memspot::{MemSpotConfig, MemSpotResult, TempSample};
-use crate::thermal::params::DeviceLayerKind;
+use crate::thermal::params::{DeviceLayerKind, StackTopology};
 use crate::thermal::rc::ThermalNode;
 use crate::thermal::scene::{DimmThermalScene, ThermalObservation};
 
@@ -95,6 +144,29 @@ const AMBIENT_FF_EPS_C: f64 = 1e-10;
 /// handful of extra literal windows — strictly *more* accurate — while the
 /// transient dies out, instead of recomputing the fixed point every window.
 const FF_CHECK_PERIOD: u32 = 8;
+
+/// Longest decision-sequence period the limit-cycle detector searches for.
+/// The paper's threshold policies oscillate between two adjacent emergency
+/// levels (period 2–4 at the DTM cadence); anything longer is almost
+/// certainly not a cycle worth the verification cost.
+const MAX_CYCLE_DECISIONS: usize = 16;
+
+/// After a failed cycle verification (the recorded windows turned out not
+/// to replay), how many further decisions the detector waits before it may
+/// start recording again — verification is much more expensive than
+/// tracking, so hopeless cells must not re-verify every window. Each
+/// further failure doubles the wait (capped by
+/// [`CYCLE_BACKOFF_DOUBLINGS`]): quasiperiodic orbits pinned at a threshold
+/// recur in ambient and plans at every lag and pass the candidate checks
+/// forever, and only the doubling keeps their recording + verification
+/// cost amortized to nothing over a long run.
+const CYCLE_RETRY_BACKOFF: u32 = 64;
+
+/// Cap on the backoff doublings: the wait saturates at
+/// `CYCLE_RETRY_BACKOFF << CYCLE_BACKOFF_DOUBLINGS` (4096) decisions, so a
+/// cell whose orbit genuinely locks late is still retried every few
+/// thousand windows rather than written off.
+const CYCLE_BACKOFF_DOUBLINGS: u32 = 6;
 
 /// Tuning knobs of the batched execution tier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,8 +205,15 @@ impl BatchOptions {
 pub struct CellRunStats {
     /// Windows executed literally (stepped through the lane RC loop).
     pub stepped_windows: u64,
-    /// Windows replayed analytically by the steady-state fast-forward.
+    /// Windows replayed analytically by a fast-forward (steady-state or
+    /// periodic), counted toward the same conservation identity as stepped
+    /// windows: `stepped + fast_forwarded` equals the literal window count.
     pub fast_forwarded_windows: u64,
+    /// Whole limit cycles replayed by the periodic fast-forward. The
+    /// windows inside them are already counted in `fast_forwarded_windows`;
+    /// this only records that the cell left via the cycle detector (zero
+    /// for steady-state fast-forwards).
+    pub periodic_cycles: u64,
 }
 
 /// One sweep cell: a run configuration, a workload mix, a policy and the
@@ -204,31 +283,108 @@ impl<'a> BatchedSimEngine<'a> {
         BatchedSimEngine { cpu, mem, power, cpu_power }
     }
 
-    /// Runs every cell to completion and returns one `(result, stats)` pair
-    /// per cell, in input order. With [`BatchOptions::literal`] each result
-    /// is bit-identical to [`SimEngine::run`] on the same cell.
+    /// Runs every cell to completion on the calling thread and returns one
+    /// `(result, stats)` pair per cell, in input order. With
+    /// [`BatchOptions::literal`] each result is bit-identical to
+    /// [`SimEngine::run`] on the same cell.
     ///
     /// # Panics
     ///
     /// Panics if any cell's configuration fails [`MemSpotConfig::validate`].
     pub fn run(&self, cells: Vec<BatchCell>, options: &BatchOptions) -> Vec<(MemSpotResult, CellRunStats)> {
+        self.run_with_workers(cells, options, 1)
+    }
+
+    /// Like [`BatchedSimEngine::run`], but fans the lanes across up to
+    /// `workers` OS threads. Lanes are independent by construction (cells
+    /// never interact), so lane-parallel execution is **bit-identical** to
+    /// the single-threaded run: each cell's trajectory depends only on its
+    /// own column, never on which lane hosts it or which thread steps it.
+    /// When the batch degenerates to fewer lanes than workers, the largest
+    /// lanes are split column-wise into chunks until every worker has a
+    /// lane to step (splitting a lane changes only the interleaving of
+    /// per-cell operations, not any cell's operation sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell's configuration fails [`MemSpotConfig::validate`].
+    pub fn run_with_workers(
+        &self,
+        cells: Vec<BatchCell>,
+        options: &BatchOptions,
+        workers: usize,
+    ) -> Vec<(MemSpotResult, CellRunStats)> {
+        let workers = workers.max(1);
         let configs: Vec<MemSpotConfig> = cells.iter().map(|c| c.config).collect();
         let engines: Vec<SimEngine<'_>> = configs
             .iter()
             .map(|config| SimEngine::new(self.cpu, self.mem, self.power, self.cpu_power, config))
             .collect();
-        let mut states: Vec<CellState> =
+        let states: Vec<CellState> =
             cells.into_iter().zip(engines.iter()).map(|(cell, engine)| CellState::new(cell, engine, options)).collect();
-        let mut lanes = build_lanes(&states);
-        let mut results: Vec<Option<(MemSpotResult, CellRunStats)>> = (0..states.len()).map(|_| None).collect();
-        for lane in &mut lanes {
-            lane_pre(lane, &engines, &mut states, options, &mut results);
-            while !lane.members.is_empty() {
-                lane_rc(lane, &states);
-                lane_post_pre(lane, &engines, &mut states, options, &mut results);
+        let total = states.len();
+        let mut groups = lane_groups(&states);
+        if workers > 1 {
+            split_groups(&mut groups, workers, total);
+        }
+        let mut works = lane_works(states, groups);
+        if workers <= 1 || works.len() <= 1 {
+            for work in &mut works {
+                run_lane_work(work, &engines, options);
+            }
+        } else {
+            // The parallel_map idiom from the sweep runner: an atomic cursor
+            // over the lane list, each worker claiming whole lanes and
+            // stepping them to completion. Every lane index is claimed by
+            // exactly one worker, so the per-lane mutexes are uncontended —
+            // they only move ownership into and back out of the pool.
+            let tasks: Vec<std::sync::Mutex<LaneWork>> = works.into_iter().map(std::sync::Mutex::new).collect();
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let engines_ref = &engines;
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(tasks.len()) {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let mut work = tasks[i].lock().expect("lane worker panicked");
+                        run_lane_work(&mut work, engines_ref, options);
+                    });
+                }
+            });
+            works = tasks.into_iter().map(|m| m.into_inner().expect("lane worker panicked")).collect();
+        }
+        let mut results: Vec<Option<(MemSpotResult, CellRunStats)>> = (0..total).map(|_| None).collect();
+        for work in works {
+            for (local, result) in work.results.into_iter().enumerate() {
+                results[work.globals[local]] = result;
             }
         }
         results.into_iter().map(|r| r.expect("every cell finalizes exactly once")).collect()
+    }
+}
+
+/// One unit of lane-parallel work: a lane, the states of its member cells
+/// (locally indexed `0..n`), their result slots, and the mapping back to
+/// the batch's global cell order.
+#[derive(Debug)]
+struct LaneWork {
+    /// `globals[local]` is the batch-order index of local cell `local`
+    /// (used to pick its engine and to scatter its result).
+    globals: Vec<usize>,
+    lane: Lane,
+    states: Vec<CellState>,
+    results: Vec<Option<(MemSpotResult, CellRunStats)>>,
+}
+
+/// Steps one lane to completion (the whole single-lane execution loop).
+fn run_lane_work(work: &mut LaneWork, engines: &[SimEngine<'_>], options: &BatchOptions) {
+    let LaneWork { globals, lane, states, results } = work;
+    lane_pre(lane, globals, engines, states, options, results);
+    while !lane.members.is_empty() {
+        lane_rc(lane, states);
+        lane_post_pre(lane, globals, engines, states, options, results);
     }
 }
 
@@ -277,6 +433,13 @@ struct CellState {
     /// maxima-only observation straight from the lane's RC sweep.
     wants_field: bool,
     stats: CellRunStats,
+    /// Whether the limit-cycle detector runs for this cell: fast-forward
+    /// allowed, a pure-memoryless policy ([`DtmPolicy::decide_is_pure`])
+    /// and a step that equals the DTM interval bitwise (so every window is
+    /// exactly one decision and the replayed decision cadence is
+    /// structurally identical to the stepped run).
+    cycle_enabled: bool,
+    cycle: CycleTracker,
     /// Fixed-point scratch for the fast-forward engagement check.
     fp: Vec<f64>,
     /// Column scratch for syncing lane columns back into the scene.
@@ -333,6 +496,12 @@ impl CellState {
             ff_allowed: options.fast_forward && !config.record_temp_trace,
             wants_field: policy.observes_field(),
             stats: CellRunStats::default(),
+            cycle_enabled: options.fast_forward
+                && !config.record_temp_trace
+                && policy.decide_is_pure()
+                && !policy.observes_field()
+                && config.window_s.min(config.dtm_interval_s).to_bits() == config.dtm_interval_s.to_bits(),
+            cycle: CycleTracker::default(),
             fp: Vec::new(),
             col_scratch: Vec::new(),
             mix,
@@ -358,11 +527,18 @@ struct Lane {
     /// Row-major `rows × stride` matrices, column = cell.
     temps: Vec<f64>,
     peaks: Vec<f64>,
-    /// Per-position scratch: `depth × stride` fixed-point stable temps.
-    stable: Vec<f64>,
+    /// Cached Ψ superposition for non-identity stacks: `rows × stride`,
+    /// `sup[(pos·depth + l)·stride + c] = Σ_j watts_j(c, pos)·Ψ[l][j]`.
+    /// Window powers only change on plan transitions, so the split +
+    /// Ψ-row dot products are hoisted out of the RC sweep and rewritten per
+    /// column alongside `wamb`/`wdram`; the sweep reads
+    /// `stable = ambient + sup` — the same `t += (s − t)·α` row loop the
+    /// identity-split FBDIMM path runs. Empty for identity-split lanes.
+    sup: Vec<f64>,
     /// Per-window scratch: each member's post-step ambient.
     amb: Vec<f64>,
-    /// Per-position scratch: the stack's layer power split.
+    /// Per-column scratch: the stack's layer power split (used while
+    /// rewriting a member's cached superposition column).
     watts: Vec<f64>,
     /// `positions × stride` buffer/DRAM window powers, column = cell.
     /// Window powers only change when a cell's plan changes, so these are
@@ -406,6 +582,12 @@ impl Lane {
                 self.temps[base + j] = self.temps[base + last];
                 self.peaks[base + j] = self.peaks[base + last];
             }
+            if !self.sup.is_empty() {
+                for r in 0..self.rows {
+                    let base = r * self.stride;
+                    self.sup[base + j] = self.sup[base + last];
+                }
+            }
             for pos in 0..self.rows / self.depth {
                 let base = pos * self.stride;
                 self.wamb[base + j] = self.wamb[base + last];
@@ -420,18 +602,41 @@ impl Lane {
         self.members.swap_remove(j);
     }
 
-    /// Rewrites member `j`'s window-power column (after a plan change).
-    fn write_power_column(&mut self, j: usize, positions: &[FbdimmPowerBreakdown]) {
+    /// Rewrites member `j`'s window-power column (after a plan change),
+    /// including the cached Ψ superposition on non-identity stacks.
+    fn write_power_column(&mut self, j: usize, positions: &[FbdimmPowerBreakdown], topology: &StackTopology) {
         for (pos, p) in positions.iter().enumerate() {
             self.wamb[pos * self.stride + j] = p.amb_watts;
             self.wdram[pos * self.stride + j] = p.dram_watts;
+            if !self.identity_split {
+                topology.split_watts_into(p.amb_watts, p.dram_watts, &mut self.watts);
+                for l in 0..self.depth {
+                    self.sup[(pos * self.depth + l) * self.stride + j] = topology.psi_superpose(&self.watts, l);
+                }
+            }
+        }
+    }
+
+    /// The stable (fixed-point target) temperature the next RC sweep will
+    /// use for member `j`, row `r` — read back out of the cached power /
+    /// superposition matrices with exactly the float-op sequence of
+    /// [`lane_rc`], so a recorded cycle window replays the very bits the
+    /// lane would have stepped.
+    fn stable_for(&self, j: usize, r: usize, topology: &StackTopology) -> f64 {
+        if self.identity_split {
+            let pos = r / self.depth;
+            let psi = topology.psi_row(r % self.depth);
+            self.amb[j] + self.wamb[pos * self.stride + j] * psi[0] + self.wdram[pos * self.stride + j] * psi[1]
+        } else {
+            self.amb[j] + self.sup[r * self.stride + j]
         }
     }
 }
 
-/// Groups cells into lanes and seeds each lane's matrices from the cells'
-/// freshly built scenes.
-fn build_lanes(states: &[CellState]) -> Vec<Lane> {
+/// Groups cell indices into lockstep-compatible lanes: cells share a lane
+/// iff their scenes share a device stack, a step length (bitwise) and an
+/// ambient time constant (bitwise).
+fn lane_groups(states: &[CellState]) -> Vec<Vec<usize>> {
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for (i, st) in states.iter().enumerate() {
         let step_bits = st.step_s.to_bits();
@@ -448,65 +653,114 @@ fn build_lanes(states: &[CellState]) -> Vec<Lane> {
         }
     }
     groups
+}
+
+/// Splits the largest groups column-wise until there is one group per
+/// worker (or no group can be split further) so a degenerate grid — e.g. a
+/// homogeneous sweep that collapses into one dominant lane — still keeps
+/// every worker busy. Splitting only changes which lane hosts a cell,
+/// never the cell's own operation sequence, so results stay bit-identical.
+fn split_groups(groups: &mut Vec<Vec<usize>>, workers: usize, total_cells: usize) {
+    while groups.len() < workers.min(total_cells) {
+        let Some((idx, len)) =
+            groups.iter().enumerate().filter(|(_, g)| g.len() >= 2).map(|(i, g)| (i, g.len())).max_by_key(|&(_, l)| l)
+        else {
+            break;
+        };
+        let tail = groups[idx].split_off(len / 2);
+        groups.insert(idx + 1, tail);
+    }
+}
+
+/// Packages each group into an independently steppable [`LaneWork`]: the
+/// group's states move out of the batch-order vector, the lane is built
+/// over the local order, and `globals` remembers the way back.
+fn lane_works(states: Vec<CellState>, groups: Vec<Vec<usize>>) -> Vec<LaneWork> {
+    let mut slots: Vec<Option<CellState>> = states.into_iter().map(Some).collect();
+    groups
         .into_iter()
-        .map(|members| {
-            let rep = &states[members[0]];
-            let depth = rep.scene.depth();
-            let positions = rep.scene.len();
-            let rows = positions * depth;
-            let stride = members.len();
-            let step_s = rep.step_s;
-            let tau_s = rep.scene.ambient_params().tau_cpu_dram_s;
-            let mut temps = vec![0.0; rows * stride];
-            let mut peaks = vec![0.0; rows * stride];
-            let mut wamb = vec![0.0; positions * stride];
-            let mut wdram = vec![0.0; positions * stride];
-            // Seed the per-member maxima from the initial field so a
-            // first-window scalar observation (before any lane sweep has
-            // refreshed the accumulators) sees the same maxima a fresh
-            // `observe` would.
-            let layers = rep.scene.topology().layers();
-            let mut max_buffer = vec![f64::NEG_INFINITY; stride];
-            let mut max_dram = vec![f64::NEG_INFINITY; stride];
-            for (c, &cell) in members.iter().enumerate() {
-                for (r, (&t, &p)) in
-                    states[cell].scene.layer_temps_flat().iter().zip(states[cell].scene.layer_peaks_flat()).enumerate()
-                {
-                    temps[r * stride + c] = t;
-                    peaks[r * stride + c] = p;
-                    match layers[r % depth].kind {
-                        DeviceLayerKind::Buffer => max_buffer[c] = max_buffer[c].max(t),
-                        DeviceLayerKind::Dram => max_dram[c] = max_dram[c].max(t),
-                    }
-                }
-                for (pos, p) in states[cell].window.positions.iter().enumerate() {
-                    wamb[pos * stride + c] = p.amb_watts;
-                    wdram[pos * stride + c] = p.dram_watts;
-                }
-            }
-            let layer_alphas: Vec<f64> =
-                rep.scene.topology().layers().iter().map(|l| ThermalNode::decay_alpha(l.tau_s, step_s)).collect();
-            Lane {
-                stride,
-                rows,
-                depth,
-                temps,
-                peaks,
-                stable: vec![0.0; depth * stride],
-                amb: vec![0.0; stride],
-                watts: vec![0.0; depth],
-                wamb,
-                wdram,
-                identity_split: rep.scene.topology().is_identity_split(),
-                max_buffer,
-                max_dram,
-                has_buffer: rep.scene.topology().has_buffer(),
-                ambient_alpha: ThermalNode::decay_alpha(tau_s, step_s),
-                layer_alphas,
-                members,
-            }
+        .map(|globals| {
+            let states: Vec<CellState> =
+                globals.iter().map(|&g| slots[g].take().expect("each cell belongs to exactly one lane")).collect();
+            let members: Vec<usize> = (0..states.len()).collect();
+            let lane = build_lane(&states, members);
+            let results = states.iter().map(|_| None).collect();
+            LaneWork { globals, lane, states, results }
         })
         .collect()
+}
+
+/// Builds one lane over `members` (indices into `states`) and seeds its
+/// matrices from the cells' freshly built scenes.
+fn build_lane(states: &[CellState], members: Vec<usize>) -> Lane {
+    let rep = &states[members[0]];
+    let depth = rep.scene.depth();
+    let positions = rep.scene.len();
+    let rows = positions * depth;
+    let stride = members.len();
+    let step_s = rep.step_s;
+    let tau_s = rep.scene.ambient_params().tau_cpu_dram_s;
+    let mut temps = vec![0.0; rows * stride];
+    let mut peaks = vec![0.0; rows * stride];
+    let mut wamb = vec![0.0; positions * stride];
+    let mut wdram = vec![0.0; positions * stride];
+    // Seed the per-member maxima from the initial field so a
+    // first-window scalar observation (before any lane sweep has
+    // refreshed the accumulators) sees the same maxima a fresh
+    // `observe` would.
+    let topology = rep.scene.topology();
+    let layers = topology.layers();
+    let identity_split = topology.is_identity_split();
+    let mut sup = if identity_split { Vec::new() } else { vec![0.0; rows * stride] };
+    let mut watts = vec![0.0; depth];
+    // One length check at lane build covers every subsequent
+    // `split_watts_into` call over this scratch.
+    debug_assert_eq!(watts.len(), topology.depth(), "layer power scratch must match the stack depth");
+    let mut max_buffer = vec![f64::NEG_INFINITY; stride];
+    let mut max_dram = vec![f64::NEG_INFINITY; stride];
+    for (c, &cell) in members.iter().enumerate() {
+        for (r, (&t, &p)) in
+            states[cell].scene.layer_temps_flat().iter().zip(states[cell].scene.layer_peaks_flat()).enumerate()
+        {
+            temps[r * stride + c] = t;
+            peaks[r * stride + c] = p;
+            match layers[r % depth].kind {
+                DeviceLayerKind::Buffer => max_buffer[c] = max_buffer[c].max(t),
+                DeviceLayerKind::Dram => max_dram[c] = max_dram[c].max(t),
+            }
+        }
+        for (pos, p) in states[cell].window.positions.iter().enumerate() {
+            wamb[pos * stride + c] = p.amb_watts;
+            wdram[pos * stride + c] = p.dram_watts;
+            if !identity_split {
+                topology.split_watts_into(p.amb_watts, p.dram_watts, &mut watts);
+                for l in 0..depth {
+                    sup[(pos * depth + l) * stride + c] = topology.psi_superpose(&watts, l);
+                }
+            }
+        }
+    }
+    let layer_alphas: Vec<f64> =
+        rep.scene.topology().layers().iter().map(|l| ThermalNode::decay_alpha(l.tau_s, step_s)).collect();
+    Lane {
+        stride,
+        rows,
+        depth,
+        temps,
+        peaks,
+        sup,
+        amb: vec![0.0; stride],
+        watts,
+        wamb,
+        wdram,
+        identity_split,
+        max_buffer,
+        max_dram,
+        has_buffer: topology.has_buffer(),
+        ambient_alpha: ThermalNode::decay_alpha(tau_s, step_s),
+        layer_alphas,
+        members,
+    }
 }
 
 /// The per-cell pre-step for lane member `j`: loop condition (finalizing a
@@ -519,13 +773,14 @@ fn build_lanes(states: &[CellState]) -> Vec<Lane> {
 fn member_pre(
     lane: &mut Lane,
     j: usize,
+    globals: &[usize],
     engines: &[SimEngine<'_>],
     states: &mut [CellState],
     options: &BatchOptions,
     results: &mut [Option<(MemSpotResult, CellRunStats)>],
 ) -> bool {
     let cell = lane.members[j];
-    let engine = &engines[cell];
+    let engine = &engines[globals[cell]];
     let cfg = engine.config;
     let st = &mut states[cell];
     {
@@ -540,6 +795,25 @@ fn member_pre(
         }
         st.overhead_s = 0.0;
         if st.time_s + 1e-12 >= st.next_dtm_s {
+            // A completed cycle recording is verified *before* this
+            // decision: on success the cell leaves the lane without
+            // deciding (the jump replays the recorded decisions, which a
+            // pure policy is guaranteed to reproduce), on failure the
+            // detector backs off before recording again.
+            if st.cycle_enabled && st.cycle.recording.as_ref().is_some_and(|r| r.windows.len() == r.period) {
+                match cycle_verify(lane, j, st, options) {
+                    Some(jump) => {
+                        results[cell] = Some(fast_forward_periodic(lane, j, st, engine, jump));
+                        lane.remove(j);
+                        return false;
+                    }
+                    None => {
+                        st.cycle.recording = None;
+                        st.cycle.backoff = CYCLE_RETRY_BACKOFF << st.cycle.fails.min(CYCLE_BACKOFF_DOUBLINGS);
+                        st.cycle.fails = st.cycle.fails.saturating_add(1);
+                    }
+                }
+            }
             if st.wants_field {
                 st.scene.observe_lane_into(&lane.temps, lane.stride, j, &mut st.observation);
             } else {
@@ -554,7 +828,8 @@ fn member_pre(
                 st.observation.ambient_c = st.scene.ambient_c();
             }
             let new_plan = st.policy.decide(&st.observation, cfg.dtm_interval_s);
-            if new_plan != st.plan {
+            let plan_changed = new_plan != st.plan;
+            if plan_changed {
                 st.plan_streak = 0;
                 st.overhead_s = cfg.dtm_overhead_s;
                 if new_plan.mode != st.mode {
@@ -584,7 +859,7 @@ fn member_pre(
                     st.window =
                         engine.window_power(&st.scene, &st.idle, &st.point, &st.plan_traffic, &st.mode, st.progressing);
                 }
-                lane.write_power_column(j, &st.window.positions);
+                lane.write_power_column(j, &st.window.positions, st.scene.topology());
             } else {
                 st.plan_streak = st.plan_streak.saturating_add(1);
                 if st.ff_allowed
@@ -596,6 +871,9 @@ fn member_pre(
                     lane.remove(j);
                     return false;
                 }
+            }
+            if st.cycle_enabled {
+                cycle_track(lane, j, st, plan_changed, options);
             }
             st.next_dtm_s += cfg.dtm_interval_s;
         }
@@ -614,6 +892,9 @@ fn member_pre(
             }
         }
         lane.amb[j] = st.scene.step_ambient(st.window.v_ipc, lane.ambient_alpha);
+        if st.cycle_enabled && st.cycle.recording.is_some() {
+            cycle_record_window(lane, j, st);
+        }
     }
     true
 }
@@ -621,9 +902,9 @@ fn member_pre(
 /// The per-cell post-step bookkeeping for lane member `j`, mirroring the
 /// tail of the per-cell window loop (energy, maxima, residency, throttle
 /// accounting, trace, clock).
-fn member_post(lane: &Lane, j: usize, engines: &[SimEngine<'_>], states: &mut [CellState]) {
+fn member_post(lane: &Lane, j: usize, globals: &[usize], engines: &[SimEngine<'_>], states: &mut [CellState]) {
     let cell = lane.members[j];
-    let cfg = engines[cell].config;
+    let cfg = engines[globals[cell]].config;
     let st = &mut states[cell];
     st.energy.add(st.window.mem_w, st.window.cpu_w, st.step_s);
     let amb_now = if lane.has_buffer { lane.max_buffer[j] } else { f64::NAN };
@@ -656,6 +937,7 @@ fn member_post(lane: &Lane, j: usize, engines: &[SimEngine<'_>], states: &mut [C
 /// The pre-step pass over a whole lane (the first window's phase A).
 fn lane_pre(
     lane: &mut Lane,
+    globals: &[usize],
     engines: &[SimEngine<'_>],
     states: &mut [CellState],
     options: &BatchOptions,
@@ -663,7 +945,7 @@ fn lane_pre(
 ) {
     let mut j = 0;
     while j < lane.members.len() {
-        if member_pre(lane, j, engines, states, options, results) {
+        if member_pre(lane, j, globals, engines, states, options, results) {
             j += 1;
         }
     }
@@ -676,6 +958,7 @@ fn lane_pre(
 /// are mutually independent, so their interleaving is free to differ).
 fn lane_post_pre(
     lane: &mut Lane,
+    globals: &[usize],
     engines: &[SimEngine<'_>],
     states: &mut [CellState],
     options: &BatchOptions,
@@ -683,8 +966,8 @@ fn lane_post_pre(
 ) {
     let mut j = 0;
     while j < lane.members.len() {
-        member_post(lane, j, engines, states);
-        if member_pre(lane, j, engines, states, options, results) {
+        member_post(lane, j, globals, engines, states);
+        if member_pre(lane, j, globals, engines, states, options, results) {
             j += 1;
         }
     }
@@ -695,11 +978,14 @@ fn lane_post_pre(
 /// for). On identity-split stacks the per-element stable temperature is
 /// computed inline as `ambient + w_buffer·ψ_l0 + w_dram·ψ_l1`, the exact
 /// float-op sequence of `DimmThermalScene::step`, so the bits match the
-/// per-cell engine; other stacks split each cell's watts into the small
-/// `depth × stride` stable scratch first. The sweep also accumulates each
-/// cell's per-device-kind running maximum of the freshly stepped
-/// temperatures — `f64::max` over a fixed set is order-independent, so the
-/// per-cell values carry bits identical to a post-step scene fold.
+/// per-cell engine; other stacks read `ambient + sup` from the cached
+/// superposition matrix ([`Lane::sup`], rewritten only on plan changes) —
+/// the same float-op sequence as the reordered non-identity branch of
+/// `DimmThermalScene::step`, and the same `t += (s − t)·α` row sweep as the
+/// FBDIMM fast path. The sweep also accumulates each cell's
+/// per-device-kind running maximum of the freshly stepped temperatures —
+/// `f64::max` over a fixed set is order-independent, so the per-cell
+/// values carry bits identical to a post-step scene fold.
 fn lane_rc(lane: &mut Lane, states: &[CellState]) {
     {
         let Lane {
@@ -708,9 +994,8 @@ fn lane_rc(lane: &mut Lane, states: &[CellState]) {
             depth,
             temps,
             peaks,
-            stable,
+            sup,
             amb,
-            watts,
             wamb,
             wdram,
             identity_split,
@@ -729,18 +1014,6 @@ fn lane_rc(lane: &mut Lane, states: &[CellState]) {
             for pos in 0..temps.len() / (depth * stride) {
                 let wa = &wamb[pos * stride..pos * stride + n];
                 let wd = &wdram[pos * stride..pos * stride + n];
-                if !*identity_split {
-                    for c in 0..n {
-                        topology.split_watts_into(wa[c], wd[c], watts);
-                        for (l, stable_row) in stable.chunks_exact_mut(stride).enumerate() {
-                            let mut s = amb[c];
-                            for (w, psi) in watts.iter().zip(topology.psi_row(l)) {
-                                s += w * psi;
-                            }
-                            stable_row[c] = s;
-                        }
-                    }
-                }
                 for l in 0..depth {
                     let alpha = layer_alphas[l];
                     let row = (pos * depth + l) * stride;
@@ -761,11 +1034,13 @@ fn lane_rc(lane: &mut Lane, states: &[CellState]) {
                             m_row[i] = m_row[i].max(*t);
                         }
                     } else {
-                        let s_row = &stable[l * stride..l * stride + n];
-                        for (((t, pk), s), m) in t_row.iter_mut().zip(p_row.iter_mut()).zip(s_row).zip(m_row) {
-                            *t += (*s - *t) * alpha;
-                            *pk = pk.max(*t);
-                            *m = m.max(*t);
+                        let s_row = &sup[row..row + n];
+                        for i in 0..n {
+                            let s = amb[i] + s_row[i];
+                            let t = &mut t_row[i];
+                            *t += (s - *t) * alpha;
+                            p_row[i] = p_row[i].max(*t);
+                            m_row[i] = m_row[i].max(*t);
                         }
                     }
                 }
@@ -920,6 +1195,537 @@ fn fast_forward(lane: &Lane, j: usize, st: &mut CellState, engine: &SimEngine<'_
     finalize(st, engine)
 }
 
+/// The limit-cycle detector state of one cell (only populated when
+/// [`CellState::cycle_enabled`]). Tracking is cheap — one snapshot per DTM
+/// decision — and recording/verification only run once the plan sequence
+/// already looks periodic.
+#[derive(Debug, Default)]
+struct CycleTracker {
+    /// The most recent decisions, newest last (capped at
+    /// `2·MAX_CYCLE_DECISIONS + 1` so any period up to the maximum can be
+    /// checked against one full prior repetition).
+    history: VecDeque<DecisionSnap>,
+    /// The in-flight (or completed, pending verification) cycle recording.
+    recording: Option<CycleRecording>,
+    /// Decisions left before the detector may record again after a failed
+    /// verification.
+    backoff: u32,
+    /// Failed verifications so far (saturating) — sets the next backoff's
+    /// doubling exponent.
+    fails: u32,
+}
+
+/// What the detector remembers about one DTM decision.
+#[derive(Debug)]
+struct DecisionSnap {
+    plan: ActuationPlan,
+    /// The cell's lane temperature column at decision time (pre-window).
+    temps: Vec<f64>,
+    /// The scene ambient at decision time. Candidate selection demands the
+    /// same tight recurrence verification will ([`AMBIENT_FF_EPS_C`]), so a
+    /// slowly drifting orbit — whose layer temperatures recur within ε over
+    /// any short lag — never starts a recording it is bound to fail.
+    ambient: f64,
+}
+
+/// One full candidate limit cycle, recorded window by window as it is
+/// stepped literally. Everything the periodic fast-forward needs to replay
+/// the cycle — plans, stable temperatures, per-window amounts — is captured
+/// from the very values the stepped windows used.
+#[derive(Debug)]
+struct CycleRecording {
+    /// The cycle length in windows (= decisions, since recording only runs
+    /// when the step equals the DTM interval).
+    period: usize,
+    /// The scene ambient at the recording's first decision (pre-window);
+    /// verification requires it to recur at the closing decision.
+    start_ambient: f64,
+    windows: Vec<CycleWindow>,
+}
+
+/// One recorded window of a candidate limit cycle.
+#[derive(Debug)]
+struct CycleWindow {
+    plan: ActuationPlan,
+    /// The observation this window's decision consumed (kept so
+    /// verification can ask [`DtmPolicy::is_steady`] about *every* phase of
+    /// the cycle, not just the closing one).
+    observation: ThermalObservation,
+    /// The per-row stable temperatures the RC sweep used
+    /// ([`Lane::stable_for`]) — replaying them reproduces the sweep's bits.
+    stables: Vec<f64>,
+    mode_key: ModeKey,
+    mem_w: f64,
+    cpu_w: f64,
+    instr: f64,
+    bytes: f64,
+    misses: f64,
+    migrated: f64,
+    /// Per-core retired-instruction amounts (exact integers, so completion
+    /// events replay at the very window they would step at).
+    retires: Vec<u64>,
+    progressing: bool,
+    /// Per-channel throttle flags of this window's plan.
+    throttled: Vec<bool>,
+    /// The scene ambient after this window's ambient step (the value the
+    /// stepped run folds into `ambient_sum`).
+    ambient_c: f64,
+}
+
+/// Per-cycle affine-map data computed by [`cycle_verify`] and consumed by
+/// [`fast_forward_periodic`]: over one whole cycle each layer contracts as
+/// `t ← a·t + c` toward the phase-0 fixed point `t* = c / (1 − a)`.
+#[derive(Debug)]
+struct CycleJump {
+    /// Per-layer whole-cycle decay `a = λ^k`.
+    layer_a: Vec<f64>,
+    /// Per-row phase-0 fixed point of the cycle map.
+    fixed: Vec<f64>,
+}
+
+/// Pushes one decision snapshot and, when the recent history shows a
+/// period-`k` plan sequence whose temperatures recur within ε, starts
+/// recording one full cycle for verification. Runs at every DTM decision of
+/// a cycle-enabled cell (after the decision, before the window steps).
+// The negated comparison is load-bearing: `!(x <= eps)` refuses on NaN
+// where `x > eps` would accept it.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn cycle_track(lane: &Lane, j: usize, st: &mut CellState, changed: bool, options: &BatchOptions) {
+    let streak = st.plan_streak as usize;
+    let tracker = &mut st.cycle;
+    // A plan frozen for the full history depth cannot take part in any
+    // detectable cycle (a candidate must change the plan inside its two
+    // repetitions), so tracking pauses for settled cells — dropping the
+    // stale history keeps snapshot lags contiguous — until the plan next
+    // changes. Without this gate the scan below is the batched tier's
+    // dominant per-window cost on frozen-plan cells.
+    if !changed && streak >= 2 * MAX_CYCLE_DECISIONS {
+        tracker.history.clear();
+        return;
+    }
+    // Once a recording is in flight the history is never read again — a
+    // verified cycle removes the cell from the lane, a failed verification
+    // clears the history into backoff — so both states idle at one branch
+    // per decision instead of snapshotting.
+    if tracker.recording.is_some() {
+        return;
+    }
+    // Early backoff idles without snapshotting (the history is stale and
+    // dropped); snapshotting resumes for the final `2·MAX + 1` decisions so
+    // a full history is ready the moment the scan re-arms — detection
+    // timing is exactly that of snapshotting throughout.
+    let disarmed = tracker.backoff > 0;
+    if disarmed {
+        tracker.backoff -= 1;
+        if tracker.backoff as usize > 2 * MAX_CYCLE_DECISIONS {
+            tracker.history.clear();
+            return;
+        }
+    }
+    // Recycle the oldest snapshot's allocation once the history is full.
+    let mut temps = if tracker.history.len() > 2 * MAX_CYCLE_DECISIONS {
+        let mut old = tracker.history.pop_front().expect("history is non-empty");
+        old.temps.clear();
+        old.temps
+    } else {
+        Vec::with_capacity(lane.rows)
+    };
+    temps.extend((0..lane.rows).map(|r| lane.temps[r * lane.stride + j]));
+    tracker.history.push_back(DecisionSnap { plan: st.plan.clone(), temps, ambient: st.scene.ambient_c() });
+    if disarmed {
+        return;
+    }
+    let h = &tracker.history;
+    let n = h.len();
+    for k in 2..=MAX_CYCLE_DECISIONS {
+        if n < 2 * k {
+            break;
+        }
+        // The last 2k decisions must repeat with period k, actually change
+        // the plan at least once (a frozen plan is the steady-state
+        // fast-forward's domain), and land on recurring temperatures. The
+        // change requirement is the O(1) `plan_streak` test — the last
+        // change must fall inside the candidate's two repetitions — and
+        // filters before any plan is compared.
+        if streak >= 2 * k {
+            continue;
+        }
+        // Ambient recurrence to verification's own tolerance comes next —
+        // one subtract rules most lags out (and refuses on NaN) before any
+        // plan or temperature vector is compared.
+        if !((h[n - 1].ambient - h[n - 1 - k].ambient).abs() <= AMBIENT_FF_EPS_C) {
+            continue;
+        }
+        if !(0..k).all(|i| h[n - 1 - i].plan == h[n - 1 - i - k].plan) {
+            continue;
+        }
+        let now = &h[n - 1].temps;
+        let then = &h[n - 1 - k].temps;
+        if !now.iter().zip(then).all(|(a, b)| (a - b).abs() <= options.steady_epsilon_c) {
+            continue;
+        }
+        tracker.recording =
+            Some(CycleRecording { period: k, start_ambient: st.scene.ambient_c(), windows: Vec::with_capacity(k) });
+        return;
+    }
+}
+
+/// Captures the window just prepared by [`member_pre`] into the in-flight
+/// cycle recording (called after the cell's ambient step, so
+/// [`Lane::stable_for`] reads exactly what the next RC sweep will use).
+fn cycle_record_window(lane: &Lane, j: usize, st: &mut CellState) {
+    let scene = &st.scene;
+    let Some(rec) = st.cycle.recording.as_mut() else { return };
+    if rec.windows.len() >= rec.period {
+        return;
+    }
+    let topology = scene.topology();
+    let stables: Vec<f64> = (0..lane.rows).map(|r| lane.stable_for(j, r, topology)).collect();
+    let effective_s = (st.step_s - st.overhead_s).max(0.0);
+    let (instr, bytes, misses, migrated) = if st.progressing {
+        let instr = st.point.instr_rate_total * st.plan_stats.service_scale * effective_s;
+        (
+            instr,
+            st.point.total_gbps() * st.plan_stats.service_scale * 1e9 * effective_s,
+            st.point.l2_misses_per_instr * instr,
+            st.plan_stats.migrated_gbps * 1e9 * effective_s,
+        )
+    } else {
+        (0.0, 0.0, 0.0, 0.0)
+    };
+    let retires: Vec<u64> = st
+        .full_shares
+        .iter()
+        .map(|&share| if share > 0.0 && st.progressing { (instr * share) as u64 } else { 0 })
+        .collect();
+    let throttled: Vec<bool> = (0..st.channel_throttle_s.len()).map(|ch| st.plan.throttles_channel(ch)).collect();
+    rec.windows.push(CycleWindow {
+        plan: st.plan.clone(),
+        observation: st.observation.clone(),
+        stables,
+        mode_key: st.mode_key,
+        mem_w: st.window.mem_w,
+        cpu_w: st.window.cpu_w,
+        instr,
+        bytes,
+        misses,
+        migrated,
+        retires,
+        progressing: st.progressing,
+        throttled,
+        ambient_c: scene.ambient_c(),
+    });
+}
+
+/// Verifies a completed cycle recording against the cell's current state
+/// and, on success, returns the cycle's affine-map data for the jump.
+///
+/// The detector's heuristics got us here; this is where correctness lives.
+/// Over one cycle each layer evolves as `t ← a·t + c` with `a = λ^k` and
+/// `c` the recorded stables folded from zero, so the cycle has a phase-0
+/// fixed point `t* = c / (1 − a)` (with `1 − a` evaluated as `α·Σλ^i` to
+/// dodge the cancellation at `λ → 1`). Requirements:
+///
+/// 1. the scene ambient recurs (bitwise for isolated scenes) at the cycle
+///    boundary,
+/// 2. the recorded plans actually change within the cycle (else the
+///    steady-state fast-forward owns the cell),
+/// 3. every row sits within ε of its cycle fixed point (`B = max |t − t*|`),
+///    and
+/// 4. the policy guarantees, for every phase `w`, that any observation
+///    within `max(B, d_w)` of the *phase fixed-point* observation decides
+///    the recorded plan ([`DtmPolicy::is_steady`] centered on the
+///    fixed-point maxima). All future phase-`w` boundary temperatures stay
+///    within `B` of the phase fixed point (whole-cycle contraction from the
+///    current `B`, intra-cycle contraction `≤ 1`), and `d_w` — the recorded
+///    observation's own distance to the fixed-point observation — pulls the
+///    *recorded* decision into the same ball, so the level that is constant
+///    over the ball is exactly the recorded plan's.
+// The negated comparisons are load-bearing: `!(x <= eps)` refuses on NaN
+// where `x > eps` would accept it.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn cycle_verify(lane: &Lane, j: usize, st: &CellState, options: &BatchOptions) -> Option<CycleJump> {
+    let rec = st.cycle.recording.as_ref()?;
+    let k = rec.period;
+    // `!(x <= eps)` deliberately refuses on NaN.
+    if !((st.scene.ambient_c() - rec.start_ambient).abs() <= AMBIENT_FF_EPS_C) {
+        return None;
+    }
+    if !rec.windows.iter().any(|w| w.plan != rec.windows[0].plan) {
+        return None;
+    }
+    let depth = lane.depth;
+    let mut layer_a = vec![0.0; depth];
+    let mut one_minus_a = vec![0.0; depth];
+    for l in 0..depth {
+        let alpha = lane.layer_alphas[l];
+        let lambda = 1.0 - alpha;
+        let mut geo = 0.0;
+        let mut p = 1.0;
+        for _ in 0..k {
+            geo += p;
+            p *= lambda;
+        }
+        layer_a[l] = lambda.powi(k as i32);
+        one_minus_a[l] = alpha * geo;
+    }
+    let mut fixed = vec![0.0; lane.rows];
+    let mut deviation: f64 = 0.0;
+    for (r, slot) in fixed.iter_mut().enumerate() {
+        let alpha = lane.layer_alphas[r % depth];
+        let mut c = 0.0;
+        for win in &rec.windows {
+            c += (win.stables[r] - c) * alpha;
+        }
+        let t_star = c / one_minus_a[r % depth];
+        if !t_star.is_finite() {
+            return None;
+        }
+        *slot = t_star;
+        deviation = deviation.max((lane.temps[r * lane.stride + j] - t_star).abs());
+    }
+    if !(deviation <= options.steady_epsilon_c) {
+        return None;
+    }
+    // Walk the phase fixed points through the cycle and consult the policy
+    // at each one: `t_star` holds the phase-`w` boundary temperatures of
+    // the exactly periodic orbit, whose device maxima are what a converged
+    // cycle's decision at phase `w` observes.
+    let layers = st.scene.topology().layers();
+    let has_buffer = st.scene.topology().has_buffer();
+    let mut t_star = fixed.clone();
+    let mut probe = rec.windows[0].observation.clone();
+    for win in &rec.windows {
+        let mut amb_star = f64::NEG_INFINITY;
+        let mut dram_star = f64::NEG_INFINITY;
+        for (r, &t) in t_star.iter().enumerate() {
+            match layers[r % depth].kind {
+                DeviceLayerKind::Buffer => amb_star = amb_star.max(t),
+                DeviceLayerKind::Dram => dram_star = dram_star.max(t),
+            }
+        }
+        let amb_star = if has_buffer { amb_star } else { f64::NAN };
+        let d_w = {
+            let da = if has_buffer { (win.observation.max_amb_c - amb_star).abs() } else { 0.0 };
+            let dd = (win.observation.max_dram_c - dram_star).abs();
+            da.max(dd)
+        };
+        if !d_w.is_finite() {
+            return None;
+        }
+        probe.max_amb_c = amb_star;
+        probe.max_dram_c = dram_star;
+        probe.ambient_c = win.observation.ambient_c;
+        let radius_c = deviation.max(d_w) + 1e-9;
+        if !st.policy.is_steady(&probe, &win.plan, radius_c) {
+            return None;
+        }
+        for (r, t) in t_star.iter_mut().enumerate() {
+            *t += (win.stables[r] - *t) * lane.layer_alphas[r % depth];
+        }
+    }
+    Some(CycleJump { layer_a, fixed })
+}
+
+/// Literal RC fold of the recorded windows `[from, to)` over the working
+/// temperature state (the exact per-window float ops of [`lane_rc`], peaks
+/// folded per window).
+fn fold_cycle_temps(windows: &[CycleWindow], layer_alphas: &[f64], depth: usize, t_cur: &mut [f64], peaks: &mut [f64]) {
+    for win in windows {
+        for (r, t) in t_cur.iter_mut().enumerate() {
+            *t += (win.stables[r] - *t) * layer_alphas[r % depth];
+            peaks[r] = peaks[r].max(*t);
+        }
+    }
+}
+
+/// Replays one recorded window's accounting (everything except time and
+/// temperatures, which the callers handle).
+fn replay_cycle_window(st: &mut CellState, win: &CycleWindow, step: f64, shares_positive: &[bool]) {
+    if win.progressing {
+        st.total_instructions += win.instr;
+        st.total_bytes += win.bytes;
+        st.total_misses += win.misses;
+        st.migrated_bytes += win.migrated;
+        for (core, &positive) in shares_positive.iter().enumerate() {
+            if positive {
+                st.batch.retire(core, win.retires[core]);
+            }
+        }
+    }
+    st.energy.add(win.mem_w, win.cpu_w, step);
+    *st.residency.entry(win.mode_key).or_insert(0.0) += step;
+    for (channel, throttled_s) in st.channel_throttle_s.iter_mut().enumerate() {
+        if win.throttled[channel] {
+            *throttled_s += step;
+        }
+    }
+    st.ambient_sum += win.ambient_c;
+    st.ambient_samples += 1;
+}
+
+/// Replays the cell's remaining windows whole limit cycles at a time and
+/// finalizes it.
+///
+/// The verified recording guarantees every future cycle re-decides the
+/// recorded plans, so the trajectory is periodic forever. Completion events
+/// are resolved cycle-by-cycle the way [`fast_forward`] resolves them
+/// window-by-window: whole cycles in which no job copy can finish are
+/// bulk-accounted (`amount × cycles` per recorded window — pure
+/// accumulation, order-free), and the cycle containing a completion is
+/// replayed literally window-by-window so the round-robin refill
+/// interleaves exactly as stepped. Simulated time advances by the literal
+/// repeated additions throughout (bit-identical window count), and the
+/// per-core retire amounts are the recorded exact integers, so completions
+/// land on the very windows the stepped run would step.
+///
+/// Temperatures across a bulk span: the first and last cycles are folded
+/// literally (per-(phase, row) trajectories are monotone across cycles, so
+/// those two bound every intermediate peak) and the middle collapses to the
+/// closed form `t ← t* + (t − t*)·a^(cycles − 2)` per layer.
+fn fast_forward_periodic(
+    lane: &Lane,
+    j: usize,
+    st: &mut CellState,
+    engine: &SimEngine<'_>,
+    jump: CycleJump,
+) -> (MemSpotResult, CellRunStats) {
+    let cfg = engine.config;
+    let cores = engine.cpu.cores;
+    let step = st.step_s;
+    let max = cfg.max_sim_time_s;
+    let rec = st.cycle.recording.take().expect("verified recording present");
+    let k = rec.period;
+    let rows = lane.rows;
+    let depth = lane.depth;
+
+    let shares_positive: Vec<bool> =
+        (0..cores).map(|core| st.full_shares.get(core).copied().unwrap_or(0.0) > 0.0).collect();
+    // Whole-cycle per-core retire totals (job-independent).
+    let mut cycle_retires = vec![0u64; cores];
+    for win in &rec.windows {
+        if win.progressing {
+            for (core, total) in cycle_retires.iter_mut().enumerate() {
+                *total += win.retires[core];
+            }
+        }
+    }
+    let any_progress = rec.windows.iter().any(|w| w.progressing);
+
+    let mut t_cur: Vec<f64> = (0..rows).map(|r| lane.temps[r * lane.stride + j]).collect();
+    let mut peaks: Vec<f64> = (0..rows).map(|r| lane.peaks[r * lane.stride + j]).collect();
+    let mut w_total: u64 = 0;
+    let mut cycles_total: u64 = 0;
+
+    while !st.batch.is_complete() && st.time_s < max {
+        // Whole cycles until the earliest possible job-copy completion.
+        let target: Option<u64> = if any_progress {
+            (0..cores)
+                .filter(|&core| cycle_retires[core] > 0)
+                .filter_map(|core| {
+                    st.batch.slot(core).map(|s| s.remaining_instructions.div_ceil(cycle_retires[core]).max(1))
+                })
+                .min()
+        } else {
+            None
+        };
+        let bulk: u64 = match target {
+            Some(t) => t - 1,
+            None => u64::MAX,
+        };
+        // Advance the completion-free span, literal time additions.
+        let mut cycles: u64 = 0;
+        let mut partial: usize = 0;
+        'bulk: while cycles < bulk {
+            for w in 0..k {
+                if st.time_s >= max {
+                    partial = w;
+                    break 'bulk;
+                }
+                st.time_s += step;
+            }
+            cycles += 1;
+        }
+        w_total += cycles * k as u64 + partial as u64;
+        cycles_total += cycles;
+        if cycles > 0 {
+            let cf = cycles as f64;
+            for win in &rec.windows {
+                if win.progressing {
+                    st.total_instructions += win.instr * cf;
+                    st.total_bytes += win.bytes * cf;
+                    st.total_misses += win.misses * cf;
+                    st.migrated_bytes += win.migrated * cf;
+                }
+                st.energy.add(win.mem_w, win.cpu_w, step * cf);
+                *st.residency.entry(win.mode_key).or_insert(0.0) += step * cf;
+                for (channel, throttled_s) in st.channel_throttle_s.iter_mut().enumerate() {
+                    if win.throttled[channel] {
+                        *throttled_s += step * cf;
+                    }
+                }
+                st.ambient_sum += win.ambient_c * cf;
+                st.ambient_samples += cycles;
+            }
+            if any_progress {
+                for (core, &positive) in shares_positive.iter().enumerate() {
+                    if positive && cycle_retires[core] > 0 {
+                        st.batch.retire(core, cycle_retires[core] * cycles);
+                    }
+                }
+            }
+            fold_cycle_temps(&rec.windows, &lane.layer_alphas, depth, &mut t_cur, &mut peaks);
+            if cycles >= 2 {
+                if cycles > 2 {
+                    for (r, t) in t_cur.iter_mut().enumerate() {
+                        let a = jump.layer_a[r % depth];
+                        let decay = ((cycles - 2) as f64 * a.ln()).exp();
+                        *t = jump.fixed[r] + (*t - jump.fixed[r]) * decay;
+                    }
+                }
+                fold_cycle_temps(&rec.windows, &lane.layer_alphas, depth, &mut t_cur, &mut peaks);
+            }
+        }
+        if partial > 0 {
+            // Time capped mid-cycle: the executed prefix already advanced
+            // the clock, replay its accounting and temperatures and stop.
+            for win in &rec.windows[..partial] {
+                replay_cycle_window(st, win, step, &shares_positive);
+            }
+            fold_cycle_temps(&rec.windows[..partial], &lane.layer_alphas, depth, &mut t_cur, &mut peaks);
+            break;
+        }
+        if st.time_s >= max {
+            break;
+        }
+        // The completion cycle: replayed literally window-by-window with
+        // the stepped loop's checks at each window head.
+        let mut done = 0;
+        for win in &rec.windows {
+            if st.batch.is_complete() || st.time_s >= max {
+                break;
+            }
+            replay_cycle_window(st, win, step, &shares_positive);
+            fold_cycle_temps(std::slice::from_ref(win), &lane.layer_alphas, depth, &mut t_cur, &mut peaks);
+            st.time_s += step;
+            w_total += 1;
+            done += 1;
+        }
+        if done == k {
+            cycles_total += 1;
+        }
+    }
+
+    st.scene.set_layer_temps(&t_cur);
+    st.scene.set_layer_peaks(&peaks);
+    let (amb_pk, dram_pk) = st.scene.peak_temps_c();
+    st.max_amb = st.max_amb.max(amb_pk);
+    st.max_dram = st.max_dram.max(dram_pk);
+    st.stats.fast_forwarded_windows = w_total;
+    st.stats.periodic_cycles = cycles_total;
+    finalize(st, engine)
+}
+
 /// Folds a finished cell's accumulators into its result through the same
 /// [`assemble_result`] path as the per-cell engine. The caller must have
 /// synchronized the cell's scene (temperatures and peaks) beforehand.
@@ -1044,14 +1850,38 @@ mod tests {
         let opts = BatchOptions::default();
         let states: Vec<CellState> =
             cells.into_iter().zip(sim_engines.iter()).map(|(cell, e)| CellState::new(cell, e, &opts)).collect();
-        let lanes = build_lanes(&states);
+        let groups = lane_groups(&states);
         // aohs FBDIMM pair share a lane; fdhs and the rank pair each get
         // their own (different resistances => different topology taus).
-        assert_eq!(lanes.len(), 3);
-        assert_eq!(lanes.iter().map(|l| l.members.len()).max(), Some(2));
-        for lane in &lanes {
+        assert_eq!(groups.len(), 3);
+        let works = lane_works(states, groups);
+        assert_eq!(works.iter().map(|w| w.lane.members.len()).max(), Some(2));
+        for work in &works {
+            let lane = &work.lane;
             assert_eq!(lane.stride, lane.members.len());
             assert_eq!(lane.temps.len(), lane.rows * lane.stride);
+            assert_eq!(work.globals.len(), work.states.len());
         }
+    }
+
+    #[test]
+    fn splitting_groups_chunks_the_dominant_lane() {
+        // One dominant 6-cell group plus a singleton: asking for 4 workers
+        // must chunk the big group (6 → 3+3 → 3+2+1... stopping at 4 total)
+        // while never splitting below one cell per group.
+        let mut groups = vec![vec![0, 1, 2, 3, 4, 5], vec![6]];
+        split_groups(&mut groups, 4, 7);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), 7);
+        assert!(groups.iter().all(|g| !g.is_empty()));
+        // Membership is preserved, only partitioned.
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+
+        // More workers than cells: every group ends up a singleton, no spin.
+        let mut groups = vec![vec![0, 1, 2]];
+        split_groups(&mut groups, 16, 3);
+        assert_eq!(groups.len(), 3);
     }
 }

@@ -22,6 +22,13 @@
 //!   proceeds unlocked — the cache is an accelerator and a wedged lock
 //!   file must not stall the simulation (the worst case is a torn line,
 //!   which the loader already skips).
+//! * **Compaction** — concurrent writers legitimately append duplicate
+//!   keys (each process computes and persists the point it was missing), so
+//!   the file accumulates dead lines across warm runs. A load deduplicates
+//!   (first occurrence wins, mirroring the in-memory store's
+//!   first-write-wins insert) and, once at least [`COMPACT_MIN_DEAD`] dead
+//!   lines make up a quarter of the entries, rewrites the file atomically
+//!   (temporary sibling + rename) under the same advisory lock.
 //! * **Versioning** — a header whose format name or version does not match
 //!   [`FORMAT_VERSION`] invalidates the whole file: the load returns no
 //!   entries and the next append rewrites the file from scratch. Entries
@@ -136,11 +143,13 @@ impl DiskCache {
     /// Propagates I/O errors other than the file not existing.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Self, Vec<(CharStoreKey, CharPoint)>)> {
         let path = path.as_ref().to_path_buf();
+        let lock_path = lock_path_for(&path);
         let (entries, must_reset) = match std::fs::read_to_string(&path) {
             Ok(body) => {
                 let mut lines = body.lines();
                 if lines.next().map(header_is_current) == Some(true) {
-                    (lines.filter_map(parse_entry).collect(), false)
+                    let raw: Vec<(CharStoreKey, CharPoint)> = lines.filter_map(parse_entry).collect();
+                    (compact_on_load(&path, &lock_path, raw), false)
                 } else {
                     (Vec::new(), true)
                 }
@@ -148,7 +157,6 @@ impl DiskCache {
             Err(e) if e.kind() == ErrorKind::NotFound => (Vec::new(), true),
             Err(e) => return Err(e),
         };
-        let lock_path = lock_path_for(&path);
         Ok((DiskCache { path, lock_path, writer: Mutex::new((None, must_reset)) }, entries))
     }
 
@@ -232,6 +240,54 @@ impl DiskCache {
             let _ = file.write_all(line.as_bytes());
         }
     }
+}
+
+/// Minimum number of dead (superseded-duplicate) lines before a load
+/// rewrites the file, and the dead fraction (dead ≥ total/4) that must be
+/// reached alongside it. Concurrent appenders from different processes
+/// routinely persist the same key twice; compaction keeps the file from
+/// growing without bound across warm-cache runs.
+const COMPACT_MIN_DEAD: usize = 8;
+
+/// Deduplicates loaded entries (first occurrence wins, matching the
+/// in-memory store's first-write-wins semantics) and, when enough dead
+/// lines have accumulated, rewrites the file through a temporary sibling
+/// renamed into place under the cross-process advisory lock.
+///
+/// The rewrite is best-effort on two counts: failing to take the lock (or
+/// any I/O error) simply skips compaction until a later load, and a
+/// concurrent process holding an already-open append handle keeps writing
+/// to the replaced inode — those appends are lost, which the cache
+/// tolerates by construction (the points are recomputed and re-appended on
+/// the next cold hit).
+fn compact_on_load(
+    path: &Path,
+    lock_path: &Path,
+    raw: Vec<(CharStoreKey, CharPoint)>,
+) -> Vec<(CharStoreKey, CharPoint)> {
+    let total = raw.len();
+    let mut seen = std::collections::HashSet::with_capacity(total);
+    let mut entries: Vec<(CharStoreKey, CharPoint)> = Vec::with_capacity(total);
+    for (key, point) in raw {
+        if seen.insert(key.clone()) {
+            entries.push((key, point));
+        }
+    }
+    let dead = total - entries.len();
+    if dead >= COMPACT_MIN_DEAD && dead * 4 >= total {
+        if let Some(_lock) = acquire_path_lock(lock_path) {
+            let tmp = path.with_extension(format!("compact.{}", std::process::id()));
+            let mut body = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
+            for (key, point) in &entries {
+                body.push_str(&serialize_entry(key, point));
+            }
+            let rewritten = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path));
+            if rewritten.is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+    entries
 }
 
 /// The sibling lock-file path of a cache file (`<path>.lock`).
@@ -722,6 +778,53 @@ mod tests {
         let path = std::env::temp_dir().join(format!("diskcache_{}_{}.jsonl", tag, std::process::id()));
         let _ = std::fs::remove_file(&path);
         path
+    }
+
+    #[test]
+    fn load_compacts_duplicate_riddled_files_keeping_the_first_write() {
+        let path = temp_path("compact");
+        let mut body = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
+        // Nine duplicates of one key (the first carries a distinguishable
+        // point) plus three unique keys: 12 entries, 9 dead — over the
+        // threshold.
+        let mut first = sample_point();
+        first.read_gbps = 42.0;
+        body.push_str(&serialize_entry(&sample_key(), &first));
+        for _ in 0..8 {
+            body.push_str(&serialize_entry(&sample_key(), &sample_point()));
+        }
+        for i in 1..=3u64 {
+            let mut key = sample_key();
+            key.budget += i;
+            body.push_str(&serialize_entry(&key, &sample_point()));
+        }
+        std::fs::write(&path, body).unwrap();
+
+        let (_, entries) = DiskCache::open(&path).unwrap();
+        assert_eq!(entries.len(), 4, "duplicates are dropped from the loaded set");
+        assert_eq!(entries[0].1.read_gbps, 42.0, "the FIRST write of a duplicated key wins");
+
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(rewritten.lines().count(), 5, "the file is rewritten as header + 4 unique entries");
+        let (_, reloaded) = DiskCache::open(&path).unwrap();
+        assert_eq!(reloaded, entries, "the compacted file round-trips");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_leaves_files_below_the_dead_line_threshold_untouched() {
+        let path = temp_path("no_compact");
+        let mut body = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
+        // Two duplicates only: deduplicated in memory, but far below the
+        // rewrite threshold.
+        for _ in 0..3 {
+            body.push_str(&serialize_entry(&sample_key(), &sample_point()));
+        }
+        std::fs::write(&path, &body).unwrap();
+        let (_, entries) = DiskCache::open(&path).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), body, "no rewrite below the threshold");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

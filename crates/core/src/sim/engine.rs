@@ -1,6 +1,6 @@
 //! The window-stepping core of the second-level simulator.
 //!
-//! This is the first of the simulator's three execution tiers:
+//! This is the first of the simulator's four execution tiers:
 //!
 //! 1. **Per-cell stepping** (this module): one [`SimEngine`] advances one
 //!    design point window by window. It is the reference semantics — every
@@ -10,10 +10,15 @@
 //!    share one row-major temperature matrix and advance in lockstep lanes,
 //!    turning the per-window RC update into contiguous row sweeps. Same
 //!    bits, better memory behavior; the sweep harness uses it by default.
-//! 3. **Steady-state fast-forward** (opt-in on the batched tier): cells
-//!    whose temperatures have reached their RC fixed point under an
-//!    unchanging plan are finished in closed form, within 1e-9 of literal
-//!    stepping rather than bit-identically.
+//! 3. **Lane-parallel stepping** (`BatchedSimEngine::run_with_workers`):
+//!    the lanes of tier 2 fanned across OS threads, with dominant lanes
+//!    split column-wise so every worker has work. Lanes never interact, so
+//!    this is still bit-identical to tier 1.
+//! 4. **Analytic fast-forward** (opt-in on the batched tiers): cells whose
+//!    temperatures have reached their RC fixed point under an unchanging
+//!    plan — or whose threshold policy has locked into a verified limit
+//!    cycle — are finished in closed form, within 1e-9 of literal stepping
+//!    rather than bit-identically.
 //!
 //! [`SimEngine`] owns the inner loop MEMSpot used to inline: every window it
 //! converts the current design point's per-DIMM traffic into per-position

@@ -388,11 +388,11 @@ impl StackTopology {
     /// Shares sum to 1 per source across the stack, so the total power into
     /// the stack equals `amb_watts + dram_watts` (energy conservation).
     ///
-    /// # Panics
-    ///
-    /// Panics if `out.len()` differs from the stack depth.
+    /// Callers are expected to size the scratch once (lane build, scene
+    /// construction) rather than per window; the length check is therefore a
+    /// debug assertion.
     pub fn split_watts_into(&self, amb_watts: f64, dram_watts: f64, out: &mut [f64]) {
-        assert_eq!(out.len(), self.layers.len(), "one output slot per layer required");
+        debug_assert_eq!(out.len(), self.layers.len(), "one output slot per layer required");
         if self.identity_split {
             out[0] = amb_watts;
             out[1] = dram_watts;
@@ -401,6 +401,24 @@ impl StackTopology {
         for (w, layer) in out.iter_mut().zip(&self.layers) {
             *w = layer.buffer_share * amb_watts + layer.dram_share * dram_watts;
         }
+    }
+
+    /// Ψ-superposed steady-state rise of `layer` over the memory ambient for
+    /// the given per-layer watts: `Σ_j watts[j] · Ψ[layer][j]`, accumulated
+    /// left to right from zero.
+    ///
+    /// Every non-identity stable-state computation in the crate (the
+    /// per-cell `DimmThermalScene::step`, the RC fixed point, and the
+    /// batched tier's cached superposition matrix) goes through this helper
+    /// so the floating-point operation order — and hence the rounding — is
+    /// identical at every site.
+    #[inline]
+    pub fn psi_superpose(&self, watts: &[f64], layer: usize) -> f64 {
+        let mut s = 0.0;
+        for (w, psi) in watts.iter().zip(self.psi_row(layer)) {
+            s += w * psi;
+        }
+        s
     }
 
     /// Allocating convenience over [`StackTopology::split_watts_into`].

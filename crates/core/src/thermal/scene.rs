@@ -401,18 +401,37 @@ impl DimmThermalScene {
         let coeffs = self.coeffs.as_ref().expect("coefficients computed above");
         let stable_ambient = self.ambient_params.stable_ambient_c(sum_voltage_ipc);
         let ambient = self.ambient.step_with_alpha(stable_ambient, coeffs.ambient_alpha);
-        for (pos, p) in powers.iter().enumerate() {
-            self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut self.watts);
-            let base = pos * depth;
-            for l in 0..depth {
-                let mut stable = ambient;
-                for (w, psi) in self.watts.iter().zip(self.topology.psi_row(l)) {
-                    stable += w * psi;
+        if self.topology.is_identity_split() {
+            // Legacy FBDIMM order (ambient-first accumulation) — preserved
+            // exactly so the paper-configuration goldens stay bit-identical.
+            for (pos, p) in powers.iter().enumerate() {
+                self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut self.watts);
+                let base = pos * depth;
+                for l in 0..depth {
+                    let mut stable = ambient;
+                    for (w, psi) in self.watts.iter().zip(self.topology.psi_row(l)) {
+                        stable += w * psi;
+                    }
+                    let t = &mut self.temps_c[base + l];
+                    *t += (stable - *t) * coeffs.layer_alphas[l];
+                    let peak = &mut self.peaks_c[base + l];
+                    *peak = peak.max(*t);
                 }
-                let t = &mut self.temps_c[base + l];
-                *t += (stable - *t) * coeffs.layer_alphas[l];
-                let peak = &mut self.peaks_c[base + l];
-                *peak = peak.max(*t);
+            }
+        } else {
+            // Non-identity stacks superpose Ψ from zero and add the ambient
+            // last: the same operation order as the batched tier's cached
+            // superposition matrix, so both paths round identically.
+            for (pos, p) in powers.iter().enumerate() {
+                self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut self.watts);
+                let base = pos * depth;
+                for l in 0..depth {
+                    let stable = ambient + self.topology.psi_superpose(&self.watts, l);
+                    let t = &mut self.temps_c[base + l];
+                    *t += (stable - *t) * coeffs.layer_alphas[l];
+                    let peak = &mut self.peaks_c[base + l];
+                    *peak = peak.max(*t);
+                }
             }
         }
     }
@@ -458,9 +477,10 @@ impl DimmThermalScene {
     /// flat, `positions × depth`, cleared first).
     ///
     /// The arithmetic mirrors [`DimmThermalScene::step`] operation for
-    /// operation (`stable = ambient + Σ w·ψ` accumulated in ψ-row order), so
-    /// a temperature field sitting exactly at the fixed point is
-    /// bit-stationary under `step` with the same inputs. The steady-state
+    /// operation — identity splits accumulate ambient-first in ψ-row order,
+    /// non-identity stacks superpose Ψ from zero via `psi_superpose` and add
+    /// the ambient last — so a temperature field sitting exactly at the
+    /// fixed point is bit-stationary under `step` with the same inputs. The steady-state
     /// fast-forward uses this to decide when the transient has died out and
     /// to evaluate its closed-form jump.
     ///
@@ -474,14 +494,23 @@ impl DimmThermalScene {
         out.clear();
         out.reserve(powers.len() * depth);
         let mut watts = vec![0.0; depth];
-        for p in powers {
-            self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut watts);
-            for l in 0..depth {
-                let mut stable = ambient;
-                for (w, psi) in watts.iter().zip(self.topology.psi_row(l)) {
-                    stable += w * psi;
+        if self.topology.is_identity_split() {
+            for p in powers {
+                self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut watts);
+                for l in 0..depth {
+                    let mut stable = ambient;
+                    for (w, psi) in watts.iter().zip(self.topology.psi_row(l)) {
+                        stable += w * psi;
+                    }
+                    out.push(stable);
                 }
-                out.push(stable);
+            }
+        } else {
+            for p in powers {
+                self.topology.split_watts_into(p.amb_watts, p.dram_watts, &mut watts);
+                for l in 0..depth {
+                    out.push(ambient + self.topology.psi_superpose(&watts, l));
+                }
             }
         }
     }

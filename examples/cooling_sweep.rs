@@ -3,10 +3,13 @@
 //! Builds a 16-cell grid — {AOHS_1.5, FDHS_1.0} × {W1, W6} × {No-limit,
 //! DTM-TS, DTM-ACG, DTM-CDVFS} — and runs it through the `SweepRunner`
 //! three ways: per-cell stepping on one worker (the reference execution
-//! tier), batched lockstep + steady-state fast-forward on one worker (the
-//! default tier — same results within 1e-9, printed with its speedup and
-//! how many windows were fast-forwarded), and batched fanned across all
-//! cores at cell granularity. Each pass uses its own shared `CharStore`, so
+//! tier), batched lockstep + analytic fast-forward on one worker (the
+//! default tier — same results within 1e-9, printed with its speedup, how
+//! many windows were fast-forwarded and how many whole limit cycles the
+//! periodic detector replayed), the same batch with its lockstep lanes
+//! fanned across all cores (`SweepExecution::lane_parallel`,
+//! bit-identical to the single-thread batched pass), and batched fanned
+//! across all cores at cell granularity. Each pass uses its own shared `CharStore`, so
 //! the printed wall-clock comparisons are fair while still showing the
 //! level-1 dedup (the same mix under two cooling configs characterizes
 //! once). A third pass then runs against a *disk-backed* store
@@ -68,9 +71,29 @@ fn main() {
     let sequential = SweepRunner::with_threads(1).run(&scenarios, sweep_config);
     let batched_speedup = per_cell.wall_clock_s / sequential.wall_clock_s.max(1e-9);
     println!(
-        "batched+FF (1 worker):      {:.2} s wall-clock  ({:.2}x vs per-cell, {} windows fast-forwarded across {} cells)",
-        sequential.wall_clock_s, batched_speedup, sequential.fast_forwarded_windows, sequential.fast_forwarded_cells
+        "batched+FF (1 worker):      {:.2} s wall-clock  ({:.2}x vs per-cell, {} windows fast-forwarded \
+         across {} cells, {} whole limit cycles replayed analytically)",
+        sequential.wall_clock_s,
+        batched_speedup,
+        sequential.fast_forwarded_windows,
+        sequential.fast_forwarded_cells,
+        sequential.periodic_cycles
     );
+
+    // Lane-parallel tier: the same single batch, its lockstep lanes fanned
+    // across every core (bit-identical to the batched pass above).
+    let lane_workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let lane = SweepRunner::with_threads(1)
+        .with_execution(SweepExecution::lane_parallel(lane_workers))
+        .run(&scenarios, sweep_config);
+    let lane_speedup = sequential.wall_clock_s / lane.wall_clock_s.max(1e-9);
+    println!(
+        "lane-parallel ({lane_workers} workers):   {:.2} s wall-clock  ({lane_speedup:.2}x vs single-thread batched)",
+        lane.wall_clock_s
+    );
+    for (a, b) in sequential.runs.iter().zip(lane.runs.iter()) {
+        assert_eq!(a.result, b.result, "lane-parallel stepping must be bit-identical to the batched pass");
+    }
 
     let runner = SweepRunner::new();
     let parallel = runner.run(&scenarios, sweep_config);
@@ -127,6 +150,12 @@ fn main() {
             iters: 1,
         },
         BenchStats {
+            label: format!("cooling_sweep/lane_parallel_{lane_workers}_workers"),
+            mean_ms: lane.wall_clock_s * 1e3,
+            min_ms: lane.wall_clock_s * 1e3,
+            iters: 1,
+        },
+        BenchStats {
             label: format!("cooling_sweep/parallel_{}_workers", parallel.threads),
             mean_ms: parallel.wall_clock_s * 1e3,
             min_ms: parallel.wall_clock_s * 1e3,
@@ -146,6 +175,10 @@ fn main() {
         ("batched_vs_percell_speedup", batched_speedup),
         ("fast_forwarded_windows", sequential.fast_forwarded_windows as f64),
         ("fast_forwarded_cells", sequential.fast_forwarded_cells as f64),
+        ("periodic_cycles", sequential.periodic_cycles as f64),
+        ("lane_workers", lane_workers as f64),
+        ("lane_parallel_wall_ms", lane.wall_clock_s * 1e3),
+        ("lane_parallel_vs_batched_speedup", lane_speedup),
         ("char_store_hits", parallel.char_store_hits as f64),
         ("char_store_misses", parallel.char_store_misses as f64),
         ("disk_pass_char_store_misses", disk_misses),

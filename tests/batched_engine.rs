@@ -249,3 +249,143 @@ fn fast_forward_matches_literal_stepping_within_1e9() {
         assert_eq!(f.stepped_windows + f.fast_forwarded_windows, l.stepped_windows, "window count drifted");
     }
 }
+
+#[test]
+fn lane_parallel_stepping_is_bit_identical_across_worker_counts() {
+    // Lanes are independent and a column-chunked lane preserves each cell's
+    // operation sequence, so every worker count must reproduce the
+    // single-threaded batched results bit-for-bit — both for a
+    // heterogeneous batch (many lanes, fanned across threads) and for a
+    // homogeneous batch (one lane, split column-wise so every worker still
+    // has work).
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let power = FbdimmPowerModel::paper_defaults();
+    let cpu_power = PaperCpuPower::new();
+    let store = Arc::new(CharStore::new());
+
+    let stacks = [StackKind::Fbdimm, StackKind::RankPair, StackKind::stacked4()];
+    let coolings = [CoolingConfig::aohs_1_5(), CoolingConfig::fdhs_1_0()];
+    let mixes_pool = [mixes::w1(), mixes::w6()];
+    let dts = [0.005, 0.010, 0.020];
+
+    let heterogeneous = |rng: &mut Rng| {
+        (0..6)
+            .map(|i| {
+                let stack = *rng.pick(&stacks);
+                let mut cfg = base_config(*rng.pick(&coolings)).with_stack(stack);
+                cfg.window_s = *rng.pick(&dts);
+                cfg.dtm_interval_s = cfg.window_s;
+                let mix = rng.pick(&mixes_pool).clone();
+                let policy = policy_for(i ^ (rng.next() % 2), &cpu, cfg.limits);
+                BatchCell::new(&cpu, &mem, cfg, mix, policy, Arc::clone(&store)).with_rotation_threads(1)
+            })
+            .collect::<Vec<_>>()
+    };
+    let homogeneous = || {
+        (0..5u64)
+            .map(|i| {
+                let cfg = base_config(CoolingConfig::aohs_1_5());
+                let policy = policy_for(i, &cpu, cfg.limits);
+                BatchCell::new(&cpu, &mem, cfg, mixes::w1(), policy, Arc::clone(&store)).with_rotation_threads(1)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let engine = BatchedSimEngine::new(&cpu, &mem, &power, &cpu_power);
+    for workers in [2usize, 4] {
+        let mut rng = Rng(0x5EED_CAFE_F00D_0002);
+        let baseline = engine.run(heterogeneous(&mut rng), &BatchOptions::literal());
+        let mut rng = Rng(0x5EED_CAFE_F00D_0002);
+        let parallel = engine.run_with_workers(heterogeneous(&mut rng), &BatchOptions::literal(), workers);
+        assert_eq!(baseline.len(), parallel.len());
+        for (i, ((r, s), (pr, ps))) in baseline.iter().zip(&parallel).enumerate() {
+            assert_eq!(r, pr, "heterogeneous cell {i} diverged under {workers} workers");
+            assert_eq!(s, ps, "heterogeneous cell {i} stats diverged under {workers} workers");
+        }
+    }
+    let baseline = engine.run(homogeneous(), &BatchOptions::literal());
+    let chunked = engine.run_with_workers(homogeneous(), &BatchOptions::literal(), 4);
+    for (i, ((r, s), (pr, ps))) in baseline.iter().zip(&chunked).enumerate() {
+        assert_eq!(r, pr, "homogeneous cell {i} diverged under column chunking");
+        assert_eq!(s, ps, "homogeneous cell {i} stats diverged under column chunking");
+    }
+}
+
+#[test]
+fn periodic_limit_cycle_fast_forward_matches_literal_within_1e9() {
+    // At a DTM cadence comparable to the device time constants a threshold
+    // policy relaxes into a relay oscillation: the plan sequence locks into
+    // an exact limit cycle with observations far from the thresholds. The
+    // cycle detector must find the period, verify the policy replays the
+    // recorded plans from every state in the contraction ball, and then
+    // fast-forward whole cycles analytically — with every reported quantity
+    // within 1e-9 of the literal run and the window bookkeeping conserved.
+    // (At the paper's 10 ms cadence the same policies slip quasiperiodically
+    // and the verifier must keep refusing; the random-batch golden suite
+    // above pins that behavior.)
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let power = FbdimmPowerModel::paper_defaults();
+    let cpu_power = PaperCpuPower::new();
+    let store = Arc::new(CharStore::new());
+
+    let relay = |dt: f64| {
+        let mut cfg = MemSpotConfig {
+            copies_per_app: 32,
+            instruction_scale: 0.6,
+            characterization_budget: 8_000,
+            max_sim_time_s: 4_000.0,
+            ..MemSpotConfig::paper(CoolingConfig::aohs_1_5())
+        };
+        cfg.window_s = dt;
+        cfg.dtm_interval_s = dt;
+        cfg
+    };
+    let build_cells = || {
+        let acg = relay(5.0);
+        let cdvfs = relay(25.0);
+        vec![
+            BatchCell::new(
+                &cpu,
+                &mem,
+                acg,
+                mixes::w1(),
+                Box::new(DtmAcg::new(cpu.clone(), acg.limits)),
+                Arc::clone(&store),
+            )
+            .with_rotation_threads(1),
+            BatchCell::new(
+                &cpu,
+                &mem,
+                cdvfs,
+                mixes::w1(),
+                Box::new(DtmCdvfs::new(cpu.clone(), cdvfs.limits)),
+                Arc::clone(&store),
+            )
+            .with_rotation_threads(1),
+        ]
+    };
+
+    let engine = BatchedSimEngine::new(&cpu, &mem, &power, &cpu_power);
+    let literal = engine.run(build_cells(), &BatchOptions::literal());
+    let fast = engine.run(build_cells(), &BatchOptions::default());
+
+    assert!(literal.iter().all(|(_, s)| s.fast_forwarded_windows == 0 && s.periodic_cycles == 0));
+    for (i, ((ff, fs), (lit, ls))) in fast.iter().zip(&literal).enumerate() {
+        assert!(
+            fs.periodic_cycles > 0,
+            "cell {i} ({}) never verified a limit cycle (stepped {})",
+            ff.policy,
+            fs.stepped_windows
+        );
+        assert!(fs.fast_forwarded_windows > 0, "cell {i} ({}) never fast-forwarded", ff.policy);
+        assert_eq!(
+            fs.stepped_windows + fs.fast_forwarded_windows,
+            ls.stepped_windows,
+            "cell {i} ({}) window count drifted",
+            ff.policy
+        );
+        assert_within_ff_tolerance(ff, lit, &format!("{}/{}", ff.workload, ff.policy));
+    }
+}
