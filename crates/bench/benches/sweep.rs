@@ -22,6 +22,14 @@
 //! direct `BatchedSimEngine` runs and gates the ratio at 2x — the cached
 //! Ψ-superposition matrices are what keep deep stacks affordable.
 //!
+//! A `store_contention` case measures the sharded `CharStore`'s hit path
+//! under read contention: 16 threads hammer 4 hot pre-inserted keys, once
+//! through `CharStore::get_or_compute` (per-shard mutexes + atomic stats)
+//! and once through a single `Mutex<HashMap>` baseline — the pre-sharding
+//! layout — recording ns/op for both. No gate: on a 1-core runner the
+//! threads timeslice and the ratio mostly reflects scheduler behavior;
+//! the numbers exist to track the trend on real multi-core hosts.
+//!
 //! A `stacked` case then runs 4-high 3D-stack cells through the same
 //! runner so `BENCH_sweep.json` tracks the stacked-scenario axis, and
 //! gates that the per-layer thermal field is actually resolved: the peak
@@ -41,13 +49,16 @@
 //!
 //! Run with: `cargo bench -p experiments --bench sweep`
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
+use cpu_model::{OperatingPoint, RunningMode};
 use experiments::ch4::PolicySpec;
 use experiments::harness::{bench_output_path, write_bench_json, BenchStats};
 use experiments::sweep::{SweepExecution, SweepRunner, SweepScenario};
 use memtherm::dtm::no_limit::NoLimit;
 use memtherm::prelude::*;
+use memtherm::sim::characterize::{CharPoint, CharStoreKey, ModeKey};
 
 fn grid() -> Vec<SweepScenario> {
     let specs =
@@ -168,6 +179,83 @@ fn main() {
          {lane_parallel_speedup:.2}x best-of-{PASSES} vs single-thread batched)",
         mean(&lane_ms),
         min(&lane_ms)
+    );
+
+    // Store-contention case: the sharded store's hit path vs the
+    // pre-sharding single-lock layout, 16 threads over 4 hot keys. Every
+    // lookup is a hit (asserted below), so no characterization work is
+    // timed — only lock traffic plus the per-op fixed costs (the
+    // miss-capable `get_or_compute` API takes an owned key, so the
+    // sharded side pays a key clone per lookup that the bare-map
+    // baseline does not; on a 1-core host that fixed cost dominates and
+    // the ratio dips below 1x, while real contention only exists on
+    // multi-core hosts).
+    const CONTENTION_THREADS: usize = 16;
+    const CONTENTION_OPS: usize = 5_000;
+    let contention_point = |i: u64| CharPoint {
+        mode: RunningMode { active_cores: 4, op: OperatingPoint::new(3.2, 1.55), bandwidth_cap: None },
+        instr_rate_total: 1e9 + i as f64,
+        core_share: vec![0.25; 4],
+        read_gbps: 4.0,
+        write_gbps: 2.0,
+        dimm_traffic: Vec::new(),
+        ipc_ref_sum: 3.5,
+        l2_miss_rate: 0.25,
+        l2_misses_per_instr: 0.01,
+        bytes_per_instr: 1.5,
+    };
+    let hot_keys: Vec<CharStoreKey> = (0..4u64)
+        .map(|i| CharStoreKey {
+            mix_id: "bench-contention".to_string(),
+            mode: ModeKey { active_cores: 4, freq_mhz: 3200, cap_mbps: u32::MAX },
+            budget: 10_000 + i,
+            channels: 2,
+            dimms_per_channel: 4,
+            hw_fingerprint: 0xbeef_cafe,
+        })
+        .collect();
+    let hot = &hot_keys;
+    let run_contention = |lookup: &(dyn Fn(&CharStoreKey) -> Arc<CharPoint> + Sync)| -> Vec<f64> {
+        (0..PASSES)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                std::thread::scope(|scope| {
+                    for t in 0..CONTENTION_THREADS {
+                        scope.spawn(move || {
+                            for op in 0..CONTENTION_OPS {
+                                std::hint::black_box(lookup(&hot[(op + t) % hot.len()]));
+                            }
+                        });
+                    }
+                });
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect()
+    };
+    let contention_store = Arc::new(CharStore::new());
+    for (i, key) in hot_keys.iter().enumerate() {
+        contention_store.get_or_compute(key.clone(), || contention_point(i as u64));
+    }
+    let contention_sharded_ms = run_contention(&|key| {
+        contention_store.get_or_compute(key.clone(), || unreachable!("hot keys are pre-inserted"))
+    });
+    assert_eq!(contention_store.misses(), hot_keys.len() as u64, "contention case must never characterize");
+    let single_lock: Mutex<HashMap<CharStoreKey, Arc<CharPoint>>> = Mutex::new(
+        hot_keys.iter().enumerate().map(|(i, key)| (key.clone(), Arc::new(contention_point(i as u64)))).collect(),
+    );
+    let contention_single_lock_ms = run_contention(&|key| {
+        single_lock.lock().expect("baseline map lock").get(key).cloned().expect("hot keys are pre-inserted")
+    });
+    let contention_ops = (CONTENTION_THREADS * CONTENTION_OPS) as f64;
+    let sharded_ns_per_op = min(&contention_sharded_ms) * 1e6 / contention_ops;
+    let single_lock_ns_per_op = min(&contention_single_lock_ms) * 1e6 / contention_ops;
+    let store_contention_speedup = single_lock_ns_per_op / sharded_ns_per_op.max(1e-9);
+    println!(
+        "sweep/store_contention                       {:>10.1} ns/op sharded vs {:.1} ns/op single-lock \
+         ({store_contention_speedup:.2}x, {CONTENTION_THREADS} threads x {} hot keys, best-of-{PASSES})",
+        sharded_ns_per_op,
+        single_lock_ns_per_op,
+        hot_keys.len()
     );
 
     // Stacked window-cost case: the cached Ψ-superposition path must keep a
@@ -301,6 +389,18 @@ fn main() {
             min_ms: min(&lane_ms),
             iters: PASSES,
         },
+        BenchStats {
+            label: "sweep/store_contention_sharded".to_string(),
+            mean_ms: mean(&contention_sharded_ms),
+            min_ms: min(&contention_sharded_ms),
+            iters: PASSES,
+        },
+        BenchStats {
+            label: "sweep/store_contention_single_lock".to_string(),
+            mean_ms: mean(&contention_single_lock_ms),
+            min_ms: min(&contention_single_lock_ms),
+            iters: PASSES,
+        },
         BenchStats { label: "sweep/stacked_3d_4h".to_string(), mean_ms: stacked_ms, min_ms: stacked_ms, iters: 1 },
         BenchStats { label: "sweep/spatial_dtm_4h".to_string(), mean_ms: spatial_ms, min_ms: spatial_ms, iters: 1 },
     ];
@@ -316,6 +416,11 @@ fn main() {
         ("periodic_cycles", batched.periodic_cycles as f64),
         ("lane_workers", lane_workers as f64),
         ("lane_parallel_speedup", lane_parallel_speedup),
+        ("store_contention_threads", CONTENTION_THREADS as f64),
+        ("store_contention_hot_keys", hot_keys.len() as f64),
+        ("store_contention_sharded_ns_per_op", sharded_ns_per_op),
+        ("store_contention_single_lock_ns_per_op", single_lock_ns_per_op),
+        ("store_contention_speedup", store_contention_speedup),
         ("stacked_window_cost_ratio", stacked_window_cost_ratio),
         ("fbdimm_window_us", fbdimm_window_us),
         ("stacked_window_us", stacked_window_us),

@@ -10,7 +10,11 @@
 //! Workers claim contiguous *chunks* of cells through a shared atomic
 //! cursor, so grids far larger than the core count load-balance without a
 //! scheduler thread (`std::thread::scope`; the container has no external
-//! thread-pool crate). One shared store per sweep means W1@AOHS and W1@FDHS
+//! thread-pool crate). Claims are *deficit-aware* (guided
+//! self-scheduling): each claim takes an even share of half the remaining
+//! queue, so early claims are wide and the tail drains in ever-smaller
+//! steps — a slow cell near the end strands at most one worker for one
+//! cell, not a whole fixed-size chunk. One shared store per sweep means W1@AOHS and W1@FDHS
 //! characterize each design point exactly once per process, whichever worker
 //! gets there first; racing workers block on the in-flight computation
 //! instead of duplicating it.
@@ -283,8 +287,10 @@ impl SweepRunner {
         // ≥ ~8 claims per worker for load balancing.
         let timed: Vec<(MatrixRun, f64, CellRunStats)> = match self.execution {
             SweepExecution::PerCell => {
-                // Small grids claim one cell at a time — see the chunk-size
-                // comment at the top of the module.
+                // The cap keeps even the widest (first) guided claims at
+                // ≥ ~8 claims per worker; small grids degenerate to
+                // one-cell claims — see the chunk-size comment at the top
+                // of the module.
                 let chunk = (cells.len() / (self.threads * 8)).max(1);
                 parallel_map_chunked(self.threads, chunk, &cells, |cell| {
                     let cell_start = Instant::now();
@@ -322,15 +328,15 @@ impl SweepRunner {
                 // Cells are deterministic regardless of lane composition, so
                 // the chunk boundaries only shape performance, not results.
                 // Wide chunks are what the lockstep lanes feed on (the inner
-                // RC loop runs over a chunk's cells), so claim the widest
-                // chunks that still leave every worker ~2 claims for load
-                // balancing; narrow chunks would degenerate into per-cell
-                // stepping with extra bookkeeping.
+                // RC loop runs over a chunk's cells), so the guided
+                // partition starts with the widest chunks the old fixed
+                // split would have produced (~2 claims per worker) and lets
+                // later chunks shrink with the remaining queue — the tail
+                // then drains cell-by-cell instead of idling workers behind
+                // one slow multi-cell chunk.
                 let power = FbdimmPowerModel::paper_defaults();
                 let cpu_power = PaperCpuPower::new();
-                let claims = (self.threads * 2).max(1);
-                let chunk = cells.len().div_ceil(claims).max(1);
-                let chunks: Vec<&[SweepCell]> = cells.chunks(chunk).collect();
+                let chunks: Vec<&[SweepCell]> = guided_partition(&cells, self.threads);
                 let per_chunk = parallel_map(self.threads, &chunks, |batch| {
                     let chunk_start = Instant::now();
                     let runs = run_chunk_batched(
@@ -390,10 +396,37 @@ pub fn parallel_map<T: Sync, R: Send>(threads: usize, items: &[T], f: impl Fn(&T
     parallel_map_chunked(threads, 1, items, f)
 }
 
-/// [`parallel_map`] with a chunked work queue: workers claim `chunk`
-/// contiguous items per cursor fetch. For grids far larger than the core
-/// count this amortizes the (already cheap) cursor traffic and keeps cache
-/// locality within a claim, while still load-balancing the tail.
+/// Deficit-aware (guided self-scheduling) claim size: an even share of
+/// half the remaining queue, capped at `max_chunk` and never below one
+/// item. Early claims are wide — amortizing cursor traffic and feeding
+/// wide lockstep lanes — and shrink as the queue drains, so the tail of a
+/// sweep is parcelled out item-by-item instead of stranding one worker
+/// behind a fixed-size chunk whose last cell happens to be slow.
+fn guided_claim(remaining: usize, workers: usize, max_chunk: usize) -> usize {
+    remaining.div_ceil(2 * workers.max(1)).min(max_chunk).max(1)
+}
+
+/// Splits `items` into the contiguous non-increasing chunk sequence the
+/// guided claim would produce: the first chunks are as wide as the old
+/// fixed partition (≈ 2 claims per worker) and later chunks shrink toward
+/// single items as the remaining queue drains.
+fn guided_partition<T>(items: &[T], workers: usize) -> Vec<&[T]> {
+    let mut chunks = Vec::new();
+    let mut rest = items;
+    while !rest.is_empty() {
+        let take = guided_claim(rest.len(), workers, rest.len());
+        let (head, tail) = rest.split_at(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    chunks
+}
+
+/// [`parallel_map`] with a chunked work queue: each cursor claim takes the
+/// deficit-aware [`guided_claim`] size, with `chunk` as the per-claim
+/// ceiling. For grids far larger than the core count the wide early claims
+/// amortize the (already cheap) cursor traffic and keep cache locality,
+/// while the shrinking tail claims keep every worker busy to the end.
 pub fn parallel_map_chunked<T: Sync, R: Send>(
     threads: usize,
     chunk: usize,
@@ -401,7 +434,7 @@ pub fn parallel_map_chunked<T: Sync, R: Send>(
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
     let workers = threads.max(1).min(items.len().max(1));
-    let chunk = chunk.max(1);
+    let max_chunk = chunk.max(1);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -417,11 +450,25 @@ pub fn parallel_map_chunked<T: Sync, R: Send>(
             handles.push(scope.spawn(move || {
                 let mut done: Vec<(usize, R)> = Vec::new();
                 loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
+                    // The claim size depends on how much queue is left, so
+                    // the cursor advances by compare-exchange instead of a
+                    // blind fetch-add: a raced claim just re-reads the
+                    // cursor and re-sizes against the new remainder.
+                    let mut start = next.load(Ordering::Relaxed);
+                    let take = loop {
+                        if start >= items.len() {
+                            break 0;
+                        }
+                        let take = guided_claim(items.len() - start, workers, max_chunk);
+                        match next.compare_exchange_weak(start, start + take, Ordering::Relaxed, Ordering::Relaxed) {
+                            Ok(_) => break take,
+                            Err(cursor) => start = cursor,
+                        }
+                    };
+                    if take == 0 {
                         break;
                     }
-                    for (idx, item) in items.iter().enumerate().skip(start).take(chunk) {
+                    for (idx, item) in items.iter().enumerate().skip(start).take(take) {
                         done.push((idx, f(item)));
                     }
                 }
@@ -613,6 +660,48 @@ mod tests {
             let got = parallel_map_chunked(4, chunk, &items, |x| x * x);
             assert_eq!(got, expected, "chunk {chunk}");
         }
+    }
+
+    #[test]
+    fn guided_claims_shrink_as_the_queue_drains() {
+        // An even share of half the remaining queue, capped and floored.
+        assert_eq!(guided_claim(100, 4, usize::MAX), 13);
+        assert_eq!(guided_claim(100, 4, 5), 5);
+        assert_eq!(guided_claim(7, 4, usize::MAX), 1);
+        assert_eq!(guided_claim(1, 4, 1000), 1);
+        assert_eq!(guided_claim(1000, 1, usize::MAX), 500);
+        // Degenerate worker counts never divide by zero or claim nothing.
+        assert_eq!(guided_claim(10, 0, usize::MAX), 5);
+        // Claims are non-increasing as the queue drains, for any cap.
+        for max_chunk in [1, 3, 16, usize::MAX] {
+            let mut previous = usize::MAX;
+            for remaining in (1..=64).rev() {
+                let claim = guided_claim(remaining, 3, max_chunk);
+                assert!(claim >= 1 && claim <= remaining.min(max_chunk));
+                assert!(claim <= previous, "claim grew from {previous} to {claim} at {remaining} remaining");
+                previous = claim;
+            }
+        }
+    }
+
+    #[test]
+    fn guided_partition_is_ordered_nonempty_and_non_increasing() {
+        for n in [1usize, 2, 7, 37, 100] {
+            let items: Vec<usize> = (0..n).collect();
+            let chunks = guided_partition(&items, 4);
+            let flat: Vec<usize> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat, items, "partition of {n} drops or reorders items");
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+            for pair in chunks.windows(2) {
+                assert!(pair[0].len() >= pair[1].len(), "chunk sizes must not grow toward the tail");
+            }
+            // The first chunk matches the old fixed split's width (an even
+            // share of the grid across ~2 claims per worker).
+            assert_eq!(chunks[0].len(), n.div_ceil(8).max(1));
+            // The tail drains in single items.
+            assert_eq!(chunks.last().unwrap().len(), 1);
+        }
+        assert!(guided_partition::<usize>(&[], 4).is_empty());
     }
 
     #[test]

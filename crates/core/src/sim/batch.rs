@@ -12,7 +12,13 @@
 //! 3. **Lane-parallel** — [`BatchedSimEngine::run_with_workers`] fans the
 //!    lanes of tier 2 across OS threads, column-chunking dominant lanes so
 //!    every worker has work; still *bit-identical* (lanes are independent
-//!    and chunking only reorders independent per-cell operations).
+//!    and chunking only reorders independent per-cell operations). The
+//!    per-window DTM/accounting pass uses the column-split traversal by
+//!    default ([`DecisionPass::ColumnSplit`]): post-step bookkeeping,
+//!    decisions, and deferred column removals run as separate
+//!    column-disjoint phases, so a chunked lane's decision pass
+//!    parallelizes exactly like its RC sweep — nothing in the window loop
+//!    is serial within a lane chunk anymore.
 //! 4. **Fast-forward** — on top of any of the above, the steady-state and
 //!    periodic (limit-cycle) detectors replay provably-predictable window
 //!    spans analytically, keeping every reported quantity within relative
@@ -168,6 +174,33 @@ const CYCLE_RETRY_BACKOFF: u32 = 64;
 /// thousand windows rather than written off.
 const CYCLE_BACKOFF_DOUBLINGS: u32 = 6;
 
+/// How the per-window DTM/accounting pass traverses a lane's members.
+///
+/// Both traversals run the identical per-cell operations in the identical
+/// per-cell order (each cell's window-`k` bookkeeping before its
+/// window-`k+1` decision), so they are **bit-identical** — cells are
+/// mutually independent and every lane-level write of the pass
+/// (`write_power_column`, the ambient scratch, the removal swap) touches
+/// only the acting member's column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecisionPass {
+    /// Phase-separated traversal: every member's post-step bookkeeping,
+    /// then every member's decision (observation synthesis +
+    /// [`DtmPolicy::decide`] + plan application), then the deferred
+    /// column removals in descending slot order. Each phase is
+    /// column-disjoint by construction, which is what lets
+    /// [`BatchedSimEngine::run_with_workers`]'s column chunks of a split
+    /// lane run their decision passes concurrently — no step of the pass
+    /// is serialized on lane-global state.
+    #[default]
+    ColumnSplit,
+    /// The historical fused traversal: one pass interleaving each member's
+    /// post-step and next-window decision, with removals applied inline.
+    /// Kept as the serial reference the column-split pass is asserted
+    /// bit-identical against.
+    Fused,
+}
+
 /// Tuning knobs of the batched execution tier.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchOptions {
@@ -182,11 +215,19 @@ pub struct BatchOptions {
     /// Number of consecutive DTM decisions that must return an unchanged
     /// plan before a cell is considered for fast-forward.
     pub steady_decisions: u32,
+    /// How the per-window DTM/accounting pass traverses a lane (the two
+    /// variants are bit-identical; see [`DecisionPass`]).
+    pub decision_pass: DecisionPass,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { fast_forward: true, steady_epsilon_c: 0.05, steady_decisions: 3 }
+        BatchOptions {
+            fast_forward: true,
+            steady_epsilon_c: 0.05,
+            steady_decisions: 3,
+            decision_pass: DecisionPass::default(),
+        }
     }
 }
 
@@ -595,9 +636,16 @@ impl Lane {
             }
             // The fused post+pre traversal removes a member *before* the
             // moved last member's post-step bookkeeping has read its
-            // per-window maxima, so those columns move too.
+            // per-window maxima, so those columns move too. The ambient
+            // column moves for the column-split traversal: its deferred
+            // removals run *after* every survivor's pre-step has written
+            // `amb` at its original slot, so the swap must carry that
+            // fresh value (under the fused traversal the moved member's
+            // pre-step overwrites `amb[j]` right after the swap, making
+            // the copy redundant but harmless).
             self.max_buffer[j] = self.max_buffer[last];
             self.max_dram[j] = self.max_dram[last];
+            self.amb[j] = self.amb[last];
         }
         self.members.swap_remove(j);
     }
@@ -767,9 +815,13 @@ fn build_lane(states: &[CellState], members: Vec<usize>) -> Lane {
 /// finished cell), DTM decision (+ fast-forward engagement), batch
 /// progress, and the cell's ambient step (the first thing
 /// [`DimmThermalScene::step`] does) — each operation in exactly the order
-/// of [`SimEngine::run`]. Returns `true` if the member stayed in the lane
-/// (the caller advances to `j + 1`), `false` if it was finalized or
-/// fast-forwarded out (slot `j` now holds the previously-last member).
+/// of [`SimEngine::run`]. Returns `true` if the member stayed in the lane,
+/// `false` if it departed (finalized or fast-forwarded out). The caller
+/// owns the column removal: the fused driver calls [`Lane::remove`]
+/// inline, the column-split driver defers all removals to the end of the
+/// pass — which is what makes every operation in here column-disjoint
+/// (`write_power_column`, `amb[j]`, the maxima reads all touch only
+/// column `j`).
 fn member_pre(
     lane: &mut Lane,
     j: usize,
@@ -790,7 +842,6 @@ fn member_pre(
             lane.copy_peak_column(j, &mut st.col_scratch);
             st.scene.set_layer_peaks(&st.col_scratch);
             results[cell] = Some(finalize(st, engine));
-            lane.remove(j);
             return false;
         }
         st.overhead_s = 0.0;
@@ -804,7 +855,6 @@ fn member_pre(
                 match cycle_verify(lane, j, st, options) {
                     Some(jump) => {
                         results[cell] = Some(fast_forward_periodic(lane, j, st, engine, jump));
-                        lane.remove(j);
                         return false;
                     }
                     None => {
@@ -868,7 +918,6 @@ fn member_pre(
                     && ff_engages(lane, j, st, options)
                 {
                     results[cell] = Some(fast_forward(lane, j, st, engine));
-                    lane.remove(j);
                     return false;
                 }
             }
@@ -934,7 +983,19 @@ fn member_post(lane: &Lane, j: usize, globals: &[usize], engines: &[SimEngine<'_
     st.stats.stepped_windows += 1;
 }
 
-/// The pre-step pass over a whole lane (the first window's phase A).
+/// Apply the slots [`member_pre`] flagged as departed. Removals run in
+/// **descending** slot order: [`Lane::remove`] swap-fills the hole with the
+/// current last column, and with the highest slot removed first the fill
+/// column is never itself a pending departure and never a slot the pass
+/// still has to visit — so deferring removals moves no arithmetic.
+fn apply_departures(lane: &mut Lane, departed: &mut Vec<usize>) {
+    while let Some(j) = departed.pop() {
+        lane.remove(j);
+    }
+}
+
+/// The pre-step pass over a whole lane (the first window's phase A),
+/// traversed per [`BatchOptions::decision_pass`].
 fn lane_pre(
     lane: &mut Lane,
     globals: &[usize],
@@ -943,19 +1004,41 @@ fn lane_pre(
     options: &BatchOptions,
     results: &mut [Option<(MemSpotResult, CellRunStats)>],
 ) {
-    let mut j = 0;
-    while j < lane.members.len() {
-        if member_pre(lane, j, globals, engines, states, options, results) {
-            j += 1;
+    match options.decision_pass {
+        DecisionPass::Fused => {
+            let mut j = 0;
+            while j < lane.members.len() {
+                if member_pre(lane, j, globals, engines, states, options, results) {
+                    j += 1;
+                } else {
+                    lane.remove(j);
+                }
+            }
+        }
+        DecisionPass::ColumnSplit => {
+            let mut departed = Vec::new();
+            for j in 0..lane.members.len() {
+                if !member_pre(lane, j, globals, engines, states, options, results) {
+                    departed.push(j);
+                }
+            }
+            apply_departures(lane, &mut departed);
         }
     }
 }
 
-/// One fused traversal doing each member's post-step bookkeeping for the
-/// window just stepped and then its pre-step for the next window — the
-/// per-cell operation order of [`SimEngine::run`] is preserved exactly
-/// (cell `i`'s window-`k` tail always precedes its window-`k+1` head; cells
-/// are mutually independent, so their interleaving is free to differ).
+/// Each member's post-step bookkeeping for the window just stepped and its
+/// pre-step for the next window, traversed per
+/// [`BatchOptions::decision_pass`] — the per-cell operation order of
+/// [`SimEngine::run`] is preserved exactly under both traversals (cell
+/// `i`'s window-`k` tail always precedes its window-`k+1` head; cells are
+/// mutually independent, so their interleaving is free to differ).
+///
+/// The fused traversal interleaves the two steps per member and removes
+/// departures inline; the column-split traversal phase-separates them —
+/// all post-steps, then all pre-steps collecting departures, then the
+/// deferred removals — so that every phase is a loop of column-disjoint
+/// member operations with no intervening column swaps.
 fn lane_post_pre(
     lane: &mut Lane,
     globals: &[usize],
@@ -964,11 +1047,29 @@ fn lane_post_pre(
     options: &BatchOptions,
     results: &mut [Option<(MemSpotResult, CellRunStats)>],
 ) {
-    let mut j = 0;
-    while j < lane.members.len() {
-        member_post(lane, j, globals, engines, states);
-        if member_pre(lane, j, globals, engines, states, options, results) {
-            j += 1;
+    match options.decision_pass {
+        DecisionPass::Fused => {
+            let mut j = 0;
+            while j < lane.members.len() {
+                member_post(lane, j, globals, engines, states);
+                if member_pre(lane, j, globals, engines, states, options, results) {
+                    j += 1;
+                } else {
+                    lane.remove(j);
+                }
+            }
+        }
+        DecisionPass::ColumnSplit => {
+            for j in 0..lane.members.len() {
+                member_post(lane, j, globals, engines, states);
+            }
+            let mut departed = Vec::new();
+            for j in 0..lane.members.len() {
+                if !member_pre(lane, j, globals, engines, states, options, results) {
+                    departed.push(j);
+                }
+            }
+            apply_departures(lane, &mut departed);
         }
     }
 }
@@ -1826,6 +1927,51 @@ mod tests {
             assert_eq!(*got, want, "batched run diverged from the per-cell engine");
             assert_eq!(stats.fast_forwarded_windows, 0, "literal mode must never fast-forward");
             assert!(stats.stepped_windows > 0);
+        }
+    }
+
+    #[test]
+    fn column_split_decision_pass_is_bit_identical_to_the_fused_pass() {
+        // The three policies depart their shared lane at different windows
+        // (completion vs steady-state fast-forward), so the column-split
+        // traversal's deferred descending removals are exercised against
+        // the fused traversal's inline ones. Results are compared on their
+        // Debug rendering: Rust formats `f64` shortest-roundtrip, so equal
+        // strings mean equal bit patterns in every float field.
+        let (cpu, mem, power, cpu_power) = hardware();
+        let store = Arc::new(CharStore::new());
+        let limits = ThermalLimits::paper_fbdimm();
+        let make_cells = || -> Vec<BatchCell> {
+            let policies: [Box<dyn DtmPolicy>; 3] = [
+                Box::new(NoLimit::new(&cpu)),
+                Box::new(DtmTs::new(cpu.clone(), limits)),
+                Box::new(DtmAcg::new(cpu.clone(), limits)),
+            ];
+            policies
+                .into_iter()
+                .map(|policy| {
+                    let config = MemSpotConfig::tiny(CoolingConfig::aohs_1_5());
+                    BatchCell::new(&cpu, &mem, config, mixes::w1(), policy, Arc::clone(&store)).with_rotation_threads(1)
+                })
+                .collect()
+        };
+        let engine = BatchedSimEngine::new(&cpu, &mem, &power, &cpu_power);
+        for base in [BatchOptions::literal(), BatchOptions::default()] {
+            let fused = engine.run(make_cells(), &BatchOptions { decision_pass: DecisionPass::Fused, ..base });
+            let split = BatchOptions { decision_pass: DecisionPass::ColumnSplit, ..base };
+            for workers in [1, 3] {
+                let got = engine.run_with_workers(make_cells(), &split, workers);
+                assert_eq!(got.len(), fused.len());
+                for ((got, _), (want, _)) in got.iter().zip(&fused) {
+                    assert_eq!(
+                        format!("{got:?}"),
+                        format!("{want:?}"),
+                        "column-split pass diverged from fused \
+                         (fast_forward={}, workers={workers})",
+                        base.fast_forward
+                    );
+                }
+            }
         }
     }
 

@@ -1,37 +1,64 @@
 //! Disk persistence for the level-1 characterization store.
 //!
 //! [`DiskCache`] backs a [`CharStore`](crate::sim::characterize::CharStore)
-//! with an append-only, line-delimited JSON file so characterizations
+//! with append-only, line-delimited JSON files so characterizations
 //! survive the process: repeated sweeps, examples and CI runs skip level-1
 //! entirely on a warm cache. The container builds offline (no serde), so
 //! both the writer and the reader are hand-rolled:
 //!
-//! * **Format** — line 1 is a header `{"format": "memtherm-char-cache",
-//!   "version": N}`; every further line is one `{"key": {...}, "point":
-//!   {...}}` entry. Appending an entry is a single `write` of one line,
-//!   which keeps concurrent writers from different threads safe behind a
-//!   mutex and makes a torn tail line recoverable (it is simply skipped on
-//!   the next load).
-//! * **Cross-process locking** — every append additionally takes an
-//!   advisory file lock (a `<path>.lock` sibling created with
+//! * **File layout** — the cache is sharded across [`DISK_SHARDS`] files so
+//!   concurrent writers (threads *and* processes) persisting different keys
+//!   never contend on one lock. A cache opened at `cache.jsonl` owns:
+//!
+//!   ```text
+//!   cache.0.jsonl   cache.1.jsonl   cache.2.jsonl   cache.3.jsonl
+//!   cache.0.jsonl.lock  …                     (advisory lock siblings)
+//!   ```
+//!
+//!   A key's shard file is the low bits of the same process-stable
+//!   [`key_hash`](crate::sim::characterize::key_hash) that selects its
+//!   in-memory store shard ([`shard_index`]); each shard file has its own
+//!   header, advisory lock, compaction and entry cap. The base path itself
+//!   holds no data — it only names the family (and [`DiskCache::path`]
+//!   still reports it).
+//! * **Legacy migration** — caches written before the sharded layout were a
+//!   single file at the base path. Opening such a cache migrates it once:
+//!   under the base path's advisory lock, every valid entry is routed to
+//!   its shard file (appended after any entries already there) and the
+//!   legacy file is removed. A crash mid-migration at worst leaves
+//!   duplicates for the next load's dedup; a second process opening
+//!   concurrently finds the legacy file gone and skips the migration.
+//! * **Format** — line 1 of each shard file is a header `{"format":
+//!   "memtherm-char-cache", "version": N}`; every further line is one
+//!   `{"key": {...}, "point": {...}}` entry. Appending an entry is a single
+//!   `write` of one line, which keeps concurrent writers from different
+//!   threads safe behind the shard's mutex and makes a torn tail line
+//!   recoverable (it is simply skipped on the next load).
+//! * **Cross-process locking** — every append additionally takes the shard
+//!   file's advisory lock (a `<path>.lock` sibling created with
 //!   `O_CREAT|O_EXCL` semantics via `create_new`, retried in a bounded
-//!   sleep loop), so multiple *processes* sharing one cache file serialize
-//!   their appends and their lazy header initialization instead of racing.
-//!   Stale locks left by a crashed holder are broken after 10 s; if the
-//!   lock cannot be acquired within the 2 s retry budget the append
+//!   sleep loop), so multiple *processes* sharing one cache serialize
+//!   their appends and their lazy header initialization per shard instead
+//!   of racing — and processes writing different shards proceed fully in
+//!   parallel. Stale locks left by a crashed holder are broken after 10 s;
+//!   if the lock cannot be acquired within the 2 s retry budget the append
 //!   proceeds unlocked — the cache is an accelerator and a wedged lock
 //!   file must not stall the simulation (the worst case is a torn line,
 //!   which the loader already skips).
-//! * **Compaction** — concurrent writers legitimately append duplicate
-//!   keys (each process computes and persists the point it was missing), so
-//!   the file accumulates dead lines across warm runs. A load deduplicates
-//!   (first occurrence wins, mirroring the in-memory store's
-//!   first-write-wins insert) and, once at least [`COMPACT_MIN_DEAD`] dead
-//!   lines make up a quarter of the entries, rewrites the file atomically
-//!   (temporary sibling + rename) under the same advisory lock.
+//! * **Compaction and capping** — concurrent writers legitimately append
+//!   duplicate keys (each process computes and persists the point it was
+//!   missing), so a shard file accumulates dead lines across warm runs. A
+//!   load deduplicates (first occurrence wins, mirroring the in-memory
+//!   store's first-write-wins insert) and rewrites the shard file
+//!   atomically (temporary sibling + rename) under its advisory lock when
+//!   either at least [`COMPACT_MIN_DEAD`] dead lines make up a quarter of
+//!   its entries, or the shard exceeds its entry cap
+//!   ([`SHARD_ENTRY_CAP`] by default, [`DiskCache::open_with_cap`] to
+//!   override) — capping evicts the oldest lines first, so a shard file
+//!   can no longer grow without bound.
 //! * **Versioning** — a header whose format name or version does not match
-//!   [`FORMAT_VERSION`] invalidates the whole file: the load returns no
-//!   entries and the next append rewrites the file from scratch. Entries
+//!   [`FORMAT_VERSION`] invalidates that shard file: the load returns no
+//!   entries from it and the next append rewrites it from scratch. Entries
 //!   whose `hw_fingerprint` belongs to a different hardware configuration
 //!   are *not* special-cased — the fingerprint is part of the key, so they
 //!   coexist harmlessly and simply never match.
@@ -49,7 +76,7 @@ use std::time::{Duration, Instant};
 use cpu_model::{OperatingPoint, RunningMode};
 use fbdimm_sim::DimmTraffic;
 
-use crate::sim::characterize::{CharPoint, CharStoreKey, ModeKey};
+use crate::sim::characterize::{key_hash, CharPoint, CharStoreKey, ModeKey};
 
 /// Version of the on-disk format; bump on any incompatible layout change.
 pub const FORMAT_VERSION: u64 = 1;
@@ -57,15 +84,55 @@ pub const FORMAT_VERSION: u64 = 1;
 /// Format name written into (and required of) the header line.
 const FORMAT_NAME: &str = "memtherm-char-cache";
 
-/// Append-only disk backing of a characterization store.
+/// Number of shard files a cache is split across. A power of two so the
+/// shard index is a mask of the key hash's low bits.
+pub const DISK_SHARDS: usize = 4;
+
+/// Default per-shard entry cap: a load that finds more unique entries
+/// evicts the oldest lines down to this bound and rewrites the shard file.
+pub const SHARD_ENTRY_CAP: usize = 65_536;
+
+/// Index of the shard file holding `key` — the low bits of the same
+/// process-stable [`key_hash`] that selects the key's in-memory
+/// [`CharStore`](crate::sim::characterize::CharStore) shard.
+pub fn shard_index(key: &CharStoreKey) -> usize {
+    key_hash(key) as usize & (DISK_SHARDS - 1)
+}
+
+/// Path of one shard's file: the base path with `.<shard>` inserted before
+/// the extension (`cache.jsonl` → `cache.2.jsonl`).
+pub fn shard_path(base: &Path, shard: usize) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("cache");
+    match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => base.with_file_name(format!("{stem}.{shard}.{ext}")),
+        None => base.with_file_name(format!("{stem}.{shard}")),
+    }
+}
+
+/// The header line every shard file starts with.
+fn header_line() -> String {
+    format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n")
+}
+
+/// One shard file of the cache: its own path, advisory lock and lazily
+/// opened append handle, so appends to different shards never serialize.
 #[derive(Debug)]
-pub struct DiskCache {
+struct DiskShard {
     path: PathBuf,
     /// Sibling lock file serializing appends across processes.
     lock_path: PathBuf,
     /// Open append handle; `None` until the first append. The flag records
     /// whether the existing file must be rewritten (missing or invalidated).
     writer: Mutex<(Option<File>, bool)>,
+}
+
+/// Append-only, sharded disk backing of a characterization store.
+#[derive(Debug)]
+pub struct DiskCache {
+    /// Base path the shard files derive from (see [`shard_path`]); holds no
+    /// data itself.
+    path: PathBuf,
+    shards: Vec<DiskShard>,
 }
 
 /// Held advisory lock: the `.lock` file exists while the guard lives and is
@@ -132,46 +199,143 @@ fn acquire_path_lock(path: &Path) -> Option<PathLock> {
 }
 
 impl DiskCache {
-    /// Opens a disk cache at `path` and loads every valid entry.
+    /// Opens a disk cache rooted at `path` and loads every valid entry from
+    /// its shard files, with the default per-shard entry cap
+    /// ([`SHARD_ENTRY_CAP`]).
     ///
-    /// A missing file yields an empty cache; a header mismatch (older or
-    /// newer format version) discards the contents and schedules the file to
-    /// be rewritten on the first append.
+    /// A legacy single-file cache at `path` itself is migrated into the
+    /// sharded layout first (see the module docs). Missing shard files
+    /// yield no entries; a shard whose header mismatches (older or newer
+    /// format version) discards that shard's contents and schedules the
+    /// file to be rewritten on the first append to it.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors other than the file not existing.
+    /// Propagates I/O errors other than files not existing.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Self, Vec<(CharStoreKey, CharPoint)>)> {
-        let path = path.as_ref().to_path_buf();
-        let lock_path = lock_path_for(&path);
-        let (entries, must_reset) = match std::fs::read_to_string(&path) {
-            Ok(body) => {
-                let mut lines = body.lines();
-                if lines.next().map(header_is_current) == Some(true) {
-                    let raw: Vec<(CharStoreKey, CharPoint)> = lines.filter_map(parse_entry).collect();
-                    (compact_on_load(&path, &lock_path, raw), false)
-                } else {
-                    (Vec::new(), true)
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::NotFound => (Vec::new(), true),
-            Err(e) => return Err(e),
-        };
-        Ok((DiskCache { path, lock_path, writer: Mutex::new((None, must_reset)) }, entries))
+        Self::open_with_cap(path, SHARD_ENTRY_CAP)
     }
 
-    /// The file the cache persists to.
+    /// [`DiskCache::open`] with an explicit per-shard entry cap: a shard
+    /// file holding more than `cap` unique entries after dedup is rewritten
+    /// with only the newest `cap` lines kept (oldest evicted first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than files not existing.
+    pub fn open_with_cap(
+        path: impl AsRef<Path>,
+        cap: usize,
+    ) -> std::io::Result<(Self, Vec<(CharStoreKey, CharPoint)>)> {
+        let base = path.as_ref().to_path_buf();
+        migrate_legacy(&base)?;
+        let mut shards = Vec::with_capacity(DISK_SHARDS);
+        let mut entries = Vec::new();
+        for i in 0..DISK_SHARDS {
+            let spath = shard_path(&base, i);
+            let lock_path = lock_path_for(&spath);
+            let (shard_entries, must_reset) = match std::fs::read_to_string(&spath) {
+                Ok(body) => {
+                    let mut lines = body.lines();
+                    if lines.next().map(header_is_current) == Some(true) {
+                        let raw: Vec<(CharStoreKey, CharPoint)> = lines.filter_map(parse_entry).collect();
+                        (compact_on_load(&spath, &lock_path, raw, cap), false)
+                    } else {
+                        (Vec::new(), true)
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::NotFound => (Vec::new(), true),
+                Err(e) => return Err(e),
+            };
+            entries.extend(shard_entries);
+            shards.push(DiskShard { path: spath, lock_path, writer: Mutex::new((None, must_reset)) });
+        }
+        Ok((DiskCache { path: base, shards }, entries))
+    }
+
+    /// The base path the cache's shard files derive from.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Appends one computed entry, holding the cross-process advisory lock
-    /// around the write (and around the lazy header initialization, so two
-    /// processes racing to create the file cannot clobber each other's
-    /// entries). I/O failures are swallowed: the disk cache is an
-    /// accelerator, and a read-only or full filesystem must not break the
-    /// simulation that produced the point.
+    /// Appends one computed entry to its shard file (see [`shard_index`]).
+    /// I/O failures are swallowed: the disk cache is an accelerator, and a
+    /// read-only or full filesystem must not break the simulation that
+    /// produced the point.
     pub fn append(&self, key: &CharStoreKey, point: &CharPoint) {
+        self.shards[shard_index(key)].append(key, point);
+    }
+}
+
+/// One-time migration of a legacy single-file cache at `base` into the
+/// sharded layout: under the base path's advisory lock, every valid entry
+/// is appended to its shard file and the legacy file is removed. An invalid
+/// legacy file (foreign header) is simply removed — the legacy semantics
+/// already discarded it wholesale.
+fn migrate_legacy(base: &Path) -> std::io::Result<()> {
+    if !base.exists() {
+        return Ok(());
+    }
+    let _lock = acquire_path_lock(&lock_path_for(base));
+    let body = match std::fs::read_to_string(base) {
+        Ok(body) => body,
+        // Another process migrated between our existence check and the lock.
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let mut lines = body.lines();
+    if lines.next().map(header_is_current) == Some(true) {
+        let mut routed: Vec<Vec<(CharStoreKey, CharPoint)>> = (0..DISK_SHARDS).map(|_| Vec::new()).collect();
+        for (key, point) in lines.filter_map(parse_entry) {
+            let shard = shard_index(&key);
+            routed[shard].push((key, point));
+        }
+        for (shard, batch) in routed.iter().enumerate() {
+            if !batch.is_empty() {
+                migrate_batch_into(&shard_path(base, shard), batch)?;
+            }
+        }
+    }
+    std::fs::remove_file(base)
+}
+
+/// Appends a migration batch to the shard file at `path` under its advisory
+/// lock, creating the file with a header when it is missing or invalid. The
+/// whole file is rewritten through a temporary sibling + rename so a crash
+/// never leaves a half-written shard, and any existing entries keep their
+/// position (first-occurrence-wins dedup thus prefers them over migrated
+/// duplicates).
+fn migrate_batch_into(path: &Path, batch: &[(CharStoreKey, CharPoint)]) -> std::io::Result<()> {
+    let _lock = acquire_path_lock(&lock_path_for(path));
+    let mut body = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.lines().next().map(header_is_current) == Some(true) => {
+            let mut existing = existing;
+            // A torn tail becomes a complete (malformed, skipped-on-load)
+            // line instead of merging with the first migrated entry.
+            if !existing.ends_with('\n') {
+                existing.push('\n');
+            }
+            existing
+        }
+        _ => header_line(),
+    };
+    for (key, point) in batch {
+        body.push_str(&serialize_entry(key, point));
+    }
+    let tmp = path.with_extension(format!("migrate.{}", std::process::id()));
+    let written = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path));
+    if written.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    written
+}
+
+impl DiskShard {
+    /// Appends one entry, holding the shard's cross-process advisory lock
+    /// around the write (and around the lazy header initialization, so two
+    /// processes racing to create the shard file cannot clobber each
+    /// other's entries).
+    fn append(&self, key: &CharStoreKey, point: &CharPoint) {
         let line = serialize_entry(key, point);
         let mut writer = self.writer.lock().expect("disk cache writer poisoned");
         // Degrading to an unlocked append on timeout is deliberate (see the
@@ -193,12 +357,12 @@ impl DiskCache {
                 // Rewrite the header through a scoped handle; the persistent
                 // handle below is opened in append mode so a concurrent
                 // process's lines can never be overwritten at a stale offset.
-                let rewritten =
-                    OpenOptions::new().create(true).write(true).truncate(true).open(&self.path).and_then(|mut f| {
-                        f.write_all(
-                            format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n").as_bytes(),
-                        )
-                    });
+                let rewritten = OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(&self.path)
+                    .and_then(|mut f| f.write_all(header_line().as_bytes()));
                 if rewritten.is_err() {
                     // The reset stays scheduled: a later append retries.
                     return;
@@ -212,8 +376,7 @@ impl DiskCache {
             };
             let len = file.metadata().map(|m| m.len()).unwrap_or(0);
             if len == 0 {
-                let header = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
-                if file.write_all(header.as_bytes()).is_err() {
+                if file.write_all(header_line().as_bytes()).is_err() {
                     return;
                 }
             } else if !truncate {
@@ -249,10 +412,12 @@ impl DiskCache {
 /// growing without bound across warm-cache runs.
 const COMPACT_MIN_DEAD: usize = 8;
 
-/// Deduplicates loaded entries (first occurrence wins, matching the
-/// in-memory store's first-write-wins semantics) and, when enough dead
-/// lines have accumulated, rewrites the file through a temporary sibling
-/// renamed into place under the cross-process advisory lock.
+/// Deduplicates one shard's loaded entries (first occurrence wins, matching
+/// the in-memory store's first-write-wins semantics), evicts the oldest
+/// lines beyond the shard's entry cap, and — when enough dead lines have
+/// accumulated or an eviction happened — rewrites the shard file through a
+/// temporary sibling renamed into place under its cross-process advisory
+/// lock.
 ///
 /// The rewrite is best-effort on two counts: failing to take the lock (or
 /// any I/O error) simply skips compaction until a later load, and a
@@ -264,6 +429,7 @@ fn compact_on_load(
     path: &Path,
     lock_path: &Path,
     raw: Vec<(CharStoreKey, CharPoint)>,
+    cap: usize,
 ) -> Vec<(CharStoreKey, CharPoint)> {
     let total = raw.len();
     let mut seen = std::collections::HashSet::with_capacity(total);
@@ -274,10 +440,16 @@ fn compact_on_load(
         }
     }
     let dead = total - entries.len();
-    if dead >= COMPACT_MIN_DEAD && dead * 4 >= total {
+    // Cap eviction drops the oldest surviving lines first: `entries` is in
+    // file order, so the front is the oldest.
+    let evicted = entries.len().saturating_sub(cap.max(1));
+    if evicted > 0 {
+        entries.drain(..evicted);
+    }
+    if evicted > 0 || (dead >= COMPACT_MIN_DEAD && dead * 4 >= total) {
         if let Some(_lock) = acquire_path_lock(lock_path) {
             let tmp = path.with_extension(format!("compact.{}", std::process::id()));
-            let mut body = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
+            let mut body = header_line();
             for (key, point) in &entries {
                 body.push_str(&serialize_entry(key, point));
             }
@@ -714,26 +886,47 @@ mod tests {
         assert!(parse_entry("{ truncated").is_none());
     }
 
+    /// A key distinct from `of` (larger budget) that routes to the same
+    /// shard file, for tests exercising per-shard append behavior.
+    fn same_shard_key(of: &CharStoreKey) -> CharStoreKey {
+        let mut key = of.clone();
+        loop {
+            key.budget += 1;
+            if shard_index(&key) == shard_index(of) {
+                return key;
+            }
+        }
+    }
+
+    /// Removes a test cache's base file, shard files and lock siblings.
+    fn cleanup(base: &Path) {
+        let _ = std::fs::remove_file(lock_path_for(base));
+        let _ = std::fs::remove_file(base);
+        for shard in 0..DISK_SHARDS {
+            let path = shard_path(base, shard);
+            let _ = std::fs::remove_file(lock_path_for(&path));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
     #[test]
     fn append_after_torn_tail_starts_a_fresh_line() {
-        let path = std::env::temp_dir().join(format!("diskcache_torn_tail_{}.jsonl", std::process::id()));
-        // A valid header + one valid entry + a torn (newline-less) tail.
-        let valid = serialize_entry(&sample_key(), &sample_point());
-        std::fs::write(
-            &path,
-            format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n{valid}{{\"key\": {{\"mix"),
-        )
-        .unwrap();
-        let (cache, entries) = DiskCache::open(&path).unwrap();
+        let base = temp_path("torn_tail");
+        // One shard file with a valid header + one valid entry + a torn
+        // (newline-less) tail.
+        let key = sample_key();
+        let spath = shard_path(&base, shard_index(&key));
+        let valid = serialize_entry(&key, &sample_point());
+        std::fs::write(&spath, format!("{}{valid}{{\"key\": {{\"mix", header_line())).unwrap();
+        let (cache, entries) = DiskCache::open(&base).unwrap();
         assert_eq!(entries.len(), 1, "torn tail is skipped, valid entry loads");
-        let mut other_key = sample_key();
-        other_key.budget += 1;
-        cache.append(&other_key, &sample_point());
+        // Append to the SAME shard so the new line lands after the torn one.
+        cache.append(&same_shard_key(&key), &sample_point());
         drop(cache);
         // The appended entry must not have merged into the torn line.
-        let (_, entries) = DiskCache::open(&path).unwrap();
+        let (_, entries) = DiskCache::open(&base).unwrap();
         assert_eq!(entries.len(), 2, "appended entry survives a torn predecessor");
-        std::fs::remove_file(&path).ok();
+        cleanup(&base);
     }
 
     #[test]
@@ -757,33 +950,41 @@ mod tests {
     }
 
     #[test]
+    fn shard_paths_insert_the_shard_index_before_the_extension() {
+        assert_eq!(shard_path(Path::new("/tmp/cache.jsonl"), 2), Path::new("/tmp/cache.2.jsonl"));
+        assert_eq!(shard_path(Path::new("cache.jsonl"), 0), Path::new("cache.0.jsonl"));
+        assert_eq!(shard_path(Path::new("/tmp/cache"), 3), Path::new("/tmp/cache.3"));
+    }
+
+    #[test]
     fn racing_header_initialization_does_not_clobber_a_foreign_writers_entries() {
         // The cross-process init race: two caches open the same missing
-        // file, the second to append must detect the now-valid header under
-        // the lock and append instead of truncating the first's entries.
+        // shard file, the second to append must detect the now-valid header
+        // under the lock and append instead of truncating the first's
+        // entries. Both keys route to one shard so the race is on one file.
         let path = temp_path("init_race");
         let (a, entries) = DiskCache::open(&path).unwrap();
         assert!(entries.is_empty());
         let (b, _) = DiskCache::open(&path).unwrap();
-        let mut key_b = sample_key();
-        key_b.budget += 1;
-        b.append(&sample_key(), &sample_point());
-        a.append(&key_b, &sample_point());
+        let key = sample_key();
+        b.append(&key, &sample_point());
+        a.append(&same_shard_key(&key), &sample_point());
         let (_, entries) = DiskCache::open(&path).unwrap();
         assert_eq!(entries.len(), 2, "both writers' entries survive the init race");
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     fn temp_path(tag: &str) -> PathBuf {
         let path = std::env::temp_dir().join(format!("diskcache_{}_{}.jsonl", tag, std::process::id()));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
         path
     }
 
     #[test]
     fn load_compacts_duplicate_riddled_files_keeping_the_first_write() {
-        let path = temp_path("compact");
-        let mut body = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
+        let base = temp_path("compact");
+        let spath = shard_path(&base, shard_index(&sample_key()));
+        let mut body = header_line();
         // Nine duplicates of one key (the first carries a distinguishable
         // point) plus three unique keys: 12 entries, 9 dead — over the
         // threshold.
@@ -793,38 +994,123 @@ mod tests {
         for _ in 0..8 {
             body.push_str(&serialize_entry(&sample_key(), &sample_point()));
         }
-        for i in 1..=3u64 {
-            let mut key = sample_key();
-            key.budget += i;
+        let mut key = sample_key();
+        for _ in 1..=3u64 {
+            key = same_shard_key(&key);
             body.push_str(&serialize_entry(&key, &sample_point()));
         }
-        std::fs::write(&path, body).unwrap();
+        std::fs::write(&spath, body).unwrap();
 
-        let (_, entries) = DiskCache::open(&path).unwrap();
+        let (_, entries) = DiskCache::open(&base).unwrap();
         assert_eq!(entries.len(), 4, "duplicates are dropped from the loaded set");
         assert_eq!(entries[0].1.read_gbps, 42.0, "the FIRST write of a duplicated key wins");
 
-        let rewritten = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(rewritten.lines().count(), 5, "the file is rewritten as header + 4 unique entries");
-        let (_, reloaded) = DiskCache::open(&path).unwrap();
-        assert_eq!(reloaded, entries, "the compacted file round-trips");
-        std::fs::remove_file(&path).ok();
+        let rewritten = std::fs::read_to_string(&spath).unwrap();
+        assert_eq!(rewritten.lines().count(), 5, "the shard is rewritten as header + 4 unique entries");
+        let (_, reloaded) = DiskCache::open(&base).unwrap();
+        assert_eq!(reloaded, entries, "the compacted shard round-trips");
+        cleanup(&base);
     }
 
     #[test]
     fn load_leaves_files_below_the_dead_line_threshold_untouched() {
-        let path = temp_path("no_compact");
-        let mut body = format!("{{\"format\": \"{FORMAT_NAME}\", \"version\": {FORMAT_VERSION}}}\n");
+        let base = temp_path("no_compact");
+        let spath = shard_path(&base, shard_index(&sample_key()));
+        let mut body = header_line();
         // Two duplicates only: deduplicated in memory, but far below the
         // rewrite threshold.
         for _ in 0..3 {
             body.push_str(&serialize_entry(&sample_key(), &sample_point()));
         }
-        std::fs::write(&path, &body).unwrap();
-        let (_, entries) = DiskCache::open(&path).unwrap();
+        std::fs::write(&spath, &body).unwrap();
+        let (_, entries) = DiskCache::open(&base).unwrap();
         assert_eq!(entries.len(), 1);
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), body, "no rewrite below the threshold");
-        std::fs::remove_file(&path).ok();
+        assert_eq!(std::fs::read_to_string(&spath).unwrap(), body, "no rewrite below the threshold");
+        cleanup(&base);
+    }
+
+    #[test]
+    fn legacy_single_file_cache_migrates_into_shards_once() {
+        let base = temp_path("migrate");
+        let mut body = header_line();
+        let mut keys = Vec::new();
+        let mut key = sample_key();
+        for i in 0..12u64 {
+            key.budget = 1000 + i;
+            keys.push(key.clone());
+            body.push_str(&serialize_entry(&key, &sample_point()));
+        }
+        std::fs::write(&base, body).unwrap();
+
+        let (_, entries) = DiskCache::open(&base).unwrap();
+        assert_eq!(entries.len(), 12, "every legacy entry survives the migration");
+        assert!(!base.exists(), "the legacy single file is consumed");
+        for key in &keys {
+            let spath = shard_path(&base, shard_index(key));
+            let shard_body = std::fs::read_to_string(&spath).expect("the key's shard file exists");
+            assert!(header_is_current(shard_body.lines().next().unwrap()), "migrated shards carry a header");
+            assert!(
+                shard_body.lines().skip(1).filter_map(parse_entry).any(|(k, _)| &k == key),
+                "each entry lands in its hash-routed shard file"
+            );
+        }
+        let populated = (0..DISK_SHARDS).filter(|&s| shard_path(&base, s).exists()).count();
+        assert!(populated >= 2, "12 keys spread over more than one shard (got {populated})");
+
+        // Reopening after the migration is a plain sharded load.
+        let (_, reloaded) = DiskCache::open(&base).unwrap();
+        assert_eq!(reloaded.len(), entries.len(), "the migrated cache round-trips");
+        for (key, point) in &entries {
+            assert!(reloaded.iter().any(|(k, p)| k == key && p == point), "entry preserved bit-exactly");
+        }
+        cleanup(&base);
+    }
+
+    #[test]
+    fn invalid_legacy_file_is_discarded_by_migration() {
+        let base = temp_path("migrate_invalid");
+        std::fs::write(&base, "{\"format\": \"something-else\", \"version\": 1}\njunk\n").unwrap();
+        let (_, entries) = DiskCache::open(&base).unwrap();
+        assert!(entries.is_empty(), "a foreign-format legacy file contributes nothing");
+        assert!(!base.exists(), "and is removed rather than re-inspected forever");
+        cleanup(&base);
+    }
+
+    #[test]
+    fn a_capped_shard_stays_capped_across_reloads() {
+        let base = temp_path("capped");
+        const CAP: usize = 3;
+        let (cache, _) = DiskCache::open_with_cap(&base, CAP).unwrap();
+        let mut key = sample_key();
+        for i in 0..40u64 {
+            key.budget = i;
+            cache.append(&key, &sample_point());
+        }
+        drop(cache);
+
+        let (_, entries) = DiskCache::open_with_cap(&base, CAP).unwrap();
+        assert!(
+            entries.len() <= CAP * DISK_SHARDS,
+            "every shard is capped on load ({} entries survive)",
+            entries.len()
+        );
+        assert_eq!(
+            entries.iter().map(|(k, _)| k.budget).max(),
+            Some(39),
+            "eviction drops the OLDEST lines — the newest entry of its shard survives"
+        );
+        for shard in 0..DISK_SHARDS {
+            let spath = shard_path(&base, shard);
+            if let Ok(body) = std::fs::read_to_string(&spath) {
+                let lines = body.lines().count();
+                assert!(lines <= CAP + 1, "shard {shard} rewritten to header + ≤{CAP} entries (got {lines} lines)");
+            }
+        }
+        // A further reload finds the shards already within cap and keeps
+        // them byte-identical.
+        let (_, reloaded) = DiskCache::open_with_cap(&base, CAP).unwrap();
+        assert_eq!(reloaded, entries, "a capped cache is stable across reloads");
+        cleanup(&base);
     }
 
     #[test]

@@ -9,8 +9,8 @@ pub mod memspot;
 pub mod modes;
 
 pub use batch::{BatchCell, BatchOptions, BatchedSimEngine, CellRunStats};
-pub use characterize::{CharPoint, CharStore, CharStoreKey, CharacterizationTable, ModeKey};
-pub use diskcache::DiskCache;
+pub use characterize::{key_hash, CharPoint, CharStore, CharStoreKey, CharacterizationTable, ModeKey, STORE_SHARDS};
+pub use diskcache::{shard_index, shard_path, DiskCache, DISK_SHARDS};
 pub use energy::EnergyAccumulator;
 pub use engine::SimEngine;
 pub use memspot::{MemSpot, MemSpotConfig, MemSpotResult, PositionPeak, TempSample};

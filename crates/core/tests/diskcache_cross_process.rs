@@ -1,17 +1,21 @@
 //! Cross-process disk-cache contract: two *processes* appending to one
-//! results-cache file concurrently (each serialized by the `<path>.lock`
-//! advisory lock) must produce a file every entry of which loads back.
+//! sharded results cache concurrently (each shard file serialized by its
+//! own `<path>.lock` advisory lock) must produce shard files every entry of
+//! which loads back.
 //!
 //! The test re-executes its own test binary twice — once per writer role,
 //! selected by an environment variable — from two threads, waits for both
 //! children, then reopens the cache and verifies that all entries from both
-//! processes survived without corruption.
+//! processes survived without corruption. Each role's keys are chosen to
+//! hammer **every** shard file, so the children race each other on all
+//! [`DISK_SHARDS`] locks and lazy header initializations, not just one.
 
 use std::process::Command;
 use std::sync::Arc;
 
 use cpu_model::{OperatingPoint, RunningMode};
 use memtherm::sim::characterize::{CharPoint, CharStore, CharStoreKey, ModeKey};
+use memtherm::sim::diskcache::{shard_index, shard_path, DISK_SHARDS};
 
 const ROLE_ENV: &str = "MEMTHERM_XPROC_ROLE";
 const PATH_ENV: &str = "MEMTHERM_XPROC_PATH";
@@ -45,7 +49,7 @@ fn point_for(role: u64, i: u64) -> CharPoint {
 
 /// Child role: open the shared cache and append this role's entries through
 /// the normal `CharStore` miss path, yielding between appends so the two
-/// processes interleave at the lock.
+/// processes interleave at the shard locks.
 fn run_child(role: u64, path: &str) {
     let store = CharStore::with_disk_cache(path).expect("child opens the shared cache");
     for i in 0..ENTRIES_PER_PROCESS {
@@ -68,12 +72,28 @@ fn two_processes_append_to_one_cache_without_corruption() {
     }
 
     let path = std::env::temp_dir().join(format!("memtherm_xproc_cache_{}.jsonl", std::process::id()));
-    let _ = std::fs::remove_file(&path);
+    let cleanup = |base: &std::path::Path| {
+        let _ = std::fs::remove_file(base);
+        for shard in 0..DISK_SHARDS {
+            let _ = std::fs::remove_file(shard_path(base, shard));
+        }
+    };
+    cleanup(&path);
+
+    // Each role's 60 budget-varied keys must exercise every shard file, so
+    // the two processes contend on all four locks.
+    for role in 0..2u64 {
+        let covered: std::collections::HashSet<usize> =
+            (0..ENTRIES_PER_PROCESS).map(|i| shard_index(&key_for(role, i))).collect();
+        assert_eq!(covered.len(), DISK_SHARDS, "role {role}'s keys hammer every one of the {DISK_SHARDS} shards");
+    }
+
     let exe = std::env::current_exe().expect("test binary path");
     let path_str = Arc::new(path.to_string_lossy().into_owned());
 
-    // Two threads each spawn one writer process; neither file nor header
-    // exists yet, so the children also race the lazy header initialization.
+    // Two threads each spawn one writer process; no shard file or header
+    // exists yet, so the children also race the lazy header initialization
+    // on every shard.
     let children: Vec<_> = (0..2u64)
         .map(|role| {
             let exe = exe.clone();
@@ -100,7 +120,7 @@ fn two_processes_append_to_one_cache_without_corruption() {
     }
 
     // Every entry from both processes must load back, and the values must
-    // round-trip exactly (no torn or interleaved lines).
+    // round-trip exactly (no torn or interleaved lines in any shard).
     let store = CharStore::with_disk_cache(path.as_path()).expect("reopen the shared cache");
     assert_eq!(
         store.len(),
@@ -115,7 +135,19 @@ fn two_processes_append_to_one_cache_without_corruption() {
             assert_eq!(*got, expected, "entry (role {role}, {i}) corrupted");
         }
     }
-    // The advisory lock file does not outlive the writers.
-    assert!(!path.with_file_name(format!("{}.lock", path.file_name().unwrap().to_string_lossy())).exists());
-    let _ = std::fs::remove_file(&path);
+    // Every shard file exists, starts with a current header, ends on a
+    // whole line, and its advisory lock did not outlive the writers.
+    for shard in 0..DISK_SHARDS {
+        let spath = shard_path(&path, shard);
+        let body = std::fs::read_to_string(&spath).unwrap_or_else(|_| panic!("shard {shard} file exists"));
+        let header = body.lines().next().expect("shard has a header line");
+        assert!(
+            header.contains("memtherm-char-cache") && header.contains("version"),
+            "shard {shard} carries the versioned header"
+        );
+        assert!(body.ends_with('\n'), "shard {shard} has no torn tail");
+        let lock = spath.with_file_name(format!("{}.lock", spath.file_name().unwrap().to_string_lossy()));
+        assert!(!lock.exists(), "shard {shard}'s advisory lock is released");
+    }
+    cleanup(&path);
 }

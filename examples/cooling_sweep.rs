@@ -13,9 +13,11 @@
 //! the printed wall-clock comparisons are fair while still showing the
 //! level-1 dedup (the same mix under two cooling configs characterizes
 //! once). A third pass then runs against a *disk-backed* store
-//! (`target/cooling_sweep_char_cache.jsonl`): the first execution of the
-//! example populates the file, and every rerun loads it and reports **0
-//! level-1 misses** — the whole sweep skips the closed-loop simulations.
+//! (`target/cooling_sweep_char_cache.<shard>.jsonl` — the base path fans
+//! out into one shard file per key-hash class): the first execution of
+//! the example populates the shards, and every rerun loads them and
+//! reports **0 level-1 misses** — the whole sweep skips the closed-loop
+//! simulations.
 //! All passes are written to `BENCH_sweep.json`, followed by a per-scheme
 //! summary of the paper's headline quantities.
 //!
