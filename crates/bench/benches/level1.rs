@@ -41,7 +41,7 @@ use memtherm::prelude::*;
 const PRE_PR_COLD_PPS_2CORE_REF: f64 = 133.0;
 
 const BUDGET: u64 = 40_000;
-const PASSES: usize = 12;
+const PASSES: usize = 24;
 
 fn modes(cpu: &CpuConfig) -> [RunningMode; 3] {
     let full = RunningMode::full_speed(cpu);

@@ -132,6 +132,7 @@ pub fn run_matrix(
             stack: StackKind::Fbdimm,
             mix,
             specs: all_specs.clone(),
+            dtm_interval_s: None,
         })
         .collect();
     SweepRunner::new().run(&scenarios, |cooling| scale.memspot_config(cooling)).runs

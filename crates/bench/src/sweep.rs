@@ -69,19 +69,39 @@ pub struct SweepScenario {
     pub mix: WorkloadMix,
     /// The policies to evaluate, in order.
     pub specs: Vec<PolicySpec>,
+    /// Optional DTM cadence override, seconds: sets both the simulation
+    /// window and the DTM interval (the paper's native operating point is
+    /// 10 ms; relay-style policies are swept at multi-second cadences).
+    /// `None` keeps the scale's default cadence.
+    pub dtm_interval_s: Option<f64>,
 }
 
 impl SweepScenario {
     /// A scenario under the isolated thermal model with the legacy FBDIMM
     /// stack.
     pub fn isolated(cooling: CoolingConfig, mix: WorkloadMix, specs: Vec<PolicySpec>) -> Self {
-        SweepScenario { cooling, integrated: false, interaction_degree: None, stack: StackKind::Fbdimm, mix, specs }
+        SweepScenario {
+            cooling,
+            integrated: false,
+            interaction_degree: None,
+            stack: StackKind::Fbdimm,
+            mix,
+            specs,
+            dtm_interval_s: None,
+        }
     }
 
     /// A scenario under the isolated thermal model with an explicit device
     /// stack (rank pairs, 3D stacks).
     pub fn stacked(cooling: CoolingConfig, stack: StackKind, mix: WorkloadMix, specs: Vec<PolicySpec>) -> Self {
         SweepScenario { stack, ..Self::isolated(cooling, mix, specs) }
+    }
+
+    /// Overrides the scenario's DTM cadence: both the simulation window and
+    /// the DTM decision interval become `dt_s` seconds.
+    pub fn with_cadence(mut self, dt_s: f64) -> Self {
+        self.dtm_interval_s = Some(dt_s);
+        self
     }
 
     /// Number of grid cells (policy runs) this scenario contains.
@@ -157,6 +177,24 @@ pub struct SweepOutcome {
     /// Whole limit cycles replayed analytically by the periodic
     /// fast-forward, summed over all cells.
     pub periodic_cycles: u64,
+    /// Pseudo-cycles replayed by the envelope fast-forward (closed-form
+    /// frozen-plan jumps plus band-confined slipping orbits), summed over
+    /// all cells.
+    pub envelope_cycles: u64,
+    /// Windows advanced literally (stepped, not replayed analytically),
+    /// summed over all cells. `stepped_windows + fast_forwarded_windows` is
+    /// the exact simulated window count — conserved across every execution
+    /// tier.
+    pub stepped_windows: u64,
+    /// Wall-clock nanoseconds the cells spent in cycle/steadiness
+    /// detection, summed over all cells (sampled, extrapolated).
+    pub detector_ns: u64,
+    /// Wall-clock nanoseconds spent verifying candidate cycles and fitting
+    /// envelope bands, summed over all cells.
+    pub verify_ns: u64,
+    /// Wall-clock nanoseconds spent inside analytic replay (steady,
+    /// periodic and envelope fast-forward), summed over all cells.
+    pub replay_ns: u64,
 }
 
 /// Fans a grid of MEMSpot cells across worker threads.
@@ -366,12 +404,22 @@ impl SweepRunner {
         let mut fast_forwarded_windows = 0u64;
         let mut fast_forwarded_cells = 0usize;
         let mut periodic_cycles = 0u64;
+        let mut envelope_cycles = 0u64;
+        let mut stepped_windows = 0u64;
+        let mut detector_ns = 0u64;
+        let mut verify_ns = 0u64;
+        let mut replay_ns = 0u64;
         for (run, secs, stats) in timed {
             runs.push(run);
             cell_wall_clock_s.push(secs);
             fast_forwarded_windows += stats.fast_forwarded_windows;
             fast_forwarded_cells += usize::from(stats.fast_forwarded_windows > 0);
             periodic_cycles += stats.periodic_cycles;
+            envelope_cycles += stats.envelope_cycles;
+            stepped_windows += stats.stepped_windows;
+            detector_ns += stats.detector_ns;
+            verify_ns += stats.verify_ns;
+            replay_ns += stats.replay_ns;
         }
         SweepOutcome {
             runs,
@@ -383,6 +431,11 @@ impl SweepRunner {
             fast_forwarded_windows,
             fast_forwarded_cells,
             periodic_cycles,
+            envelope_cycles,
+            stepped_windows,
+            detector_ns,
+            verify_ns,
+            replay_ns,
         }
     }
 }
@@ -491,6 +544,24 @@ impl Default for SweepRunner {
     }
 }
 
+/// The MEMSpot configuration a scenario's cells run under: the scale's base
+/// config with the scenario's stack, thermal-model and cadence overrides
+/// applied on top.
+fn scenario_config(
+    scenario: &SweepScenario,
+    make_config: &(impl Fn(CoolingConfig) -> MemSpotConfig + Sync),
+) -> MemSpotConfig {
+    let mut cfg = make_config(scenario.cooling).with_stack(scenario.stack);
+    if scenario.integrated {
+        cfg = cfg.with_integrated(scenario.interaction_degree);
+    }
+    if let Some(dt) = scenario.dtm_interval_s {
+        cfg.window_s = dt;
+        cfg.dtm_interval_s = dt;
+    }
+    cfg
+}
+
 fn run_cell(
     cell: &SweepCell,
     cpu: &CpuConfig,
@@ -499,10 +570,7 @@ fn run_cell(
     store: &Arc<CharStore>,
 ) -> MatrixRun {
     let scenario = cell.scenario;
-    let mut cfg = make_config(scenario.cooling).with_stack(scenario.stack);
-    if scenario.integrated {
-        cfg = cfg.with_integrated(scenario.interaction_degree);
-    }
+    let cfg = scenario_config(scenario, make_config);
     let limits = cfg.limits;
     let mut spot = MemSpot::with_store(cpu.clone(), mem, cfg, Arc::clone(store));
     // The sweep already runs one cell per core; rotation-averaged level-1
@@ -535,10 +603,7 @@ fn run_chunk_batched(
     let mut labels = Vec::with_capacity(chunk.len());
     for cell in chunk {
         let scenario = cell.scenario;
-        let mut cfg = make_config(scenario.cooling).with_stack(scenario.stack);
-        if scenario.integrated {
-            cfg = cfg.with_integrated(scenario.interaction_degree);
-        }
+        let cfg = scenario_config(scenario, make_config);
         let policy = cell.spec.build(cpu, cfg.limits);
         labels.push((scenario.cooling.label(), scenario.mix.id.clone(), policy.name()));
         batch.push(

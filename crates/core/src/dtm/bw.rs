@@ -61,6 +61,16 @@ impl DtmPolicy for DtmBw {
         self.selector.is_steady(observation.max_amb_c, observation.max_dram_c, drift_c)
     }
 
+    fn is_steady_band(
+        &self,
+        observation: &ThermalObservation,
+        _plan: &ActuationPlan,
+        below_c: f64,
+        above_c: f64,
+    ) -> bool {
+        self.selector.is_steady_band(observation.max_amb_c, observation.max_dram_c, below_c, above_c)
+    }
+
     fn decide_is_pure(&self) -> bool {
         // Threshold selection is a pure function of the observed maxima;
         // the PID variant integrates and is never pure.

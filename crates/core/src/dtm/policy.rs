@@ -124,6 +124,32 @@ pub trait DtmPolicy: std::fmt::Debug + Send {
         false
     }
 
+    /// Asymmetric variant of [`DtmPolicy::is_steady`]: the same guarantee,
+    /// but over the band `[t − below_c, t + above_c]` around the observed
+    /// temperatures instead of a symmetric ball.
+    ///
+    /// This is the policy-side contract of the batched engine's *envelope*
+    /// fast-forward ([`crate::sim::batch`]): a trajectory sliding
+    /// monotonically toward its fixed point, or a slipping orbit hugging a
+    /// threshold from one side, traverses a directed temperature range — the
+    /// replayer knows exactly how far the temperatures can move in each
+    /// direction and asks for steadiness over that range only. A symmetric
+    /// `is_steady` query with `drift_c = max(below, above)` would refuse
+    /// precisely the near-boundary cells the envelope tier targets.
+    ///
+    /// The default delegates to the symmetric form with the larger arm
+    /// (always sound: the symmetric ball contains the band); threshold
+    /// policies override it with a genuinely directional check.
+    fn is_steady_band(
+        &self,
+        observation: &ThermalObservation,
+        plan: &ActuationPlan,
+        below_c: f64,
+        above_c: f64,
+    ) -> bool {
+        self.is_steady(observation, plan, below_c.max(above_c))
+    }
+
     /// Whether [`DtmPolicy::decide`] is a *pure, memoryless* function of
     /// its observation: identical observations always yield identical plans
     /// and a decision never mutates internal state.

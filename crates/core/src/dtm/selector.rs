@@ -69,11 +69,24 @@ impl LevelSelector {
     /// `NaN` temperatures (absent devices) quantize to the lowest level on
     /// both sides of the band and are therefore steady.
     pub fn is_steady(&self, amb_temp_c: f64, dram_temp_c: f64, drift_c: f64) -> bool {
+        self.is_steady_band(amb_temp_c, dram_temp_c, drift_c, drift_c)
+    }
+
+    /// Asymmetric variant of [`LevelSelector::is_steady`]: steadiness over
+    /// the band `[t − below_c, t + above_c]` around each temperature rather
+    /// than a symmetric ball. A trajectory approaching its fixed point from
+    /// one side — or a slipping orbit hugging a threshold — traverses a
+    /// *directed* range, and demanding symmetric clearance would refuse
+    /// exactly the near-boundary cells the envelope fast-forward exists
+    /// for. Same contract otherwise: only threshold selection can promise
+    /// it, and `NaN` temperatures quantize to the lowest level on both
+    /// sides of the band.
+    pub fn is_steady_band(&self, amb_temp_c: f64, dram_temp_c: f64, below_c: f64, above_c: f64) -> bool {
         if self.uses_pid() {
             return false;
         }
-        self.thresholds.level(amb_temp_c - drift_c, dram_temp_c - drift_c)
-            == self.thresholds.level(amb_temp_c + drift_c, dram_temp_c + drift_c)
+        self.thresholds.level(amb_temp_c - below_c, dram_temp_c - below_c)
+            == self.thresholds.level(amb_temp_c + above_c, dram_temp_c + above_c)
     }
 
     /// Selects the emergency level for the next interval. An absent device
@@ -170,6 +183,20 @@ mod tests {
         assert!(s.is_steady(f64::NAN, 70.0, 0.5));
         // PID selection is never steady — its integral state moves.
         assert!(!LevelSelector::pid(ThermalLimits::paper_fbdimm()).is_steady(100.0, 70.0, 0.5));
+    }
+
+    #[test]
+    fn band_steadiness_is_directional() {
+        let s = LevelSelector::threshold(ThermalLimits::paper_fbdimm());
+        // 107.9 °C with the AMB L1→L2 boundary at 108.0: a symmetric 0.2°
+        // ball crosses it, but a downward band of the same reach does not.
+        assert!(!s.is_steady(107.9, 70.0, 0.2));
+        assert!(s.is_steady_band(107.9, 70.0, 0.2, 0.05));
+        assert!(!s.is_steady_band(107.9, 70.0, 0.05, 0.2));
+        // The symmetric form is the band with equal arms.
+        assert_eq!(s.is_steady(107.9, 70.0, 0.2), s.is_steady_band(107.9, 70.0, 0.2, 0.2));
+        assert!(s.is_steady_band(f64::NAN, 70.0, 0.5, 0.5));
+        assert!(!LevelSelector::pid(ThermalLimits::paper_fbdimm()).is_steady_band(100.0, 70.0, 0.1, 0.1));
     }
 
     #[test]

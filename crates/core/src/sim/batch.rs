@@ -1,11 +1,14 @@
 //! Batched execution of many level-2 runs: lockstep lanes, lane-parallel
-//! stepping, and analytic fast-forward (steady-state and limit-cycle).
+//! stepping, and analytic fast-forward (steady-state, limit-cycle and
+//! envelope).
 //!
-//! The sweep stack offers four execution tiers, each reproducing the one
-//! below it either bit-for-bit or within a pinned 1e-9 tolerance:
+//! The sweep stack is a five-tier execution ladder. Each tier reproduces
+//! the one below it under a stated guarantee — bit-for-bit for the layout
+//! tiers, a pinned relative tolerance for the analytic ones:
 //!
-//! 1. **Per-cell** — [`SimEngine`](crate::sim::SimEngine) advances one
-//!    (mix, policy, cooling) cell at a time; the reference semantics.
+//! 1. **Per-cell (literal)** — [`SimEngine`](crate::sim::SimEngine)
+//!    advances one (mix, policy, cooling) cell at a time; the reference
+//!    semantics everything else is measured against.
 //! 2. **Batched lockstep** — [`BatchedSimEngine::run`] groups cells into
 //!    lanes and steps each lane over a shared matrix; *bit-identical* to
 //!    tier 1 (a pure memory-layout transformation).
@@ -19,10 +22,25 @@
 //!    column-disjoint phases, so a chunked lane's decision pass
 //!    parallelizes exactly like its RC sweep — nothing in the window loop
 //!    is serial within a lane chunk anymore.
-//! 4. **Fast-forward** — on top of any of the above, the steady-state and
-//!    periodic (limit-cycle) detectors replay provably-predictable window
-//!    spans analytically, keeping every reported quantity within relative
-//!    1e-9 of literal stepping. Opt out with [`BatchOptions::literal`].
+//! 4. **Steady / periodic fast-forward** — on top of any of the above, the
+//!    steady-state and periodic (limit-cycle) detectors replay
+//!    provably-predictable window spans analytically, keeping every
+//!    reported quantity within relative 1e-9 of literal stepping. Window
+//!    counts, simulated time and job-completion windows stay *exact*.
+//! 5. **Envelope fast-forward** — orbits that are confined but not exactly
+//!    predictable (slipping limit cycles whose duty ratio is irrational at
+//!    the paper's 10 ms cadence, and long monotone approaches to a distant
+//!    fixed point) are replayed under a *band certificate*: decisions stay
+//!    literal, the RC sweep stays bit-exact per window, and only
+//!    frozen-plan segments licensed by [`DtmPolicy::is_steady_band`] over
+//!    the exact traversed temperature range collapse to closed form. Every
+//!    reported quantity stays within relative 1e-6 of literal stepping;
+//!    window counts, simulated time and completion windows stay *exact*,
+//!    and a drift audit against the band falls the cell back to literal
+//!    stepping the moment confinement fails. Tolerance and opt-out via
+//!    [`BatchOptions::envelope_tolerance`].
+//!
+//! Opt out of every analytic tier at once with [`BatchOptions::literal`].
 //!
 //! A design-space sweep runs hundreds of cells whose window loops are
 //! completely independent yet structurally identical. The
@@ -174,6 +192,18 @@ const CYCLE_RETRY_BACKOFF: u32 = 64;
 /// thousand windows rather than written off.
 const CYCLE_BACKOFF_DOUBLINGS: u32 = 6;
 
+/// Shortest frozen-plan run (in envelope-burst windows) before the burst
+/// probes for a closed-form segment jump. Shorter runs are cheaper to step
+/// than to license.
+const ENV_JUMP_MIN: u64 = 16;
+
+/// How many consecutive unchanged decisions arm the frozen-approach
+/// envelope trigger: long enough that the steady-state fast-forward has had
+/// several engagement checks and keeps refusing (the temperatures are still
+/// far from their fixed point), short relative to the tens of thousands of
+/// windows a slow thermal transient spans at the paper's 10 ms cadence.
+const ENV_FROZEN_STREAK: u32 = 64;
+
 /// How the per-window DTM/accounting pass traverses a lane's members.
 ///
 /// Both traversals run the identical per-cell operations in the identical
@@ -218,6 +248,13 @@ pub struct BatchOptions {
     /// How the per-window DTM/accounting pass traverses a lane (the two
     /// variants are bit-identical; see [`DecisionPass`]).
     pub decision_pass: DecisionPass,
+    /// Envelope fast-forward tolerance ε_env: the widest per-layer
+    /// temperature band (in degrees) a slipping orbit may span and still be
+    /// taken over by the envelope replayer. `0.0` (or any non-positive
+    /// value) disables the envelope tier entirely; it is also disabled by
+    /// [`BatchOptions::literal`] and anywhere the limit-cycle detector is
+    /// ineligible (traced cells, impure policies, `step ≠ dtm_interval`).
+    pub envelope_tolerance: f64,
 }
 
 impl Default for BatchOptions {
@@ -227,35 +264,69 @@ impl Default for BatchOptions {
             steady_epsilon_c: 0.05,
             steady_decisions: 3,
             decision_pass: DecisionPass::default(),
+            envelope_tolerance: 0.05,
         }
     }
 }
 
 impl BatchOptions {
-    /// Literal batched execution: lockstep lanes, no fast-forward. Every
-    /// cell's result carries identical bits to a per-cell run.
+    /// Literal batched execution: lockstep lanes, no fast-forward (steady,
+    /// periodic or envelope). Every cell's result carries identical bits to
+    /// a per-cell run.
     pub fn literal() -> Self {
-        BatchOptions { fast_forward: false, ..Default::default() }
+        BatchOptions { fast_forward: false, envelope_tolerance: 0.0, ..Default::default() }
     }
 }
 
 /// Per-cell execution counters returned alongside each [`MemSpotResult`].
 /// Kept outside the result so golden suites can keep comparing results with
 /// `==` while still asserting how each cell was executed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CellRunStats {
     /// Windows executed literally (stepped through the lane RC loop).
     pub stepped_windows: u64,
-    /// Windows replayed analytically by a fast-forward (steady-state or
-    /// periodic), counted toward the same conservation identity as stepped
-    /// windows: `stepped + fast_forwarded` equals the literal window count.
+    /// Windows replayed analytically by a fast-forward (steady-state,
+    /// periodic or envelope), counted toward the same conservation identity
+    /// as stepped windows: `stepped + fast_forwarded` equals the literal
+    /// window count.
     pub fast_forwarded_windows: u64,
     /// Whole limit cycles replayed by the periodic fast-forward. The
     /// windows inside them are already counted in `fast_forwarded_windows`;
     /// this only records that the cell left via the cycle detector (zero
     /// for steady-state fast-forwards).
     pub periodic_cycles: u64,
+    /// Pseudo-cycles replayed by the envelope tier: closed-form segment
+    /// jumps plus (for slipping orbits) the replayed windows divided by the
+    /// orbit's detected period. Zero whenever the envelope never engaged.
+    pub envelope_cycles: u64,
+    /// Envelope bursts abandoned by the drift audit: the trajectory left
+    /// its certified band and the cell fell back to literal lane stepping
+    /// (with the replayed windows kept — they were themselves literal).
+    pub envelope_fallbacks: u64,
+    /// Estimated wall-clock nanoseconds spent in the cycle/envelope
+    /// detectors (sampled 1-in-64 and extrapolated; excluded from `==`).
+    pub detector_ns: u64,
+    /// Wall-clock nanoseconds spent verifying candidate cycles and building
+    /// envelope certificates (excluded from `==`).
+    pub verify_ns: u64,
+    /// Wall-clock nanoseconds spent inside analytic replays (steady,
+    /// periodic and envelope fast-forwards; excluded from `==`).
+    pub replay_ns: u64,
 }
+
+/// Equality deliberately ignores the wall-clock phase counters: golden
+/// suites compare stats across runs whose timings can never match.
+impl PartialEq for CellRunStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.stepped_windows == other.stepped_windows
+            && self.fast_forwarded_windows == other.fast_forwarded_windows
+            && self.periodic_cycles == other.periodic_cycles
+            && self.envelope_cycles == other.envelope_cycles
+            && self.envelope_fallbacks == other.envelope_fallbacks
+    }
+}
+
+impl Eq for CellRunStats {}
 
 /// One sweep cell: a run configuration, a workload mix, a policy and the
 /// mix's level-1 characterization table.
@@ -481,6 +552,20 @@ struct CellState {
     /// structurally identical to the stepped run).
     cycle_enabled: bool,
     cycle: CycleTracker,
+    /// Whether the envelope fast-forward may engage for this cell: the
+    /// limit-cycle eligibility conditions plus a positive
+    /// [`BatchOptions::envelope_tolerance`].
+    env_enabled: bool,
+    /// Engage the envelope burst at the next DTM decision (set by the
+    /// frozen-approach trigger, which fires mid-decision where the burst
+    /// cannot start cleanly).
+    env_pending: bool,
+    /// Decisions left before the envelope may engage again after a band
+    /// violation pushed the cell back to literal stepping.
+    env_backoff: u32,
+    /// Envelope fallbacks so far (saturating) — sets the next backoff's
+    /// doubling exponent.
+    env_fails: u32,
     /// Fixed-point scratch for the fast-forward engagement check.
     fp: Vec<f64>,
     /// Column scratch for syncing lane columns back into the scene.
@@ -503,6 +588,11 @@ impl CellState {
         let window = engine.window_power(&scene, &idle, &full_point, &full_point.dimm_traffic, &mode, progressing);
         let (max_amb, max_dram) = scene.max_temps_c();
         policy.reset();
+        let cycle_enabled = options.fast_forward
+            && !config.record_temp_trace
+            && policy.decide_is_pure()
+            && !policy.observes_field()
+            && config.window_s.min(config.dtm_interval_s).to_bits() == config.dtm_interval_s.to_bits();
         CellState {
             batch,
             energy: EnergyAccumulator::new(),
@@ -537,12 +627,12 @@ impl CellState {
             ff_allowed: options.fast_forward && !config.record_temp_trace,
             wants_field: policy.observes_field(),
             stats: CellRunStats::default(),
-            cycle_enabled: options.fast_forward
-                && !config.record_temp_trace
-                && policy.decide_is_pure()
-                && !policy.observes_field()
-                && config.window_s.min(config.dtm_interval_s).to_bits() == config.dtm_interval_s.to_bits(),
+            cycle_enabled,
             cycle: CycleTracker::default(),
+            env_enabled: cycle_enabled && options.envelope_tolerance > 0.0,
+            env_pending: false,
+            env_backoff: 0,
+            env_fails: 0,
             fp: Vec::new(),
             col_scratch: Vec::new(),
             mix,
@@ -846,21 +936,65 @@ fn member_pre(
         }
         st.overhead_s = 0.0;
         if st.time_s + 1e-12 >= st.next_dtm_s {
+            st.env_backoff = st.env_backoff.saturating_sub(1);
             // A completed cycle recording is verified *before* this
             // decision: on success the cell leaves the lane without
             // deciding (the jump replays the recorded decisions, which a
             // pure policy is guaranteed to reproduce), on failure the
-            // detector backs off before recording again.
+            // detector backs off before recording again — and the envelope
+            // tier gets its slipping-orbit shot: the cycle failed to close
+            // exactly, but a confined orbit can still be replayed under a
+            // band certificate.
             if st.cycle_enabled && st.cycle.recording.as_ref().is_some_and(|r| r.windows.len() == r.period) {
-                match cycle_verify(lane, j, st, options) {
+                let vt = std::time::Instant::now();
+                let verdict = cycle_verify(lane, j, st, options);
+                st.stats.verify_ns += vt.elapsed().as_nanos() as u64;
+                match verdict {
                     Some(jump) => {
                         results[cell] = Some(fast_forward_periodic(lane, j, st, engine, jump));
                         return false;
                     }
                     None => {
+                        let period = st.cycle.recording.as_ref().map_or(0, |r| r.period);
                         st.cycle.recording = None;
                         st.cycle.backoff = CYCLE_RETRY_BACKOFF << st.cycle.fails.min(CYCLE_BACKOFF_DOUBLINGS);
                         st.cycle.fails = st.cycle.fails.saturating_add(1);
+                        if st.env_enabled && st.env_backoff == 0 {
+                            let bt = std::time::Instant::now();
+                            let band = env_band_slipping(lane, j, st, options, period);
+                            st.stats.verify_ns += bt.elapsed().as_nanos() as u64;
+                            if let Some(band) = band {
+                                return match envelope_burst(lane, j, st, engine, band) {
+                                    Some(result) => {
+                                        results[cell] = Some(result);
+                                        false
+                                    }
+                                    // A band violation already ran this
+                                    // window's pre-step inside the burst.
+                                    None => true,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            // Frozen-approach envelope engagement, armed by the previous
+            // decision's trigger (which fires mid-decision, too late to
+            // start a burst cleanly, so it waits one window).
+            if st.env_pending {
+                st.env_pending = false;
+                if st.env_enabled && st.env_backoff == 0 {
+                    let bt = std::time::Instant::now();
+                    let band = env_band_frozen(lane, j, st);
+                    st.stats.verify_ns += bt.elapsed().as_nanos() as u64;
+                    if let Some(band) = band {
+                        return match envelope_burst(lane, j, st, engine, band) {
+                            Some(result) => {
+                                results[cell] = Some(result);
+                                false
+                            }
+                            None => true,
+                        };
                     }
                 }
             }
@@ -920,9 +1054,25 @@ fn member_pre(
                     results[cell] = Some(fast_forward(lane, j, st, engine));
                     return false;
                 }
+                // Frozen-approach envelope trigger: the plan has been
+                // frozen far longer than the steady-state engagement needs,
+                // yet the fast-forward keeps refusing — the temperatures
+                // are still sliding toward a distant fixed point. Arm the
+                // envelope burst for the next decision.
+                if st.env_enabled && !st.env_pending && st.env_backoff == 0 && st.plan_streak >= ENV_FROZEN_STREAK {
+                    st.env_pending = true;
+                }
             }
             if st.cycle_enabled {
-                cycle_track(lane, j, st, plan_changed, options);
+                // The tracker's cost is sampled 1-in-64 and extrapolated: a
+                // per-window clock read would cost more than the tracking.
+                if st.stats.stepped_windows.is_multiple_of(64) {
+                    let dt0 = std::time::Instant::now();
+                    cycle_track(lane, j, st, plan_changed, options);
+                    st.stats.detector_ns += 64 * dt0.elapsed().as_nanos() as u64;
+                } else {
+                    cycle_track(lane, j, st, plan_changed, options);
+                }
             }
             st.next_dtm_s += cfg.dtm_interval_s;
         }
@@ -1182,6 +1332,7 @@ fn ff_engages(lane: &Lane, j: usize, st: &mut CellState, options: &BatchOptions)
 /// by the literal repeated additions throughout, keeping `running_time_s`
 /// and the total window count bit-identical.
 fn fast_forward(lane: &Lane, j: usize, st: &mut CellState, engine: &SimEngine<'_>) -> (MemSpotResult, CellRunStats) {
+    let started = std::time::Instant::now();
     let cfg = engine.config;
     let cores = engine.cpu.cores;
     let step = st.step_s;
@@ -1293,6 +1444,7 @@ fn fast_forward(lane: &Lane, j: usize, st: &mut CellState, engine: &SimEngine<'_
     st.max_amb = st.max_amb.max(amb_now);
     st.max_dram = st.max_dram.max(dram_now);
     st.stats.fast_forwarded_windows = w_total;
+    st.stats.replay_ns += started.elapsed().as_nanos() as u64;
     finalize(st, engine)
 }
 
@@ -1691,6 +1843,7 @@ fn fast_forward_periodic(
     engine: &SimEngine<'_>,
     jump: CycleJump,
 ) -> (MemSpotResult, CellRunStats) {
+    let started = std::time::Instant::now();
     let cfg = engine.config;
     let cores = engine.cpu.cores;
     let step = st.step_s;
@@ -1824,7 +1977,667 @@ fn fast_forward_periodic(
     st.max_dram = st.max_dram.max(dram_pk);
     st.stats.fast_forwarded_windows = w_total;
     st.stats.periodic_cycles = cycles_total;
+    st.stats.replay_ns += started.elapsed().as_nanos() as u64;
     finalize(st, engine)
+}
+
+/// A proven per-row temperature confinement band for the envelope replay,
+/// plus how to convert replayed windows into pseudo-cycles for
+/// [`CellRunStats::envelope_cycles`].
+#[derive(Debug)]
+struct EnvBand {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// The detected orbit period at engagement (slipping orbits); `1` for
+    /// frozen-approach engagements.
+    period: u64,
+    /// Whether the engagement came from the slipping-orbit trigger (a
+    /// failed cycle verification on a confined trajectory).
+    slipping: bool,
+}
+
+/// Everything the envelope burst needs per distinct actuation plan, cached
+/// once so the per-window replay never re-derives characterization points,
+/// window powers or accounting rates on a plan flip — the dominant
+/// per-window cost of a slipping orbit stepped literally.
+#[derive(Debug)]
+struct EnvPlanEntry {
+    plan: ActuationPlan,
+    mode: RunningMode,
+    mode_key: ModeKey,
+    point: Arc<CharPoint>,
+    progressing: bool,
+    window: WindowPower,
+    plan_stats: PlanTrafficStats,
+    /// Per-row stable-temperature terms: the RC stable of row `r` is
+    /// `ambient + stab_a[r]` (plus `stab_b[r]` on identity-split stacks),
+    /// evaluated in exactly [`lane_rc`]'s float-op order so the private
+    /// sweep carries the lane's bits.
+    stab_a: Vec<f64>,
+    stab_b: Vec<f64>,
+    /// Per-window accounted amounts at the full step and at the overheaded
+    /// (plan-change) step — the literal expressions evaluated once.
+    instr: f64,
+    bytes: f64,
+    misses: f64,
+    migrated: f64,
+    instr_oh: f64,
+    bytes_oh: f64,
+    misses_oh: f64,
+    migrated_oh: f64,
+    retires: Vec<u64>,
+    retires_oh: Vec<u64>,
+    throttled: Vec<bool>,
+    /// Residency seconds accumulated while this entry's plan was active,
+    /// flushed into the cell's residency map when the burst exits (one
+    /// reassociation per entry instead of one map probe per window).
+    residency_s: f64,
+}
+
+/// Builds the cached per-plan entry through the very code path
+/// [`member_pre`] runs on a plan change, so every cached value carries the
+/// bits the literal window loop would have computed. (The scene is only
+/// consulted for geometry by [`SimEngine::window_power`], never for
+/// temperatures, so the burst's stale scene temperatures cannot leak in.)
+fn env_build_entry(st: &mut CellState, engine: &SimEngine<'_>, plan: ActuationPlan, depth: usize) -> EnvPlanEntry {
+    let cfg = engine.config;
+    let cores = engine.cpu.cores;
+    let mode = plan.mode;
+    let mode_key = ModeKey::from_mode(&mode);
+    let point = st.table.point(&mode);
+    let progressing = mode.makes_progress() && point.instr_rate_total > 0.0;
+    let (plan_stats, window) = if plan.is_scalar() {
+        (
+            PlanTrafficStats::identity(),
+            engine.window_power(&st.scene, &st.idle, &point, &point.dimm_traffic, &mode, progressing),
+        )
+    } else {
+        let stats = plan.apply_traffic_into(
+            &point.dimm_traffic,
+            engine.mem.logical_channels,
+            engine.mem.dimms_per_channel,
+            &mut st.plan_traffic,
+        );
+        (stats, engine.window_power(&st.scene, &st.idle, &point, &st.plan_traffic, &mode, progressing))
+    };
+    let topology = st.scene.topology();
+    let rows = window.positions.len() * depth;
+    let mut stab_a = vec![0.0; rows];
+    let mut stab_b = vec![0.0; rows];
+    if topology.is_identity_split() {
+        for (pos, p) in window.positions.iter().enumerate() {
+            for l in 0..depth {
+                let psi = topology.psi_row(l);
+                stab_a[pos * depth + l] = p.amb_watts * psi[0];
+                stab_b[pos * depth + l] = p.dram_watts * psi[1];
+            }
+        }
+    } else {
+        let mut watts = vec![0.0; depth];
+        for (pos, p) in window.positions.iter().enumerate() {
+            topology.split_watts_into(p.amb_watts, p.dram_watts, &mut watts);
+            for l in 0..depth {
+                stab_a[pos * depth + l] = topology.psi_superpose(&watts, l);
+            }
+        }
+    }
+    let mut amounts = [(0.0, 0.0, 0.0, 0.0, vec![0u64; cores]), (0.0, 0.0, 0.0, 0.0, vec![0u64; cores])];
+    if progressing {
+        for (slot, overhead) in amounts.iter_mut().zip([0.0, cfg.dtm_overhead_s]) {
+            let effective_s = (st.step_s - overhead).max(0.0);
+            let instr = point.instr_rate_total * plan_stats.service_scale * effective_s;
+            slot.0 = instr;
+            slot.1 = point.total_gbps() * plan_stats.service_scale * 1e9 * effective_s;
+            slot.2 = point.l2_misses_per_instr * instr;
+            slot.3 = plan_stats.migrated_gbps * 1e9 * effective_s;
+            for (core, amount) in slot.4.iter_mut().enumerate() {
+                let share = st.full_shares.get(core).copied().unwrap_or(0.0);
+                if share > 0.0 {
+                    *amount = (instr * share) as u64;
+                }
+            }
+        }
+    }
+    let [(instr, bytes, misses, migrated, retires), (instr_oh, bytes_oh, misses_oh, migrated_oh, retires_oh)] = amounts;
+    let throttled = (0..st.channel_throttle_s.len()).map(|ch| plan.throttles_channel(ch)).collect();
+    EnvPlanEntry {
+        plan,
+        mode,
+        mode_key,
+        point,
+        progressing,
+        window,
+        plan_stats,
+        stab_a,
+        stab_b,
+        instr,
+        bytes,
+        misses,
+        migrated,
+        instr_oh,
+        bytes_oh,
+        misses_oh,
+        migrated_oh,
+        retires,
+        retires_oh,
+        throttled,
+        residency_s: 0.0,
+    }
+}
+
+/// Slipping-orbit band: the cycle detector's decision history (plus the
+/// cell's current temperatures) spans the orbit; if every row's raw span
+/// fits inside [`BatchOptions::envelope_tolerance`] the orbit is confined
+/// and the band — inflated by half a span per side to absorb the slow slip
+/// — becomes the burst's audit certificate. Refuses on NaN anywhere.
+// The negated comparison is load-bearing: `!(x <= tol)` refuses on NaN.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn env_band_slipping(lane: &Lane, j: usize, st: &CellState, options: &BatchOptions, period: usize) -> Option<EnvBand> {
+    if !lane.layer_alphas.iter().all(|&a| a > 0.0 && a <= 1.0) {
+        return None;
+    }
+    let rows = lane.rows;
+    let h = &st.cycle.history;
+    // At least two orbit periods of snapshots, so the band has seen every
+    // phase of the orbit at least twice.
+    if period < 2 || h.len() < 2 * period {
+        return None;
+    }
+    let mut lo = vec![f64::INFINITY; rows];
+    let mut hi = vec![f64::NEG_INFINITY; rows];
+    for snap in h.iter() {
+        if snap.temps.len() != rows {
+            return None;
+        }
+        for (r, &t) in snap.temps.iter().enumerate() {
+            lo[r] = lo[r].min(t);
+            hi[r] = hi[r].max(t);
+        }
+    }
+    for (r, (lo, hi)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+        let t = lane.temps[r * lane.stride + j];
+        *lo = lo.min(t);
+        *hi = hi.max(t);
+    }
+    let mut width: f64 = 0.0;
+    for (lo, hi) in lo.iter().zip(&hi) {
+        width = width.max(hi - lo);
+    }
+    if !(width <= options.envelope_tolerance) {
+        return None;
+    }
+    for (lo, hi) in lo.iter_mut().zip(hi.iter_mut()) {
+        let margin = 0.5 * (*hi - *lo) + 1e-6;
+        *lo -= margin;
+        *hi += margin;
+    }
+    Some(EnvBand { lo, hi, period: period as u64, slipping: true })
+}
+
+/// Frozen-approach band: under a long-frozen plan each row slides
+/// monotonically from its current temperature toward its RC fixed point, so
+/// the directed interval between the two (plus a small margin for plan
+/// flips near the end) confines the whole approach. Width is deliberately
+/// *not* gated by the tolerance — every segment jump carries its own
+/// [`DtmPolicy::is_steady_band`] certificate over the exact traversed
+/// range, and the audit catches real escapes.
+fn env_band_frozen(lane: &Lane, j: usize, st: &mut CellState) -> Option<EnvBand> {
+    if !lane.layer_alphas.iter().all(|&a| a > 0.0 && a <= 1.0) {
+        return None;
+    }
+    st.scene.fixed_point_into(&st.window.positions, st.window.v_ipc, &mut st.fp);
+    let rows = lane.rows;
+    let mut lo = vec![0.0; rows];
+    let mut hi = vec![0.0; rows];
+    for (r, (lo, hi)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+        let t = lane.temps[r * lane.stride + j];
+        let f = st.fp[r];
+        if !(t.is_finite() && f.is_finite()) {
+            return None;
+        }
+        let (a, b) = if t <= f { (t, f) } else { (f, t) };
+        let margin = 0.05 * (b - a) + 1e-6;
+        *lo = a - margin;
+        *hi = b + margin;
+    }
+    Some(EnvBand { lo, hi, period: 1, slipping: false })
+}
+
+/// Exact range of the discrete two-exponential row response
+/// `f(k) = a·λ^k + b·λ_a^k` over `k ∈ {0, …, n}` — a row relaxing toward
+/// its stable while the shared ambient relaxes toward its own. Returns
+/// `(f(n), min, max)`. The response has at most one interior stationary
+/// point, so the discrete extremes sit at the endpoints or at the two
+/// integers bracketing it; `f(0)` is evaluated directly (never through
+/// `0 · ln λ`), so a fully-relaxed row cannot produce NaN.
+fn env_row_range(a: f64, b: f64, lambda: f64, lambda_a: f64, nf: f64) -> (f64, f64, f64) {
+    let f = |k: f64| {
+        if k <= 0.0 {
+            a + b
+        } else {
+            a * (k * lambda.ln()).exp() + b * (k * lambda_a.ln()).exp()
+        }
+    };
+    let f0 = a + b;
+    let fe = f(nf);
+    let (mut lo, mut hi) = if f0 <= fe { (f0, fe) } else { (fe, f0) };
+    if a != 0.0 && b != 0.0 && (a > 0.0) != (b > 0.0) && lambda > 0.0 && lambda_a > 0.0 {
+        let ratio = -(b * lambda_a.ln()) / (a * lambda.ln());
+        if ratio > 0.0 {
+            let kstar = ratio.ln() / (lambda.ln() - lambda_a.ln());
+            if kstar > 0.0 && kstar < nf {
+                for k in [kstar.floor().max(1.0), kstar.ceil().min(nf)] {
+                    let v = f(k);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+    }
+    (fe, lo, hi)
+}
+
+/// Flushes the burst's accumulators, syncs the scene and finalizes the
+/// departed cell.
+#[allow(clippy::too_many_arguments)]
+fn env_finish(
+    st: &mut CellState,
+    engine: &SimEngine<'_>,
+    entries: &[EnvPlanEntry],
+    rows_t: &[f64],
+    peaks: &[f64],
+    env_windows: u64,
+    pseudo_cycles: u64,
+    started: std::time::Instant,
+) -> (MemSpotResult, CellRunStats) {
+    st.scene.set_layer_temps(rows_t);
+    st.scene.set_layer_peaks(peaks);
+    for e in entries {
+        if e.residency_s > 0.0 {
+            *st.residency.entry(e.mode_key).or_insert(0.0) += e.residency_s;
+        }
+    }
+    st.stats.fast_forwarded_windows += env_windows;
+    st.stats.envelope_cycles += pseudo_cycles;
+    st.stats.replay_ns += started.elapsed().as_nanos() as u64;
+    finalize(st, engine)
+}
+
+/// The envelope replay burst: takes a cell whose trajectory is confined to
+/// `band` out of the lane's lockstep and replays its windows privately —
+/// literal decisions, bit-exact RC, literal per-window accounting — with
+/// closed-form segment jumps over frozen-plan spans. Every window's sweep
+/// is audited against the band; a violation hands the cell back to the lane
+/// (`None`), with the lane column, plan state and detector bookkeeping
+/// restored so literal stepping continues seamlessly. `Some(result)` means
+/// the cell ran to completion inside the burst.
+///
+/// Relative to literal stepping the burst skips only: the cycle detector,
+/// plan-flip window-power rebuilds (cached per plan entry), per-window
+/// residency map probes (per-entry accumulator, flushed on exit) and — for
+/// licensed jumps — the skipped windows' decisions, ambient steps and RC
+/// sweeps. The licensing ([`DtmPolicy::is_steady_band`] over the exact
+/// traversed temperature rectangle — each row's two-exponential response
+/// to the frozen plan and the relaxing ambient, extremes included — and a
+/// completion-safe retire cap) pins every reported quantity within the
+/// envelope tier's 1e-6 relative claim; window counts, simulated time and
+/// job completion windows stay exact (literal repeated additions and
+/// exact integer retires throughout). An already-settled ambient (within
+/// [`AMBIENT_FF_EPS_C`]) degenerates to the frozen single-exponential
+/// form.
+// Negated comparisons refuse on NaN throughout.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn envelope_burst(
+    lane: &mut Lane,
+    j: usize,
+    st: &mut CellState,
+    engine: &SimEngine<'_>,
+    band: EnvBand,
+) -> Option<(MemSpotResult, CellRunStats)> {
+    let started = std::time::Instant::now();
+    let cfg = engine.config;
+    let cores = engine.cpu.cores;
+    let step = st.step_s;
+    let dt = cfg.dtm_interval_s;
+    let max = cfg.max_sim_time_s;
+    let rows = lane.rows;
+    let depth = lane.depth;
+    let identity_split = lane.identity_split;
+    let ambient_alpha = lane.ambient_alpha;
+    let has_buffer = lane.has_buffer;
+    let kinds: Vec<DeviceLayerKind> = st.scene.topology().layers().iter().map(|l| l.kind).collect();
+    let shares_pos: Vec<bool> = (0..cores).map(|c| st.full_shares.get(c).copied().unwrap_or(0.0) > 0.0).collect();
+
+    // Private column state (written back on fallback, synced on finalize).
+    let mut rows_t: Vec<f64> = (0..rows).map(|r| lane.temps[r * lane.stride + j]).collect();
+    let mut peaks: Vec<f64> = (0..rows).map(|r| lane.peaks[r * lane.stride + j]).collect();
+    let mut cur_max_buf = lane.max_buffer[j];
+    let mut cur_max_dram = lane.max_dram[j];
+
+    let first = env_build_entry(st, engine, st.plan.clone(), depth);
+    let mut entries: Vec<EnvPlanEntry> = vec![first];
+    let mut cur: usize = 0;
+
+    // Per-row closed-form coefficients of the licensed segment jump
+    // (stable, λ_r-coefficient, λ_a-coefficient), filled by the licensing
+    // pass and consumed by the apply pass.
+    let mut jump_s: Vec<f64> = vec![0.0; rows];
+    let mut jump_a: Vec<f64> = vec![0.0; rows];
+    let mut jump_k: Vec<f64> = vec![0.0; rows];
+
+    let mut env_windows: u64 = 0;
+    let mut jumps: u64 = 0;
+    let mut violation = false;
+    // In-burst frozen-plan run length and the next run length at which a
+    // segment jump is probed (doubles on a refused probe so hopeless cells
+    // never pay the license check per window; resets on plan change).
+    let mut run: u64 = 0;
+    let mut next_attempt: u64 = ENV_JUMP_MIN;
+
+    loop {
+        // B: the window's pre-step — the envelope tier requires
+        // `step == dtm_interval` bitwise, so every window is exactly one
+        // DTM decision and the stepped run's decision-due test is always
+        // true here.
+        st.observation.max_amb_c = if has_buffer { cur_max_buf } else { f64::NAN };
+        st.observation.max_dram_c = cur_max_dram;
+        st.observation.ambient_c = st.scene.ambient_c();
+        let new_plan = st.policy.decide(&st.observation, dt);
+        let overheaded = new_plan != entries[cur].plan;
+        if overheaded {
+            st.plan_streak = 0;
+            run = 0;
+            next_attempt = ENV_JUMP_MIN;
+            cur = match entries.iter().position(|e| e.plan == new_plan) {
+                Some(i) => i,
+                None => {
+                    let e = env_build_entry(st, engine, new_plan, depth);
+                    entries.push(e);
+                    entries.len() - 1
+                }
+            };
+        } else {
+            st.plan_streak = st.plan_streak.saturating_add(1);
+            run += 1;
+        }
+        st.next_dtm_s += dt;
+        let e = &entries[cur];
+        if e.progressing {
+            let (instr, bytes, misses, migrated, retires) = if overheaded {
+                (e.instr_oh, e.bytes_oh, e.misses_oh, e.migrated_oh, &e.retires_oh)
+            } else {
+                (e.instr, e.bytes, e.misses, e.migrated, &e.retires)
+            };
+            st.total_instructions += instr;
+            st.total_bytes += bytes;
+            st.total_misses += misses;
+            st.migrated_bytes += migrated;
+            for core in 0..cores {
+                if shares_pos[core] {
+                    st.batch.retire(core, retires[core]);
+                }
+            }
+        }
+        let amb = st.scene.step_ambient(entries[cur].window.v_ipc, ambient_alpha);
+
+        // C: a band violation in the previous window's sweep hands the
+        // cell back to the lane. The invariant at this point: the current
+        // window's pre-step is done, its RC sweep is not — exactly what
+        // returning `true` from [`member_pre`] promises, so the lane's RC
+        // and post-step pick the window up seamlessly.
+        if violation {
+            for r in 0..rows {
+                lane.temps[r * lane.stride + j] = rows_t[r];
+                lane.peaks[r * lane.stride + j] = peaks[r];
+            }
+            lane.max_buffer[j] = cur_max_buf;
+            lane.max_dram[j] = cur_max_dram;
+            lane.amb[j] = amb;
+            let e = &entries[cur];
+            st.plan = e.plan.clone();
+            st.mode = e.mode;
+            st.mode_key = e.mode_key;
+            st.point = Arc::clone(&e.point);
+            st.progressing = e.progressing;
+            st.plan_stats = e.plan_stats;
+            st.window = e.window.clone();
+            st.overhead_s = if overheaded { cfg.dtm_overhead_s } else { 0.0 };
+            lane.write_power_column(j, &st.window.positions, st.scene.topology());
+            // The detector's history went stale while the burst ran.
+            st.cycle.history.clear();
+            st.cycle.recording = None;
+            st.env_backoff = CYCLE_RETRY_BACKOFF << st.env_fails.min(CYCLE_BACKOFF_DOUBLINGS);
+            st.env_fails = st.env_fails.saturating_add(1);
+            for e in &entries {
+                if e.residency_s > 0.0 {
+                    *st.residency.entry(e.mode_key).or_insert(0.0) += e.residency_s;
+                }
+            }
+            st.stats.fast_forwarded_windows += env_windows;
+            st.stats.envelope_cycles += jumps + if band.slipping { env_windows / band.period } else { 0 };
+            st.stats.envelope_fallbacks += 1;
+            st.stats.replay_ns += started.elapsed().as_nanos() as u64;
+            return None;
+        }
+
+        // D: the private RC sweep ([`lane_rc`]'s float ops on one column),
+        // the band audit and the window's post-step bookkeeping.
+        let e = &entries[cur];
+        cur_max_buf = f64::NEG_INFINITY;
+        cur_max_dram = f64::NEG_INFINITY;
+        let mut in_band = true;
+        for r in 0..rows {
+            let l = r % depth;
+            let s = if identity_split { (amb + e.stab_a[r]) + e.stab_b[r] } else { amb + e.stab_a[r] };
+            let t = &mut rows_t[r];
+            *t += (s - *t) * lane.layer_alphas[l];
+            peaks[r] = peaks[r].max(*t);
+            match kinds[l] {
+                DeviceLayerKind::Buffer => cur_max_buf = cur_max_buf.max(*t),
+                DeviceLayerKind::Dram => cur_max_dram = cur_max_dram.max(*t),
+            }
+            in_band &= band.lo[r] <= *t && *t <= band.hi[r];
+        }
+        violation = !in_band;
+        st.energy.add(e.window.mem_w, e.window.cpu_w, step);
+        st.max_amb = st.max_amb.max(if has_buffer { cur_max_buf } else { f64::NAN });
+        st.max_dram = st.max_dram.max(cur_max_dram);
+        st.ambient_sum += st.scene.ambient_c();
+        st.ambient_samples += 1;
+        for (channel, &thr) in e.throttled.iter().enumerate() {
+            if thr {
+                st.channel_throttle_s[channel] += step;
+            }
+        }
+        entries[cur].residency_s += step;
+        st.time_s += step;
+        env_windows += 1;
+
+        // A: the stepped loop's window-head condition.
+        if st.batch.is_complete() || st.time_s >= max {
+            let pseudo = jumps + if band.slipping { env_windows / band.period } else { 0 };
+            return Some(env_finish(st, engine, &entries, &rows_t, &peaks, env_windows, pseudo, started));
+        }
+
+        // Segment jump: a frozen-plan run long enough to probe is advanced
+        // in closed form when (1) the whole traversed temperature range —
+        // the exact two-exponential response of each row to a frozen plan
+        // and a relaxing ambient — stays inside the band, and (2) the
+        // policy certifies every skipped decision over that exact range
+        // ([`DtmPolicy::is_steady_band`]), so each skipped decision
+        // provably re-returns the frozen plan. The ambient node itself is
+        // advanced in closed form too, so warmup approaches are jumped
+        // long before the ambient settles.
+        if violation || run < next_attempt {
+            continue;
+        }
+        let e = &entries[cur];
+        let stable_ambient = st.scene.ambient_params().stable_ambient_c(e.window.v_ipc);
+        let lambda_a = 1.0 - ambient_alpha;
+        let amb_c = st.scene.ambient_c();
+        let mut a0 = amb_c - stable_ambient;
+        // A settled (or non-relaxing) ambient degenerates to the frozen
+        // single-exponential form: zero λ_a-coefficient everywhere.
+        let amb_static = !(lambda_a > 0.0 && lambda_a < 1.0) || a0.abs() <= AMBIENT_FF_EPS_C;
+        if amb_static {
+            a0 = 0.0;
+        }
+        // Completion-safe cap: strictly fewer windows than the earliest
+        // possible job-copy completion, so bulk retires land on the same
+        // windows literal stepping would. The wall-time cap keeps the
+        // licensed range exactly the applied range.
+        let cap: u64 = if e.progressing {
+            (0..cores)
+                .filter(|&c| e.retires[c] > 0)
+                .filter_map(|c| st.batch.slot(c).map(|s| s.remaining_instructions.div_ceil(e.retires[c]).max(1) - 1))
+                .min()
+                .unwrap_or(u64::MAX)
+        } else {
+            u64::MAX
+        };
+        let time_cap = (((max - st.time_s) / step).ceil().max(1.0)) as u64;
+        let n = run.min(cap).min(time_cap);
+        if n == 0 {
+            next_attempt = run.saturating_mul(2);
+            continue;
+        }
+        let nf = n as f64;
+        let mut licensed = true;
+        let (mut buf_lo, mut buf_hi) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let (mut dram_lo, mut dram_hi) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (r, &t_r) in rows_t.iter().enumerate() {
+            let l = r % depth;
+            let lambda = 1.0 - lane.layer_alphas[l];
+            let off = if identity_split { e.stab_a[r] + e.stab_b[r] } else { e.stab_a[r] };
+            let (s_r, kcoef) = if amb_static {
+                (amb_c + off, 0.0)
+            } else {
+                let gap = lambda_a - lambda;
+                if gap.abs() < 1e-9 {
+                    licensed = false;
+                    break;
+                }
+                (stable_ambient + off, (1.0 - lambda) * a0 * lambda_a / gap)
+            };
+            let acoef = t_r - s_r - kcoef;
+            let (t_end, lo_f, hi_f) = env_row_range(acoef, kcoef, lambda, lambda_a, nf);
+            let (lo_r, hi_r) = (s_r + lo_f, s_r + hi_f);
+            if !(t_end.is_finite() && band.lo[r] <= lo_r && hi_r <= band.hi[r]) {
+                licensed = false;
+                break;
+            }
+            jump_s[r] = s_r;
+            jump_a[r] = acoef;
+            jump_k[r] = kcoef;
+            match kinds[l] {
+                DeviceLayerKind::Buffer => {
+                    buf_lo = buf_lo.max(lo_r);
+                    buf_hi = buf_hi.max(hi_r);
+                }
+                DeviceLayerKind::Dram => {
+                    dram_lo = dram_lo.max(lo_r);
+                    dram_hi = dram_hi.max(hi_r);
+                }
+            }
+        }
+        let (mut below, mut above) = (0.0f64, 0.0f64);
+        if licensed {
+            if has_buffer {
+                below = below.max((cur_max_buf - buf_lo).max(0.0));
+                above = above.max((buf_hi - cur_max_buf).max(0.0));
+            }
+            below = below.max((cur_max_dram - dram_lo).max(0.0)) + 1e-9;
+            above = above.max((dram_hi - cur_max_dram).max(0.0)) + 1e-9;
+            if !(below.is_finite() && above.is_finite()) {
+                licensed = false;
+            }
+        }
+        if licensed {
+            st.observation.max_amb_c = if has_buffer { cur_max_buf } else { f64::NAN };
+            st.observation.max_dram_c = cur_max_dram;
+            st.observation.ambient_c = amb_c;
+            licensed = st.policy.is_steady_band(&st.observation, &e.plan, below, above);
+        }
+        if !licensed {
+            next_attempt = run.saturating_mul(2);
+            continue;
+        }
+        // Apply the jump: literal time/decision-clock additions (exact
+        // window counts), `rate × m` accounting, closed-form ambient
+        // (endpoint and running sum from the geometric series), and
+        // closed-form temperatures with each row's in-segment extremes —
+        // not just the endpoints — folded into peaks and maxima.
+        let mut m: u64 = 0;
+        while m < n && st.time_s < max {
+            st.time_s += step;
+            st.next_dtm_s += dt;
+            m += 1;
+        }
+        if m == 0 {
+            continue;
+        }
+        let mf = m as f64;
+        if e.progressing {
+            st.total_instructions += e.instr * mf;
+            st.total_bytes += e.bytes * mf;
+            st.total_misses += e.misses * mf;
+            st.migrated_bytes += e.migrated * mf;
+            for (core, &pos) in shares_pos.iter().enumerate() {
+                if pos && e.retires[core] > 0 {
+                    st.batch.retire(core, e.retires[core] * m);
+                }
+            }
+        }
+        st.energy.add(e.window.mem_w, e.window.cpu_w, step * mf);
+        for (channel, &thr) in e.throttled.iter().enumerate() {
+            if thr {
+                st.channel_throttle_s[channel] += step * mf;
+            }
+        }
+        if amb_static {
+            st.ambient_sum += amb_c * mf;
+        } else {
+            let lam_am = (mf * lambda_a.ln()).exp();
+            st.ambient_sum += stable_ambient * mf + a0 * lambda_a * (1.0 - lam_am) / (1.0 - lambda_a);
+            st.scene.set_ambient_c(stable_ambient + a0 * lam_am);
+        }
+        st.ambient_samples += m;
+        cur_max_buf = f64::NEG_INFINITY;
+        cur_max_dram = f64::NEG_INFINITY;
+        let mut peak_buf = f64::NEG_INFINITY;
+        let mut peak_dram = f64::NEG_INFINITY;
+        for r in 0..rows {
+            let l = r % depth;
+            let lambda = 1.0 - lane.layer_alphas[l];
+            let (t_end, _, hi_f) = env_row_range(jump_a[r], jump_k[r], lambda, lambda_a, mf);
+            let t = jump_s[r] + t_end;
+            let hi = jump_s[r] + hi_f;
+            rows_t[r] = t;
+            peaks[r] = peaks[r].max(hi);
+            match kinds[l] {
+                DeviceLayerKind::Buffer => {
+                    cur_max_buf = cur_max_buf.max(t);
+                    peak_buf = peak_buf.max(hi);
+                }
+                DeviceLayerKind::Dram => {
+                    cur_max_dram = cur_max_dram.max(t);
+                    peak_dram = peak_dram.max(hi);
+                }
+            }
+        }
+        st.max_amb = st.max_amb.max(if has_buffer { peak_buf } else { f64::NAN });
+        st.max_dram = st.max_dram.max(peak_dram);
+        entries[cur].residency_s += step * mf;
+        st.plan_streak = st.plan_streak.saturating_add(m.min(u64::from(u32::MAX)) as u32);
+        run += m;
+        next_attempt = run;
+        env_windows += m;
+        jumps += 1;
+        if st.batch.is_complete() || st.time_s >= max {
+            let pseudo = jumps + if band.slipping { env_windows / band.period } else { 0 };
+            return Some(env_finish(st, engine, &entries, &rows_t, &peaks, env_windows, pseudo, started));
+        }
+    }
 }
 
 /// Folds a finished cell's accumulators into its result through the same

@@ -447,6 +447,13 @@ impl DimmThermalScene {
         self.ambient.step_with_alpha(stable_ambient, alpha)
     }
 
+    /// Overwrites the shared ambient node temperature. The batched
+    /// engine's envelope tier advances the ambient in closed form during
+    /// certified segment jumps and writes the exact endpoint back here.
+    pub(crate) fn set_ambient_c(&mut self, temp_c: f64) {
+        self.ambient.set_temp_c(temp_c);
+    }
+
     /// The flat position-major layer temperature field (positions × depth).
     pub(crate) fn layer_temps_flat(&self) -> &[f64] {
         &self.temps_c

@@ -18,8 +18,10 @@
 //! the example populates the shards, and every rerun loads them and
 //! reports **0 level-1 misses** — the whole sweep skips the closed-loop
 //! simulations.
-//! All passes are written to `BENCH_sweep.json`, followed by a per-scheme
-//! summary of the paper's headline quantities.
+//! All passes are written to `BENCH_cooling_sweep.json` (a separate file
+//! from the sweep bench's gated `BENCH_sweep.json`, which this example
+//! must not clobber), followed by a per-scheme summary of the paper's
+//! headline quantities.
 //!
 //! A final stacked pass swaps the FBDIMM pair for a **4-high 3D stack**
 //! (base logic die + four DRAM dies coupled through TSV resistances) and
@@ -74,12 +76,13 @@ fn main() {
     let batched_speedup = per_cell.wall_clock_s / sequential.wall_clock_s.max(1e-9);
     println!(
         "batched+FF (1 worker):      {:.2} s wall-clock  ({:.2}x vs per-cell, {} windows fast-forwarded \
-         across {} cells, {} whole limit cycles replayed analytically)",
+         across {} cells, {} whole limit cycles replayed analytically, {} envelope bursts)",
         sequential.wall_clock_s,
         batched_speedup,
         sequential.fast_forwarded_windows,
         sequential.fast_forwarded_cells,
-        sequential.periodic_cycles
+        sequential.periodic_cycles,
+        sequential.envelope_cycles
     );
 
     // Lane-parallel tier: the same single batch, its lockstep lanes fanned
@@ -178,6 +181,7 @@ fn main() {
         ("fast_forwarded_windows", sequential.fast_forwarded_windows as f64),
         ("fast_forwarded_cells", sequential.fast_forwarded_cells as f64),
         ("periodic_cycles", sequential.periodic_cycles as f64),
+        ("envelope_cycles", sequential.envelope_cycles as f64),
         ("lane_workers", lane_workers as f64),
         ("lane_parallel_wall_ms", lane.wall_clock_s * 1e3),
         ("lane_parallel_vs_batched_speedup", lane_speedup),
@@ -188,7 +192,7 @@ fn main() {
         ("pre_pr_sequential_ms_2core_ref", 2480.0),
         ("pre_pr_parallel_ms_2core_ref", 1710.0),
     ];
-    let path = bench_output_path("BENCH_sweep.json");
+    let path = bench_output_path("BENCH_cooling_sweep.json");
     match write_bench_json(&path, &stats, &metrics) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

@@ -1,0 +1,254 @@
+//! Property suite for the envelope fast-forward tier
+//! (`memtherm::sim::batch`): under randomized {stack, cooling, mix, policy,
+//! DTM cadence} combinations, envelope execution must stay within the
+//! claimed relative 1e-6 of literal stepping on every reported quantity,
+//! conserve the simulated window count exactly, and fall back to literal
+//! stepping — without losing accuracy — the moment a trajectory leaves its
+//! certified band.
+
+use std::sync::Arc;
+
+use dram_thermal::memtherm::dtm::{DtmAcg, DtmBw, DtmCdvfs, DtmTs, NoLimit};
+use dram_thermal::prelude::*;
+
+/// Tiny deterministic PRNG (xorshift64*) so the "random" cell pool is
+/// reproducible from a literal seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+fn base_config(cooling: CoolingConfig) -> MemSpotConfig {
+    MemSpotConfig {
+        copies_per_app: 4,
+        instruction_scale: 0.6,
+        characterization_budget: 8_000,
+        max_sim_time_s: 3_000.0,
+        ..MemSpotConfig::paper(cooling)
+    }
+}
+
+/// The envelope-eligible (pure, memoryless) policy pool. DTM-TS is added
+/// separately where coexistence with ineligible cells is under test.
+fn pure_policy(kind: u64, cpu: &CpuConfig, limits: ThermalLimits) -> Box<dyn DtmPolicy> {
+    match kind % 4 {
+        0 => Box::new(NoLimit::new(cpu)),
+        1 => Box::new(DtmAcg::new(cpu.clone(), limits)),
+        2 => Box::new(DtmCdvfs::new(cpu.clone(), limits)),
+        _ => Box::new(DtmBw::new(cpu.clone(), limits)),
+    }
+}
+
+fn assert_abs(a: f64, b: f64, tol: f64, what: &str) {
+    if a.is_nan() && b.is_nan() {
+        return;
+    }
+    assert!((a - b).abs() <= tol, "{what}: {a} vs {b} (abs err {})", (a - b).abs());
+}
+
+fn assert_rel(a: f64, b: f64, what: &str) {
+    if a.is_nan() && b.is_nan() {
+        return;
+    }
+    let denom = a.abs().max(b.abs()).max(1e-300);
+    assert!(((a - b) / denom).abs() <= 1e-6, "{what}: {a} vs {b} (rel err {})", ((a - b) / denom).abs());
+}
+
+/// Field-by-field comparison of an envelope-executed result against its
+/// literal reference at the envelope tier's claimed bound: every scalar
+/// within relative 1e-6 (temperatures and residency fractions, whose
+/// natural scale is O(1)–O(100), within 1e-6 of that scale absolute).
+fn assert_envelope_tolerance(ff: &MemSpotResult, lit: &MemSpotResult, label: &str) {
+    assert_eq!(ff.workload, lit.workload, "{label}: workload");
+    assert_eq!(ff.policy, lit.policy, "{label}: policy");
+    assert_eq!(ff.completed, lit.completed, "{label}: completion");
+    assert_rel(ff.running_time_s, lit.running_time_s, &format!("{label}: running_time_s"));
+    assert_rel(ff.total_instructions, lit.total_instructions, &format!("{label}: total_instructions"));
+    assert_rel(ff.total_memory_bytes, lit.total_memory_bytes, &format!("{label}: total_memory_bytes"));
+    assert_rel(ff.total_l2_misses, lit.total_l2_misses, &format!("{label}: total_l2_misses"));
+    assert_rel(ff.memory_energy_j, lit.memory_energy_j, &format!("{label}: memory_energy_j"));
+    assert_rel(ff.cpu_energy_j, lit.cpu_energy_j, &format!("{label}: cpu_energy_j"));
+    assert_rel(ff.avg_memory_power_w, lit.avg_memory_power_w, &format!("{label}: avg_memory_power_w"));
+    assert_rel(ff.avg_cpu_power_w, lit.avg_cpu_power_w, &format!("{label}: avg_cpu_power_w"));
+    assert_rel(ff.avg_ambient_c, lit.avg_ambient_c, &format!("{label}: avg_ambient_c"));
+    assert_rel(ff.max_amb_c, lit.max_amb_c, &format!("{label}: max_amb_c"));
+    assert_rel(ff.max_dram_c, lit.max_dram_c, &format!("{label}: max_dram_c"));
+    assert_rel(ff.migrated_traffic_bytes, lit.migrated_traffic_bytes, &format!("{label}: migrated_traffic_bytes"));
+    assert_eq!(
+        ff.mode_residency.keys().collect::<Vec<_>>(),
+        lit.mode_residency.keys().collect::<Vec<_>>(),
+        "{label}: residency modes"
+    );
+    for (mode, frac) in &ff.mode_residency {
+        assert_abs(*frac, lit.mode_residency[mode], 1e-6, &format!("{label}: residency[{mode}]"));
+    }
+    assert_eq!(ff.position_peaks.len(), lit.position_peaks.len(), "{label}: peak count");
+    for (a, b) in ff.position_peaks.iter().zip(&lit.position_peaks) {
+        assert_eq!((a.channel, a.dimm), (b.channel, b.dimm), "{label}: peak position");
+        assert_rel(a.max_amb_c, b.max_amb_c, &format!("{label}: peak amb ({},{})", a.channel, a.dimm));
+        assert_rel(a.max_dram_c, b.max_dram_c, &format!("{label}: peak dram ({},{})", a.channel, a.dimm));
+        for (l, (x, y)) in a.layers_c.iter().zip(&b.layers_c).enumerate() {
+            assert_rel(*x, *y, &format!("{label}: peak layer {l} ({},{})", a.channel, a.dimm));
+        }
+    }
+    for (ch, (a, b)) in ff.channel_throttle_residency.iter().zip(&lit.channel_throttle_residency).enumerate() {
+        assert_abs(*a, *b, 1e-6, &format!("{label}: throttle residency ch{ch}"));
+    }
+}
+
+#[test]
+fn envelope_execution_matches_literal_within_1e6_across_random_cells() {
+    // Seeded sweep over {stack, cooling, mix, pure policy, cadence}: the
+    // envelope tier replays decisions literally and certifies every
+    // closed-form jump against the policy over the exact traversed band,
+    // so every reported quantity must stay within relative 1e-6 of literal
+    // stepping, the window count must be conserved exactly — and across
+    // the pool the tier must actually engage (envelope_cycles > 0), or the
+    // suite would be vacuous.
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let power = FbdimmPowerModel::paper_defaults();
+    let cpu_power = PaperCpuPower::new();
+    let store = Arc::new(CharStore::new());
+    let stacks = [StackKind::Fbdimm, StackKind::RankPair, StackKind::stacked4()];
+    let coolings = [CoolingConfig::aohs_1_5(), CoolingConfig::fdhs_1_0()];
+    let mixes_pool = [mixes::w1(), mixes::w6()];
+    // The paper's native cadence plus two relay-style cadences: at 10 ms
+    // threshold orbits slip, at the slower cadences frozen-plan stretches
+    // dominate — both envelope entry paths get exercised.
+    let dts = [0.010, 0.100, 1.0];
+
+    let build_cells = |rng: &mut Rng| {
+        (0..8u64)
+            .map(|i| {
+                let stack = *rng.pick(&stacks);
+                let mut cfg = base_config(*rng.pick(&coolings)).with_stack(stack);
+                cfg.window_s = *rng.pick(&dts);
+                cfg.dtm_interval_s = cfg.window_s;
+                let mix = rng.pick(&mixes_pool).clone();
+                // One latched (envelope-ineligible) DTM-TS cell rides along:
+                // ineligible members of a lane must coexist with bursting
+                // neighbors without perturbing them.
+                let policy: Box<dyn DtmPolicy> = if i == 5 {
+                    Box::new(DtmTs::new(cpu.clone(), cfg.limits))
+                } else {
+                    pure_policy(rng.next(), &cpu, cfg.limits)
+                };
+                BatchCell::new(&cpu, &mem, cfg, mix, policy, Arc::clone(&store)).with_rotation_threads(1)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let engine = BatchedSimEngine::new(&cpu, &mem, &power, &cpu_power);
+    let mut rng = Rng(0x0E17_BA5E_D5EE_D001);
+    let literal = engine.run(build_cells(&mut rng), &BatchOptions::literal());
+    let mut rng = Rng(0x0E17_BA5E_D5EE_D001);
+    let envelope = engine.run(build_cells(&mut rng), &BatchOptions::default());
+
+    assert_eq!(literal.len(), envelope.len());
+    assert!(literal.iter().all(|(_, s)| s.fast_forwarded_windows == 0 && s.envelope_cycles == 0));
+    let total_envelope: u64 = envelope.iter().map(|(_, s)| s.envelope_cycles).sum();
+    assert!(total_envelope > 0, "no cell engaged the envelope tier; the property suite is vacuous");
+    for (i, ((ff, fs), (lit, ls))) in envelope.iter().zip(&literal).enumerate() {
+        assert_eq!(
+            fs.stepped_windows + fs.fast_forwarded_windows,
+            ls.stepped_windows,
+            "cell {i} ({}/{}) window count drifted",
+            ff.workload,
+            ff.policy
+        );
+        assert_envelope_tolerance(ff, lit, &format!("cell {i}: {}/{}", ff.workload, ff.policy));
+    }
+}
+
+#[test]
+fn a_drifting_trajectory_falls_back_to_literal_without_losing_accuracy() {
+    // A deliberately non-confined cell: the ambient override is pushed so
+    // close to the TDP shutdown threshold that the orbit escalates to a
+    // full shutdown, freezes long enough while cooling for the envelope to
+    // engage, and then re-heats straight through the certified band's upper
+    // edge. The drift audit must catch the violation, hand the cell back to
+    // literal lane stepping (envelope_fallbacks > 0), and the final result
+    // must still satisfy the full envelope bound — fallback is a
+    // performance event, never an accuracy event.
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let power = FbdimmPowerModel::paper_defaults();
+    let cpu_power = PaperCpuPower::new();
+    let store = Arc::new(CharStore::new());
+
+    let mut cfg = MemSpotConfig {
+        copies_per_app: 8,
+        instruction_scale: 1.0,
+        characterization_budget: 10_000,
+        max_sim_time_s: 2_000.0,
+        ..MemSpotConfig::paper(CoolingConfig::fdhs_1_0())
+    };
+    cfg.ambient_override_c = Some(85.0);
+    let build = || {
+        vec![BatchCell::new(
+            &cpu,
+            &mem,
+            cfg,
+            mixes::w6(),
+            Box::new(DtmAcg::new(cpu.clone(), cfg.limits)),
+            Arc::clone(&store),
+        )
+        .with_rotation_threads(1)]
+    };
+
+    let engine = BatchedSimEngine::new(&cpu, &mem, &power, &cpu_power);
+    let literal = engine.run(build(), &BatchOptions::literal());
+    let envelope = engine.run(build(), &BatchOptions::default());
+    let (lit, ls) = &literal[0];
+    let (ff, fs) = &envelope[0];
+    assert!(
+        fs.envelope_fallbacks > 0,
+        "the drifting cell never violated a band (fallbacks {}, cycles {}, stepped {})",
+        fs.envelope_fallbacks,
+        fs.envelope_cycles,
+        fs.stepped_windows
+    );
+    assert_eq!(fs.stepped_windows + fs.fast_forwarded_windows, ls.stepped_windows, "window count drifted");
+    assert_envelope_tolerance(ff, lit, "drifting DTM-ACG cell");
+}
+
+#[test]
+fn literal_opt_out_disables_the_envelope_tier() {
+    // `BatchOptions::literal()` and a non-positive tolerance must both keep
+    // the envelope tier off — the opt-out composes with the existing
+    // literal switch rather than riding only on `fast_forward`.
+    let opts = BatchOptions::literal();
+    assert!(opts.envelope_tolerance <= 0.0, "literal() must zero the envelope tolerance");
+    let cpu = CpuConfig::paper_quad_core();
+    let mem = FbdimmConfig::ddr2_667_paper();
+    let power = FbdimmPowerModel::paper_defaults();
+    let cpu_power = PaperCpuPower::new();
+    let store = Arc::new(CharStore::new());
+    let cfg = base_config(CoolingConfig::aohs_1_5());
+    let build = || {
+        vec![BatchCell::new(&cpu, &mem, cfg, mixes::w1(), Box::new(NoLimit::new(&cpu)), Arc::clone(&store))
+            .with_rotation_threads(1)]
+    };
+    let engine = BatchedSimEngine::new(&cpu, &mem, &power, &cpu_power);
+    // Exact fast-forwards on, envelope off: the cell may steady-FF but must
+    // never report envelope activity.
+    let exact = engine.run(build(), &BatchOptions { envelope_tolerance: 0.0, ..BatchOptions::default() });
+    assert_eq!(exact[0].1.envelope_cycles, 0);
+    assert_eq!(exact[0].1.envelope_fallbacks, 0);
+    let lit = engine.run(build(), &BatchOptions::literal());
+    assert_eq!(lit[0].1.fast_forwarded_windows, 0);
+    assert_eq!(lit[0].1.envelope_cycles, 0);
+}

@@ -25,11 +25,20 @@ use memtherm::prelude::*;
 /// for the per-cell engine and every batched/lane-parallel configuration.
 const GOLDEN_LITERAL: u64 = 0x074b_3d8e_3c14_cded;
 
-/// Digest of the grid under default batched execution (steady-state and
-/// periodic fast-forward enabled) — identical for every worker count, and
-/// equal to [`GOLDEN_LITERAL`] because both fast-forwards replay converged
-/// windows analytically rather than approximating them.
+/// Digest of the grid under exact fast-forwarded execution (steady-state
+/// and periodic fast-forward enabled, envelope fast-forward disabled) —
+/// identical for every worker count, and equal to [`GOLDEN_LITERAL`]
+/// because both exact fast-forwards replay converged windows analytically
+/// rather than approximating them. The envelope tier is excluded here: it
+/// guarantees relative 1e-6 agreement, not bit-identity, so its results
+/// cannot be pinned by digest (`tests/envelope_ff.rs` owns its bound).
 const GOLDEN_FAST_FORWARD: u64 = 0x074b_3d8e_3c14_cded;
+
+/// Default options minus the envelope tier: only the bit-exact analytic
+/// fast-forwards stay enabled.
+fn exact_fast_forward() -> BatchOptions {
+    BatchOptions { envelope_tolerance: 0.0, ..BatchOptions::default() }
+}
 
 fn grid() -> Vec<SweepScenario> {
     let specs = vec![PolicySpec::NoLimit, PolicySpec::Ts];
@@ -88,9 +97,14 @@ fn every_execution_variant_reproduces_the_pre_refactor_literal_digest() {
 fn fast_forwarded_execution_reproduces_the_pre_refactor_digest_for_any_worker_count() {
     let make = |cooling: CoolingConfig| Scale::Smoke.memspot_config(cooling);
     let variants: Vec<(&str, SweepRunner)> = vec![
-        ("batched+FF 1 thread", SweepRunner::with_threads(1)),
-        ("batched+FF 4 threads", SweepRunner::with_threads(4)),
-        ("batched+FF lane-parallel 4", SweepRunner::with_threads(1).with_execution(SweepExecution::lane_parallel(4))),
+        ("batched+FF 1 thread", SweepRunner::with_threads(1).with_batch_options(exact_fast_forward())),
+        ("batched+FF 4 threads", SweepRunner::with_threads(4).with_batch_options(exact_fast_forward())),
+        (
+            "batched+FF lane-parallel 4",
+            SweepRunner::with_threads(1)
+                .with_execution(SweepExecution::lane_parallel(4))
+                .with_batch_options(exact_fast_forward()),
+        ),
     ];
     for (label, runner) in variants {
         let outcome = runner.run(&grid(), make);
