@@ -26,9 +26,11 @@
 //! under read contention: 16 threads hammer 4 hot pre-inserted keys, once
 //! through `CharStore::get_or_compute` (per-shard mutexes + atomic stats)
 //! and once through a single `Mutex<HashMap>` baseline — the pre-sharding
-//! layout — recording ns/op for both. No gate: on a 1-core runner the
-//! threads timeslice and the ratio mostly reflects scheduler behavior;
-//! the numbers exist to track the trend on real multi-core hosts.
+//! layout — recording ns/op for both plus the host core count
+//! (`store_contention_cores`). No gate, and on a sub-2-core runner the
+//! speedup metric is suppressed entirely (raw ns/op only): timesliced
+//! threads measure scheduler behavior, not lock contention, and a
+//! meaningless ratio in the artifact invites false trend alarms.
 //!
 //! A `stacked` case then runs 4-high 3D-stack cells through the same
 //! runner so `BENCH_sweep.json` tracks the stacked-scenario axis, and
@@ -45,17 +47,21 @@
 //! The default grid also carries one relay-cadence cell (DTM-ACG at
 //! dt = 5 s), where threshold decisions settle into an exactly periodic
 //! relay orbit: it keeps the verified limit-cycle tier exercised, and the
-//! grid-level `periodic_cycles` counter is gated > 0.
+//! grid-level `periodic_cycles` counter is gated > 0. A second cadence
+//! cell (DTM-BW at 10 ms under FDHS) slides along its throttle threshold
+//! so only the envelope tier's exact decision replay can fast-forward it:
+//! the default-options grid runs are gated `grid_envelope_cycles` > 0.
 //!
 //! A `paper_cadence` case runs the paper's own operating point: a 16-cell
 //! pure-policy grid (all four policies, both coolings, six mixes) at
 //! Lin et al.'s 10 ms DTM cadence, once with
 //! the envelope tier enabled and once forced literal. It gates the
-//! envelope speedup at 5x, `envelope_cycles` > 0, every reported quantity
-//! within the 1e-6 envelope bound, and exact window-count conservation —
-//! and records the per-phase wall-clock split (detector / verify / replay
-//! / literal stepping) so FF regressions are attributable from the JSON
-//! artifact alone.
+//! envelope speedup at 20x, the analytic replay phase at 25 ms summed
+//! over the grid, `envelope_cycles` > 0, every reported quantity within
+//! the contraction-certified 1e-9 bound, and exact window-count
+//! conservation — and records the per-phase wall-clock split (detector /
+//! verify / replay / literal stepping) so FF regressions are attributable
+//! from the JSON artifact alone.
 //!
 //! The batch size is a few times the `Smoke` scale: large enough that the
 //! parallelizable window loops dominate the (partly serialized, shared)
@@ -96,6 +102,16 @@ fn grid() -> Vec<SweepScenario> {
             vec![PolicySpec::Acg { pid: false }],
         )
         .with_cadence(5.0),
+    );
+    // Envelope-cadence cell: DTM-BW at the paper's native 10 ms interval
+    // under the stronger cooling slides along its throttle threshold — the
+    // plan flips every couple of windows, so neither the steady nor the
+    // periodic tier can engage and only the envelope tier's exact decision
+    // replay carries it analytically (gated below on the default-options
+    // grid: grid_envelope_cycles > 0).
+    scenarios.push(
+        SweepScenario::isolated(CoolingConfig::fdhs_1_0(), workloads::mixes::w5(), vec![PolicySpec::Bw { pid: false }])
+            .with_cadence(0.010),
     );
     scenarios
 }
@@ -287,10 +303,20 @@ fn main() {
     let contention_ops = (CONTENTION_THREADS * CONTENTION_OPS) as f64;
     let sharded_ns_per_op = min(&contention_sharded_ms) * 1e6 / contention_ops;
     let single_lock_ns_per_op = min(&contention_single_lock_ms) * 1e6 / contention_ops;
-    let store_contention_speedup = single_lock_ns_per_op / sharded_ns_per_op.max(1e-9);
+    // On a sub-2-core host the 16 threads timeslice and the ratio measures
+    // the scheduler, not lock contention: record the raw ns/op and the core
+    // count, but suppress the speedup metric so the artifact never carries
+    // a number that cannot mean what its name says.
+    let store_contention_cores = lane_workers;
+    let store_contention_speedup =
+        (store_contention_cores >= 2).then(|| single_lock_ns_per_op / sharded_ns_per_op.max(1e-9));
+    let contention_ratio = match store_contention_speedup {
+        Some(s) => format!("{s:.2}x, "),
+        None => format!("speedup suppressed on {store_contention_cores} core, "),
+    };
     println!(
         "sweep/store_contention                       {:>10.1} ns/op sharded vs {:.1} ns/op single-lock \
-         ({store_contention_speedup:.2}x, {CONTENTION_THREADS} threads x {} hot keys, best-of-{PASSES})",
+         ({contention_ratio}{CONTENTION_THREADS} threads x {} hot keys, best-of-{PASSES})",
         sharded_ns_per_op,
         single_lock_ns_per_op,
         hot_keys.len()
@@ -404,14 +430,17 @@ fn main() {
     // into a frozen throttle plan whose two-exponential relaxation the
     // envelope tier certifies and jumps in closed form; DTM-BW is
     // threshold-pinned sliding mode on every mix (the plan flips every few
-    // windows, so per-window decides are required for 1e-6 soundness and
-    // the cell rides the in-burst literal floor) — two BW cells stay in the
-    // grid as exactly that worst case. Gates: best-of-3 speedup >= 5x,
-    // envelope_cycles > 0, every reported scalar within relative 1e-6 of
-    // literal, and the simulated window count conserved exactly. The
-    // per-phase wall-clock breakdown (detector / verification / analytic
-    // replay / literal stepping) is recorded from the envelope run's cell
-    // counters.
+    // windows), and those cells are carried by the exact decision replay:
+    // the binding rows and ambient are iterated bitwise-literally, every
+    // window's decision is re-evaluated against the policy's decision
+    // regions, and the dominated rows are closed per plan-run from the
+    // run-length-encoded log — two BW cells stay in the grid as exactly
+    // that worst case. Gates: best-of-3 speedup >= 20x, summed analytic
+    // replay <= 25 ms, envelope_cycles > 0, every reported scalar within
+    // relative 1e-9 of literal, and the simulated window count conserved
+    // exactly. The per-phase wall-clock breakdown (detector / verification
+    // / analytic replay / literal stepping) is recorded from the envelope
+    // run's cell counters.
     let nl = PolicySpec::NoLimit;
     let bw = PolicySpec::Bw { pid: false };
     let acg = PolicySpec::Acg { pid: false };
@@ -437,12 +466,17 @@ fn main() {
     SweepRunner::with_threads(1).with_char_store(Arc::clone(&paper_store)).run(&paper_scenarios, make); // warm
     let mut paper_env_ms = Vec::with_capacity(PASSES);
     let mut paper_lit_ms = Vec::with_capacity(PASSES);
-    let mut last_env = None;
+    // Keep the counters of the *fastest* pass: the wall-clock gates are
+    // best-of-3 to filter scheduler noise, so the per-phase split and the
+    // replay gate must describe the same pass the speedup is measured on.
+    let mut best_env = None;
     let mut last_lit = None;
     for _ in 0..PASSES {
         let env = SweepRunner::with_threads(1).with_char_store(Arc::clone(&paper_store)).run(&paper_scenarios, make);
         paper_env_ms.push(env.wall_clock_s * 1e3);
-        last_env = Some(env);
+        if best_env.as_ref().is_none_or(|b: &experiments::sweep::SweepOutcome| env.wall_clock_s < b.wall_clock_s) {
+            best_env = Some(env);
+        }
         let lit = SweepRunner::with_threads(1)
             .with_char_store(Arc::clone(&paper_store))
             .with_batch_options(BatchOptions::literal())
@@ -450,7 +484,7 @@ fn main() {
         paper_lit_ms.push(lit.wall_clock_s * 1e3);
         last_lit = Some(lit);
     }
-    let env = last_env.expect("at least one envelope pass");
+    let env = best_env.expect("at least one envelope pass");
     let lit = last_lit.expect("at least one literal pass");
     let paper_cadence_speedup = min(&paper_lit_ms) / min(&paper_env_ms).max(1e-9);
     // Relative agreement: every reported scalar of every cell, including the
@@ -576,7 +610,7 @@ fn main() {
             iters: PASSES,
         },
     ];
-    let metrics = [
+    let mut metrics = vec![
         ("cells", cells as f64),
         ("threads", parallel.threads as f64),
         ("speedup", speedup),
@@ -587,13 +621,25 @@ fn main() {
         ("fast_forwarded_cells", batched.fast_forwarded_cells as f64),
         ("periodic_cycles", batched.periodic_cycles as f64),
         ("envelope_cycles", batched.envelope_cycles as f64),
+        ("grid_envelope_cycles", parallel.envelope_cycles as f64),
+        // Per-phase split of the default grid, both flavors: the warm
+        // batched run times the exact tiers (steady + periodic; envelope
+        // off), the default-options run times all tiers including the
+        // envelope cell, so a regression in either tier is attributable
+        // from the artifact alone.
+        ("batched_detector_ms", batched.detector_ns as f64 / 1e6),
+        ("batched_verify_ms", batched.verify_ns as f64 / 1e6),
+        ("batched_replay_ms", batched.replay_ns as f64 / 1e6),
+        ("grid_detector_ms", parallel.detector_ns as f64 / 1e6),
+        ("grid_verify_ms", parallel.verify_ns as f64 / 1e6),
+        ("grid_replay_ms", parallel.replay_ns as f64 / 1e6),
         ("lane_workers", lane_workers as f64),
         ("lane_parallel_speedup", lane_parallel_speedup),
         ("store_contention_threads", CONTENTION_THREADS as f64),
         ("store_contention_hot_keys", hot_keys.len() as f64),
+        ("store_contention_cores", store_contention_cores as f64),
         ("store_contention_sharded_ns_per_op", sharded_ns_per_op),
         ("store_contention_single_lock_ns_per_op", single_lock_ns_per_op),
-        ("store_contention_speedup", store_contention_speedup),
         ("stacked_window_cost_ratio", stacked_window_cost_ratio),
         ("fbdimm_window_us", fbdimm_window_us),
         ("stacked_window_us", stacked_window_us),
@@ -613,6 +659,9 @@ fn main() {
         ("paper_cadence_replay_ms", replay_ms),
         ("paper_cadence_literal_step_ms", literal_ms),
     ];
+    if let Some(s) = store_contention_speedup {
+        metrics.push(("store_contention_speedup", s));
+    }
     let path = bench_output_path("BENCH_sweep.json");
     write_bench_json(&path, &stats, &metrics).expect("write BENCH_sweep.json");
     println!("wrote {}", path.display());
@@ -668,10 +717,24 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if paper_cadence_speedup < 5.0 {
+    if parallel.envelope_cycles == 0 {
+        eprintln!(
+            "FAIL: the envelope-cadence cell (DTM-BW at a 10 ms interval) must engage the \
+             envelope fast-forward on the default-options grid, got 0 pseudo-cycles"
+        );
+        std::process::exit(1);
+    }
+    if paper_cadence_speedup < 20.0 {
         eprintln!(
             "FAIL: envelope execution's best-of-{PASSES} speedup over literal stepping at the \
-             paper's 10 ms cadence is {paper_cadence_speedup:.2}x, below the 5x gate"
+             paper's 10 ms cadence is {paper_cadence_speedup:.2}x, below the 20x gate"
+        );
+        std::process::exit(1);
+    }
+    if replay_ms > 25.0 {
+        eprintln!(
+            "FAIL: the envelope tier's analytic replay took {replay_ms:.1} ms summed over the \
+             paper-cadence grid, above the 25 ms gate (plan-run-length accounting regressed)"
         );
         std::process::exit(1);
     }
@@ -679,11 +742,11 @@ fn main() {
         eprintln!("FAIL: the paper-cadence grid must engage the envelope fast-forward, got 0 pseudo-cycles");
         std::process::exit(1);
     }
-    let within_bound = envelope_max_rel_err.partial_cmp(&1e-6) != Some(std::cmp::Ordering::Greater);
+    let within_bound = envelope_max_rel_err.partial_cmp(&1e-9) != Some(std::cmp::Ordering::Greater);
     if !within_bound {
         eprintln!(
             "FAIL: envelope execution diverged from literal stepping by a max relative error of \
-             {envelope_max_rel_err:.3e}, above the claimed 1e-6 bound"
+             {envelope_max_rel_err:.3e}, above the certified 1e-9 bound"
         );
         std::process::exit(1);
     }

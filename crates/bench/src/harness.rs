@@ -242,7 +242,12 @@ pub fn write_bench_json(
     }
     fn num(x: f64) -> String {
         if x.is_finite() {
-            format!("{x:.6}")
+            // Shortest round-trip form: `{x}` prints the fewest digits that
+            // parse back to the same f64, so sub-1e-6 metrics (e.g. the
+            // 1e-9-grade envelope error bounds) survive the JSON round trip
+            // instead of flushing to `0.000000`. A bare integral float
+            // prints without a fraction, which is still valid JSON.
+            format!("{x}")
         } else {
             "null".to_string()
         }
@@ -338,13 +343,16 @@ mod tests {
             BenchStats { label: "sweep/\"quoted\"".to_string(), mean_ms: 6.25, min_ms: 6.0, iters: 3 },
         ];
         let path = std::env::temp_dir().join("bench_json_round_trip_test.json");
-        write_bench_json(&path, &stats, &[("speedup", 2.0), ("threads", 4.0)]).unwrap();
+        write_bench_json(&path, &stats, &[("speedup", 2.0), ("threads", 4.0), ("rel_err", 3.25e-12)]).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(body.contains("\"label\": \"sweep/sequential\""));
         assert!(body.contains("\\\"quoted\\\""));
-        assert!(body.contains("\"mean_ms\": 12.500000"));
-        assert!(body.contains("\"speedup\": 2.000000"));
+        // Shortest-roundtrip serialization: no fixed-width padding, and
+        // sub-1e-6 metrics survive instead of flushing to zero.
+        assert!(body.contains("\"mean_ms\": 12.5"));
+        assert!(body.contains("\"speedup\": 2"));
+        assert!(body.contains("\"rel_err\": 0.00000000000325"));
         assert!(body.contains("\"benchmarks\"") && body.contains("\"metrics\""));
     }
 }

@@ -5,6 +5,7 @@
 
 use cpu_model::CpuConfig;
 
+use crate::dtm::emergency::EmergencyLevel;
 use crate::dtm::plan::ActuationPlan;
 use crate::dtm::policy::{DtmPolicy, DtmScheme};
 use crate::dtm::selector::LevelSelector;
@@ -69,6 +70,37 @@ impl DtmPolicy for DtmBw {
         above_c: f64,
     ) -> bool {
         self.selector.is_steady_band(observation.max_amb_c, observation.max_dram_c, below_c, above_c)
+    }
+
+    fn plan_decided_by_region(
+        &self,
+        observation: &ThermalObservation,
+        amb_span_c: f64,
+        dram_span_c: f64,
+    ) -> Option<ActuationPlan> {
+        // The plan is a pure function of the emergency level, so the unique
+        // level of the rectangle (if any) names the unique plan.
+        self.selector
+            .region_level_rect(
+                observation.max_amb_c,
+                observation.max_dram_c,
+                observation.max_amb_c + amb_span_c,
+                observation.max_dram_c + dram_span_c,
+            )
+            .map(|level| scheme_mode(DtmScheme::Bw, level, &self.cpu).into())
+    }
+
+    fn decision_key(&self, max_amb_c: f64, max_dram_c: f64) -> Option<u8> {
+        // The plan is a pure function of the emergency level, so the level
+        // index keys the decision (PID variants are stateful and refuse).
+        self.selector.pure_level(max_amb_c, max_dram_c).map(|level| level.index() as u8)
+    }
+
+    fn plan_for_key(&self, key: u8) -> Option<ActuationPlan> {
+        if self.selector.uses_pid() {
+            return None;
+        }
+        Some(scheme_mode(DtmScheme::Bw, EmergencyLevel::from_index(key as usize), &self.cpu).into())
     }
 
     fn decide_is_pure(&self) -> bool {

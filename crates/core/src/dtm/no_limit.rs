@@ -40,6 +40,15 @@ impl DtmPolicy for NoLimit {
         true
     }
 
+    fn decision_key(&self, _max_amb_c: f64, _max_dram_c: f64) -> Option<u8> {
+        // Constant plan: one key covers every observation.
+        Some(0)
+    }
+
+    fn plan_for_key(&self, _key: u8) -> Option<ActuationPlan> {
+        Some(self.mode.into())
+    }
+
     fn decide_is_pure(&self) -> bool {
         true
     }

@@ -150,6 +150,69 @@ pub trait DtmPolicy: std::fmt::Debug + Send {
         self.is_steady(observation, plan, below_c.max(above_c))
     }
 
+    /// Decision-region certificate: the unique plan [`DtmPolicy::decide`]
+    /// would return for *every* observation whose temperatures lie in the
+    /// rectangle `[amb, amb + amb_span_c] × [dram, dram + dram_span_c]`
+    /// anchored at `observation`'s maxima (its lower corner), or `None` if
+    /// the rectangle straddles a decision boundary (or the policy cannot
+    /// certify regions at all — the conservative default). The spans are
+    /// per-axis: the device axes trace independent ranges, and inflating
+    /// the narrow one by the wide one would refuse certifiable rectangles.
+    ///
+    /// This generalizes [`DtmPolicy::is_steady_band`] from attesting a
+    /// single frozen plan to attesting a whole *plan sequence*: the batched
+    /// engine's envelope replay ([`crate::sim::batch`]) presents, for each
+    /// phase of a sliding-mode orbit, the exact observation rectangle the
+    /// λ-powered contraction envelope traces at that phase, and a `Some`
+    /// answer equal to the recorded phase plan proves every skipped decision
+    /// at that phase re-returns it — licensing closed-form segment jumps
+    /// across threshold chatter that no single frozen-plan band could cover.
+    ///
+    /// Implementations must only answer `Some` when decisions are pure
+    /// (memoryless) over the rectangle; a wrong `Some` silently changes
+    /// simulation results.
+    fn plan_decided_by_region(
+        &self,
+        observation: &ThermalObservation,
+        amb_span_c: f64,
+        dram_span_c: f64,
+    ) -> Option<ActuationPlan> {
+        let _ = (observation, amb_span_c, dram_span_c);
+        None
+    }
+
+    /// Dense pure-decision key: a small discriminant of the plan
+    /// [`DtmPolicy::decide`] would return for an observation carrying these
+    /// device maxima, with `decide(obs, dt) == plan_for_key(key)` for every
+    /// observation and any `dt`. `None` (the conservative default) means
+    /// decisions cannot be keyed — stateful controllers, field-observing
+    /// policies, or policies whose plans depend on more than the maxima.
+    ///
+    /// This is the policy-side contract of the batched engine's *exact
+    /// decision replay* ([`crate::sim::batch`]): instead of certifying that
+    /// a temperature region cannot change the decision, the replayer
+    /// re-evaluates the decision per virtual window from the exact device
+    /// maxima — sliding-mode chatter whose plan sequence never settles into
+    /// an exact period is replayed decision for decision at scalar cost.
+    ///
+    /// Implementations must answer `Some` either for every input or for
+    /// none, keep keys below 16, and only answer at all when
+    /// [`DtmPolicy::decide_is_pure`] would be `true`; a wrong key silently
+    /// changes simulation results.
+    fn decision_key(&self, max_amb_c: f64, max_dram_c: f64) -> Option<u8> {
+        let _ = (max_amb_c, max_dram_c);
+        None
+    }
+
+    /// The plan a [`DtmPolicy::decision_key`] key stands for, or `None` for
+    /// policies that cannot key decisions. Must be consistent with
+    /// `decision_key`: `decide(obs, dt) == plan_for_key(decision_key(obs))`
+    /// bit for bit, for every observation.
+    fn plan_for_key(&self, key: u8) -> Option<ActuationPlan> {
+        let _ = key;
+        None
+    }
+
     /// Whether [`DtmPolicy::decide`] is a *pure, memoryless* function of
     /// its observation: identical observations always yield identical plans
     /// and a decision never mutates internal state.

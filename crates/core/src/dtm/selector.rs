@@ -82,11 +82,73 @@ impl LevelSelector {
     /// it, and `NaN` temperatures quantize to the lowest level on both
     /// sides of the band.
     pub fn is_steady_band(&self, amb_temp_c: f64, dram_temp_c: f64, below_c: f64, above_c: f64) -> bool {
+        self.region_level(amb_temp_c, dram_temp_c, below_c, above_c).is_some()
+    }
+
+    /// Decision-region certificate: the unique emergency level every
+    /// temperature pair in the rectangle
+    /// `[amb − below, amb + above] × [dram − below, dram + above]` selects,
+    /// or `None` if the rectangle straddles a boundary (or the selector is
+    /// PID-driven and therefore stateful). The Table 4.3 quantizer is
+    /// monotone in both temperatures and its top boundary *is* the TDP
+    /// fail-safe, so checking the two extreme corners decides the whole
+    /// rectangle. This is what lets the envelope replay attest an entire
+    /// *plan sequence*: each phase of a sliding-mode orbit presents the
+    /// rectangle its observations trace and gets back the one level — hence
+    /// the one plan — those observations can produce.
+    ///
+    /// `NaN` temperatures (absent devices) quantize to the lowest level at
+    /// both corners and never block the certificate.
+    pub fn region_level(
+        &self,
+        amb_temp_c: f64,
+        dram_temp_c: f64,
+        below_c: f64,
+        above_c: f64,
+    ) -> Option<EmergencyLevel> {
+        self.region_level_rect(amb_temp_c - below_c, dram_temp_c - below_c, amb_temp_c + above_c, dram_temp_c + above_c)
+    }
+
+    /// Corner form of [`LevelSelector::region_level`]: the unique level of
+    /// the explicit rectangle `[amb_lo, amb_hi] × [dram_lo, dram_hi]`, with
+    /// independent per-axis extents. The envelope replay traces each device
+    /// axis separately, and inflating the narrow axis by the wide axis's
+    /// span would push an otherwise-certifiable rectangle across a
+    /// boundary.
+    pub fn region_level_rect(
+        &self,
+        amb_lo_c: f64,
+        dram_lo_c: f64,
+        amb_hi_c: f64,
+        dram_hi_c: f64,
+    ) -> Option<EmergencyLevel> {
         if self.uses_pid() {
-            return false;
+            return None;
         }
-        self.thresholds.level(amb_temp_c - below_c, dram_temp_c - below_c)
-            == self.thresholds.level(amb_temp_c + above_c, dram_temp_c + above_c)
+        let lo = self.thresholds.level(amb_lo_c, dram_lo_c);
+        let hi = self.thresholds.level(amb_hi_c, dram_hi_c);
+        if lo == hi {
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// The emergency level [`LevelSelector::select`] would return for these
+    /// temperatures, as a pure function — or `None` when selection is
+    /// PID-driven and therefore stateful. Bit-for-bit the threshold path of
+    /// `select`, including the TDP fail-safe, without mutating the
+    /// selector: this is what lets the batched engine's exact decision
+    /// replay ([`crate::sim::batch`]) re-evaluate a decision per virtual
+    /// window without consulting (or perturbing) the policy object's state.
+    pub fn pure_level(&self, amb_temp_c: f64, dram_temp_c: f64) -> Option<EmergencyLevel> {
+        if self.uses_pid() {
+            return None;
+        }
+        if amb_temp_c >= self.limits.amb_tdp_c || dram_temp_c >= self.limits.dram_tdp_c {
+            return Some(EmergencyLevel::L5);
+        }
+        Some(self.thresholds.level(amb_temp_c, dram_temp_c))
     }
 
     /// Selects the emergency level for the next interval. An absent device
@@ -197,6 +259,33 @@ mod tests {
         assert_eq!(s.is_steady(107.9, 70.0, 0.2), s.is_steady_band(107.9, 70.0, 0.2, 0.2));
         assert!(s.is_steady_band(f64::NAN, 70.0, 0.5, 0.5));
         assert!(!LevelSelector::pid(ThermalLimits::paper_fbdimm()).is_steady_band(100.0, 70.0, 0.1, 0.1));
+    }
+
+    #[test]
+    fn region_level_returns_the_unique_level_of_the_rectangle() {
+        let s = LevelSelector::threshold(ThermalLimits::paper_fbdimm());
+        // Deep inside L1: the rectangle decides L1.
+        assert_eq!(s.region_level(100.0, 70.0, 0.5, 0.5), Some(EmergencyLevel::L1));
+        // Hugging the AMB L1→L2 boundary (108.0) from below: directional.
+        assert_eq!(s.region_level(107.9, 70.0, 0.2, 0.05), Some(EmergencyLevel::L1));
+        assert_eq!(s.region_level(107.9, 70.0, 0.05, 0.2), None);
+        // Just above it: L2 on both corners.
+        assert_eq!(s.region_level(108.3, 70.0, 0.2, 0.2), Some(EmergencyLevel::L2));
+        // Absent AMB device (NaN) rests the certificate on the DRAM arm.
+        assert_eq!(s.region_level(f64::NAN, 70.0, 0.5, 0.5), Some(EmergencyLevel::L1));
+        // PID selection is stateful and never certifies a region.
+        assert_eq!(LevelSelector::pid(ThermalLimits::paper_fbdimm()).region_level(100.0, 70.0, 0.1, 0.1), None);
+    }
+
+    #[test]
+    fn region_level_rect_keeps_the_axes_independent() {
+        let s = LevelSelector::threshold(ThermalLimits::paper_fbdimm());
+        // A wide AMB extent with a hair-thin DRAM extent right below its
+        // boundary: per-axis corners certify where a shared span would not.
+        assert_eq!(s.region_level_rect(100.0, 84.49, 107.0, 84.499), Some(EmergencyLevel::L3));
+        // The same rectangle nudged across the DRAM L3→L4 boundary fails.
+        assert_eq!(s.region_level_rect(100.0, 84.49, 107.0, 84.6), None);
+        assert_eq!(s.region_level_rect(f64::NAN, 70.0, f64::NAN, 70.5), Some(EmergencyLevel::L1));
     }
 
     #[test]

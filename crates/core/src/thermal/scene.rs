@@ -454,6 +454,21 @@ impl DimmThermalScene {
         self.ambient.set_temp_c(temp_c);
     }
 
+    /// Closed-form segment moments of the shared ambient node: over `m`
+    /// windows of geometric relaxation toward `stable` (per-window decay
+    /// factor `lambda_a`, current deviation `a0 = ambient − stable`), the
+    /// node's endpoint is `stable + a0·λ_a^m` and the running sum of the
+    /// per-window samples is the geometric series
+    /// `stable·m + a0·λ_a·(1 − λ_a^m)/(1 − λ_a)`. Writes the endpoint back
+    /// and returns the sum — the two moments the envelope replay accounts
+    /// for a licensed segment jump without stepping the node per window.
+    pub(crate) fn ambient_segment_moments(&mut self, stable: f64, a0: f64, lambda_a: f64, m: f64) -> f64 {
+        let lam_am = (m * lambda_a.ln()).exp();
+        let sum = stable * m + a0 * lambda_a * (1.0 - lam_am) / (1.0 - lambda_a);
+        self.ambient.set_temp_c(stable + a0 * lam_am);
+        sum
+    }
+
     /// The flat position-major layer temperature field (positions × depth).
     pub(crate) fn layer_temps_flat(&self) -> &[f64] {
         &self.temps_c

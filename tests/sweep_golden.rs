@@ -30,7 +30,7 @@ const GOLDEN_LITERAL: u64 = 0x074b_3d8e_3c14_cded;
 /// identical for every worker count, and equal to [`GOLDEN_LITERAL`]
 /// because both exact fast-forwards replay converged windows analytically
 /// rather than approximating them. The envelope tier is excluded here: it
-/// guarantees relative 1e-6 agreement, not bit-identity, so its results
+/// guarantees relative 1e-9 agreement, not bit-identity, so its results
 /// cannot be pinned by digest (`tests/envelope_ff.rs` owns its bound).
 const GOLDEN_FAST_FORWARD: u64 = 0x074b_3d8e_3c14_cded;
 
